@@ -1,0 +1,131 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//!
+//! * `lds_ablation` — condensed LDS addressing (the paper's `map()` with
+//!   stride division) vs. a naive uncondensed TTIS-image array. The paper
+//!   argues condensation both saves memory and exploits cache locality.
+//! * `clamp_ablation` — per-point membership testing on every tile vs. the
+//!   convexity-based interior-tile fast path.
+//! * `mapping_ablation` — wall cost of simulating under each mapping
+//!   dimension (the makespans themselves are printed by the `ablation`
+//!   binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tilecc::matrices;
+use tilecc_linalg::RMat;
+use tilecc_loopnest::kernels;
+use tilecc_parcode::ParallelPlan;
+use tilecc_tiling::{CommPlan, Lds, LdsGeometry, TiledSpace, TilingTransform};
+
+/// A tiling with non-unit strides so condensation actually compresses.
+fn strided_transform() -> TilingTransform {
+    TilingTransform::new(RMat::from_fractions(&[
+        &[(1, 8), (1, 16), (0, 1)],
+        &[(0, 1), (1, 8), (0, 1)],
+        &[(0, 1), (0, 1), (1, 8)],
+    ]))
+    .unwrap()
+}
+
+fn lds_ablation(c: &mut Criterion) {
+    let t = strided_transform();
+    let alg = kernels::adi(32, 32);
+    let tiled = TiledSpace::new(t.clone(), alg.nest.space().clone());
+    let plan = CommPlan::new(&tiled, alg.nest.deps(), 0);
+    let geo = LdsGeometry::new(&t, &plan);
+    let num_tiles = 4i64;
+    let points: Vec<Vec<i64>> = t.ttis_points().collect();
+
+    let mut g = c.benchmark_group("lds_ablation");
+    g.bench_function("condensed_map_write_read", |b| {
+        let mut lds = Lds::new(geo.clone(), vec![0, 0, 0], num_tiles);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for tp in 0..num_tiles {
+                for jp in &points {
+                    let gg = lds.unrolled(tp, jp);
+                    lds.set(&gg, (gg[0] + gg[1]) as f64);
+                    acc += lds.get(&gg);
+                }
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("naive_ttis_image_write_read", |b| {
+        // Uncondensed: one cell per TTIS *box* coordinate (holes wasted).
+        let v = t.v().to_vec();
+        let ext = [v[0] * num_tiles, v[1], v[2]];
+        let mut arr = vec![0.0f64; (ext[0] * ext[1] * ext[2]) as usize];
+        b.iter(|| {
+            let mut acc = 0.0;
+            for tp in 0..num_tiles {
+                for jp in &points {
+                    let idx =
+                        (((tp * v[0] + jp[0]) * ext[1] + jp[1]) * ext[2] + jp[2]) as usize;
+                    arr[idx] = (jp[0] + jp[1]) as f64;
+                    acc += arr[idx];
+                }
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+    // Memory footprint comparison is asserted (the paper's storage claim).
+    let condensed_cells: i64 = geo.extents(num_tiles).iter().product();
+    let naive_cells: i64 = t.v()[0] * num_tiles * t.v()[1] * t.v()[2];
+    assert!(condensed_cells < naive_cells, "condensation must shrink storage");
+}
+
+fn clamp_ablation(c: &mut Criterion) {
+    let alg = kernels::sor_skewed(16, 24, 1.0);
+    let t = TilingTransform::new(matrices::sor_nr(4, 10, 8)).unwrap();
+    let tiled = TiledSpace::new(t, alg.nest.space().clone());
+    let tiles: Vec<Vec<i64>> = tiled.tiles().collect();
+    let mut g = c.benchmark_group("clamp_ablation");
+    g.bench_function("per_point_membership", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for tile in &tiles {
+                n += tiled.tile_iterations(tile).count();
+            }
+            black_box(n)
+        })
+    });
+    g.bench_function("interior_corner_fast_path", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for tile in &tiles {
+                n += tiled.tile_volume_fast(tile);
+            }
+            black_box(n)
+        })
+    });
+    g.finish();
+}
+
+fn mapping_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mapping_ablation");
+    for m in 0..3usize {
+        g.bench_with_input(BenchmarkId::new("simulate_adi_mapdim", m), &m, |b, &m| {
+            b.iter(|| {
+                let alg = kernels::adi(24, 32);
+                let t = TilingTransform::new(matrices::rect(5, 9, 9)).unwrap();
+                let plan =
+                    std::sync::Arc::new(ParallelPlan::new(alg, t, Some(m)).unwrap());
+                black_box(tilecc_parcode::execute(
+                    plan,
+                    tilecc_cluster::MachineModel::fast_ethernet_p3(),
+                    tilecc_parcode::ExecMode::TimingOnly,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = ablations;
+    config = Criterion::default().sample_size(10);
+    targets = lds_ablation, clamp_ablation, mapping_ablation
+);
+criterion_main!(ablations);

@@ -1,0 +1,57 @@
+//! Criterion versions of the paper's six figures at reduced scale: each
+//! bench simulates the full compile → distribute → execute pipeline for the
+//! tilings a figure compares. The `fig*` binaries run the full-scale
+//! versions and emit the actual series; these benches track the cost of
+//! regenerating them.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tilecc::{measure, Variant, Workload};
+use tilecc_cluster::MachineModel;
+
+fn model() -> MachineModel {
+    MachineModel::fast_ethernet_p3()
+}
+
+/// Figures 5 and 6 — SOR rect vs non-rect (reduced space M=24, N=36).
+fn fig5_fig6_sor(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_fig6_sor");
+    let w = Workload::Sor { m: 24, n: 36 };
+    for v in [Variant::Rect, Variant::NonRect] {
+        g.bench_with_input(BenchmarkId::new("simulate", v.label()), &v, |b, &v| {
+            b.iter(|| black_box(measure(w, v, (7, 16, 8), model())))
+        });
+    }
+    g.finish();
+}
+
+/// Figures 7 and 8 — Jacobi rect vs non-rect (reduced space T=12, I=J=24).
+fn fig7_fig8_jacobi(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_fig8_jacobi");
+    let w = Workload::Jacobi { t: 12, i: 24, j: 24 };
+    for v in [Variant::Rect, Variant::NonRect] {
+        g.bench_with_input(BenchmarkId::new("simulate", v.label()), &v, |b, &v| {
+            b.iter(|| black_box(measure(w, v, (4, 10, 10), model())))
+        });
+    }
+    g.finish();
+}
+
+/// Figures 9 and 10 — ADI, four tile shapes (reduced space T=24, N=32).
+fn fig9_fig10_adi(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9_fig10_adi");
+    let w = Workload::Adi { t: 24, n: 32 };
+    for v in [Variant::Rect, Variant::AdiNr1, Variant::AdiNr2, Variant::AdiNr3] {
+        g.bench_with_input(BenchmarkId::new("simulate", v.label()), &v, |b, &v| {
+            b.iter(|| black_box(measure(w, v, (5, 9, 9), model())))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = figures;
+    config = Criterion::default().sample_size(10);
+    targets = fig5_fig6_sor, fig7_fig8_jacobi, fig9_fig10_adi
+);
+criterion_main!(figures);

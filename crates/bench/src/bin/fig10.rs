@@ -1,0 +1,14 @@
+//! Figure 10: ADI integration — speedups for various tile sizes (T=100, N=256).
+
+use tilecc_bench::*;
+
+fn main() {
+    let model = default_model();
+    let series = run_adi(&adi_spaces()[..1], model, true);
+    write_record(&FigureRecord {
+        figure: "fig10".into(),
+        description: "ADI: speedups for various tile sizes (T=100, N=256)".into(),
+        machine_model: "fast_ethernet_p3".into(),
+        series,
+    });
+}

@@ -1,0 +1,23 @@
+//! Figure 5: SOR — maximum speedups for four iteration spaces,
+//! rectangular vs. non-rectangular tiling.
+
+use tilecc_bench::*;
+
+fn main() {
+    let model = default_model();
+    let series = run_sor(&sor_spaces(), model, true);
+    println!("\n--- Figure 5: max speedup per iteration space ---");
+    for s in &series {
+        println!("\n{} (grid x={}, y={}):", s.workload, s.grid_factors.0, s.grid_factors.1);
+        for p in best_per_variant(&s.points) {
+            println!("  {:<10} speedup {:>6.3} (z = {})", p.variant, p.speedup, p.factors.2);
+        }
+    }
+    write_record(&FigureRecord {
+        figure: "fig5".into(),
+        description: "SOR: maximum speedups for different iteration spaces (rect vs non-rect)"
+            .into(),
+        machine_model: "fast_ethernet_p3".into(),
+        series,
+    });
+}

@@ -1,0 +1,14 @@
+//! Figure 6: SOR — speedups for various tile sizes (M=100, N=200).
+
+use tilecc_bench::*;
+
+fn main() {
+    let model = default_model();
+    let series = run_sor(&sor_spaces()[..1], model, true);
+    write_record(&FigureRecord {
+        figure: "fig6".into(),
+        description: "SOR: speedups for various tile sizes (M=100, N=200)".into(),
+        machine_model: "fast_ethernet_p3".into(),
+        series,
+    });
+}

@@ -1,0 +1,21 @@
+//! Figure 7: Jacobi — maximum speedups for four iteration spaces.
+
+use tilecc_bench::*;
+
+fn main() {
+    let model = default_model();
+    let series = run_jacobi(&jacobi_spaces(), model, true);
+    println!("\n--- Figure 7: max speedup per iteration space ---");
+    for s in &series {
+        println!("\n{} (grid y={}, z={}):", s.workload, s.grid_factors.1, s.grid_factors.2);
+        for p in best_per_variant(&s.points) {
+            println!("  {:<10} speedup {:>6.3} (x = {})", p.variant, p.speedup, p.factors.0);
+        }
+    }
+    write_record(&FigureRecord {
+        figure: "fig7".into(),
+        description: "Jacobi: maximum speedups for different iteration spaces".into(),
+        machine_model: "fast_ethernet_p3".into(),
+        series,
+    });
+}

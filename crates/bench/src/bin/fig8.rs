@@ -1,0 +1,14 @@
+//! Figure 8: Jacobi — speedups for various tile sizes (T=50, I=J=100).
+
+use tilecc_bench::*;
+
+fn main() {
+    let model = default_model();
+    let series = run_jacobi(&jacobi_spaces()[..1], model, true);
+    write_record(&FigureRecord {
+        figure: "fig8".into(),
+        description: "Jacobi: speedups for various tile sizes (T=50, I=J=100)".into(),
+        machine_model: "fast_ethernet_p3".into(),
+        series,
+    });
+}

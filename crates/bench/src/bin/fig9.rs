@@ -1,0 +1,23 @@
+//! Figure 9: ADI integration — maximum speedups for four iteration spaces,
+//! rectangular vs nr1/nr2/nr3 tilings.
+
+use tilecc_bench::*;
+
+fn main() {
+    let model = default_model();
+    let series = run_adi(&adi_spaces(), model, true);
+    println!("\n--- Figure 9: max speedup per iteration space ---");
+    for s in &series {
+        println!("\n{} (grid y={}, z={}):", s.workload, s.grid_factors.1, s.grid_factors.2);
+        for p in best_per_variant(&s.points) {
+            println!("  {:<10} speedup {:>6.3} (x = {})", p.variant, p.speedup, p.factors.0);
+        }
+    }
+    write_record(&FigureRecord {
+        figure: "fig9".into(),
+        description: "ADI: maximum speedups for different iteration spaces (rect/nr1/nr2/nr3)"
+            .into(),
+        machine_model: "fast_ethernet_p3".into(),
+        series,
+    });
+}

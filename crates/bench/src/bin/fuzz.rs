@@ -1,0 +1,142 @@
+//! Randomized end-to-end fuzzer: generates random convex spaces, uniform
+//! dependence sets and (rectangular or tiling-cone) tilings, and checks the
+//! full parallel pipeline bitwise against sequential execution.
+//!
+//! Usage: `fuzz [seed] [cases]`. Found two real bugs during development
+//! (Fourier–Motzkin blowup on dense skewed systems; non-monotone
+//! minimum-successor message pairing — see DESIGN.md).
+
+use std::sync::Arc;
+use tilecc_cluster::MachineModel;
+use tilecc_linalg::{IMat, RMat, Rational};
+use tilecc_loopnest::{Algorithm, Kernel, LoopNest};
+use tilecc_parcode::{execute, execute_tiled_sequential, ExecMode, ParallelPlan};
+use tilecc_polytope::{Constraint, Polyhedron};
+use tilecc_tiling::{tiling_cone_rays, TilingTransform};
+
+struct G(u64);
+impl G {
+    fn next(&mut self) -> u64 {
+        // xorshift64*
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+    fn range(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + (self.next() % ((hi - lo + 1) as u64)) as i64
+    }
+}
+
+struct K;
+impl Kernel for K {
+    fn compute(&self, j: &[i64], reads: &[f64]) -> f64 {
+        let mut acc = 0.125 * (j[0] % 5) as f64;
+        for (i, r) in reads.iter().enumerate() {
+            acc += (0.2 + 0.1 * i as f64) * r;
+        }
+        acc
+    }
+    fn initial(&self, j: &[i64]) -> f64 {
+        ((j.iter().sum::<i64>()).rem_euclid(97)) as f64 / 97.0
+    }
+}
+
+fn main() {
+    let seed: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(42);
+    let cases: u64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(200);
+    let mut g = G(seed | 1);
+    for case in 0..cases {
+        let n = 3usize;
+        // space
+        let ext: Vec<i64> = (0..n).map(|_| g.range(5, 12)).collect();
+        let lo = vec![1i64; n];
+        let mut space = Polyhedron::from_box(&lo, &ext);
+        let ncuts = g.range(0, 2);
+        let mut cuts = vec![];
+        for _ in 0..ncuts {
+            let coeffs: Vec<i64> = (0..n).map(|_| g.range(-1, 1)).collect();
+            if coeffs.iter().all(|&c| c == 0) { continue; }
+            let slack = g.range(0, 10);
+            let mid: i64 = coeffs.iter().zip(&ext).map(|(&c, &e)| c * ((1 + e) / 2)).sum();
+            cuts.push((coeffs.clone(), -mid + slack));
+            space.add(Constraint::new(coeffs, -mid + slack));
+        }
+        // deps
+        let q = g.range(2, 4) as usize;
+        let mut cols = vec![];
+        for _ in 0..q {
+            loop {
+                let c: Vec<i64> = (0..n).map(|_| g.range(0, 2)).collect();
+                if tilecc_linalg::vecops::is_lex_positive(&c) {
+                    cols.push(c);
+                    break;
+                }
+            }
+        }
+        let mut deps = IMat::zeros(n, cols.len());
+        for (qq, c) in cols.iter().enumerate() {
+            for k in 0..n { deps[(k, qq)] = c[k]; }
+        }
+        let factors: Vec<i64> = (0..n).map(|_| g.range(2, 4)).collect();
+        let use_cone = g.next() % 2 == 0;
+        let m = (g.next() % n as u64) as usize;
+        eprintln!("case {case}: ext={ext:?} cuts={cuts:?} deps={cols:?} factors={factors:?} cone={use_cone} m={m}");
+        // tiling
+        let h = if use_cone {
+            let rays = tiling_cone_rays(&deps);
+            if rays.len() < n { continue; }
+            let mut chosen: Vec<Vec<i64>> = vec![];
+            for ray in &rays {
+                let mut cand = chosen.clone();
+                cand.push(ray.clone());
+                let ok = cand.len() < n || {
+                    let mut sq = IMat::zeros(n, n);
+                    for (i, r) in cand.iter().enumerate() {
+                        for k in 0..n { sq[(i, k)] = r[k]; }
+                    }
+                    sq.det() != 0
+                };
+                if ok { chosen = cand; }
+                if chosen.len() == n { break; }
+            }
+            if chosen.len() < n { continue; }
+            RMat::from_fn(n, n, |i, j| Rational::new(chosen[i][j] as i128, factors[i] as i128))
+        } else {
+            RMat::from_fn(n, n, |i, j| if i == j { Rational::new(1, factors[i] as i128) } else { Rational::ZERO })
+        };
+        let Ok(t) = TilingTransform::new(h) else { continue };
+        if t.validate_for(&deps).is_err() { continue; }
+        let alg = Algorithm::new("p", LoopNest::new(space, deps), Arc::new(K));
+        let seq = alg.execute_sequential();
+        let tsq = tilecc_tiling::TiledSpace::new(t.clone(), alg.nest.space().clone());
+        eprintln!("  stage: shadow has {} constraints; enumerating tiles", tsq.shadow().constraints().len());
+        let ntiles = tsq.tiles().count();
+        eprintln!("  stage: {} tiles; distribution", ntiles);
+        let dist = tilecc_tiling::Distribution::new(&tsq, Some(m));
+        eprintln!("  stage: {} procs; commplan", dist.num_procs());
+        let _cp = tilecc_tiling::CommPlan::new(&tsq, alg.nest.deps(), m);
+        let Ok(plan) = ParallelPlan::new(alg, t, Some(m)) else { continue };
+        let plan = Arc::new(plan);
+        let ts = execute_tiled_sequential(&plan);
+        assert!(seq.diff(&ts).is_none(), "tiled seq mismatch");
+        let res = execute(plan.clone(), MachineModel::fast_ethernet_p3(), ExecMode::Full);
+        if let Some(bad) = seq.diff(res.data.as_ref().unwrap()) {
+            eprintln!("  MISMATCH at {bad:?}");
+            let tf = plan.tiled.transform();
+            eprintln!("  H' = {:?}", tf.h_prime());
+            eprintln!("  v = {:?} strides = {:?}", tf.v(), tf.strides());
+            eprintln!("  D' = {:?}", plan.comm.d_prime);
+            eprintln!("  maxd = {:?} cc = {:?} off = {:?}", plan.comm.maxd, plan.comm.cc, plan.comm.off);
+            eprintln!("  D^S = {:?}", plan.comm.tile_deps);
+            eprintln!("  D^m = {:?}", plan.comm.proc_deps);
+            let tile = tf.tile_of(&bad);
+            eprintln!("  tile of bad point: {tile:?}");
+            eprintln!("  seq value {:?} par value {:?}", seq.get_all(&bad), res.data.as_ref().unwrap().get_all(&bad));
+            std::process::exit(3);
+        }
+    }
+    eprintln!("all {cases} cases passed");
+}

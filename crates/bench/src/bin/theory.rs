@@ -1,0 +1,39 @@
+//! §4.1–4.3 analytic check: simulated makespans must follow the paper's
+//! wavefront-step orderings (t_nr < t_r; t_nr3 < t_nr1 ≈ t_nr2 < t_r), and
+//! makespans should correlate with predicted steps within each sweep.
+
+use tilecc::{measure, Variant, Workload};
+use tilecc_bench::*;
+
+fn main() {
+    let model = default_model();
+
+    println!("SOR M=100 N=200 (x=26, y=74), sweep z:");
+    let w = Workload::Sor { m: 100, n: 200 };
+    let (x, y) = sor_grid(w);
+    for z in [10, 20, 40] {
+        let r = measure(w, Variant::Rect, (x, y, z), model);
+        let nr = measure(w, Variant::NonRect, (x, y, z), model);
+        println!(
+            "  z={z:>3}  rect: steps {:>7.1} makespan {:.4}s | nr: steps {:>7.1} makespan {:.4}s  => nr faster: {}",
+            r.predicted_steps, r.makespan, nr.predicted_steps, nr.makespan,
+            nr.makespan < r.makespan
+        );
+    }
+
+    println!("\nADI T=100 N=256, sweep x:");
+    let w = Workload::Adi { t: 100, n: 256 };
+    let (y, z) = yz_grid(w, 256, 256);
+    for xf in [5, 10, 20] {
+        let pts: Vec<_> = [Variant::Rect, Variant::AdiNr1, Variant::AdiNr2, Variant::AdiNr3]
+            .into_iter()
+            .map(|v| measure(w, v, (xf, y, z), model))
+            .collect();
+        println!(
+            "  x={xf:>3}  rect {:.4}s | nr1 {:.4}s | nr2 {:.4}s | nr3 {:.4}s  => nr3 fastest: {}",
+            pts[0].makespan, pts[1].makespan, pts[2].makespan, pts[3].makespan,
+            pts[3].makespan <= pts[1].makespan.min(pts[2].makespan)
+                && pts[3].makespan < pts[0].makespan
+        );
+    }
+}

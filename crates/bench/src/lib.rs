@@ -1,0 +1,293 @@
+//! Shared experiment harness for regenerating the paper's figures.
+//!
+//! Each `fig*` binary reproduces one figure of §4: it picks grid factors so
+//! the distribution uses (as close as possible to) the paper's 16
+//! processors, sweeps the chain-dimension tile factor, simulates rectangular
+//! and non-rectangular tilings on the modelled cluster, prints the series,
+//! and writes a JSON record under `results/`.
+
+use serde::Serialize;
+use std::path::Path;
+use tilecc::{measure, probe_procs, MeasuredPoint, Variant, Workload};
+use tilecc_cluster::MachineModel;
+
+/// The paper's target process count.
+pub const TARGET_PROCS: usize = 16;
+
+/// The default machine model (see `MachineModel::fast_ethernet_p3`).
+pub fn default_model() -> MachineModel {
+    MachineModel::fast_ethernet_p3()
+}
+
+/// A figure record written to `results/<name>.json`.
+#[derive(Serialize)]
+pub struct FigureRecord {
+    pub figure: String,
+    pub description: String,
+    pub machine_model: String,
+    pub series: Vec<SeriesRecord>,
+}
+
+/// One workload's sweep within a figure.
+#[derive(Serialize)]
+pub struct SeriesRecord {
+    pub workload: String,
+    pub grid_factors: (i64, i64, i64),
+    pub points: Vec<MeasuredPoint>,
+}
+
+/// Search the two processor-grid factors so the distribution hits
+/// `TARGET_PROCS` processors (exact match preferred, otherwise closest).
+///
+/// `mk(a, b)` builds the full factor triple from the two grid factors; the
+/// chain-dimension factor in the triple only affects chain lengths, never
+/// the processor count, so a small value keeps probing cheap.
+pub fn search_grid(
+    workload: Workload,
+    a_range: impl Iterator<Item = i64> + Clone,
+    b_range: impl Iterator<Item = i64> + Clone,
+    mk: impl Fn(i64, i64) -> (i64, i64, i64),
+) -> (i64, i64) {
+    let mut best: Option<(i64, i64, usize)> = None;
+    for a in a_range {
+        for b in b_range.clone() {
+            let procs = probe_procs(workload, Variant::Rect, mk(a, b));
+            let dist = procs.abs_diff(TARGET_PROCS);
+            if dist == 0 {
+                return (a, b);
+            }
+            if best.is_none_or(|(_, _, d)| dist < d) {
+                best = Some((a, b, dist));
+            }
+        }
+    }
+    let (a, b, _) = best.expect("empty search range");
+    (a, b)
+}
+
+/// Sweep `variants × chain_factors` for one workload with fixed grid
+/// factors. `mk(c)` builds the factor triple for chain factor `c`.
+pub fn sweep(
+    workload: Workload,
+    variants: &[Variant],
+    chain_factors: &[i64],
+    mk: impl Fn(i64) -> (i64, i64, i64),
+    model: MachineModel,
+) -> Vec<MeasuredPoint> {
+    let mut out = Vec::new();
+    for &c in chain_factors {
+        for &v in variants {
+            out.push(measure(workload, v, mk(c), model));
+        }
+    }
+    out
+}
+
+/// The best (maximum-speedup) point per variant — the per-space bars of
+/// Figures 5, 7 and 9.
+pub fn best_per_variant(points: &[MeasuredPoint]) -> Vec<&MeasuredPoint> {
+    let mut variants: Vec<&'static str> = vec![];
+    for p in points {
+        if !variants.contains(&p.variant) {
+            variants.push(p.variant);
+        }
+    }
+    variants
+        .into_iter()
+        .map(|v| {
+            points
+                .iter()
+                .filter(|p| p.variant == v)
+                .max_by(|a, b| a.speedup.total_cmp(&b.speedup))
+                .expect("variant has points")
+        })
+        .collect()
+}
+
+/// Render a fixed-width table of measured points.
+pub fn print_points(points: &[MeasuredPoint]) {
+    println!(
+        "{:<10} {:>4} {:>4} {:>4} {:>9} {:>6} {:>12} {:>12} {:>8} {:>10}",
+        "variant", "x", "y", "z", "tilesize", "procs", "seq(s)", "par(s)", "speedup", "steps"
+    );
+    for p in points {
+        println!(
+            "{:<10} {:>4} {:>4} {:>4} {:>9} {:>6} {:>12.6} {:>12.6} {:>8.3} {:>10.1}",
+            p.variant,
+            p.factors.0,
+            p.factors.1,
+            p.factors.2,
+            p.tile_size,
+            p.procs,
+            p.sequential_time,
+            p.makespan,
+            p.speedup,
+            p.predicted_steps,
+        );
+    }
+}
+
+/// Write a figure record as pretty JSON under `results/`.
+pub fn write_record(record: &FigureRecord) {
+    let dir = Path::new("results");
+    std::fs::create_dir_all(dir).expect("create results dir");
+    let path = dir.join(format!("{}.json", record.figure));
+    let json = serde_json::to_string_pretty(record).expect("serialize record");
+    std::fs::write(&path, json).expect("write record");
+    println!("\nwrote {}", path.display());
+}
+
+/// Percentage improvement of the best `nr_label` speedup over the best
+/// rectangular one.
+pub fn improvement_pct(points: &[MeasuredPoint], nr_label: &str) -> f64 {
+    let best = |label: &str| {
+        points
+            .iter()
+            .filter(|p| p.variant == label)
+            .map(|p| p.speedup)
+            .fold(f64::MIN, f64::max)
+    };
+    let r = best("rect");
+    let nr = best(nr_label);
+    (nr - r) / r * 100.0
+}
+
+// ---------------------------------------------------------------------------
+// Figure configurations (spaces + sweeps), shared by binaries and benches.
+// ---------------------------------------------------------------------------
+
+/// The four SOR iteration spaces of Figure 5 (the first is Figure 6's).
+pub fn sor_spaces() -> Vec<Workload> {
+    vec![
+        Workload::Sor { m: 100, n: 200 },
+        Workload::Sor { m: 100, n: 100 },
+        Workload::Sor { m: 200, n: 200 },
+        Workload::Sor { m: 150, n: 300 },
+    ]
+}
+
+/// The four Jacobi iteration spaces of Figure 7 (the first is Figure 8's).
+pub fn jacobi_spaces() -> Vec<Workload> {
+    vec![
+        Workload::Jacobi { t: 50, i: 100, j: 100 },
+        Workload::Jacobi { t: 50, i: 200, j: 200 },
+        Workload::Jacobi { t: 100, i: 100, j: 100 },
+        Workload::Jacobi { t: 100, i: 200, j: 200 },
+    ]
+}
+
+/// The four ADI iteration spaces of Figure 9 (the first is Figure 10's).
+pub fn adi_spaces() -> Vec<Workload> {
+    vec![
+        Workload::Adi { t: 100, n: 256 },
+        Workload::Adi { t: 100, n: 128 },
+        Workload::Adi { t: 200, n: 128 },
+        Workload::Adi { t: 200, n: 256 },
+    ]
+}
+
+/// Grid factors for a SOR space: `x` tiles the skewed time extent, `y` the
+/// skewed `i` extent (mapping dimension is the third). Returns `(x, y)`.
+pub fn sor_grid(w: Workload) -> (i64, i64) {
+    let Workload::Sor { m, n } = w else { panic!("not a SOR workload") };
+    let x0 = (m + 3) / 4;
+    let y0 = (m + n + 3) / 4;
+    search_grid(w, x0..x0 + 4, y0 - 8..y0 + 12, |x, y| (x, y, 8))
+}
+
+/// Grid factors for Jacobi/ADI spaces (mapping dimension first): `(y, z)`.
+/// For Jacobi, `y` is restricted to even values: the non-rectangular Jacobi
+/// tiling `H_nr = [[1/x,−1/(2x),0],…]` has integral tile side-vectors
+/// (`P = H⁻¹ ∈ Zⁿ`) only for even `y`.
+pub fn yz_grid(w: Workload, iext: i64, jext: i64) -> (i64, i64) {
+    let y0 = (iext + 3) / 4;
+    let z0 = (jext + 3) / 4;
+    if matches!(w, Workload::Jacobi { .. }) {
+        let y0 = y0 + (y0 % 2);
+        search_grid(
+            w,
+            (y0 - 6..y0 + 10).filter(|y| y % 2 == 0),
+            z0 - 6..z0 + 10,
+            |y, z| (8, y, z),
+        )
+    } else {
+        search_grid(w, y0 - 6..y0 + 10, z0 - 6..z0 + 10, |y, z| (8, y, z))
+    }
+}
+
+/// Chain-factor sweep for a chain dimension of extent `ext`: a spread of
+/// tile lengths from fine to coarse.
+pub fn chain_sweep(ext: i64) -> Vec<i64> {
+    let candidates = [ext / 32, ext / 20, ext / 12, ext / 8, ext / 5, ext / 3, ext / 2];
+    let mut out: Vec<i64> = candidates.into_iter().filter(|&c| c >= 2).collect();
+    out.dedup();
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Figure drivers (shared by the fig* binaries).
+// ---------------------------------------------------------------------------
+
+/// Run the SOR experiment over `spaces`; returns one series per space.
+pub fn run_sor(spaces: &[Workload], model: MachineModel, verbose: bool) -> Vec<SeriesRecord> {
+    let mut series = vec![];
+    for &w in spaces {
+        let Workload::Sor { m, n } = w else { panic!("not SOR") };
+        let (x, y) = sor_grid(w);
+        let factors = chain_sweep(2 * m + n - 2);
+        let pts = sweep(w, &[Variant::Rect, Variant::NonRect], &factors, |z| (x, y, z), model);
+        if verbose {
+            println!("\n=== {} — grid x={x} y={y}, {} procs ===", w.label(), pts[0].procs);
+            print_points(&pts);
+            println!(
+                "best-speedup improvement (non-rect over rect): {:+.1}%",
+                improvement_pct(&pts, "non-rect")
+            );
+        }
+        series.push(SeriesRecord { workload: w.label(), grid_factors: (x, y, 0), points: pts });
+    }
+    series
+}
+
+/// Run the Jacobi experiment over `spaces`.
+pub fn run_jacobi(spaces: &[Workload], model: MachineModel, verbose: bool) -> Vec<SeriesRecord> {
+    let mut series = vec![];
+    for &w in spaces {
+        let Workload::Jacobi { t, i, j } = w else { panic!("not Jacobi") };
+        let (y, z) = yz_grid(w, t + i - 1, t + j - 1);
+        let factors = chain_sweep(t);
+        let pts = sweep(w, &[Variant::Rect, Variant::NonRect], &factors, |x| (x, y, z), model);
+        if verbose {
+            println!("\n=== {} — grid y={y} z={z}, {} procs ===", w.label(), pts[0].procs);
+            print_points(&pts);
+            println!(
+                "best-speedup improvement (non-rect over rect): {:+.1}%",
+                improvement_pct(&pts, "non-rect")
+            );
+        }
+        series.push(SeriesRecord { workload: w.label(), grid_factors: (0, y, z), points: pts });
+    }
+    series
+}
+
+/// Run the ADI experiment (all four tiling variants) over `spaces`.
+pub fn run_adi(spaces: &[Workload], model: MachineModel, verbose: bool) -> Vec<SeriesRecord> {
+    let mut series = vec![];
+    for &w in spaces {
+        let Workload::Adi { t, n } = w else { panic!("not ADI") };
+        let (y, z) = yz_grid(w, n, n);
+        let factors = chain_sweep(t);
+        let variants = [Variant::Rect, Variant::AdiNr1, Variant::AdiNr2, Variant::AdiNr3];
+        let pts = sweep(w, &variants, &factors, |x| (x, y, z), model);
+        if verbose {
+            println!("\n=== {} — grid y={y} z={z}, {} procs ===", w.label(), pts[0].procs);
+            print_points(&pts);
+            println!(
+                "best-speedup improvement (nr3 over rect): {:+.1}%",
+                improvement_pct(&pts, "nr3")
+            );
+        }
+        series.push(SeriesRecord { workload: w.label(), grid_factors: (0, y, z), points: pts });
+    }
+    series
+}

@@ -1,0 +1,12 @@
+//! The `tilecc` command-line tool — see `tilecc help`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match tilecc_cli::run_cli(&args) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("tilecc: {e}");
+            std::process::exit(1);
+        }
+    }
+}

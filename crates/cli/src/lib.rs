@@ -1,0 +1,484 @@
+//! # tilecc-cli
+//!
+//! The command-line face of the framework — the analogue of the paper's
+//! "tool which automatically generates MPI code":
+//!
+//! ```text
+//! tilecc parse  nest.tcc                          # inspect the parsed model
+//! tilecc cone   nest.tcc                          # tiling cone extreme rays
+//! tilecc plan   nest.tcc --tile "1/4,0,0;0,1/4,0;-1/4,0,1/4" [--map 2]
+//! tilecc run    nest.tcc --rect 4,4,4 [--verify] [--overlap]
+//! tilecc emit   nest.tcc --tile … > generated.c   # C/MPI source
+//! ```
+//!
+//! All logic lives in [`run_cli`] so it is directly testable; the binary is
+//! a thin wrapper.
+
+use std::fmt::Write as _;
+use tilecc::Pipeline;
+use tilecc_cluster::{CommScheme, MachineModel};
+use tilecc_frontend::{compile, lower, parse, Program};
+use tilecc_linalg::{RMat, Rational};
+use tilecc_loopnest::Algorithm;
+use tilecc_tiling::tiling_cone_rays;
+
+/// CLI error: message for the user, non-zero exit.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, CliError> {
+    Err(CliError(msg.into()))
+}
+
+/// Parsed command-line options.
+struct Options {
+    tile: Option<RMat>,
+    map: Option<usize>,
+    verify: bool,
+    overlap: bool,
+    model: MachineModel,
+}
+
+/// Parse a tiling matrix specification: rows separated by `;`, entries by
+/// `,`, each entry `a`, `-a`, `a/b` or `-a/b`.
+pub fn parse_tile_spec(spec: &str) -> Result<RMat, CliError> {
+    let rows: Vec<&str> = spec.split(';').map(str::trim).collect();
+    if rows.is_empty() {
+        return err("empty tile specification");
+    }
+    let mut parsed: Vec<Vec<Rational>> = Vec::with_capacity(rows.len());
+    for row in &rows {
+        let mut out = vec![];
+        for entry in row.split(',') {
+            let entry = entry.trim();
+            let r = match entry.split_once('/') {
+                Some((num, den)) => {
+                    let n: i128 = num.trim().parse().map_err(|_| {
+                        CliError(format!("invalid numerator `{num}` in tile spec"))
+                    })?;
+                    let d: i128 = den.trim().parse().map_err(|_| {
+                        CliError(format!("invalid denominator `{den}` in tile spec"))
+                    })?;
+                    if d == 0 {
+                        return err("zero denominator in tile spec");
+                    }
+                    Rational::new(n, d)
+                }
+                None => {
+                    let n: i128 = entry
+                        .parse()
+                        .map_err(|_| CliError(format!("invalid entry `{entry}` in tile spec")))?;
+                    Rational::new(n, 1)
+                }
+            };
+            out.push(r);
+        }
+        parsed.push(out);
+    }
+    let n = parsed.len();
+    if parsed.iter().any(|r| r.len() != n) {
+        return err("tile matrix must be square (rows `;`-separated, entries `,`-separated)");
+    }
+    Ok(RMat::from_fn(n, n, |i, j| parsed[i][j]))
+}
+
+/// Parse `--rect x,y,z` into a diagonal tiling matrix.
+pub fn parse_rect_spec(spec: &str) -> Result<RMat, CliError> {
+    let sizes: Result<Vec<i64>, _> = spec.split(',').map(|s| s.trim().parse::<i64>()).collect();
+    let sizes = sizes.map_err(|_| CliError(format!("invalid --rect sizes `{spec}`")))?;
+    if sizes.iter().any(|&s| s <= 0) {
+        return err("--rect sizes must be positive");
+    }
+    let n = sizes.len();
+    Ok(RMat::from_fn(n, n, |i, j| {
+        if i == j {
+            Rational::new(1, sizes[i] as i128)
+        } else {
+            Rational::ZERO
+        }
+    }))
+}
+
+fn parse_options(args: &[String]) -> Result<Options, CliError> {
+    let mut o = Options {
+        tile: None,
+        map: None,
+        verify: false,
+        overlap: false,
+        model: MachineModel::fast_ethernet_p3(),
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--tile" => {
+                let spec = args.get(i + 1).ok_or(CliError("--tile needs a value".into()))?;
+                o.tile = Some(parse_tile_spec(spec)?);
+                i += 2;
+            }
+            "--rect" => {
+                let spec = args.get(i + 1).ok_or(CliError("--rect needs a value".into()))?;
+                o.tile = Some(parse_rect_spec(spec)?);
+                i += 2;
+            }
+            "--map" => {
+                let v = args.get(i + 1).ok_or(CliError("--map needs a value".into()))?;
+                o.map = Some(
+                    v.parse().map_err(|_| CliError(format!("invalid --map value `{v}`")))?,
+                );
+                i += 2;
+            }
+            "--verify" => {
+                o.verify = true;
+                i += 1;
+            }
+            "--overlap" => {
+                o.overlap = true;
+                i += 1;
+            }
+            "--zero-comm" => {
+                o.model = MachineModel::zero_comm(o.model.compute_per_iter);
+                i += 1;
+            }
+            other => return err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(o)
+}
+
+fn load(path: &str) -> Result<Algorithm, CliError> {
+    let src = std::fs::read_to_string(path)
+        .map_err(|e| CliError(format!("cannot read `{path}`: {e}")))?;
+    compile(&src).map_err(|e| CliError(format!("{path}: {e}")))
+}
+
+fn load_program(path: &str) -> Result<Program, CliError> {
+    let src = std::fs::read_to_string(path)
+        .map_err(|e| CliError(format!("cannot read `{path}`: {e}")))?;
+    parse(&src).map_err(|e| CliError(format!("{path}: {e}")))
+}
+
+/// Build the C kernel/boundary source from the parsed program. Skewed
+/// programs get a prelude computing the original coordinates `jo` via the
+/// inverse skewing matrix, since the generated code iterates in skewed
+/// coordinates.
+fn kernel_source(program: &Program) -> tilecc_parcode::KernelSource {
+    use std::fmt::Write as _;
+    let (coord, prelude) = match &program.skew {
+        None => ("j".to_string(), String::new()),
+        Some(rows) => {
+            let n = program.dim();
+            let refs: Vec<&[i64]> = rows.iter().map(|r| r.as_slice()).collect();
+            let t = tilecc_linalg::IMat::from_rows(&refs);
+            let tinv = t.inverse().to_imat();
+            let mut pre = String::new();
+            let _ = writeln!(pre, "    long jo[{n}];");
+            for r in 0..n {
+                let terms: Vec<String> = (0..n)
+                    .filter(|&k| tinv[(r, k)] != 0)
+                    .map(|k| format!("({}L * j[{k}])", tinv[(r, k)]))
+                    .collect();
+                let rhs = if terms.is_empty() { "0".to_string() } else { terms.join(" + ") };
+                let _ = writeln!(pre, "    jo[{r}] = {rhs};");
+            }
+            pre.push_str("    (void)jo;");
+            ("jo".to_string(), pre)
+        }
+    };
+    tilecc_parcode::KernelSource {
+        prelude,
+        body: program.body.to_c(&coord),
+        boundary: program.boundary.to_c(&coord),
+    }
+}
+
+fn fmt_matrix(m: &RMat) -> String {
+    let mut s = String::new();
+    for i in 0..m.rows() {
+        let row: Vec<String> = (0..m.cols()).map(|j| m[(i, j)].to_string()).collect();
+        let _ = writeln!(s, "  [ {} ]", row.join("  "));
+    }
+    s
+}
+
+const USAGE: &str = "usage: tilecc <command> <nest.tcc> [options]
+
+commands:
+  parse <file>               inspect the parsed loop nest
+  cone  <file>               print the tiling cone's extreme rays
+  plan  <file> --tile|--rect print the derived parallelization plan
+  run   <file> --tile|--rect simulate on the modelled cluster
+  emit  <file> --tile|--rect emit a complete C/MPI program to stdout
+  emit-skeleton <file> …      emit the paper-style code skeleton only
+
+options:
+  --tile \"r11,r12;r21,r22\"   tiling matrix H (rows `;`, entries `,`, a/b)
+  --rect x,y[,z…]             rectangular tiling of the given edge sizes
+  --map <k>                   mapping dimension (default: longest)
+  --verify                    full run, compare against sequential (run)
+  --overlap                   overlapped communication scheme (run)
+  --zero-comm                 zero-cost network model (run)
+";
+
+/// Run the CLI. Returns the output text; errors carry user messages.
+pub fn run_cli(args: &[String]) -> Result<String, CliError> {
+    let mut out = String::new();
+    let Some(cmd) = args.first() else {
+        return err(USAGE);
+    };
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => {
+            out.push_str(USAGE);
+            Ok(out)
+        }
+        "parse" => {
+            let path = args.get(1).ok_or(CliError(USAGE.into()))?;
+            let alg = load(path)?;
+            let _ = writeln!(out, "algorithm : {}", alg.name);
+            let _ = writeln!(out, "dimension : {}", alg.nest.dim());
+            let _ = writeln!(out, "iterations: {}", alg.nest.num_points());
+            let _ = writeln!(out, "dependence columns:");
+            for q in 0..alg.nest.deps().cols() {
+                let _ = writeln!(out, "  d{q} = {:?}", alg.nest.deps().col(q));
+            }
+            Ok(out)
+        }
+        "cone" => {
+            let path = args.get(1).ok_or(CliError(USAGE.into()))?;
+            let alg = load(path)?;
+            let rays = tiling_cone_rays(alg.nest.deps());
+            let _ = writeln!(out, "tiling cone extreme rays:");
+            for r in rays {
+                let _ = writeln!(out, "  {r:?}");
+            }
+            Ok(out)
+        }
+        "plan" | "run" | "emit" | "emit-skeleton" => {
+            let path = args.get(1).ok_or(CliError(USAGE.into()))?;
+            let opts = parse_options(&args[2..])?;
+            let alg = load(path)?;
+            let h = opts.tile.ok_or(CliError("missing --tile or --rect".into()))?;
+            if h.rows() != alg.nest.dim() {
+                return err(format!(
+                    "tile matrix is {}×{} but the nest is {}-dimensional",
+                    h.rows(),
+                    h.cols(),
+                    alg.nest.dim()
+                ));
+            }
+            let pipe = Pipeline::compile(alg, h, opts.map)
+                .map_err(|e| CliError(format!("tiling rejected: {e}")))?;
+            match cmd.as_str() {
+                "plan" => {
+                    let plan = pipe.plan();
+                    let t = plan.tiled.transform();
+                    let _ = writeln!(out, "H =\n{}", fmt_matrix(t.h()));
+                    let _ = writeln!(out, "P = H^-1 =\n{}", fmt_matrix(t.p()));
+                    let _ = writeln!(out, "V diag      : {:?}", t.v());
+                    let _ = writeln!(out, "H' = V*H    : {:?}", t.h_prime());
+                    let _ = writeln!(out, "HNF(H')     : {:?}", t.hnf());
+                    let _ = writeln!(out, "strides c   : {:?}", t.strides());
+                    let _ = writeln!(out, "tile size   : {}", t.tile_size());
+                    let _ = writeln!(out, "mapping dim : {}", plan.m());
+                    let _ = writeln!(out, "processors  : {}", plan.num_procs());
+                    let _ = writeln!(out, "CC          : {:?}", plan.comm.cc);
+                    let _ = writeln!(out, "offsets     : {:?}", plan.comm.off);
+                    let _ = writeln!(out, "D^S         : {:?}", plan.comm.tile_deps);
+                    let _ = writeln!(out, "D^m         : {:?}", plan.comm.proc_deps);
+                    Ok(out)
+                }
+                "run" => {
+                    let scheme = if opts.overlap {
+                        CommScheme::Overlapped
+                    } else {
+                        CommScheme::Blocking
+                    };
+                    let summary = if opts.verify {
+                        let (s, _) = pipe.run_verified(opts.model);
+                        s
+                    } else {
+                        pipe.simulate_with(opts.model, scheme)
+                    };
+                    let _ = writeln!(out, "processors : {}", summary.procs);
+                    let _ = writeln!(out, "iterations : {}", summary.iterations);
+                    let _ = writeln!(out, "seq time   : {:.6} s", summary.sequential_time);
+                    let _ = writeln!(out, "makespan   : {:.6} s", summary.makespan);
+                    let _ = writeln!(out, "speedup    : {:.3}", summary.speedup);
+                    let _ = writeln!(out, "messages   : {}", summary.messages);
+                    let _ = writeln!(out, "bytes      : {}", summary.bytes);
+                    if let Some(v) = summary.verified {
+                        let _ = writeln!(out, "verified   : {v}");
+                        if !v {
+                            return err("verification FAILED: parallel result differs");
+                        }
+                    }
+                    Ok(out)
+                }
+                "emit" => {
+                    let program = load_program(path)?;
+                    // Consistency: the pipeline compiled from the same file.
+                    let _ = lower(&program).map_err(|e| CliError(format!("{path}: {e}")))?;
+                    let srck = kernel_source(&program);
+                    out.push_str(&tilecc_parcode::emit_c_program(pipe.plan(), &srck));
+                    Ok(out)
+                }
+                "emit-skeleton" => {
+                    out.push_str(&pipe.emit_c("F(/* reads at LA[MAP(t, j - d')] */)"));
+                    Ok(out)
+                }
+                _ => unreachable!(),
+            }
+        }
+        other => err(format!("unknown command `{other}`\n{USAGE}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// Self-cleaning temp file (avoids external tempfile dependencies).
+    struct TempNest(std::path::PathBuf);
+
+    impl TempNest {
+        fn to_str(&self) -> &str {
+            self.0.to_str().unwrap()
+        }
+    }
+
+    impl Drop for TempNest {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+
+    fn write_nest(content: &str) -> TempNest {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let id = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir()
+            .join(format!("tilecc-cli-test-{}-{id}.tcc", std::process::id()));
+        std::fs::write(&path, content).unwrap();
+        TempNest(path)
+    }
+
+    const ADI_SRC: &str = r#"
+param T = 6
+param N = 9
+for t = 1 to T
+for i = 1 to N
+for j = 1 to N
+X[t,i,j] = X[t-1,i,j] + 0.3*X[t-1,i-1,j] - 0.2*X[t-1,i,j-1]
+boundary = 0.25
+"#;
+
+    fn args(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_command_reports_structure() {
+        let p = write_nest(ADI_SRC);
+        let out = run_cli(&args(&["parse", p.to_str()])).unwrap();
+        assert!(out.contains("dimension : 3"));
+        assert!(out.contains("iterations: 486"));
+        assert!(out.contains("d0 = [1, 0, 0]"));
+    }
+
+    #[test]
+    fn cone_command_prints_rays() {
+        let p = write_nest(ADI_SRC);
+        let out = run_cli(&args(&["cone", p.to_str()])).unwrap();
+        assert!(out.contains("[1, -1, -1]"), "{out}");
+    }
+
+    #[test]
+    fn run_with_verification_succeeds() {
+        let p = write_nest(ADI_SRC);
+        let out = run_cli(&args(&[
+            "run",
+            p.to_str(),
+            "--rect",
+            "2,4,4",
+            "--map",
+            "0",
+            "--verify",
+        ]))
+        .unwrap();
+        assert!(out.contains("verified   : true"), "{out}");
+    }
+
+    #[test]
+    fn run_with_cone_tiling_and_overlap() {
+        let p = write_nest(ADI_SRC);
+        let out = run_cli(&args(&[
+            "run",
+            p.to_str(),
+            "--tile",
+            "1/2,-1/2,-1/2; 0,1/4,0; 0,0,1/4",
+            "--map",
+            "0",
+            "--overlap",
+        ]))
+        .unwrap();
+        assert!(out.contains("speedup"), "{out}");
+    }
+
+    #[test]
+    fn plan_command_shows_comm_data() {
+        let p = write_nest(ADI_SRC);
+        let out = run_cli(&args(&[
+            "plan",
+            p.to_str(),
+            "--rect",
+            "2,4,4",
+        ]))
+        .unwrap();
+        assert!(out.contains("CC"), "{out}");
+        assert!(out.contains("tile size   : 32"), "{out}");
+    }
+
+    #[test]
+    fn emit_command_produces_c() {
+        let p = write_nest(ADI_SRC);
+        let out =
+            run_cli(&args(&["emit", p.to_str(), "--rect", "2,4,4"])).unwrap();
+        assert!(out.contains("#include <mpi.h>"));
+    }
+
+    #[test]
+    fn bad_tile_spec_is_reported() {
+        assert!(parse_tile_spec("1/x,0;0,1").is_err());
+        assert!(parse_tile_spec("1,0;0").is_err());
+        assert!(parse_tile_spec("1/0,0;0,1").is_err());
+        assert!(parse_rect_spec("4,0").is_err());
+        assert!(parse_rect_spec("a").is_err());
+    }
+
+    #[test]
+    fn illegal_tiling_is_rejected_with_message() {
+        let p = write_nest(ADI_SRC);
+        let e = run_cli(&args(&[
+            "run",
+            p.to_str(),
+            "--tile",
+            "-1/2,0,0; 0,1/4,0; 0,0,1/4",
+        ]))
+        .unwrap_err();
+        assert!(e.0.contains("tiling rejected"), "{e}");
+    }
+
+    #[test]
+    fn dimension_mismatch_is_rejected() {
+        let p = write_nest(ADI_SRC);
+        let e = run_cli(&args(&["run", p.to_str(), "--rect", "4,4"])).unwrap_err();
+        assert!(e.0.contains("3-dimensional"), "{e}");
+    }
+}

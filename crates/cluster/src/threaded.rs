@@ -1,0 +1,511 @@
+//! The threaded cluster engine: one OS thread per logical process,
+//! crossbeam channels as links.
+//!
+//! Execution is *functionally deterministic*: programs only use blocking
+//! point-to-point receives on FIFO per-pair channels, so computed values and
+//! virtual clocks do not depend on OS scheduling. The engine therefore
+//! doubles as a discrete-event simulator — the returned [`RunReport`]
+//! contains the exact virtual makespan on the modelled machine.
+
+use crate::comm::{Comm, CommStats, Envelope};
+use crate::model::MachineModel;
+use crate::trace::{Event, Trace};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::thread;
+
+/// Outcome of a cluster run.
+#[derive(Clone, Debug)]
+pub struct RunReport<R> {
+    /// Per-rank results returned by the SPMD closure.
+    pub results: Vec<R>,
+    /// Per-rank final virtual clocks.
+    pub local_times: Vec<f64>,
+    /// Per-rank statistics.
+    pub stats: Vec<CommStats>,
+    /// Per-rank event traces (empty unless tracing was enabled).
+    pub traces: Vec<Trace>,
+}
+
+impl<R> RunReport<R> {
+    /// The simulated parallel completion time: the latest local clock.
+    pub fn makespan(&self) -> f64 {
+        self.local_times.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Aggregate bytes sent across all ranks.
+    pub fn total_bytes(&self) -> u64 {
+        self.stats.iter().map(|s| s.bytes_sent).sum()
+    }
+
+    /// Aggregate messages sent across all ranks.
+    pub fn total_messages(&self) -> u64 {
+        self.stats.iter().map(|s| s.messages_sent).sum()
+    }
+}
+
+/// Communication scheme for the virtual-time model.
+///
+/// `Blocking` is the paper's scheme: the CPU pays the full send cost before
+/// continuing and the full receive overhead on arrival. `Overlapped` models
+/// the computation/communication overlapping of the paper's future-work
+/// reference (Goumas/Sotiropoulos/Koziris, IPDPS'01 [8]): transfers proceed
+/// in the background (DMA/comm thread), so the sender's clock is not
+/// charged for injection and the receiver pays no per-message overhead —
+/// only true data-dependence waiting remains.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum CommScheme {
+    #[default]
+    Blocking,
+    Overlapped,
+}
+
+/// Engine options: communication scheme plus optional event tracing.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EngineOptions {
+    pub scheme: CommScheme,
+    pub trace: bool,
+}
+
+/// Communication endpoint handed to each SPMD thread.
+pub struct ThreadedComm {
+    rank: usize,
+    size: usize,
+    model: MachineModel,
+    scheme: CommScheme,
+    clock: f64,
+    stats: CommStats,
+    trace: Option<Trace>,
+    /// `txs[to]`: channel to each peer (slot `rank` unused).
+    txs: Vec<Option<Sender<Envelope>>>,
+    /// `rxs[from]`: channel from each peer.
+    rxs: Vec<Option<Receiver<Envelope>>>,
+    /// Per-peer buffers of arrived-but-unmatched messages (MPI-style tag
+    /// matching).
+    pending: Vec<Vec<Envelope>>,
+}
+
+impl Comm for ThreadedComm {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.size
+    }
+
+    fn send_tagged(&mut self, to: usize, tag: i64, payload: Vec<f64>, nominal_bytes: usize) {
+        assert!(to != self.rank, "send to self is not supported");
+        let ready_at = match self.scheme {
+            CommScheme::Blocking => {
+                self.clock += self.model.send_cost(nominal_bytes);
+                self.clock + self.model.wire_latency
+            }
+            // Background transfer: injection and wire time off the CPU.
+            CommScheme::Overlapped => {
+                self.clock + self.model.send_cost(nominal_bytes) + self.model.wire_latency
+            }
+        };
+        let env = Envelope { payload, tag, ready_at };
+        self.stats.messages_sent += 1;
+        self.stats.bytes_sent += nominal_bytes as u64;
+        if let Some(tr) = &mut self.trace {
+            tr.events.push(Event::Send { at: self.clock, to, bytes: nominal_bytes });
+        }
+        self.txs[to]
+            .as_ref()
+            .expect("no channel to peer")
+            .send(env)
+            .expect("receiver hung up");
+    }
+
+    fn recv_tagged(&mut self, from: usize, tag: i64) -> Vec<f64> {
+        assert!(from != self.rank, "recv from self is not supported");
+        let start = self.clock;
+        // Match against already-arrived messages first (MPI tag matching).
+        let env = if let Some(pos) = self.pending[from].iter().position(|e| e.tag == tag) {
+            self.pending[from].remove(pos)
+        } else {
+            loop {
+                let env = self.rxs[from]
+                    .as_ref()
+                    .expect("no channel from peer")
+                    .recv()
+                    .expect("sender hung up — deadlock or peer panic");
+                if env.tag == tag {
+                    break env;
+                }
+                // Arrived but not the requested message: buffer it. Its
+                // arrival does not advance the CPU clock (the NIC holds it).
+                self.pending[from].push(env);
+            }
+        };
+        if env.ready_at > self.clock {
+            self.stats.wait_time += env.ready_at - self.clock;
+            self.clock = env.ready_at;
+        }
+        let ready = self.clock;
+        if self.scheme == CommScheme::Blocking {
+            self.clock += self.model.recv_overhead;
+        }
+        self.stats.messages_received += 1;
+        if let Some(tr) = &mut self.trace {
+            tr.events.push(Event::Recv { start, ready, end: self.clock, from });
+        }
+        env.payload
+    }
+
+    fn advance_compute(&mut self, iters: u64) {
+        let dt = self.model.compute_cost(iters);
+        let start = self.clock;
+        self.clock += dt;
+        self.stats.compute_time += dt;
+        if let Some(tr) = &mut self.trace {
+            tr.events.push(Event::Compute { start, end: self.clock, iters });
+        }
+    }
+
+    fn local_time(&self) -> f64 {
+        self.clock
+    }
+
+    fn model(&self) -> &MachineModel {
+        &self.model
+    }
+
+    fn stats(&self) -> CommStats {
+        self.stats
+    }
+}
+
+/// Run an SPMD program over `size` logical processes. The closure receives
+/// each process's [`ThreadedComm`]; its return values, final clocks and
+/// statistics are collected into a [`RunReport`] (indexed by rank).
+///
+/// # Panics
+/// Propagates panics from any rank (the whole run is aborted).
+pub fn run_cluster<R, F>(size: usize, model: MachineModel, f: F) -> RunReport<R>
+where
+    R: Send + 'static,
+    F: Fn(&mut ThreadedComm) -> R + Send + Sync + 'static,
+{
+    run_cluster_with(size, model, CommScheme::Blocking, f)
+}
+
+/// [`run_cluster`] with an explicit communication scheme.
+pub fn run_cluster_with<R, F>(
+    size: usize,
+    model: MachineModel,
+    scheme: CommScheme,
+    f: F,
+) -> RunReport<R>
+where
+    R: Send + 'static,
+    F: Fn(&mut ThreadedComm) -> R + Send + Sync + 'static,
+{
+    run_cluster_opts(size, model, EngineOptions { scheme, trace: false }, f)
+}
+
+/// [`run_cluster`] with full engine options (scheme + tracing).
+pub fn run_cluster_opts<R, F>(
+    size: usize,
+    model: MachineModel,
+    options: EngineOptions,
+    f: F,
+) -> RunReport<R>
+where
+    R: Send + 'static,
+    F: Fn(&mut ThreadedComm) -> R + Send + Sync + 'static,
+{
+    let scheme = options.scheme;
+    assert!(size > 0, "cluster needs at least one process");
+    // Channel matrix: channels[from][to].
+    let mut senders: Vec<Vec<Option<Sender<Envelope>>>> = (0..size)
+        .map(|_| (0..size).map(|_| None).collect())
+        .collect();
+    let mut receivers: Vec<Vec<Option<Receiver<Envelope>>>> = (0..size)
+        .map(|_| (0..size).map(|_| None).collect())
+        .collect();
+    for from in 0..size {
+        for to in 0..size {
+            if from == to {
+                continue;
+            }
+            let (tx, rx) = unbounded();
+            senders[from][to] = Some(tx);
+            receivers[to][from] = Some(rx);
+        }
+    }
+
+    let f = std::sync::Arc::new(f);
+    let mut handles = Vec::with_capacity(size);
+    for (rank, (txs, rxs)) in senders.into_iter().zip(receivers).enumerate() {
+        let f = f.clone();
+        let mut comm = ThreadedComm {
+            rank,
+            size,
+            model,
+            scheme,
+            clock: 0.0,
+            stats: CommStats::default(),
+            trace: options.trace.then(Trace::default),
+            pending: (0..size).map(|_| Vec::new()).collect(),
+            txs,
+            rxs,
+        };
+        handles.push(
+            thread::Builder::new()
+                .name(format!("tilecc-rank-{rank}"))
+                .spawn(move || {
+                    let r = f(&mut comm);
+                    (r, comm.clock, comm.stats, comm.trace.unwrap_or_default())
+                })
+                .expect("failed to spawn rank thread"),
+        );
+    }
+
+    let mut results = Vec::with_capacity(size);
+    let mut local_times = Vec::with_capacity(size);
+    let mut stats = Vec::with_capacity(size);
+    let mut traces = Vec::with_capacity(size);
+    for h in handles {
+        let (r, t, s, tr) = h.join().expect("rank thread panicked");
+        results.push(r);
+        local_times.push(t);
+        stats.push(s);
+        traces.push(tr);
+    }
+    RunReport { results, local_times, stats, traces }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_rank_computes_locally() {
+        let report = run_cluster(1, MachineModel::zero_comm(1e-3), |comm| {
+            comm.advance_compute(5);
+            comm.rank()
+        });
+        assert_eq!(report.results, vec![0]);
+        assert!((report.makespan() - 5e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ping_pong_virtual_times() {
+        let model = MachineModel {
+            compute_per_iter: 0.0,
+            send_overhead: 1.0,
+            recv_overhead: 2.0,
+            wire_latency: 4.0,
+            per_byte: 0.5,
+        };
+        let report = run_cluster(2, model, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, vec![7.0, 8.0], 16);
+                comm.local_time()
+            } else {
+                let v = comm.recv(0);
+                assert_eq!(v, vec![7.0, 8.0]);
+                comm.local_time()
+            }
+        });
+        // Sender: 1 + 16·0.5 = 9. Receiver: max(0, 9 + 4) + 2 = 15.
+        assert!((report.results[0] - 9.0).abs() < 1e-12);
+        assert!((report.results[1] - 15.0).abs() < 1e-12);
+        assert!((report.makespan() - 15.0).abs() < 1e-12);
+        assert_eq!(report.total_bytes(), 16);
+        assert_eq!(report.total_messages(), 1);
+    }
+
+    #[test]
+    fn fifo_order_per_pair() {
+        let report = run_cluster(2, MachineModel::zero_comm(0.0), |comm| {
+            if comm.rank() == 0 {
+                for i in 0..100 {
+                    comm.send(1, vec![i as f64], 8);
+                }
+                0.0
+            } else {
+                let mut last = -1.0;
+                for _ in 0..100 {
+                    let v = comm.recv(0)[0];
+                    assert!(v > last, "out of order");
+                    last = v;
+                }
+                last
+            }
+        });
+        assert_eq!(report.results[1], 99.0);
+    }
+
+    #[test]
+    fn pipeline_makespan_reflects_critical_path() {
+        // 4-stage pipeline: each rank computes 10 iters then forwards.
+        let model = MachineModel {
+            compute_per_iter: 1.0,
+            send_overhead: 0.0,
+            recv_overhead: 0.0,
+            wire_latency: 2.0,
+            per_byte: 0.0,
+        };
+        let report = run_cluster(4, model, |comm| {
+            let r = comm.rank();
+            if r > 0 {
+                comm.recv(r - 1);
+            }
+            comm.advance_compute(10);
+            if r < 3 {
+                comm.send(r + 1, vec![], 0);
+            }
+            comm.local_time()
+        });
+        // Critical path: 4 × 10 compute + 3 × 2 latency = 46.
+        assert!((report.makespan() - 46.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wait_time_is_tracked() {
+        let model = MachineModel {
+            compute_per_iter: 1.0,
+            send_overhead: 0.0,
+            recv_overhead: 0.0,
+            wire_latency: 0.0,
+            per_byte: 0.0,
+        };
+        let report = run_cluster(2, model, |comm| {
+            if comm.rank() == 0 {
+                comm.advance_compute(100);
+                comm.send(1, vec![], 0);
+            } else {
+                comm.recv(0);
+            }
+        });
+        assert!((report.stats[1].wait_time - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let model = MachineModel::fast_ethernet_p3();
+        let run = || {
+            run_cluster(4, model, |comm| {
+                let r = comm.rank();
+                let n = comm.size();
+                // Ring: compute, pass a token around twice.
+                let mut acc = r as f64;
+                for round in 0..2 {
+                    comm.advance_compute(50 + r as u64);
+                    comm.send((r + 1) % n, vec![acc], 8);
+                    acc += comm.recv((r + n - 1) % n)[0] + round as f64;
+                }
+                (acc, comm.local_time())
+            })
+        };
+        let a = run();
+        let b = run();
+        for (x, y) in a.results.iter().zip(&b.results) {
+            assert_eq!(x, y);
+        }
+        assert_eq!(a.local_times, b.local_times);
+    }
+}
+
+#[cfg(test)]
+mod overlap_tests {
+    use super::*;
+
+    fn model() -> MachineModel {
+        MachineModel {
+            compute_per_iter: 1.0,
+            send_overhead: 5.0,
+            recv_overhead: 3.0,
+            wire_latency: 2.0,
+            per_byte: 0.0,
+        }
+    }
+
+    fn pipeline_run(scheme: CommScheme) -> RunReport<f64> {
+        run_cluster_with(3, model(), scheme, |comm| {
+            let r = comm.rank();
+            if r > 0 {
+                comm.recv(r - 1);
+            }
+            comm.advance_compute(10);
+            if r < 2 {
+                comm.send(r + 1, vec![], 0);
+            }
+            comm.local_time()
+        })
+    }
+
+    #[test]
+    fn overlapped_sends_shorten_the_critical_path() {
+        let blocking = pipeline_run(CommScheme::Blocking);
+        let overlapped = pipeline_run(CommScheme::Overlapped);
+        // Blocking: 10 + (5+2+3) + 10 + (5+2+3) + 10 = 50.
+        assert!((blocking.makespan() - 50.0).abs() < 1e-12);
+        // Overlapped: 10 + (5+2) + 10 + (5+2) + 10 = 44 — injection and
+        // receive overheads are off the CPU, wire+bandwidth delay remains.
+        assert!((overlapped.makespan() - 44.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_preserves_payloads_and_order() {
+        let report = run_cluster_with(2, model(), CommScheme::Overlapped, |comm| {
+            if comm.rank() == 0 {
+                for i in 0..10 {
+                    comm.send(1, vec![i as f64], 8);
+                }
+                0.0
+            } else {
+                (0..10).map(|_| comm.recv(0)[0]).sum()
+            }
+        });
+        assert_eq!(report.results[1], 45.0);
+    }
+}
+
+#[cfg(test)]
+mod trace_tests {
+    use super::*;
+
+    #[test]
+    fn traces_record_all_phases() {
+        let model = MachineModel {
+            compute_per_iter: 1.0,
+            send_overhead: 1.0,
+            recv_overhead: 1.0,
+            wire_latency: 1.0,
+            per_byte: 0.0,
+        };
+        let report = run_cluster_opts(
+            2,
+            model,
+            EngineOptions { scheme: CommScheme::Blocking, trace: true },
+            |comm| {
+                if comm.rank() == 0 {
+                    comm.advance_compute(5);
+                    comm.send(1, vec![], 0);
+                } else {
+                    comm.recv(0);
+                    comm.advance_compute(3);
+                }
+            },
+        );
+        assert_eq!(report.traces.len(), 2);
+        assert!((report.traces[0].compute_time() - 5.0).abs() < 1e-12);
+        assert!((report.traces[1].compute_time() - 3.0).abs() < 1e-12);
+        // Rank 1 waited for rank 0's message: 5 compute + 1 send + 1 wire = 7.
+        assert!((report.traces[1].wait_time() - 7.0).abs() < 1e-12);
+        let gantt = crate::trace::render_gantt(&report.traces, 60);
+        assert!(gantt.contains('#') && gantt.contains('s') && gantt.contains('r'));
+    }
+
+    #[test]
+    fn tracing_disabled_yields_empty_traces() {
+        let report = run_cluster(1, MachineModel::zero_comm(1.0), |comm| {
+            comm.advance_compute(1);
+        });
+        assert!(report.traces[0].events.is_empty());
+    }
+}

@@ -1,0 +1,156 @@
+#![allow(clippy::needless_range_loop)] // index loops mirror the paper's matrix notation
+//! Execution traces: per-process event logs in virtual time, with
+//! utilization analysis and an ASCII Gantt rendering.
+//!
+//! Tracing is opt-in (see [`crate::threaded::EngineOptions`]); when enabled,
+//! every compute phase, send and receive is recorded with its virtual
+//! timestamps, which makes the wavefront structure of tiled executions
+//! directly visible.
+
+/// One traced event on a process's virtual timeline.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Event {
+    /// A computation phase.
+    Compute { start: f64, end: f64, iters: u64 },
+    /// A message injection (instantaneous at `at` for the CPU; the wire
+    /// time is modelled on the receiver side).
+    Send { at: f64, to: usize, bytes: usize },
+    /// A blocking receive: `start` when the CPU began waiting, `ready` when
+    /// the message arrived, `end` after the receive overhead.
+    Recv { start: f64, ready: f64, end: f64, from: usize },
+}
+
+impl Event {
+    /// The event's end time on the process timeline.
+    pub fn end_time(&self) -> f64 {
+        match self {
+            Event::Compute { end, .. } => *end,
+            Event::Send { at, .. } => *at,
+            Event::Recv { end, .. } => *end,
+        }
+    }
+}
+
+/// A per-process event log.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    pub events: Vec<Event>,
+}
+
+impl Trace {
+    /// Total time spent computing.
+    pub fn compute_time(&self) -> f64 {
+        self.events
+            .iter()
+            .map(|e| match e {
+                Event::Compute { start, end, .. } => end - start,
+                _ => 0.0,
+            })
+            .sum()
+    }
+
+    /// Total time spent blocked waiting for messages.
+    pub fn wait_time(&self) -> f64 {
+        self.events
+            .iter()
+            .map(|e| match e {
+                Event::Recv { start, ready, .. } => (ready - start).max(0.0),
+                _ => 0.0,
+            })
+            .sum()
+    }
+
+    /// Fraction of the horizon spent computing.
+    pub fn utilization(&self, horizon: f64) -> f64 {
+        if horizon <= 0.0 {
+            return 0.0;
+        }
+        self.compute_time() / horizon
+    }
+}
+
+/// Render per-rank timelines as an ASCII Gantt chart of `width` columns:
+/// `#` compute, `.` waiting, `s`/`r` message endpoints, space idle.
+pub fn render_gantt(traces: &[Trace], width: usize) -> String {
+    let horizon = traces
+        .iter()
+        .flat_map(|t| t.events.iter().map(Event::end_time))
+        .fold(0.0f64, f64::max);
+    if horizon <= 0.0 || width == 0 {
+        return String::new();
+    }
+    let col = |t: f64| -> usize {
+        (((t / horizon) * width as f64) as usize).min(width.saturating_sub(1))
+    };
+    let mut out = String::new();
+    for (rank, trace) in traces.iter().enumerate() {
+        let mut row = vec![' '; width];
+        for e in &trace.events {
+            match e {
+                Event::Compute { start, end, .. } => {
+                    for c in col(*start)..=col(*end) {
+                        row[c] = '#';
+                    }
+                }
+                Event::Recv { start, ready, end, .. } => {
+                    for c in col(*start)..col(*ready).max(col(*start)) {
+                        if row[c] == ' ' {
+                            row[c] = '.';
+                        }
+                    }
+                    row[col(*end)] = 'r';
+                }
+                Event::Send { at, .. } => {
+                    row[col(*at)] = 's';
+                }
+            }
+        }
+        out.push_str(&format!("rank {rank:>3} |"));
+        out.extend(row);
+        out.push_str("|\n");
+    }
+    out.push_str(&format!("horizon: {horizon:.6} s\n"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        Trace {
+            events: vec![
+                Event::Recv { start: 0.0, ready: 2.0, end: 2.5, from: 1 },
+                Event::Compute { start: 2.5, end: 7.5, iters: 50 },
+                Event::Send { at: 8.0, to: 1, bytes: 64 },
+            ],
+        }
+    }
+
+    #[test]
+    fn compute_and_wait_accounting() {
+        let t = sample();
+        assert!((t.compute_time() - 5.0).abs() < 1e-12);
+        assert!((t.wait_time() - 2.0).abs() < 1e-12);
+        assert!((t.utilization(10.0) - 0.5).abs() < 1e-12);
+        assert_eq!(t.utilization(0.0), 0.0);
+    }
+
+    #[test]
+    fn gantt_renders_rows() {
+        let traces = vec![sample(), Trace::default()];
+        let g = render_gantt(&traces, 40);
+        assert!(g.contains("rank   0"));
+        assert!(g.contains('#'));
+        assert!(g.contains('s'));
+        assert!(g.contains("horizon"));
+        let lines: Vec<&str> = g.lines().collect();
+        assert_eq!(lines.len(), 3);
+    }
+
+    #[test]
+    fn empty_traces_render_empty() {
+        assert_eq!(render_gantt(&[], 40), "");
+        assert_eq!(render_gantt(&[Trace::default()], 0), "");
+    }
+}

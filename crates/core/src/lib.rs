@@ -1,0 +1,45 @@
+//! # tilecc
+//!
+//! End-to-end Rust reproduction of *"Compiling Tiled Iteration Spaces for
+//! Clusters"* (Goumas, Drosinos, Athanasaki, Koziris — IEEE CLUSTER 2002):
+//! a complete framework that takes a perfectly nested loop with uniform
+//! dependencies and a **general parallelepiped tiling transformation** and
+//! generates data-parallel message-passing code for a cluster.
+//!
+//! ```
+//! use tilecc::{Pipeline, matrices};
+//! use tilecc_loopnest::kernels;
+//! use tilecc_cluster::MachineModel;
+//!
+//! // Skewed SOR, non-rectangular tiling from the tiling cone (§4.1).
+//! let alg = kernels::sor_skewed(4, 6, 1.1);
+//! let pipe = Pipeline::compile(alg, matrices::sor_nr(2, 3, 3), Some(2)).unwrap();
+//! let (summary, _data) = pipe.run_verified(MachineModel::fast_ethernet_p3());
+//! assert_eq!(summary.verified, Some(true));
+//! ```
+//!
+//! The crates underneath (re-exported here) implement every substrate from
+//! scratch: exact rational linear algebra and Hermite Normal Forms
+//! (`tilecc-linalg`), Fourier–Motzkin elimination (`tilecc-polytope`), the
+//! loop-nest model and the paper's three kernels (`tilecc-loopnest`), the
+//! tiling machinery (`tilecc-tiling`), an in-process message-passing cluster
+//! with virtual-time simulation (`tilecc-cluster`), and the SPMD program
+//! generator/executor plus a C/MPI emitter (`tilecc-parcode`).
+
+pub mod analysis;
+pub mod experiments;
+pub mod matrices;
+pub mod pipeline;
+pub mod predictor;
+
+pub use experiments::{measure, probe_procs, MeasuredPoint, Variant, Workload};
+pub use pipeline::{Pipeline, RunSummary};
+pub use predictor::{predict, predicted_comm_volume, SchedulePrediction};
+
+// Convenience re-exports of the substrate crates.
+pub use tilecc_cluster as cluster;
+pub use tilecc_linalg as linalg;
+pub use tilecc_loopnest as loopnest;
+pub use tilecc_parcode as parcode;
+pub use tilecc_polytope as polytope;
+pub use tilecc_tiling as tiling;

@@ -1,0 +1,201 @@
+//! Abstract syntax of the loop-nest language.
+//!
+//! A program is: parameter bindings, an optional skewing matrix, a perfect
+//! FOR nest with affine `max`/`min` bounds, one single-assignment statement
+//! over one array with uniform references, and an optional boundary
+//! expression.
+
+/// An affine expression over loop variables and (resolved) constants:
+/// `Σ coeff_k · var_k + constant`. Coefficients are integers after parameter
+/// substitution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AffineExpr {
+    /// Coefficient per loop variable (indexed by nest depth).
+    pub coeffs: Vec<i64>,
+    pub constant: i64,
+}
+
+impl AffineExpr {
+    pub fn constant(dim: usize, c: i64) -> Self {
+        AffineExpr { coeffs: vec![0; dim], constant: c }
+    }
+
+    pub fn var(dim: usize, k: usize) -> Self {
+        let mut coeffs = vec![0; dim];
+        coeffs[k] = 1;
+        AffineExpr { coeffs, constant: 0 }
+    }
+
+    pub fn add(&self, other: &AffineExpr) -> Self {
+        AffineExpr {
+            coeffs: self.coeffs.iter().zip(&other.coeffs).map(|(a, b)| a + b).collect(),
+            constant: self.constant + other.constant,
+        }
+    }
+
+    pub fn sub(&self, other: &AffineExpr) -> Self {
+        AffineExpr {
+            coeffs: self.coeffs.iter().zip(&other.coeffs).map(|(a, b)| a - b).collect(),
+            constant: self.constant - other.constant,
+        }
+    }
+
+    pub fn scale(&self, s: i64) -> Self {
+        AffineExpr {
+            coeffs: self.coeffs.iter().map(|c| c * s).collect(),
+            constant: self.constant * s,
+        }
+    }
+
+    /// Evaluate at an iteration point.
+    pub fn eval(&self, j: &[i64]) -> i64 {
+        self.coeffs.iter().zip(j).map(|(&c, &v)| c * v).sum::<i64>() + self.constant
+    }
+
+    /// True iff the expression is exactly `var_k + constant`.
+    pub fn as_shifted_var(&self, k: usize) -> Option<i64> {
+        for (i, &c) in self.coeffs.iter().enumerate() {
+            let want = i64::from(i == k);
+            if c != want {
+                return None;
+            }
+        }
+        Some(self.constant)
+    }
+}
+
+/// A loop level: `for <var> = max(lo…) to min(hi…)`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Loop {
+    pub var: String,
+    /// Lower bounds — the effective bound is their maximum.
+    pub lowers: Vec<AffineExpr>,
+    /// Upper bounds — the effective bound is their minimum.
+    pub uppers: Vec<AffineExpr>,
+}
+
+/// A scalar expression node in the statement body.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// Floating constant.
+    Num(f64),
+    /// The value of loop variable `k` at the current iteration.
+    Coord(usize),
+    /// The `i`-th distinct uniform array read (dependence column `i`).
+    Read(usize),
+    Neg(Box<Expr>),
+    Add(Box<Expr>, Box<Expr>),
+    Sub(Box<Expr>, Box<Expr>),
+    Mul(Box<Expr>, Box<Expr>),
+    Div(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Render as a C expression: reads become `read[q]`, coordinates become
+    /// `(double)<coord>[k]` — matching the signature of the emitted
+    /// `kernel()`. `coord` names the iteration-coordinate array (use a
+    /// skew-inverted local when the program was skewed).
+    pub fn to_c(&self, coord: &str) -> String {
+        match self {
+            Expr::Num(v) => {
+                if v.fract() == 0.0 && v.abs() < 1e15 {
+                    format!("{v:.1}")
+                } else {
+                    format!("{v}")
+                }
+            }
+            Expr::Coord(k) => format!("(double){coord}[{k}]"),
+            Expr::Read(i) => format!("read[{i}]"),
+            Expr::Neg(e) => format!("(-{})", e.to_c(coord)),
+            Expr::Add(a, b) => format!("({} + {})", a.to_c(coord), b.to_c(coord)),
+            Expr::Sub(a, b) => format!("({} - {})", a.to_c(coord), b.to_c(coord)),
+            Expr::Mul(a, b) => format!("({} * {})", a.to_c(coord), b.to_c(coord)),
+            Expr::Div(a, b) => format!("({} / {})", a.to_c(coord), b.to_c(coord)),
+        }
+    }
+
+    /// Evaluate given the iteration point and the dependence reads.
+    pub fn eval(&self, j: &[i64], reads: &[f64]) -> f64 {
+        match self {
+            Expr::Num(v) => *v,
+            Expr::Coord(k) => j[*k] as f64,
+            Expr::Read(i) => reads[*i],
+            Expr::Neg(e) => -e.eval(j, reads),
+            Expr::Add(a, b) => a.eval(j, reads) + b.eval(j, reads),
+            Expr::Sub(a, b) => a.eval(j, reads) - b.eval(j, reads),
+            Expr::Mul(a, b) => a.eval(j, reads) * b.eval(j, reads),
+            Expr::Div(a, b) => a.eval(j, reads) / b.eval(j, reads),
+        }
+    }
+}
+
+/// A parsed program.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Program {
+    /// Array name (one array, per the paper's model).
+    pub array: String,
+    /// Loop levels, outermost first.
+    pub loops: Vec<Loop>,
+    /// Distinct dependence vectors, in first-occurrence order (columns of D).
+    pub deps: Vec<Vec<i64>>,
+    /// The statement body.
+    pub body: Expr,
+    /// Boundary expression (reads outside the space); `Num(0.0)` default.
+    pub boundary: Expr,
+    /// Optional skewing matrix rows.
+    pub skew: Option<Vec<Vec<i64>>>,
+}
+
+impl Program {
+    pub fn dim(&self) -> usize {
+        self.loops.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn affine_eval_and_ops() {
+        let a = AffineExpr { coeffs: vec![1, 2], constant: -3 };
+        assert_eq!(a.eval(&[5, 7]), 5 + 14 - 3);
+        let b = AffineExpr::var(2, 0);
+        assert_eq!(a.add(&b).eval(&[5, 7]), 21);
+        assert_eq!(a.sub(&b).eval(&[5, 7]), 11);
+        assert_eq!(a.scale(2).eval(&[5, 7]), 32);
+    }
+
+    #[test]
+    fn shifted_var_detection() {
+        let e = AffineExpr { coeffs: vec![0, 1, 0], constant: -2 };
+        assert_eq!(e.as_shifted_var(1), Some(-2));
+        assert_eq!(e.as_shifted_var(0), None);
+        let f = AffineExpr { coeffs: vec![0, 2, 0], constant: 0 };
+        assert_eq!(f.as_shifted_var(1), None);
+    }
+
+    #[test]
+    fn expr_to_c_renders_parenthesized() {
+        let e = Expr::Mul(
+            Box::new(Expr::Num(0.25)),
+            Box::new(Expr::Add(Box::new(Expr::Read(0)), Box::new(Expr::Coord(2)))),
+        );
+        assert_eq!(e.to_c("j"), "(0.25 * (read[0] + (double)j[2]))");
+        assert_eq!(Expr::Num(2.0).to_c("j"), "2.0");
+        assert_eq!(Expr::Neg(Box::new(Expr::Read(1))).to_c("jo"), "(-read[1])");
+    }
+
+    #[test]
+    fn expr_eval() {
+        // 0.5 * reads[0] + j[1] - 1
+        let e = Expr::Sub(
+            Box::new(Expr::Add(
+                Box::new(Expr::Mul(Box::new(Expr::Num(0.5)), Box::new(Expr::Read(0)))),
+                Box::new(Expr::Coord(1)),
+            )),
+            Box::new(Expr::Num(1.0)),
+        );
+        assert_eq!(e.eval(&[9, 4], &[6.0]), 0.5 * 6.0 + 4.0 - 1.0);
+    }
+}

@@ -1,0 +1,273 @@
+//! Tokenizer for the `tilecc` loop-nest language.
+//!
+//! The language mirrors the paper's program model (§2.1): parameters,
+//! a perfect FOR nest with affine `max`/`min` bounds, one single-assignment
+//! statement with uniform array references, and an optional boundary
+//! expression and skewing matrix.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Token {
+    /// Keyword: `param`, `for`, `to`, `skew`, `boundary`, `max`, `min`.
+    Keyword(Keyword),
+    /// Identifier (loop variable, parameter, or array name).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating-point literal.
+    Float(f64),
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Equals,
+    Comma,
+    Semicolon,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    /// End of one logical line.
+    Newline,
+    Eof,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Keyword {
+    Param,
+    For,
+    To,
+    Skew,
+    Boundary,
+    Max,
+    Min,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Keyword(k) => write!(f, "{k:?}"),
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Int(v) => write!(f, "{v}"),
+            Token::Float(v) => write!(f, "{v}"),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Star => write!(f, "*"),
+            Token::Slash => write!(f, "/"),
+            Token::Equals => write!(f, "="),
+            Token::Comma => write!(f, ","),
+            Token::Semicolon => write!(f, ";"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::LBracket => write!(f, "["),
+            Token::RBracket => write!(f, "]"),
+            Token::Newline => write!(f, "<newline>"),
+            Token::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// A token with its source line (1-based) for error reporting.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Spanned {
+    pub token: Token,
+    pub line: usize,
+}
+
+/// Lexing / parsing error.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParseError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Tokenize the whole input. `#` starts a comment until end of line; blank
+/// lines are collapsed; every non-empty line ends with a `Newline` token.
+pub fn tokenize(input: &str) -> Result<Vec<Spanned>, ParseError> {
+    let mut out = Vec::new();
+    for (lineno, raw) in input.lines().enumerate() {
+        let line = lineno + 1;
+        let text = match raw.find('#') {
+            Some(pos) => &raw[..pos],
+            None => raw,
+        };
+        let mut chars = text.char_indices().peekable();
+        let mut emitted = false;
+        while let Some(&(i, ch)) = chars.peek() {
+            match ch {
+                c if c.is_whitespace() => {
+                    chars.next();
+                }
+                c if c.is_ascii_digit() => {
+                    let mut end = i;
+                    let mut is_float = false;
+                    while let Some(&(j, c2)) = chars.peek() {
+                        if c2.is_ascii_digit() {
+                            end = j;
+                            chars.next();
+                        } else if c2 == '.'
+                            && text[j + 1..].chars().next().is_some_and(|n| n.is_ascii_digit())
+                        {
+                            is_float = true;
+                            end = j;
+                            chars.next();
+                        } else {
+                            break;
+                        }
+                    }
+                    let lit = &text[i..=end];
+                    let token = if is_float {
+                        Token::Float(lit.parse().map_err(|_| ParseError {
+                            line,
+                            message: format!("invalid float literal `{lit}`"),
+                        })?)
+                    } else {
+                        Token::Int(lit.parse().map_err(|_| ParseError {
+                            line,
+                            message: format!("invalid integer literal `{lit}`"),
+                        })?)
+                    };
+                    out.push(Spanned { token, line });
+                    emitted = true;
+                }
+                c if c.is_ascii_alphabetic() || c == '_' => {
+                    let mut end = i;
+                    while let Some(&(j, c2)) = chars.peek() {
+                        if c2.is_ascii_alphanumeric() || c2 == '_' {
+                            end = j;
+                            chars.next();
+                        } else {
+                            break;
+                        }
+                    }
+                    let word = &text[i..=end];
+                    let token = match word.to_ascii_lowercase().as_str() {
+                        "param" => Some(Token::Keyword(Keyword::Param)),
+                        "for" => Some(Token::Keyword(Keyword::For)),
+                        "to" => Some(Token::Keyword(Keyword::To)),
+                        "do" => None, // `do` is optional noise after a FOR
+                        "skew" => Some(Token::Keyword(Keyword::Skew)),
+                        "boundary" => Some(Token::Keyword(Keyword::Boundary)),
+                        "max" => Some(Token::Keyword(Keyword::Max)),
+                        "min" => Some(Token::Keyword(Keyword::Min)),
+                        _ => Some(Token::Ident(word.to_string())),
+                    };
+                    if let Some(token) = token {
+                        out.push(Spanned { token, line });
+                        emitted = true;
+                    }
+                }
+                _ => {
+                    chars.next();
+                    let token = match ch {
+                        '+' => Token::Plus,
+                        '-' => Token::Minus,
+                        '*' => Token::Star,
+                        '/' => Token::Slash,
+                        '=' => Token::Equals,
+                        ',' => Token::Comma,
+                        ';' => Token::Semicolon,
+                        '(' => Token::LParen,
+                        ')' => Token::RParen,
+                        '[' => Token::LBracket,
+                        ']' => Token::RBracket,
+                        other => {
+                            return Err(ParseError {
+                                line,
+                                message: format!("unexpected character `{other}`"),
+                            })
+                        }
+                    };
+                    out.push(Spanned { token, line });
+                    emitted = true;
+                }
+            }
+        }
+        if emitted {
+            out.push(Spanned { token: Token::Newline, line });
+        }
+    }
+    let last = out.last().map_or(1, |s| s.line);
+    out.push(Spanned { token: Token::Eof, line: last });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(input: &str) -> Vec<Token> {
+        tokenize(input).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn tokenizes_for_line() {
+        assert_eq!(
+            toks("for t = 1 to 10"),
+            vec![
+                Token::Keyword(Keyword::For),
+                Token::Ident("t".into()),
+                Token::Equals,
+                Token::Int(1),
+                Token::Keyword(Keyword::To),
+                Token::Int(10),
+                Token::Newline,
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let t = toks("# a comment\n\nparam N = 5 # trailing\n");
+        assert_eq!(
+            t,
+            vec![
+                Token::Keyword(Keyword::Param),
+                Token::Ident("N".into()),
+                Token::Equals,
+                Token::Int(5),
+                Token::Newline,
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn floats_and_operators() {
+        let t = toks("A[t,i] = 0.25*(A[t-1,i+1])");
+        assert!(t.contains(&Token::Float(0.25)));
+        assert!(t.contains(&Token::LBracket));
+        assert!(t.contains(&Token::Star));
+    }
+
+    #[test]
+    fn do_keyword_is_ignored() {
+        let t = toks("for t = 1 to 3 do");
+        assert!(!t.iter().any(|x| matches!(x, Token::Ident(s) if s == "do")));
+    }
+
+    #[test]
+    fn bad_character_errors_with_line() {
+        let e = tokenize("for t = 1 to 3\nA[t] = @").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains('@'));
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        let t = toks("FOR t = 1 TO 3");
+        assert_eq!(t[0], Token::Keyword(Keyword::For));
+        assert_eq!(t[4], Token::Keyword(Keyword::To));
+    }
+}

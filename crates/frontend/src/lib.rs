@@ -1,0 +1,32 @@
+//! # tilecc-frontend
+//!
+//! Textual frontend for the `tilecc` framework: parse loop nests written in
+//! a notation mirroring the paper's program model (§2.1) into executable
+//! [`Algorithm`](tilecc_loopnest::Algorithm) instances.
+//!
+//! ```text
+//! # Jacobi (paper §4.2), with its skewing matrix.
+//! param T = 50
+//! param N = 100
+//! skew = [1,0,0; 1,1,0; 1,0,1]
+//! for t = 1 to T
+//! for i = 1 to N
+//! for j = 1 to N
+//! A[t,i,j] = 0.25*(A[t-1,i-1,j] + A[t-1,i,j-1] + A[t-1,i+1,j] + A[t-1,i,j+1])
+//! boundary = 1.0
+//! ```
+//!
+//! [`compile`] parses, validates (perfect nest, affine `max`/`min` bounds,
+//! single assignment, uniform lexicographically-positive dependencies,
+//! identity write reference) and lowers into a `LoopNest` + interpreted
+//! kernel, applying the skewing matrix if present.
+
+pub mod ast;
+pub mod lexer;
+pub mod lower;
+pub mod parser;
+
+pub use ast::{AffineExpr, Expr, Loop, Program};
+pub use lexer::ParseError;
+pub use lower::{compile, lower};
+pub use parser::parse;

@@ -1,0 +1,638 @@
+//! Recursive-descent parser for the loop-nest language.
+//!
+//! Grammar (lines separated by newlines, `#` comments):
+//!
+//! ```text
+//! program   := { param | skew } loop+ statement [ boundary ]
+//! param     := "param" IDENT "=" INT
+//! skew      := "skew" "=" "[" row { ";" row } "]"        row := INT {"," INT}
+//! loop      := "for" IDENT "=" bound "to" bound [ "do" ]
+//! bound     := affine | ("max"|"min") "(" affine { "," affine } ")"
+//! affine    := term { ("+"|"-") term }
+//! term      := [INT "*"] (IDENT | INT)                    (params resolved)
+//! statement := IDENT "[" indices "]" "=" expr
+//! boundary  := "boundary" "=" expr
+//! expr      := arithmetic over numbers, loop vars, params and
+//!              IDENT "[" indices "]" reads with uniform offsets
+//! ```
+
+use crate::ast::{AffineExpr, Expr, Loop, Program};
+use crate::lexer::{tokenize, Keyword, ParseError, Spanned, Token};
+use std::collections::HashMap;
+
+pub struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+    params: HashMap<String, i64>,
+    loop_vars: Vec<String>,
+}
+
+type PResult<T> = Result<T, ParseError>;
+
+impl Parser {
+    fn err<T>(&self, message: impl Into<String>) -> PResult<T> {
+        Err(ParseError { line: self.peek().line, message: message.into() })
+    }
+
+    fn peek(&self) -> &Spanned {
+        &self.toks[self.pos]
+    }
+
+    fn next(&mut self) -> Spanned {
+        let t = self.toks[self.pos].clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, expected: &Token) -> PResult<()> {
+        let t = self.next();
+        if &t.token == expected {
+            Ok(())
+        } else {
+            Err(ParseError {
+                line: t.line,
+                message: format!("expected `{expected}`, found `{}`", t.token),
+            })
+        }
+    }
+
+    fn skip_newlines(&mut self) {
+        while self.peek().token == Token::Newline {
+            self.next();
+        }
+    }
+
+    fn eat_line_end(&mut self) -> PResult<()> {
+        match self.peek().token {
+            Token::Newline => {
+                self.next();
+                Ok(())
+            }
+            Token::Eof => Ok(()),
+            _ => self.err(format!("expected end of line, found `{}`", self.peek().token)),
+        }
+    }
+
+    // -- affine bound expressions ------------------------------------------
+
+    /// Parse `[INT *] (IDENT | INT)` and fold parameters.
+    fn affine_term(&mut self, dim: usize) -> PResult<AffineExpr> {
+        let t = self.next();
+        match t.token {
+            Token::Int(v) => {
+                if self.peek().token == Token::Star {
+                    self.next();
+                    let inner = self.affine_atom(dim)?;
+                    Ok(inner.scale(v))
+                } else {
+                    Ok(AffineExpr::constant(dim, v))
+                }
+            }
+            Token::Ident(name) => self.resolve_name(dim, &name, t.line),
+            other => Err(ParseError {
+                line: t.line,
+                message: format!("expected integer or identifier in bound, found `{other}`"),
+            }),
+        }
+    }
+
+    fn affine_atom(&mut self, dim: usize) -> PResult<AffineExpr> {
+        let t = self.next();
+        match t.token {
+            Token::Int(v) => Ok(AffineExpr::constant(dim, v)),
+            Token::Ident(name) => self.resolve_name(dim, &name, t.line),
+            other => Err(ParseError {
+                line: t.line,
+                message: format!("expected integer or identifier, found `{other}`"),
+            }),
+        }
+    }
+
+    fn resolve_name(&self, dim: usize, name: &str, line: usize) -> PResult<AffineExpr> {
+        if let Some(k) = self.loop_vars.iter().position(|v| v == name) {
+            Ok(AffineExpr::var(dim, k))
+        } else if let Some(&v) = self.params.get(name) {
+            Ok(AffineExpr::constant(dim, v))
+        } else {
+            Err(ParseError {
+                line,
+                message: format!("unknown name `{name}` (not a loop variable or param)"),
+            })
+        }
+    }
+
+    fn affine(&mut self, dim: usize) -> PResult<AffineExpr> {
+        let negate = if self.peek().token == Token::Minus {
+            self.next();
+            true
+        } else {
+            false
+        };
+        let mut acc = self.affine_term(dim)?;
+        if negate {
+            acc = acc.scale(-1);
+        }
+        loop {
+            match self.peek().token {
+                Token::Plus => {
+                    self.next();
+                    let rhs = self.affine_term(dim)?;
+                    acc = acc.add(&rhs);
+                }
+                Token::Minus => {
+                    self.next();
+                    let rhs = self.affine_term(dim)?;
+                    acc = acc.sub(&rhs);
+                }
+                _ => break,
+            }
+        }
+        Ok(acc)
+    }
+
+    /// `bound := affine | ("max"|"min") "(" affine {"," affine} ")"`.
+    fn bound(&mut self, dim: usize, lower: bool) -> PResult<Vec<AffineExpr>> {
+        match self.peek().token.clone() {
+            Token::Keyword(Keyword::Max) | Token::Keyword(Keyword::Min) => {
+                let kw = self.next();
+                let is_max = kw.token == Token::Keyword(Keyword::Max);
+                if is_max != lower {
+                    return Err(ParseError {
+                        line: kw.line,
+                        message: if lower {
+                            "lower bounds combine with max(…)".into()
+                        } else {
+                            "upper bounds combine with min(…)".into()
+                        },
+                    });
+                }
+                self.eat(&Token::LParen)?;
+                let mut out = vec![self.affine(dim)?];
+                while self.peek().token == Token::Comma {
+                    self.next();
+                    out.push(self.affine(dim)?);
+                }
+                self.eat(&Token::RParen)?;
+                Ok(out)
+            }
+            _ => Ok(vec![self.affine(dim)?]),
+        }
+    }
+
+    // -- body expressions ---------------------------------------------------
+
+    /// Parse the index list of an array reference and return the dependence
+    /// vector `d` such that the reference is `A[j − d]`.
+    fn reference_dep(&mut self, array: &str, line: usize) -> PResult<Vec<i64>> {
+        let dim = self.loop_vars.len();
+        self.eat(&Token::LBracket)?;
+        let mut d = Vec::with_capacity(dim);
+        for k in 0..dim {
+            if k > 0 {
+                self.eat(&Token::Comma)?;
+            }
+            let e = self.affine(dim)?;
+            match e.as_shifted_var(k) {
+                Some(shift) => d.push(-shift),
+                None => {
+                    return Err(ParseError {
+                        line,
+                        message: format!(
+                            "reference to `{array}` index {k} must be `{} ± const` \
+                             (uniform dependencies)",
+                            self.loop_vars[k]
+                        ),
+                    })
+                }
+            }
+        }
+        self.eat(&Token::RBracket)?;
+        Ok(d)
+    }
+
+    fn expr(&mut self, array: &str, deps: &mut Vec<Vec<i64>>, is_write_ref_ok: bool) -> PResult<Expr> {
+        let mut acc = self.expr_mul(array, deps, is_write_ref_ok)?;
+        loop {
+            match self.peek().token {
+                Token::Plus => {
+                    self.next();
+                    let rhs = self.expr_mul(array, deps, is_write_ref_ok)?;
+                    acc = Expr::Add(Box::new(acc), Box::new(rhs));
+                }
+                Token::Minus => {
+                    self.next();
+                    let rhs = self.expr_mul(array, deps, is_write_ref_ok)?;
+                    acc = Expr::Sub(Box::new(acc), Box::new(rhs));
+                }
+                _ => break,
+            }
+        }
+        Ok(acc)
+    }
+
+    fn expr_mul(&mut self, array: &str, deps: &mut Vec<Vec<i64>>, wr: bool) -> PResult<Expr> {
+        let mut acc = self.expr_atom(array, deps, wr)?;
+        loop {
+            match self.peek().token {
+                Token::Star => {
+                    self.next();
+                    let rhs = self.expr_atom(array, deps, wr)?;
+                    acc = Expr::Mul(Box::new(acc), Box::new(rhs));
+                }
+                Token::Slash => {
+                    self.next();
+                    let rhs = self.expr_atom(array, deps, wr)?;
+                    acc = Expr::Div(Box::new(acc), Box::new(rhs));
+                }
+                _ => break,
+            }
+        }
+        Ok(acc)
+    }
+
+    fn expr_atom(&mut self, array: &str, deps: &mut Vec<Vec<i64>>, wr: bool) -> PResult<Expr> {
+        let t = self.next();
+        match t.token {
+            Token::Int(v) => Ok(Expr::Num(v as f64)),
+            Token::Float(v) => Ok(Expr::Num(v)),
+            Token::Minus => {
+                let inner = self.expr_atom(array, deps, wr)?;
+                Ok(Expr::Neg(Box::new(inner)))
+            }
+            Token::LParen => {
+                let inner = self.expr(array, deps, wr)?;
+                self.eat(&Token::RParen)?;
+                Ok(inner)
+            }
+            Token::Ident(name) => {
+                if name == array {
+                    let d = self.reference_dep(array, t.line)?;
+                    if d.iter().all(|&x| x == 0) {
+                        return Err(ParseError {
+                            line: t.line,
+                            message: "a statement may not read the cell it writes".into(),
+                        });
+                    }
+                    if !tilecc_linalg::vecops::is_lex_positive(&d) {
+                        return Err(ParseError {
+                            line: t.line,
+                            message: format!(
+                                "dependence {d:?} is not lexicographically positive"
+                            ),
+                        });
+                    }
+                    let idx = match deps.iter().position(|x| x == &d) {
+                        Some(i) => i,
+                        None => {
+                            deps.push(d);
+                            deps.len() - 1
+                        }
+                    };
+                    Ok(Expr::Read(idx))
+                } else if let Some(k) = self.loop_vars.iter().position(|v| v == &name) {
+                    Ok(Expr::Coord(k))
+                } else if let Some(&v) = self.params.get(&name) {
+                    Ok(Expr::Num(v as f64))
+                } else {
+                    Err(ParseError {
+                        line: t.line,
+                        message: format!("unknown name `{name}` in expression"),
+                    })
+                }
+            }
+            other => Err(ParseError {
+                line: t.line,
+                message: format!("unexpected `{other}` in expression"),
+            }),
+        }
+    }
+
+    // -- top level ----------------------------------------------------------
+
+    fn parse_program(&mut self) -> PResult<Program> {
+        let mut skew: Option<Vec<Vec<i64>>> = None;
+
+        // Header: params and skew in any order.
+        loop {
+            self.skip_newlines();
+            match self.peek().token.clone() {
+                Token::Keyword(Keyword::Param) => {
+                    self.next();
+                    let t = self.next();
+                    let Token::Ident(name) = t.token else {
+                        return Err(ParseError { line: t.line, message: "expected parameter name".into() });
+                    };
+                    self.eat(&Token::Equals)?;
+                    let v = self.next();
+                    let value = match v.token {
+                        Token::Int(x) => x,
+                        Token::Minus => match self.next().token {
+                            Token::Int(x) => -x,
+                            _ => return Err(ParseError { line: v.line, message: "expected integer".into() }),
+                        },
+                        _ => return Err(ParseError { line: v.line, message: "expected integer".into() }),
+                    };
+                    self.params.insert(name, value);
+                    self.eat_line_end()?;
+                }
+                Token::Keyword(Keyword::Skew) => {
+                    self.next();
+                    self.eat(&Token::Equals)?;
+                    self.eat(&Token::LBracket)?;
+                    let mut rows = vec![];
+                    loop {
+                        let mut row = vec![self.int_lit()?];
+                        while self.peek().token == Token::Comma {
+                            self.next();
+                            row.push(self.int_lit()?);
+                        }
+                        rows.push(row);
+                        match self.next() {
+                            Spanned { token: Token::Semicolon, .. } => continue,
+                            Spanned { token: Token::RBracket, .. } => break,
+                            Spanned { line, token } => {
+                                return Err(ParseError {
+                                    line,
+                                    message: format!("expected `;` or `]`, found `{token}`"),
+                                })
+                            }
+                        }
+                    }
+                    skew = Some(rows);
+                    self.eat_line_end()?;
+                }
+                _ => break,
+            }
+        }
+
+        // Loop nest.
+        let mut loops: Vec<Loop> = vec![];
+        self.skip_newlines();
+        while self.peek().token == Token::Keyword(Keyword::For) {
+            self.next();
+            let t = self.next();
+            let Token::Ident(var) = t.token else {
+                return Err(ParseError { line: t.line, message: "expected loop variable".into() });
+            };
+            if self.loop_vars.contains(&var) {
+                return Err(ParseError {
+                    line: t.line,
+                    message: format!("duplicate loop variable `{var}`"),
+                });
+            }
+            self.loop_vars.push(var.clone());
+            loops.push(Loop { var: var.clone(), lowers: vec![], uppers: vec![] });
+            self.eat(&Token::Equals)?;
+            let depth = self.loop_vars.len(); // bounds parsed at current depth
+            let lowers = self.bound(depth, true)?;
+            self.eat(&Token::Keyword(Keyword::To))?;
+            let uppers = self.bound(depth, false)?;
+            // Bounds may only reference *outer* variables (paper §2.1).
+            for e in lowers.iter().chain(&uppers) {
+                if e.coeffs[depth - 1] != 0 {
+                    return Err(ParseError {
+                        line: t.line,
+                        message: format!("bounds of `{var}` may not reference `{var}` itself"),
+                    });
+                }
+            }
+            let lp = loops.last_mut().expect("just pushed");
+            lp.lowers = lowers;
+            lp.uppers = uppers;
+            self.eat_line_end()?;
+            self.skip_newlines();
+        }
+        if loops.is_empty() {
+            return self.err("program has no FOR loops");
+        }
+        let dim = loops.len();
+        // Re-pad bound expressions to the full nest depth.
+        for lp in &mut loops {
+            for e in lp.lowers.iter_mut().chain(lp.uppers.iter_mut()) {
+                e.coeffs.resize(dim, 0);
+            }
+        }
+
+        // Statement: `A[vars] = expr`.
+        self.skip_newlines();
+        let t = self.next();
+        let Token::Ident(array) = t.token else {
+            return Err(ParseError { line: t.line, message: "expected the array statement".into() });
+        };
+        // The write reference must be the identity `A[j_1, …, j_n]`.
+        self.eat(&Token::LBracket)?;
+        for k in 0..dim {
+            if k > 0 {
+                self.eat(&Token::Comma)?;
+            }
+            let tok = self.next();
+            match tok.token {
+                Token::Ident(ref v) if *v == self.loop_vars[k] => {}
+                other => {
+                    return Err(ParseError {
+                        line: tok.line,
+                        message: format!(
+                            "write reference index {k} must be `{}`, found `{other}`",
+                            self.loop_vars[k]
+                        ),
+                    })
+                }
+            }
+        }
+        self.eat(&Token::RBracket)?;
+        self.eat(&Token::Equals)?;
+        let mut deps: Vec<Vec<i64>> = vec![];
+        let body = self.expr(&array, &mut deps, false)?;
+        self.eat_line_end()?;
+
+        // Optional boundary.
+        self.skip_newlines();
+        let boundary = if self.peek().token == Token::Keyword(Keyword::Boundary) {
+            self.next();
+            self.eat(&Token::Equals)?;
+            // Boundary may use coordinates and constants, but no reads.
+            let mut no_deps = vec![];
+            let e = self.expr("\u{0}no-array\u{0}", &mut no_deps, false)?;
+            self.eat_line_end()?;
+            e
+        } else {
+            Expr::Num(0.0)
+        };
+
+        self.skip_newlines();
+        if self.peek().token != Token::Eof {
+            return self.err(format!("unexpected trailing `{}`", self.peek().token));
+        }
+        if deps.is_empty() {
+            return self.err("statement has no array reads: nothing to parallelize");
+        }
+        if let Some(rows) = &skew {
+            if rows.len() != dim || rows.iter().any(|r| r.len() != dim) {
+                return self.err(format!("skew matrix must be {dim}×{dim}"));
+            }
+        }
+        Ok(Program { array, loops, deps, body, boundary, skew })
+    }
+
+    fn int_lit(&mut self) -> PResult<i64> {
+        let t = self.next();
+        match t.token {
+            Token::Int(v) => Ok(v),
+            Token::Minus => match self.next().token {
+                Token::Int(v) => Ok(-v),
+                other => Err(ParseError {
+                    line: t.line,
+                    message: format!("expected integer, found `{other}`"),
+                }),
+            },
+            other => {
+                Err(ParseError { line: t.line, message: format!("expected integer, found `{other}`") })
+            }
+        }
+    }
+}
+
+/// Parse a program source into the AST.
+pub fn parse(input: &str) -> PResult<Program> {
+    let toks = tokenize(input)?;
+    let mut p = Parser { toks, pos: 0, params: HashMap::new(), loop_vars: vec![] };
+    p.parse_program()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const JACOBI: &str = r#"
+# Jacobi over a 3-D space.
+param T = 4
+param N = 6
+for t = 1 to T
+for i = 1 to N
+for j = 1 to N
+A[t,i,j] = 0.25*(A[t-1,i-1,j] + A[t-1,i,j-1] + A[t-1,i+1,j] + A[t-1,i,j+1])
+boundary = 1.5
+"#;
+
+    #[test]
+    fn parses_jacobi() {
+        let p = parse(JACOBI).unwrap();
+        assert_eq!(p.dim(), 3);
+        assert_eq!(p.array, "A");
+        assert_eq!(
+            p.deps,
+            vec![vec![1, 1, 0], vec![1, 0, 1], vec![1, -1, 0], vec![1, 0, -1]]
+        );
+        assert_eq!(p.boundary, Expr::Num(1.5));
+        assert!(p.skew.is_none());
+        // Bounds resolved: t in [1, 4].
+        assert_eq!(p.loops[0].lowers[0].eval(&[0, 0, 0]), 1);
+        assert_eq!(p.loops[0].uppers[0].eval(&[0, 0, 0]), 4);
+    }
+
+    #[test]
+    fn parses_affine_bounds_with_max_min() {
+        let src = r#"
+param N = 10
+for t = 1 to N
+for i = max(1, t - 2) to min(N, t + 2)
+A[t,i] = A[t-1,i] + 1
+"#;
+        let p = parse(src).unwrap();
+        assert_eq!(p.loops[1].lowers.len(), 2);
+        assert_eq!(p.loops[1].uppers.len(), 2);
+        // lower bound 2 is t − 2.
+        assert_eq!(p.loops[1].lowers[1].eval(&[7, 0]), 5);
+    }
+
+    #[test]
+    fn parses_skew_matrix() {
+        let src = r#"
+skew = [1,0,0; 1,1,0; 2,0,1]
+param M = 3
+for t = 1 to M
+for i = 1 to M
+for j = 1 to M
+A[t,i,j] = A[t-1,i,j] + A[t,i-1,j] + A[t,i,j-1]
+"#;
+        let p = parse(src).unwrap();
+        assert_eq!(p.skew, Some(vec![vec![1, 0, 0], vec![1, 1, 0], vec![2, 0, 1]]));
+    }
+
+    #[test]
+    fn duplicate_reads_share_a_dependence_column() {
+        let src = r#"
+for t = 1 to 3
+for i = 1 to 3
+A[t,i] = A[t-1,i] * A[t-1,i] + A[t-1,i-1]
+"#;
+        let p = parse(src).unwrap();
+        assert_eq!(p.deps.len(), 2);
+    }
+
+    #[test]
+    fn rejects_non_uniform_reference() {
+        let src = r#"
+for t = 1 to 3
+for i = 1 to 3
+A[t,i] = A[t-1,2*i]
+"#;
+        let e = parse(src).unwrap_err();
+        assert!(e.message.contains("uniform"), "{e}");
+    }
+
+    #[test]
+    fn rejects_lex_negative_dependence() {
+        let src = r#"
+for t = 1 to 3
+for i = 1 to 3
+A[t,i] = A[t+1,i]
+"#;
+        let e = parse(src).unwrap_err();
+        assert!(e.message.contains("lexicographically"), "{e}");
+    }
+
+    #[test]
+    fn rejects_self_read() {
+        let src = r#"
+for t = 1 to 3
+for i = 1 to 3
+A[t,i] = A[t,i]
+"#;
+        assert!(parse(src).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_write_reference() {
+        let src = r#"
+for t = 1 to 3
+for i = 1 to 3
+A[i,t] = A[t-1,i]
+"#;
+        assert!(parse(src).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_identifier() {
+        let src = r#"
+for t = 1 to Q
+A[t] = A[t-1]
+"#;
+        let e = parse(src).unwrap_err();
+        assert!(e.message.contains("unknown name"), "{e}");
+    }
+
+    #[test]
+    fn body_may_use_coordinates_and_params() {
+        let src = r#"
+param C = 7
+for t = 1 to 3
+for i = 1 to 3
+A[t,i] = A[t-1,i] + 0.5*t + C
+"#;
+        let p = parse(src).unwrap();
+        assert_eq!(p.body.eval(&[2, 1], &[1.0]), 1.0 + 0.5 * 2.0 + 7.0);
+    }
+}

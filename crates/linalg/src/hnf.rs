@@ -1,0 +1,196 @@
+//! Column-style Hermite Normal Form.
+//!
+//! The paper derives the strides `c_k` and incremental offsets `a_kl` of the
+//! loops traversing the Transformed Tile Iteration Space (TTIS) directly from
+//! the (column-style) Hermite Normal Form `H̃'` of the integralized tiling
+//! transformation `H' = V·H`:  `c_k = h̃'_kk` and `a_kl = h̃'_kl` (§2.3).
+//!
+//! For a non-singular integer matrix `A`, the column-style HNF is the unique
+//! matrix `H = A·U` with `U` unimodular, `H` **lower triangular** with
+//! positive diagonal, and every entry left of the diagonal reduced modulo the
+//! diagonal of its row: `0 ≤ h_kl < h_kk` for `l < k`. `H` spans the same
+//! column lattice as `A` — exactly the lattice of TTIS points.
+
+use crate::imat::IMat;
+
+/// Result of a Hermite Normal Form computation: `a · unimodular = hnf`.
+#[derive(Clone, Debug)]
+pub struct HnfResult {
+    /// The lower-triangular Hermite Normal Form.
+    pub hnf: IMat,
+    /// The unimodular column-operation witness (determinant ±1).
+    pub unimodular: IMat,
+}
+
+/// Compute the column-style Hermite Normal Form of a non-singular square
+/// integer matrix.
+///
+/// # Panics
+/// Panics if `a` is not square or is singular.
+pub fn column_hnf(a: &IMat) -> HnfResult {
+    assert!(a.is_square(), "HNF requires a square matrix");
+    let n = a.rows();
+    assert!(a.det() != 0, "HNF of a singular matrix is not supported");
+    let mut h = a.clone();
+    let mut u = IMat::identity(n);
+
+    // Column operation helpers (applied to both h and u to maintain a·u = h).
+    let add_col = |m: &mut IMat, dst: usize, src: usize, factor: i64| {
+        for i in 0..m.rows() {
+            let v = m[(i, src)].checked_mul(factor).expect("hnf overflow");
+            m[(i, dst)] = m[(i, dst)].checked_add(v).expect("hnf overflow");
+        }
+    };
+    let swap_col = |m: &mut IMat, x: usize, y: usize| {
+        for i in 0..m.rows() {
+            let t = m[(i, x)];
+            m[(i, x)] = m[(i, y)];
+            m[(i, y)] = t;
+        }
+    };
+    let negate_col = |m: &mut IMat, c: usize| {
+        for i in 0..m.rows() {
+            m[(i, c)] = -m[(i, c)];
+        }
+    };
+
+    for k in 0..n {
+        // Eliminate h[k][j] for j > k with Euclidean column reductions.
+        loop {
+            // Pick the column in k..n with the smallest non-zero |h[k][j]|.
+            let mut best: Option<(usize, i64)> = None;
+            for j in k..n {
+                let v = h[(k, j)];
+                if v != 0 && best.is_none_or(|(_, bv)| v.abs() < bv.abs()) {
+                    best = Some((j, v));
+                }
+            }
+            let (jmin, _) = best.expect("singular matrix encountered during HNF");
+            if jmin != k {
+                swap_col(&mut h, k, jmin);
+                swap_col(&mut u, k, jmin);
+            }
+            let pivot = h[(k, k)];
+            let mut done = true;
+            for j in k + 1..n {
+                let v = h[(k, j)];
+                if v == 0 {
+                    continue;
+                }
+                // Floor quotient keeps the remainder in [0, |pivot|).
+                let q = v.div_euclid(pivot);
+                add_col(&mut h, j, k, -q);
+                add_col(&mut u, j, k, -q);
+                if h[(k, j)] != 0 {
+                    done = false;
+                }
+            }
+            if done {
+                break;
+            }
+        }
+        if h[(k, k)] < 0 {
+            negate_col(&mut h, k);
+            negate_col(&mut u, k);
+        }
+        // Reduce the entries left of the diagonal: 0 ≤ h[k][j] < h[k][k].
+        let pivot = h[(k, k)];
+        for j in 0..k {
+            let q = h[(k, j)].div_euclid(pivot);
+            if q != 0 {
+                add_col(&mut h, j, k, -q);
+                add_col(&mut u, j, k, -q);
+            }
+        }
+    }
+
+    debug_assert_eq!(a.mul(&u), h, "HNF witness invariant violated");
+    HnfResult { hnf: h, unimodular: u }
+}
+
+/// Check the structural HNF invariants (used by tests and property checks).
+pub fn is_column_hnf(h: &IMat) -> bool {
+    if !h.is_square() {
+        return false;
+    }
+    let n = h.rows();
+    for i in 0..n {
+        if h[(i, i)] <= 0 {
+            return false;
+        }
+        for j in i + 1..n {
+            if h[(i, j)] != 0 {
+                return false;
+            }
+        }
+        for j in 0..i {
+            if h[(i, j)] < 0 || h[(i, j)] >= h[(i, i)] {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hnf_of_identity_is_identity() {
+        let r = column_hnf(&IMat::identity(3));
+        assert_eq!(r.hnf, IMat::identity(3));
+        assert_eq!(r.unimodular, IMat::identity(3));
+    }
+
+    #[test]
+    fn hnf_of_diagonal_with_negative_entries() {
+        let a = IMat::diag(&[2, -3, 5]);
+        let r = column_hnf(&a);
+        assert_eq!(r.hnf, IMat::diag(&[2, 3, 5]));
+        assert!(is_column_hnf(&r.hnf));
+        assert_eq!(r.unimodular.det().abs(), 1);
+    }
+
+    #[test]
+    fn hnf_witness_and_shape() {
+        let a = IMat::from_rows(&[&[3, 1, 0], &[-1, 4, 2], &[5, 0, 7]]);
+        let r = column_hnf(&a);
+        assert!(is_column_hnf(&r.hnf));
+        assert_eq!(r.unimodular.det().abs(), 1);
+        assert_eq!(a.mul(&r.unimodular), r.hnf);
+        // |det| is preserved by unimodular column ops.
+        assert_eq!(r.hnf.det().abs(), a.det().abs());
+    }
+
+    #[test]
+    fn hnf_of_paper_sor_hprime() {
+        // SOR non-rectangular tiling with x=y=z=2:
+        // H' = V·H = diag(2,2,2)·[[1/2,0,0],[0,1/2,0],[-1/2,0,1/2]]
+        //    = [[1,0,0],[0,1,0],[-1,0,1]].
+        let hp = IMat::from_rows(&[&[1, 0, 0], &[0, 1, 0], &[-1, 0, 1]]);
+        let r = column_hnf(&hp);
+        // Already lower triangular with positive diagonal, but the (-1) entry
+        // must be reduced into [0, 1): column op adds column 3 to column 1.
+        assert!(is_column_hnf(&r.hnf));
+        assert_eq!(r.hnf, IMat::from_rows(&[&[1, 0, 0], &[0, 1, 0], &[0, 0, 1]]));
+    }
+
+    #[test]
+    fn hnf_strides_for_skewed_lattice() {
+        // A lattice with a genuine non-unit stride: H' = [[2,1],[0,2]].
+        let hp = IMat::from_rows(&[&[2, 1], &[0, 2]]);
+        let r = column_hnf(&hp);
+        assert!(is_column_hnf(&r.hnf));
+        assert_eq!(r.hnf.det(), 4);
+        // c_1 = h̃'_11, c_2 = h̃'_22 per the paper's stride formula.
+        assert_eq!(r.hnf[(0, 0)], 1);
+        assert_eq!(r.hnf[(1, 1)], 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "singular")]
+    fn hnf_rejects_singular() {
+        let _ = column_hnf(&IMat::from_rows(&[&[1, 2], &[2, 4]]));
+    }
+}

@@ -1,0 +1,311 @@
+//! Dense rational matrices with exact Gauss–Jordan inversion and solving.
+//!
+//! The tiling transformation `H` and its dual `P = H⁻¹` have rational entries
+//! (`H` rows are `1/x`-scaled normals); all geometric reasoning in the
+//! pipeline is exact, so these matrices use [`Rational`] entries throughout.
+
+use crate::imat::IMat;
+use crate::rational::{lcm_i128, Rational};
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense `rows × cols` rational matrix, row-major.
+#[derive(Clone, PartialEq, Eq)]
+pub struct RMat {
+    rows: usize,
+    cols: usize,
+    data: Vec<Rational>,
+}
+
+impl RMat {
+    /// Zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        RMat { rows, cols, data: vec![Rational::ZERO; rows * cols] }
+    }
+
+    /// Identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = RMat::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = Rational::ONE;
+        }
+        m
+    }
+
+    /// Build a matrix by evaluating `f(i, j)` at every position.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> Rational) -> Self {
+        let mut m = RMat::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                m[(i, j)] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// Build from rows of `(num, den)` pairs — convenient for writing the
+    /// paper's `H` matrices literally, e.g. `[[(1,x),(0,1),(0,1)], …]`.
+    pub fn from_fractions(rows: &[&[(i64, i64)]]) -> Self {
+        assert!(!rows.is_empty() && !rows[0].is_empty(), "empty matrix");
+        let cols = rows[0].len();
+        RMat::from_fn(rows.len(), cols, |i, j| {
+            let (n, d) = rows[i][j];
+            Rational::new(n as i128, d as i128)
+        })
+    }
+
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[Rational] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Matrix product.
+    pub fn mul(&self, rhs: &RMat) -> RMat {
+        assert_eq!(self.cols, rhs.rows, "dimension mismatch in matrix product");
+        RMat::from_fn(self.rows, rhs.cols, |i, j| {
+            let mut acc = Rational::ZERO;
+            for k in 0..self.cols {
+                acc += self[(i, k)] * rhs[(k, j)];
+            }
+            acc
+        })
+    }
+
+    /// Matrix–vector product over rationals.
+    pub fn mul_vec(&self, v: &[Rational]) -> Vec<Rational> {
+        assert_eq!(self.cols, v.len(), "dimension mismatch");
+        (0..self.rows)
+            .map(|i| {
+                let mut acc = Rational::ZERO;
+                for k in 0..self.cols {
+                    acc += self[(i, k)] * v[k];
+                }
+                acc
+            })
+            .collect()
+    }
+
+    /// Matrix–vector product with an integer vector.
+    pub fn mul_ivec(&self, v: &[i64]) -> Vec<Rational> {
+        let rv: Vec<Rational> = v.iter().map(|&x| Rational::from_int(x)).collect();
+        self.mul_vec(&rv)
+    }
+
+    /// Exact determinant by Gaussian elimination.
+    pub fn det(&self) -> Rational {
+        assert_eq!(self.rows, self.cols, "determinant of non-square matrix");
+        let n = self.rows;
+        let mut a = self.clone();
+        let mut det = Rational::ONE;
+        for k in 0..n {
+            // Partial pivot: any non-zero entry works since arithmetic is exact.
+            let Some(p) = (k..n).find(|&p| !a[(p, k)].is_zero()) else {
+                return Rational::ZERO;
+            };
+            if p != k {
+                for j in 0..n {
+                    let tmp = a[(k, j)];
+                    a[(k, j)] = a[(p, j)];
+                    a[(p, j)] = tmp;
+                }
+                det = -det;
+            }
+            det = det * a[(k, k)];
+            let inv = a[(k, k)].recip();
+            for i in k + 1..n {
+                let factor = a[(i, k)] * inv;
+                if factor.is_zero() {
+                    continue;
+                }
+                for j in k..n {
+                    let v = a[(i, j)] - factor * a[(k, j)];
+                    a[(i, j)] = v;
+                }
+            }
+        }
+        det
+    }
+
+    /// Exact inverse by Gauss–Jordan elimination.
+    ///
+    /// # Panics
+    /// Panics if the matrix is singular or not square.
+    pub fn inverse(&self) -> RMat {
+        assert_eq!(self.rows, self.cols, "inverse of non-square matrix");
+        let n = self.rows;
+        let mut a = self.clone();
+        let mut inv = RMat::identity(n);
+        for k in 0..n {
+            let p = (k..n)
+                .find(|&p| !a[(p, k)].is_zero())
+                .expect("singular matrix has no inverse");
+            if p != k {
+                for j in 0..n {
+                    let (x, y) = (a[(k, j)], a[(p, j)]);
+                    a[(k, j)] = y;
+                    a[(p, j)] = x;
+                    let (x, y) = (inv[(k, j)], inv[(p, j)]);
+                    inv[(k, j)] = y;
+                    inv[(p, j)] = x;
+                }
+            }
+            let piv = a[(k, k)].recip();
+            for j in 0..n {
+                a[(k, j)] = a[(k, j)] * piv;
+                inv[(k, j)] = inv[(k, j)] * piv;
+            }
+            for i in 0..n {
+                if i == k || a[(i, k)].is_zero() {
+                    continue;
+                }
+                let factor = a[(i, k)];
+                for j in 0..n {
+                    let av = a[(i, j)] - factor * a[(k, j)];
+                    a[(i, j)] = av;
+                    let iv = inv[(i, j)] - factor * inv[(k, j)];
+                    inv[(i, j)] = iv;
+                }
+            }
+        }
+        inv
+    }
+
+    /// Smallest positive integer `s` such that `s · row_i` is integral, for
+    /// each row — the diagonal of the paper's matrix `V` with `H' = V·H`.
+    pub fn row_denominator_lcms(&self) -> Vec<i64> {
+        (0..self.rows)
+            .map(|i| {
+                let l = self
+                    .row(i)
+                    .iter()
+                    .fold(1i128, |acc, r| lcm_i128(acc, r.den()));
+                i64::try_from(l).expect("row denominator lcm exceeds i64")
+            })
+            .collect()
+    }
+
+    /// Convert to an integer matrix.
+    ///
+    /// # Panics
+    /// Panics if any entry is not an integer.
+    pub fn to_imat(&self) -> IMat {
+        let mut m = IMat::zeros(self.rows, self.cols);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                m[(i, j)] = self[(i, j)].to_integer();
+            }
+        }
+        m
+    }
+
+    /// True iff every entry is an integer.
+    pub fn is_integral(&self) -> bool {
+        self.data.iter().all(|r| r.is_integer())
+    }
+}
+
+impl Index<(usize, usize)> for RMat {
+    type Output = Rational;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &Rational {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for RMat {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut Rational {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Debug for RMat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "RMat {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows {
+            write!(f, "  [")?;
+            for j in 0..self.cols {
+                write!(f, "{} ", self[(i, j)])?;
+            }
+            writeln!(f, "]")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i128, d: i128) -> Rational {
+        Rational::new(n, d)
+    }
+
+    #[test]
+    fn inverse_of_identity_is_identity() {
+        let i = RMat::identity(3);
+        assert_eq!(i.inverse(), i);
+    }
+
+    #[test]
+    fn inverse_round_trip() {
+        let h = RMat::from_fractions(&[&[(1, 4), (0, 1), (0, 1)], &[(0, 1), (1, 3), (0, 1)], &[(-1, 5), (0, 1), (1, 5)]]);
+        let p = h.inverse();
+        assert_eq!(h.mul(&p), RMat::identity(3));
+        assert_eq!(p.mul(&h), RMat::identity(3));
+    }
+
+    #[test]
+    fn det_matches_product_relation() {
+        let a = RMat::from_fractions(&[&[(1, 2), (1, 3)], &[(1, 4), (1, 5)]]);
+        let b = RMat::from_fractions(&[&[(2, 1), (0, 1)], &[(1, 1), (3, 1)]]);
+        assert_eq!(a.mul(&b).det(), a.det() * b.det());
+        assert_eq!(a.det(), r(1, 10) - r(1, 12));
+    }
+
+    #[test]
+    fn det_singular_is_zero() {
+        let a = RMat::from_fractions(&[&[(1, 1), (2, 1)], &[(2, 1), (4, 1)]]);
+        assert_eq!(a.det(), Rational::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "singular")]
+    fn inverse_of_singular_panics() {
+        let a = RMat::from_fractions(&[&[(1, 1), (2, 1)], &[(2, 1), (4, 1)]]);
+        let _ = a.inverse();
+    }
+
+    #[test]
+    fn row_denominator_lcms_give_v_matrix() {
+        // Paper §4.1: H_nr = [[1/x,0,0],[0,1/y,0],[-1/z,0,1/z]] with x=4,y=3,z=5.
+        let h = RMat::from_fractions(&[&[(1, 4), (0, 1), (0, 1)], &[(0, 1), (1, 3), (0, 1)], &[(-1, 5), (0, 1), (1, 5)]]);
+        assert_eq!(h.row_denominator_lcms(), vec![4, 3, 5]);
+    }
+
+    #[test]
+    fn tile_size_is_inverse_det() {
+        // |det(P)| = 1/|det(H)| = x*y*z for the SOR non-rectangular tiling.
+        let h = RMat::from_fractions(&[&[(1, 4), (0, 1), (0, 1)], &[(0, 1), (1, 3), (0, 1)], &[(-1, 5), (0, 1), (1, 5)]]);
+        let p = h.inverse();
+        assert_eq!(p.det().abs(), r(60, 1));
+    }
+
+    #[test]
+    fn mul_ivec_exact() {
+        let h = RMat::from_fractions(&[&[(1, 2), (0, 1)], &[(-1, 3), (1, 3)]]);
+        let out = h.mul_ivec(&[4, 7]);
+        assert_eq!(out, vec![r(2, 1), r(1, 1)]);
+    }
+}

@@ -1,0 +1,221 @@
+//! Smith Normal Form of integer matrices.
+//!
+//! For a non-singular integer matrix `A`, computes unimodular `U`, `V` with
+//! `U·A·V = S`, `S = diag(s_1, …, s_n)`, `s_i > 0` and `s_i | s_{i+1}`.
+//! The invariant factors characterize the quotient group `Zⁿ / A·Zⁿ` —
+//! e.g. the number of integer points per TTIS lattice cell is `Π s_i`
+//! (`= |det A|`), and the factor structure tells how the lattice sits in
+//! `Zⁿ` independently of any basis choice. Used by tests to cross-validate
+//! the Hermite-based lattice machinery.
+
+use crate::imat::IMat;
+
+/// Result of a Smith Normal Form computation: `u · a · v = s`.
+#[derive(Clone, Debug)]
+pub struct SnfResult {
+    /// Diagonal matrix of invariant factors.
+    pub s: IMat,
+    /// Left unimodular transform (row operations).
+    pub u: IMat,
+    /// Right unimodular transform (column operations).
+    pub v: IMat,
+}
+
+impl SnfResult {
+    /// The invariant factors `s_1 | s_2 | … | s_n`.
+    pub fn invariant_factors(&self) -> Vec<i64> {
+        (0..self.s.rows()).map(|i| self.s[(i, i)]).collect()
+    }
+}
+
+/// Compute the Smith Normal Form of a non-singular square integer matrix.
+///
+/// # Panics
+/// Panics if the matrix is not square or is singular, or on arithmetic
+/// overflow (the pipeline's matrices are tiny).
+pub fn smith_normal_form(a: &IMat) -> SnfResult {
+    assert!(a.is_square(), "SNF requires a square matrix");
+    let n = a.rows();
+    assert!(a.det() != 0, "SNF of a singular matrix is not supported here");
+    let mut s = a.clone();
+    let mut u = IMat::identity(n);
+    let mut v = IMat::identity(n);
+
+    let add_row = |m: &mut IMat, dst: usize, src: usize, f: i64| {
+        for j in 0..m.cols() {
+            let x = m[(src, j)].checked_mul(f).expect("snf overflow");
+            m[(dst, j)] = m[(dst, j)].checked_add(x).expect("snf overflow");
+        }
+    };
+    let add_col = |m: &mut IMat, dst: usize, src: usize, f: i64| {
+        for i in 0..m.rows() {
+            let x = m[(i, src)].checked_mul(f).expect("snf overflow");
+            m[(i, dst)] = m[(i, dst)].checked_add(x).expect("snf overflow");
+        }
+    };
+    let swap_rows = |m: &mut IMat, x: usize, y: usize| {
+        for j in 0..m.cols() {
+            let t = m[(x, j)];
+            m[(x, j)] = m[(y, j)];
+            m[(y, j)] = t;
+        }
+    };
+    let swap_cols = |m: &mut IMat, x: usize, y: usize| {
+        for i in 0..m.rows() {
+            let t = m[(i, x)];
+            m[(i, x)] = m[(i, y)];
+            m[(i, y)] = t;
+        }
+    };
+
+    for k in 0..n {
+        loop {
+            // Move the smallest non-zero entry of the trailing block to (k,k).
+            let mut best: Option<(usize, usize, i64)> = None;
+            for i in k..n {
+                for j in k..n {
+                    let x = s[(i, j)];
+                    if x != 0 && best.is_none_or(|(_, _, b)| x.abs() < b.abs()) {
+                        best = Some((i, j, x));
+                    }
+                }
+            }
+            let (bi, bj, _) = best.expect("singular block in SNF");
+            if bi != k {
+                swap_rows(&mut s, k, bi);
+                swap_rows(&mut u, k, bi);
+            }
+            if bj != k {
+                swap_cols(&mut s, k, bj);
+                swap_cols(&mut v, k, bj);
+            }
+            let pivot = s[(k, k)];
+            // Reduce the rest of row k and column k.
+            let mut dirty = false;
+            for i in k + 1..n {
+                if s[(i, k)] != 0 {
+                    let q = s[(i, k)].div_euclid(pivot);
+                    add_row(&mut s, i, k, -q);
+                    add_row(&mut u, i, k, -q);
+                    if s[(i, k)] != 0 {
+                        dirty = true;
+                    }
+                }
+            }
+            for j in k + 1..n {
+                if s[(k, j)] != 0 {
+                    let q = s[(k, j)].div_euclid(pivot);
+                    add_col(&mut s, j, k, -q);
+                    add_col(&mut v, j, k, -q);
+                    if s[(k, j)] != 0 {
+                        dirty = true;
+                    }
+                }
+            }
+            if dirty {
+                continue;
+            }
+            // Row k and column k are clear; enforce divisibility: if some
+            // trailing entry is not divisible by the pivot, fold its row in
+            // and restart this k.
+            let mut fixed = true;
+            'scan: for i in k + 1..n {
+                for j in k + 1..n {
+                    if s[(i, j)] % pivot != 0 {
+                        add_row(&mut s, k, i, 1);
+                        add_row(&mut u, k, i, 1);
+                        fixed = false;
+                        break 'scan;
+                    }
+                }
+            }
+            if fixed {
+                break;
+            }
+        }
+        if s[(k, k)] < 0 {
+            for j in 0..n {
+                s[(k, j)] = -s[(k, j)];
+                u[(k, j)] = -u[(k, j)];
+            }
+        }
+    }
+
+    debug_assert_eq!(u.mul(a).mul(&v), s, "SNF invariant violated");
+    SnfResult { s, u, v }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(a: &IMat) {
+        let r = smith_normal_form(a);
+        // Witness identity.
+        assert_eq!(r.u.mul(a).mul(&r.v), r.s);
+        // Unimodular transforms.
+        assert_eq!(r.u.det().abs(), 1);
+        assert_eq!(r.v.det().abs(), 1);
+        // Diagonal, positive, divisibility chain, |det| preserved.
+        let n = a.rows();
+        let mut prod = 1i64;
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    assert_eq!(r.s[(i, j)], 0, "not diagonal");
+                }
+            }
+            assert!(r.s[(i, i)] > 0);
+            prod *= r.s[(i, i)];
+            if i + 1 < n {
+                assert_eq!(r.s[(i + 1, i + 1)] % r.s[(i, i)], 0, "divisibility chain");
+            }
+        }
+        assert_eq!(prod, a.det().abs());
+    }
+
+    #[test]
+    fn snf_of_identity() {
+        let r = smith_normal_form(&IMat::identity(3));
+        assert_eq!(r.invariant_factors(), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn snf_of_diagonal_reorders_to_divisibility() {
+        // diag(4, 6) has invariant factors (2, 12), not (4, 6).
+        let r = smith_normal_form(&IMat::diag(&[4, 6]));
+        assert_eq!(r.invariant_factors(), vec![2, 12]);
+        check(&IMat::diag(&[4, 6]));
+    }
+
+    #[test]
+    fn snf_of_assorted_matrices() {
+        for a in [
+            IMat::from_rows(&[&[2, 1], &[0, 2]]),
+            IMat::from_rows(&[&[3, 1, -2], &[-1, 4, 2], &[5, 0, 7]]),
+            IMat::from_rows(&[&[1, 0, 0], &[0, 1, 0], &[-1, 0, 1]]),
+            IMat::from_rows(&[&[6, 4], &[4, 6]]),
+            IMat::diag(&[2, -3, 5]),
+        ] {
+            check(&a);
+        }
+    }
+
+    #[test]
+    fn unimodular_matrices_have_trivial_factors() {
+        let t = IMat::from_rows(&[&[1, 0, 0], &[1, 1, 0], &[2, 0, 1]]);
+        let r = smith_normal_form(&t);
+        assert_eq!(r.invariant_factors(), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn lattice_index_equals_product_of_factors() {
+        // Cross-check against the Hermite-based lattice index.
+        use crate::lattice::Lattice;
+        let a = IMat::from_rows(&[&[2, 1, 0], &[0, 3, 1], &[0, 0, 2]]);
+        let lat = Lattice::from_columns(&a);
+        let r = smith_normal_form(&a);
+        let prod: i64 = r.invariant_factors().iter().product();
+        assert_eq!(prod, lat.index());
+    }
+}

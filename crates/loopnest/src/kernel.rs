@@ -1,0 +1,252 @@
+//! Kernel semantics and the sequential reference executor.
+//!
+//! A [`Kernel`] provides the single-assignment statement body of the paper's
+//! model: `A[j] := F(A[j − d_1], …, A[j − d_q])`. The dependence *order* is
+//! fixed by the nest's dependence matrix columns; `reads[i]` is the value at
+//! `j − d_i`. Reads that fall outside the iteration space take the kernel's
+//! deterministic `initial` value (the algorithm's boundary conditions).
+//!
+//! The paper notes its single-statement/single-array model is "only a
+//! notational restriction". [`MultiKernel`] lifts it: each iteration point
+//! carries `width` components (one per written array), every dependence read
+//! delivers all components of the source point, and the body computes all
+//! components at once — enough to express e.g. the real ADI integration
+//! with its `X` and `B` arrays (Table 3).
+
+use crate::data::DataSpace;
+use crate::nest::LoopNest;
+use std::sync::Arc;
+use tilecc_linalg::IMat;
+
+/// Scalar (single-array) loop-body semantics.
+pub trait Kernel: Send + Sync {
+    /// Compute the value written at iteration `j`. `reads[i]` is the value of
+    /// `A[j − d_i]` for the `i`-th column of the nest's dependence matrix.
+    fn compute(&self, j: &[i64], reads: &[f64]) -> f64;
+
+    /// Boundary value for points outside the iteration space.
+    fn initial(&self, j: &[i64]) -> f64;
+}
+
+/// Multi-array loop-body semantics: `width` components per iteration point.
+/// `reads` is laid out dependence-major: component `c` of dependence `q` is
+/// `reads[q*width + c]`.
+pub trait MultiKernel: Send + Sync {
+    /// Number of components (written arrays).
+    fn width(&self) -> usize;
+
+    /// Compute all components written at iteration `j` into `out`
+    /// (`out.len() == width`).
+    fn compute(&self, j: &[i64], reads: &[f64], out: &mut [f64]);
+
+    /// Boundary components for points outside the iteration space.
+    fn initial(&self, j: &[i64], out: &mut [f64]);
+}
+
+/// Adapter: every scalar [`Kernel`] is a width-1 [`MultiKernel`].
+struct ScalarKernel(Arc<dyn Kernel>);
+
+impl MultiKernel for ScalarKernel {
+    fn width(&self) -> usize {
+        1
+    }
+
+    fn compute(&self, j: &[i64], reads: &[f64], out: &mut [f64]) {
+        out[0] = self.0.compute(j, reads);
+    }
+
+    fn initial(&self, j: &[i64], out: &mut [f64]) {
+        out[0] = self.0.initial(j);
+    }
+}
+
+/// A nest paired with its body: a complete algorithm instance.
+#[derive(Clone)]
+pub struct Algorithm {
+    pub name: String,
+    pub nest: LoopNest,
+    pub kernel: Arc<dyn MultiKernel>,
+}
+
+impl std::fmt::Debug for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Algorithm")
+            .field("name", &self.name)
+            .field("dim", &self.nest.dim())
+            .field("width", &self.kernel.width())
+            .field("deps", self.nest.deps())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Algorithm {
+    /// Build an algorithm from a scalar (single-array) kernel.
+    pub fn new(name: impl Into<String>, nest: LoopNest, kernel: Arc<dyn Kernel>) -> Self {
+        Algorithm { name: name.into(), nest, kernel: Arc::new(ScalarKernel(kernel)) }
+    }
+
+    /// Build an algorithm from a multi-array kernel.
+    pub fn new_multi(
+        name: impl Into<String>,
+        nest: LoopNest,
+        kernel: Arc<dyn MultiKernel>,
+    ) -> Self {
+        assert!(kernel.width() >= 1);
+        Algorithm { name: name.into(), nest, kernel }
+    }
+
+    /// Components per iteration point.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.kernel.width()
+    }
+
+    /// Skew the algorithm by the unimodular matrix `T`. The kernel is
+    /// wrapped so that boundary values (and any coordinate-dependent
+    /// coefficients) are still evaluated in the *original* coordinates.
+    pub fn skewed(&self, t: &IMat) -> Algorithm {
+        let nest = self.nest.skew(t);
+        let t_inv = t.inverse().to_imat();
+        let kernel = Arc::new(SkewedKernel { inner: self.kernel.clone(), t_inv });
+        Algorithm {
+            name: format!("{}-skewed", self.name),
+            nest,
+            kernel,
+        }
+    }
+
+    /// Reference execution: scan `J^n` lexicographically (legal because all
+    /// dependence vectors are lexicographically positive) and evaluate the
+    /// kernel at every point. Returns the full data space.
+    pub fn execute_sequential(&self) -> DataSpace {
+        let (lo, hi) = self.nest.bounding_box();
+        let w = self.width();
+        let mut ds = DataSpace::with_width(&lo, &hi, w);
+        let deps = self.nest.deps();
+        let q = deps.cols();
+        let bounds = self.nest.bounds();
+        let mut reads = vec![0.0f64; q * w];
+        let mut out = vec![0.0f64; w];
+        let mut src = vec![0i64; self.nest.dim()];
+        for j in bounds.points() {
+            for i in 0..q {
+                for k in 0..self.nest.dim() {
+                    src[k] = j[k] - deps[(k, i)];
+                }
+                match ds.get_all(&src) {
+                    Some(v) => reads[i * w..(i + 1) * w].copy_from_slice(v),
+                    None => self.kernel.initial(&src, &mut reads[i * w..(i + 1) * w]),
+                }
+            }
+            self.kernel.compute(&j, &reads, &mut out);
+            ds.set_all(&j, &out);
+        }
+        ds
+    }
+}
+
+/// Kernel adapter applying the inverse skewing before delegating, so the
+/// inner kernel always sees original coordinates.
+struct SkewedKernel {
+    inner: Arc<dyn MultiKernel>,
+    t_inv: IMat,
+}
+
+impl MultiKernel for SkewedKernel {
+    fn width(&self) -> usize {
+        self.inner.width()
+    }
+
+    fn compute(&self, j: &[i64], reads: &[f64], out: &mut [f64]) {
+        let orig = self.t_inv.mul_vec(j);
+        self.inner.compute(&orig, reads, out);
+    }
+
+    fn initial(&self, j: &[i64], out: &mut [f64]) {
+        let orig = self.t_inv.mul_vec(j);
+        self.inner.initial(&orig, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tilecc_polytope::Polyhedron;
+
+    /// Prefix-sum-like kernel: A[j] = A[j - (1,0)] + A[j - (0,1)] + 1.
+    struct SumKernel;
+
+    impl Kernel for SumKernel {
+        fn compute(&self, _j: &[i64], reads: &[f64]) -> f64 {
+            reads[0] + reads[1] + 1.0
+        }
+        fn initial(&self, _j: &[i64]) -> f64 {
+            0.0
+        }
+    }
+
+    fn sum_algorithm() -> Algorithm {
+        let space = Polyhedron::from_box(&[0, 0], &[4, 4]);
+        let deps = IMat::from_rows(&[&[1, 0], &[0, 1]]);
+        Algorithm::new("sum", LoopNest::new(space, deps), Arc::new(SumKernel))
+    }
+
+    #[test]
+    fn sequential_execution_computes_pascal_like_values() {
+        let ds = sum_algorithm().execute_sequential();
+        // A[0,0] = 1; A[1,0] = A[0,0]+1 = 2; A[1,1] = A[0,1]+A[1,0]+1 = 5.
+        assert_eq!(ds.get(&[0, 0]), Some(1.0));
+        assert_eq!(ds.get(&[1, 0]), Some(2.0));
+        assert_eq!(ds.get(&[0, 1]), Some(2.0));
+        assert_eq!(ds.get(&[1, 1]), Some(5.0));
+        assert_eq!(ds.num_written(), 25);
+    }
+
+    #[test]
+    fn skewed_execution_matches_original_modulo_coordinates() {
+        let alg = sum_algorithm();
+        let t = IMat::from_rows(&[&[1, 0], &[1, 1]]);
+        let skewed = alg.skewed(&t);
+        let ds = alg.execute_sequential();
+        let ds_skewed = skewed.execute_sequential();
+        // Value at skewed point T·j equals value at j.
+        for j0 in 0..=4i64 {
+            for j1 in 0..=4i64 {
+                let v = ds.get(&[j0, j1]).unwrap();
+                let vs = ds_skewed.get(&[j0, j0 + j1]).unwrap();
+                assert_eq!(v.to_bits(), vs.to_bits(), "mismatch at ({j0},{j1})");
+            }
+        }
+    }
+
+    /// Two coupled recurrences: a[j] = a[j-1] + b[j-1], b[j] = 2·b[j-1].
+    struct Coupled;
+
+    impl MultiKernel for Coupled {
+        fn width(&self) -> usize {
+            2
+        }
+        fn compute(&self, _j: &[i64], reads: &[f64], out: &mut [f64]) {
+            out[0] = reads[0] + reads[1];
+            out[1] = 2.0 * reads[1];
+        }
+        fn initial(&self, _j: &[i64], out: &mut [f64]) {
+            out[0] = 0.0;
+            out[1] = 1.0;
+        }
+    }
+
+    #[test]
+    fn multi_kernel_sequential_execution() {
+        let space = Polyhedron::from_box(&[1], &[5]);
+        let deps = IMat::from_rows(&[&[1]]);
+        let alg =
+            Algorithm::new_multi("coupled", LoopNest::new(space, deps), Arc::new(Coupled));
+        assert_eq!(alg.width(), 2);
+        let ds = alg.execute_sequential();
+        // b doubles: 2, 4, 8, 16, 32; a accumulates b: 1, 3, 7, 15, 31.
+        assert_eq!(ds.get_all(&[1]), Some(&[1.0, 2.0][..]));
+        assert_eq!(ds.get_all(&[3]), Some(&[7.0, 8.0][..]));
+        assert_eq!(ds.get_all(&[5]), Some(&[31.0, 32.0][..]));
+    }
+}

@@ -1,0 +1,16 @@
+//! # tilecc-loopnest
+//!
+//! The algorithm model of *"Compiling Tiled Iteration Spaces for Clusters"*
+//! (CLUSTER 2002): perfectly nested FOR-loops over convex iteration spaces
+//! with uniform constant dependencies (§2.1), unimodular skewing, a
+//! sequential reference executor, and the paper's three evaluation kernels
+//! (SOR, Jacobi, ADI integration — §4).
+
+pub mod data;
+pub mod kernel;
+pub mod kernels;
+pub mod nest;
+
+pub use data::DataSpace;
+pub use kernel::{Algorithm, Kernel, MultiKernel};
+pub use nest::LoopNest;

@@ -1,0 +1,175 @@
+//! The perfectly nested loop model of the paper (§2.1).
+//!
+//! An algorithm is an `n`-deep perfect nest over a convex iteration space
+//! `J^n ⊂ Zⁿ` with uniform constant dependencies `D = {d_1, …, d_q}`. The
+//! dependence matrix stores the dependence vectors as columns.
+
+use tilecc_linalg::vecops::is_lex_positive;
+use tilecc_linalg::{IMat, Rational};
+use tilecc_polytope::{Constraint, LoopNestBounds, Polyhedron};
+
+/// A perfect loop nest: iteration space plus uniform dependence matrix.
+#[derive(Clone, Debug)]
+pub struct LoopNest {
+    dim: usize,
+    space: Polyhedron,
+    /// `n × q`: column `i` is dependence vector `d_i`.
+    deps: IMat,
+}
+
+impl LoopNest {
+    /// Create a nest; validates dimensions and that every dependence vector
+    /// is lexicographically positive (sequential execution in lexicographic
+    /// order is legal).
+    pub fn new(space: Polyhedron, deps: IMat) -> Self {
+        let dim = space.dim();
+        assert_eq!(deps.rows(), dim, "dependence vectors must have the nest's dimension");
+        for q in 0..deps.cols() {
+            let d = deps.col(q);
+            assert!(
+                is_lex_positive(&d),
+                "dependence vector {d:?} is not lexicographically positive"
+            );
+        }
+        LoopNest { dim, space, deps }
+    }
+
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    #[inline]
+    pub fn space(&self) -> &Polyhedron {
+        &self.space
+    }
+
+    #[inline]
+    pub fn deps(&self) -> &IMat {
+        &self.deps
+    }
+
+    /// Number of dependence vectors `q`.
+    #[inline]
+    pub fn num_deps(&self) -> usize {
+        self.deps.cols()
+    }
+
+    /// Apply a unimodular skewing transformation `T`: iterations `j` become
+    /// `j' = T·j`, dependence vectors become `T·d`, and the iteration space
+    /// constraints are rewritten via `j = T⁻¹·j'`.
+    ///
+    /// # Panics
+    /// Panics if `T` is not unimodular (|det| = 1).
+    pub fn skew(&self, t: &IMat) -> LoopNest {
+        assert!(t.is_square() && t.rows() == self.dim, "skewing matrix shape mismatch");
+        assert_eq!(t.det().abs(), 1, "skewing matrix must be unimodular");
+        let t_inv = t.inverse(); // integral because T is unimodular
+        let t_inv_i = t_inv.to_imat();
+        let mut space = Polyhedron::universe(self.dim);
+        for c in self.space.constraints() {
+            // a·j + b ≥ 0 with j = T⁻¹·j'  ⇒  (a·T⁻¹)·j' + b ≥ 0.
+            let a: Vec<Rational> = (0..self.dim)
+                .map(|col| {
+                    let mut acc = Rational::ZERO;
+                    for row in 0..self.dim {
+                        acc += Rational::from_int(c.coeff(row)) * t_inv[(row, col)];
+                    }
+                    acc
+                })
+                .collect();
+            space.add(Constraint::from_rationals(&a, Rational::from_int(c.constant())));
+        }
+        let deps = t.mul(&self.deps);
+        // Sanity: unimodular skewing maps integer points bijectively.
+        debug_assert_eq!(t_inv_i.mul(t), IMat::identity(self.dim));
+        LoopNest::new(space, deps)
+    }
+
+    /// Precompute loop bounds for lexicographic scanning.
+    pub fn bounds(&self) -> LoopNestBounds {
+        LoopNestBounds::new(&self.space)
+    }
+
+    /// Inclusive bounding box `(lo, hi)` of the iteration space.
+    ///
+    /// # Panics
+    /// Panics if the space is empty or unbounded.
+    pub fn bounding_box(&self) -> (Vec<i64>, Vec<i64>) {
+        let mut lo = vec![0i64; self.dim];
+        let mut hi = vec![0i64; self.dim];
+        for k in 0..self.dim {
+            // Project onto variable k alone by eliminating all others.
+            let mut p = self.space.clone();
+            for v in (0..self.dim).rev() {
+                if v != k {
+                    p = p.eliminate(v);
+                }
+            }
+            let (l, h) = p
+                .integer_bounds(0, &[])
+                .expect("iteration space must be non-empty and bounded");
+            lo[k] = l;
+            hi[k] = h;
+        }
+        (lo, hi)
+    }
+
+    /// Total number of integer points (exact, by scanning).
+    pub fn num_points(&self) -> usize {
+        self.bounds().points().count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn box_nest() -> LoopNest {
+        let space = Polyhedron::from_box(&[1, 1], &[4, 5]);
+        let deps = IMat::from_rows(&[&[1, 0], &[0, 1]]);
+        LoopNest::new(space, deps)
+    }
+
+    #[test]
+    fn num_points_of_box() {
+        assert_eq!(box_nest().num_points(), 4 * 5);
+    }
+
+    #[test]
+    fn bounding_box_round_trip() {
+        let (lo, hi) = box_nest().bounding_box();
+        assert_eq!(lo, vec![1, 1]);
+        assert_eq!(hi, vec![4, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "lexicographically positive")]
+    fn rejects_non_positive_dependence() {
+        let space = Polyhedron::from_box(&[0, 0], &[3, 3]);
+        let deps = IMat::from_rows(&[&[0, 1], &[-1, 0]]); // (0,-1) is lex-negative
+        let _ = LoopNest::new(space, deps);
+    }
+
+    #[test]
+    fn skew_preserves_point_count_and_transforms_deps() {
+        let nest = box_nest();
+        let t = IMat::from_rows(&[&[1, 0], &[1, 1]]);
+        let skewed = nest.skew(&t);
+        assert_eq!(skewed.num_points(), nest.num_points());
+        // d = (1,0) -> (1,1); d = (0,1) -> (0,1)
+        assert_eq!(skewed.deps().col(0), vec![1, 1]);
+        assert_eq!(skewed.deps().col(1), vec![0, 1]);
+        // The image of an original point is in the skewed space.
+        assert!(skewed.space().contains(&[2, 2 + 3])); // (2,3) -> (2,5)
+        assert!(!skewed.space().contains(&[2, 2])); // (2,0) not in original
+    }
+
+    #[test]
+    #[should_panic(expected = "unimodular")]
+    fn skew_rejects_non_unimodular() {
+        let nest = box_nest();
+        let t = IMat::from_rows(&[&[2, 0], &[0, 1]]);
+        let _ = nest.skew(&t);
+    }
+}

@@ -1,0 +1,561 @@
+//! Convex polyhedra as conjunctions of affine inequalities, with
+//! Fourier–Motzkin elimination.
+//!
+//! The paper's iteration spaces (§2.1) are exactly such polyhedra: bisections
+//! of finitely many half-spaces of `Zⁿ`. Fourier–Motzkin elimination computes
+//! the loop bounds `l_k = max(⌈f_k1⌉, …)` / `u_k = min(⌊g_k1⌋, …)` of both the
+//! original nest and the tile space `J^S` (§2.3).
+
+use crate::constraint::Constraint;
+use std::collections::HashSet;
+
+/// A convex polyhedron `{ x ∈ Qⁿ | A·x + b ≥ 0 }`.
+#[derive(Clone, Debug)]
+pub struct Polyhedron {
+    dim: usize,
+    constraints: Vec<Constraint>,
+}
+
+impl Polyhedron {
+    /// The universe polyhedron (no constraints) of the given dimension.
+    pub fn universe(dim: usize) -> Self {
+        Polyhedron { dim, constraints: vec![] }
+    }
+
+    /// An axis-aligned integer box `lo_k ≤ x_k ≤ hi_k` (inclusive).
+    pub fn from_box(lo: &[i64], hi: &[i64]) -> Self {
+        assert_eq!(lo.len(), hi.len());
+        let dim = lo.len();
+        let mut p = Polyhedron::universe(dim);
+        for k in 0..dim {
+            p.add(Constraint::lower_bound(dim, k, lo[k]));
+            p.add(Constraint::upper_bound(dim, k, hi[k]));
+        }
+        p
+    }
+
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    #[inline]
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Add a constraint. Tautologies are dropped, exact duplicates are
+    /// deduplicated, and *parallel* constraints (identical coefficient
+    /// vectors) are merged keeping only the tighter one — essential to keep
+    /// Fourier–Motzkin constraint growth under control.
+    pub fn add(&mut self, c: Constraint) {
+        assert_eq!(c.dim(), self.dim, "constraint dimension mismatch");
+        if c.is_tautology() {
+            return;
+        }
+        for existing in &mut self.constraints {
+            if existing.coeffs() == c.coeffs() {
+                // a·x + b1 ≥ 0 and a·x + b2 ≥ 0: the smaller constant binds.
+                if c.constant() < existing.constant() {
+                    *existing = c;
+                }
+                return;
+            }
+        }
+        self.constraints.push(c);
+    }
+
+    /// Intersection with another polyhedron of the same dimension.
+    pub fn intersect(&self, other: &Polyhedron) -> Polyhedron {
+        assert_eq!(self.dim, other.dim);
+        let mut out = self.clone();
+        for c in &other.constraints {
+            out.add(c.clone());
+        }
+        out
+    }
+
+    /// True iff the integer point `x` satisfies all constraints.
+    pub fn contains(&self, x: &[i64]) -> bool {
+        self.constraints.iter().all(|c| c.satisfied_by(x))
+    }
+
+    /// True iff the rational point `x` satisfies all constraints. Used for
+    /// convexity arguments (e.g. a tile whose rational corners are all inside
+    /// is entirely inside).
+    pub fn contains_rational(&self, x: &[tilecc_linalg::Rational]) -> bool {
+        use tilecc_linalg::Rational;
+        self.constraints.iter().all(|c| {
+            let mut acc = Rational::from_int(c.constant());
+            for (k, &coef) in c.coeffs().iter().enumerate() {
+                acc += Rational::from_int(coef) * x[k];
+            }
+            !acc.is_negative()
+        })
+    }
+
+    /// True iff an explicit contradiction (`0 ≥ k`, `k > 0`) is present.
+    pub fn has_contradiction(&self) -> bool {
+        self.constraints.iter().any(|c| c.is_contradiction())
+    }
+
+    /// Exact rational emptiness test: eliminate every variable with
+    /// Fourier–Motzkin; the polyhedron is empty iff a contradiction
+    /// (`0 ≥ k`, `k > 0`) appears in the fully eliminated system.
+    pub fn is_empty_rational(&self) -> bool {
+        let mut p = self.clone();
+        for k in (0..self.dim).rev() {
+            if p.has_contradiction() {
+                return true;
+            }
+            p = p.eliminate(k);
+        }
+        p.has_contradiction()
+    }
+
+    /// Remove constraints that are redundant over the *integer* points:
+    /// constraint `a·x + b ≥ 0` is dropped iff
+    /// `(P \ c) ∧ (−a·x − b − 1 ≥ 0)` is rationally empty. Any integer
+    /// violator of `c` has `a·x + b ≤ −1` and would witness that system, so
+    /// removal preserves the integer point set exactly (it may enlarge the
+    /// rational relaxation by less than one unit along `a`).
+    pub fn remove_redundant(&self) -> Polyhedron {
+        let mut kept: Vec<Constraint> = self.constraints.clone();
+        let mut i = 0;
+        while i < kept.len() {
+            let candidate = kept[i].clone();
+            // Build P' = (kept \ candidate) ∧ ¬candidate.
+            let mut test = Polyhedron::universe(self.dim);
+            for (j, c) in kept.iter().enumerate() {
+                if j != i {
+                    test.add(c.clone());
+                }
+            }
+            let neg = Constraint::new(
+                candidate.coeffs().iter().map(|&v| -v).collect(),
+                -candidate.constant() - 1,
+            );
+            test.add(neg);
+            if test.is_empty_rational() {
+                kept.remove(i);
+            } else {
+                i += 1;
+            }
+        }
+        Polyhedron { dim: self.dim, constraints: kept }
+    }
+
+    /// Fourier–Motzkin elimination of variable `k`. The result is a
+    /// polyhedron over the remaining `dim − 1` variables that is the exact
+    /// rational shadow (projection) of `self`.
+    pub fn eliminate(&self, k: usize) -> Polyhedron {
+        assert!(k < self.dim, "variable out of range");
+        let drop_var = |c: &Constraint| -> Constraint {
+            let coeffs: Vec<i64> = c
+                .coeffs()
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != k)
+                .map(|(_, &v)| v)
+                .collect();
+            Constraint::new(coeffs, c.constant())
+        };
+
+        let mut lowers = vec![]; // coeff of x_k > 0
+        let mut uppers = vec![]; // coeff of x_k < 0
+        let mut out = Polyhedron::universe(self.dim - 1);
+        for c in &self.constraints {
+            match c.coeff(k).signum() {
+                0 => out.add(drop_var(c)),
+                1.. => lowers.push(c),
+                _ => uppers.push(c),
+            }
+        }
+        let mut seen: HashSet<Constraint> = HashSet::new();
+        for l in &lowers {
+            for u in &uppers {
+                // λ·l + μ·u with λ = -u_k, μ = l_k cancels x_k.
+                let combined = l.combine(-u.coeff(k), u, l.coeff(k));
+                debug_assert_eq!(combined.coeff(k), 0);
+                let projected = drop_var(&combined);
+                if seen.insert(projected.clone()) {
+                    out.add(projected);
+                }
+            }
+        }
+        out
+    }
+
+    /// Project onto the first `m` variables by eliminating variables
+    /// `m, m+1, …, dim−1`.
+    ///
+    /// The eliminations commute, so the order is chosen greedily (the
+    /// variable with the smallest lower×upper product first) and redundant
+    /// constraints are pruned whenever the system grows past a threshold —
+    /// plain innermost-first elimination can blow up double-exponentially
+    /// on the dense constraint systems produced by skewed tilings.
+    pub fn project_onto_first(&self, m: usize) -> Polyhedron {
+        assert!(m <= self.dim);
+        let mut p = self.clone();
+        // Track the *original* indices still to eliminate; each eliminate
+        // shifts later variables down by one.
+        let mut remaining: Vec<usize> = (m..self.dim).collect();
+        while !remaining.is_empty() {
+            // Greedy: cheapest variable (fewest new constraints) first.
+            let (pos, &var) = remaining
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, &v)| {
+                    let mut lo = 0usize;
+                    let mut hi = 0usize;
+                    for c in p.constraints() {
+                        match c.coeff(v).signum() {
+                            1 => lo += 1,
+                            -1 => hi += 1,
+                            _ => {}
+                        }
+                    }
+                    lo * hi
+                })
+                .expect("non-empty remaining");
+            p = p.eliminate(var);
+            remaining.remove(pos);
+            for r in &mut remaining {
+                if *r > var {
+                    *r -= 1;
+                }
+            }
+            if p.constraints.len() > 64 {
+                p = p.remove_redundant();
+            }
+        }
+        p
+    }
+
+    /// Exact rational bounds of variable `k` given fixed values of *all other
+    /// variables in `outer` being authoritative for indices `< k` only*:
+    /// returns `(max lower, min upper)` as integers, i.e. the loop bounds
+    /// `l_k ≤ x_k ≤ u_k` with ceiling/floor applied. Constraints mentioning
+    /// variables `> k` must have been eliminated beforehand.
+    ///
+    /// Returns `None` if the range is empty or unbounded on either side.
+    pub fn integer_bounds(&self, k: usize, outer: &[i64]) -> Option<(i64, i64)> {
+        assert!(k < self.dim);
+        assert!(outer.len() >= k, "need values for all outer variables");
+        let mut lo: Option<i64> = None;
+        let mut hi: Option<i64> = None;
+        // Pad the point so eval_without can index every variable.
+        let mut x = vec![0i64; self.dim];
+        x[..k].copy_from_slice(&outer[..k]);
+        for c in &self.constraints {
+            debug_assert!(
+                c.coeffs()[k + 1..].iter().all(|&v| v == 0),
+                "integer_bounds requires inner variables to be eliminated"
+            );
+            let a = c.coeff(k);
+            if a == 0 {
+                // Constraint only involves outer variables (or is a pure
+                // contradiction): if violated, the range is empty.
+                if c.eval_without(&x, k) < 0 {
+                    return None;
+                }
+                continue;
+            }
+            let rest = c.eval_without(&x, k);
+            if a > 0 {
+                // a·x_k + rest ≥ 0 ⇒ x_k ≥ ⌈-rest / a⌉
+                let b = (-rest).div_euclid(a) + i64::from((-rest).rem_euclid(a) != 0);
+                lo = Some(lo.map_or(b, |v| v.max(b)));
+            } else {
+                // a·x_k + rest ≥ 0 ⇒ x_k ≤ ⌊rest / (-a)⌋
+                let b = rest.div_euclid(-a);
+                hi = Some(hi.map_or(b, |v| v.min(b)));
+            }
+        }
+        match (lo, hi) {
+            (Some(l), Some(h)) if l <= h => Some((l, h)),
+            _ => None,
+        }
+    }
+}
+
+/// Precomputed loop-nest bounds: system `k` constrains variables `0..=k`
+/// only, obtained by eliminating all inner variables. Together they drive a
+/// lexicographic scan of the integer points (the generated loop nest).
+#[derive(Clone, Debug)]
+pub struct LoopNestBounds {
+    /// `systems[k]` is `P` projected onto the first `k+1` variables.
+    systems: Vec<Polyhedron>,
+    dim: usize,
+}
+
+impl LoopNestBounds {
+    /// Compute the bounds systems for all loop levels of `p`.
+    pub fn new(p: &Polyhedron) -> Self {
+        let dim = p.dim();
+        let mut systems = Vec::with_capacity(dim);
+        for k in 0..dim {
+            systems.push(p.project_onto_first(k + 1));
+        }
+        LoopNestBounds { systems, dim }
+    }
+
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Loop bounds of level `k` given the values of the outer variables.
+    /// These are the paper's `l_k` / `u_k` expressions evaluated at runtime.
+    pub fn bounds(&self, k: usize, outer: &[i64]) -> Option<(i64, i64)> {
+        self.systems[k].integer_bounds(k, outer)
+    }
+
+    /// Iterate the integer points in lexicographic order.
+    pub fn points(&self) -> PointIter<'_> {
+        PointIter::new(self)
+    }
+}
+
+/// Lexicographic iterator over the integer points of a polyhedron, driven by
+/// [`LoopNestBounds`] — the executable analogue of the generated loop nest.
+pub struct PointIter<'a> {
+    bounds: &'a LoopNestBounds,
+    point: Vec<i64>,
+    hi: Vec<i64>,
+    done: bool,
+}
+
+impl<'a> PointIter<'a> {
+    fn new(bounds: &'a LoopNestBounds) -> Self {
+        let dim = bounds.dim();
+        let mut it = PointIter { bounds, point: vec![0; dim], hi: vec![0; dim], done: false };
+        if !it.seek(0) {
+            it.done = true;
+        }
+        it
+    }
+
+    /// Rewind levels `from..` to their lower bounds, backtracking when a
+    /// level's range is empty (FM shadows can over-approximate integer
+    /// projections, so empty inner ranges are expected and handled).
+    #[allow(clippy::mut_range_bound)] // `from` feeds the *next* 'outer pass
+    fn seek(&mut self, mut from: usize) -> bool {
+        let dim = self.bounds.dim();
+        'outer: loop {
+            for lvl in from..dim {
+                match self.bounds.bounds(lvl, &self.point[..lvl]) {
+                    Some((lo, hi)) => {
+                        self.point[lvl] = lo;
+                        self.hi[lvl] = hi;
+                    }
+                    None => {
+                        // Step the deepest earlier level with room.
+                        let mut k = lvl;
+                        while k > 0 {
+                            k -= 1;
+                            if self.point[k] < self.hi[k] {
+                                self.point[k] += 1;
+                                from = k + 1;
+                                continue 'outer;
+                            }
+                        }
+                        return false;
+                    }
+                }
+            }
+            return true;
+        }
+    }
+
+    fn advance(&mut self) {
+        let dim = self.bounds.dim();
+        let mut k = dim;
+        while k > 0 {
+            k -= 1;
+            if self.point[k] < self.hi[k] {
+                self.point[k] += 1;
+                if self.seek(k + 1) {
+                    return;
+                }
+                // seek() already backtracked to exhaustion.
+                self.done = true;
+                return;
+            }
+        }
+        self.done = true;
+    }
+}
+
+impl<'a> Iterator for PointIter<'a> {
+    type Item = Vec<i64>;
+
+    fn next(&mut self) -> Option<Vec<i64>> {
+        if self.done {
+            return None;
+        }
+        let out = self.point.clone();
+        self.advance();
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emptiness_detection() {
+        let mut p = Polyhedron::from_box(&[0, 0], &[5, 5]);
+        assert!(!p.is_empty_rational());
+        p.add(Constraint::new(vec![1, 1], -100));
+        assert!(p.is_empty_rational());
+        // A rationally non-empty sliver.
+        let mut q = Polyhedron::universe(1);
+        q.add(Constraint::new(vec![2], -1)); // x >= 1/2
+        q.add(Constraint::new(vec![-2], 1)); // x <= 1/2
+        assert!(!q.is_empty_rational());
+    }
+
+    #[test]
+    fn redundant_constraints_are_removed() {
+        let mut p = Polyhedron::from_box(&[0, 0], &[4, 4]);
+        p.add(Constraint::new(vec![1, 0], 10)); // x >= -10: redundant
+        p.add(Constraint::new(vec![-1, -1], 100)); // x + y <= 100: redundant
+        let r = p.remove_redundant();
+        assert_eq!(r.constraints().len(), 4, "{:?}", r.constraints());
+        // Same integer point set.
+        for x in -1..6 {
+            for y in -1..6 {
+                assert_eq!(p.contains(&[x, y]), r.contains(&[x, y]));
+            }
+        }
+    }
+
+    #[test]
+    fn remove_redundant_keeps_binding_constraints() {
+        let mut p = Polyhedron::from_box(&[0, 0], &[8, 8]);
+        p.add(Constraint::new(vec![-1, -1], 9)); // x + y <= 9 binds
+        let r = p.remove_redundant();
+        assert!(r.constraints().len() >= 5 - 1);
+        assert!(!r.contains(&[8, 8]));
+        assert!(r.contains(&[4, 5]));
+    }
+
+    #[test]
+    fn box_membership() {
+        let p = Polyhedron::from_box(&[0, 0], &[3, 2]);
+        assert!(p.contains(&[0, 0]));
+        assert!(p.contains(&[3, 2]));
+        assert!(!p.contains(&[4, 0]));
+        assert!(!p.contains(&[0, -1]));
+    }
+
+    #[test]
+    fn eliminate_projects_triangle() {
+        // Triangle: x >= 0, y >= 0, x + y <= 4. Projecting out y gives 0 <= x <= 4.
+        let mut p = Polyhedron::universe(2);
+        p.add(Constraint::new(vec![1, 0], 0));
+        p.add(Constraint::new(vec![0, 1], 0));
+        p.add(Constraint::new(vec![-1, -1], 4));
+        let q = p.eliminate(1);
+        assert_eq!(q.dim(), 1);
+        assert!(q.contains(&[0]));
+        assert!(q.contains(&[4]));
+        assert!(!q.contains(&[5]));
+        assert!(!q.contains(&[-1]));
+    }
+
+    #[test]
+    fn loop_bounds_of_triangle() {
+        let mut p = Polyhedron::universe(2);
+        p.add(Constraint::new(vec![1, 0], 0));
+        p.add(Constraint::new(vec![0, 1], 0));
+        p.add(Constraint::new(vec![-1, -1], 4));
+        let b = LoopNestBounds::new(&p);
+        assert_eq!(b.bounds(0, &[]), Some((0, 4)));
+        assert_eq!(b.bounds(1, &[0]), Some((0, 4)));
+        assert_eq!(b.bounds(1, &[4]), Some((0, 0)));
+        let pts: Vec<_> = b.points().collect();
+        assert_eq!(pts.len(), 5 + 4 + 3 + 2 + 1);
+        assert_eq!(pts[0], vec![0, 0]);
+        assert_eq!(pts.last().unwrap(), &vec![4, 0]);
+    }
+
+    #[test]
+    fn points_match_brute_force_on_skewed_space() {
+        // Skewed SOR-like space: 1 <= t <= 3, t+1 <= i <= t+4, 2t+i-? keep 3D small:
+        let mut p = Polyhedron::universe(3);
+        p.add(Constraint::new(vec![1, 0, 0], -1)); // t >= 1
+        p.add(Constraint::new(vec![-1, 0, 0], 3)); // t <= 3
+        p.add(Constraint::new(vec![-1, 1, 0], -1)); // i >= t+1
+        p.add(Constraint::new(vec![1, -1, 0], 4)); // i <= t+4
+        p.add(Constraint::new(vec![-2, 0, 1], -1)); // j >= 2t+1
+        p.add(Constraint::new(vec![2, 0, -1], 5)); // j <= 2t+5
+        let b = LoopNestBounds::new(&p);
+        let fast: Vec<_> = b.points().collect();
+        let mut slow = vec![];
+        for t in -1..6 {
+            for i in -1..10 {
+                for j in -1..14 {
+                    if p.contains(&[t, i, j]) {
+                        slow.push(vec![t, i, j]);
+                    }
+                }
+            }
+        }
+        assert_eq!(fast, slow);
+        assert_eq!(fast.len(), 3 * 4 * 5);
+    }
+
+    #[test]
+    fn empty_polyhedron_yields_no_points() {
+        let mut p = Polyhedron::from_box(&[0, 0], &[5, 5]);
+        p.add(Constraint::new(vec![1, 1], -100)); // x + y >= 100: impossible
+        let b = LoopNestBounds::new(&p);
+        assert_eq!(b.points().count(), 0);
+    }
+
+    #[test]
+    fn fm_shadow_with_empty_integer_columns() {
+        // 2x <= y <= 2x + 1 within 0 <= y <= 9, x unbounded below/above by y.
+        // For every x in 0..=4 there are points; the scan must skip nothing.
+        let mut p = Polyhedron::universe(2);
+        p.add(Constraint::new(vec![-2, 1], 0)); // y >= 2x
+        p.add(Constraint::new(vec![2, -1], 1)); // y <= 2x + 1
+        p.add(Constraint::new(vec![0, 1], 0)); // y >= 0
+        p.add(Constraint::new(vec![0, -1], 9)); // y <= 9
+        let b = LoopNestBounds::new(&p);
+        let pts: Vec<_> = b.points().collect();
+        for pt in &pts {
+            assert!(p.contains(pt));
+        }
+        assert_eq!(pts.len(), 10);
+    }
+
+    #[test]
+    fn intersect_combines_constraints() {
+        let a = Polyhedron::from_box(&[0, 0], &[10, 10]);
+        let c = Polyhedron::from_box(&[5, 5], &[15, 15]);
+        let i = a.intersect(&c);
+        assert!(i.contains(&[5, 10]));
+        assert!(!i.contains(&[4, 10]));
+        assert!(!i.contains(&[5, 11]));
+    }
+
+    #[test]
+    fn integer_bounds_rounds_correctly() {
+        // 3 <= 2x <= 9  =>  2 <= x <= 4
+        let mut p = Polyhedron::universe(1);
+        p.add(Constraint::new(vec![2], -3));
+        p.add(Constraint::new(vec![-2], 9));
+        assert_eq!(p.integer_bounds(0, &[]), Some((2, 4)));
+    }
+
+    #[test]
+    fn unbounded_direction_gives_none() {
+        let mut p = Polyhedron::universe(1);
+        p.add(Constraint::new(vec![1], 0)); // x >= 0, no upper bound
+        assert_eq!(p.integer_bounds(0, &[]), None);
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests for Fourier–Motzkin elimination and point scanning.
+
+use proptest::prelude::*;
+use tilecc_polytope::{Constraint, LoopNestBounds, Polyhedron};
+
+/// Random bounded 2-D or 3-D polyhedra: a box plus a few random half-spaces.
+fn bounded_poly() -> impl Strategy<Value = Polyhedron> {
+    (2usize..=3).prop_flat_map(|dim| {
+        let extra = proptest::collection::vec(
+            (proptest::collection::vec(-3i64..=3, dim), -8i64..=8),
+            0..4,
+        );
+        (Just(dim), extra).prop_map(move |(dim, extra)| {
+            let mut p = Polyhedron::from_box(&vec![-4; dim], &vec![4; dim]);
+            for (coeffs, c) in extra {
+                p.add(Constraint::new(coeffs, c));
+            }
+            p
+        })
+    })
+}
+
+fn brute_points(p: &Polyhedron) -> Vec<Vec<i64>> {
+    let dim = p.dim();
+    let mut out = vec![];
+    let mut cur = vec![-4i64; dim];
+    'outer: loop {
+        if p.contains(&cur) {
+            out.push(cur.clone());
+        }
+        for k in (0..dim).rev() {
+            cur[k] += 1;
+            if cur[k] <= 4 {
+                continue 'outer;
+            }
+            cur[k] = -4;
+            if k == 0 {
+                break 'outer;
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    /// FM soundness: the shadow contains the projection of every point, and
+    /// every *rational-exact* property we rely on holds — each point of the
+    /// polyhedron projects into the eliminated system.
+    #[test]
+    fn fm_shadow_contains_projections(p in bounded_poly()) {
+        let dim = p.dim();
+        let pts = brute_points(&p);
+        for k in 0..dim {
+            let shadow = p.eliminate(k);
+            for pt in &pts {
+                let projected: Vec<i64> = pt
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| i != k)
+                    .map(|(_, &v)| v)
+                    .collect();
+                prop_assert!(shadow.contains(&projected),
+                    "projection of {:?} missing from shadow of var {}", pt, k);
+            }
+        }
+    }
+
+    /// The lexicographic scanner visits exactly the integer points, in order,
+    /// exactly once.
+    #[test]
+    fn scanner_is_exact_and_ordered(p in bounded_poly()) {
+        let bounds = LoopNestBounds::new(&p);
+        let fast: Vec<_> = bounds.points().collect();
+        let slow = brute_points(&p);
+        prop_assert_eq!(&fast, &slow);
+        for w in fast.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+    }
+
+    /// integer_bounds agrees with explicit scanning per outer value.
+    #[test]
+    fn bounds_bracket_inner_points(p in bounded_poly()) {
+        let bounds = LoopNestBounds::new(&p);
+        let pts = brute_points(&p);
+        for pt in &pts {
+            let k = p.dim() - 1;
+            let (lo, hi) = bounds
+                .bounds(k, &pt[..k])
+                .expect("point exists, bounds must too");
+            prop_assert!(lo <= pt[k] && pt[k] <= hi);
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! # tilecc-tiling
+//!
+//! General parallelepiped tiling transformations (§2.2–§3.2 of *"Compiling
+//! Tiled Iteration Spaces for Clusters"*, CLUSTER 2002):
+//!
+//! * [`TilingTransform`] — `H`, `P = H⁻¹`, the integralized `H' = V·H`, its
+//!   Hermite Normal Form (loop strides/offsets) and the TTIS lattice.
+//! * [`TiledSpace`] — tile-space loop bounds by Fourier–Motzkin, strided
+//!   boundary-clamped tile traversal, exact tile dependencies `D^S`.
+//! * [`Distribution`] — computation distribution: chains of tiles along the
+//!   longest dimension per processor (§3.1).
+//! * [`CommPlan`] — communication vector `CC`, halo offsets, processor
+//!   dependencies `D^m`, pack/unpack regions (§3.2).
+//! * [`LdsGeometry`]/[`Lds`] — the dense rectangular Local Data Space with
+//!   `map`/`map⁻¹` addressing (§3.1, Tables 1–2).
+//! * [`tiling_cone_rays`] — extreme rays of the tiling cone, from which the
+//!   paper's scheduling-optimal tilings are drawn.
+
+pub mod comm;
+pub mod cone;
+pub mod lds;
+pub mod mapping;
+pub mod tile_space;
+pub mod transform;
+
+pub use comm::CommPlan;
+pub use cone::{cone_matrix, in_tiling_cone, tiling_cone_rays};
+pub use lds::{Lds, LdsGeometry};
+pub use mapping::{insert_at, longest_dimension, project_pid, Distribution};
+pub use tile_space::TiledSpace;
+pub use transform::{TilingError, TilingTransform};

@@ -1,0 +1,324 @@
+//! The tile space `J^S` and exact tile dependencies `D^S` (§2.2–2.3).
+//!
+//! The tile space is the image `{⌊H·j⌋ | j ∈ J^n}`. Its loop bounds are
+//! computed once, at compile time, by building the combined polyhedron over
+//! `(j^S, j)` — `j ∈ J^n` together with `0 ≤ H'·j − V·j^S ≤ v − 1` — and
+//! eliminating the `j` variables with Fourier–Motzkin. The resulting shadow
+//! is a convex over-approximation whose integer points include every
+//! non-empty tile; empty candidate tiles simply execute zero iterations
+//! (the paper corrects boundary tiles the same way, with the original
+//! iteration-space inequalities).
+
+use crate::transform::TilingTransform;
+use std::collections::BTreeSet;
+use tilecc_linalg::IMat;
+use tilecc_polytope::{Constraint, LoopNestBounds, Polyhedron};
+
+/// A tiled iteration space: transformation + original space + tile-space
+/// shadow with precomputed loop bounds.
+pub struct TiledSpace {
+    transform: TilingTransform,
+    space: Polyhedron,
+    shadow: Polyhedron,
+    tile_bounds: LoopNestBounds,
+    space_bounds: LoopNestBounds,
+    /// Number of TTIS lattice points of a full (interior) tile.
+    full_tile_volume: usize,
+}
+
+impl TiledSpace {
+    /// Tile `space` by `transform`.
+    pub fn new(transform: TilingTransform, space: Polyhedron) -> Self {
+        let n = transform.dim();
+        assert_eq!(space.dim(), n, "space and transformation dimension mismatch");
+        // Combined system over (j^S[0..n], j[0..n]).
+        let mut combined = Polyhedron::universe(2 * n);
+        for c in space.constraints() {
+            let mut coeffs = vec![0i64; 2 * n];
+            coeffs[n..].copy_from_slice(c.coeffs());
+            combined.add(Constraint::new(coeffs, c.constant()));
+        }
+        let hp = transform.h_prime();
+        let v = transform.v();
+        for k in 0..n {
+            // 0 ≤ h'_k·j − v_k·j^S_k ≤ v_k − 1
+            let mut lo = vec![0i64; 2 * n];
+            let mut hi = vec![0i64; 2 * n];
+            lo[k] = -v[k];
+            hi[k] = v[k];
+            for c in 0..n {
+                lo[n + c] = hp[(k, c)];
+                hi[n + c] = -hp[(k, c)];
+            }
+            combined.add(Constraint::new(lo, 0));
+            combined.add(Constraint::new(hi, v[k] - 1));
+        }
+        // FM produces many redundant shadow constraints; prune them (exact
+        // over the integer tiles) to keep tile_valid and bounds cheap.
+        let shadow = combined.project_onto_first(n).remove_redundant();
+        let tile_bounds = LoopNestBounds::new(&shadow);
+        let space_bounds = LoopNestBounds::new(&space);
+        let full_tile_volume = transform.ttis_points().count();
+        TiledSpace { transform, space, shadow, tile_bounds, space_bounds, full_tile_volume }
+    }
+
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.transform.dim()
+    }
+
+    #[inline]
+    pub fn transform(&self) -> &TilingTransform {
+        &self.transform
+    }
+
+    #[inline]
+    pub fn space(&self) -> &Polyhedron {
+        &self.space
+    }
+
+    /// The tile-space shadow polyhedron (over `j^S`).
+    #[inline]
+    pub fn shadow(&self) -> &Polyhedron {
+        &self.shadow
+    }
+
+    /// Precomputed tile-space loop bounds (`l^S_k`, `u^S_k`).
+    #[inline]
+    pub fn tile_bounds(&self) -> &LoopNestBounds {
+        &self.tile_bounds
+    }
+
+    /// Compile-time validity predicate for a candidate tile: inside the
+    /// tile-space shadow. Used symmetrically by send and receive sides.
+    pub fn tile_valid(&self, tile: &[i64]) -> bool {
+        self.shadow.contains(tile)
+    }
+
+    /// Enumerate all candidate tiles in lexicographic order.
+    pub fn tiles(&self) -> impl Iterator<Item = Vec<i64>> + '_ {
+        self.tile_bounds.points()
+    }
+
+    /// True iff tile `tile` lies entirely inside `J^n`: all `2ⁿ` rational
+    /// corners of the tile parallelepiped are inside, which suffices by
+    /// convexity. Interior tiles need no per-point boundary clamping.
+    pub fn tile_is_interior(&self, tile: &[i64]) -> bool {
+        use tilecc_linalg::Rational;
+        let t = &self.transform;
+        let n = self.dim();
+        let p = t.p();
+        let base = p.mul_ivec(tile);
+        // Corner offsets: P'·corner with corner_k ∈ {0, v_k}. P'·(V·e_k·…)
+        // column combinations: corner = Σ_k choice_k · v_k · P'_col_k = Σ_k
+        // choice_k · P_col_k (since P'V = ... P = P'·V columnwise: P e_k =
+        // P' V e_k = v_k · P' e_k). So corners are base + Σ choice_k P·e_k.
+        for mask in 0..(1u32 << n) {
+            let mut corner: Vec<Rational> = base.clone();
+            for k in 0..n {
+                if mask & (1 << k) != 0 {
+                    for r in 0..n {
+                        corner[r] += p[(r, k)];
+                    }
+                }
+            }
+            if !self.space.contains_rational(&corner) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Enumerate the iterations of tile `tile` (TTIS lattice points whose
+    /// global iteration lies in `J^n`), as `(j', j)` pairs in strided loop
+    /// order. Boundary tiles are clamped by the original iteration-space
+    /// inequalities, exactly as the paper prescribes; interior tiles skip
+    /// the per-point membership test.
+    pub fn tile_iterations<'a>(
+        &'a self,
+        tile: &[i64],
+    ) -> impl Iterator<Item = (Vec<i64>, Vec<i64>)> + 'a {
+        let t = &self.transform;
+        let lo = vec![0i64; self.dim()];
+        let interior = self.tile_is_interior(tile);
+        let tile = tile.to_vec();
+        t.lattice().points_in_box(&lo, t.v()).filter_map(move |jp| {
+            let j = t.iteration_fast(&tile, &jp);
+            (interior || self.space.contains(&j)).then_some((jp, j))
+        })
+    }
+
+    /// Number of in-space iterations of a tile; O(1) for interior tiles.
+    pub fn tile_volume_fast(&self, tile: &[i64]) -> usize {
+        if self.tile_is_interior(tile) {
+            self.full_tile_volume
+        } else {
+            self.tile_iterations(tile).count()
+        }
+    }
+
+    /// Number of TTIS lattice points of a full (interior) tile.
+    #[inline]
+    pub fn full_tile_volume(&self) -> usize {
+        self.full_tile_volume
+    }
+
+    /// Number of in-space iterations of a tile.
+    pub fn tile_volume(&self, tile: &[i64]) -> usize {
+        self.tile_iterations(tile).count()
+    }
+
+    /// Exact tile dependence matrix `D^S` (columns, deduplicated, zero
+    /// excluded): for every dependence `d` and every TTIS point `j'`,
+    /// `d^S_k = ⌊(j'_k + d'_k) / v_k⌋` with `d' = H'·d` (§2.2).
+    pub fn tile_deps(&self, deps: &IMat) -> IMat {
+        let t = &self.transform;
+        let n = self.dim();
+        let v = t.v();
+        let dp = t.transformed_deps(deps);
+        let mut set: BTreeSet<Vec<i64>> = BTreeSet::new();
+        for q in 0..dp.cols() {
+            let d = dp.col(q);
+            for jp in t.ttis_points() {
+                let ds: Vec<i64> =
+                    (0..n).map(|k| (jp[k] + d[k]).div_euclid(v[k])).collect();
+                if ds.iter().any(|&x| x != 0) {
+                    set.insert(ds);
+                }
+            }
+        }
+        assert!(!set.is_empty(), "algorithm has no cross-tile dependencies");
+        let cols: Vec<Vec<i64>> = set.into_iter().collect();
+        let mut m = IMat::zeros(n, cols.len());
+        for (c, col) in cols.iter().enumerate() {
+            for k in 0..n {
+                m[(k, c)] = col[k];
+            }
+        }
+        m
+    }
+
+    /// Loop bounds of the original space (used for boundary clamping and
+    /// sequential scanning).
+    #[inline]
+    pub fn space_bounds(&self) -> &LoopNestBounds {
+        &self.space_bounds
+    }
+
+    /// Total number of iterations over all tiles — must equal the size of
+    /// `J^n` (each iteration belongs to exactly one tile).
+    pub fn total_tiled_iterations(&self) -> usize {
+        self.tiles().map(|t| self.tile_volume(&t)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tilecc_linalg::RMat;
+
+    fn sor_like_space() -> Polyhedron {
+        // Skewed-SOR-like space: 1<=t<=4, t+1<=i<=t+6, 2t+1<=j<=2t+6.
+        let mut p = Polyhedron::universe(3);
+        p.add(Constraint::new(vec![1, 0, 0], -1));
+        p.add(Constraint::new(vec![-1, 0, 0], 4));
+        p.add(Constraint::new(vec![-1, 1, 0], -1));
+        p.add(Constraint::new(vec![1, -1, 0], 6));
+        p.add(Constraint::new(vec![-2, 0, 1], -1));
+        p.add(Constraint::new(vec![2, 0, -1], 6));
+        p
+    }
+
+    fn sor_hnr(x: i64, y: i64, z: i64) -> TilingTransform {
+        TilingTransform::new(RMat::from_fractions(&[
+            &[(1, x), (0, 1), (0, 1)],
+            &[(0, 1), (1, y), (0, 1)],
+            &[(-1, z), (0, 1), (1, z)],
+        ]))
+        .unwrap()
+    }
+
+    #[test]
+    fn every_iteration_in_exactly_one_tile() {
+        let space = sor_like_space();
+        for ts in [
+            TilingTransform::rectangular(&[2, 3, 2]).unwrap(),
+            sor_hnr(2, 3, 2),
+            sor_hnr(3, 2, 4),
+        ] {
+            let tiled = TiledSpace::new(ts, space.clone());
+            let total_space = tiled.space_bounds().points().count();
+            assert_eq!(tiled.total_tiled_iterations(), total_space);
+        }
+    }
+
+    #[test]
+    fn tile_of_matches_enumeration() {
+        let space = sor_like_space();
+        let tiled = TiledSpace::new(sor_hnr(2, 2, 3), space.clone());
+        // Each point's floor(Hj) tile must be valid and contain the point.
+        let bounds = LoopNestBounds::new(&space);
+        for j in bounds.points() {
+            let tile = tiled.transform().tile_of(&j);
+            assert!(tiled.tile_valid(&tile), "tile {tile:?} of {j:?} not in shadow");
+            assert!(
+                tiled.tile_iterations(&tile).any(|(_, jj)| jj == j),
+                "point {j:?} missing from its tile {tile:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rectangular_tile_deps_for_unit_deps() {
+        let space = Polyhedron::from_box(&[0, 0], &[7, 7]);
+        let t = TilingTransform::rectangular(&[4, 4]).unwrap();
+        let tiled = TiledSpace::new(t, space);
+        let deps = IMat::from_rows(&[&[1, 0], &[0, 1]]);
+        let ds = tiled.tile_deps(&deps);
+        // d = (1,0) crosses tiles only at the boundary row: d^S = (1,0); same
+        // for (0,1). Interior points give (0,0), excluded.
+        let cols: BTreeSet<Vec<i64>> = (0..ds.cols()).map(|c| ds.col(c)).collect();
+        let expected: BTreeSet<Vec<i64>> = [vec![0, 1], vec![1, 0]].into_iter().collect();
+        assert_eq!(cols, expected);
+    }
+
+    #[test]
+    fn long_dependence_spans_two_tiles() {
+        let space = Polyhedron::from_box(&[0], &[9]);
+        let t = TilingTransform::rectangular(&[2]).unwrap();
+        let tiled = TiledSpace::new(t, space);
+        // d = 3 with tile length 2: d^S in {1, 2}.
+        let deps = IMat::from_rows(&[&[3]]);
+        let ds = tiled.tile_deps(&deps);
+        let cols: BTreeSet<Vec<i64>> = (0..ds.cols()).map(|c| ds.col(c)).collect();
+        let expected: BTreeSet<Vec<i64>> = [vec![1], vec![2]].into_iter().collect();
+        assert_eq!(cols, expected);
+    }
+
+    #[test]
+    fn skewed_tiling_tile_deps_match_paper_structure() {
+        // SOR-nr with equal factors: D^S components must all be in {0, 1}
+        // and lexicographically positive.
+        let space = sor_like_space();
+        let tiled = TiledSpace::new(sor_hnr(3, 3, 3), space);
+        let deps =
+            IMat::from_rows(&[&[1, 0, 1, 1, 0], &[1, 1, 0, 1, 0], &[2, 0, 2, 1, 1]]);
+        let ds = tiled.tile_deps(&deps);
+        for c in 0..ds.cols() {
+            let col = ds.col(c);
+            assert!(tilecc_linalg::vecops::is_lex_positive(&col), "{col:?}");
+            assert!(col.iter().all(|&x| (0..=1).contains(&x)), "{col:?}");
+        }
+    }
+
+    #[test]
+    fn shadow_contains_every_nonempty_tile_and_scan_is_finite() {
+        let space = sor_like_space();
+        let tiled = TiledSpace::new(sor_hnr(2, 3, 2), space);
+        let tiles: Vec<_> = tiled.tiles().collect();
+        assert!(!tiles.is_empty());
+        // All tiles distinct.
+        let set: BTreeSet<_> = tiles.iter().cloned().collect();
+        assert_eq!(set.len(), tiles.len());
+    }
+}

@@ -1,0 +1,11 @@
+# ADI integration (paper §4.3). Single-array variant with Table 3's
+# dependence pattern; the faithful two-array Table 3 kernel lives in
+# tilecc-loopnest (adi_paper) via the multi-component model.
+# No skewing needed: all dependence components are non-negative.
+param T = 16
+param N = 32
+for t = 1 to T
+for i = 1 to N
+for j = 1 to N
+X[t,i,j] = X[t-1,i,j] + 0.3*X[t-1,i-1,j] - 0.2*X[t-1,i,j-1]
+boundary = 0.25

@@ -1,0 +1,8 @@
+# 1-D heat diffusion over a 2-D (time x space) nest, skewed for tiling.
+param T = 24
+param N = 48
+skew = [1,0; 1,1]
+for t = 1 to T
+for i = 1 to N
+A[t,i] = A[t-1,i] + 0.2*(A[t-1,i-1] - 2*A[t-1,i] + A[t-1,i+1])
+boundary = 0.0

@@ -1,0 +1,10 @@
+# Gauss Successive Over-Relaxation (paper §4.1), skewed with the paper's
+# matrix T so it can be rectangularly tiled.
+param M = 20
+param N = 40
+skew = [1,0,0; 1,1,0; 2,0,1]
+for t = 1 to M
+for i = 1 to N
+for j = 1 to N
+A[t,i,j] = 0.275*(A[t,i-1,j] + A[t,i,j-1] + A[t-1,i+1,j] + A[t-1,i,j+1]) - 0.1*A[t-1,i,j]
+boundary = 0.5

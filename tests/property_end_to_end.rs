@@ -1,0 +1,199 @@
+//! Property-based end-to-end testing: random convex iteration spaces,
+//! random dependence sets, and random legal tilings (rows scaled from the
+//! computed tiling cone) must all yield parallel executions that match the
+//! sequential reference bitwise.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use tilecc_cluster::MachineModel;
+use tilecc_linalg::{IMat, RMat, Rational};
+use tilecc_loopnest::{Algorithm, Kernel, LoopNest};
+use tilecc_parcode::{execute, execute_tiled_sequential, ExecMode, ParallelPlan};
+use tilecc_polytope::{Constraint, Polyhedron};
+use tilecc_tiling::{tiling_cone_rays, TilingTransform};
+
+/// Generic stencil whose coefficients depend on the dependence count.
+struct GenericStencil {
+    weights: Vec<f64>,
+}
+
+impl Kernel for GenericStencil {
+    fn compute(&self, j: &[i64], reads: &[f64]) -> f64 {
+        let mut acc = 0.125 * (j[0] % 5) as f64;
+        for (w, r) in self.weights.iter().zip(reads) {
+            acc += w * r;
+        }
+        acc
+    }
+    fn initial(&self, j: &[i64]) -> f64 {
+        let mut h: i64 = 23;
+        for &v in j {
+            h = h.wrapping_mul(37).wrapping_add(v);
+        }
+        (h.rem_euclid(997)) as f64 / 997.0
+    }
+}
+
+/// Random 2-D or 3-D dependence matrices with lexicographically positive,
+/// small columns (first entry ≥ 0 keeps a tiling cone non-degenerate).
+fn deps_strategy(n: usize) -> impl Strategy<Value = IMat> {
+    let col = proptest::collection::vec(0i64..=2, n).prop_filter("lex positive", |c| {
+        tilecc_linalg::vecops::is_lex_positive(c)
+    });
+    proptest::collection::vec(col, 2..=4).prop_map(move |cols| {
+        let mut m = IMat::zeros(n, cols.len());
+        for (q, c) in cols.iter().enumerate() {
+            for k in 0..n {
+                m[(k, q)] = c[k];
+            }
+        }
+        m
+    })
+}
+
+/// A random bounded convex space: a box plus up to two extra half-spaces
+/// guaranteed to keep a witness region non-empty.
+fn space_strategy(n: usize) -> impl Strategy<Value = Polyhedron> {
+    let extents = proptest::collection::vec(5i64..=12, n);
+    let cuts = proptest::collection::vec(
+        (proptest::collection::vec(-1i64..=1, n), 0i64..=10),
+        0..=2,
+    );
+    (extents, cuts).prop_map(move |(ext, cuts)| {
+        let lo = vec![1i64; n];
+        let hi: Vec<i64> = ext.clone();
+        let mut p = Polyhedron::from_box(&lo, &hi);
+        for (coeffs, slack) in cuts {
+            if coeffs.iter().all(|&c| c == 0) {
+                continue;
+            }
+            // a·x + b >= 0 with b chosen so the box midpoint satisfies it.
+            let mid_val: i64 = coeffs
+                .iter()
+                .zip(&ext)
+                .map(|(&c, &e)| c * ((1 + e) / 2))
+                .sum();
+            p.add(Constraint::new(coeffs, -mid_val + slack));
+        }
+        p
+    })
+}
+
+/// Build a legal tiling for `deps`: pick rows from the tiling cone (extreme
+/// rays, falling back to the all-positive combination) scaled by random
+/// factors; reject if singular or with non-integral sides.
+fn tiling_for(deps: &IMat, factors: &[i64], use_cone: bool) -> Option<TilingTransform> {
+    let n = deps.rows();
+    let h = if use_cone {
+        let rays = tiling_cone_rays(deps);
+        if rays.len() < n {
+            return None;
+        }
+        // Pick n rays forming a non-singular matrix.
+        let mut chosen: Vec<Vec<i64>> = Vec::new();
+        for ray in &rays {
+            let mut candidate = chosen.clone();
+            candidate.push(ray.clone());
+            let rank_ok = {
+                let mut m = IMat::zeros(candidate.len(), n);
+                for (i, r) in candidate.iter().enumerate() {
+                    for k in 0..n {
+                        m[(i, k)] = r[k];
+                    }
+                }
+                // Full row rank test via determinant of a square completion.
+                candidate.len() < n || {
+                    let mut sq = IMat::zeros(n, n);
+                    for (i, r) in candidate.iter().enumerate() {
+                        for k in 0..n {
+                            sq[(i, k)] = r[k];
+                        }
+                    }
+                    sq.det() != 0
+                }
+            };
+            if rank_ok {
+                chosen = candidate;
+            }
+            if chosen.len() == n {
+                break;
+            }
+        }
+        if chosen.len() < n {
+            return None;
+        }
+        RMat::from_fn(n, n, |i, j| {
+            Rational::new(chosen[i][j] as i128, factors[i] as i128)
+        })
+    } else {
+        RMat::from_fn(n, n, |i, j| {
+            if i == j {
+                Rational::new(1, factors[i] as i128)
+            } else {
+                Rational::ZERO
+            }
+        })
+    };
+    TilingTransform::new(h).ok().filter(|t| t.validate_for(deps).is_ok())
+}
+
+fn run_case(space: Polyhedron, deps: IMat, factors: Vec<i64>, use_cone: bool, m: usize) {
+    let n = deps.rows();
+    let Some(transform) = tiling_for(&deps, &factors, use_cone) else {
+        return; // rejected tiling shape; nothing to test
+    };
+    let q = deps.cols();
+    let weights: Vec<f64> = (0..q).map(|i| 0.2 + 0.1 * i as f64).collect();
+    let alg = Algorithm::new(
+        "prop",
+        LoopNest::new(space, deps),
+        Arc::new(GenericStencil { weights }),
+    );
+    let seq = alg.execute_sequential();
+    let plan = match ParallelPlan::new(alg, transform, Some(m % n)) {
+        Ok(p) => Arc::new(p),
+        Err(_) => return,
+    };
+    // Tiled sequential reordering must match.
+    let tiled_seq = execute_tiled_sequential(&plan);
+    assert_eq!(seq.diff(&tiled_seq), None, "tiled sequential mismatch");
+    // Parallel execution must match bitwise and conserve iterations.
+    let total = plan.total_iterations();
+    let res = execute(plan, MachineModel::fast_ethernet_p3(), ExecMode::Full);
+    assert_eq!(res.total_iterations as usize, total, "iteration conservation");
+    assert_eq!(seq.diff(res.data.as_ref().unwrap()), None, "parallel mismatch");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn random_2d_rectangular_tilings(
+        space in space_strategy(2),
+        deps in deps_strategy(2),
+        factors in proptest::collection::vec(2i64..=5, 2),
+        m in 0usize..2,
+    ) {
+        run_case(space, deps, factors, false, m);
+    }
+
+    #[test]
+    fn random_3d_rectangular_tilings(
+        space in space_strategy(3),
+        deps in deps_strategy(3),
+        factors in proptest::collection::vec(2i64..=4, 3),
+        m in 0usize..3,
+    ) {
+        run_case(space, deps, factors, false, m);
+    }
+
+    #[test]
+    fn random_3d_cone_tilings(
+        space in space_strategy(3),
+        deps in deps_strategy(3),
+        factors in proptest::collection::vec(2i64..=4, 3),
+        m in 0usize..3,
+    ) {
+        run_case(space, deps, factors, true, m);
+    }
+}
