@@ -8,10 +8,13 @@
 //! * `mapping_ablation` — wall cost of simulating under each mapping
 //!   dimension (the makespans themselves are printed by the `ablation`
 //!   binary).
+//!
+//! Runs under the dependency-free harness in `tilecc_bench::harness`; under
+//! `cargo test` each benchmark executes once as a smoke test.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use tilecc::matrices;
+use tilecc_bench::harness::Harness;
 use tilecc_linalg::RMat;
 use tilecc_loopnest::kernels;
 use tilecc_parcode::ParallelPlan;
@@ -27,7 +30,7 @@ fn strided_transform() -> TilingTransform {
     .unwrap()
 }
 
-fn lds_ablation(c: &mut Criterion) {
+fn lds_ablation(h: &mut Harness) {
     let t = strided_transform();
     let alg = kernels::adi(32, 32);
     let tiled = TiledSpace::new(t.clone(), alg.nest.space().clone());
@@ -36,96 +39,84 @@ fn lds_ablation(c: &mut Criterion) {
     let num_tiles = 4i64;
     let points: Vec<Vec<i64>> = t.ttis_points().collect();
 
-    let mut g = c.benchmark_group("lds_ablation");
-    g.bench_function("condensed_map_write_read", |b| {
-        let mut lds = Lds::new(geo.clone(), vec![0, 0, 0], num_tiles);
-        b.iter(|| {
-            let mut acc = 0.0;
-            for tp in 0..num_tiles {
-                for jp in &points {
-                    let gg = lds.unrolled(tp, jp);
-                    lds.set(&gg, (gg[0] + gg[1]) as f64);
-                    acc += lds.get(&gg);
-                }
+    let mut lds = Lds::new(geo.clone(), vec![0, 0, 0], num_tiles);
+    h.bench("lds_ablation/condensed_map_write_read", || {
+        let mut acc = 0.0;
+        for tp in 0..num_tiles {
+            for jp in &points {
+                let gg = lds.unrolled(tp, jp);
+                lds.set(&gg, (gg[0] + gg[1]) as f64);
+                acc += lds.get(&gg);
             }
-            black_box(acc)
-        })
+        }
+        black_box(acc);
     });
-    g.bench_function("naive_ttis_image_write_read", |b| {
-        // Uncondensed: one cell per TTIS *box* coordinate (holes wasted).
-        let v = t.v().to_vec();
-        let ext = [v[0] * num_tiles, v[1], v[2]];
-        let mut arr = vec![0.0f64; (ext[0] * ext[1] * ext[2]) as usize];
-        b.iter(|| {
-            let mut acc = 0.0;
-            for tp in 0..num_tiles {
-                for jp in &points {
-                    let idx =
-                        (((tp * v[0] + jp[0]) * ext[1] + jp[1]) * ext[2] + jp[2]) as usize;
-                    arr[idx] = (jp[0] + jp[1]) as f64;
-                    acc += arr[idx];
-                }
+
+    // Uncondensed: one cell per TTIS *box* coordinate (holes wasted).
+    let v = t.v().to_vec();
+    let ext = [v[0] * num_tiles, v[1], v[2]];
+    let mut arr = vec![0.0f64; (ext[0] * ext[1] * ext[2]) as usize];
+    h.bench("lds_ablation/naive_ttis_image_write_read", || {
+        let mut acc = 0.0;
+        for tp in 0..num_tiles {
+            for jp in &points {
+                let idx = (((tp * v[0] + jp[0]) * ext[1] + jp[1]) * ext[2] + jp[2]) as usize;
+                arr[idx] = (jp[0] + jp[1]) as f64;
+                acc += arr[idx];
             }
-            black_box(acc)
-        })
+        }
+        black_box(acc);
     });
-    g.finish();
+
     // Memory footprint comparison is asserted (the paper's storage claim).
     let condensed_cells: i64 = geo.extents(num_tiles).iter().product();
     let naive_cells: i64 = t.v()[0] * num_tiles * t.v()[1] * t.v()[2];
-    assert!(condensed_cells < naive_cells, "condensation must shrink storage");
+    assert!(
+        condensed_cells < naive_cells,
+        "condensation must shrink storage"
+    );
 }
 
-fn clamp_ablation(c: &mut Criterion) {
+fn clamp_ablation(h: &mut Harness) {
     let alg = kernels::sor_skewed(16, 24, 1.0);
     let t = TilingTransform::new(matrices::sor_nr(4, 10, 8)).unwrap();
     let tiled = TiledSpace::new(t, alg.nest.space().clone());
     let tiles: Vec<Vec<i64>> = tiled.tiles().collect();
-    let mut g = c.benchmark_group("clamp_ablation");
-    g.bench_function("per_point_membership", |b| {
-        b.iter(|| {
-            let mut n = 0usize;
-            for tile in &tiles {
-                n += tiled.tile_iterations(tile).count();
-            }
-            black_box(n)
-        })
+    h.bench("clamp_ablation/per_point_membership", || {
+        let mut n = 0usize;
+        for tile in &tiles {
+            n += tiled.tile_iterations(tile).count();
+        }
+        black_box(n);
     });
-    g.bench_function("interior_corner_fast_path", |b| {
-        b.iter(|| {
-            let mut n = 0usize;
-            for tile in &tiles {
-                n += tiled.tile_volume_fast(tile);
-            }
-            black_box(n)
-        })
+    h.bench("clamp_ablation/interior_corner_fast_path", || {
+        let mut n = 0usize;
+        for tile in &tiles {
+            n += tiled.tile_volume_fast(tile);
+        }
+        black_box(n);
     });
-    g.finish();
 }
 
-fn mapping_ablation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("mapping_ablation");
+fn mapping_ablation(h: &mut Harness) {
     for m in 0..3usize {
-        g.bench_with_input(BenchmarkId::new("simulate_adi_mapdim", m), &m, |b, &m| {
-            b.iter(|| {
-                let alg = kernels::adi(24, 32);
-                let t = TilingTransform::new(matrices::rect(5, 9, 9)).unwrap();
-                let plan =
-                    std::sync::Arc::new(ParallelPlan::new(alg, t, Some(m)).unwrap());
-                black_box(tilecc_parcode::execute(
-                    plan,
-                    tilecc_cluster::MachineModel::fast_ethernet_p3(),
-                    tilecc_parcode::ExecMode::TimingOnly,
-                ))
-            })
+        h.bench(&format!("mapping_ablation/simulate_adi_mapdim/{m}"), || {
+            let alg = kernels::adi(24, 32);
+            let t = TilingTransform::new(matrices::rect(5, 9, 9)).unwrap();
+            let plan = std::sync::Arc::new(ParallelPlan::new(alg, t, Some(m)).unwrap());
+            black_box(tilecc_parcode::execute(
+                plan,
+                tilecc_cluster::MachineModel::fast_ethernet_p3(),
+                tilecc_parcode::ExecMode::TimingOnly,
+            ));
         });
     }
-    g.finish();
 }
 
-criterion_group!(
-    name = ablations;
-    config = Criterion::default().sample_size(10);
-    targets = lds_ablation, clamp_ablation, mapping_ablation
-);
-criterion_main!(ablations);
+fn main() {
+    let mut h = Harness::from_args();
+    lds_ablation(&mut h);
+    clamp_ablation(&mut h);
+    mapping_ablation(&mut h);
+    h.finish();
+}

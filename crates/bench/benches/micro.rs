@@ -1,39 +1,45 @@
 //! Micro-benchmarks of the compiler's building blocks: Hermite Normal Form,
 //! Fourier–Motzkin elimination, TTIS lattice traversal, tile-dependence
 //! computation, and the `loc`/`loc⁻¹` address translations.
+//!
+//! Runs under the dependency-free harness in `tilecc_bench::harness`; under
+//! `cargo test` each benchmark executes once as a smoke test.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use tilecc::matrices;
+use tilecc_bench::harness::Harness;
 use tilecc_linalg::{column_hnf, IMat, Lattice};
 use tilecc_loopnest::kernels;
 use tilecc_parcode::ParallelPlan;
 use tilecc_polytope::{Constraint, LoopNestBounds, Polyhedron};
 use tilecc_tiling::{TiledSpace, TilingTransform};
 
-fn bench_hnf(c: &mut Criterion) {
+fn bench_hnf(h: &mut Harness) {
     let matrices: Vec<IMat> = vec![
         IMat::from_rows(&[&[1, 0, 0], &[0, 1, 0], &[-1, 0, 1]]),
         IMat::from_rows(&[&[2, 1, 0], &[0, 1, 0], &[0, 0, 1]]),
         IMat::from_rows(&[&[3, 1, -2], &[-1, 4, 2], &[5, 0, 7]]),
-        IMat::from_rows(&[&[4, 1, -2, 3], &[-1, 4, 2, 0], &[5, 0, 7, 1], &[2, -3, 1, 6]]),
+        IMat::from_rows(&[
+            &[4, 1, -2, 3],
+            &[-1, 4, 2, 0],
+            &[5, 0, 7, 1],
+            &[2, -3, 1, 6],
+        ]),
     ];
-    c.bench_function("hnf/column_hnf_batch", |b| {
-        b.iter(|| {
-            for m in &matrices {
-                black_box(column_hnf(black_box(m)));
-            }
-        })
+    h.bench("hnf/column_hnf_batch", || {
+        for m in &matrices {
+            black_box(column_hnf(black_box(m)));
+        }
     });
 }
 
-fn bench_fourier_motzkin(c: &mut Criterion) {
+fn bench_fourier_motzkin(h: &mut Harness) {
     // The SOR tile-space projection: 6 variables down to 3.
     let alg = kernels::sor_skewed(50, 100, 1.0);
     let space = alg.nest.space().clone();
     let t = TilingTransform::new(matrices::sor_nr(13, 38, 25)).unwrap();
-    c.bench_function("fm/tile_space_projection_sor", |b| {
-        b.iter(|| black_box(TiledSpace::new(t.clone(), space.clone())))
+    h.bench("fm/tile_space_projection_sor", || {
+        black_box(TiledSpace::new(t.clone(), space.clone()));
     });
 
     let mut p = Polyhedron::universe(4);
@@ -45,68 +51,65 @@ fn bench_fourier_motzkin(c: &mut Criterion) {
     p.add(Constraint::new(vec![0, -2, 1, -1], 40));
     p.add(Constraint::new(vec![0, 0, 1, 1], 5));
     p.add(Constraint::new(vec![0, 0, -1, -1], 60));
-    c.bench_function("fm/project_4d_to_1d", |b| {
-        b.iter(|| black_box(black_box(&p).project_onto_first(1)))
+    h.bench("fm/project_4d_to_1d", || {
+        black_box(black_box(&p).project_onto_first(1));
     });
 }
 
-fn bench_lattice_walk(c: &mut Criterion) {
+fn bench_lattice_walk(h: &mut Harness) {
     // Sparse lattice (index 2) in a 32³ box.
     let basis = IMat::from_rows(&[&[2, 1, 0], &[0, 1, 0], &[0, 0, 1]]);
     let lat = Lattice::from_columns(&basis);
     let lo = vec![0i64; 3];
     let hi = vec![32i64; 3];
-    c.bench_function("lattice/walk_32cubed_index2", |b| {
-        b.iter(|| black_box(lat.points_in_box(&lo, &hi).count()))
+    h.bench("lattice/walk_32cubed_index2", || {
+        black_box(lat.points_in_box(&lo, &hi).count());
     });
     let dense = Lattice::standard(3);
-    c.bench_function("lattice/walk_32cubed_dense", |b| {
-        b.iter(|| black_box(dense.points_in_box(&lo, &hi).count()))
+    h.bench("lattice/walk_32cubed_dense", || {
+        black_box(dense.points_in_box(&lo, &hi).count());
     });
 }
 
-fn bench_tile_deps(c: &mut Criterion) {
+fn bench_tile_deps(h: &mut Harness) {
     let alg = kernels::sor_skewed(30, 60, 1.0);
     let space = alg.nest.space().clone();
     let deps = alg.nest.deps().clone();
     let t = TilingTransform::new(matrices::sor_nr(8, 23, 15)).unwrap();
     let tiled = TiledSpace::new(t, space);
-    c.bench_function("tiling/tile_deps_sor_nr", |b| {
-        b.iter(|| black_box(tiled.tile_deps(black_box(&deps))))
+    h.bench("tiling/tile_deps_sor_nr", || {
+        black_box(tiled.tile_deps(black_box(&deps)));
     });
 }
 
-fn bench_loc_round_trip(c: &mut Criterion) {
+fn bench_loc_round_trip(h: &mut Harness) {
     let alg = kernels::sor_skewed(10, 16, 1.0);
     let t = TilingTransform::new(matrices::sor_nr(3, 7, 5)).unwrap();
     let plan = ParallelPlan::new(alg, t, Some(2)).unwrap();
     let points: Vec<Vec<i64>> = plan.tiled.space_bounds().points().collect();
-    c.bench_function("plan/loc_loc_inv_per_point", |b| {
-        b.iter(|| {
-            for j in &points {
-                let (pid, addr) = plan.loc(j);
-                black_box(plan.loc_inv(&pid, &addr));
-            }
-        })
+    h.bench("plan/loc_loc_inv_per_point", || {
+        for j in &points {
+            let (pid, addr) = plan.loc(j);
+            black_box(plan.loc_inv(&pid, &addr));
+        }
     });
 }
 
-fn bench_point_scan(c: &mut Criterion) {
+fn bench_point_scan(h: &mut Harness) {
     let alg = kernels::sor_skewed(16, 24, 1.0);
     let bounds = LoopNestBounds::new(alg.nest.space());
-    c.bench_function("polytope/scan_skewed_sor_space", |b| {
-        b.iter(|| black_box(bounds.points().count()))
+    h.bench("polytope/scan_skewed_sor_space", || {
+        black_box(bounds.points().count());
     });
 }
 
-criterion_group!(
-    name = micro;
-    config = Criterion::default().sample_size(20);
-    targets = bench_hnf,
-    bench_fourier_motzkin,
-    bench_lattice_walk,
-    bench_tile_deps,
-    bench_loc_round_trip,
-    bench_point_scan
-);
-criterion_main!(micro);
+fn main() {
+    let mut h = Harness::from_args();
+    bench_hnf(&mut h);
+    bench_fourier_motzkin(&mut h);
+    bench_lattice_walk(&mut h);
+    bench_tile_deps(&mut h);
+    bench_loc_round_trip(&mut h);
+    bench_point_scan(&mut h);
+    h.finish();
+}

@@ -47,7 +47,12 @@ fn main() {
 
     println!("\n== 2. ADI tile-shape ladder (T=40, N=64, grid 17x17, x=8) ==");
     let w = Workload::Adi { t: 40, n: 64 };
-    for v in [Variant::Rect, Variant::AdiNr1, Variant::AdiNr2, Variant::AdiNr3] {
+    for v in [
+        Variant::Rect,
+        Variant::AdiNr1,
+        Variant::AdiNr2,
+        Variant::AdiNr3,
+    ] {
         let p = measure(w, v, (8, 17, 17), model);
         println!(
             "  {:<5} makespan {:.5} s  speedup {:.3}  predicted steps {:.1}",
@@ -71,15 +76,26 @@ fn main() {
     println!("  TTIS strides c = {:?}", t.strides());
     println!("  condensed LDS cells : {condensed}");
     println!("  naive TTIS image    : {naive}");
-    println!("  compression         : {:.2}x", naive as f64 / condensed as f64);
+    println!(
+        "  compression         : {:.2}x",
+        naive as f64 / condensed as f64
+    );
     println!("\n== 4. Communication overlap (future work [8]) — SOR M=40 N=60, tiles 11x26x10 ==");
     let alg = kernels::sor_skewed(40, 60, 1.1);
     let t = TilingTransform::new(matrices::sor_nr(11, 26, 10)).unwrap();
     let plan = Arc::new(ParallelPlan::new(alg, t, Some(2)).unwrap());
-    let blocking = tilecc_parcode::execute_with(plan.clone(), model, ExecMode::TimingOnly, CommScheme::Blocking);
-    let overlapped = tilecc_parcode::execute_with(plan, model, ExecMode::TimingOnly, CommScheme::Overlapped);
+    let blocking = tilecc_parcode::execute_with(
+        plan.clone(),
+        model,
+        ExecMode::TimingOnly,
+        CommScheme::Blocking,
+    );
+    let overlapped =
+        tilecc_parcode::execute_with(plan, model, ExecMode::TimingOnly, CommScheme::Overlapped);
     println!("  blocking   makespan {:.5} s", blocking.makespan());
-    println!("  overlapped makespan {:.5} s ({:.1}% faster)",
+    println!(
+        "  overlapped makespan {:.5} s ({:.1}% faster)",
         overlapped.makespan(),
-        (blocking.makespan() - overlapped.makespan()) / blocking.makespan() * 100.0);
+        (blocking.makespan() - overlapped.makespan()) / blocking.makespan() * 100.0
+    );
 }

@@ -8,9 +8,15 @@ fn main() {
     let series = run_sor(&sor_spaces(), model, true);
     println!("\n--- Figure 5: max speedup per iteration space ---");
     for s in &series {
-        println!("\n{} (grid x={}, y={}):", s.workload, s.grid_factors.0, s.grid_factors.1);
+        println!(
+            "\n{} (grid x={}, y={}):",
+            s.workload, s.grid_factors.0, s.grid_factors.1
+        );
         for p in best_per_variant(&s.points) {
-            println!("  {:<10} speedup {:>6.3} (z = {})", p.variant, p.speedup, p.factors.2);
+            println!(
+                "  {:<10} speedup {:>6.3} (z = {})",
+                p.variant, p.speedup, p.factors.2
+            );
         }
     }
     write_record(&FigureRecord {

@@ -8,9 +8,15 @@ fn main() {
     let series = run_adi(&adi_spaces(), model, true);
     println!("\n--- Figure 9: max speedup per iteration space ---");
     for s in &series {
-        println!("\n{} (grid y={}, z={}):", s.workload, s.grid_factors.1, s.grid_factors.2);
+        println!(
+            "\n{} (grid y={}, z={}):",
+            s.workload, s.grid_factors.1, s.grid_factors.2
+        );
         for p in best_per_variant(&s.points) {
-            println!("  {:<10} speedup {:>6.3} (x = {})", p.variant, p.speedup, p.factors.0);
+            println!(
+                "  {:<10} speedup {:>6.3} (x = {})",
+                p.variant, p.speedup, p.factors.0
+            );
         }
     }
     write_record(&FigureRecord {

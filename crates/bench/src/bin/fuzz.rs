@@ -2,15 +2,21 @@
 //! dependence sets and (rectangular or tiling-cone) tilings, and checks the
 //! full parallel pipeline bitwise against sequential execution.
 //!
-//! Usage: `fuzz [seed] [cases]`. Found two real bugs during development
-//! (Fourier–Motzkin blowup on dense skewed systems; non-monotone
-//! minimum-successor message pairing — see DESIGN.md).
+//! Usage: `fuzz [seed] [cases] [--faults]`. With `--faults`, every case is
+//! additionally executed under a seeded lossy/duplicating/reordering
+//! `FaultPlan`; the reliability layer must reproduce the fault-free result
+//! bitwise, with retransmissions visible in the stats.
+//!
+//! Every failure path prints the RNG seed so regressions reproduce with
+//! `fuzz <seed>`. Found two real bugs during development (Fourier–Motzkin
+//! blowup on dense skewed systems; non-monotone minimum-successor message
+//! pairing — see DESIGN.md).
 
 use std::sync::Arc;
-use tilecc_cluster::MachineModel;
+use tilecc_cluster::{EngineOptions, FaultPlan, MachineModel};
 use tilecc_linalg::{IMat, RMat, Rational};
 use tilecc_loopnest::{Algorithm, Kernel, LoopNest};
-use tilecc_parcode::{execute, execute_tiled_sequential, ExecMode, ParallelPlan};
+use tilecc_parcode::{execute, execute_opts, execute_tiled_sequential, ExecMode, ParallelPlan};
 use tilecc_polytope::{Constraint, Polyhedron};
 use tilecc_tiling::{tiling_cone_rays, TilingTransform};
 
@@ -44,9 +50,25 @@ impl Kernel for K {
     }
 }
 
+/// Report a failure with the reproduction seed and exit.
+fn fail(seed: u64, case: u64, what: &str) -> ! {
+    eprintln!("FAILURE in case {case}: {what}");
+    eprintln!("reproduce with: fuzz {seed}");
+    std::process::exit(3);
+}
+
 fn main() {
-    let seed: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(42);
-    let cases: u64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(200);
+    let args: Vec<String> = std::env::args().collect();
+    let faults = args.iter().any(|a| a == "--faults");
+    let positional: Vec<&String> = args[1..].iter().filter(|a| !a.starts_with("--")).collect();
+    let seed: u64 = positional
+        .first()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+    let cases: u64 = positional
+        .get(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200);
     let mut g = G(seed | 1);
     for case in 0..cases {
         let n = 3usize;
@@ -58,9 +80,15 @@ fn main() {
         let mut cuts = vec![];
         for _ in 0..ncuts {
             let coeffs: Vec<i64> = (0..n).map(|_| g.range(-1, 1)).collect();
-            if coeffs.iter().all(|&c| c == 0) { continue; }
+            if coeffs.iter().all(|&c| c == 0) {
+                continue;
+            }
             let slack = g.range(0, 10);
-            let mid: i64 = coeffs.iter().zip(&ext).map(|(&c, &e)| c * ((1 + e) / 2)).sum();
+            let mid: i64 = coeffs
+                .iter()
+                .zip(&ext)
+                .map(|(&c, &e)| c * ((1 + e) / 2))
+                .sum();
             cuts.push((coeffs.clone(), -mid + slack));
             space.add(Constraint::new(coeffs, -mid + slack));
         }
@@ -78,16 +106,20 @@ fn main() {
         }
         let mut deps = IMat::zeros(n, cols.len());
         for (qq, c) in cols.iter().enumerate() {
-            for k in 0..n { deps[(k, qq)] = c[k]; }
+            for k in 0..n {
+                deps[(k, qq)] = c[k];
+            }
         }
         let factors: Vec<i64> = (0..n).map(|_| g.range(2, 4)).collect();
-        let use_cone = g.next() % 2 == 0;
+        let use_cone = g.next().is_multiple_of(2);
         let m = (g.next() % n as u64) as usize;
         eprintln!("case {case}: ext={ext:?} cuts={cuts:?} deps={cols:?} factors={factors:?} cone={use_cone} m={m}");
         // tiling
         let h = if use_cone {
             let rays = tiling_cone_rays(&deps);
-            if rays.len() < n { continue; }
+            if rays.len() < n {
+                continue;
+            }
             let mut chosen: Vec<Vec<i64>> = vec![];
             for ray in &rays {
                 let mut cand = chosen.clone();
@@ -95,48 +127,121 @@ fn main() {
                 let ok = cand.len() < n || {
                     let mut sq = IMat::zeros(n, n);
                     for (i, r) in cand.iter().enumerate() {
-                        for k in 0..n { sq[(i, k)] = r[k]; }
+                        for k in 0..n {
+                            sq[(i, k)] = r[k];
+                        }
                     }
                     sq.det() != 0
                 };
-                if ok { chosen = cand; }
-                if chosen.len() == n { break; }
+                if ok {
+                    chosen = cand;
+                }
+                if chosen.len() == n {
+                    break;
+                }
             }
-            if chosen.len() < n { continue; }
-            RMat::from_fn(n, n, |i, j| Rational::new(chosen[i][j] as i128, factors[i] as i128))
+            if chosen.len() < n {
+                continue;
+            }
+            RMat::from_fn(n, n, |i, j| {
+                Rational::new(chosen[i][j] as i128, factors[i] as i128)
+            })
         } else {
-            RMat::from_fn(n, n, |i, j| if i == j { Rational::new(1, factors[i] as i128) } else { Rational::ZERO })
+            RMat::from_fn(n, n, |i, j| {
+                if i == j {
+                    Rational::new(1, factors[i] as i128)
+                } else {
+                    Rational::ZERO
+                }
+            })
         };
-        let Ok(t) = TilingTransform::new(h) else { continue };
-        if t.validate_for(&deps).is_err() { continue; }
+        let Ok(t) = TilingTransform::new(h) else {
+            continue;
+        };
+        if t.validate_for(&deps).is_err() {
+            continue;
+        }
         let alg = Algorithm::new("p", LoopNest::new(space, deps), Arc::new(K));
         let seq = alg.execute_sequential();
         let tsq = tilecc_tiling::TiledSpace::new(t.clone(), alg.nest.space().clone());
-        eprintln!("  stage: shadow has {} constraints; enumerating tiles", tsq.shadow().constraints().len());
+        eprintln!(
+            "  stage: shadow has {} constraints; enumerating tiles",
+            tsq.shadow().constraints().len()
+        );
         let ntiles = tsq.tiles().count();
         eprintln!("  stage: {} tiles; distribution", ntiles);
         let dist = tilecc_tiling::Distribution::new(&tsq, Some(m));
         eprintln!("  stage: {} procs; commplan", dist.num_procs());
         let _cp = tilecc_tiling::CommPlan::new(&tsq, alg.nest.deps(), m);
-        let Ok(plan) = ParallelPlan::new(alg, t, Some(m)) else { continue };
+        let Ok(plan) = ParallelPlan::new(alg, t, Some(m)) else {
+            continue;
+        };
         let plan = Arc::new(plan);
         let ts = execute_tiled_sequential(&plan);
-        assert!(seq.diff(&ts).is_none(), "tiled seq mismatch");
-        let res = execute(plan.clone(), MachineModel::fast_ethernet_p3(), ExecMode::Full);
+        if seq.diff(&ts).is_some() {
+            fail(seed, case, "tiled sequential reordering mismatch");
+        }
+        let res = execute(
+            plan.clone(),
+            MachineModel::fast_ethernet_p3(),
+            ExecMode::Full,
+        );
         if let Some(bad) = seq.diff(res.data.as_ref().unwrap()) {
             eprintln!("  MISMATCH at {bad:?}");
             let tf = plan.tiled.transform();
             eprintln!("  H' = {:?}", tf.h_prime());
             eprintln!("  v = {:?} strides = {:?}", tf.v(), tf.strides());
             eprintln!("  D' = {:?}", plan.comm.d_prime);
-            eprintln!("  maxd = {:?} cc = {:?} off = {:?}", plan.comm.maxd, plan.comm.cc, plan.comm.off);
+            eprintln!(
+                "  maxd = {:?} cc = {:?} off = {:?}",
+                plan.comm.maxd, plan.comm.cc, plan.comm.off
+            );
             eprintln!("  D^S = {:?}", plan.comm.tile_deps);
             eprintln!("  D^m = {:?}", plan.comm.proc_deps);
             let tile = tf.tile_of(&bad);
             eprintln!("  tile of bad point: {tile:?}");
-            eprintln!("  seq value {:?} par value {:?}", seq.get_all(&bad), res.data.as_ref().unwrap().get_all(&bad));
-            std::process::exit(3);
+            eprintln!(
+                "  seq value {:?} par value {:?}",
+                seq.get_all(&bad),
+                res.data.as_ref().unwrap().get_all(&bad)
+            );
+            fail(seed, case, "parallel/sequential mismatch");
+        }
+        if faults {
+            // Re-run the case over a chaotic substrate seeded per-case: the
+            // reliability layer must reproduce the fault-free data bitwise.
+            let fault_seed = seed ^ case.wrapping_mul(0x9E37_79B9);
+            let options = EngineOptions {
+                fault: Some(FaultPlan::chaos(fault_seed, 0.3)),
+                ..EngineOptions::default()
+            };
+            let faulty = match execute_opts(
+                plan.clone(),
+                MachineModel::fast_ethernet_p3(),
+                ExecMode::Full,
+                options,
+            ) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("  fault-injected run failed: {e} (fault seed {fault_seed})");
+                    fail(seed, case, "reliability layer failed to mask faults");
+                }
+            };
+            if let Some(bad) = seq.diff(faulty.data.as_ref().unwrap()) {
+                eprintln!("  FAULTY MISMATCH at {bad:?} (fault seed {fault_seed})");
+                fail(seed, case, "fault-injected result differs from fault-free");
+            }
+            if faulty.report.total_messages() > 20 && faulty.report.total_retransmissions() == 0 {
+                fail(seed, case, "30% drop rate produced no retransmissions");
+            }
         }
     }
-    eprintln!("all {cases} cases passed");
+    eprintln!(
+        "all {cases} cases passed{}",
+        if faults {
+            " (with fault injection)"
+        } else {
+            ""
+        }
+    );
 }

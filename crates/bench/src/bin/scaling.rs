@@ -33,8 +33,7 @@ fn main() {
     // Grid ladder: halving tile edges roughly doubles each grid dimension.
     for (x, y) in [(50, 150), (50, 74), (26, 74), (26, 40), (13, 40)] {
         let z = 20;
-        let (procs, rect) =
-            measure_with(w, matrices::rect(x, y, z), CommScheme::Blocking, model);
+        let (procs, rect) = measure_with(w, matrices::rect(x, y, z), CommScheme::Blocking, model);
         let (_, cone) = measure_with(w, matrices::sor_nr(x, y, z), CommScheme::Blocking, model);
         let (_, cone_ov) =
             measure_with(w, matrices::sor_nr(x, y, z), CommScheme::Overlapped, model);

@@ -9,15 +9,28 @@ fn main() {
     let mut rows = vec![];
     for (name, series, nr) in [
         ("SOR", run_sor(&sor_spaces(), model, false), "non-rect"),
-        ("Jacobi", run_jacobi(&jacobi_spaces(), model, false), "non-rect"),
+        (
+            "Jacobi",
+            run_jacobi(&jacobi_spaces(), model, false),
+            "non-rect",
+        ),
         ("ADI", run_adi(&adi_spaces(), model, false), "nr3"),
     ] {
-        let improvements: Vec<f64> =
-            series.iter().map(|s| improvement_pct(&s.points, nr)).collect();
+        let improvements: Vec<f64> = series
+            .iter()
+            .map(|s| improvement_pct(&s.points, nr))
+            .collect();
         let avg = improvements.iter().sum::<f64>() / improvements.len() as f64;
-        println!("{name:<8} per-space improvements: {:?}", improvements
-            .iter().map(|v| format!("{v:+.1}%")).collect::<Vec<_>>());
-        println!("{name:<8} average improvement: {avg:+.1}%  (paper: SOR +17.3, Jacobi +9.1, ADI +10.1)");
+        println!(
+            "{name:<8} per-space improvements: {:?}",
+            improvements
+                .iter()
+                .map(|v| format!("{v:+.1}%"))
+                .collect::<Vec<_>>()
+        );
+        println!(
+            "{name:<8} average improvement: {avg:+.1}%  (paper: SOR +17.3, Jacobi +9.1, ADI +10.1)"
+        );
         rows.push((name, avg));
     }
 }

@@ -25,13 +25,21 @@ fn main() {
     let w = Workload::Adi { t: 100, n: 256 };
     let (y, z) = yz_grid(w, 256, 256);
     for xf in [5, 10, 20] {
-        let pts: Vec<_> = [Variant::Rect, Variant::AdiNr1, Variant::AdiNr2, Variant::AdiNr3]
-            .into_iter()
-            .map(|v| measure(w, v, (xf, y, z), model))
-            .collect();
+        let pts: Vec<_> = [
+            Variant::Rect,
+            Variant::AdiNr1,
+            Variant::AdiNr2,
+            Variant::AdiNr3,
+        ]
+        .into_iter()
+        .map(|v| measure(w, v, (xf, y, z), model))
+        .collect();
         println!(
             "  x={xf:>3}  rect {:.4}s | nr1 {:.4}s | nr2 {:.4}s | nr3 {:.4}s  => nr3 fastest: {}",
-            pts[0].makespan, pts[1].makespan, pts[2].makespan, pts[3].makespan,
+            pts[0].makespan,
+            pts[1].makespan,
+            pts[2].makespan,
+            pts[3].makespan,
             pts[3].makespan <= pts[1].makespan.min(pts[2].makespan)
                 && pts[3].makespan < pts[0].makespan
         );

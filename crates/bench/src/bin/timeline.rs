@@ -17,8 +17,12 @@ fn show(label: &str, h: tilecc_linalg::RMat) {
         plan,
         MachineModel::fast_ethernet_p3(),
         ExecMode::TimingOnly,
-        EngineOptions { trace: true, ..Default::default() },
-    );
+        EngineOptions {
+            trace: true,
+            ..Default::default()
+        },
+    )
+    .expect("perfect-substrate trace run cannot fail");
     println!("== {label}: makespan {:.5} s ==", res.makespan());
     print!("{}", render_gantt(&res.report.traces, 100));
     let horizon = res.makespan();

@@ -1,0 +1,101 @@
+//! A minimal, dependency-free benchmark harness for the `[[bench]]` targets
+//! (`harness = false`).
+//!
+//! Under `cargo bench` each registered closure is warmed up once and then
+//! timed over enough iterations to fill a small measurement budget; the mean
+//! and min wall time per iteration are printed. Under `cargo test` (cargo
+//! passes `--test` to bench binaries) every closure runs exactly once as a
+//! smoke test, so benches stay compile- and run-checked by the test suite.
+
+use std::time::{Duration, Instant};
+
+/// Per-iteration measurement budget under `cargo bench`.
+const BUDGET: Duration = Duration::from_millis(300);
+/// Minimum measured iterations per benchmark.
+const MIN_ITERS: u32 = 3;
+
+pub struct Harness {
+    /// `--test` mode: run each bench once, don't measure.
+    smoke: bool,
+    /// Substring filter from the command line, if any.
+    filter: Option<String>,
+    ran: usize,
+}
+
+impl Harness {
+    /// Build from `std::env::args`: detects cargo's `--test` flag and takes
+    /// the first free argument as a name filter.
+    pub fn from_args() -> Self {
+        let mut smoke = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => smoke = true,
+                "--bench" => {}
+                a if a.starts_with("--") => {}
+                a => filter = Some(a.to_string()),
+            }
+        }
+        Harness {
+            smoke,
+            filter,
+            ran: 0,
+        }
+    }
+
+    /// Run (or smoke-run) one benchmark.
+    pub fn bench<F: FnMut()>(&mut self, name: &str, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        self.ran += 1;
+        if self.smoke {
+            f();
+            println!("{name}: ok (smoke)");
+            return;
+        }
+        f(); // warm-up
+        let mut iters: u32 = 0;
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        while iters < MIN_ITERS || total < BUDGET {
+            let t0 = Instant::now();
+            f();
+            let dt = t0.elapsed();
+            total += dt;
+            min = min.min(dt);
+            iters += 1;
+        }
+        let mean = total / iters;
+        println!(
+            "{name}: mean {:>12} min {:>12}  ({iters} iters)",
+            fmt_duration(mean),
+            fmt_duration(min)
+        );
+    }
+
+    /// Print the trailer. Call at the end of `main`.
+    pub fn finish(self) {
+        if self.ran == 0 {
+            println!(
+                "no benchmarks matched{}",
+                self.filter.map(|f| format!(" `{f}`")).unwrap_or_default()
+            );
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", d.as_secs_f64())
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}

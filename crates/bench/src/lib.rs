@@ -6,7 +6,8 @@
 //! and non-rectangular tilings on the modelled cluster, prints the series,
 //! and writes a JSON record under `results/`.
 
-use serde::Serialize;
+pub mod harness;
+
 use std::path::Path;
 use tilecc::{measure, probe_procs, MeasuredPoint, Variant, Workload};
 use tilecc_cluster::MachineModel;
@@ -20,7 +21,6 @@ pub fn default_model() -> MachineModel {
 }
 
 /// A figure record written to `results/<name>.json`.
-#[derive(Serialize)]
 pub struct FigureRecord {
     pub figure: String,
     pub description: String,
@@ -29,11 +29,115 @@ pub struct FigureRecord {
 }
 
 /// One workload's sweep within a figure.
-#[derive(Serialize)]
 pub struct SeriesRecord {
     pub workload: String,
     pub grid_factors: (i64, i64, i64),
     pub points: Vec<MeasuredPoint>,
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// `f64` as JSON: finite values print with enough digits to round-trip;
+/// non-finite values (never produced by a healthy run) become `null`.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        // Ensure a number like `3` keeps a float shape for typed readers.
+        if s.contains('.') || s.contains('e') {
+            s
+        } else {
+            format!("{s}.0")
+        }
+    } else {
+        "null".to_string()
+    }
+}
+
+fn point_json(p: &MeasuredPoint, indent: &str) -> String {
+    format!(
+        "{indent}{{\n\
+         {indent}  \"variant\": \"{}\",\n\
+         {indent}  \"factors\": [{}, {}, {}],\n\
+         {indent}  \"tile_size\": {},\n\
+         {indent}  \"procs\": {},\n\
+         {indent}  \"sequential_time\": {},\n\
+         {indent}  \"makespan\": {},\n\
+         {indent}  \"speedup\": {},\n\
+         {indent}  \"predicted_steps\": {},\n\
+         {indent}  \"bytes\": {}\n\
+         {indent}}}",
+        json_escape(p.variant),
+        p.factors.0,
+        p.factors.1,
+        p.factors.2,
+        p.tile_size,
+        p.procs,
+        json_f64(p.sequential_time),
+        json_f64(p.makespan),
+        json_f64(p.speedup),
+        json_f64(p.predicted_steps),
+        p.bytes,
+    )
+}
+
+impl FigureRecord {
+    /// Pretty-printed JSON (hand-rolled: the build is dependency-free).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!(
+            "  \"figure\": \"{}\",\n",
+            json_escape(&self.figure)
+        ));
+        s.push_str(&format!(
+            "  \"description\": \"{}\",\n",
+            json_escape(&self.description)
+        ));
+        s.push_str(&format!(
+            "  \"machine_model\": \"{}\",\n",
+            json_escape(&self.machine_model)
+        ));
+        s.push_str("  \"series\": [\n");
+        for (i, ser) in self.series.iter().enumerate() {
+            s.push_str("    {\n");
+            s.push_str(&format!(
+                "      \"workload\": \"{}\",\n",
+                json_escape(&ser.workload)
+            ));
+            s.push_str(&format!(
+                "      \"grid_factors\": [{}, {}, {}],\n",
+                ser.grid_factors.0, ser.grid_factors.1, ser.grid_factors.2
+            ));
+            s.push_str("      \"points\": [\n");
+            let pts: Vec<String> = ser
+                .points
+                .iter()
+                .map(|p| point_json(p, "        "))
+                .collect();
+            s.push_str(&pts.join(",\n"));
+            s.push_str("\n      ]\n");
+            s.push_str(if i + 1 < self.series.len() {
+                "    },\n"
+            } else {
+                "    }\n"
+            });
+        }
+        s.push_str("  ]\n}");
+        s
+    }
 }
 
 /// Search the two processor-grid factors so the distribution hits
@@ -132,8 +236,7 @@ pub fn write_record(record: &FigureRecord) {
     let dir = Path::new("results");
     std::fs::create_dir_all(dir).expect("create results dir");
     let path = dir.join(format!("{}.json", record.figure));
-    let json = serde_json::to_string_pretty(record).expect("serialize record");
-    std::fs::write(&path, json).expect("write record");
+    std::fs::write(&path, record.to_json()).expect("write record");
     println!("\nwrote {}", path.display());
 }
 
@@ -169,10 +272,26 @@ pub fn sor_spaces() -> Vec<Workload> {
 /// The four Jacobi iteration spaces of Figure 7 (the first is Figure 8's).
 pub fn jacobi_spaces() -> Vec<Workload> {
     vec![
-        Workload::Jacobi { t: 50, i: 100, j: 100 },
-        Workload::Jacobi { t: 50, i: 200, j: 200 },
-        Workload::Jacobi { t: 100, i: 100, j: 100 },
-        Workload::Jacobi { t: 100, i: 200, j: 200 },
+        Workload::Jacobi {
+            t: 50,
+            i: 100,
+            j: 100,
+        },
+        Workload::Jacobi {
+            t: 50,
+            i: 200,
+            j: 200,
+        },
+        Workload::Jacobi {
+            t: 100,
+            i: 100,
+            j: 100,
+        },
+        Workload::Jacobi {
+            t: 100,
+            i: 200,
+            j: 200,
+        },
     ]
 }
 
@@ -189,7 +308,9 @@ pub fn adi_spaces() -> Vec<Workload> {
 /// Grid factors for a SOR space: `x` tiles the skewed time extent, `y` the
 /// skewed `i` extent (mapping dimension is the third). Returns `(x, y)`.
 pub fn sor_grid(w: Workload) -> (i64, i64) {
-    let Workload::Sor { m, n } = w else { panic!("not a SOR workload") };
+    let Workload::Sor { m, n } = w else {
+        panic!("not a SOR workload")
+    };
     let x0 = (m + 3) / 4;
     let y0 = (m + n + 3) / 4;
     search_grid(w, x0..x0 + 4, y0 - 8..y0 + 12, |x, y| (x, y, 8))
@@ -218,7 +339,15 @@ pub fn yz_grid(w: Workload, iext: i64, jext: i64) -> (i64, i64) {
 /// Chain-factor sweep for a chain dimension of extent `ext`: a spread of
 /// tile lengths from fine to coarse.
 pub fn chain_sweep(ext: i64) -> Vec<i64> {
-    let candidates = [ext / 32, ext / 20, ext / 12, ext / 8, ext / 5, ext / 3, ext / 2];
+    let candidates = [
+        ext / 32,
+        ext / 20,
+        ext / 12,
+        ext / 8,
+        ext / 5,
+        ext / 3,
+        ext / 2,
+    ];
     let mut out: Vec<i64> = candidates.into_iter().filter(|&c| c >= 2).collect();
     out.dedup();
     out
@@ -232,19 +361,35 @@ pub fn chain_sweep(ext: i64) -> Vec<i64> {
 pub fn run_sor(spaces: &[Workload], model: MachineModel, verbose: bool) -> Vec<SeriesRecord> {
     let mut series = vec![];
     for &w in spaces {
-        let Workload::Sor { m, n } = w else { panic!("not SOR") };
+        let Workload::Sor { m, n } = w else {
+            panic!("not SOR")
+        };
         let (x, y) = sor_grid(w);
         let factors = chain_sweep(2 * m + n - 2);
-        let pts = sweep(w, &[Variant::Rect, Variant::NonRect], &factors, |z| (x, y, z), model);
+        let pts = sweep(
+            w,
+            &[Variant::Rect, Variant::NonRect],
+            &factors,
+            |z| (x, y, z),
+            model,
+        );
         if verbose {
-            println!("\n=== {} — grid x={x} y={y}, {} procs ===", w.label(), pts[0].procs);
+            println!(
+                "\n=== {} — grid x={x} y={y}, {} procs ===",
+                w.label(),
+                pts[0].procs
+            );
             print_points(&pts);
             println!(
                 "best-speedup improvement (non-rect over rect): {:+.1}%",
                 improvement_pct(&pts, "non-rect")
             );
         }
-        series.push(SeriesRecord { workload: w.label(), grid_factors: (x, y, 0), points: pts });
+        series.push(SeriesRecord {
+            workload: w.label(),
+            grid_factors: (x, y, 0),
+            points: pts,
+        });
     }
     series
 }
@@ -253,19 +398,35 @@ pub fn run_sor(spaces: &[Workload], model: MachineModel, verbose: bool) -> Vec<S
 pub fn run_jacobi(spaces: &[Workload], model: MachineModel, verbose: bool) -> Vec<SeriesRecord> {
     let mut series = vec![];
     for &w in spaces {
-        let Workload::Jacobi { t, i, j } = w else { panic!("not Jacobi") };
+        let Workload::Jacobi { t, i, j } = w else {
+            panic!("not Jacobi")
+        };
         let (y, z) = yz_grid(w, t + i - 1, t + j - 1);
         let factors = chain_sweep(t);
-        let pts = sweep(w, &[Variant::Rect, Variant::NonRect], &factors, |x| (x, y, z), model);
+        let pts = sweep(
+            w,
+            &[Variant::Rect, Variant::NonRect],
+            &factors,
+            |x| (x, y, z),
+            model,
+        );
         if verbose {
-            println!("\n=== {} — grid y={y} z={z}, {} procs ===", w.label(), pts[0].procs);
+            println!(
+                "\n=== {} — grid y={y} z={z}, {} procs ===",
+                w.label(),
+                pts[0].procs
+            );
             print_points(&pts);
             println!(
                 "best-speedup improvement (non-rect over rect): {:+.1}%",
                 improvement_pct(&pts, "non-rect")
             );
         }
-        series.push(SeriesRecord { workload: w.label(), grid_factors: (0, y, z), points: pts });
+        series.push(SeriesRecord {
+            workload: w.label(),
+            grid_factors: (0, y, z),
+            points: pts,
+        });
     }
     series
 }
@@ -274,20 +435,72 @@ pub fn run_jacobi(spaces: &[Workload], model: MachineModel, verbose: bool) -> Ve
 pub fn run_adi(spaces: &[Workload], model: MachineModel, verbose: bool) -> Vec<SeriesRecord> {
     let mut series = vec![];
     for &w in spaces {
-        let Workload::Adi { t, n } = w else { panic!("not ADI") };
+        let Workload::Adi { t, n } = w else {
+            panic!("not ADI")
+        };
         let (y, z) = yz_grid(w, n, n);
         let factors = chain_sweep(t);
-        let variants = [Variant::Rect, Variant::AdiNr1, Variant::AdiNr2, Variant::AdiNr3];
+        let variants = [
+            Variant::Rect,
+            Variant::AdiNr1,
+            Variant::AdiNr2,
+            Variant::AdiNr3,
+        ];
         let pts = sweep(w, &variants, &factors, |x| (x, y, z), model);
         if verbose {
-            println!("\n=== {} — grid y={y} z={z}, {} procs ===", w.label(), pts[0].procs);
+            println!(
+                "\n=== {} — grid y={y} z={z}, {} procs ===",
+                w.label(),
+                pts[0].procs
+            );
             print_points(&pts);
             println!(
                 "best-speedup improvement (nr3 over rect): {:+.1}%",
                 improvement_pct(&pts, "nr3")
             );
         }
-        series.push(SeriesRecord { workload: w.label(), grid_factors: (0, y, z), points: pts });
+        series.push(SeriesRecord {
+            workload: w.label(),
+            grid_factors: (0, y, z),
+            points: pts,
+        });
     }
     series
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_record_renders_valid_json_shape() {
+        let rec = FigureRecord {
+            figure: "fig-test".into(),
+            description: "a \"quoted\" description".into(),
+            machine_model: "model".into(),
+            series: vec![SeriesRecord {
+                workload: "SOR M=8 N=8".into(),
+                grid_factors: (2, 3, 0),
+                points: vec![MeasuredPoint {
+                    variant: "rect",
+                    factors: (2, 3, 4),
+                    tile_size: 24,
+                    procs: 6,
+                    sequential_time: 1.5,
+                    makespan: 0.5,
+                    speedup: 3.0,
+                    predicted_steps: 12.0,
+                    bytes: 1024,
+                }],
+            }],
+        };
+        let json = rec.to_json();
+        assert!(json.contains("\"figure\": \"fig-test\""), "{json}");
+        assert!(json.contains("\\\"quoted\\\""), "escaping: {json}");
+        assert!(json.contains("\"factors\": [2, 3, 4]"), "{json}");
+        assert!(json.contains("\"speedup\": 3.0"), "float shape: {json}");
+        // Balanced braces/brackets — a cheap structural sanity check.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
 }

@@ -16,7 +16,7 @@
 
 use std::fmt::Write as _;
 use tilecc::Pipeline;
-use tilecc_cluster::{CommScheme, MachineModel};
+use tilecc_cluster::{CommScheme, EngineOptions, FaultPlan, MachineModel};
 use tilecc_frontend::{compile, lower, parse, Program};
 use tilecc_linalg::{RMat, Rational};
 use tilecc_loopnest::Algorithm;
@@ -45,6 +45,48 @@ struct Options {
     verify: bool,
     overlap: bool,
     model: MachineModel,
+    /// Seed for deterministic fault injection (`--fault-seed`).
+    fault_seed: Option<u64>,
+    /// Per-attempt message drop probability (`--drop-rate`).
+    drop_rate: Option<f64>,
+    /// Rank to crash, with an optional `rank@time` virtual crash time
+    /// (`--crash-rank`).
+    crash: Option<(usize, f64)>,
+}
+
+impl Options {
+    /// The fault plan implied by the fault flags, if any were given.
+    fn fault_plan(&self) -> Option<FaultPlan> {
+        if self.fault_seed.is_none() && self.drop_rate.is_none() && self.crash.is_none() {
+            return None;
+        }
+        let mut plan =
+            FaultPlan::lossy(self.fault_seed.unwrap_or(0), self.drop_rate.unwrap_or(0.0));
+        if let Some((rank, at)) = self.crash {
+            plan = plan.with_crash(rank, at);
+        }
+        Some(plan)
+    }
+}
+
+/// Parse `--crash-rank`'s `<rank>` or `<rank>@<time>` value.
+fn parse_crash_spec(spec: &str) -> Result<(usize, f64), CliError> {
+    let (rank_s, at_s) = match spec.split_once('@') {
+        Some((r, t)) => (r, Some(t)),
+        None => (spec, None),
+    };
+    let rank: usize = rank_s
+        .trim()
+        .parse()
+        .map_err(|_| CliError(format!("invalid --crash-rank rank `{rank_s}`")))?;
+    let at: f64 = match at_s {
+        None => 0.0,
+        Some(t) => t
+            .trim()
+            .parse()
+            .map_err(|_| CliError(format!("invalid --crash-rank time `{t}`")))?,
+    };
+    Ok((rank, at))
 }
 
 /// Parse a tiling matrix specification: rows separated by `;`, entries by
@@ -61,9 +103,10 @@ pub fn parse_tile_spec(spec: &str) -> Result<RMat, CliError> {
             let entry = entry.trim();
             let r = match entry.split_once('/') {
                 Some((num, den)) => {
-                    let n: i128 = num.trim().parse().map_err(|_| {
-                        CliError(format!("invalid numerator `{num}` in tile spec"))
-                    })?;
+                    let n: i128 = num
+                        .trim()
+                        .parse()
+                        .map_err(|_| CliError(format!("invalid numerator `{num}` in tile spec")))?;
                     let d: i128 = den.trim().parse().map_err(|_| {
                         CliError(format!("invalid denominator `{den}` in tile spec"))
                     })?;
@@ -114,24 +157,34 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
         verify: false,
         overlap: false,
         model: MachineModel::fast_ethernet_p3(),
+        fault_seed: None,
+        drop_rate: None,
+        crash: None,
     };
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--tile" => {
-                let spec = args.get(i + 1).ok_or(CliError("--tile needs a value".into()))?;
+                let spec = args
+                    .get(i + 1)
+                    .ok_or(CliError("--tile needs a value".into()))?;
                 o.tile = Some(parse_tile_spec(spec)?);
                 i += 2;
             }
             "--rect" => {
-                let spec = args.get(i + 1).ok_or(CliError("--rect needs a value".into()))?;
+                let spec = args
+                    .get(i + 1)
+                    .ok_or(CliError("--rect needs a value".into()))?;
                 o.tile = Some(parse_rect_spec(spec)?);
                 i += 2;
             }
             "--map" => {
-                let v = args.get(i + 1).ok_or(CliError("--map needs a value".into()))?;
+                let v = args
+                    .get(i + 1)
+                    .ok_or(CliError("--map needs a value".into()))?;
                 o.map = Some(
-                    v.parse().map_err(|_| CliError(format!("invalid --map value `{v}`")))?,
+                    v.parse()
+                        .map_err(|_| CliError(format!("invalid --map value `{v}`")))?,
                 );
                 i += 2;
             }
@@ -146,6 +199,36 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
             "--zero-comm" => {
                 o.model = MachineModel::zero_comm(o.model.compute_per_iter);
                 i += 1;
+            }
+            "--fault-seed" => {
+                let v = args
+                    .get(i + 1)
+                    .ok_or(CliError("--fault-seed needs a value".into()))?;
+                o.fault_seed = Some(
+                    v.parse()
+                        .map_err(|_| CliError(format!("invalid --fault-seed value `{v}`")))?,
+                );
+                i += 2;
+            }
+            "--drop-rate" => {
+                let v = args
+                    .get(i + 1)
+                    .ok_or(CliError("--drop-rate needs a value".into()))?;
+                let rate: f64 = v
+                    .parse()
+                    .map_err(|_| CliError(format!("invalid --drop-rate value `{v}`")))?;
+                if !(0.0..1.0).contains(&rate) {
+                    return err("--drop-rate must be in [0, 1)");
+                }
+                o.drop_rate = Some(rate);
+                i += 2;
+            }
+            "--crash-rank" => {
+                let v = args
+                    .get(i + 1)
+                    .ok_or(CliError("--crash-rank needs a value".into()))?;
+                o.crash = Some(parse_crash_spec(v)?);
+                i += 2;
             }
             other => return err(format!("unknown option `{other}`")),
         }
@@ -185,7 +268,11 @@ fn kernel_source(program: &Program) -> tilecc_parcode::KernelSource {
                     .filter(|&k| tinv[(r, k)] != 0)
                     .map(|k| format!("({}L * j[{k}])", tinv[(r, k)]))
                     .collect();
-                let rhs = if terms.is_empty() { "0".to_string() } else { terms.join(" + ") };
+                let rhs = if terms.is_empty() {
+                    "0".to_string()
+                } else {
+                    terms.join(" + ")
+                };
                 let _ = writeln!(pre, "    jo[{r}] = {rhs};");
             }
             pre.push_str("    (void)jo;");
@@ -225,6 +312,11 @@ options:
   --verify                    full run, compare against sequential (run)
   --overlap                   overlapped communication scheme (run)
   --zero-comm                 zero-cost network model (run)
+  --fault-seed <s>            seed for deterministic fault injection (run)
+  --drop-rate <p>             drop each send attempt with probability p;
+                              the reliability layer retransmits (run)
+  --crash-rank <r[@t]>        crash rank r at virtual time t (default 0) to
+                              exercise failure reporting (run)
 ";
 
 /// Run the CLI. Returns the output text; errors carry user messages.
@@ -264,7 +356,10 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
             let path = args.get(1).ok_or(CliError(USAGE.into()))?;
             let opts = parse_options(&args[2..])?;
             let alg = load(path)?;
-            let h = opts.tile.ok_or(CliError("missing --tile or --rect".into()))?;
+            let h = opts
+                .tile
+                .clone()
+                .ok_or(CliError("missing --tile or --rect".into()))?;
             if h.rows() != alg.nest.dim() {
                 return err(format!(
                     "tile matrix is {}×{} but the nest is {}-dimensional",
@@ -300,8 +395,21 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
                     } else {
                         CommScheme::Blocking
                     };
-                    let summary = if opts.verify {
-                        let (s, _) = pipe.run_verified(opts.model);
+                    let fault = opts.fault_plan();
+                    let summary = if opts.verify || fault.is_some() {
+                        // Fault-injected runs go through the fallible engine
+                        // entry point so failures carry rank-level context.
+                        let options = EngineOptions {
+                            scheme,
+                            fault,
+                            ..EngineOptions::default()
+                        };
+                        let (s, _) = pipe.run_verified_opts(opts.model, options).map_err(|e| {
+                            CliError(format!(
+                                "run failed: {e}\nranks implicated: {:?}",
+                                e.ranks()
+                            ))
+                        })?;
                         s
                     } else {
                         pipe.simulate_with(opts.model, scheme)
@@ -313,6 +421,10 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
                     let _ = writeln!(out, "speedup    : {:.3}", summary.speedup);
                     let _ = writeln!(out, "messages   : {}", summary.messages);
                     let _ = writeln!(out, "bytes      : {}", summary.bytes);
+                    if summary.retransmissions > 0 || summary.duplicates_suppressed > 0 {
+                        let _ = writeln!(out, "retransmits: {}", summary.retransmissions);
+                        let _ = writeln!(out, "dups suppr : {}", summary.duplicates_suppressed);
+                    }
                     if let Some(v) = summary.verified {
                         let _ = writeln!(out, "verified   : {v}");
                         if !v {
@@ -363,8 +475,8 @@ mod tests {
     fn write_nest(content: &str) -> TempNest {
         static COUNTER: AtomicU64 = AtomicU64::new(0);
         let id = COUNTER.fetch_add(1, Ordering::Relaxed);
-        let path = std::env::temp_dir()
-            .join(format!("tilecc-cli-test-{}-{id}.tcc", std::process::id()));
+        let path =
+            std::env::temp_dir().join(format!("tilecc-cli-test-{}-{id}.tcc", std::process::id()));
         std::fs::write(&path, content).unwrap();
         TempNest(path)
     }
@@ -434,13 +546,7 @@ boundary = 0.25
     #[test]
     fn plan_command_shows_comm_data() {
         let p = write_nest(ADI_SRC);
-        let out = run_cli(&args(&[
-            "plan",
-            p.to_str(),
-            "--rect",
-            "2,4,4",
-        ]))
-        .unwrap();
+        let out = run_cli(&args(&["plan", p.to_str(), "--rect", "2,4,4"])).unwrap();
         assert!(out.contains("CC"), "{out}");
         assert!(out.contains("tile size   : 32"), "{out}");
     }
@@ -448,9 +554,74 @@ boundary = 0.25
     #[test]
     fn emit_command_produces_c() {
         let p = write_nest(ADI_SRC);
-        let out =
-            run_cli(&args(&["emit", p.to_str(), "--rect", "2,4,4"])).unwrap();
+        let out = run_cli(&args(&["emit", p.to_str(), "--rect", "2,4,4"])).unwrap();
         assert!(out.contains("#include <mpi.h>"));
+    }
+
+    #[test]
+    fn lossy_run_verifies_and_reports_retransmissions() {
+        let p = write_nest(ADI_SRC);
+        let out = run_cli(&args(&[
+            "run",
+            p.to_str(),
+            "--rect",
+            "2,4,4",
+            "--map",
+            "0",
+            "--fault-seed",
+            "7",
+            "--drop-rate",
+            "0.25",
+        ]))
+        .unwrap();
+        assert!(out.contains("verified   : true"), "{out}");
+        assert!(out.contains("retransmits:"), "{out}");
+        let n: u64 = out
+            .lines()
+            .find_map(|l| l.strip_prefix("retransmits:"))
+            .unwrap()
+            .trim()
+            .parse()
+            .unwrap();
+        assert!(n > 0, "a 25% drop rate must force retransmissions\n{out}");
+    }
+
+    #[test]
+    fn crashed_rank_is_reported_with_context() {
+        let p = write_nest(ADI_SRC);
+        let e = run_cli(&args(&[
+            "run",
+            p.to_str(),
+            "--rect",
+            "2,4,4",
+            "--map",
+            "0",
+            "--crash-rank",
+            "1",
+        ]))
+        .unwrap_err();
+        assert!(e.0.contains("run failed"), "{e}");
+        assert!(e.0.contains("rank 1"), "{e}");
+        assert!(e.0.contains("injected crash"), "{e}");
+    }
+
+    #[test]
+    fn fault_flag_values_are_validated() {
+        assert!(parse_crash_spec("2").unwrap() == (2, 0.0));
+        assert!(parse_crash_spec("3@0.5").unwrap() == (3, 0.5));
+        assert!(parse_crash_spec("x").is_err());
+        assert!(parse_crash_spec("1@y").is_err());
+        let p = write_nest(ADI_SRC);
+        let e = run_cli(&args(&[
+            "run",
+            p.to_str(),
+            "--rect",
+            "2,4,4",
+            "--drop-rate",
+            "1.5",
+        ]))
+        .unwrap_err();
+        assert!(e.0.contains("--drop-rate"), "{e}");
     }
 
     #[test]

@@ -64,35 +64,45 @@ fn adi_nest_verifies_and_matches_cone() {
 #[test]
 fn heat1d_nest_verifies_in_two_dimensions() {
     let f = nest("heat1d.tcc");
-    let out = run_cli(&args(&[
-        "run",
-        f.as_str(),
-        "--rect",
-        "6,8",
-        "--verify",
-    ]))
-    .unwrap_or_else(|e| panic!("{e}"));
+    let out = run_cli(&args(&["run", f.as_str(), "--rect", "6,8", "--verify"]))
+        .unwrap_or_else(|e| panic!("{e}"));
     assert!(out.contains("verified   : true"), "{out}");
 }
 
 #[test]
 fn emit_on_every_nest_is_well_formed_and_compiles() {
-    let gcc = ["gcc", "cc"]
-        .into_iter()
-        .find(|c| std::process::Command::new(c).arg("--version").output().is_ok());
-    for (name, rect) in
-        [("sor.tcc", "5,10,10"), ("jacobi.tcc", "3,8,8"), ("adi.tcc", "4,8,8"), ("heat1d.tcc", "6,8")]
-    {
+    let gcc = ["gcc", "cc"].into_iter().find(|c| {
+        std::process::Command::new(c)
+            .arg("--version")
+            .output()
+            .is_ok()
+    });
+    for (name, rect) in [
+        ("sor.tcc", "5,10,10"),
+        ("jacobi.tcc", "3,8,8"),
+        ("adi.tcc", "4,8,8"),
+        ("heat1d.tcc", "6,8"),
+    ] {
         let f = nest(name);
         let out = run_cli(&args(&["emit", f.as_str(), "--rect", rect])).unwrap();
         assert!(out.contains("#include <mpi.h>"), "{name}");
-        assert_eq!(out.matches('{').count(), out.matches('}').count(), "{name}: braces");
+        assert_eq!(
+            out.matches('{').count(),
+            out.matches('}').count(),
+            "{name}: braces"
+        );
         if let Some(gcc) = gcc {
             let path = std::env::temp_dir()
                 .join(format!("tilecc-nest-emit-{}-{name}.c", std::process::id()));
             std::fs::write(&path, &out).unwrap();
             let res = std::process::Command::new(gcc)
-                .args(["-std=c99", "-DTILECC_STUB_MPI", "-Wall", "-Werror", "-fsyntax-only"])
+                .args([
+                    "-std=c99",
+                    "-DTILECC_STUB_MPI",
+                    "-Wall",
+                    "-Werror",
+                    "-fsyntax-only",
+                ])
                 .arg(&path)
                 .output()
                 .unwrap();
@@ -105,7 +115,10 @@ fn emit_on_every_nest_is_well_formed_and_compiles() {
         }
         // The paper-style skeleton is still available.
         let skel = run_cli(&args(&["emit-skeleton", f.as_str(), "--rect", rect])).unwrap();
-        assert!(skel.contains("FORACROSS") || skel.contains("MPI_Recv"), "{name}");
+        assert!(
+            skel.contains("FORACROSS") || skel.contains("MPI_Recv"),
+            "{name}"
+        );
     }
 }
 

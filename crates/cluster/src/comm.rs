@@ -6,11 +6,20 @@
 //! maintain a per-process *virtual clock* advanced by the machine model, so
 //! one execution yields both the computed data and the simulated parallel
 //! time on the modelled cluster.
+//!
+//! Communication is fallible at the substrate level: the required methods
+//! are [`Comm::try_send_tagged`] / [`Comm::try_recv_tagged`], which report
+//! disconnected or unreachable peers as [`CommError`]s. The infallible
+//! [`Comm::send_tagged`] / [`Comm::recv_tagged`] used by generated programs
+//! are thin wrappers that panic with a [`CommAbort`] payload — the engine
+//! catches that payload and folds it into the run-level error instead of
+//! treating it as a program bug.
 
+use crate::error::CommError;
 use crate::model::MachineModel;
 
-/// A message in flight: payload, matching tag, and the virtual time it
-/// becomes available at the receiver.
+/// A message in flight: payload, matching tag, the virtual time it becomes
+/// available at the receiver, and a per-link sequence number.
 #[derive(Clone, Debug)]
 pub struct Envelope {
     pub payload: Vec<f64>,
@@ -20,6 +29,10 @@ pub struct Envelope {
     /// minimum-successor consumption non-monotone in the sender's tiles.
     pub tag: i64,
     pub ready_at: f64,
+    /// Per-(sender, receiver) sequence number assigned by the reliability
+    /// layer: receivers suppress duplicates and re-sequence out-of-order
+    /// arrivals by it, restoring exact FIFO semantics over faulty links.
+    pub seq: u64,
 }
 
 /// Per-process communication statistics.
@@ -32,6 +45,23 @@ pub struct CommStats {
     pub wait_time: f64,
     /// Virtual seconds spent computing.
     pub compute_time: f64,
+    /// Transmission attempts repeated because the fault plan dropped them.
+    pub retransmissions: u64,
+    /// Virtual seconds the sender's clock was charged for retransmission
+    /// backoff and repeated injections.
+    pub retrans_time: f64,
+    /// Messages discarded by the receiver's duplicate suppression.
+    pub duplicates_suppressed: u64,
+}
+
+/// Panic payload used by the infallible [`Comm`] wrappers when the
+/// underlying communication fails. The engine downcasts unwind payloads to
+/// this type to distinguish substrate failures (peer died, watchdog abort)
+/// from genuine bugs in rank closures.
+#[derive(Clone, Debug)]
+pub struct CommAbort {
+    pub rank: usize,
+    pub error: CommError,
 }
 
 /// Blocking point-to-point communication with a virtual clock.
@@ -42,15 +72,41 @@ pub trait Comm {
     /// Number of processes.
     fn size(&self) -> usize;
 
-    /// Send `payload` to `to` with matching `tag`. `nominal_bytes` is the
-    /// modelled message size (the payload may be elided in timing-only
-    /// runs). Advances the local clock by the sender-side cost.
-    fn send_tagged(&mut self, to: usize, tag: i64, payload: Vec<f64>, nominal_bytes: usize);
+    /// Fallible send of `payload` to `to` with matching `tag`.
+    /// `nominal_bytes` is the modelled message size (the payload may be
+    /// elided in timing-only runs). Advances the local clock by the
+    /// sender-side cost, including any retransmission charges.
+    fn try_send_tagged(
+        &mut self,
+        to: usize,
+        tag: i64,
+        payload: Vec<f64>,
+        nominal_bytes: usize,
+    ) -> Result<(), CommError>;
 
-    /// Blocking receive of the next message from `from` with matching `tag`
-    /// (out-of-order arrivals are buffered, as in MPI). Advances the local
-    /// clock to the message arrival if it is later.
-    fn recv_tagged(&mut self, from: usize, tag: i64) -> Vec<f64>;
+    /// Fallible blocking receive of the next message from `from` with
+    /// matching `tag` (out-of-order arrivals are buffered, as in MPI).
+    /// Advances the local clock to the message arrival if it is later.
+    fn try_recv_tagged(&mut self, from: usize, tag: i64) -> Result<Vec<f64>, CommError>;
+
+    /// Infallible [`Comm::try_send_tagged`]: panics with a [`CommAbort`]
+    /// payload on failure, which the engine converts to a run-level error.
+    fn send_tagged(&mut self, to: usize, tag: i64, payload: Vec<f64>, nominal_bytes: usize) {
+        let rank = self.rank();
+        if let Err(error) = self.try_send_tagged(to, tag, payload, nominal_bytes) {
+            std::panic::panic_any(CommAbort { rank, error });
+        }
+    }
+
+    /// Infallible [`Comm::try_recv_tagged`]: panics with a [`CommAbort`]
+    /// payload on failure, which the engine converts to a run-level error.
+    fn recv_tagged(&mut self, from: usize, tag: i64) -> Vec<f64> {
+        let rank = self.rank();
+        match self.try_recv_tagged(from, tag) {
+            Ok(payload) => payload,
+            Err(error) => std::panic::panic_any(CommAbort { rank, error }),
+        }
+    }
 
     /// [`Comm::send_tagged`] with tag 0.
     fn send(&mut self, to: usize, payload: Vec<f64>, nominal_bytes: usize) {
@@ -60,6 +116,21 @@ pub trait Comm {
     /// [`Comm::recv_tagged`] with tag 0.
     fn recv(&mut self, from: usize) -> Vec<f64> {
         self.recv_tagged(from, 0)
+    }
+
+    /// [`Comm::try_send_tagged`] with tag 0.
+    fn try_send(
+        &mut self,
+        to: usize,
+        payload: Vec<f64>,
+        nominal_bytes: usize,
+    ) -> Result<(), CommError> {
+        self.try_send_tagged(to, 0, payload, nominal_bytes)
+    }
+
+    /// [`Comm::try_recv_tagged`] with tag 0.
+    fn try_recv(&mut self, from: usize) -> Result<Vec<f64>, CommError> {
+        self.try_recv_tagged(from, 0)
     }
 
     /// Account `iters` loop iterations of local computation.
@@ -81,11 +152,17 @@ mod tests {
 
     #[test]
     fn envelope_is_plain_data() {
-        let e = Envelope { payload: vec![1.0, 2.0], tag: 7, ready_at: 3.5 };
+        let e = Envelope {
+            payload: vec![1.0, 2.0],
+            tag: 7,
+            ready_at: 3.5,
+            seq: 9,
+        };
         let f = e.clone();
         assert_eq!(f.payload, vec![1.0, 2.0]);
         assert_eq!(f.tag, 7);
         assert_eq!(f.ready_at, 3.5);
+        assert_eq!(f.seq, 9);
     }
 
     #[test]
@@ -93,5 +170,7 @@ mod tests {
         let s = CommStats::default();
         assert_eq!(s.messages_sent, 0);
         assert_eq!(s.wait_time, 0.0);
+        assert_eq!(s.retransmissions, 0);
+        assert_eq!(s.duplicates_suppressed, 0);
     }
 }

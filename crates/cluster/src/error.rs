@@ -1,0 +1,150 @@
+//! Typed failures of the cluster substrate.
+//!
+//! The engine distinguishes three failure families: *communication* errors a
+//! single rank observes ([`CommError`]), *run-level* failures the engine
+//! reports for the whole SPMD execution ([`RunError`]), and genuine Rust
+//! panics inside a rank closure, which the engine catches and converts to
+//! [`RunError::RankPanicked`] instead of aborting the process.
+
+use std::time::Duration;
+
+/// A communication failure observed by one rank.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CommError {
+    /// The peer's channel endpoints are gone: it panicked or returned while
+    /// messages were still expected.
+    Disconnected { peer: usize },
+    /// The reliability layer gave up: every transmission attempt (original
+    /// plus retries) was dropped by the fault plan.
+    Unreachable { peer: usize, attempts: u32 },
+    /// The engine watchdog aborted the run (deadlock or wall timeout) while
+    /// this rank was blocked.
+    Aborted,
+}
+
+impl std::fmt::Display for CommError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommError::Disconnected { peer } => {
+                write!(
+                    f,
+                    "peer rank {peer} disconnected (panicked or exited early)"
+                )
+            }
+            CommError::Unreachable { peer, attempts } => {
+                write!(
+                    f,
+                    "message to rank {peer} undeliverable after {attempts} attempts"
+                )
+            }
+            CommError::Aborted => write!(f, "run aborted by the engine watchdog"),
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+/// A failed cluster run. Every variant names the ranks involved so failures
+/// surface with enough context to reproduce and debug them.
+#[derive(Clone, Debug)]
+pub enum RunError {
+    /// A rank closure panicked. The payload is the stringified panic
+    /// message; peers that consequently observed disconnected channels are
+    /// folded into this primary cause.
+    RankPanicked { rank: usize, payload: String },
+    /// Every live rank is blocked in a receive and no message is in flight:
+    /// the communication schedule is cyclic. `waiting_on` lists
+    /// `(rank, from, tag)` for each blocked rank.
+    Deadlock {
+        blocked_ranks: Vec<usize>,
+        waiting_on: Vec<(usize, usize, i64)>,
+    },
+    /// The run exceeded the wall-clock cap ([`crate::EngineOptions::wall_timeout`]).
+    WallTimeout {
+        elapsed: Duration,
+        unfinished: Vec<usize>,
+    },
+    /// A rank reported a communication error that was not caused by a peer
+    /// panic (e.g. the reliability layer exhausted its retries).
+    Comm { rank: usize, error: CommError },
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::RankPanicked { rank, payload } => {
+                write!(f, "rank {rank} panicked: {payload}")
+            }
+            RunError::Deadlock {
+                blocked_ranks,
+                waiting_on,
+            } => {
+                write!(f, "deadlock: ranks {blocked_ranks:?} are all blocked (")?;
+                for (i, (rank, from, tag)) in waiting_on.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "rank {rank} waits on rank {from} tag {tag}")?;
+                }
+                write!(f, ") with no message in flight")
+            }
+            RunError::WallTimeout {
+                elapsed,
+                unfinished,
+            } => write!(
+                f,
+                "run exceeded the wall-clock cap after {:.3} s; unfinished ranks: {unfinished:?}",
+                elapsed.as_secs_f64()
+            ),
+            RunError::Comm { rank, error } => write!(f, "rank {rank}: {error}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl RunError {
+    /// The ranks directly implicated in the failure.
+    pub fn ranks(&self) -> Vec<usize> {
+        match self {
+            RunError::RankPanicked { rank, .. } | RunError::Comm { rank, .. } => vec![*rank],
+            RunError::Deadlock { blocked_ranks, .. } => blocked_ranks.clone(),
+            RunError::WallTimeout { unfinished, .. } => unfinished.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_rank_context() {
+        let e = RunError::RankPanicked {
+            rank: 3,
+            payload: "boom".into(),
+        };
+        assert!(e.to_string().contains("rank 3"));
+        assert!(e.to_string().contains("boom"));
+        assert_eq!(e.ranks(), vec![3]);
+
+        let d = RunError::Deadlock {
+            blocked_ranks: vec![0, 1],
+            waiting_on: vec![(0, 1, 7), (1, 0, 2)],
+        };
+        let s = d.to_string();
+        assert!(s.contains("rank 0 waits on rank 1 tag 7"), "{s}");
+        assert!(s.contains("rank 1 waits on rank 0 tag 2"), "{s}");
+        assert_eq!(d.ranks(), vec![0, 1]);
+
+        let c = RunError::Comm {
+            rank: 2,
+            error: CommError::Unreachable {
+                peer: 5,
+                attempts: 33,
+            },
+        };
+        assert!(c.to_string().contains("rank 2"));
+        assert!(c.to_string().contains("33 attempts"));
+    }
+}

@@ -1,17 +1,54 @@
 //! The threaded cluster engine: one OS thread per logical process,
-//! crossbeam channels as links.
+//! `std::sync::mpsc` channels as links.
 //!
 //! Execution is *functionally deterministic*: programs only use blocking
 //! point-to-point receives on FIFO per-pair channels, so computed values and
 //! virtual clocks do not depend on OS scheduling. The engine therefore
 //! doubles as a discrete-event simulator — the returned [`RunReport`]
 //! contains the exact virtual makespan on the modelled machine.
+//!
+//! # Fault tolerance
+//!
+//! The engine no longer assumes a perfect substrate:
+//!
+//! * Each rank runs under [`std::panic::catch_unwind`]; a panicking rank is
+//!   reported as [`RunError::RankPanicked`] and its channels are dropped so
+//!   blocked peers unwind (as [`CommError::Disconnected`]) instead of
+//!   hanging.
+//! * An optional [`FaultPlan`] injects deterministic per-link drops,
+//!   duplicates, reorders and delays between `send_tagged` and the channel.
+//!   A reliability sublayer — per-link sequence numbers, receiver-side
+//!   duplicate suppression and re-sequencing, and sender-side retransmission
+//!   charged to the virtual clock with exponential backoff — restores exact
+//!   FIFO delivery, so lossy runs produce data bitwise identical to
+//!   fault-free runs.
+//! * A watchdog detects the all-ranks-blocked condition (a cyclic
+//!   communication schedule) and returns [`RunError::Deadlock`] naming the
+//!   blocked ranks, and optionally enforces a wall-clock cap
+//!   ([`RunError::WallTimeout`]) so a wedged run can never hang the caller
+//!   forever.
 
-use crate::comm::{Comm, CommStats, Envelope};
+use crate::comm::{Comm, CommAbort, CommStats, Envelope};
+use crate::error::{CommError, RunError};
+use crate::fault::{FaultPlan, RankStall};
 use crate::model::MachineModel;
 use crate::trace::{Event, Trace};
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex, Once};
 use std::thread;
+use std::time::{Duration, Instant};
+
+/// How often a blocked receiver wakes to check the abort flag.
+const RECV_POLL: Duration = Duration::from_millis(25);
+/// How often the collector thread polls watchdog conditions.
+const COLLECT_POLL: Duration = Duration::from_millis(10);
+/// Consecutive silent polls with every live rank blocked before the
+/// watchdog declares a deadlock (~120 ms of global inactivity).
+const DEADLOCK_STABLE_POLLS: u32 = 12;
+/// How long the collector drains straggler outcomes after an abort.
+const ABORT_GRACE: Duration = Duration::from_secs(1);
 
 /// Outcome of a cluster run.
 #[derive(Clone, Debug)]
@@ -28,7 +65,17 @@ pub struct RunReport<R> {
 
 impl<R> RunReport<R> {
     /// The simulated parallel completion time: the latest local clock.
+    ///
+    /// An empty report (no ranks — only constructible by hand, the engine
+    /// requires `size > 0`) has makespan `0.0` by convention. Debug builds
+    /// assert every clock is finite so a `NaN` clock cannot silently poison
+    /// downstream speedup arithmetic.
     pub fn makespan(&self) -> f64 {
+        debug_assert!(
+            self.local_times.iter().all(|t| t.is_finite()),
+            "non-finite rank clock in {:?}",
+            self.local_times
+        );
         self.local_times.iter().copied().fold(0.0, f64::max)
     }
 
@@ -40,6 +87,16 @@ impl<R> RunReport<R> {
     /// Aggregate messages sent across all ranks.
     pub fn total_messages(&self) -> u64 {
         self.stats.iter().map(|s| s.messages_sent).sum()
+    }
+
+    /// Aggregate retransmissions across all ranks (0 on perfect links).
+    pub fn total_retransmissions(&self) -> u64 {
+        self.stats.iter().map(|s| s.retransmissions).sum()
+    }
+
+    /// Aggregate receiver-side duplicate suppressions across all ranks.
+    pub fn total_duplicates_suppressed(&self) -> u64 {
+        self.stats.iter().map(|s| s.duplicates_suppressed).sum()
     }
 }
 
@@ -59,11 +116,106 @@ pub enum CommScheme {
     Overlapped,
 }
 
-/// Engine options: communication scheme plus optional event tracing.
-#[derive(Clone, Copy, Debug, Default)]
+/// Engine options: communication scheme, tracing, fault injection and the
+/// watchdog configuration.
+#[derive(Clone, Debug)]
 pub struct EngineOptions {
     pub scheme: CommScheme,
     pub trace: bool,
+    /// Deterministic fault-injection plan (`None` = perfect substrate).
+    pub fault: Option<FaultPlan>,
+    /// Wall-clock cap on the whole run. `None` disables the cap. The
+    /// default is `None` in release dependents and 60 s when this crate is
+    /// compiled under `cfg(test)`, so the crate's own test suite can never
+    /// hang on a wedged run.
+    pub wall_timeout: Option<Duration>,
+    /// Detect the all-ranks-blocked condition and return
+    /// [`RunError::Deadlock`] instead of hanging (default: on).
+    pub deadlock_detection: bool,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            scheme: CommScheme::default(),
+            trace: false,
+            fault: None,
+            wall_timeout: default_wall_timeout(),
+            deadlock_detection: true,
+        }
+    }
+}
+
+/// Wall-clock cap applied when none is configured: bounded under
+/// `cfg(test)` (a blocked rank must never hang `cargo test`), unbounded
+/// otherwise.
+fn default_wall_timeout() -> Option<Duration> {
+    if cfg!(test) {
+        Some(Duration::from_secs(60))
+    } else {
+        None
+    }
+}
+
+/// Panic payload of a [`FaultPlan`]-injected rank crash.
+#[derive(Clone, Debug)]
+pub struct InjectedCrash {
+    pub rank: usize,
+    /// Configured crash time.
+    pub at: f64,
+    /// Virtual clock when the crash fired.
+    pub clock: f64,
+}
+
+/// What a rank is doing, as seen by the watchdog.
+#[derive(Clone, Debug, PartialEq)]
+enum RankPhase {
+    Running,
+    Blocked { from: usize, tag: i64 },
+    Done,
+}
+
+/// Shared run state: per-rank phases, a progress counter bumped on every
+/// state change and message hand-off, and the abort flag.
+struct Monitor {
+    phases: Mutex<Vec<RankPhase>>,
+    progress: AtomicU64,
+    abort: AtomicBool,
+}
+
+impl Monitor {
+    fn new(size: usize) -> Self {
+        Monitor {
+            phases: Mutex::new(vec![RankPhase::Running; size]),
+            progress: AtomicU64::new(0),
+            abort: AtomicBool::new(false),
+        }
+    }
+
+    fn set(&self, rank: usize, phase: RankPhase) {
+        self.phases.lock().expect("monitor poisoned")[rank] = phase;
+        self.bump();
+    }
+
+    fn snapshot(&self) -> Vec<RankPhase> {
+        self.phases.lock().expect("monitor poisoned").clone()
+    }
+
+    fn bump(&self) {
+        self.progress.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn progress(&self) -> u64 {
+        self.progress.load(Ordering::Relaxed)
+    }
+
+    fn abort(&self) {
+        self.abort.store(true, Ordering::Relaxed);
+    }
+
+    fn aborted(&self) -> bool {
+        self.abort.load(Ordering::Relaxed)
+    }
 }
 
 /// Communication endpoint handed to each SPMD thread.
@@ -82,6 +234,136 @@ pub struct ThreadedComm {
     /// Per-peer buffers of arrived-but-unmatched messages (MPI-style tag
     /// matching).
     pending: Vec<Vec<Envelope>>,
+    /// Shared watchdog state.
+    monitor: Arc<Monitor>,
+    /// Fault plan, if any.
+    fault: Option<Arc<FaultPlan>>,
+    /// This rank's injected crash time, if any.
+    crash_at: Option<f64>,
+    /// This rank's injected stall, if any (cleared once fired).
+    stall: Option<RankStall>,
+    /// Reliability layer: next sequence number per outgoing link.
+    next_seq: Vec<u64>,
+    /// Reliability layer: next expected sequence number per incoming link.
+    expect_seq: Vec<u64>,
+    /// Reliability layer: out-of-order arrivals awaiting re-sequencing.
+    resequence: Vec<Vec<Envelope>>,
+    /// Reorder injection: at most one held-back envelope per outgoing link,
+    /// released after the next message on that link (or at the next
+    /// blocking receive / rank exit, so a hold can never cause deadlock).
+    holdback: Vec<Option<Envelope>>,
+}
+
+impl ThreadedComm {
+    /// Fire any virtual-time-triggered faults for this rank: a stall jumps
+    /// the clock forward once; a crash panics (contained by the engine).
+    fn fault_tick(&mut self) {
+        if let Some(stall) = self.stall {
+            if self.clock >= stall.at {
+                self.stall = None;
+                self.clock += stall.duration;
+                self.stats.wait_time += stall.duration;
+            }
+        }
+        if let Some(at) = self.crash_at {
+            if self.clock >= at {
+                std::panic::panic_any(InjectedCrash {
+                    rank: self.rank,
+                    at,
+                    clock: self.clock,
+                });
+            }
+        }
+    }
+
+    /// Inject one envelope into a link.
+    fn push_link(&self, to: usize, env: Envelope) -> Result<(), CommError> {
+        self.monitor.bump();
+        self.txs[to]
+            .as_ref()
+            .expect("no channel to peer")
+            .send(env)
+            .map_err(|_| {
+                if self.monitor.aborted() {
+                    CommError::Aborted
+                } else {
+                    CommError::Disconnected { peer: to }
+                }
+            })
+    }
+
+    /// Inject a *redundant* envelope — a duplicate copy or a released
+    /// reorder hold whose payload has already been (or will be) delivered by
+    /// a primary copy. A receiver that exited in the meantime simply never
+    /// sees it: erroring here would make the run outcome depend on the
+    /// real-time race between this push and the peer's exit.
+    fn push_link_redundant(&self, to: usize, env: Envelope) -> Result<(), CommError> {
+        match self.push_link(to, env) {
+            Ok(()) | Err(CommError::Disconnected { .. }) => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Release every held-back (reorder-injected) envelope. Called before
+    /// any blocking receive and at rank exit so a hold cannot deadlock. A
+    /// hold whose receiver already exited is dropped (see
+    /// [`Self::push_link_redundant`]).
+    fn flush_holdbacks(&mut self) -> Result<(), CommError> {
+        for to in 0..self.size {
+            if let Some(env) = self.holdback[to].take() {
+                self.push_link_redundant(to, env)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The next in-sequence envelope from `from`: suppresses duplicates and
+    /// re-sequences out-of-order arrivals by sequence number, waking
+    /// periodically to honour a watchdog abort. `tag` is only for the
+    /// watchdog's diagnostics.
+    fn next_in_order(&mut self, from: usize, tag: i64) -> Result<Envelope, CommError> {
+        let want = self.expect_seq[from];
+        if let Some(pos) = self.resequence[from].iter().position(|e| e.seq == want) {
+            self.expect_seq[from] += 1;
+            return Ok(self.resequence[from].remove(pos));
+        }
+        self.monitor
+            .set(self.rank, RankPhase::Blocked { from, tag });
+        let result = loop {
+            let rx = self.rxs[from].as_ref().expect("no channel from peer");
+            match rx.recv_timeout(RECV_POLL) {
+                Ok(env) => {
+                    self.monitor.bump();
+                    let want = self.expect_seq[from];
+                    if env.seq < want || self.resequence[from].iter().any(|e| e.seq == env.seq) {
+                        self.stats.duplicates_suppressed += 1;
+                        continue;
+                    }
+                    if env.seq == want {
+                        self.expect_seq[from] += 1;
+                        break Ok(env);
+                    }
+                    self.resequence[from].push(env);
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    if self.monitor.aborted() {
+                        break Err(CommError::Aborted);
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    // After a watchdog abort, peers unwind and drop their
+                    // channels; that disconnect is fallout, not a cause.
+                    break Err(if self.monitor.aborted() {
+                        CommError::Aborted
+                    } else {
+                        CommError::Disconnected { peer: from }
+                    });
+                }
+            }
+        };
+        self.monitor.set(self.rank, RankPhase::Running);
+        result
+    }
 }
 
 impl Comm for ThreadedComm {
@@ -93,8 +375,38 @@ impl Comm for ThreadedComm {
         self.size
     }
 
-    fn send_tagged(&mut self, to: usize, tag: i64, payload: Vec<f64>, nominal_bytes: usize) {
+    fn try_send_tagged(
+        &mut self,
+        to: usize,
+        tag: i64,
+        payload: Vec<f64>,
+        nominal_bytes: usize,
+    ) -> Result<(), CommError> {
         assert!(to != self.rank, "send to self is not supported");
+        self.fault_tick();
+        let seq = self.next_seq[to];
+        self.next_seq[to] += 1;
+
+        // Reliability layer: simulate stop-and-wait ARQ over the lossy link.
+        // Each dropped attempt charges the sender's clock the injection cost
+        // plus an exponential backoff before the retransmission.
+        if let Some(fault) = self.fault.clone() {
+            let mut attempt: u32 = 0;
+            while fault.dropped(self.rank, to, seq, attempt) {
+                attempt += 1;
+                if attempt > fault.max_retries {
+                    return Err(CommError::Unreachable {
+                        peer: to,
+                        attempts: attempt,
+                    });
+                }
+                let pause = fault.backoff(attempt) + self.model.send_cost(nominal_bytes);
+                self.clock += pause;
+                self.stats.retransmissions += 1;
+                self.stats.retrans_time += pause;
+            }
+        }
+
         let ready_at = match self.scheme {
             CommScheme::Blocking => {
                 self.clock += self.model.send_cost(nominal_bytes);
@@ -105,32 +417,73 @@ impl Comm for ThreadedComm {
                 self.clock + self.model.send_cost(nominal_bytes) + self.model.wire_latency
             }
         };
-        let env = Envelope { payload, tag, ready_at };
+        let mut env = Envelope {
+            payload,
+            tag,
+            ready_at,
+            seq,
+        };
         self.stats.messages_sent += 1;
         self.stats.bytes_sent += nominal_bytes as u64;
         if let Some(tr) = &mut self.trace {
-            tr.events.push(Event::Send { at: self.clock, to, bytes: nominal_bytes });
+            tr.events.push(Event::Send {
+                at: self.clock,
+                to,
+                bytes: nominal_bytes,
+            });
         }
-        self.txs[to]
-            .as_ref()
-            .expect("no channel to peer")
-            .send(env)
-            .expect("receiver hung up");
+
+        let (duplicate, reorder) = match &self.fault {
+            Some(f) if f.perturbs_links() => {
+                if let Some(extra) = f.delayed(self.rank, to, seq) {
+                    env.ready_at += extra;
+                }
+                (
+                    f.duplicated(self.rank, to, seq),
+                    f.reordered(self.rank, to, seq),
+                )
+            }
+            _ => (false, false),
+        };
+        if reorder {
+            // Hold this envelope so the next message on the link overtakes
+            // it. A duplicate copy delivers immediately and doubles as the
+            // primary copy; an already-held envelope is released first — at
+            // most one hold per link.
+            if duplicate {
+                self.push_link(to, env.clone())?;
+            }
+            if let Some(prev) = self.holdback[to].take() {
+                self.push_link_redundant(to, prev)?;
+            }
+            self.holdback[to] = Some(env);
+        } else {
+            if duplicate {
+                self.push_link(to, env.clone())?;
+                self.push_link_redundant(to, env)?;
+            } else {
+                self.push_link(to, env)?;
+            }
+            if let Some(prev) = self.holdback[to].take() {
+                self.push_link_redundant(to, prev)?;
+            }
+        }
+        Ok(())
     }
 
-    fn recv_tagged(&mut self, from: usize, tag: i64) -> Vec<f64> {
+    fn try_recv_tagged(&mut self, from: usize, tag: i64) -> Result<Vec<f64>, CommError> {
         assert!(from != self.rank, "recv from self is not supported");
+        self.fault_tick();
+        // Anything we still hold must be released before blocking, or a
+        // reorder hold could manufacture a deadlock.
+        self.flush_holdbacks()?;
         let start = self.clock;
         // Match against already-arrived messages first (MPI tag matching).
         let env = if let Some(pos) = self.pending[from].iter().position(|e| e.tag == tag) {
             self.pending[from].remove(pos)
         } else {
             loop {
-                let env = self.rxs[from]
-                    .as_ref()
-                    .expect("no channel from peer")
-                    .recv()
-                    .expect("sender hung up — deadlock or peer panic");
+                let env = self.next_in_order(from, tag)?;
                 if env.tag == tag {
                     break env;
                 }
@@ -149,18 +502,28 @@ impl Comm for ThreadedComm {
         }
         self.stats.messages_received += 1;
         if let Some(tr) = &mut self.trace {
-            tr.events.push(Event::Recv { start, ready, end: self.clock, from });
+            tr.events.push(Event::Recv {
+                start,
+                ready,
+                end: self.clock,
+                from,
+            });
         }
-        env.payload
+        Ok(env.payload)
     }
 
     fn advance_compute(&mut self, iters: u64) {
+        self.fault_tick();
         let dt = self.model.compute_cost(iters);
         let start = self.clock;
         self.clock += dt;
         self.stats.compute_time += dt;
         if let Some(tr) = &mut self.trace {
-            tr.events.push(Event::Compute { start, end: self.clock, iters });
+            tr.events.push(Event::Compute {
+                start,
+                end: self.clock,
+                iters,
+            });
         }
     }
 
@@ -177,12 +540,21 @@ impl Comm for ThreadedComm {
     }
 }
 
+impl Drop for ThreadedComm {
+    fn drop(&mut self) {
+        // Release reorder holds so a finished rank never strands a message;
+        // failures are moot at this point (the peer is gone).
+        let _ = self.flush_holdbacks();
+    }
+}
+
 /// Run an SPMD program over `size` logical processes. The closure receives
 /// each process's [`ThreadedComm`]; its return values, final clocks and
 /// statistics are collected into a [`RunReport`] (indexed by rank).
 ///
 /// # Panics
-/// Propagates panics from any rank (the whole run is aborted).
+/// Propagates failed runs as panics — a thin wrapper over
+/// [`run_cluster_opts`], which reports them as [`RunError`]s instead.
 pub fn run_cluster<R, F>(size: usize, model: MachineModel, f: F) -> RunReport<R>
 where
     R: Send + 'static,
@@ -192,6 +564,9 @@ where
 }
 
 /// [`run_cluster`] with an explicit communication scheme.
+///
+/// # Panics
+/// Propagates failed runs as panics, like [`run_cluster`].
 pub fn run_cluster_with<R, F>(
     size: usize,
     model: MachineModel,
@@ -202,22 +577,84 @@ where
     R: Send + 'static,
     F: Fn(&mut ThreadedComm) -> R + Send + Sync + 'static,
 {
-    run_cluster_opts(size, model, EngineOptions { scheme, trace: false }, f)
+    run_cluster_opts(
+        size,
+        model,
+        EngineOptions {
+            scheme,
+            ..EngineOptions::default()
+        },
+        f,
+    )
+    .unwrap_or_else(|e| panic!("cluster run failed: {e}"))
 }
 
-/// [`run_cluster`] with full engine options (scheme + tracing).
+/// How one rank thread ended.
+enum RankEnd<R> {
+    Ok(R),
+    CommFail(CommError),
+    Panic(String),
+}
+
+/// A collected rank outcome: how it ended, final clock, stats, trace.
+type RankSlot<R> = Option<(RankEnd<R>, f64, CommStats, Trace)>;
+
+/// Stringify a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(c) = payload.downcast_ref::<InjectedCrash>() {
+        format!(
+            "injected crash at virtual time {:.6} (configured at {:.6})",
+            c.clock, c.at
+        )
+    } else if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Silence the default panic hook for the engine's sentinel payloads
+/// ([`CommAbort`] cascades and [`InjectedCrash`]es): they are expected
+/// control flow, reported through [`RunError`], and would otherwise spam
+/// stderr with backtraces. Genuine panics still reach the previous hook.
+fn install_quiet_panic_hook() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let payload = info.payload();
+            if payload.downcast_ref::<CommAbort>().is_some()
+                || payload.downcast_ref::<InjectedCrash>().is_some()
+            {
+                return;
+            }
+            previous(info);
+        }));
+    });
+}
+
+/// [`run_cluster`] with full engine options (scheme, tracing, fault
+/// injection, watchdog). This is the fallible entry point: one rank's panic
+/// is contained and reported as [`RunError::RankPanicked`], a cyclic
+/// schedule as [`RunError::Deadlock`], and a wedged run as
+/// [`RunError::WallTimeout`] — the process is never aborted and the call
+/// always returns.
 pub fn run_cluster_opts<R, F>(
     size: usize,
     model: MachineModel,
     options: EngineOptions,
     f: F,
-) -> RunReport<R>
+) -> Result<RunReport<R>, RunError>
 where
     R: Send + 'static,
     F: Fn(&mut ThreadedComm) -> R + Send + Sync + 'static,
 {
-    let scheme = options.scheme;
     assert!(size > 0, "cluster needs at least one process");
+    install_quiet_panic_hook();
+    let scheme = options.scheme;
+    let fault = options.fault.clone().map(Arc::new);
     // Channel matrix: channels[from][to].
     let mut senders: Vec<Vec<Option<Sender<Envelope>>>> = (0..size)
         .map(|_| (0..size).map(|_| None).collect())
@@ -230,16 +667,19 @@ where
             if from == to {
                 continue;
             }
-            let (tx, rx) = unbounded();
+            let (tx, rx) = channel();
             senders[from][to] = Some(tx);
             receivers[to][from] = Some(rx);
         }
     }
 
-    let f = std::sync::Arc::new(f);
-    let mut handles = Vec::with_capacity(size);
+    let monitor = Arc::new(Monitor::new(size));
+    let f = Arc::new(f);
+    let (done_tx, done_rx) = channel::<(usize, RankEnd<R>, f64, CommStats, Trace)>();
     for (rank, (txs, rxs)) in senders.into_iter().zip(receivers).enumerate() {
         let f = f.clone();
+        let monitor_for_rank = monitor.clone();
+        let done = done_tx.clone();
         let mut comm = ThreadedComm {
             rank,
             size,
@@ -249,32 +689,205 @@ where
             stats: CommStats::default(),
             trace: options.trace.then(Trace::default),
             pending: (0..size).map(|_| Vec::new()).collect(),
+            monitor: monitor.clone(),
+            crash_at: fault.as_ref().and_then(|fp| fp.crash_time(rank)),
+            stall: fault.as_ref().and_then(|fp| fp.stall_of(rank)),
+            fault: fault.clone(),
+            next_seq: vec![0; size],
+            expect_seq: vec![0; size],
+            resequence: (0..size).map(|_| Vec::new()).collect(),
+            holdback: (0..size).map(|_| None).collect(),
             txs,
             rxs,
         };
-        handles.push(
-            thread::Builder::new()
-                .name(format!("tilecc-rank-{rank}"))
-                .spawn(move || {
-                    let r = f(&mut comm);
-                    (r, comm.clock, comm.stats, comm.trace.unwrap_or_default())
+        thread::Builder::new()
+            .name(format!("tilecc-rank-{rank}"))
+            .spawn(move || {
+                let outcome = catch_unwind(AssertUnwindSafe(|| f(&mut comm)));
+                monitor_for_rank.set(rank, RankPhase::Done);
+                let end = match outcome {
+                    Ok(r) => RankEnd::Ok(r),
+                    Err(payload) => match payload.downcast::<CommAbort>() {
+                        Ok(abort) => RankEnd::CommFail(abort.error),
+                        Err(payload) => RankEnd::Panic(panic_message(payload.as_ref())),
+                    },
+                };
+                let (clock, stats) = (comm.clock, comm.stats);
+                let trace = comm.trace.take().unwrap_or_default();
+                // Disconnect this rank's channels so blocked peers unwind
+                // instead of hanging on a dead sender.
+                drop(comm);
+                let _ = done.send((rank, end, clock, stats, trace));
+            })
+            .expect("failed to spawn rank thread");
+    }
+    drop(done_tx);
+
+    collect(size, monitor, done_rx, &options)
+}
+
+/// Collect rank outcomes while running the watchdog: wall-clock cap and
+/// all-ranks-blocked deadlock detection.
+fn collect<R>(
+    size: usize,
+    monitor: Arc<Monitor>,
+    done_rx: Receiver<(usize, RankEnd<R>, f64, CommStats, Trace)>,
+    options: &EngineOptions,
+) -> Result<RunReport<R>, RunError> {
+    let started = Instant::now();
+    let mut slots: Vec<RankSlot<R>> = (0..size).map(|_| None).collect();
+    let mut finished = 0usize;
+    let mut last_progress = monitor.progress();
+    let mut stable: u32 = 0;
+
+    while finished < size {
+        match done_rx.recv_timeout(COLLECT_POLL) {
+            Ok((rank, end, clock, stats, trace)) => {
+                slots[rank] = Some((end, clock, stats, trace));
+                finished += 1;
+                stable = 0;
+                continue;
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+
+        if let Some(cap) = options.wall_timeout {
+            if started.elapsed() >= cap {
+                monitor.abort();
+                drain_stragglers(&done_rx, &mut slots, &mut finished);
+                if let Some(e) = primary_failure(&slots) {
+                    return Err(e);
+                }
+                let unfinished: Vec<usize> = (0..size).filter(|&r| slots[r].is_none()).collect();
+                return Err(RunError::WallTimeout {
+                    elapsed: started.elapsed(),
+                    unfinished,
+                });
+            }
+        }
+
+        if options.deadlock_detection {
+            let progress = monitor.progress();
+            if progress != last_progress {
+                last_progress = progress;
+                stable = 0;
+                continue;
+            }
+            let snapshot = monitor.snapshot();
+            let waiting_on: Vec<(usize, usize, i64)> = snapshot
+                .iter()
+                .enumerate()
+                .filter_map(|(rank, p)| match p {
+                    RankPhase::Blocked { from, tag } => Some((rank, *from, *tag)),
+                    _ => None,
                 })
-                .expect("failed to spawn rank thread"),
-        );
+                .collect();
+            let any_running = snapshot.contains(&RankPhase::Running);
+            if any_running || waiting_on.is_empty() {
+                stable = 0;
+                continue;
+            }
+            // Every live rank is blocked and nothing moved: count silent
+            // polls before declaring deadlock (a message hand-off or state
+            // change would have bumped the progress counter).
+            stable += 1;
+            if stable >= DEADLOCK_STABLE_POLLS {
+                monitor.abort();
+                drain_stragglers(&done_rx, &mut slots, &mut finished);
+                if let Some(e) = primary_failure(&slots) {
+                    return Err(e);
+                }
+                return Err(RunError::Deadlock {
+                    blocked_ranks: waiting_on.iter().map(|w| w.0).collect(),
+                    waiting_on,
+                });
+            }
+        }
     }
 
+    if let Some(e) = primary_failure(&slots) {
+        return Err(e);
+    }
     let mut results = Vec::with_capacity(size);
     let mut local_times = Vec::with_capacity(size);
     let mut stats = Vec::with_capacity(size);
     let mut traces = Vec::with_capacity(size);
-    for h in handles {
-        let (r, t, s, tr) = h.join().expect("rank thread panicked");
-        results.push(r);
-        local_times.push(t);
-        stats.push(s);
-        traces.push(tr);
+    for (rank, slot) in slots.into_iter().enumerate() {
+        let Some((end, clock, st, tr)) = slot else {
+            return Err(RunError::RankPanicked {
+                rank,
+                payload: "rank thread vanished without reporting".into(),
+            });
+        };
+        match end {
+            RankEnd::Ok(r) => {
+                results.push(r);
+                local_times.push(clock);
+                stats.push(st);
+                traces.push(tr);
+            }
+            // primary_failure() above returned for panics and non-abort
+            // comm failures; a stray Aborted still surfaces as an error.
+            RankEnd::CommFail(error) => return Err(RunError::Comm { rank, error }),
+            RankEnd::Panic(payload) => return Err(RunError::RankPanicked { rank, payload }),
+        }
     }
-    RunReport { results, local_times, stats, traces }
+    Ok(RunReport {
+        results,
+        local_times,
+        stats,
+        traces,
+    })
+}
+
+/// After an abort, give rank threads a bounded grace period to report, so
+/// the error carries as much context as possible. Threads that still do not
+/// finish (e.g. wedged in user compute code) are abandoned, never joined —
+/// the engine must not hang.
+fn drain_stragglers<R>(
+    done_rx: &Receiver<(usize, RankEnd<R>, f64, CommStats, Trace)>,
+    slots: &mut [RankSlot<R>],
+    finished: &mut usize,
+) {
+    let deadline = Instant::now() + ABORT_GRACE;
+    while *finished < slots.len() && Instant::now() < deadline {
+        match done_rx.recv_timeout(COLLECT_POLL) {
+            Ok((rank, end, clock, stats, trace)) => {
+                slots[rank] = Some((end, clock, stats, trace));
+                *finished += 1;
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+}
+
+/// The primary failure among collected outcomes: a genuine panic wins over
+/// secondary communication failures (peers observing the dead rank), and
+/// non-abort communication errors win over watchdog-abort fallout.
+fn primary_failure<R>(slots: &[RankSlot<R>]) -> Option<RunError> {
+    for (rank, slot) in slots.iter().enumerate() {
+        if let Some((RankEnd::Panic(payload), ..)) = slot {
+            return Some(RunError::RankPanicked {
+                rank,
+                payload: payload.clone(),
+            });
+        }
+    }
+    for (rank, slot) in slots.iter().enumerate() {
+        if let Some((RankEnd::CommFail(e), ..)) = slot {
+            // `Aborted` is watchdog fallout, never a primary cause — the
+            // watchdog's own Deadlock/WallTimeout error describes the run.
+            if *e != CommError::Aborted {
+                return Some(RunError::Comm {
+                    rank,
+                    error: e.clone(),
+                });
+            }
+        }
+    }
+    None
 }
 
 #[cfg(test)]
@@ -316,6 +929,7 @@ mod tests {
         assert!((report.makespan() - 15.0).abs() < 1e-12);
         assert_eq!(report.total_bytes(), 16);
         assert_eq!(report.total_messages(), 1);
+        assert_eq!(report.total_retransmissions(), 0);
     }
 
     #[test]
@@ -481,7 +1095,10 @@ mod trace_tests {
         let report = run_cluster_opts(
             2,
             model,
-            EngineOptions { scheme: CommScheme::Blocking, trace: true },
+            EngineOptions {
+                trace: true,
+                ..EngineOptions::default()
+            },
             |comm| {
                 if comm.rank() == 0 {
                     comm.advance_compute(5);
@@ -491,7 +1108,8 @@ mod trace_tests {
                     comm.advance_compute(3);
                 }
             },
-        );
+        )
+        .unwrap();
         assert_eq!(report.traces.len(), 2);
         assert!((report.traces[0].compute_time() - 5.0).abs() < 1e-12);
         assert!((report.traces[1].compute_time() - 3.0).abs() < 1e-12);
@@ -507,5 +1125,245 @@ mod trace_tests {
             comm.advance_compute(1);
         });
         assert!(report.traces[0].events.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod failure_tests {
+    use super::*;
+
+    fn zero() -> MachineModel {
+        MachineModel::zero_comm(1.0)
+    }
+
+    #[test]
+    fn rank_panic_is_contained_and_reported() {
+        // Rank 1 panics mid-chain; ranks blocked on it must unwind, and the
+        // run must report the panic — not abort the process, not hang.
+        let err = run_cluster_opts(3, zero(), EngineOptions::default(), |comm| {
+            let r = comm.rank();
+            if r == 1 {
+                comm.advance_compute(1);
+                panic!("intentional failure in rank 1");
+            }
+            // Both other ranks wait on rank 1 forever.
+            comm.recv(1);
+        })
+        .unwrap_err();
+        match err {
+            RunError::RankPanicked { rank, payload } => {
+                assert_eq!(rank, 1);
+                assert!(payload.contains("intentional failure"), "{payload}");
+            }
+            other => panic!("expected RankPanicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cyclic_schedule_is_reported_as_deadlock() {
+        let err = run_cluster_opts(2, zero(), EngineOptions::default(), |comm| {
+            // Both ranks receive first: a 2-cycle, classic deadlock.
+            let peer = 1 - comm.rank();
+            comm.recv_tagged(peer, 7);
+            comm.send(peer, vec![], 0);
+        })
+        .unwrap_err();
+        match err {
+            RunError::Deadlock {
+                blocked_ranks,
+                waiting_on,
+            } => {
+                assert_eq!(blocked_ranks, vec![0, 1]);
+                assert!(waiting_on.contains(&(0, 1, 7)), "{waiting_on:?}");
+                assert!(waiting_on.contains(&(1, 0, 7)), "{waiting_on:?}");
+            }
+            other => panic!("expected Deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wall_timeout_bounds_a_wedged_run() {
+        let options = EngineOptions {
+            wall_timeout: Some(Duration::from_millis(300)),
+            // The wedge below blocks only one of two ranks, so the deadlock
+            // detector stays quiet and the cap must fire.
+            ..EngineOptions::default()
+        };
+        let err = run_cluster_opts(2, zero(), options, |comm| {
+            if comm.rank() == 0 {
+                // Wall-clock wedge the virtual engine knows nothing about.
+                std::thread::sleep(Duration::from_secs(600));
+            } else {
+                comm.recv(0);
+            }
+        })
+        .unwrap_err();
+        match err {
+            RunError::WallTimeout { unfinished, .. } => {
+                assert!(unfinished.contains(&0), "{unfinished:?}");
+            }
+            other => panic!("expected WallTimeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn injected_crash_is_reported_with_virtual_time() {
+        let fault = FaultPlan::default().with_crash(2, 5.0);
+        let options = EngineOptions {
+            fault: Some(fault),
+            ..EngineOptions::default()
+        };
+        let err = run_cluster_opts(4, zero(), options, |comm| {
+            let r = comm.rank();
+            // A chain 0 → 1 → 2 → 3; rank 2 dies at t = 5.
+            if r > 0 {
+                comm.recv(r - 1);
+            }
+            comm.advance_compute(10);
+            if r + 1 < comm.size() {
+                comm.send(r + 1, vec![], 0);
+            }
+        })
+        .unwrap_err();
+        match err {
+            RunError::RankPanicked { rank, payload } => {
+                assert_eq!(rank, 2);
+                assert!(payload.contains("injected crash"), "{payload}");
+            }
+            other => panic!("expected RankPanicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lossy_links_converge_to_fault_free_results() {
+        let run = |fault: Option<FaultPlan>| {
+            run_cluster_opts(
+                4,
+                MachineModel::fast_ethernet_p3(),
+                EngineOptions {
+                    fault,
+                    ..EngineOptions::default()
+                },
+                |comm| {
+                    let r = comm.rank();
+                    let n = comm.size();
+                    let mut acc = (r + 1) as f64;
+                    for round in 0..8 {
+                        comm.advance_compute(20 + r as u64);
+                        comm.send_tagged((r + 1) % n, round, vec![acc, acc * 0.5], 16);
+                        let got = comm.recv_tagged((r + n - 1) % n, round);
+                        acc += got[0] * 0.25 + got[1];
+                    }
+                    acc
+                },
+            )
+            .unwrap()
+        };
+        let clean = run(None);
+        let faulty = run(Some(FaultPlan::chaos(0xF00D, 0.3)));
+        // Bitwise-identical data; only the clocks may differ (retransmission
+        // charges), and the reliability layer's work must be visible.
+        for (a, b) in clean.results.iter().zip(&faulty.results) {
+            assert_eq!(a.to_bits(), b.to_bits(), "data must survive faults bitwise");
+        }
+        assert!(
+            faulty.total_retransmissions() > 0,
+            "drops must cause retransmissions"
+        );
+        assert!(
+            faulty.total_duplicates_suppressed() > 0,
+            "duplicates must be suppressed"
+        );
+        assert!(
+            faulty.makespan() >= clean.makespan(),
+            "faults cannot speed the run up"
+        );
+    }
+
+    #[test]
+    fn faulty_runs_are_deterministic() {
+        let run = || {
+            run_cluster_opts(
+                3,
+                MachineModel::fast_ethernet_p3(),
+                EngineOptions {
+                    fault: Some(FaultPlan::chaos(42, 0.25)),
+                    ..EngineOptions::default()
+                },
+                |comm| {
+                    let r = comm.rank();
+                    let n = comm.size();
+                    let mut acc = r as f64;
+                    for round in 0..6 {
+                        comm.advance_compute(10);
+                        comm.send_tagged((r + 1) % n, round, vec![acc], 8);
+                        acc += comm.recv_tagged((r + n - 1) % n, round)[0];
+                    }
+                    (acc, comm.local_time())
+                },
+            )
+            .unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.results, b.results);
+        assert_eq!(a.local_times, b.local_times);
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn total_drop_reports_unreachable_peer() {
+        let fault = FaultPlan {
+            max_retries: 4,
+            ..FaultPlan::lossy(1, 1.0)
+        };
+        let options = EngineOptions {
+            fault: Some(fault),
+            ..EngineOptions::default()
+        };
+        let err = run_cluster_opts(2, zero(), options, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, vec![1.0], 8);
+            } else {
+                comm.recv(0);
+            }
+        })
+        .unwrap_err();
+        match err {
+            RunError::Comm {
+                rank: 0,
+                error: CommError::Unreachable { peer: 1, attempts },
+            } => {
+                assert_eq!(attempts, 5);
+            }
+            other => panic!("expected Comm/Unreachable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stall_shifts_the_victims_clock_only() {
+        let model = MachineModel::zero_comm(1.0);
+        let clean = run_cluster_opts(2, model, EngineOptions::default(), |comm| {
+            comm.advance_compute(10);
+            comm.local_time()
+        })
+        .unwrap();
+        let stalled = run_cluster_opts(
+            2,
+            model,
+            EngineOptions {
+                fault: Some(FaultPlan::default().with_stall(1, 5.0, 100.0)),
+                ..EngineOptions::default()
+            },
+            |comm| {
+                comm.advance_compute(10);
+                // A second op so the stall (triggered at t >= 5) fires.
+                comm.advance_compute(10);
+                comm.local_time()
+            },
+        )
+        .unwrap();
+        assert_eq!(clean.results[0] + 10.0, stalled.results[0]);
+        assert_eq!(stalled.results[1], stalled.results[0] + 100.0);
     }
 }

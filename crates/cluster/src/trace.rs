@@ -17,7 +17,12 @@ pub enum Event {
     Send { at: f64, to: usize, bytes: usize },
     /// A blocking receive: `start` when the CPU began waiting, `ready` when
     /// the message arrived, `end` after the receive overhead.
-    Recv { start: f64, ready: f64, end: f64, from: usize },
+    Recv {
+        start: f64,
+        ready: f64,
+        end: f64,
+        from: usize,
+    },
 }
 
 impl Event {
@@ -92,7 +97,9 @@ pub fn render_gantt(traces: &[Trace], width: usize) -> String {
                         row[c] = '#';
                     }
                 }
-                Event::Recv { start, ready, end, .. } => {
+                Event::Recv {
+                    start, ready, end, ..
+                } => {
                     for c in col(*start)..col(*ready).max(col(*start)) {
                         if row[c] == ' ' {
                             row[c] = '.';
@@ -120,9 +127,22 @@ mod tests {
     fn sample() -> Trace {
         Trace {
             events: vec![
-                Event::Recv { start: 0.0, ready: 2.0, end: 2.5, from: 1 },
-                Event::Compute { start: 2.5, end: 7.5, iters: 50 },
-                Event::Send { at: 8.0, to: 1, bytes: 64 },
+                Event::Recv {
+                    start: 0.0,
+                    ready: 2.0,
+                    end: 2.5,
+                    from: 1,
+                },
+                Event::Compute {
+                    start: 2.5,
+                    end: 7.5,
+                    iters: 50,
+                },
+                Event::Send {
+                    at: 8.0,
+                    to: 1,
+                    bytes: 64,
+                },
             ],
         }
     }

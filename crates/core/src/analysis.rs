@@ -102,27 +102,20 @@ mod tests {
         let (x, y, z) = (20, 64, 64);
         let j_max = [t, n, n];
         assert!(
-            (wavefront_steps(&matrices::adi_rect(x, y, z), &j_max)
-                - adi_t_rect(t, n, x, y, z))
-            .abs()
+            (wavefront_steps(&matrices::adi_rect(x, y, z), &j_max) - adi_t_rect(t, n, x, y, z))
+                .abs()
                 < 1e-9
         );
         assert!(
-            (wavefront_steps(&matrices::adi_nr1(x, y, z), &j_max)
-                - adi_t_nr1(t, n, x, y, z))
-            .abs()
+            (wavefront_steps(&matrices::adi_nr1(x, y, z), &j_max) - adi_t_nr1(t, n, x, y, z)).abs()
                 < 1e-9
         );
         assert!(
-            (wavefront_steps(&matrices::adi_nr2(x, y, z), &j_max)
-                - adi_t_nr2(t, n, x, y, z))
-            .abs()
+            (wavefront_steps(&matrices::adi_nr2(x, y, z), &j_max) - adi_t_nr2(t, n, x, y, z)).abs()
                 < 1e-9
         );
         assert!(
-            (wavefront_steps(&matrices::adi_nr3(x, y, z), &j_max)
-                - adi_t_nr3(t, n, x, y, z))
-            .abs()
+            (wavefront_steps(&matrices::adi_nr3(x, y, z), &j_max) - adi_t_nr3(t, n, x, y, z)).abs()
                 < 1e-9
         );
     }
@@ -138,6 +131,9 @@ mod tests {
         let t2 = adi_t_nr2(t, n, x, y, z);
         let t3 = adi_t_nr3(t, n, x, y, z);
         assert!(t3 < t1 && t3 < t2 && t1 < tr && t2 < tr);
-        assert!((t1 - t2).abs() < 1e-12, "equal y and z factors give equal t_nr1, t_nr2");
+        assert!(
+            (t1 - t2).abs() < 1e-12,
+            "equal y and z factors give equal t_nr1, t_nr2"
+        );
     }
 }

@@ -5,13 +5,12 @@
 use crate::analysis;
 use crate::matrices;
 use crate::pipeline::Pipeline;
-use serde::Serialize;
 use tilecc_cluster::MachineModel;
 use tilecc_linalg::RMat;
 use tilecc_loopnest::{kernels, Algorithm};
 
 /// Tiling variant labels used across the experiments.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Variant {
     /// Rectangular `H_r`.
     Rect,
@@ -38,7 +37,7 @@ impl Variant {
 }
 
 /// One measured point of a tile-size sweep.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct MeasuredPoint {
     pub variant: &'static str,
     /// Tile factors (x, y, z).
@@ -60,7 +59,7 @@ pub struct MeasuredPoint {
 }
 
 /// Which of the three paper algorithms an experiment drives.
-#[derive(Clone, Copy, Debug, Serialize)]
+#[derive(Clone, Copy, Debug)]
 pub enum Workload {
     /// SOR with skewed space sizes (M, N). Mapped along dimension 3 (`m=2`).
     Sor { m: i64, n: i64 },
@@ -142,8 +141,8 @@ pub fn measure(
 ) -> MeasuredPoint {
     let alg = workload.algorithm();
     let h = workload.tiling(variant, x, y, z);
-    let pipe = Pipeline::compile(alg, h, Some(workload.mapping_dim()))
-        .expect("paper tilings are legal");
+    let pipe =
+        Pipeline::compile(alg, h, Some(workload.mapping_dim())).expect("paper tilings are legal");
     let s = pipe.simulate(model);
     MeasuredPoint {
         variant: variant.label(),
@@ -190,11 +189,15 @@ mod tests {
         // communication volume, and processor count.
         let model = MachineModel::fast_ethernet_p3();
         let w = Workload::Adi { t: 8, n: 12 };
-        let pts: Vec<MeasuredPoint> =
-            [Variant::Rect, Variant::AdiNr1, Variant::AdiNr2, Variant::AdiNr3]
-                .into_iter()
-                .map(|v| measure(w, v, (2, 4, 4), model))
-                .collect();
+        let pts: Vec<MeasuredPoint> = [
+            Variant::Rect,
+            Variant::AdiNr1,
+            Variant::AdiNr2,
+            Variant::AdiNr3,
+        ]
+        .into_iter()
+        .map(|v| measure(w, v, (2, 4, 4), model))
+        .collect();
         for p in &pts[1..] {
             assert_eq!(p.procs, pts[0].procs);
             assert_eq!(p.tile_size, pts[0].tile_size);
@@ -205,7 +208,12 @@ mod tests {
     fn probe_procs_matches_measure() {
         let w = Workload::Jacobi { t: 6, i: 8, j: 8 };
         let procs = probe_procs(w, Variant::Rect, (3, 4, 4));
-        let pt = measure(w, Variant::Rect, (3, 4, 4), MachineModel::fast_ethernet_p3());
+        let pt = measure(
+            w,
+            Variant::Rect,
+            (3, 4, 4),
+            MachineModel::fast_ethernet_p3(),
+        );
         assert_eq!(procs, pt.procs);
     }
 }

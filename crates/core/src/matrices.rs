@@ -103,10 +103,8 @@ mod tests {
     fn nr_rows_lie_in_the_tiling_cones() {
         // Every row of each non-rectangular H (scaled to integers) is inside
         // the respective algorithm's tiling cone.
-        let sor_deps =
-            IMat::from_rows(&[&[1, 0, 1, 1, 0], &[1, 1, 0, 1, 0], &[2, 0, 2, 1, 1]]);
-        let jac_deps =
-            IMat::from_rows(&[&[1, 1, 1, 1, 1], &[2, 0, 1, 1, 1], &[1, 1, 2, 0, 1]]);
+        let sor_deps = IMat::from_rows(&[&[1, 0, 1, 1, 0], &[1, 1, 0, 1, 0], &[2, 0, 2, 1, 1]]);
+        let jac_deps = IMat::from_rows(&[&[1, 1, 1, 1, 1], &[2, 0, 1, 1, 1], &[1, 1, 2, 0, 1]]);
         let adi_deps = IMat::from_rows(&[&[1, 1, 1], &[0, 1, 0], &[0, 0, 1]]);
         let check = |h: RMat, deps: &IMat| {
             let t = TilingTransform::new(h).unwrap();

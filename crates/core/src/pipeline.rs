@@ -3,10 +3,10 @@
 //! results and simulated timings.
 
 use std::sync::Arc;
-use tilecc_cluster::{CommScheme, MachineModel};
+use tilecc_cluster::{CommScheme, EngineOptions, MachineModel, RunError};
 use tilecc_linalg::RMat;
 use tilecc_loopnest::{Algorithm, DataSpace};
-use tilecc_parcode::{emit_c_mpi, execute, ExecMode, ExecutionResult, ParallelPlan};
+use tilecc_parcode::{emit_c_mpi, execute, execute_opts, ExecMode, ExecutionResult, ParallelPlan};
 use tilecc_tiling::{TilingError, TilingTransform};
 
 /// High-level driver for one (algorithm, tiling) pair.
@@ -34,16 +34,17 @@ pub struct RunSummary {
     /// Whether the gathered result matched the sequential execution
     /// (`None` for timing-only runs).
     pub verified: Option<bool>,
+    /// Transmission attempts repeated by the reliability layer (0 unless
+    /// fault injection was enabled).
+    pub retransmissions: u64,
+    /// Messages discarded by receiver-side duplicate suppression.
+    pub duplicates_suppressed: u64,
 }
 
 impl Pipeline {
     /// Compile `algorithm` under the tiling matrix `h`, mapping along `m`
     /// (`None` = longest dimension).
-    pub fn compile(
-        algorithm: Algorithm,
-        h: RMat,
-        m: Option<usize>,
-    ) -> Result<Self, TilingError> {
+    pub fn compile(algorithm: Algorithm, h: RMat, m: Option<usize>) -> Result<Self, TilingError> {
         let transform = TilingTransform::new(h)?;
         Self::compile_transform(algorithm, transform, m)
     }
@@ -55,7 +56,9 @@ impl Pipeline {
         m: Option<usize>,
     ) -> Result<Self, TilingError> {
         let plan = ParallelPlan::new(algorithm, transform, m)?;
-        Ok(Pipeline { plan: Arc::new(plan) })
+        Ok(Pipeline {
+            plan: Arc::new(plan),
+        })
     }
 
     /// The underlying plan.
@@ -78,19 +81,37 @@ impl Pipeline {
     /// ([`CommScheme::Overlapped`] models the paper's future-work
     /// computation/communication overlapping).
     pub fn simulate_with(&self, model: MachineModel, scheme: CommScheme) -> RunSummary {
-        let res = tilecc_parcode::execute_with(self.plan.clone(), model, ExecMode::TimingOnly, scheme);
+        let res =
+            tilecc_parcode::execute_with(self.plan.clone(), model, ExecMode::TimingOnly, scheme);
         self.summarize(&res, &model, None)
     }
 
     /// Run fully and verify the gathered data against the sequential
     /// reference execution (bitwise).
+    ///
+    /// # Panics
+    /// Propagates failed runs as panics — [`Pipeline::run_verified_opts`]
+    /// reports them as [`RunError`]s instead.
     pub fn run_verified(&self, model: MachineModel) -> (RunSummary, DataSpace) {
-        let res = execute(self.plan.clone(), model, ExecMode::Full);
+        self.run_verified_opts(model, EngineOptions::default())
+            .unwrap_or_else(|e| panic!("pipeline run failed: {e}"))
+    }
+
+    /// [`Pipeline::run_verified`] with full engine options — the entry point
+    /// for fault-injected runs: engine failures (a crashed rank, a deadlock,
+    /// an unreachable peer) are reported as [`RunError`]s, and the summary
+    /// carries the reliability layer's retransmission counters.
+    pub fn run_verified_opts(
+        &self,
+        model: MachineModel,
+        options: EngineOptions,
+    ) -> Result<(RunSummary, DataSpace), RunError> {
+        let res = execute_opts(self.plan.clone(), model, ExecMode::Full, options)?;
         let parallel = res.data.as_ref().expect("full mode returns data");
         let sequential = self.plan.algorithm.execute_sequential();
         let verified = sequential.diff(parallel).is_none();
         let summary = self.summarize(&res, &model, Some(verified));
-        (summary, res.data.unwrap())
+        Ok((summary, res.data.unwrap()))
     }
 
     /// Emit the C/MPI source for this plan.
@@ -115,6 +136,8 @@ impl Pipeline {
             bytes: res.report.total_bytes(),
             messages: res.report.total_messages(),
             verified,
+            retransmissions: res.report.total_retransmissions(),
+            duplicates_suppressed: res.report.total_duplicates_suppressed(),
         }
     }
 }
@@ -157,6 +180,34 @@ mod tests {
         // must show real parallelism for this wavefront.
         assert!(s.speedup > 1.0, "speedup = {}", s.speedup);
         assert!(s.speedup <= s.procs as f64 + 1e-9);
+    }
+
+    #[test]
+    fn faulty_pipeline_still_verifies() {
+        use tilecc_cluster::FaultPlan;
+        let alg = kernels::sor_skewed(4, 6, 1.0);
+        let pipe = Pipeline::compile_transform(
+            alg,
+            tilecc_tiling::TilingTransform::rectangular(&[2, 3, 3]).unwrap(),
+            Some(2),
+        )
+        .unwrap();
+        let options = EngineOptions {
+            fault: Some(FaultPlan::chaos(11, 0.2)),
+            ..EngineOptions::default()
+        };
+        let (summary, _) = pipe
+            .run_verified_opts(MachineModel::fast_ethernet_p3(), options)
+            .unwrap();
+        assert_eq!(
+            summary.verified,
+            Some(true),
+            "reliability layer must preserve results"
+        );
+        assert!(
+            summary.retransmissions > 0,
+            "drops must surface in the summary"
+        );
     }
 
     #[test]

@@ -114,7 +114,10 @@ mod tests {
         let model = tilecc_cluster::MachineModel::fast_ethernet_p3();
         let rect = predict(&plan(matrices::rect(7, 16, 8), 2), &model);
         let nr = predict(&plan(matrices::sor_nr(7, 16, 8), 2), &model);
-        assert!(nr.steps < rect.steps, "cone tiling has fewer wavefront steps");
+        assert!(
+            nr.steps < rect.steps,
+            "cone tiling has fewer wavefront steps"
+        );
         assert!(nr.makespan < rect.makespan);
         // Equal tile sizes → equal compute term; only scheduling differs.
         assert_eq!(nr.tile_compute, rect.tile_compute);

@@ -17,25 +17,41 @@ pub struct AffineExpr {
 
 impl AffineExpr {
     pub fn constant(dim: usize, c: i64) -> Self {
-        AffineExpr { coeffs: vec![0; dim], constant: c }
+        AffineExpr {
+            coeffs: vec![0; dim],
+            constant: c,
+        }
     }
 
     pub fn var(dim: usize, k: usize) -> Self {
         let mut coeffs = vec![0; dim];
         coeffs[k] = 1;
-        AffineExpr { coeffs, constant: 0 }
+        AffineExpr {
+            coeffs,
+            constant: 0,
+        }
     }
 
     pub fn add(&self, other: &AffineExpr) -> Self {
         AffineExpr {
-            coeffs: self.coeffs.iter().zip(&other.coeffs).map(|(a, b)| a + b).collect(),
+            coeffs: self
+                .coeffs
+                .iter()
+                .zip(&other.coeffs)
+                .map(|(a, b)| a + b)
+                .collect(),
             constant: self.constant + other.constant,
         }
     }
 
     pub fn sub(&self, other: &AffineExpr) -> Self {
         AffineExpr {
-            coeffs: self.coeffs.iter().zip(&other.coeffs).map(|(a, b)| a - b).collect(),
+            coeffs: self
+                .coeffs
+                .iter()
+                .zip(&other.coeffs)
+                .map(|(a, b)| a - b)
+                .collect(),
             constant: self.constant - other.constant,
         }
     }
@@ -158,7 +174,10 @@ mod tests {
 
     #[test]
     fn affine_eval_and_ops() {
-        let a = AffineExpr { coeffs: vec![1, 2], constant: -3 };
+        let a = AffineExpr {
+            coeffs: vec![1, 2],
+            constant: -3,
+        };
         assert_eq!(a.eval(&[5, 7]), 5 + 14 - 3);
         let b = AffineExpr::var(2, 0);
         assert_eq!(a.add(&b).eval(&[5, 7]), 21);
@@ -168,10 +187,16 @@ mod tests {
 
     #[test]
     fn shifted_var_detection() {
-        let e = AffineExpr { coeffs: vec![0, 1, 0], constant: -2 };
+        let e = AffineExpr {
+            coeffs: vec![0, 1, 0],
+            constant: -2,
+        };
         assert_eq!(e.as_shifted_var(1), Some(-2));
         assert_eq!(e.as_shifted_var(0), None);
-        let f = AffineExpr { coeffs: vec![0, 2, 0], constant: 0 };
+        let f = AffineExpr {
+            coeffs: vec![0, 2, 0],
+            constant: 0,
+        };
         assert_eq!(f.as_shifted_var(1), None);
     }
 

@@ -116,7 +116,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>, ParseError> {
                             end = j;
                             chars.next();
                         } else if c2 == '.'
-                            && text[j + 1..].chars().next().is_some_and(|n| n.is_ascii_digit())
+                            && text[j + 1..]
+                                .chars()
+                                .next()
+                                .is_some_and(|n| n.is_ascii_digit())
                         {
                             is_float = true;
                             end = j;
@@ -194,11 +197,17 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>, ParseError> {
             }
         }
         if emitted {
-            out.push(Spanned { token: Token::Newline, line });
+            out.push(Spanned {
+                token: Token::Newline,
+                line,
+            });
         }
     }
     let last = out.last().map_or(1, |s| s.line);
-    out.push(Spanned { token: Token::Eof, line: last });
+    out.push(Spanned {
+        token: Token::Eof,
+        line: last,
+    });
     Ok(out)
 }
 
@@ -207,7 +216,11 @@ mod tests {
     use super::*;
 
     fn toks(input: &str) -> Vec<Token> {
-        tokenize(input).unwrap().into_iter().map(|s| s.token).collect()
+        tokenize(input)
+            .unwrap()
+            .into_iter()
+            .map(|s| s.token)
+            .collect()
     }
 
     #[test]

@@ -103,10 +103,12 @@ A[t,i,j] = 0.25*(A[t-1,i-1,j] + A[t-1,i,j-1] + A[t-1,i+1,j] + A[t-1,i,j+1])
         let alg = compile(JACOBI_SRC).unwrap();
         let builtin = kernels::jacobi_skewed(4, 6, 6);
         assert_eq!(alg.nest.num_points(), builtin.nest.num_points());
-        let cols: std::collections::HashSet<Vec<i64>> =
-            (0..alg.nest.deps().cols()).map(|c| alg.nest.deps().col(c)).collect();
-        let expected: std::collections::HashSet<Vec<i64>> =
-            (0..builtin.nest.deps().cols()).map(|c| builtin.nest.deps().col(c)).collect();
+        let cols: std::collections::HashSet<Vec<i64>> = (0..alg.nest.deps().cols())
+            .map(|c| alg.nest.deps().col(c))
+            .collect();
+        let expected: std::collections::HashSet<Vec<i64>> = (0..builtin.nest.deps().cols())
+            .map(|c| builtin.nest.deps().col(c))
+            .collect();
         assert_eq!(cols, expected);
     }
 

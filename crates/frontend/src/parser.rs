@@ -31,7 +31,10 @@ type PResult<T> = Result<T, ParseError>;
 
 impl Parser {
     fn err<T>(&self, message: impl Into<String>) -> PResult<T> {
-        Err(ParseError { line: self.peek().line, message: message.into() })
+        Err(ParseError {
+            line: self.peek().line,
+            message: message.into(),
+        })
     }
 
     fn peek(&self) -> &Spanned {
@@ -71,7 +74,10 @@ impl Parser {
                 Ok(())
             }
             Token::Eof => Ok(()),
-            _ => self.err(format!("expected end of line, found `{}`", self.peek().token)),
+            _ => self.err(format!(
+                "expected end of line, found `{}`",
+                self.peek().token
+            )),
         }
     }
 
@@ -212,7 +218,12 @@ impl Parser {
         Ok(d)
     }
 
-    fn expr(&mut self, array: &str, deps: &mut Vec<Vec<i64>>, is_write_ref_ok: bool) -> PResult<Expr> {
+    fn expr(
+        &mut self,
+        array: &str,
+        deps: &mut Vec<Vec<i64>>,
+        is_write_ref_ok: bool,
+    ) -> PResult<Expr> {
         let mut acc = self.expr_mul(array, deps, is_write_ref_ok)?;
         loop {
             match self.peek().token {
@@ -278,9 +289,7 @@ impl Parser {
                     if !tilecc_linalg::vecops::is_lex_positive(&d) {
                         return Err(ParseError {
                             line: t.line,
-                            message: format!(
-                                "dependence {d:?} is not lexicographically positive"
-                            ),
+                            message: format!("dependence {d:?} is not lexicographically positive"),
                         });
                     }
                     let idx = match deps.iter().position(|x| x == &d) {
@@ -322,7 +331,10 @@ impl Parser {
                     self.next();
                     let t = self.next();
                     let Token::Ident(name) = t.token else {
-                        return Err(ParseError { line: t.line, message: "expected parameter name".into() });
+                        return Err(ParseError {
+                            line: t.line,
+                            message: "expected parameter name".into(),
+                        });
                     };
                     self.eat(&Token::Equals)?;
                     let v = self.next();
@@ -330,9 +342,19 @@ impl Parser {
                         Token::Int(x) => x,
                         Token::Minus => match self.next().token {
                             Token::Int(x) => -x,
-                            _ => return Err(ParseError { line: v.line, message: "expected integer".into() }),
+                            _ => {
+                                return Err(ParseError {
+                                    line: v.line,
+                                    message: "expected integer".into(),
+                                })
+                            }
                         },
-                        _ => return Err(ParseError { line: v.line, message: "expected integer".into() }),
+                        _ => {
+                            return Err(ParseError {
+                                line: v.line,
+                                message: "expected integer".into(),
+                            })
+                        }
                     };
                     self.params.insert(name, value);
                     self.eat_line_end()?;
@@ -350,8 +372,14 @@ impl Parser {
                         }
                         rows.push(row);
                         match self.next() {
-                            Spanned { token: Token::Semicolon, .. } => continue,
-                            Spanned { token: Token::RBracket, .. } => break,
+                            Spanned {
+                                token: Token::Semicolon,
+                                ..
+                            } => continue,
+                            Spanned {
+                                token: Token::RBracket,
+                                ..
+                            } => break,
                             Spanned { line, token } => {
                                 return Err(ParseError {
                                     line,
@@ -374,7 +402,10 @@ impl Parser {
             self.next();
             let t = self.next();
             let Token::Ident(var) = t.token else {
-                return Err(ParseError { line: t.line, message: "expected loop variable".into() });
+                return Err(ParseError {
+                    line: t.line,
+                    message: "expected loop variable".into(),
+                });
             };
             if self.loop_vars.contains(&var) {
                 return Err(ParseError {
@@ -383,7 +414,11 @@ impl Parser {
                 });
             }
             self.loop_vars.push(var.clone());
-            loops.push(Loop { var: var.clone(), lowers: vec![], uppers: vec![] });
+            loops.push(Loop {
+                var: var.clone(),
+                lowers: vec![],
+                uppers: vec![],
+            });
             self.eat(&Token::Equals)?;
             let depth = self.loop_vars.len(); // bounds parsed at current depth
             let lowers = self.bound(depth, true)?;
@@ -419,7 +454,10 @@ impl Parser {
         self.skip_newlines();
         let t = self.next();
         let Token::Ident(array) = t.token else {
-            return Err(ParseError { line: t.line, message: "expected the array statement".into() });
+            return Err(ParseError {
+                line: t.line,
+                message: "expected the array statement".into(),
+            });
         };
         // The write reference must be the identity `A[j_1, …, j_n]`.
         self.eat(&Token::LBracket)?;
@@ -473,7 +511,14 @@ impl Parser {
                 return self.err(format!("skew matrix must be {dim}×{dim}"));
             }
         }
-        Ok(Program { array, loops, deps, body, boundary, skew })
+        Ok(Program {
+            array,
+            loops,
+            deps,
+            body,
+            boundary,
+            skew,
+        })
     }
 
     fn int_lit(&mut self) -> PResult<i64> {
@@ -487,9 +532,10 @@ impl Parser {
                     message: format!("expected integer, found `{other}`"),
                 }),
             },
-            other => {
-                Err(ParseError { line: t.line, message: format!("expected integer, found `{other}`") })
-            }
+            other => Err(ParseError {
+                line: t.line,
+                message: format!("expected integer, found `{other}`"),
+            }),
         }
     }
 }
@@ -497,7 +543,12 @@ impl Parser {
 /// Parse a program source into the AST.
 pub fn parse(input: &str) -> PResult<Program> {
     let toks = tokenize(input)?;
-    let mut p = Parser { toks, pos: 0, params: HashMap::new(), loop_vars: vec![] };
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        params: HashMap::new(),
+        loop_vars: vec![],
+    };
     p.parse_program()
 }
 
@@ -558,7 +609,10 @@ for j = 1 to M
 A[t,i,j] = A[t-1,i,j] + A[t,i-1,j] + A[t,i,j-1]
 "#;
         let p = parse(src).unwrap();
-        assert_eq!(p.skew, Some(vec![vec![1, 0, 0], vec![1, 1, 0], vec![2, 0, 1]]));
+        assert_eq!(
+            p.skew,
+            Some(vec![vec![1, 0, 0], vec![1, 1, 0], vec![2, 0, 1]])
+        );
     }
 
     #[test]

@@ -105,7 +105,10 @@ pub fn column_hnf(a: &IMat) -> HnfResult {
     }
 
     debug_assert_eq!(a.mul(&u), h, "HNF witness invariant violated");
-    HnfResult { hnf: h, unimodular: u }
+    HnfResult {
+        hnf: h,
+        unimodular: u,
+    }
 }
 
 /// Check the structural HNF invariants (used by tests and property checks).
@@ -173,7 +176,10 @@ mod tests {
         // Already lower triangular with positive diagonal, but the (-1) entry
         // must be reduced into [0, 1): column op adds column 3 to column 1.
         assert!(is_column_hnf(&r.hnf));
-        assert_eq!(r.hnf, IMat::from_rows(&[&[1, 0, 0], &[0, 1, 0], &[0, 0, 1]]));
+        assert_eq!(
+            r.hnf,
+            IMat::from_rows(&[&[1, 0, 0], &[0, 1, 0], &[0, 0, 1]])
+        );
     }
 
     #[test]

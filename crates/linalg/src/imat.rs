@@ -21,7 +21,11 @@ pub struct IMat {
 impl IMat {
     /// Zero matrix of the given shape.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        IMat { rows, cols, data: vec![0; rows * cols] }
+        IMat {
+            rows,
+            cols,
+            data: vec![0; rows * cols],
+        }
     }
 
     /// Identity matrix of order `n`.
@@ -46,7 +50,11 @@ impl IMat {
             assert_eq!(r.len(), cols, "ragged matrix rows");
             data.extend_from_slice(r);
         }
-        IMat { rows: rows.len(), cols, data }
+        IMat {
+            rows: rows.len(),
+            cols,
+            data,
+        }
     }
 
     /// Build from a nested vector (convenience for tests and kernels).
@@ -114,7 +122,9 @@ impl IMat {
                 for k in 0..self.cols {
                     acc = acc
                         .checked_add(
-                            self[(i, k)].checked_mul(rhs[(k, j)]).expect("imat mul overflow"),
+                            self[(i, k)]
+                                .checked_mul(rhs[(k, j)])
+                                .expect("imat mul overflow"),
                         )
                         .expect("imat mul overflow");
                 }
@@ -126,16 +136,17 @@ impl IMat {
 
     /// Matrix–vector product `self · v`.
     pub fn mul_vec(&self, v: &[i64]) -> Vec<i64> {
-        assert_eq!(self.cols, v.len(), "dimension mismatch in matrix-vector product");
+        assert_eq!(
+            self.cols,
+            v.len(),
+            "dimension mismatch in matrix-vector product"
+        );
         (0..self.rows)
             .map(|i| {
-                self.row(i)
-                    .iter()
-                    .zip(v)
-                    .fold(0i64, |acc, (&a, &b)| {
-                        acc.checked_add(a.checked_mul(b).expect("imat mul_vec overflow"))
-                            .expect("imat mul_vec overflow")
-                    })
+                self.row(i).iter().zip(v).fold(0i64, |acc, (&a, &b)| {
+                    acc.checked_add(a.checked_mul(b).expect("imat mul_vec overflow"))
+                        .expect("imat mul_vec overflow")
+                })
             })
             .collect()
     }
@@ -166,11 +177,7 @@ impl IMat {
                 for j in k + 1..n {
                     let v = at(&a, i, j)
                         .checked_mul(at(&a, k, k))
-                        .and_then(|x| {
-                            x.checked_sub(
-                                at(&a, i, k).checked_mul(at(&a, k, j))?,
-                            )
-                        })
+                        .and_then(|x| x.checked_sub(at(&a, i, k).checked_mul(at(&a, k, j))?))
                         .expect("determinant overflow");
                     a[i * n + j] = v / prev;
                 }
@@ -184,7 +191,9 @@ impl IMat {
 
     /// Convert to a rational matrix.
     pub fn to_rmat(&self) -> RMat {
-        RMat::from_fn(self.rows, self.cols, |i, j| Rational::from_int(self[(i, j)]))
+        RMat::from_fn(self.rows, self.cols, |i, j| {
+            Rational::from_int(self[(i, j)])
+        })
     }
 
     /// Exact inverse as a rational matrix.

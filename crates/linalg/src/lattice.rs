@@ -29,7 +29,9 @@ impl Lattice {
 
     /// The standard lattice `Zⁿ`.
     pub fn standard(n: usize) -> Self {
-        Lattice { basis: IMat::identity(n) }
+        Lattice {
+            basis: IMat::identity(n),
+        }
     }
 
     /// Lattice dimension.
@@ -154,7 +156,7 @@ impl<'a> LatticeBoxIter<'a> {
         for lvl in k..n {
             let base = self.partial(lvl);
             let d = self.lat.basis[(lvl, lvl)]; // > 0
-            // Need lo ≤ base + d·m < hi  ⇒  ceil((lo-base)/d) ≤ m < ceil((hi-base)/d)
+                                                // Need lo ≤ base + d·m < hi  ⇒  ceil((lo-base)/d) ≤ m < ceil((hi-base)/d)
             let m_lo = (self.lo[lvl] - base).div_euclid(d)
                 + i64::from((self.lo[lvl] - base).rem_euclid(d) != 0);
             let m_hi = (self.hi[lvl] - base).div_euclid(d)
@@ -296,7 +298,9 @@ mod tests {
         let lat = Lattice::from_columns(&basis);
         for m in [[0i64, 0], [1, 2], [-3, 4], [7, -2]] {
             let j = lat.point(&m);
-            let back = lat.coordinates(&j).expect("lattice point must have coordinates");
+            let back = lat
+                .coordinates(&j)
+                .expect("lattice point must have coordinates");
             assert_eq!(lat.point(&back), j);
         }
         assert!(!lat.contains(&[1, 0]));

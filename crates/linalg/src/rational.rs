@@ -29,7 +29,10 @@ pub fn lcm_i128(a: i128, b: i128) -> i128 {
     if a == 0 || b == 0 {
         return 0;
     }
-    (a / gcd_i128(a, b)).checked_mul(b).expect("lcm overflow").abs()
+    (a / gcd_i128(a, b))
+        .checked_mul(b)
+        .expect("lcm overflow")
+        .abs()
 }
 
 /// An exact rational number `num/den` with `den > 0` and `gcd(num, den) = 1`.
@@ -61,7 +64,10 @@ impl Rational {
     /// The integer `v` as a rational.
     #[inline]
     pub fn from_int(v: i64) -> Self {
-        Rational { num: v as i128, den: 1 }
+        Rational {
+            num: v as i128,
+            den: 1,
+        }
     }
 
     #[inline]
@@ -127,7 +133,10 @@ impl Rational {
 
     /// Absolute value.
     pub fn abs(&self) -> Self {
-        Rational { num: self.num.abs(), den: self.den }
+        Rational {
+            num: self.num.abs(),
+            den: self.den,
+        }
     }
 
     /// Approximate `f64` value (for reporting only; never used in decisions).
@@ -186,7 +195,10 @@ impl Sub for Rational {
 impl Neg for Rational {
     type Output = Rational;
     fn neg(self) -> Self {
-        Rational { num: -self.num, den: self.den }
+        Rational {
+            num: -self.num,
+            den: self.den,
+        }
     }
 }
 
@@ -214,8 +226,14 @@ impl PartialOrd for Rational {
 impl Ord for Rational {
     fn cmp(&self, other: &Self) -> Ordering {
         // den > 0 on both sides, so cross-multiplication preserves order.
-        let l = self.num.checked_mul(other.den).expect("rational cmp overflow");
-        let r = other.num.checked_mul(self.den).expect("rational cmp overflow");
+        let l = self
+            .num
+            .checked_mul(other.den)
+            .expect("rational cmp overflow");
+        let r = other
+            .num
+            .checked_mul(self.den)
+            .expect("rational cmp overflow");
         l.cmp(&r)
     }
 }

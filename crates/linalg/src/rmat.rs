@@ -20,7 +20,11 @@ pub struct RMat {
 impl RMat {
     /// Zero matrix of the given shape.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        RMat { rows, cols, data: vec![Rational::ZERO; rows * cols] }
+        RMat {
+            rows,
+            cols,
+            data: vec![Rational::ZERO; rows * cols],
+        }
     }
 
     /// Identity matrix of order `n`.
@@ -260,7 +264,11 @@ mod tests {
 
     #[test]
     fn inverse_round_trip() {
-        let h = RMat::from_fractions(&[&[(1, 4), (0, 1), (0, 1)], &[(0, 1), (1, 3), (0, 1)], &[(-1, 5), (0, 1), (1, 5)]]);
+        let h = RMat::from_fractions(&[
+            &[(1, 4), (0, 1), (0, 1)],
+            &[(0, 1), (1, 3), (0, 1)],
+            &[(-1, 5), (0, 1), (1, 5)],
+        ]);
         let p = h.inverse();
         assert_eq!(h.mul(&p), RMat::identity(3));
         assert_eq!(p.mul(&h), RMat::identity(3));
@@ -290,14 +298,22 @@ mod tests {
     #[test]
     fn row_denominator_lcms_give_v_matrix() {
         // Paper §4.1: H_nr = [[1/x,0,0],[0,1/y,0],[-1/z,0,1/z]] with x=4,y=3,z=5.
-        let h = RMat::from_fractions(&[&[(1, 4), (0, 1), (0, 1)], &[(0, 1), (1, 3), (0, 1)], &[(-1, 5), (0, 1), (1, 5)]]);
+        let h = RMat::from_fractions(&[
+            &[(1, 4), (0, 1), (0, 1)],
+            &[(0, 1), (1, 3), (0, 1)],
+            &[(-1, 5), (0, 1), (1, 5)],
+        ]);
         assert_eq!(h.row_denominator_lcms(), vec![4, 3, 5]);
     }
 
     #[test]
     fn tile_size_is_inverse_det() {
         // |det(P)| = 1/|det(H)| = x*y*z for the SOR non-rectangular tiling.
-        let h = RMat::from_fractions(&[&[(1, 4), (0, 1), (0, 1)], &[(0, 1), (1, 3), (0, 1)], &[(-1, 5), (0, 1), (1, 5)]]);
+        let h = RMat::from_fractions(&[
+            &[(1, 4), (0, 1), (0, 1)],
+            &[(0, 1), (1, 3), (0, 1)],
+            &[(-1, 5), (0, 1), (1, 5)],
+        ]);
         let p = h.inverse();
         assert_eq!(p.det().abs(), r(60, 1));
     }

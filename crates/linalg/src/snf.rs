@@ -36,7 +36,10 @@ impl SnfResult {
 pub fn smith_normal_form(a: &IMat) -> SnfResult {
     assert!(a.is_square(), "SNF requires a square matrix");
     let n = a.rows();
-    assert!(a.det() != 0, "SNF of a singular matrix is not supported here");
+    assert!(
+        a.det() != 0,
+        "SNF of a singular matrix is not supported here"
+    );
     let mut s = a.clone();
     let mut u = IMat::identity(n);
     let mut v = IMat::identity(n);

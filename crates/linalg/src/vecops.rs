@@ -6,7 +6,8 @@ use std::cmp::Ordering;
 pub fn dot(a: &[i64], b: &[i64]) -> i64 {
     assert_eq!(a.len(), b.len(), "dot product dimension mismatch");
     a.iter().zip(b).fold(0i64, |acc, (&x, &y)| {
-        acc.checked_add(x.checked_mul(y).expect("dot overflow")).expect("dot overflow")
+        acc.checked_add(x.checked_mul(y).expect("dot overflow"))
+            .expect("dot overflow")
     })
 }
 

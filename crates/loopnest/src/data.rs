@@ -123,7 +123,10 @@ impl DataSpace {
     /// components). Returns the first differing point if any.
     pub fn diff(&self, other: &DataSpace) -> Option<Vec<i64>> {
         assert_eq!(self.lo, other.lo, "data spaces cover different boxes");
-        assert_eq!(self.extents, other.extents, "data spaces cover different boxes");
+        assert_eq!(
+            self.extents, other.extents,
+            "data spaces cover different boxes"
+        );
         assert_eq!(self.width, other.width, "data spaces have different widths");
         for idx in 0..self.written.len() {
             let same = self.written[idx] == other.written[idx]

@@ -82,7 +82,11 @@ impl std::fmt::Debug for Algorithm {
 impl Algorithm {
     /// Build an algorithm from a scalar (single-array) kernel.
     pub fn new(name: impl Into<String>, nest: LoopNest, kernel: Arc<dyn Kernel>) -> Self {
-        Algorithm { name: name.into(), nest, kernel: Arc::new(ScalarKernel(kernel)) }
+        Algorithm {
+            name: name.into(),
+            nest,
+            kernel: Arc::new(ScalarKernel(kernel)),
+        }
     }
 
     /// Build an algorithm from a multi-array kernel.
@@ -92,7 +96,11 @@ impl Algorithm {
         kernel: Arc<dyn MultiKernel>,
     ) -> Self {
         assert!(kernel.width() >= 1);
-        Algorithm { name: name.into(), nest, kernel }
+        Algorithm {
+            name: name.into(),
+            nest,
+            kernel,
+        }
     }
 
     /// Components per iteration point.
@@ -107,7 +115,10 @@ impl Algorithm {
     pub fn skewed(&self, t: &IMat) -> Algorithm {
         let nest = self.nest.skew(t);
         let t_inv = t.inverse().to_imat();
-        let kernel = Arc::new(SkewedKernel { inner: self.kernel.clone(), t_inv });
+        let kernel = Arc::new(SkewedKernel {
+            inner: self.kernel.clone(),
+            t_inv,
+        });
         Algorithm {
             name: format!("{}-skewed", self.name),
             nest,
@@ -240,8 +251,7 @@ mod tests {
     fn multi_kernel_sequential_execution() {
         let space = Polyhedron::from_box(&[1], &[5]);
         let deps = IMat::from_rows(&[&[1]]);
-        let alg =
-            Algorithm::new_multi("coupled", LoopNest::new(space, deps), Arc::new(Coupled));
+        let alg = Algorithm::new_multi("coupled", LoopNest::new(space, deps), Arc::new(Coupled));
         assert_eq!(alg.width(), 2);
         let ds = alg.execute_sequential();
         // b doubles: 2, 4, 8, 16, 32; a accumulates b: 1, 3, 7, 15, 31.

@@ -19,7 +19,9 @@ use tilecc_polytope::Polyhedron;
 fn boundary_value(j: &[i64]) -> f64 {
     let mut h: i64 = 17;
     for (k, &v) in j.iter().enumerate() {
-        h = h.wrapping_mul(31).wrapping_add(v.wrapping_mul(7 + k as i64));
+        h = h
+            .wrapping_mul(31)
+            .wrapping_add(v.wrapping_mul(7 + k as i64));
     }
     ((h.rem_euclid(1009)) as f64) / 1009.0
 }
@@ -179,7 +181,10 @@ mod tests {
         let d = alg.nest.deps();
         for i in 0..d.rows() {
             for j in 0..d.cols() {
-                assert!(d[(i, j)] >= 0, "skewed SOR dependence has negative component");
+                assert!(
+                    d[(i, j)] >= 0,
+                    "skewed SOR dependence has negative component"
+                );
             }
         }
     }
@@ -196,7 +201,9 @@ mod tests {
         // T·(1,1,0) = (1,2,1); T·(1,0,1) = (1,1,2); T·(1,-1,0) = (1,0,1);
         // T·(1,0,-1) = (1,1,0).
         let expected: HashSet<Vec<i64>> =
-            [vec![1, 2, 1], vec![1, 1, 2], vec![1, 0, 1], vec![1, 1, 0]].into_iter().collect();
+            [vec![1, 2, 1], vec![1, 1, 2], vec![1, 0, 1], vec![1, 1, 0]]
+                .into_iter()
+                .collect();
         assert_eq!(columns(d), expected);
     }
 
@@ -243,7 +250,11 @@ mod tests {
             }
         }
         let space = Polyhedron::from_box(&[1, 1, 1], &[1, 2, 2]);
-        let alg = Algorithm::new("cj", LoopNest::new(space, jacobi_deps()), Arc::new(ConstJacobi));
+        let alg = Algorithm::new(
+            "cj",
+            LoopNest::new(space, jacobi_deps()),
+            Arc::new(ConstJacobi),
+        );
         let ds = alg.execute_sequential();
         assert_eq!(ds.get(&[1, 1, 1]), Some(2.0));
     }
@@ -357,7 +368,11 @@ mod extra_kernel_tests {
             }
         }
         let space = Polyhedron::from_box(&[1, 1], &[3, 5]);
-        let alg = Algorithm::new("ch", LoopNest::new(space, heat1d_deps()), Arc::new(ConstHeat));
+        let alg = Algorithm::new(
+            "ch",
+            LoopNest::new(space, heat1d_deps()),
+            Arc::new(ConstHeat),
+        );
         let ds = alg.execute_sequential();
         for i in 1..=5 {
             assert_eq!(ds.get(&[3, i]), Some(3.5));

@@ -23,7 +23,11 @@ impl LoopNest {
     /// order is legal).
     pub fn new(space: Polyhedron, deps: IMat) -> Self {
         let dim = space.dim();
-        assert_eq!(deps.rows(), dim, "dependence vectors must have the nest's dimension");
+        assert_eq!(
+            deps.rows(),
+            dim,
+            "dependence vectors must have the nest's dimension"
+        );
         for q in 0..deps.cols() {
             let d = deps.col(q);
             assert!(
@@ -62,7 +66,10 @@ impl LoopNest {
     /// # Panics
     /// Panics if `T` is not unimodular (|det| = 1).
     pub fn skew(&self, t: &IMat) -> LoopNest {
-        assert!(t.is_square() && t.rows() == self.dim, "skewing matrix shape mismatch");
+        assert!(
+            t.is_square() && t.rows() == self.dim,
+            "skewing matrix shape mismatch"
+        );
         assert_eq!(t.det().abs(), 1, "skewing matrix must be unimodular");
         let t_inv = t.inverse(); // integral because T is unimodular
         let t_inv_i = t_inv.to_imat();
@@ -78,7 +85,10 @@ impl LoopNest {
                     acc
                 })
                 .collect();
-            space.add(Constraint::from_rationals(&a, Rational::from_int(c.constant())));
+            space.add(Constraint::from_rationals(
+                &a,
+                Rational::from_int(c.constant()),
+            ));
         }
         let deps = t.mul(&self.deps);
         // Sanity: unimodular skewing maps integer points bijectively.

@@ -11,7 +11,9 @@
 
 use crate::plan::ParallelPlan;
 use std::sync::Arc;
-use tilecc_cluster::{run_cluster_opts, Comm, CommScheme, EngineOptions, MachineModel, RunReport};
+use tilecc_cluster::{
+    run_cluster_opts, Comm, CommScheme, EngineOptions, MachineModel, RunError, RunReport,
+};
 use tilecc_loopnest::DataSpace;
 use tilecc_tiling::{insert_at, Lds};
 
@@ -56,6 +58,10 @@ impl ExecutionResult {
 
 /// Execute the plan on the in-process cluster (blocking MPI-style
 /// communication, as in the paper).
+///
+/// # Panics
+/// Propagates failed runs as panics — a thin wrapper over
+/// [`execute_opts`], which reports them as [`RunError`]s instead.
 pub fn execute(plan: Arc<ParallelPlan>, model: MachineModel, mode: ExecMode) -> ExecutionResult {
     execute_with(plan, model, mode, CommScheme::Blocking)
 }
@@ -63,26 +69,42 @@ pub fn execute(plan: Arc<ParallelPlan>, model: MachineModel, mode: ExecMode) -> 
 /// [`execute`] with an explicit communication scheme —
 /// [`CommScheme::Overlapped`] implements the computation/communication
 /// overlapping the paper lists as future work (its reference [8]).
+///
+/// # Panics
+/// Propagates failed runs as panics, like [`execute`].
 pub fn execute_with(
     plan: Arc<ParallelPlan>,
     model: MachineModel,
     mode: ExecMode,
     scheme: CommScheme,
 ) -> ExecutionResult {
-    execute_opts(plan, model, mode, EngineOptions { scheme, trace: false })
+    execute_opts(
+        plan,
+        model,
+        mode,
+        EngineOptions {
+            scheme,
+            ..EngineOptions::default()
+        },
+    )
+    .unwrap_or_else(|e| panic!("parallel execution failed: {e}"))
 }
 
-/// [`execute`] with full engine options (communication scheme + tracing).
+/// [`execute`] with full engine options (communication scheme, tracing,
+/// fault injection, watchdog). This is the fallible entry point: engine
+/// failures — a rank panic, a deadlocked schedule, an unreachable peer —
+/// come back as [`RunError`]s with rank-level context.
 pub fn execute_opts(
     plan: Arc<ParallelPlan>,
     model: MachineModel,
     mode: ExecMode,
     options: EngineOptions,
-) -> ExecutionResult {
+) -> Result<ExecutionResult, RunError> {
     let nprocs = plan.num_procs();
     let plan2 = plan.clone();
-    let report =
-        run_cluster_opts(nprocs, model, options, move |comm| run_rank(&plan2, comm, mode));
+    let report = run_cluster_opts(nprocs, model, options, move |comm| {
+        run_rank(&plan2, comm, mode)
+    })?;
     let total_iterations: u64 = report.results.iter().map(|r| r.iterations).sum();
     let data = match mode {
         ExecMode::TimingOnly => None,
@@ -97,7 +119,11 @@ pub fn execute_opts(
             Some(ds)
         }
     };
-    ExecutionResult { report, data, total_iterations }
+    Ok(ExecutionResult {
+        report,
+        data,
+        total_iterations,
+    })
 }
 
 /// The body each rank runs — the direct analogue of the paper's generated
@@ -134,7 +160,9 @@ fn run_rank(plan: &ParallelPlan, comm: &mut impl Comm, mode: ExecMode) -> RankOu
 
         // --- RECEIVE ------------------------------------------------------
         for (i, ds) in plan.comm.tile_deps.iter().enumerate() {
-            let Some(dm_idx) = plan.comm.dm_of_ds[i] else { continue };
+            let Some(dm_idx) = plan.comm.dm_of_ds[i] else {
+                continue;
+            };
             let pred: Vec<i64> = cur_tile.iter().zip(ds).map(|(&a, &b)| a - b).collect();
             if !plan.tiled.tile_valid(&pred) {
                 continue;
@@ -179,8 +207,10 @@ fn run_rank(plan: &ParallelPlan, comm: &mut impl Comm, mode: ExecMode) -> RankOu
             tile_iters = plan.tiled.tile_volume_fast(&cur_tile) as u64;
         }
         #[allow(clippy::collapsible_if)]
-        for (jp, j) in
-            (mode == ExecMode::Full).then(|| plan.tiled.tile_iterations(&cur_tile)).into_iter().flatten()
+        for (jp, j) in (mode == ExecMode::Full)
+            .then(|| plan.tiled.tile_iterations(&cur_tile))
+            .into_iter()
+            .flatten()
         {
             tile_iters += 1;
             {
@@ -269,9 +299,16 @@ mod tests {
         let total = plan.total_iterations();
         let plan = Arc::new(plan);
         let res = execute(plan, MachineModel::fast_ethernet_p3(), ExecMode::Full);
-        assert_eq!(res.total_iterations as usize, total, "iteration conservation");
+        assert_eq!(
+            res.total_iterations as usize, total,
+            "iteration conservation"
+        );
         let par = res.data.expect("full mode returns data");
-        assert_eq!(seq.diff(&par), None, "parallel result differs from sequential");
+        assert_eq!(
+            seq.diff(&par),
+            None,
+            "parallel result differs from sequential"
+        );
     }
 
     #[test]
@@ -305,6 +342,63 @@ mod tests {
         assert_eq!(full.report.total_bytes(), timing.report.total_bytes());
         assert!(timing.data.is_none());
     }
+
+    #[test]
+    fn lossy_links_preserve_results_bitwise() {
+        use tilecc_cluster::FaultPlan;
+        let alg = kernels::sor_skewed(4, 6, 1.1);
+        let t = TilingTransform::rectangular(&[2, 3, 4]).unwrap();
+        let plan = Arc::new(ParallelPlan::new(alg, t, Some(2)).unwrap());
+        let model = MachineModel::fast_ethernet_p3();
+        let clean = execute(plan.clone(), model, ExecMode::Full);
+        let faulty = execute_opts(
+            plan,
+            model,
+            ExecMode::Full,
+            EngineOptions {
+                fault: Some(FaultPlan::lossy(7, 0.25)),
+                ..EngineOptions::default()
+            },
+        )
+        .unwrap_or_else(|e| panic!("reliability layer must mask a 25% drop rate: {e}"));
+        assert!(
+            faulty.report.total_retransmissions() > 0,
+            "drops must be visible in stats"
+        );
+        assert!(faulty.makespan() >= clean.makespan());
+        let (a, b) = (clean.data.unwrap(), faulty.data.unwrap());
+        assert_eq!(
+            a.diff(&b),
+            None,
+            "lossy run must produce bitwise-identical data"
+        );
+    }
+
+    #[test]
+    fn crashed_rank_surfaces_as_run_error() {
+        use tilecc_cluster::FaultPlan;
+        let alg = kernels::sor_skewed(4, 6, 1.1);
+        let t = TilingTransform::rectangular(&[2, 3, 4]).unwrap();
+        let plan = Arc::new(ParallelPlan::new(alg, t, Some(2)).unwrap());
+        let err = match execute_opts(
+            plan,
+            MachineModel::fast_ethernet_p3(),
+            ExecMode::Full,
+            EngineOptions {
+                fault: Some(FaultPlan::default().with_crash(0, 0.0)),
+                ..EngineOptions::default()
+            },
+        ) {
+            Err(e) => e,
+            Ok(_) => panic!("a crashed rank must fail the run"),
+        };
+        match err {
+            RunError::RankPanicked { rank: 0, payload } => {
+                assert!(payload.contains("injected crash"), "{payload}");
+            }
+            other => panic!("expected RankPanicked for rank 0, got {other:?}"),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -327,8 +421,7 @@ mod overlap_tests {
         let model = MachineModel::fast_ethernet_p3();
         let seq = plan.algorithm.execute_sequential();
         let blocking = execute_with(plan.clone(), model, ExecMode::Full, CommScheme::Blocking);
-        let overlapped =
-            execute_with(plan.clone(), model, ExecMode::Full, CommScheme::Overlapped);
+        let overlapped = execute_with(plan.clone(), model, ExecMode::Full, CommScheme::Overlapped);
         // Same data under either scheme.
         assert_eq!(seq.diff(blocking.data.as_ref().unwrap()), None);
         assert_eq!(seq.diff(overlapped.data.as_ref().unwrap()), None);
@@ -339,6 +432,9 @@ mod overlap_tests {
             overlapped.makespan(),
             blocking.makespan()
         );
-        assert!(overlapped.makespan() < blocking.makespan(), "overlap should hide something");
+        assert!(
+            overlapped.makespan() < blocking.makespan(),
+            "overlap should hide something"
+        );
     }
 }

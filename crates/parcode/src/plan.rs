@@ -51,7 +51,14 @@ impl ParallelPlan {
                 t.lattice().points_in_box(&lo, t.v()).count()
             })
             .collect();
-        Ok(ParallelPlan { algorithm, tiled, dist, comm, geo, region_counts })
+        Ok(ParallelPlan {
+            algorithm,
+            tiled,
+            dist,
+            comm,
+            geo,
+            region_counts,
+        })
     }
 
     /// Loop-nest dimension `n`.
@@ -88,7 +95,10 @@ impl ParallelPlan {
         let t = self.tiled.transform();
         let tile = t.tile_of(j);
         let pid = project_pid(&tile, self.dist.m);
-        let rank = self.dist.rank(&pid).expect("iteration outside the distribution");
+        let rank = self
+            .dist
+            .rank(&pid)
+            .expect("iteration outside the distribution");
         let anchor = self.anchor(rank);
         let g = unrolled_of(t, j, &anchor);
         (pid, self.geo.addr(&g))
@@ -112,7 +122,10 @@ impl ParallelPlan {
         let jr = t.p_prime().mul_ivec(&hj);
         jr.iter()
             .map(|r| {
-                assert!(r.is_integer(), "LDS address does not map to an integer iteration");
+                assert!(
+                    r.is_integer(),
+                    "LDS address does not map to an integer iteration"
+                );
                 r.to_integer()
             })
             .collect()
@@ -194,7 +207,10 @@ mod tests {
         let mut seen: HashSet<(Vec<i64>, Vec<i64>)> = HashSet::new();
         for j in plan.tiled.space_bounds().points() {
             let key = plan.loc(&j);
-            assert!(seen.insert(key.clone()), "duplicate storage location {key:?}");
+            assert!(
+                seen.insert(key.clone()),
+                "duplicate storage location {key:?}"
+            );
         }
     }
 
@@ -240,7 +256,10 @@ mod tests {
         let plan = small_sor_plan(true);
         for rank in 0..plan.num_procs() {
             let anchor = plan.anchor(rank);
-            assert!(plan.tiled.tile_valid(&anchor), "anchor must be a valid tile");
+            assert!(
+                plan.tiled.tile_valid(&anchor),
+                "anchor must be a valid tile"
+            );
             assert_eq!(project_pid(&anchor, plan.m()), plan.dist.pids[rank]);
         }
     }

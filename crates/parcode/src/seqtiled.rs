@@ -56,7 +56,11 @@ mod tests {
         let untiled = alg.execute_sequential();
         let plan = ParallelPlan::new(alg, TilingTransform::new(h).unwrap(), Some(2)).unwrap();
         let tiled = execute_tiled_sequential(&plan);
-        assert_eq!(untiled.diff(&tiled), None, "tiled reordering changed the result");
+        assert_eq!(
+            untiled.diff(&tiled),
+            None,
+            "tiled reordering changed the result"
+        );
     }
 
     #[test]
@@ -93,8 +97,7 @@ mod tests {
         ] {
             let alg = kernels::adi(6, 8);
             let untiled = alg.execute_sequential();
-            let plan =
-                ParallelPlan::new(alg, TilingTransform::new(h).unwrap(), Some(0)).unwrap();
+            let plan = ParallelPlan::new(alg, TilingTransform::new(h).unwrap(), Some(0)).unwrap();
             let tiled = execute_tiled_sequential(&plan);
             assert_eq!(untiled.diff(&tiled), None);
         }

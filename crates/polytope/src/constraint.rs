@@ -128,7 +128,10 @@ impl Constraint {
     /// Fourier–Motzkin to cancel a variable.
     pub fn combine(&self, lambda: i64, other: &Constraint, mu: i64) -> Constraint {
         assert_eq!(self.dim(), other.dim());
-        assert!(lambda > 0 && mu > 0, "FM combination multipliers must be positive");
+        assert!(
+            lambda > 0 && mu > 0,
+            "FM combination multipliers must be positive"
+        );
         let coeffs: Vec<i64> = self
             .coeffs
             .iter()

@@ -19,7 +19,10 @@ pub struct Polyhedron {
 impl Polyhedron {
     /// The universe polyhedron (no constraints) of the given dimension.
     pub fn universe(dim: usize) -> Self {
-        Polyhedron { dim, constraints: vec![] }
+        Polyhedron {
+            dim,
+            constraints: vec![],
+        }
     }
 
     /// An axis-aligned integer box `lo_k ≤ x_k ≤ hi_k` (inclusive).
@@ -142,7 +145,10 @@ impl Polyhedron {
                 i += 1;
             }
         }
-        Polyhedron { dim: self.dim, constraints: kept }
+        Polyhedron {
+            dim: self.dim,
+            constraints: kept,
+        }
     }
 
     /// Fourier–Motzkin elimination of variable `k`. The result is a
@@ -329,7 +335,12 @@ pub struct PointIter<'a> {
 impl<'a> PointIter<'a> {
     fn new(bounds: &'a LoopNestBounds) -> Self {
         let dim = bounds.dim();
-        let mut it = PointIter { bounds, point: vec![0; dim], hi: vec![0; dim], done: false };
+        let mut it = PointIter {
+            bounds,
+            point: vec![0; dim],
+            hi: vec![0; dim],
+            done: false,
+        };
         if !it.seek(0) {
             it.done = true;
         }

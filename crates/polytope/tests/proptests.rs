@@ -1,23 +1,44 @@
 //! Property-based tests for Fourier–Motzkin elimination and point scanning.
+//!
+//! Cases are generated with a seeded xorshift generator, so every run
+//! exercises the same inputs — a failure message's `case` index is enough to
+//! reproduce it exactly.
 
-use proptest::prelude::*;
 use tilecc_polytope::{Constraint, LoopNestBounds, Polyhedron};
 
-/// Random bounded 2-D or 3-D polyhedra: a box plus a few random half-spaces.
-fn bounded_poly() -> impl Strategy<Value = Polyhedron> {
-    (2usize..=3).prop_flat_map(|dim| {
-        let extra = proptest::collection::vec(
-            (proptest::collection::vec(-3i64..=3, dim), -8i64..=8),
-            0..4,
-        );
-        (Just(dim), extra).prop_map(move |(dim, extra)| {
-            let mut p = Polyhedron::from_box(&vec![-4; dim], &vec![4; dim]);
-            for (coeffs, c) in extra {
-                p.add(Constraint::new(coeffs, c));
-            }
-            p
-        })
-    })
+/// xorshift64* — deterministic case generator.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform integer in `lo..=hi`.
+    fn int(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + (self.next() % (hi - lo + 1) as u64) as i64
+    }
+}
+
+/// Random bounded 2-D or 3-D polyhedron: a box plus a few random half-spaces.
+fn bounded_poly(rng: &mut Rng) -> Polyhedron {
+    let dim = rng.int(2, 3) as usize;
+    let mut p = Polyhedron::from_box(&vec![-4; dim], &vec![4; dim]);
+    for _ in 0..rng.int(0, 3) {
+        let coeffs: Vec<i64> = (0..dim).map(|_| rng.int(-3, 3)).collect();
+        let c = rng.int(-8, 8);
+        p.add(Constraint::new(coeffs, c));
+    }
+    p
 }
 
 fn brute_points(p: &Polyhedron) -> Vec<Vec<i64>> {
@@ -42,12 +63,16 @@ fn brute_points(p: &Polyhedron) -> Vec<Vec<i64>> {
     out
 }
 
-proptest! {
-    /// FM soundness: the shadow contains the projection of every point, and
-    /// every *rational-exact* property we rely on holds — each point of the
-    /// polyhedron projects into the eliminated system.
-    #[test]
-    fn fm_shadow_contains_projections(p in bounded_poly()) {
+const CASES: usize = 64;
+
+/// FM soundness: the shadow contains the projection of every point, and
+/// every *rational-exact* property we rely on holds — each point of the
+/// polyhedron projects into the eliminated system.
+#[test]
+fn fm_shadow_contains_projections() {
+    let mut rng = Rng::new(0x5EED_0001);
+    for case in 0..CASES {
+        let p = bounded_poly(&mut rng);
         let dim = p.dim();
         let pts = brute_points(&p);
         for k in 0..dim {
@@ -59,28 +84,38 @@ proptest! {
                     .filter(|&(i, _)| i != k)
                     .map(|(_, &v)| v)
                     .collect();
-                prop_assert!(shadow.contains(&projected),
-                    "projection of {:?} missing from shadow of var {}", pt, k);
+                assert!(
+                    shadow.contains(&projected),
+                    "case {case}: projection of {pt:?} missing from shadow of var {k}"
+                );
             }
         }
     }
+}
 
-    /// The lexicographic scanner visits exactly the integer points, in order,
-    /// exactly once.
-    #[test]
-    fn scanner_is_exact_and_ordered(p in bounded_poly()) {
+/// The lexicographic scanner visits exactly the integer points, in order,
+/// exactly once.
+#[test]
+fn scanner_is_exact_and_ordered() {
+    let mut rng = Rng::new(0x5EED_0002);
+    for case in 0..CASES {
+        let p = bounded_poly(&mut rng);
         let bounds = LoopNestBounds::new(&p);
         let fast: Vec<_> = bounds.points().collect();
         let slow = brute_points(&p);
-        prop_assert_eq!(&fast, &slow);
+        assert_eq!(&fast, &slow, "case {case}");
         for w in fast.windows(2) {
-            prop_assert!(w[0] < w[1]);
+            assert!(w[0] < w[1], "case {case}");
         }
     }
+}
 
-    /// integer_bounds agrees with explicit scanning per outer value.
-    #[test]
-    fn bounds_bracket_inner_points(p in bounded_poly()) {
+/// integer_bounds agrees with explicit scanning per outer value.
+#[test]
+fn bounds_bracket_inner_points() {
+    let mut rng = Rng::new(0x5EED_0003);
+    for case in 0..CASES {
+        let p = bounded_poly(&mut rng);
         let bounds = LoopNestBounds::new(&p);
         let pts = brute_points(&p);
         for pt in &pts {
@@ -88,7 +123,7 @@ proptest! {
             let (lo, hi) = bounds
                 .bounds(k, &pt[..k])
                 .expect("point exists, bounds must too");
-            prop_assert!(lo <= pt[k] && pt[k] <= hi);
+            assert!(lo <= pt[k] && pt[k] <= hi, "case {case}: {pt:?}");
         }
     }
 }

@@ -47,7 +47,13 @@ impl CommPlan {
         let d_prime = t.transformed_deps(deps);
         let v = t.v();
         let maxd: Vec<i64> = (0..n)
-            .map(|k| (0..d_prime.cols()).map(|q| d_prime[(k, q)]).max().unwrap_or(0).max(0))
+            .map(|k| {
+                (0..d_prime.cols())
+                    .map(|q| d_prime[(k, q)])
+                    .max()
+                    .unwrap_or(0)
+                    .max(0)
+            })
             .collect();
         let cc: Vec<i64> = (0..n).map(|k| v[k] - maxd[k]).collect();
 
@@ -87,7 +93,16 @@ impl CommPlan {
             });
             dm_of_ds.push(Some(idx));
         }
-        CommPlan { m, d_prime, maxd, cc, off, tile_deps, proc_deps, dm_of_ds }
+        CommPlan {
+            m,
+            d_prime,
+            maxd,
+            cc,
+            off,
+            tile_deps,
+            proc_deps,
+            dm_of_ds,
+        }
     }
 
     /// The pack/unpack region for processor dependence `dm`: the lattice box

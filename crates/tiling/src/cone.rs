@@ -14,9 +14,7 @@ use tilecc_linalg::{gcd_i128, IMat, RMat, Rational};
 
 /// True iff `x·d ≥ 0` for every dependence column `d`.
 pub fn in_tiling_cone(x: &[i64], deps: &IMat) -> bool {
-    (0..deps.cols()).all(|q| {
-        deps.col(q).iter().zip(x).map(|(&a, &b)| a * b).sum::<i64>() >= 0
-    })
+    (0..deps.cols()).all(|q| deps.col(q).iter().zip(x).map(|(&a, &b)| a * b).sum::<i64>() >= 0)
 }
 
 /// Rank of a small rational matrix (Gaussian elimination).
@@ -94,7 +92,9 @@ fn nullspace_direction(rows: &[Vec<Rational>], n: usize) -> Option<Vec<i64>> {
         x[pc] = -a[row][free];
     }
     // Scale to a primitive integer vector.
-    let lcm = x.iter().fold(1i128, |acc, v| tilecc_linalg::lcm_i128(acc, v.den()));
+    let lcm = x
+        .iter()
+        .fold(1i128, |acc, v| tilecc_linalg::lcm_i128(acc, v.den()));
     let mut ints: Vec<i128> = x.iter().map(|v| v.num() * (lcm / v.den())).collect();
     let g = ints.iter().fold(0i128, |acc, &v| gcd_i128(acc, v));
     if g > 1 {
@@ -102,7 +102,11 @@ fn nullspace_direction(rows: &[Vec<Rational>], n: usize) -> Option<Vec<i64>> {
             *v /= g;
         }
     }
-    Some(ints.iter().map(|&v| i64::try_from(v).expect("ray overflow")).collect())
+    Some(
+        ints.iter()
+            .map(|&v| i64::try_from(v).expect("ray overflow"))
+            .collect(),
+    )
 }
 
 /// Compute the extreme rays of the tiling cone of `deps` (columns). Rays are
@@ -128,8 +132,7 @@ pub fn tiling_cone_rays(deps: &IMat) -> Vec<Vec<i64>> {
         let rows: Vec<Vec<Rational>> = subset.iter().map(|&i| dep_rows[i].clone()).collect();
         if let Some(dir) = nullspace_direction(&rows, n) {
             for cand in [dir.clone(), dir.iter().map(|&v| -v).collect::<Vec<_>>()] {
-                if in_tiling_cone(&cand, deps) && is_extreme(&cand, deps) && !rays.contains(&cand)
-                {
+                if in_tiling_cone(&cand, deps) && is_extreme(&cand, deps) && !rays.contains(&cand) {
                     rays.push(cand);
                 }
             }
@@ -163,9 +166,7 @@ fn next_combination(subset: &mut [usize], q: usize) -> bool {
 fn is_extreme(x: &[i64], deps: &IMat) -> bool {
     let n = deps.rows();
     let active: Vec<Vec<Rational>> = (0..deps.cols())
-        .filter(|&q| {
-            deps.col(q).iter().zip(x).map(|(&a, &b)| a * b).sum::<i64>() == 0
-        })
+        .filter(|&q| deps.col(q).iter().zip(x).map(|(&a, &b)| a * b).sum::<i64>() == 0)
         .map(|q| deps.col(q).iter().map(|&v| Rational::from_int(v)).collect())
         .collect();
     rank(&active) == n - 1
@@ -175,7 +176,9 @@ fn is_extreme(x: &[i64], deps: &IMat) -> bool {
 pub fn cone_matrix(deps: &IMat) -> RMat {
     let rays = tiling_cone_rays(deps);
     assert!(!rays.is_empty(), "empty tiling cone");
-    RMat::from_fn(rays.len(), deps.rows(), |i, j| Rational::from_int(rays[i][j]))
+    RMat::from_fn(rays.len(), deps.rows(), |i, j| {
+        Rational::from_int(rays[i][j])
+    })
 }
 
 #[cfg(test)]
@@ -191,8 +194,7 @@ mod tests {
     fn sor_cone_matches_paper() {
         // Skewed SOR dependencies; paper §4.1 gives
         // C = [[1,0,0],[0,1,0],[-1,0,1],[-2,1,1]].
-        let deps =
-            IMat::from_rows(&[&[1, 0, 1, 1, 0], &[1, 1, 0, 1, 0], &[2, 0, 2, 1, 1]]);
+        let deps = IMat::from_rows(&[&[1, 0, 1, 1, 0], &[1, 1, 0, 1, 0], &[2, 0, 2, 1, 1]]);
         let expected: BTreeSet<Vec<i64>> =
             [vec![1, 0, 0], vec![0, 1, 0], vec![-1, 0, 1], vec![-2, 1, 1]]
                 .into_iter()
@@ -204,8 +206,9 @@ mod tests {
     fn adi_cone_matches_paper() {
         // ADI dependencies; paper §4.3 gives C = [[1,−1,−1],[0,1,0],[0,0,1]].
         let deps = IMat::from_rows(&[&[1, 1, 1], &[0, 1, 0], &[0, 0, 1]]);
-        let expected: BTreeSet<Vec<i64>> =
-            [vec![1, -1, -1], vec![0, 1, 0], vec![0, 0, 1]].into_iter().collect();
+        let expected: BTreeSet<Vec<i64>> = [vec![1, -1, -1], vec![0, 1, 0], vec![0, 0, 1]]
+            .into_iter()
+            .collect();
         assert_eq!(ray_set(&deps), expected);
     }
 
@@ -229,8 +232,7 @@ mod tests {
     fn rectangular_rows_are_interior_for_sor() {
         // Hodzic/Shang: rows strictly inside the cone are suboptimal. The
         // rectangular row e_3 = (0,0,1) is in the cone but NOT extreme.
-        let deps =
-            IMat::from_rows(&[&[1, 0, 1, 1, 0], &[1, 1, 0, 1, 0], &[2, 0, 2, 1, 1]]);
+        let deps = IMat::from_rows(&[&[1, 0, 1, 1, 0], &[1, 1, 0, 1, 0], &[2, 0, 2, 1, 1]]);
         assert!(in_tiling_cone(&[0, 0, 1], &deps));
         assert!(!ray_set(&deps).contains(&vec![0, 0, 1]));
     }
@@ -238,8 +240,9 @@ mod tests {
     #[test]
     fn orthant_cone_for_unit_deps() {
         let deps = IMat::identity(3);
-        let expected: BTreeSet<Vec<i64>> =
-            [vec![1, 0, 0], vec![0, 1, 0], vec![0, 0, 1]].into_iter().collect();
+        let expected: BTreeSet<Vec<i64>> = [vec![1, 0, 0], vec![0, 1, 0], vec![0, 0, 1]]
+            .into_iter()
+            .collect();
         assert_eq!(ray_set(&deps), expected);
     }
 }

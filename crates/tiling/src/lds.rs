@@ -60,7 +60,9 @@ impl LdsGeometry {
 
     /// LDS address (per-dimension) of the unrolled local coordinate `g`.
     pub fn addr(&self, g: &[i64]) -> Vec<i64> {
-        (0..self.dim()).map(|k| div_floor(g[k], self.c[k]) + self.off[k]).collect()
+        (0..self.dim())
+            .map(|k| div_floor(g[k], self.c[k]) + self.off[k])
+            .collect()
     }
 
     /// Per-dimension address extents for a chain of `num_tiles` tiles.
@@ -96,7 +98,11 @@ impl LdsGeometry {
             let target_residue = (base - self.v[k] * anchor[k]).rem_euclid(self.c[k]);
             g[k] = self.c[k] * (addr[k] - self.off[k]) + target_residue;
             let num = g[k] + self.v[k] * anchor[k] - base;
-            debug_assert_eq!(num.rem_euclid(self.c[k]), 0, "address not on the LDS lattice");
+            debug_assert_eq!(
+                num.rem_euclid(self.c[k]),
+                0,
+                "address not on the LDS lattice"
+            );
             mm[k] = num.div_euclid(self.c[k]);
         }
         g
@@ -129,7 +135,13 @@ impl Lds {
         let extents = geo.extents(num_tiles);
         let total: i64 = extents.iter().product();
         let total = usize::try_from(total).expect("LDS too large");
-        Lds { geo, anchor, extents, width, data: vec![0.0; total * width] }
+        Lds {
+            geo,
+            anchor,
+            extents,
+            width,
+            data: vec![0.0; total * width],
+        }
     }
 
     /// Components per cell.
@@ -278,7 +290,10 @@ mod tests {
                 for jp in t.ttis_points() {
                     let g = lds.unrolled(chain_t, &jp);
                     let idx = lds.index_of(&g).expect("owned point must be addressable");
-                    assert!(seen.insert(idx), "address collision at t={chain_t} jp={jp:?}");
+                    assert!(
+                        seen.insert(idx),
+                        "address collision at t={chain_t} jp={jp:?}"
+                    );
                     count += 1;
                 }
             }

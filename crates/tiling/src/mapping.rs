@@ -46,9 +46,18 @@ impl Distribution {
         let mut pids: Vec<Vec<i64>> = chains_map.keys().cloned().collect();
         pids.sort();
         let chains: Vec<(i64, i64)> = pids.iter().map(|p| chains_map[p]).collect();
-        let rank_of: HashMap<Vec<i64>, usize> =
-            pids.iter().cloned().enumerate().map(|(r, p)| (p, r)).collect();
-        Distribution { m, pids, chains, rank_of }
+        let rank_of: HashMap<Vec<i64>, usize> = pids
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(r, p)| (p, r))
+            .collect();
+        Distribution {
+            m,
+            pids,
+            chains,
+            rank_of,
+        }
     }
 
     /// Number of processors.
@@ -69,7 +78,11 @@ impl Distribution {
 
     /// Longest chain length (tiles) over all processors.
     pub fn max_chain_len(&self) -> i64 {
-        self.chains.iter().map(|&(lo, hi)| hi - lo + 1).max().unwrap_or(0)
+        self.chains
+            .iter()
+            .map(|&(lo, hi)| hi - lo + 1)
+            .max()
+            .unwrap_or(0)
     }
 }
 

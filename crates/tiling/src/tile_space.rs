@@ -30,7 +30,11 @@ impl TiledSpace {
     /// Tile `space` by `transform`.
     pub fn new(transform: TilingTransform, space: Polyhedron) -> Self {
         let n = transform.dim();
-        assert_eq!(space.dim(), n, "space and transformation dimension mismatch");
+        assert_eq!(
+            space.dim(),
+            n,
+            "space and transformation dimension mismatch"
+        );
         // Combined system over (j^S[0..n], j[0..n]).
         let mut combined = Polyhedron::universe(2 * n);
         for c in space.constraints() {
@@ -59,7 +63,14 @@ impl TiledSpace {
         let tile_bounds = LoopNestBounds::new(&shadow);
         let space_bounds = LoopNestBounds::new(&space);
         let full_tile_volume = transform.ttis_points().count();
-        TiledSpace { transform, space, shadow, tile_bounds, space_bounds, full_tile_volume }
+        TiledSpace {
+            transform,
+            space,
+            shadow,
+            tile_bounds,
+            space_bounds,
+            full_tile_volume,
+        }
     }
 
     #[inline]
@@ -180,8 +191,7 @@ impl TiledSpace {
         for q in 0..dp.cols() {
             let d = dp.col(q);
             for jp in t.ttis_points() {
-                let ds: Vec<i64> =
-                    (0..n).map(|k| (jp[k] + d[k]).div_euclid(v[k])).collect();
+                let ds: Vec<i64> = (0..n).map(|k| (jp[k] + d[k]).div_euclid(v[k])).collect();
                 if ds.iter().any(|&x| x != 0) {
                     set.insert(ds);
                 }
@@ -260,7 +270,10 @@ mod tests {
         let bounds = LoopNestBounds::new(&space);
         for j in bounds.points() {
             let tile = tiled.transform().tile_of(&j);
-            assert!(tiled.tile_valid(&tile), "tile {tile:?} of {j:?} not in shadow");
+            assert!(
+                tiled.tile_valid(&tile),
+                "tile {tile:?} of {j:?} not in shadow"
+            );
             assert!(
                 tiled.tile_iterations(&tile).any(|(_, jj)| jj == j),
                 "point {j:?} missing from its tile {tile:?}"
@@ -301,8 +314,7 @@ mod tests {
         // and lexicographically positive.
         let space = sor_like_space();
         let tiled = TiledSpace::new(sor_hnr(3, 3, 3), space);
-        let deps =
-            IMat::from_rows(&[&[1, 0, 1, 1, 0], &[1, 1, 0, 1, 0], &[2, 0, 2, 1, 1]]);
+        let deps = IMat::from_rows(&[&[1, 0, 1, 1, 0], &[1, 1, 0, 1, 0], &[2, 0, 2, 1, 1]]);
         let ds = tiled.tile_deps(&deps);
         for c in 0..ds.cols() {
             let col = ds.col(c);

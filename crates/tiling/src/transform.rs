@@ -34,10 +34,16 @@ impl std::fmt::Display for TilingError {
         match self {
             TilingError::Singular => write!(f, "tiling matrix H is singular"),
             TilingError::NonIntegralSides { col } => {
-                write!(f, "tile side-vector {col} (column of P = H⁻¹) is not integral")
+                write!(
+                    f,
+                    "tile side-vector {col} (column of P = H⁻¹) is not integral"
+                )
             }
             TilingError::IllegalForDependence { dep } => {
-                write!(f, "tiling is illegal: H·d has a negative component for d = {dep:?}")
+                write!(
+                    f,
+                    "tiling is illegal: H·d has a negative component for d = {dep:?}"
+                )
             }
         }
     }
@@ -200,7 +206,10 @@ impl TilingTransform {
     /// `j' = H'·(j − P·j^S) = H'·j − V·j^S`.
     pub fn ttis_coord(&self, j: &[i64], tile: &[i64]) -> Vec<i64> {
         let hj = self.h_prime.mul_vec(j);
-        hj.iter().zip(self.v.iter().zip(tile)).map(|(&a, (&vk, &t))| a - vk * t).collect()
+        hj.iter()
+            .zip(self.v.iter().zip(tile))
+            .map(|(&a, (&vk, &t))| a - vk * t)
+            .collect()
     }
 
     /// Inverse of [`TilingTransform::ttis_coord`]: `j = P·j^S + P'·j'`.
@@ -215,7 +224,10 @@ impl TilingTransform {
         let b = self.p_prime.mul_ivec(jp);
         for k in 0..n {
             let r = a[k] + b[k];
-            assert!(r.is_integer(), "({tile:?}, {jp:?}) is not an integer iteration");
+            assert!(
+                r.is_integer(),
+                "({tile:?}, {jp:?}) is not an integer iteration"
+            );
             out.push(r.to_integer());
         }
         out
@@ -296,7 +308,10 @@ mod tests {
         assert_eq!(t.v(), &[4, 3, 5]);
         assert_eq!(t.tile_size(), 60);
         // H' = V·H = [[1,0,0],[0,1,0],[-1,0,1]].
-        assert_eq!(*t.h_prime(), IMat::from_rows(&[&[1, 0, 0], &[0, 1, 0], &[-1, 0, 1]]));
+        assert_eq!(
+            *t.h_prime(),
+            IMat::from_rows(&[&[1, 0, 0], &[0, 1, 0], &[-1, 0, 1]])
+        );
         // Unimodular H' ⇒ TTIS lattice is dense, all strides 1.
         assert_eq!(t.strides(), vec![1, 1, 1]);
         assert_eq!(t.ttis_points().count(), 60);
@@ -324,8 +339,7 @@ mod tests {
     #[test]
     fn legality_check_matches_paper() {
         // Skewed SOR dependencies (paper §4.1).
-        let deps =
-            IMat::from_rows(&[&[1, 0, 1, 1, 0], &[1, 1, 0, 1, 0], &[2, 0, 2, 1, 1]]);
+        let deps = IMat::from_rows(&[&[1, 0, 1, 1, 0], &[1, 1, 0, 1, 0], &[2, 0, 2, 1, 1]]);
         let nr = TilingTransform::new(sor_hnr(4, 3, 5)).unwrap();
         assert!(nr.validate_for(&deps).is_ok());
         let rect = TilingTransform::rectangular(&[4, 3, 5]).unwrap();
@@ -337,7 +351,10 @@ mod tests {
             &[(0, 1), (0, 1), (1, 2)],
         ]))
         .unwrap();
-        assert!(matches!(bad.validate_for(&deps), Err(TilingError::IllegalForDependence { .. })));
+        assert!(matches!(
+            bad.validate_for(&deps),
+            Err(TilingError::IllegalForDependence { .. })
+        ));
     }
 
     #[test]
@@ -370,11 +387,13 @@ mod tests {
     #[test]
     fn transformed_deps_are_integral_lattice_vectors() {
         let t = TilingTransform::new(sor_hnr(3, 4, 5)).unwrap();
-        let deps =
-            IMat::from_rows(&[&[1, 0, 1, 1, 0], &[1, 1, 0, 1, 0], &[2, 0, 2, 1, 1]]);
+        let deps = IMat::from_rows(&[&[1, 0, 1, 1, 0], &[1, 1, 0, 1, 0], &[2, 0, 2, 1, 1]]);
         let dp = t.transformed_deps(&deps);
         for q in 0..dp.cols() {
-            assert!(t.lattice().contains(&dp.col(q)), "H'd must be a TTIS lattice vector");
+            assert!(
+                t.lattice().contains(&dp.col(q)),
+                "H'd must be a TTIS lattice vector"
+            );
         }
     }
 

@@ -12,9 +12,7 @@ fn main() {
     let pipeline = Pipeline::compile(algorithm, matrices::sor_nr(5, 10, 10), Some(2))
         .expect("tiling is legal for SOR");
 
-    let code = pipeline.emit_c(
-        "w4 * (LA[MAP(t, j0 - 1, j1, j2)] /* reads at j' - d'_q ... */)",
-    );
+    let code = pipeline.emit_c("w4 * (LA[MAP(t, j0 - 1, j1, j2)] /* reads at j' - d'_q ... */)");
     println!("{code}");
 
     // Also show the derived compile-time objects the code embeds.

@@ -38,13 +38,19 @@ fn explore(name: &str, deps: &IMat, nr_rows: &[Vec<i64>], rect_rows: &[Vec<i64>]
 fn main() {
     explore(
         "skewed SOR",
-        kernels::sor(4, 4, 1.0).skewed(&kernels::sor_skewing()).nest.deps(),
+        kernels::sor(4, 4, 1.0)
+            .skewed(&kernels::sor_skewing())
+            .nest
+            .deps(),
         &[vec![1, 0, 0], vec![0, 1, 0], vec![-1, 0, 1]],
         &[vec![0, 0, 1]],
     );
     explore(
         "skewed Jacobi",
-        kernels::jacobi(4, 4, 4).skewed(&kernels::jacobi_skewing()).nest.deps(),
+        kernels::jacobi(4, 4, 4)
+            .skewed(&kernels::jacobi_skewing())
+            .nest
+            .deps(),
         &[vec![2, -1, 0]],
         &[vec![1, 0, 0]],
     );

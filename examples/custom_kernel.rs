@@ -53,11 +53,18 @@ fn main() {
         Rational::new(rows[r][c], [1, 10, 10][r])
     });
     let pipeline = Pipeline::compile(algorithm, h, None).expect("legal tiling");
-    println!("processors: {}, mapping dim m = {}", pipeline.num_procs(), pipeline.plan().m());
+    println!(
+        "processors: {}, mapping dim m = {}",
+        pipeline.num_procs(),
+        pipeline.plan().m()
+    );
 
     let (summary, data) = pipeline.run_verified(MachineModel::fast_ethernet_p3());
     println!("verified: {:?}", summary.verified);
-    println!("speedup : {:.3} on {} procs", summary.speedup, summary.procs);
+    println!(
+        "speedup : {:.3} on {} procs",
+        summary.speedup, summary.procs
+    );
     println!("checksum: {:.6}", data.checksum());
     assert_eq!(summary.verified, Some(true));
 }

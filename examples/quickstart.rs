@@ -19,7 +19,10 @@ fn main() {
         .expect("tiling is legal for SOR");
 
     println!("compiled: {} processors", pipeline.num_procs());
-    println!("tile dependencies D^S: {:?}", pipeline.plan().comm.tile_deps);
+    println!(
+        "tile dependencies D^S: {:?}",
+        pipeline.plan().comm.tile_deps
+    );
     println!("communication vector CC: {:?}", pipeline.plan().comm.cc);
 
     // Execute on the modelled FastEthernet/P-III cluster and verify
@@ -31,8 +34,14 @@ fn main() {
     println!("verified          : {:?}", summary.verified);
     println!("sequential (sim)  : {:.6} s", summary.sequential_time);
     println!("parallel (sim)    : {:.6} s", summary.makespan);
-    println!("speedup           : {:.3} on {} processors", summary.speedup, summary.procs);
-    println!("messages / bytes  : {} / {}", summary.messages, summary.bytes);
+    println!(
+        "speedup           : {:.3} on {} processors",
+        summary.speedup, summary.procs
+    );
+    println!(
+        "messages / bytes  : {} / {}",
+        summary.messages, summary.bytes
+    );
 
     assert_eq!(summary.verified, Some(true));
 }

@@ -27,7 +27,11 @@ fn main() {
     }
 
     println!("\nJacobi (T=20, I=J=40), grid y=16, z=16, sweep x:");
-    let w = Workload::Jacobi { t: 20, i: 40, j: 40 };
+    let w = Workload::Jacobi {
+        t: 20,
+        i: 40,
+        j: 40,
+    };
     for x in [3, 5, 10] {
         let r = measure(w, Variant::Rect, (x, 16, 16), model);
         let nr = measure(w, Variant::NonRect, (x, 16, 16), model);
@@ -43,10 +47,15 @@ fn main() {
     println!("\nADI (T=40, N=64), grid y=17, z=17, sweep x — four tile shapes:");
     let w = Workload::Adi { t: 40, n: 64 };
     for x in [4, 8, 13] {
-        let pts: Vec<_> = [Variant::Rect, Variant::AdiNr1, Variant::AdiNr2, Variant::AdiNr3]
-            .into_iter()
-            .map(|v| measure(w, v, (x, 17, 17), model))
-            .collect();
+        let pts: Vec<_> = [
+            Variant::Rect,
+            Variant::AdiNr1,
+            Variant::AdiNr2,
+            Variant::AdiNr3,
+        ]
+        .into_iter()
+        .map(|v| measure(w, v, (x, 17, 17), model))
+        .collect();
         println!(
             "  x={x:>2}: rect {:.3} | nr1 {:.3} | nr2 {:.3} | nr3 {:.3}   (cone surface wins)",
             pts[0].speedup, pts[1].speedup, pts[2].speedup, pts[3].speedup

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-9ff4c30cfb1676f4.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-9ff4c30cfb1676f4: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-ecca64507f1f48ed.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-ecca64507f1f48ed: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

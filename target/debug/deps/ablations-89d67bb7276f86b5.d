@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-89d67bb7276f86b5.d: crates/bench/benches/ablations.rs
+
+/root/repo/target/debug/deps/ablations-89d67bb7276f86b5: crates/bench/benches/ablations.rs
+
+crates/bench/benches/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/edge_cases-f6b9ce7e671a11b4.d: crates/core/../../tests/edge_cases.rs
+
+/root/repo/target/debug/deps/edge_cases-f6b9ce7e671a11b4: crates/core/../../tests/edge_cases.rs
+
+crates/core/../../tests/edge_cases.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-656da64aa4b4db47.d: crates/core/../../tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-656da64aa4b4db47: crates/core/../../tests/end_to_end.rs
+
+crates/core/../../tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-4e495ae9c42f83f6.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-4e495ae9c42f83f6: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

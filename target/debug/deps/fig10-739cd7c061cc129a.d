@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-739cd7c061cc129a.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-739cd7c061cc129a: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

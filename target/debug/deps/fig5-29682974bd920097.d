@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-29682974bd920097.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-29682974bd920097: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

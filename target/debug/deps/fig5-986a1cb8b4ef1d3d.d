@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-986a1cb8b4ef1d3d.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-986a1cb8b4ef1d3d: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-78708d1198af7475.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-78708d1198af7475: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-ccc27f9679203012.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-ccc27f9679203012: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-40a456ab9296d271.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-40a456ab9296d271: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-af5f4eeea7438275.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-af5f4eeea7438275: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-7692f3bef2ad1e69.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-7692f3bef2ad1e69: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

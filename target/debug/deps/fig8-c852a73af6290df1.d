@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-c852a73af6290df1.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-c852a73af6290df1: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

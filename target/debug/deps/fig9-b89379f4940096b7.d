@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-b89379f4940096b7.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-b89379f4940096b7: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

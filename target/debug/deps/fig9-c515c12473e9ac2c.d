@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-c515c12473e9ac2c.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-c515c12473e9ac2c: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-be9695ecc42b5c6b.d: crates/bench/benches/figures.rs
+
+/root/repo/target/debug/deps/figures-be9695ecc42b5c6b: crates/bench/benches/figures.rs
+
+crates/bench/benches/figures.rs:

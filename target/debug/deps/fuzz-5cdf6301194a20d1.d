@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fuzz-5cdf6301194a20d1.d: crates/bench/src/bin/fuzz.rs
+
+/root/repo/target/debug/deps/fuzz-5cdf6301194a20d1: crates/bench/src/bin/fuzz.rs
+
+crates/bench/src/bin/fuzz.rs:

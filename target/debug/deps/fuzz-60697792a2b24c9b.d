@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fuzz-60697792a2b24c9b.d: crates/bench/src/bin/fuzz.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfuzz-60697792a2b24c9b.rmeta: crates/bench/src/bin/fuzz.rs Cargo.toml
+
+crates/bench/src/bin/fuzz.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fuzz-6699368c42e2f0b3.d: crates/bench/src/bin/fuzz.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfuzz-6699368c42e2f0b3.rmeta: crates/bench/src/bin/fuzz.rs Cargo.toml
+
+crates/bench/src/bin/fuzz.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

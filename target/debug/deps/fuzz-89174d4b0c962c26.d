@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fuzz-89174d4b0c962c26.d: crates/bench/src/bin/fuzz.rs
+
+/root/repo/target/debug/deps/fuzz-89174d4b0c962c26: crates/bench/src/bin/fuzz.rs
+
+crates/bench/src/bin/fuzz.rs:

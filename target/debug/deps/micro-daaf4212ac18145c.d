@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/micro-daaf4212ac18145c.d: crates/bench/benches/micro.rs
+
+/root/repo/target/debug/deps/micro-daaf4212ac18145c: crates/bench/benches/micro.rs
+
+crates/bench/benches/micro.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/nest_files-c0becad6c82f3cbb.d: crates/cli/tests/nest_files.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnest_files-c0becad6c82f3cbb.rmeta: crates/cli/tests/nest_files.rs Cargo.toml
+
+crates/cli/tests/nest_files.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/cli
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/nest_files-d9e416d54626c53d.d: crates/cli/tests/nest_files.rs
+
+/root/repo/target/debug/deps/nest_files-d9e416d54626c53d: crates/cli/tests/nest_files.rs
+
+crates/cli/tests/nest_files.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/cli

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/property_end_to_end-18eaea6e4342b2b8.d: crates/core/../../tests/property_end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperty_end_to_end-18eaea6e4342b2b8.rmeta: crates/core/../../tests/property_end_to_end.rs Cargo.toml
+
+crates/core/../../tests/property_end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_end_to_end-e00b6ad7bf2ea018.d: crates/core/../../tests/property_end_to_end.rs
+
+/root/repo/target/debug/deps/property_end_to_end-e00b6ad7bf2ea018: crates/core/../../tests/property_end_to_end.rs
+
+crates/core/../../tests/property_end_to_end.rs:

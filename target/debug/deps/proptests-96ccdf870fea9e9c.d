@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-96ccdf870fea9e9c.d: crates/linalg/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-96ccdf870fea9e9c.rmeta: crates/linalg/tests/proptests.rs Cargo.toml
+
+crates/linalg/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-a4b51c7580ae8c6a.d: crates/linalg/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-a4b51c7580ae8c6a: crates/linalg/tests/proptests.rs
+
+crates/linalg/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-e03c2bd114cc055a.d: crates/polytope/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-e03c2bd114cc055a.rmeta: crates/polytope/tests/proptests.rs Cargo.toml
+
+crates/polytope/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

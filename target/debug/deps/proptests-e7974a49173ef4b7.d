@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-e7974a49173ef4b7.d: crates/polytope/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-e7974a49173ef4b7: crates/polytope/tests/proptests.rs
+
+crates/polytope/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scaling-46e19d914d2b39a8.d: crates/bench/src/bin/scaling.rs
+
+/root/repo/target/debug/deps/scaling-46e19d914d2b39a8: crates/bench/src/bin/scaling.rs
+
+crates/bench/src/bin/scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scaling-8dfafba64c065fd9.d: crates/bench/src/bin/scaling.rs
+
+/root/repo/target/debug/deps/scaling-8dfafba64c065fd9: crates/bench/src/bin/scaling.rs
+
+crates/bench/src/bin/scaling.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scaling-a701ba6df5522174.d: crates/bench/src/bin/scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscaling-a701ba6df5522174.rmeta: crates/bench/src/bin/scaling.rs Cargo.toml
+
+crates/bench/src/bin/scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

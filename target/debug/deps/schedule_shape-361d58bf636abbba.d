@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/schedule_shape-361d58bf636abbba.d: crates/core/../../tests/schedule_shape.rs Cargo.toml
+
+/root/repo/target/debug/deps/libschedule_shape-361d58bf636abbba.rmeta: crates/core/../../tests/schedule_shape.rs Cargo.toml
+
+crates/core/../../tests/schedule_shape.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

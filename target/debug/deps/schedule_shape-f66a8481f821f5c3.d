@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/schedule_shape-f66a8481f821f5c3.d: crates/core/../../tests/schedule_shape.rs
+
+/root/repo/target/debug/deps/schedule_shape-f66a8481f821f5c3: crates/core/../../tests/schedule_shape.rs
+
+crates/core/../../tests/schedule_shape.rs:

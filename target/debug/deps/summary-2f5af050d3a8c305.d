@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/summary-2f5af050d3a8c305.d: crates/bench/src/bin/summary.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsummary-2f5af050d3a8c305.rmeta: crates/bench/src/bin/summary.rs Cargo.toml
+
+crates/bench/src/bin/summary.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

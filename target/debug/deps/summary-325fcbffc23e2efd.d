@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/summary-325fcbffc23e2efd.d: crates/bench/src/bin/summary.rs
+
+/root/repo/target/debug/deps/summary-325fcbffc23e2efd: crates/bench/src/bin/summary.rs
+
+crates/bench/src/bin/summary.rs:

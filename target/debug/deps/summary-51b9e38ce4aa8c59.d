@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/summary-51b9e38ce4aa8c59.d: crates/bench/src/bin/summary.rs
+
+/root/repo/target/debug/deps/summary-51b9e38ce4aa8c59: crates/bench/src/bin/summary.rs
+
+crates/bench/src/bin/summary.rs:

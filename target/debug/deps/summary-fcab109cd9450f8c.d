@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/summary-fcab109cd9450f8c.d: crates/bench/src/bin/summary.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsummary-fcab109cd9450f8c.rmeta: crates/bench/src/bin/summary.rs Cargo.toml
+
+crates/bench/src/bin/summary.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

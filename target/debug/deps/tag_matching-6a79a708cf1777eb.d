@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tag_matching-6a79a708cf1777eb.d: crates/cluster/tests/tag_matching.rs
+
+/root/repo/target/debug/deps/tag_matching-6a79a708cf1777eb: crates/cluster/tests/tag_matching.rs
+
+crates/cluster/tests/tag_matching.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tag_matching-c0da64dfc547f92f.d: crates/cluster/tests/tag_matching.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtag_matching-c0da64dfc547f92f.rmeta: crates/cluster/tests/tag_matching.rs Cargo.toml
+
+crates/cluster/tests/tag_matching.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

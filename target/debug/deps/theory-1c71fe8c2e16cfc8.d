@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/theory-1c71fe8c2e16cfc8.d: crates/bench/src/bin/theory.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtheory-1c71fe8c2e16cfc8.rmeta: crates/bench/src/bin/theory.rs Cargo.toml
+
+crates/bench/src/bin/theory.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

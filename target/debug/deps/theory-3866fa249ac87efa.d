@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/theory-3866fa249ac87efa.d: crates/bench/src/bin/theory.rs
+
+/root/repo/target/debug/deps/theory-3866fa249ac87efa: crates/bench/src/bin/theory.rs
+
+crates/bench/src/bin/theory.rs:

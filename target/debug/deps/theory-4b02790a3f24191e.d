@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/theory-4b02790a3f24191e.d: crates/bench/src/bin/theory.rs
+
+/root/repo/target/debug/deps/theory-4b02790a3f24191e: crates/bench/src/bin/theory.rs
+
+crates/bench/src/bin/theory.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/theory-f965afe489892e1a.d: crates/bench/src/bin/theory.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtheory-f965afe489892e1a.rmeta: crates/bench/src/bin/theory.rs Cargo.toml
+
+crates/bench/src/bin/theory.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tilecc-07461b7cd82ef409.d: crates/cli/src/bin/tilecc.rs
+
+/root/repo/target/debug/deps/tilecc-07461b7cd82ef409: crates/cli/src/bin/tilecc.rs
+
+crates/cli/src/bin/tilecc.rs:

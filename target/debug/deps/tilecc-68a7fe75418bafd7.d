@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tilecc-68a7fe75418bafd7.d: crates/cli/src/bin/tilecc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtilecc-68a7fe75418bafd7.rmeta: crates/cli/src/bin/tilecc.rs Cargo.toml
+
+crates/cli/src/bin/tilecc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

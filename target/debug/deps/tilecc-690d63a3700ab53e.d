@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/tilecc-690d63a3700ab53e.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/experiments.rs crates/core/src/matrices.rs crates/core/src/pipeline.rs crates/core/src/predictor.rs
+
+/root/repo/target/debug/deps/libtilecc-690d63a3700ab53e.rlib: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/experiments.rs crates/core/src/matrices.rs crates/core/src/pipeline.rs crates/core/src/predictor.rs
+
+/root/repo/target/debug/deps/libtilecc-690d63a3700ab53e.rmeta: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/experiments.rs crates/core/src/matrices.rs crates/core/src/pipeline.rs crates/core/src/predictor.rs
+
+crates/core/src/lib.rs:
+crates/core/src/analysis.rs:
+crates/core/src/experiments.rs:
+crates/core/src/matrices.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/predictor.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/tilecc-6b7b81b14b69f477.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/experiments.rs crates/core/src/matrices.rs crates/core/src/pipeline.rs crates/core/src/predictor.rs
+
+/root/repo/target/debug/deps/tilecc-6b7b81b14b69f477: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/experiments.rs crates/core/src/matrices.rs crates/core/src/pipeline.rs crates/core/src/predictor.rs
+
+crates/core/src/lib.rs:
+crates/core/src/analysis.rs:
+crates/core/src/experiments.rs:
+crates/core/src/matrices.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/predictor.rs:

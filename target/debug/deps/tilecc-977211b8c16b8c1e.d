@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tilecc-977211b8c16b8c1e.d: crates/cli/src/bin/tilecc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtilecc-977211b8c16b8c1e.rmeta: crates/cli/src/bin/tilecc.rs Cargo.toml
+
+crates/cli/src/bin/tilecc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tilecc-a07071a2cf668f14.d: crates/cli/src/bin/tilecc.rs
+
+/root/repo/target/debug/deps/tilecc-a07071a2cf668f14: crates/cli/src/bin/tilecc.rs
+
+crates/cli/src/bin/tilecc.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/tilecc-be30a5ca5c6ede03.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/experiments.rs crates/core/src/matrices.rs crates/core/src/pipeline.rs crates/core/src/predictor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtilecc-be30a5ca5c6ede03.rmeta: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/experiments.rs crates/core/src/matrices.rs crates/core/src/pipeline.rs crates/core/src/predictor.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/analysis.rs:
+crates/core/src/experiments.rs:
+crates/core/src/matrices.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/predictor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/tilecc_bench-04f48c32b07a78a2.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/tilecc_bench-04f48c32b07a78a2: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/tilecc_bench-11710f79b50b8f6a.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libtilecc_bench-11710f79b50b8f6a.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libtilecc_bench-11710f79b50b8f6a.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

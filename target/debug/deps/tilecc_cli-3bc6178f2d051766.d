@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/tilecc_cli-3bc6178f2d051766.d: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/libtilecc_cli-3bc6178f2d051766.rlib: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/libtilecc_cli-3bc6178f2d051766.rmeta: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tilecc_cli-59cc26973c0d998e.d: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/tilecc_cli-59cc26973c0d998e: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

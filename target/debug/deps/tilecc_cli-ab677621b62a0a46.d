@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tilecc_cli-ab677621b62a0a46.d: crates/cli/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtilecc_cli-ab677621b62a0a46.rmeta: crates/cli/src/lib.rs Cargo.toml
+
+crates/cli/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

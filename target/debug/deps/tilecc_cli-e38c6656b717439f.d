@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tilecc_cli-e38c6656b717439f.d: crates/cli/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtilecc_cli-e38c6656b717439f.rmeta: crates/cli/src/lib.rs Cargo.toml
+
+crates/cli/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/tilecc_cluster-0f4aaf55fbcb31c0.d: crates/cluster/src/lib.rs crates/cluster/src/comm.rs crates/cluster/src/error.rs crates/cluster/src/fault.rs crates/cluster/src/model.rs crates/cluster/src/threaded.rs crates/cluster/src/trace.rs
+
+/root/repo/target/debug/deps/tilecc_cluster-0f4aaf55fbcb31c0: crates/cluster/src/lib.rs crates/cluster/src/comm.rs crates/cluster/src/error.rs crates/cluster/src/fault.rs crates/cluster/src/model.rs crates/cluster/src/threaded.rs crates/cluster/src/trace.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/comm.rs:
+crates/cluster/src/error.rs:
+crates/cluster/src/fault.rs:
+crates/cluster/src/model.rs:
+crates/cluster/src/threaded.rs:
+crates/cluster/src/trace.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/tilecc_cluster-e0ce3afff9ecca72.d: crates/cluster/src/lib.rs crates/cluster/src/comm.rs crates/cluster/src/error.rs crates/cluster/src/fault.rs crates/cluster/src/model.rs crates/cluster/src/threaded.rs crates/cluster/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtilecc_cluster-e0ce3afff9ecca72.rmeta: crates/cluster/src/lib.rs crates/cluster/src/comm.rs crates/cluster/src/error.rs crates/cluster/src/fault.rs crates/cluster/src/model.rs crates/cluster/src/threaded.rs crates/cluster/src/trace.rs Cargo.toml
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/comm.rs:
+crates/cluster/src/error.rs:
+crates/cluster/src/fault.rs:
+crates/cluster/src/model.rs:
+crates/cluster/src/threaded.rs:
+crates/cluster/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/tilecc_cluster-fae5a5b49e0cf9de.d: crates/cluster/src/lib.rs crates/cluster/src/comm.rs crates/cluster/src/error.rs crates/cluster/src/fault.rs crates/cluster/src/model.rs crates/cluster/src/threaded.rs crates/cluster/src/trace.rs
+
+/root/repo/target/debug/deps/libtilecc_cluster-fae5a5b49e0cf9de.rlib: crates/cluster/src/lib.rs crates/cluster/src/comm.rs crates/cluster/src/error.rs crates/cluster/src/fault.rs crates/cluster/src/model.rs crates/cluster/src/threaded.rs crates/cluster/src/trace.rs
+
+/root/repo/target/debug/deps/libtilecc_cluster-fae5a5b49e0cf9de.rmeta: crates/cluster/src/lib.rs crates/cluster/src/comm.rs crates/cluster/src/error.rs crates/cluster/src/fault.rs crates/cluster/src/model.rs crates/cluster/src/threaded.rs crates/cluster/src/trace.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/comm.rs:
+crates/cluster/src/error.rs:
+crates/cluster/src/fault.rs:
+crates/cluster/src/model.rs:
+crates/cluster/src/threaded.rs:
+crates/cluster/src/trace.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/tilecc_frontend-02106e76ed141464.d: crates/frontend/src/lib.rs crates/frontend/src/ast.rs crates/frontend/src/lexer.rs crates/frontend/src/lower.rs crates/frontend/src/parser.rs
+
+/root/repo/target/debug/deps/libtilecc_frontend-02106e76ed141464.rlib: crates/frontend/src/lib.rs crates/frontend/src/ast.rs crates/frontend/src/lexer.rs crates/frontend/src/lower.rs crates/frontend/src/parser.rs
+
+/root/repo/target/debug/deps/libtilecc_frontend-02106e76ed141464.rmeta: crates/frontend/src/lib.rs crates/frontend/src/ast.rs crates/frontend/src/lexer.rs crates/frontend/src/lower.rs crates/frontend/src/parser.rs
+
+crates/frontend/src/lib.rs:
+crates/frontend/src/ast.rs:
+crates/frontend/src/lexer.rs:
+crates/frontend/src/lower.rs:
+crates/frontend/src/parser.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/tilecc_frontend-e16bc60efe5c918a.d: crates/frontend/src/lib.rs crates/frontend/src/ast.rs crates/frontend/src/lexer.rs crates/frontend/src/lower.rs crates/frontend/src/parser.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtilecc_frontend-e16bc60efe5c918a.rmeta: crates/frontend/src/lib.rs crates/frontend/src/ast.rs crates/frontend/src/lexer.rs crates/frontend/src/lower.rs crates/frontend/src/parser.rs Cargo.toml
+
+crates/frontend/src/lib.rs:
+crates/frontend/src/ast.rs:
+crates/frontend/src/lexer.rs:
+crates/frontend/src/lower.rs:
+crates/frontend/src/parser.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

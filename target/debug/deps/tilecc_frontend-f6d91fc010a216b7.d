@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tilecc_frontend-f6d91fc010a216b7.d: crates/frontend/src/lib.rs crates/frontend/src/ast.rs crates/frontend/src/lexer.rs crates/frontend/src/lower.rs crates/frontend/src/parser.rs
+
+/root/repo/target/debug/deps/tilecc_frontend-f6d91fc010a216b7: crates/frontend/src/lib.rs crates/frontend/src/ast.rs crates/frontend/src/lexer.rs crates/frontend/src/lower.rs crates/frontend/src/parser.rs
+
+crates/frontend/src/lib.rs:
+crates/frontend/src/ast.rs:
+crates/frontend/src/lexer.rs:
+crates/frontend/src/lower.rs:
+crates/frontend/src/parser.rs:

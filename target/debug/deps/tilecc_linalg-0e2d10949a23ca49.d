@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/tilecc_linalg-0e2d10949a23ca49.d: crates/linalg/src/lib.rs crates/linalg/src/hnf.rs crates/linalg/src/imat.rs crates/linalg/src/lattice.rs crates/linalg/src/rational.rs crates/linalg/src/rmat.rs crates/linalg/src/snf.rs crates/linalg/src/vecops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtilecc_linalg-0e2d10949a23ca49.rmeta: crates/linalg/src/lib.rs crates/linalg/src/hnf.rs crates/linalg/src/imat.rs crates/linalg/src/lattice.rs crates/linalg/src/rational.rs crates/linalg/src/rmat.rs crates/linalg/src/snf.rs crates/linalg/src/vecops.rs Cargo.toml
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/hnf.rs:
+crates/linalg/src/imat.rs:
+crates/linalg/src/lattice.rs:
+crates/linalg/src/rational.rs:
+crates/linalg/src/rmat.rs:
+crates/linalg/src/snf.rs:
+crates/linalg/src/vecops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/tilecc_linalg-5604e0e0c2c9f52d.d: crates/linalg/src/lib.rs crates/linalg/src/hnf.rs crates/linalg/src/imat.rs crates/linalg/src/lattice.rs crates/linalg/src/rational.rs crates/linalg/src/rmat.rs crates/linalg/src/snf.rs crates/linalg/src/vecops.rs
+
+/root/repo/target/debug/deps/tilecc_linalg-5604e0e0c2c9f52d: crates/linalg/src/lib.rs crates/linalg/src/hnf.rs crates/linalg/src/imat.rs crates/linalg/src/lattice.rs crates/linalg/src/rational.rs crates/linalg/src/rmat.rs crates/linalg/src/snf.rs crates/linalg/src/vecops.rs
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/hnf.rs:
+crates/linalg/src/imat.rs:
+crates/linalg/src/lattice.rs:
+crates/linalg/src/rational.rs:
+crates/linalg/src/rmat.rs:
+crates/linalg/src/snf.rs:
+crates/linalg/src/vecops.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/tilecc_loopnest-2360e9c221b22809.d: crates/loopnest/src/lib.rs crates/loopnest/src/data.rs crates/loopnest/src/kernel.rs crates/loopnest/src/kernels.rs crates/loopnest/src/nest.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtilecc_loopnest-2360e9c221b22809.rmeta: crates/loopnest/src/lib.rs crates/loopnest/src/data.rs crates/loopnest/src/kernel.rs crates/loopnest/src/kernels.rs crates/loopnest/src/nest.rs Cargo.toml
+
+crates/loopnest/src/lib.rs:
+crates/loopnest/src/data.rs:
+crates/loopnest/src/kernel.rs:
+crates/loopnest/src/kernels.rs:
+crates/loopnest/src/nest.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/tilecc_loopnest-d912bbd309f196d2.d: crates/loopnest/src/lib.rs crates/loopnest/src/data.rs crates/loopnest/src/kernel.rs crates/loopnest/src/kernels.rs crates/loopnest/src/nest.rs
+
+/root/repo/target/debug/deps/libtilecc_loopnest-d912bbd309f196d2.rlib: crates/loopnest/src/lib.rs crates/loopnest/src/data.rs crates/loopnest/src/kernel.rs crates/loopnest/src/kernels.rs crates/loopnest/src/nest.rs
+
+/root/repo/target/debug/deps/libtilecc_loopnest-d912bbd309f196d2.rmeta: crates/loopnest/src/lib.rs crates/loopnest/src/data.rs crates/loopnest/src/kernel.rs crates/loopnest/src/kernels.rs crates/loopnest/src/nest.rs
+
+crates/loopnest/src/lib.rs:
+crates/loopnest/src/data.rs:
+crates/loopnest/src/kernel.rs:
+crates/loopnest/src/kernels.rs:
+crates/loopnest/src/nest.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tilecc_loopnest-f37f2da576879bf6.d: crates/loopnest/src/lib.rs crates/loopnest/src/data.rs crates/loopnest/src/kernel.rs crates/loopnest/src/kernels.rs crates/loopnest/src/nest.rs
+
+/root/repo/target/debug/deps/tilecc_loopnest-f37f2da576879bf6: crates/loopnest/src/lib.rs crates/loopnest/src/data.rs crates/loopnest/src/kernel.rs crates/loopnest/src/kernels.rs crates/loopnest/src/nest.rs
+
+crates/loopnest/src/lib.rs:
+crates/loopnest/src/data.rs:
+crates/loopnest/src/kernel.rs:
+crates/loopnest/src/kernels.rs:
+crates/loopnest/src/nest.rs:

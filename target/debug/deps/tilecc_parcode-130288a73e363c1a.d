@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/tilecc_parcode-130288a73e363c1a.d: crates/parcode/src/lib.rs crates/parcode/src/emitter.rs crates/parcode/src/emitter_full.rs crates/parcode/src/executor.rs crates/parcode/src/plan.rs crates/parcode/src/seqtiled.rs
+
+/root/repo/target/debug/deps/libtilecc_parcode-130288a73e363c1a.rlib: crates/parcode/src/lib.rs crates/parcode/src/emitter.rs crates/parcode/src/emitter_full.rs crates/parcode/src/executor.rs crates/parcode/src/plan.rs crates/parcode/src/seqtiled.rs
+
+/root/repo/target/debug/deps/libtilecc_parcode-130288a73e363c1a.rmeta: crates/parcode/src/lib.rs crates/parcode/src/emitter.rs crates/parcode/src/emitter_full.rs crates/parcode/src/executor.rs crates/parcode/src/plan.rs crates/parcode/src/seqtiled.rs
+
+crates/parcode/src/lib.rs:
+crates/parcode/src/emitter.rs:
+crates/parcode/src/emitter_full.rs:
+crates/parcode/src/executor.rs:
+crates/parcode/src/plan.rs:
+crates/parcode/src/seqtiled.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/tilecc_parcode-50bf686e8d79fcd3.d: crates/parcode/src/lib.rs crates/parcode/src/emitter.rs crates/parcode/src/emitter_full.rs crates/parcode/src/executor.rs crates/parcode/src/plan.rs crates/parcode/src/seqtiled.rs
+
+/root/repo/target/debug/deps/tilecc_parcode-50bf686e8d79fcd3: crates/parcode/src/lib.rs crates/parcode/src/emitter.rs crates/parcode/src/emitter_full.rs crates/parcode/src/executor.rs crates/parcode/src/plan.rs crates/parcode/src/seqtiled.rs
+
+crates/parcode/src/lib.rs:
+crates/parcode/src/emitter.rs:
+crates/parcode/src/emitter_full.rs:
+crates/parcode/src/executor.rs:
+crates/parcode/src/plan.rs:
+crates/parcode/src/seqtiled.rs:

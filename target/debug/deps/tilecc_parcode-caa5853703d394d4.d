@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/tilecc_parcode-caa5853703d394d4.d: crates/parcode/src/lib.rs crates/parcode/src/emitter.rs crates/parcode/src/emitter_full.rs crates/parcode/src/executor.rs crates/parcode/src/plan.rs crates/parcode/src/seqtiled.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtilecc_parcode-caa5853703d394d4.rmeta: crates/parcode/src/lib.rs crates/parcode/src/emitter.rs crates/parcode/src/emitter_full.rs crates/parcode/src/executor.rs crates/parcode/src/plan.rs crates/parcode/src/seqtiled.rs Cargo.toml
+
+crates/parcode/src/lib.rs:
+crates/parcode/src/emitter.rs:
+crates/parcode/src/emitter_full.rs:
+crates/parcode/src/executor.rs:
+crates/parcode/src/plan.rs:
+crates/parcode/src/seqtiled.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/tilecc_polytope-3598208609680779.d: crates/polytope/src/lib.rs crates/polytope/src/constraint.rs crates/polytope/src/polyhedron.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtilecc_polytope-3598208609680779.rmeta: crates/polytope/src/lib.rs crates/polytope/src/constraint.rs crates/polytope/src/polyhedron.rs Cargo.toml
+
+crates/polytope/src/lib.rs:
+crates/polytope/src/constraint.rs:
+crates/polytope/src/polyhedron.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/tilecc_polytope-6a60c1cd5286a6e7.d: crates/polytope/src/lib.rs crates/polytope/src/constraint.rs crates/polytope/src/polyhedron.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtilecc_polytope-6a60c1cd5286a6e7.rmeta: crates/polytope/src/lib.rs crates/polytope/src/constraint.rs crates/polytope/src/polyhedron.rs Cargo.toml
+
+crates/polytope/src/lib.rs:
+crates/polytope/src/constraint.rs:
+crates/polytope/src/polyhedron.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

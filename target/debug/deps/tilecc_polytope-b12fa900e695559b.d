@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/tilecc_polytope-b12fa900e695559b.d: crates/polytope/src/lib.rs crates/polytope/src/constraint.rs crates/polytope/src/polyhedron.rs
+
+/root/repo/target/debug/deps/tilecc_polytope-b12fa900e695559b: crates/polytope/src/lib.rs crates/polytope/src/constraint.rs crates/polytope/src/polyhedron.rs
+
+crates/polytope/src/lib.rs:
+crates/polytope/src/constraint.rs:
+crates/polytope/src/polyhedron.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tilecc_polytope-d03c0f65d07869a0.d: crates/polytope/src/lib.rs crates/polytope/src/constraint.rs crates/polytope/src/polyhedron.rs
+
+/root/repo/target/debug/deps/libtilecc_polytope-d03c0f65d07869a0.rlib: crates/polytope/src/lib.rs crates/polytope/src/constraint.rs crates/polytope/src/polyhedron.rs
+
+/root/repo/target/debug/deps/libtilecc_polytope-d03c0f65d07869a0.rmeta: crates/polytope/src/lib.rs crates/polytope/src/constraint.rs crates/polytope/src/polyhedron.rs
+
+crates/polytope/src/lib.rs:
+crates/polytope/src/constraint.rs:
+crates/polytope/src/polyhedron.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/tilecc_tiling-191cf90ce3fb432a.d: crates/tiling/src/lib.rs crates/tiling/src/comm.rs crates/tiling/src/cone.rs crates/tiling/src/lds.rs crates/tiling/src/mapping.rs crates/tiling/src/tile_space.rs crates/tiling/src/transform.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtilecc_tiling-191cf90ce3fb432a.rmeta: crates/tiling/src/lib.rs crates/tiling/src/comm.rs crates/tiling/src/cone.rs crates/tiling/src/lds.rs crates/tiling/src/mapping.rs crates/tiling/src/tile_space.rs crates/tiling/src/transform.rs Cargo.toml
+
+crates/tiling/src/lib.rs:
+crates/tiling/src/comm.rs:
+crates/tiling/src/cone.rs:
+crates/tiling/src/lds.rs:
+crates/tiling/src/mapping.rs:
+crates/tiling/src/tile_space.rs:
+crates/tiling/src/transform.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/tilecc_tiling-3cea958d25ef73ab.d: crates/tiling/src/lib.rs crates/tiling/src/comm.rs crates/tiling/src/cone.rs crates/tiling/src/lds.rs crates/tiling/src/mapping.rs crates/tiling/src/tile_space.rs crates/tiling/src/transform.rs
+
+/root/repo/target/debug/deps/tilecc_tiling-3cea958d25ef73ab: crates/tiling/src/lib.rs crates/tiling/src/comm.rs crates/tiling/src/cone.rs crates/tiling/src/lds.rs crates/tiling/src/mapping.rs crates/tiling/src/tile_space.rs crates/tiling/src/transform.rs
+
+crates/tiling/src/lib.rs:
+crates/tiling/src/comm.rs:
+crates/tiling/src/cone.rs:
+crates/tiling/src/lds.rs:
+crates/tiling/src/mapping.rs:
+crates/tiling/src/tile_space.rs:
+crates/tiling/src/transform.rs:

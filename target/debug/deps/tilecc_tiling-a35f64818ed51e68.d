@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/tilecc_tiling-a35f64818ed51e68.d: crates/tiling/src/lib.rs crates/tiling/src/comm.rs crates/tiling/src/cone.rs crates/tiling/src/lds.rs crates/tiling/src/mapping.rs crates/tiling/src/tile_space.rs crates/tiling/src/transform.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtilecc_tiling-a35f64818ed51e68.rmeta: crates/tiling/src/lib.rs crates/tiling/src/comm.rs crates/tiling/src/cone.rs crates/tiling/src/lds.rs crates/tiling/src/mapping.rs crates/tiling/src/tile_space.rs crates/tiling/src/transform.rs Cargo.toml
+
+crates/tiling/src/lib.rs:
+crates/tiling/src/comm.rs:
+crates/tiling/src/cone.rs:
+crates/tiling/src/lds.rs:
+crates/tiling/src/mapping.rs:
+crates/tiling/src/tile_space.rs:
+crates/tiling/src/transform.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/tilecc_tiling-b3e877428b57a12b.d: crates/tiling/src/lib.rs crates/tiling/src/comm.rs crates/tiling/src/cone.rs crates/tiling/src/lds.rs crates/tiling/src/mapping.rs crates/tiling/src/tile_space.rs crates/tiling/src/transform.rs
+
+/root/repo/target/debug/deps/libtilecc_tiling-b3e877428b57a12b.rlib: crates/tiling/src/lib.rs crates/tiling/src/comm.rs crates/tiling/src/cone.rs crates/tiling/src/lds.rs crates/tiling/src/mapping.rs crates/tiling/src/tile_space.rs crates/tiling/src/transform.rs
+
+/root/repo/target/debug/deps/libtilecc_tiling-b3e877428b57a12b.rmeta: crates/tiling/src/lib.rs crates/tiling/src/comm.rs crates/tiling/src/cone.rs crates/tiling/src/lds.rs crates/tiling/src/mapping.rs crates/tiling/src/tile_space.rs crates/tiling/src/transform.rs
+
+crates/tiling/src/lib.rs:
+crates/tiling/src/comm.rs:
+crates/tiling/src/cone.rs:
+crates/tiling/src/lds.rs:
+crates/tiling/src/mapping.rs:
+crates/tiling/src/tile_space.rs:
+crates/tiling/src/transform.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/timeline-6d69b52b0ea9757b.d: crates/bench/src/bin/timeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtimeline-6d69b52b0ea9757b.rmeta: crates/bench/src/bin/timeline.rs Cargo.toml
+
+crates/bench/src/bin/timeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

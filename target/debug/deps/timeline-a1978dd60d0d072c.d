@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/timeline-a1978dd60d0d072c.d: crates/bench/src/bin/timeline.rs
+
+/root/repo/target/debug/deps/timeline-a1978dd60d0d072c: crates/bench/src/bin/timeline.rs
+
+crates/bench/src/bin/timeline.rs:

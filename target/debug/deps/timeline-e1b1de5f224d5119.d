@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/timeline-e1b1de5f224d5119.d: crates/bench/src/bin/timeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtimeline-e1b1de5f224d5119.rmeta: crates/bench/src/bin/timeline.rs Cargo.toml
+
+crates/bench/src/bin/timeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

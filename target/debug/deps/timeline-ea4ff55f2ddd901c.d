@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/timeline-ea4ff55f2ddd901c.d: crates/bench/src/bin/timeline.rs
+
+/root/repo/target/debug/deps/timeline-ea4ff55f2ddd901c: crates/bench/src/bin/timeline.rs
+
+crates/bench/src/bin/timeline.rs:

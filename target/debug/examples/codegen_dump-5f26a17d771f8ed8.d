@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/codegen_dump-5f26a17d771f8ed8.d: crates/core/../../examples/codegen_dump.rs
+
+/root/repo/target/debug/examples/codegen_dump-5f26a17d771f8ed8: crates/core/../../examples/codegen_dump.rs
+
+crates/core/../../examples/codegen_dump.rs:

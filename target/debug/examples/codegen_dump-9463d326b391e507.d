@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/codegen_dump-9463d326b391e507.d: crates/core/../../examples/codegen_dump.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcodegen_dump-9463d326b391e507.rmeta: crates/core/../../examples/codegen_dump.rs Cargo.toml
+
+crates/core/../../examples/codegen_dump.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

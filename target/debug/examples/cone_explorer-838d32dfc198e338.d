@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cone_explorer-838d32dfc198e338.d: crates/core/../../examples/cone_explorer.rs
+
+/root/repo/target/debug/examples/cone_explorer-838d32dfc198e338: crates/core/../../examples/cone_explorer.rs
+
+crates/core/../../examples/cone_explorer.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/cone_explorer-f0b9d8136be91581.d: crates/core/../../examples/cone_explorer.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcone_explorer-f0b9d8136be91581.rmeta: crates/core/../../examples/cone_explorer.rs Cargo.toml
+
+crates/core/../../examples/cone_explorer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

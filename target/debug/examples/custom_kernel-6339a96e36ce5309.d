@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_kernel-6339a96e36ce5309.d: crates/core/../../examples/custom_kernel.rs
+
+/root/repo/target/debug/examples/custom_kernel-6339a96e36ce5309: crates/core/../../examples/custom_kernel.rs
+
+crates/core/../../examples/custom_kernel.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/custom_kernel-85520653603d20f1.d: crates/core/../../examples/custom_kernel.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcustom_kernel-85520653603d20f1.rmeta: crates/core/../../examples/custom_kernel.rs Cargo.toml
+
+crates/core/../../examples/custom_kernel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-d4de5c48f9216670.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-d4de5c48f9216670: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

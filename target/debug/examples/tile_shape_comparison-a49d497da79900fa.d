@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/tile_shape_comparison-a49d497da79900fa.d: crates/core/../../examples/tile_shape_comparison.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtile_shape_comparison-a49d497da79900fa.rmeta: crates/core/../../examples/tile_shape_comparison.rs Cargo.toml
+
+crates/core/../../examples/tile_shape_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tile_shape_comparison-f0866efb04e7c04d.d: crates/core/../../examples/tile_shape_comparison.rs
+
+/root/repo/target/debug/examples/tile_shape_comparison-f0866efb04e7c04d: crates/core/../../examples/tile_shape_comparison.rs
+
+crates/core/../../examples/tile_shape_comparison.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-c777a6c327e1f188.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-c777a6c327e1f188: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

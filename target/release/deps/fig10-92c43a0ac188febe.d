@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10-92c43a0ac188febe.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/release/deps/fig10-92c43a0ac188febe: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

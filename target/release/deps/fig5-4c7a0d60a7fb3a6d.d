@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-4c7a0d60a7fb3a6d.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/release/deps/fig5-4c7a0d60a7fb3a6d: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

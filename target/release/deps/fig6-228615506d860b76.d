@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-228615506d860b76.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-228615506d860b76: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-faa1e5f1e9425b5c.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-faa1e5f1e9425b5c: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-27ecb8d482417b1d.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-27ecb8d482417b1d: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

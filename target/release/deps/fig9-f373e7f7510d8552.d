@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9-f373e7f7510d8552.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/release/deps/fig9-f373e7f7510d8552: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figures-34e61f8e6c4f8a37.d: crates/bench/benches/figures.rs
+
+/root/repo/target/release/deps/figures-34e61f8e6c4f8a37: crates/bench/benches/figures.rs
+
+crates/bench/benches/figures.rs:

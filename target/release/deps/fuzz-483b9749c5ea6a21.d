@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fuzz-483b9749c5ea6a21.d: crates/bench/src/bin/fuzz.rs
+
+/root/repo/target/release/deps/fuzz-483b9749c5ea6a21: crates/bench/src/bin/fuzz.rs
+
+crates/bench/src/bin/fuzz.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scaling-453e9f8d47dd3ee6.d: crates/bench/src/bin/scaling.rs
+
+/root/repo/target/release/deps/scaling-453e9f8d47dd3ee6: crates/bench/src/bin/scaling.rs
+
+crates/bench/src/bin/scaling.rs:

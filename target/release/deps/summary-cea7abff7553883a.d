@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/summary-cea7abff7553883a.d: crates/bench/src/bin/summary.rs
+
+/root/repo/target/release/deps/summary-cea7abff7553883a: crates/bench/src/bin/summary.rs
+
+crates/bench/src/bin/summary.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/theory-d3a76b8d6f2c089a.d: crates/bench/src/bin/theory.rs
+
+/root/repo/target/release/deps/theory-d3a76b8d6f2c089a: crates/bench/src/bin/theory.rs
+
+crates/bench/src/bin/theory.rs:

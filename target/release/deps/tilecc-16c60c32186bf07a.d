@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/tilecc-16c60c32186bf07a.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/experiments.rs crates/core/src/matrices.rs crates/core/src/pipeline.rs crates/core/src/predictor.rs
+
+/root/repo/target/release/deps/libtilecc-16c60c32186bf07a.rlib: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/experiments.rs crates/core/src/matrices.rs crates/core/src/pipeline.rs crates/core/src/predictor.rs
+
+/root/repo/target/release/deps/libtilecc-16c60c32186bf07a.rmeta: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/experiments.rs crates/core/src/matrices.rs crates/core/src/pipeline.rs crates/core/src/predictor.rs
+
+crates/core/src/lib.rs:
+crates/core/src/analysis.rs:
+crates/core/src/experiments.rs:
+crates/core/src/matrices.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/predictor.rs:

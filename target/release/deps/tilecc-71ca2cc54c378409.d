@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tilecc-71ca2cc54c378409.d: crates/cli/src/bin/tilecc.rs
+
+/root/repo/target/release/deps/tilecc-71ca2cc54c378409: crates/cli/src/bin/tilecc.rs
+
+crates/cli/src/bin/tilecc.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/tilecc_bench-531d8cc9ca33b3e3.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/libtilecc_bench-531d8cc9ca33b3e3.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/libtilecc_bench-531d8cc9ca33b3e3.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

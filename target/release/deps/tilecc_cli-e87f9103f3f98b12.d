@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/tilecc_cli-e87f9103f3f98b12.d: crates/cli/src/lib.rs
+
+/root/repo/target/release/deps/libtilecc_cli-e87f9103f3f98b12.rlib: crates/cli/src/lib.rs
+
+/root/repo/target/release/deps/libtilecc_cli-e87f9103f3f98b12.rmeta: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/tilecc_cluster-d215e95eac0cc616.d: crates/cluster/src/lib.rs crates/cluster/src/comm.rs crates/cluster/src/error.rs crates/cluster/src/fault.rs crates/cluster/src/model.rs crates/cluster/src/threaded.rs crates/cluster/src/trace.rs
+
+/root/repo/target/release/deps/libtilecc_cluster-d215e95eac0cc616.rlib: crates/cluster/src/lib.rs crates/cluster/src/comm.rs crates/cluster/src/error.rs crates/cluster/src/fault.rs crates/cluster/src/model.rs crates/cluster/src/threaded.rs crates/cluster/src/trace.rs
+
+/root/repo/target/release/deps/libtilecc_cluster-d215e95eac0cc616.rmeta: crates/cluster/src/lib.rs crates/cluster/src/comm.rs crates/cluster/src/error.rs crates/cluster/src/fault.rs crates/cluster/src/model.rs crates/cluster/src/threaded.rs crates/cluster/src/trace.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/comm.rs:
+crates/cluster/src/error.rs:
+crates/cluster/src/fault.rs:
+crates/cluster/src/model.rs:
+crates/cluster/src/threaded.rs:
+crates/cluster/src/trace.rs:

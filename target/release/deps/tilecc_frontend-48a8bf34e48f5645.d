@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/tilecc_frontend-48a8bf34e48f5645.d: crates/frontend/src/lib.rs crates/frontend/src/ast.rs crates/frontend/src/lexer.rs crates/frontend/src/lower.rs crates/frontend/src/parser.rs
+
+/root/repo/target/release/deps/libtilecc_frontend-48a8bf34e48f5645.rlib: crates/frontend/src/lib.rs crates/frontend/src/ast.rs crates/frontend/src/lexer.rs crates/frontend/src/lower.rs crates/frontend/src/parser.rs
+
+/root/repo/target/release/deps/libtilecc_frontend-48a8bf34e48f5645.rmeta: crates/frontend/src/lib.rs crates/frontend/src/ast.rs crates/frontend/src/lexer.rs crates/frontend/src/lower.rs crates/frontend/src/parser.rs
+
+crates/frontend/src/lib.rs:
+crates/frontend/src/ast.rs:
+crates/frontend/src/lexer.rs:
+crates/frontend/src/lower.rs:
+crates/frontend/src/parser.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/tilecc_linalg-83fdb675e044e361.d: crates/linalg/src/lib.rs crates/linalg/src/hnf.rs crates/linalg/src/imat.rs crates/linalg/src/lattice.rs crates/linalg/src/rational.rs crates/linalg/src/rmat.rs crates/linalg/src/snf.rs crates/linalg/src/vecops.rs
+
+/root/repo/target/release/deps/libtilecc_linalg-83fdb675e044e361.rlib: crates/linalg/src/lib.rs crates/linalg/src/hnf.rs crates/linalg/src/imat.rs crates/linalg/src/lattice.rs crates/linalg/src/rational.rs crates/linalg/src/rmat.rs crates/linalg/src/snf.rs crates/linalg/src/vecops.rs
+
+/root/repo/target/release/deps/libtilecc_linalg-83fdb675e044e361.rmeta: crates/linalg/src/lib.rs crates/linalg/src/hnf.rs crates/linalg/src/imat.rs crates/linalg/src/lattice.rs crates/linalg/src/rational.rs crates/linalg/src/rmat.rs crates/linalg/src/snf.rs crates/linalg/src/vecops.rs
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/hnf.rs:
+crates/linalg/src/imat.rs:
+crates/linalg/src/lattice.rs:
+crates/linalg/src/rational.rs:
+crates/linalg/src/rmat.rs:
+crates/linalg/src/snf.rs:
+crates/linalg/src/vecops.rs:

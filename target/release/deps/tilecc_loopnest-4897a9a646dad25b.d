@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/tilecc_loopnest-4897a9a646dad25b.d: crates/loopnest/src/lib.rs crates/loopnest/src/data.rs crates/loopnest/src/kernel.rs crates/loopnest/src/kernels.rs crates/loopnest/src/nest.rs
+
+/root/repo/target/release/deps/libtilecc_loopnest-4897a9a646dad25b.rlib: crates/loopnest/src/lib.rs crates/loopnest/src/data.rs crates/loopnest/src/kernel.rs crates/loopnest/src/kernels.rs crates/loopnest/src/nest.rs
+
+/root/repo/target/release/deps/libtilecc_loopnest-4897a9a646dad25b.rmeta: crates/loopnest/src/lib.rs crates/loopnest/src/data.rs crates/loopnest/src/kernel.rs crates/loopnest/src/kernels.rs crates/loopnest/src/nest.rs
+
+crates/loopnest/src/lib.rs:
+crates/loopnest/src/data.rs:
+crates/loopnest/src/kernel.rs:
+crates/loopnest/src/kernels.rs:
+crates/loopnest/src/nest.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/tilecc_parcode-1f88fdb6e03f0bec.d: crates/parcode/src/lib.rs crates/parcode/src/emitter.rs crates/parcode/src/emitter_full.rs crates/parcode/src/executor.rs crates/parcode/src/plan.rs crates/parcode/src/seqtiled.rs
+
+/root/repo/target/release/deps/libtilecc_parcode-1f88fdb6e03f0bec.rlib: crates/parcode/src/lib.rs crates/parcode/src/emitter.rs crates/parcode/src/emitter_full.rs crates/parcode/src/executor.rs crates/parcode/src/plan.rs crates/parcode/src/seqtiled.rs
+
+/root/repo/target/release/deps/libtilecc_parcode-1f88fdb6e03f0bec.rmeta: crates/parcode/src/lib.rs crates/parcode/src/emitter.rs crates/parcode/src/emitter_full.rs crates/parcode/src/executor.rs crates/parcode/src/plan.rs crates/parcode/src/seqtiled.rs
+
+crates/parcode/src/lib.rs:
+crates/parcode/src/emitter.rs:
+crates/parcode/src/emitter_full.rs:
+crates/parcode/src/executor.rs:
+crates/parcode/src/plan.rs:
+crates/parcode/src/seqtiled.rs:

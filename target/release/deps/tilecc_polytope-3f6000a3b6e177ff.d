@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/tilecc_polytope-3f6000a3b6e177ff.d: crates/polytope/src/lib.rs crates/polytope/src/constraint.rs crates/polytope/src/polyhedron.rs
+
+/root/repo/target/release/deps/libtilecc_polytope-3f6000a3b6e177ff.rlib: crates/polytope/src/lib.rs crates/polytope/src/constraint.rs crates/polytope/src/polyhedron.rs
+
+/root/repo/target/release/deps/libtilecc_polytope-3f6000a3b6e177ff.rmeta: crates/polytope/src/lib.rs crates/polytope/src/constraint.rs crates/polytope/src/polyhedron.rs
+
+crates/polytope/src/lib.rs:
+crates/polytope/src/constraint.rs:
+crates/polytope/src/polyhedron.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/tilecc_tiling-a27c62c5d73df26a.d: crates/tiling/src/lib.rs crates/tiling/src/comm.rs crates/tiling/src/cone.rs crates/tiling/src/lds.rs crates/tiling/src/mapping.rs crates/tiling/src/tile_space.rs crates/tiling/src/transform.rs
+
+/root/repo/target/release/deps/libtilecc_tiling-a27c62c5d73df26a.rlib: crates/tiling/src/lib.rs crates/tiling/src/comm.rs crates/tiling/src/cone.rs crates/tiling/src/lds.rs crates/tiling/src/mapping.rs crates/tiling/src/tile_space.rs crates/tiling/src/transform.rs
+
+/root/repo/target/release/deps/libtilecc_tiling-a27c62c5d73df26a.rmeta: crates/tiling/src/lib.rs crates/tiling/src/comm.rs crates/tiling/src/cone.rs crates/tiling/src/lds.rs crates/tiling/src/mapping.rs crates/tiling/src/tile_space.rs crates/tiling/src/transform.rs
+
+crates/tiling/src/lib.rs:
+crates/tiling/src/comm.rs:
+crates/tiling/src/cone.rs:
+crates/tiling/src/lds.rs:
+crates/tiling/src/mapping.rs:
+crates/tiling/src/tile_space.rs:
+crates/tiling/src/transform.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/timeline-da425837c1c26434.d: crates/bench/src/bin/timeline.rs
+
+/root/repo/target/release/deps/timeline-da425837c1c26434: crates/bench/src/bin/timeline.rs
+
+crates/bench/src/bin/timeline.rs:

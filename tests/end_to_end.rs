@@ -17,8 +17,15 @@ fn verify(alg: Algorithm, h: RMat, m: Option<usize>) {
     let seq = alg.execute_sequential();
     let plan = Arc::new(ParallelPlan::new(alg, TilingTransform::new(h).unwrap(), m).unwrap());
     let total = plan.total_iterations();
-    let res = execute(plan.clone(), MachineModel::fast_ethernet_p3(), ExecMode::Full);
-    assert_eq!(res.total_iterations as usize, total, "{name}: iteration conservation");
+    let res = execute(
+        plan.clone(),
+        MachineModel::fast_ethernet_p3(),
+        ExecMode::Full,
+    );
+    assert_eq!(
+        res.total_iterations as usize, total,
+        "{name}: iteration conservation"
+    );
     let par = res.data.expect("full mode returns data");
     assert_eq!(seq.diff(&par), None, "{name}: parallel result differs");
     // Every iteration has a unique, invertible storage location.
@@ -67,7 +74,11 @@ fn adi_all_four_tilings() {
 fn mapping_along_every_dimension_is_correct() {
     for m in 0..3 {
         verify(kernels::adi(5, 8), matrices::rect(2, 3, 3), Some(m));
-        verify(kernels::sor_skewed(4, 6, 1.1), matrices::sor_nr(2, 3, 3), Some(m));
+        verify(
+            kernels::sor_skewed(4, 6, 1.1),
+            matrices::sor_nr(2, 3, 3),
+            Some(m),
+        );
     }
 }
 
@@ -81,7 +92,11 @@ fn non_unit_stride_lattice_end_to_end() {
         &[(0, 1), (0, 1), (1, 4)],
     ]);
     let t = TilingTransform::new(h.clone()).unwrap();
-    assert!(t.strides().iter().any(|&c| c > 1), "strides = {:?}", t.strides());
+    assert!(
+        t.strides().iter().any(|&c| c > 1),
+        "strides = {:?}",
+        t.strides()
+    );
     verify(kernels::adi(6, 8), h, Some(0));
 }
 
@@ -106,7 +121,10 @@ fn long_dependencies_span_multiple_tiles() {
     // Also with the long direction mapped.
     let alg = Algorithm::new(
         "longdep2",
-        LoopNest::new(Polyhedron::from_box(&[0, 0], &[14, 14]), IMat::from_rows(&[&[3, 1], &[0, 2]])),
+        LoopNest::new(
+            Polyhedron::from_box(&[0, 0], &[14, 14]),
+            IMat::from_rows(&[&[3, 1], &[0, 2]]),
+        ),
         Arc::new(LongDep),
     );
     verify(alg, matrices_2d(2, 3), Some(0));
@@ -148,8 +166,12 @@ fn general_convex_space_end_to_end() {
 fn timing_only_equals_full_timing() {
     let alg = kernels::jacobi_skewed(5, 8, 8);
     let plan = Arc::new(
-        ParallelPlan::new(alg, TilingTransform::new(matrices::jacobi_nr(2, 4, 4)).unwrap(), Some(0))
-            .unwrap(),
+        ParallelPlan::new(
+            alg,
+            TilingTransform::new(matrices::jacobi_nr(2, 4, 4)).unwrap(),
+            Some(0),
+        )
+        .unwrap(),
     );
     let model = MachineModel::fast_ethernet_p3();
     let full = execute(plan.clone(), model, ExecMode::Full);
@@ -221,8 +243,9 @@ fn wave4d_four_dimensional_end_to_end() {
             &[(0, 1), (0, 1), (0, 1), (1, 3)],
         ]),
     ] {
-        let plan =
-            Arc::new(ParallelPlan::new(alg.clone(), TilingTransform::new(h).unwrap(), Some(0)).unwrap());
+        let plan = Arc::new(
+            ParallelPlan::new(alg.clone(), TilingTransform::new(h).unwrap(), Some(0)).unwrap(),
+        );
         let total = plan.total_iterations();
         let res = execute(plan, MachineModel::fast_ethernet_p3(), ExecMode::Full);
         assert_eq!(res.total_iterations as usize, total);
@@ -246,8 +269,16 @@ fn adi_paper_multi_array_end_to_end() {
         let seq = alg.execute_sequential();
         let plan =
             Arc::new(ParallelPlan::new(alg, TilingTransform::new(h).unwrap(), Some(0)).unwrap());
-        let res = execute(plan.clone(), MachineModel::fast_ethernet_p3(), ExecMode::Full);
-        assert_eq!(seq.diff(res.data.as_ref().unwrap()), None, "multi-array mismatch");
+        let res = execute(
+            plan.clone(),
+            MachineModel::fast_ethernet_p3(),
+            ExecMode::Full,
+        );
+        assert_eq!(
+            seq.diff(res.data.as_ref().unwrap()),
+            None,
+            "multi-array mismatch"
+        );
         // Message sizes double with the component count.
         assert!(res.report.total_bytes() > 0);
         // Tiled sequential reordering also matches.
@@ -291,8 +322,7 @@ fn non_monotone_minsucc_needs_message_tags() {
     ]);
     let alg = Algorithm::new("tagcase", LoopNest::new(space, deps), Arc::new(K2));
     let seq = alg.execute_sequential();
-    let plan =
-        Arc::new(ParallelPlan::new(alg, TilingTransform::new(h).unwrap(), Some(0)).unwrap());
+    let plan = Arc::new(ParallelPlan::new(alg, TilingTransform::new(h).unwrap(), Some(0)).unwrap());
     assert!(
         plan.comm.tile_deps.iter().any(|d| d[0] >= 2),
         "precondition: a tile dependence must hop two tiles along m"

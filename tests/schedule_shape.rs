@@ -29,7 +29,11 @@ fn sor_non_rect_beats_rect_across_tile_sizes() {
 
 #[test]
 fn jacobi_non_rect_beats_rect_across_tile_sizes() {
-    let w = Workload::Jacobi { t: 24, i: 40, j: 40 };
+    let w = Workload::Jacobi {
+        t: 24,
+        i: 40,
+        j: 40,
+    };
     for x in [3, 6, 12] {
         let r = measure(w, Variant::Rect, (x, 16, 16), model());
         let nr = measure(w, Variant::NonRect, (x, 16, 16), model());
@@ -48,17 +52,25 @@ fn adi_cone_surface_ordering() {
     // t_nr3 < t_nr1 ≈ t_nr2 < t_r (paper §4.3–4.4).
     let w = Workload::Adi { t: 40, n: 64 };
     for x in [4, 8] {
-        let pts: Vec<_> = [Variant::Rect, Variant::AdiNr1, Variant::AdiNr2, Variant::AdiNr3]
-            .into_iter()
-            .map(|v| measure(w, v, (x, 17, 17), model()))
-            .collect();
+        let pts: Vec<_> = [
+            Variant::Rect,
+            Variant::AdiNr1,
+            Variant::AdiNr2,
+            Variant::AdiNr3,
+        ]
+        .into_iter()
+        .map(|v| measure(w, v, (x, 17, 17), model()))
+        .collect();
         let (r, n1, n2, n3) = (&pts[0], &pts[1], &pts[2], &pts[3]);
         assert!(n3.makespan < r.makespan, "x={x}: nr3 not faster than rect");
         assert!(n1.makespan < r.makespan && n2.makespan < r.makespan);
         assert!(n3.makespan <= n1.makespan.min(n2.makespan) + 1e-12);
         // nr1 and nr2 are symmetric with equal y and z factors.
         let rel = (n1.makespan - n2.makespan).abs() / n1.makespan;
-        assert!(rel < 0.05, "nr1 and nr2 should be near-equal, rel diff {rel}");
+        assert!(
+            rel < 0.05,
+            "nr1 and nr2 should be near-equal, rel diff {rel}"
+        );
     }
 }
 
@@ -68,7 +80,12 @@ fn speedup_bounded_by_processor_count_without_comm_cost() {
     let m = MachineModel::zero_comm(1e-6);
     for v in [Variant::Rect, Variant::AdiNr3] {
         let p = measure(w, v, (4, 9, 9), m);
-        assert!(p.speedup <= p.procs as f64 + 1e-9, "{v:?}: {} > {}", p.speedup, p.procs);
+        assert!(
+            p.speedup <= p.procs as f64 + 1e-9,
+            "{v:?}: {} > {}",
+            p.speedup,
+            p.procs
+        );
         assert!(p.speedup > 1.0, "{v:?} shows no parallelism");
     }
 }
@@ -86,7 +103,12 @@ fn controlled_comparison_holds_tile_size_and_volume_equal() {
     assert_eq!(r.sequential_time, nr.sequential_time);
     // Communication volume matches closely (boundary tiles may differ).
     let rel = (r.bytes as f64 - nr.bytes as f64).abs() / r.bytes as f64;
-    assert!(rel < 0.15, "communication volumes diverge: {} vs {}", r.bytes, nr.bytes);
+    assert!(
+        rel < 0.15,
+        "communication volumes diverge: {} vs {}",
+        r.bytes,
+        nr.bytes
+    );
 }
 
 #[test]
