@@ -1,6 +1,9 @@
 //! Randomized end-to-end fuzzer: generates random convex spaces, uniform
 //! dependence sets and (rectangular or tiling-cone) tilings, and checks the
-//! full parallel pipeline bitwise against sequential execution.
+//! full parallel pipeline bitwise against sequential execution. Every case
+//! also runs both execution strategies — the compiled flat-index path and
+//! the per-point reference path — which must agree bitwise with identical
+//! makespans and message traffic.
 //!
 //! Usage: `fuzz [seed] [cases] [--faults]`. With `--faults`, every case is
 //! additionally executed under a seeded lossy/duplicating/reordering
@@ -16,7 +19,10 @@ use std::sync::Arc;
 use tilecc_cluster::{EngineOptions, FaultPlan, MachineModel};
 use tilecc_linalg::{IMat, RMat, Rational};
 use tilecc_loopnest::{Algorithm, Kernel, LoopNest};
-use tilecc_parcode::{execute, execute_opts, execute_tiled_sequential, ExecMode, ParallelPlan};
+use tilecc_parcode::{
+    execute, execute_opts, execute_strategy, execute_tiled_sequential, ExecMode, ExecStrategy,
+    ParallelPlan,
+};
 use tilecc_polytope::{Constraint, Polyhedron};
 use tilecc_tiling::{tiling_cone_rays, TilingTransform};
 
@@ -206,6 +212,42 @@ fn main() {
                 res.data.as_ref().unwrap().get_all(&bad)
             );
             fail(seed, case, "parallel/sequential mismatch");
+        }
+        // Compiled vs reference strategy: `execute` above ran the compiled
+        // (default) path; the per-point reference path must agree bitwise
+        // with identical virtual time and traffic.
+        let reference = match execute_strategy(
+            plan.clone(),
+            MachineModel::fast_ethernet_p3(),
+            ExecMode::Full,
+            ExecStrategy::Reference,
+            EngineOptions::default(),
+        ) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("  reference-strategy run failed: {e}");
+                fail(seed, case, "reference strategy failed");
+            }
+        };
+        if let Some(bad) = res
+            .data
+            .as_ref()
+            .unwrap()
+            .diff(reference.data.as_ref().unwrap())
+        {
+            eprintln!("  STRATEGY MISMATCH at {bad:?}");
+            fail(seed, case, "compiled/reference strategy data mismatch");
+        }
+        if res.makespan() != reference.makespan() {
+            eprintln!(
+                "  makespans: compiled {} reference {}",
+                res.makespan(),
+                reference.makespan()
+            );
+            fail(seed, case, "compiled/reference makespan mismatch");
+        }
+        if res.report.total_bytes() != reference.report.total_bytes() {
+            fail(seed, case, "compiled/reference traffic mismatch");
         }
         if faults {
             // Re-run the case over a chaotic substrate seeded per-case: the

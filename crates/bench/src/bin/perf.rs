@@ -1,0 +1,406 @@
+//! Hot-path wall-clock benchmark for the compiled execution path, seeding
+//! the perf trajectory (`BENCH_PR2.json`).
+//!
+//! For each paper workload (SOR/Jacobi/ADI, rectangular and
+//! non-rectangular tilings) it times the four per-tile hot paths — compute
+//! loop, pack, unpack, gather — in both the compiled (flat-index) and the
+//! reference (per-point addressing) form, on a real compute-interior tile
+//! of a real plan, plus the end-to-end `Full`-mode execution. Results are
+//! printed and written to `BENCH_PR2.json` as hand-rolled JSON
+//! (ns/iter per path and the compiled-over-reference speedup).
+//!
+//! Usage: `perf [--test|--smoke] [--out <path>]`. With `--test`/`--smoke`
+//! every timed closure runs exactly once (CI smoke mode) and no JSON file
+//! is written.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tilecc::matrices;
+use tilecc_cluster::{EngineOptions, MachineModel};
+use tilecc_loopnest::{kernels, DataSpace};
+use tilecc_parcode::compiled::{
+    compute_tile_fast, gather_tile_fast, pack_region, tile_origin, unpack_region,
+};
+use tilecc_parcode::{execute_strategy, ExecMode, ExecStrategy, ParallelPlan};
+use tilecc_tiling::{insert_at, Lds, TilingTransform};
+
+struct PathResult {
+    name: &'static str,
+    /// Iterations (points/cells) per inner run, for the ns/iter scaling.
+    inner: usize,
+    compiled_ns: f64,
+    reference_ns: f64,
+}
+
+impl PathResult {
+    fn speedup(&self) -> f64 {
+        self.reference_ns / self.compiled_ns
+    }
+}
+
+/// Mean wall time per inner iteration of `f`, in nanoseconds.
+fn time_ns<F: FnMut()>(smoke: bool, inner: usize, mut f: F) -> f64 {
+    f(); // warm-up (and the entire run in smoke mode)
+    if smoke {
+        return 0.0;
+    }
+    let budget = Duration::from_millis(150);
+    let mut reps: u64 = 0;
+    let mut elapsed = Duration::ZERO;
+    while reps < 10 || elapsed < budget {
+        let t0 = Instant::now();
+        f();
+        elapsed += t0.elapsed();
+        reps += 1;
+    }
+    elapsed.as_nanos() as f64 / (reps as usize * inner) as f64
+}
+
+/// The first compute-interior tile of any rank's chain: `(rank, tpos, tile)`.
+fn find_interior(plan: &ParallelPlan) -> Option<(usize, i64, Vec<i64>)> {
+    let deps = plan.deps();
+    for rank in 0..plan.num_procs() {
+        let (lo_t, hi_t) = plan.dist.chains[rank];
+        for t_abs in lo_t..=hi_t {
+            let tile = insert_at(&plan.dist.pids[rank], plan.m(), t_abs);
+            if plan.tiled.tile_is_compute_interior(&tile, deps) {
+                return Some((rank, t_abs - lo_t, tile));
+            }
+        }
+    }
+    None
+}
+
+#[allow(clippy::too_many_lines)]
+fn bench_workload(name: &str, plan: ParallelPlan, smoke: bool) -> (Vec<PathResult>, f64) {
+    let (rank, tpos, tile) =
+        find_interior(&plan).unwrap_or_else(|| panic!("{name}: no compute-interior tile"));
+    let n = plan.dim();
+    let m = plan.m();
+    let t = plan.tiled.transform();
+    let v = t.v();
+    let lattice = t.lattice();
+    let (lo_t, hi_t) = plan.dist.chains[rank];
+    let num_tiles = hi_t - lo_t + 1;
+    let w = plan.algorithm.width();
+    let chain = plan.compiled_for(num_tiles);
+    let origin = tile_origin(t, &tile);
+    let deps = plan.deps();
+    let q = deps.cols();
+    let d_prime = &plan.comm.d_prime;
+    let kernel = plan.algorithm.kernel.clone();
+    let space = plan.tiled.space();
+
+    let mut lds = Lds::with_width(plan.geo.clone(), plan.anchor(rank), num_tiles, w);
+    // Deterministic non-trivial contents so reads do real work.
+    for (i, x) in lds.values_mut().iter_mut().enumerate() {
+        *x = ((i % 977) as f64) / 977.0;
+    }
+
+    let mut reads = vec![0.0f64; q * w];
+    let mut out = vec![0.0f64; w];
+    let mut src = vec![0i64; n];
+    let mut gs = vec![0i64; n];
+    let mut j_buf = vec![0i64; n];
+    let points = chain.tile_points;
+    let mut results = Vec::new();
+
+    // --- compute loop -----------------------------------------------------
+    let compiled_ns = {
+        let lds = &mut lds;
+        let (reads, out, j_buf) = (&mut reads, &mut out, &mut j_buf);
+        time_ns(smoke, points, || {
+            compute_tile_fast(
+                chain,
+                lds,
+                tpos,
+                &origin,
+                kernel.as_ref(),
+                reads,
+                out,
+                j_buf,
+            );
+        })
+    };
+    let reference_ns = {
+        let lds = &mut lds;
+        let (reads, out) = (&mut reads, &mut out);
+        time_ns(smoke, points, || {
+            for (jp, j) in plan.tiled.tile_iterations(&tile) {
+                let g = lds.unrolled(tpos, &jp);
+                for dq in 0..q {
+                    for k in 0..n {
+                        src[k] = j[k] - deps[(k, dq)];
+                        gs[k] = g[k] - d_prime[(k, dq)];
+                    }
+                    if space.contains(&src) {
+                        lds.get_into(&gs, &mut reads[dq * w..(dq + 1) * w]);
+                    } else {
+                        kernel.initial(&src, &mut reads[dq * w..(dq + 1) * w]);
+                    }
+                }
+                kernel.compute(&j, reads, out);
+                lds.set_all(&g, out);
+            }
+        })
+    };
+    results.push(PathResult {
+        name: "compute",
+        inner: points,
+        compiled_ns,
+        reference_ns,
+    });
+
+    // --- pack / unpack ----------------------------------------------------
+    if !plan.comm.proc_deps.is_empty() {
+        let dm_idx = 0usize;
+        let dm = &plan.comm.proc_deps[dm_idx];
+        let count = plan.region_counts[dm_idx];
+        let mut payload = vec![0.0f64; count * w];
+        let compiled_ns = {
+            let (lds, payload) = (&lds, &mut payload);
+            time_ns(smoke, count, || {
+                pack_region(chain, lds, tpos, dm_idx, payload);
+            })
+        };
+        let reference_ns = {
+            let (lds, payload) = (&lds, &mut payload);
+            time_ns(smoke, count, || {
+                let lo = plan.comm.region_lo(dm, v);
+                for (idx, jp) in lattice.points_in_box(&lo, v).enumerate() {
+                    let g = lds.unrolled(tpos, &jp);
+                    if lds.index_of(&g).is_some() {
+                        lds.get_into(&g, &mut payload[idx * w..(idx + 1) * w]);
+                    }
+                }
+            })
+        };
+        results.push(PathResult {
+            name: "pack",
+            inner: count,
+            compiled_ns,
+            reference_ns,
+        });
+
+        // A tile dependence backed by this processor dependence.
+        let ds_idx = plan
+            .comm
+            .dm_of_ds
+            .iter()
+            .position(|d| *d == Some(dm_idx))
+            .expect("every proc dep comes from a tile dep");
+        let ds = &plan.comm.tile_deps[ds_idx];
+        let compiled_ns = {
+            let (lds, payload) = (&mut lds, &payload);
+            time_ns(smoke, count, || {
+                unpack_region(chain, lds, tpos, ds_idx, payload);
+            })
+        };
+        let reference_ns = {
+            let (lds, payload) = (&mut lds, &payload);
+            time_ns(smoke, count, || {
+                let lo = plan.comm.region_lo(dm, v);
+                for (idx, jp) in lattice.points_in_box(&lo, v).enumerate() {
+                    let mut g = jp;
+                    for k in 0..n {
+                        if k != m {
+                            g[k] -= ds[k] * v[k];
+                        }
+                    }
+                    g[m] += (tpos - ds[m]) * v[m];
+                    lds.set_all(&g, &payload[idx * w..(idx + 1) * w]);
+                }
+            })
+        };
+        results.push(PathResult {
+            name: "unpack",
+            inner: count,
+            compiled_ns,
+            reference_ns,
+        });
+    }
+
+    // --- gather -----------------------------------------------------------
+    let (blo, bhi) = plan.algorithm.nest.bounding_box();
+    let mut ds_global = DataSpace::with_width(&blo, &bhi, w);
+    let compiled_ns = {
+        let (lds, ds_global) = (&lds, &mut ds_global);
+        time_ns(smoke, points, || {
+            gather_tile_fast(chain, lds, tpos, &origin, ds_global);
+        })
+    };
+    let mut vals = vec![0.0f64; w];
+    let reference_ns = {
+        let (lds, ds_global) = (&lds, &mut ds_global);
+        time_ns(smoke, points, || {
+            for (jp, j) in plan.tiled.tile_iterations(&tile) {
+                let g = lds.unrolled(tpos, &jp);
+                lds.get_into(&g, &mut vals);
+                ds_global.set_all(&j, &vals);
+            }
+        })
+    };
+    results.push(PathResult {
+        name: "gather",
+        inner: points,
+        compiled_ns,
+        reference_ns,
+    });
+
+    // --- end-to-end Full-mode execution (real wall clock) -----------------
+    let plan = Arc::new(plan);
+    let model = MachineModel::fast_ethernet_p3();
+    let run = |strategy: ExecStrategy| {
+        execute_strategy(
+            plan.clone(),
+            model,
+            ExecMode::Full,
+            strategy,
+            EngineOptions::default(),
+        )
+        .expect("execution failed")
+    };
+    let e2e = if smoke {
+        let _ = run(ExecStrategy::Compiled);
+        0.0
+    } else {
+        let wall = |strategy| {
+            let mut best = Duration::MAX;
+            for _ in 0..5 {
+                let t0 = Instant::now();
+                let _ = run(strategy);
+                best = best.min(t0.elapsed());
+            }
+            best.as_secs_f64()
+        };
+        wall(ExecStrategy::Reference) / wall(ExecStrategy::Compiled)
+    };
+    (results, e2e)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--test" || a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_PR2.json".to_string());
+
+    let workloads: Vec<(&str, ParallelPlan)> = vec![
+        (
+            "sor_rect",
+            ParallelPlan::new(
+                kernels::sor_skewed(24, 32, 1.1),
+                TilingTransform::new(matrices::sor_rect(4, 6, 8)).unwrap(),
+                Some(2),
+            )
+            .unwrap(),
+        ),
+        (
+            "sor_nr",
+            ParallelPlan::new(
+                kernels::sor_skewed(24, 32, 1.1),
+                TilingTransform::new(matrices::sor_nr(4, 6, 8)).unwrap(),
+                Some(2),
+            )
+            .unwrap(),
+        ),
+        (
+            "jacobi_rect",
+            ParallelPlan::new(
+                kernels::jacobi_skewed(16, 24, 24),
+                TilingTransform::new(matrices::jacobi_rect(4, 6, 6)).unwrap(),
+                Some(1),
+            )
+            .unwrap(),
+        ),
+        (
+            "jacobi_nr",
+            ParallelPlan::new(
+                kernels::jacobi_skewed(16, 24, 24),
+                TilingTransform::new(matrices::jacobi_nr(4, 6, 6)).unwrap(),
+                Some(1),
+            )
+            .unwrap(),
+        ),
+        (
+            "adi_rect",
+            ParallelPlan::new(
+                kernels::adi(16, 24),
+                TilingTransform::new(matrices::adi_rect(4, 6, 6)).unwrap(),
+                Some(0),
+            )
+            .unwrap(),
+        ),
+        (
+            "adi_paper",
+            ParallelPlan::new(
+                kernels::adi_paper(16, 24),
+                TilingTransform::new(matrices::adi_rect(4, 6, 6)).unwrap(),
+                Some(1),
+            )
+            .unwrap(),
+        ),
+    ];
+
+    let mut json = String::from("{\n  \"bench\": \"PR2 compiled tile execution hot paths\",\n");
+    json.push_str("  \"unit\": \"ns_per_iter\",\n  \"workloads\": {\n");
+    let nw = workloads.len();
+    let mut min_compute_speedup = f64::INFINITY;
+    for (wi, (name, plan)) in workloads.into_iter().enumerate() {
+        println!("== {name} ==");
+        let (results, e2e) = bench_workload(name, plan, smoke);
+        let _ = write!(json, "    \"{name}\": {{\n      \"paths\": {{\n");
+        let np = results.len();
+        for (i, r) in results.iter().enumerate() {
+            if smoke {
+                println!("  {:<8} ok (smoke, {} pts)", r.name, r.inner);
+            } else {
+                println!(
+                    "  {:<8} compiled {:>8.1} ns/iter  reference {:>8.1} ns/iter  speedup {:>5.2}x  ({} pts)",
+                    r.name,
+                    r.compiled_ns,
+                    r.reference_ns,
+                    r.speedup(),
+                    r.inner
+                );
+            }
+            if r.name == "compute" {
+                min_compute_speedup = min_compute_speedup.min(r.speedup());
+            }
+            let _ = writeln!(
+                json,
+                "        \"{}\": {{\"compiled_ns\": {:.2}, \"reference_ns\": {:.2}, \"speedup\": {:.3}, \"iters\": {}}}{}",
+                r.name,
+                r.compiled_ns,
+                r.reference_ns,
+                r.speedup(),
+                r.inner,
+                if i + 1 < np { "," } else { "" }
+            );
+        }
+        if !smoke {
+            println!("  end-to-end Full-mode wall-clock speedup {e2e:.2}x");
+        }
+        let _ = writeln!(
+            json,
+            "      }},\n      \"end_to_end_speedup\": {:.3}\n    }}{}",
+            e2e,
+            if wi + 1 < nw { "," } else { "" }
+        );
+    }
+    json.push_str("  }\n}\n");
+
+    if smoke {
+        println!("smoke mode: all hot paths ran once; no JSON written");
+        return;
+    }
+    assert!(
+        min_compute_speedup >= 3.0,
+        "acceptance: interior compute hot path must be >= 3x (got {min_compute_speedup:.2}x)"
+    );
+    std::fs::write(&out_path, &json).expect("write bench JSON");
+    println!("wrote {out_path} (min compute speedup {min_compute_speedup:.2}x)");
+}

@@ -104,6 +104,22 @@ impl Lattice {
     pub fn count_in_box(&self, lo: &[i64], hi: &[i64]) -> usize {
         self.points_in_box(lo, hi).count()
     }
+
+    /// Visit every lattice point of the box `[lo, hi)` in the same order as
+    /// [`Lattice::points_in_box`], reusing one internal point buffer — no
+    /// per-point allocation. This is the walk the compiled execution path
+    /// uses at plan time to lower communication regions and tile traversals
+    /// to flat indices.
+    pub fn for_each_in_box(&self, lo: &[i64], hi: &[i64], mut f: impl FnMut(&[i64])) {
+        let n = self.dim();
+        assert_eq!(lo.len(), n, "dimension mismatch");
+        assert_eq!(hi.len(), n, "dimension mismatch");
+        let mut it = LatticeBoxIter::new(self, lo.to_vec(), hi.to_vec());
+        while !it.done {
+            f(&it.point);
+            it.advance();
+        }
+    }
 }
 
 /// Iterator over lattice points in a half-open box (see
@@ -321,6 +337,18 @@ mod tests {
         let lat = Lattice::from_columns(&basis);
         assert_eq!(lat.index(), 6);
         assert_eq!(lat.count_in_box(&[0, 0], &[6, 6]), 6);
+    }
+
+    #[test]
+    fn for_each_matches_iterator() {
+        let basis = IMat::from_rows(&[&[2, 0, 0], &[1, 2, 0], &[0, 1, 3]]);
+        let lat = Lattice::from_columns(&basis);
+        let lo = [-2i64, 0, -1];
+        let hi = [5i64, 6, 7];
+        let iter: Vec<_> = lat.points_in_box(&lo, &hi).collect();
+        let mut walked = vec![];
+        lat.for_each_in_box(&lo, &hi, |p| walked.push(p.to_vec()));
+        assert_eq!(iter, walked);
     }
 
     #[test]

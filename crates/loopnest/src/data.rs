@@ -114,6 +114,41 @@ impl DataSpace {
         self.written[idx] = true;
     }
 
+    /// Row-major cell weights: `index(j) = Σ_k (j_k − lo_k) · weights[k]`.
+    pub fn weights(&self) -> Vec<i64> {
+        let n = self.dim();
+        let mut w = vec![1i64; n];
+        for k in (0..n.saturating_sub(1)).rev() {
+            w[k] = w[k + 1] * self.extents[k + 1];
+        }
+        w
+    }
+
+    /// Signed flat cell index of `j` with **no range check** — may be
+    /// negative or past the allocation. Used as the per-tile base of the
+    /// compiled gather: the base itself (a tile's origin corner) may fall
+    /// outside the box, but base + offset is in range for every real point.
+    pub fn flat_cell_signed(&self, j: &[i64]) -> i64 {
+        assert_eq!(j.len(), self.dim(), "data space dimension mismatch");
+        let weights = self.weights();
+        (0..self.dim())
+            .map(|k| (j[k] - self.lo[k]) * weights[k])
+            .sum()
+    }
+
+    /// Bulk write of all components at flat cell index `cell` (as returned
+    /// by [`DataSpace::index`] / [`DataSpace::flat_cell_signed`]), marking
+    /// the cell written — the compiled gather's strided-copy primitive.
+    ///
+    /// # Panics
+    /// Panics if `cell` is outside the allocation or `v` has the wrong
+    /// width.
+    pub fn write_cell(&mut self, cell: usize, v: &[f64]) {
+        assert_eq!(v.len(), self.width, "component width mismatch");
+        self.vals[cell * self.width..(cell + 1) * self.width].copy_from_slice(v);
+        self.written[cell] = true;
+    }
+
     /// Number of written cells.
     pub fn num_written(&self) -> usize {
         self.written.iter().filter(|&&w| w).count()
@@ -208,6 +243,23 @@ mod tests {
         assert_eq!(ds.get(&[0, 0]), Some(2.5));
         assert_eq!(ds.num_written(), 1);
         assert_eq!(ds.get(&[7, 7]), None); // outside: None, not panic
+    }
+
+    #[test]
+    fn flat_cells_match_index_and_write_cell_round_trips() {
+        let mut ds = DataSpace::with_width(&[-2, 3], &[4, 8], 2);
+        for j0 in -2..=4 {
+            for j1 in 3..=8 {
+                let j = [j0, j1];
+                let idx = ds.index(&j).unwrap();
+                assert_eq!(ds.flat_cell_signed(&j), idx as i64);
+            }
+        }
+        // Signed index extrapolates linearly outside the box.
+        assert_eq!(ds.flat_cell_signed(&[-3, 3]), -(ds.weights()[0]));
+        let idx = ds.index(&[0, 5]).unwrap();
+        ds.write_cell(idx, &[1.5, 2.5]);
+        assert_eq!(ds.get_all(&[0, 5]), Some(&[1.5, 2.5][..]));
     }
 
     #[test]

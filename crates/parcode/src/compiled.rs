@@ -1,0 +1,374 @@
+#![allow(clippy::needless_range_loop)] // index loops mirror the paper's matrix notation
+//! Compiled tile execution: flat linear indices over the row-major LDS.
+//!
+//! The paper's performance argument (§3.1, Table 1) is that condensed
+//! rectangular LDS storage plus strided TTIS traversal lets the *generated*
+//! tile code run at array speed. The reference executor re-derives every
+//! per-dimension address point by point; this module instead lowers each
+//! rank's work **at plan time** to flat cell indices:
+//!
+//! - Every tile of a chain covers the same TTIS lattice points, and because
+//!   the integral-tile-sides validation forces `c_m | v_m`, advancing one
+//!   chain position shifts every flat index by the constant
+//!   `chain_step = (v_m / c_m) · weights_m`. One table of per-point indices
+//!   therefore serves the whole chain: `cell = tpos · chain_step + rel`.
+//! - Dependences are uniform, so each read source sits at a *constant signed
+//!   displacement* `src_rel` from the tile base — no per-point address
+//!   derivation, no membership test on interior tiles.
+//! - The pack/unpack lattice walks of RECEIVE/SEND run once per plan, not
+//!   once per tile, leaving dense index-list copies in the hot loop.
+//! - The gather writes each owned cell straight into the global `DataSpace`
+//!   through precomputed relative offsets instead of re-running
+//!   `tile_iterations` and materializing per-point vectors.
+//!
+//! Offsets are exact wherever the checked path would succeed: for any two
+//! coordinates whose per-dimension addresses are in range, the difference of
+//! their signed flat indices equals their true cell distance (see
+//! [`LdsGeometry::flat_cell_signed`]). The constructor asserts every
+//! *unconditional* index (owned cells, pack regions) in range per dimension;
+//! halo unpack cells that fall outside the allocation — writes the reference
+//! path's `Lds::set_all` silently drops — are marked [`SKIP`] at build time.
+
+use tilecc_linalg::vecops::div_floor;
+use tilecc_linalg::IMat;
+use tilecc_loopnest::{DataSpace, MultiKernel};
+use tilecc_polytope::Polyhedron;
+use tilecc_tiling::{CommPlan, Lds, LdsGeometry, TiledSpace, TilingTransform};
+
+/// Sentinel for precomputed unpack cells outside the LDS allocation (halo
+/// deeper than any read reaches); the unpack loop drops them, exactly as
+/// `Lds::set_all` does on the reference path.
+pub const SKIP: i64 = i64::MIN;
+
+/// Plan-time lowering of one chain length's tile work to flat LDS indices.
+///
+/// LDS extents — and therefore row-major weights — depend on the chain
+/// length, so a [`CompiledChain`] is built per distinct `num_tiles` (ranks
+/// sharing a chain length share the tables).
+pub struct CompiledChain {
+    /// Chain length this table was compiled for.
+    pub num_tiles: i64,
+    /// TTIS lattice points per full tile.
+    pub tile_points: usize,
+    /// Number of dependence columns.
+    pub q: usize,
+    /// Loop-nest dimension.
+    pub n: usize,
+    /// Flat-index shift per chain position (`(v_m / c_m) · weights_m`).
+    pub chain_step: i64,
+    /// Owned cell index of each tile point at `tpos = 0`, TTIS walk order.
+    pub dst: Vec<i64>,
+    /// Per-point global-iteration offset `P'·j'` (row-major, `n` per point):
+    /// the iteration is `j = P·tile + j_off` with both parts integral.
+    pub j_off: Vec<i64>,
+    /// Signed read-source cell per point and dependence (point-major,
+    /// `q` per point): `src = dst − flat(d')`, constant across the chain.
+    pub src_rel: Vec<i64>,
+    /// Per-point signed flat offset into the global `DataSpace`
+    /// (`Σ_k j_off_k · ds_weights_k`); the gather base is the tile origin's
+    /// signed cell index.
+    pub gather_rel: Vec<i64>,
+    /// Pack index lists, one per processor dependence: owned cells of the
+    /// region `[region_lo(dm), v)` at `tpos = 0`, lattice walk order.
+    pub pack_rel: Vec<Vec<i64>>,
+    /// Unpack index lists, one per *tile* dependence (aligned with
+    /// `comm.tile_deps`; empty for intra-processor dependences): halo cell
+    /// of each region point at `tpos = 0`, or [`SKIP`].
+    pub unpack_rel: Vec<Vec<i64>>,
+}
+
+impl CompiledChain {
+    /// Lower the per-tile work of a `num_tiles`-long chain. `ds_weights` are
+    /// the global data space's row-major cell weights (the gather target).
+    pub fn new(
+        tiled: &TiledSpace,
+        comm: &CommPlan,
+        geo: &LdsGeometry,
+        ds_weights: &[i64],
+        num_tiles: i64,
+    ) -> Self {
+        let t = tiled.transform();
+        let n = t.dim();
+        let m = geo.m;
+        let v = t.v();
+        assert_eq!(
+            v[m] % geo.c[m],
+            0,
+            "integral tile sides guarantee c_m | v_m"
+        );
+        let extents = geo.extents(num_tiles);
+        let weights = LdsGeometry::weights(&extents);
+        let total_cells: i64 = extents.iter().product();
+        let chain_step = (v[m] / geo.c[m]) * weights[m];
+        let q = comm.d_prime.cols();
+        let lat = t.lattice();
+        let p_prime = t.p_prime();
+
+        // Checked flat index of an owned/pack cell at tpos = 0: every
+        // dimension must be in range (dimension m is then in range for the
+        // whole chain because the decomposition is linear in tpos).
+        let flat_checked = |jp: &[i64], what: &str| -> i64 {
+            let mut cell = 0i64;
+            for k in 0..n {
+                let a = div_floor(jp[k], geo.c[k]) + geo.off[k];
+                assert!(
+                    0 <= a && a < extents[k],
+                    "{what} address out of range: jp={jp:?} dim {k}"
+                );
+                cell += a * weights[k];
+            }
+            cell
+        };
+
+        let mut dst = Vec::new();
+        let mut j_off = Vec::new();
+        let mut src_rel = Vec::new();
+        let mut gather_rel = Vec::new();
+        let mut g0 = vec![0i64; n];
+        let zero = vec![0i64; n];
+        lat.for_each_in_box(&zero, v, |jp| {
+            let cell = flat_checked(jp, "owned");
+            assert!(cell + (num_tiles - 1) * chain_step < total_cells);
+            dst.push(cell);
+            // j = P·tile + P'·j'; both parts are integral (P is validated
+            // integral, and lattice points satisfy j' = H'·z).
+            let off_j = p_prime.mul_ivec(jp);
+            let mut grel = 0i64;
+            for (k, r) in off_j.iter().enumerate() {
+                assert!(r.is_integer(), "P'·j' must be integral on the lattice");
+                let x = r.to_integer();
+                j_off.push(x);
+                grel += x * ds_weights[k];
+            }
+            gather_rel.push(grel);
+            for dq in 0..q {
+                for k in 0..n {
+                    g0[k] = jp[k] - comm.d_prime[(k, dq)];
+                }
+                src_rel.push(geo.flat_cell_signed(&g0, &weights));
+            }
+        });
+        let tile_points = dst.len();
+        assert_eq!(tile_points, tiled.full_tile_volume());
+
+        let pack_rel: Vec<Vec<i64>> = comm
+            .proc_deps
+            .iter()
+            .map(|dm| {
+                let lo = comm.region_lo(dm, v);
+                let mut cells = Vec::new();
+                lat.for_each_in_box(&lo, v, |jp| cells.push(flat_checked(jp, "pack")));
+                cells
+            })
+            .collect();
+
+        // Unpack: the receiver addresses the sender's region points as data
+        // of chain tile `tpos − ds_m` shifted by `−ds_k·v_k`; at `tpos = 0`
+        // that is uniformly `g_k = jp_k − ds_k·v_k`.
+        let unpack_rel: Vec<Vec<i64>> = comm
+            .tile_deps
+            .iter()
+            .zip(&comm.dm_of_ds)
+            .map(|(ds, dm_idx)| {
+                let Some(dm_idx) = *dm_idx else {
+                    return Vec::new();
+                };
+                let lo = comm.region_lo(&comm.proc_deps[dm_idx], v);
+                let mut cells = Vec::new();
+                lat.for_each_in_box(&lo, v, |jp| {
+                    let mut cell = 0i64;
+                    let mut in_range = true;
+                    for k in 0..n {
+                        let a = div_floor(jp[k] - ds[k] * v[k], geo.c[k]) + geo.off[k];
+                        if k == m {
+                            // Halo depth along the mapping dimension is
+                            // covered by construction (off_m spans the
+                            // deepest predecessor tile), so a receive never
+                            // underflows the allocation.
+                            assert!(a >= 0, "mapping-dimension halo underflow");
+                        } else if a < 0 || a >= extents[k] {
+                            in_range = false;
+                        }
+                        cell += a * weights[k];
+                    }
+                    cells.push(if in_range { cell } else { SKIP });
+                });
+                cells
+            })
+            .collect();
+
+        CompiledChain {
+            num_tiles,
+            tile_points,
+            q,
+            n,
+            chain_step,
+            dst,
+            j_off,
+            src_rel,
+            gather_rel,
+            pack_rel,
+            unpack_rel,
+        }
+    }
+
+    /// Message length (in values) of each pack region — equals the lattice
+    /// point count of `[region_lo(dm), v)`.
+    pub fn pack_counts(&self) -> Vec<usize> {
+        self.pack_rel.iter().map(Vec::len).collect()
+    }
+}
+
+/// The tile's origin iteration `P·tile` (integral: `P` is validated to have
+/// integral entries). Per-point iterations are `origin + j_off`.
+pub fn tile_origin(t: &TilingTransform, tile: &[i64]) -> Vec<i64> {
+    t.p()
+        .mul_ivec(tile)
+        .iter()
+        .map(|r| {
+            debug_assert!(r.is_integer());
+            r.to_integer()
+        })
+        .collect()
+}
+
+/// Dense compute loop for a compute-interior tile: every point is in the
+/// iteration space and every read source is stored in the LDS, so the loop
+/// runs with zero membership tests and no per-point allocation.
+#[allow(clippy::too_many_arguments)]
+pub fn compute_tile_fast(
+    chain: &CompiledChain,
+    lds: &mut Lds,
+    tpos: i64,
+    origin: &[i64],
+    kernel: &dyn MultiKernel,
+    reads: &mut [f64],
+    out: &mut [f64],
+    j_buf: &mut [i64],
+) {
+    let (n, q, w) = (chain.n, chain.q, lds.width());
+    let base = tpos * chain.chain_step;
+    for i in 0..chain.tile_points {
+        for k in 0..n {
+            j_buf[k] = origin[k] + chain.j_off[i * n + k];
+        }
+        let vals = lds.values();
+        for dq in 0..q {
+            let cell = (base + chain.src_rel[i * q + dq]) as usize;
+            reads[dq * w..(dq + 1) * w].copy_from_slice(&vals[cell * w..(cell + 1) * w]);
+        }
+        kernel.compute(j_buf, reads, out);
+        let cell = (base + chain.dst[i]) as usize;
+        lds.values_mut()[cell * w..(cell + 1) * w].copy_from_slice(out);
+    }
+}
+
+/// Boundary-tile compute loop: same precomputed indices, but clamped by the
+/// original iteration-space inequalities, with out-of-space reads served by
+/// the kernel's initial values. Returns the number of in-space iterations.
+#[allow(clippy::too_many_arguments)]
+pub fn compute_tile_clamped(
+    chain: &CompiledChain,
+    lds: &mut Lds,
+    tpos: i64,
+    origin: &[i64],
+    kernel: &dyn MultiKernel,
+    space: &Polyhedron,
+    deps: &IMat,
+    reads: &mut [f64],
+    out: &mut [f64],
+    j_buf: &mut [i64],
+    src_buf: &mut [i64],
+) -> u64 {
+    let (n, q, w) = (chain.n, chain.q, lds.width());
+    let base = tpos * chain.chain_step;
+    let mut iters = 0u64;
+    for i in 0..chain.tile_points {
+        for k in 0..n {
+            j_buf[k] = origin[k] + chain.j_off[i * n + k];
+        }
+        if !space.contains(j_buf) {
+            continue;
+        }
+        iters += 1;
+        for dq in 0..q {
+            for k in 0..n {
+                src_buf[k] = j_buf[k] - deps[(k, dq)];
+            }
+            if space.contains(src_buf) {
+                let cell = (base + chain.src_rel[i * q + dq]) as usize;
+                reads[dq * w..(dq + 1) * w]
+                    .copy_from_slice(&lds.values()[cell * w..(cell + 1) * w]);
+            } else {
+                kernel.initial(src_buf, &mut reads[dq * w..(dq + 1) * w]);
+            }
+        }
+        kernel.compute(j_buf, reads, out);
+        let cell = (base + chain.dst[i]) as usize;
+        lds.values_mut()[cell * w..(cell + 1) * w].copy_from_slice(out);
+    }
+    iters
+}
+
+/// Fill `payload` with the pack region of processor dependence `dm_idx` at
+/// chain position `tpos` — a dense index-list copy.
+pub fn pack_region(
+    chain: &CompiledChain,
+    lds: &Lds,
+    tpos: i64,
+    dm_idx: usize,
+    payload: &mut [f64],
+) {
+    let w = lds.width();
+    let base = tpos * chain.chain_step;
+    let vals = lds.values();
+    for (idx, &rel) in chain.pack_rel[dm_idx].iter().enumerate() {
+        let cell = (base + rel) as usize;
+        payload[idx * w..(idx + 1) * w].copy_from_slice(&vals[cell * w..(cell + 1) * w]);
+    }
+}
+
+/// Scatter a received `payload` into the halo cells of tile dependence
+/// `ds_idx` at chain position `tpos`, dropping [`SKIP`] cells.
+pub fn unpack_region(
+    chain: &CompiledChain,
+    lds: &mut Lds,
+    tpos: i64,
+    ds_idx: usize,
+    payload: &[f64],
+) {
+    let w = lds.width();
+    let base = tpos * chain.chain_step;
+    let list = &chain.unpack_rel[ds_idx];
+    debug_assert_eq!(list.len() * w, payload.len(), "unpack count mismatch");
+    let vals = lds.values_mut();
+    for (idx, &rel) in list.iter().enumerate() {
+        if rel == SKIP {
+            continue;
+        }
+        let cell = (base + rel) as usize;
+        vals[cell * w..(cell + 1) * w].copy_from_slice(&payload[idx * w..(idx + 1) * w]);
+    }
+}
+
+/// Single-pass gather of an interior tile's owned cells into the global
+/// data space: bulk cell copies through the precomputed relative offsets,
+/// no re-traversal and no per-point vectors.
+pub fn gather_tile_fast(
+    chain: &CompiledChain,
+    lds: &Lds,
+    tpos: i64,
+    origin: &[i64],
+    ds: &mut DataSpace,
+) {
+    let w = lds.width();
+    debug_assert_eq!(ds.width(), w);
+    let base = tpos * chain.chain_step;
+    let gbase = ds.flat_cell_signed(origin);
+    let vals = lds.values();
+    for i in 0..chain.tile_points {
+        let src = (base + chain.dst[i]) as usize;
+        let cell = (gbase + chain.gather_rel[i]) as usize;
+        ds.write_cell(cell, &vals[src * w..(src + 1) * w]);
+    }
+}

@@ -9,6 +9,9 @@
 //! by the original iteration space); finally it packs and sends one message
 //! per processor dependence that has a valid successor tile.
 
+use crate::compiled::{
+    compute_tile_clamped, compute_tile_fast, pack_region, tile_origin, unpack_region,
+};
 use crate::plan::ParallelPlan;
 use std::sync::Arc;
 use tilecc_cluster::{
@@ -27,10 +30,25 @@ pub enum ExecMode {
     TimingOnly,
 }
 
-/// Per-rank result: computed `(iteration, components)` pairs (empty in
-/// timing-only mode) plus the number of iterations executed.
+/// Which code path each rank runs. Both produce bitwise-identical data and
+/// identical makespans; `Compiled` is the default.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ExecStrategy {
+    /// Flat-index execution: plan-time lowered cell indices, dense interior
+    /// loops, precomputed pack/unpack lists, bulk gather (see
+    /// [`crate::compiled`]).
+    #[default]
+    Compiled,
+    /// The per-point reference path: re-derives every LDS address and walks
+    /// every communication region per tile. Kept as the correctness oracle.
+    Reference,
+}
+
+/// Per-rank result: the rank's Local Data Space (`Full` mode only — the
+/// main thread gathers it into the global data space) plus the number of
+/// iterations executed.
 pub struct RankOutput {
-    pub values: Vec<(Vec<i64>, Vec<f64>)>,
+    pub lds: Option<Lds>,
     pub iterations: u64,
 }
 
@@ -100,24 +118,28 @@ pub fn execute_opts(
     mode: ExecMode,
     options: EngineOptions,
 ) -> Result<ExecutionResult, RunError> {
+    execute_strategy(plan, model, mode, ExecStrategy::default(), options)
+}
+
+/// [`execute_opts`] with an explicit [`ExecStrategy`] — used by the
+/// equivalence tests, the fuzz harness and the perf benches to pit the
+/// compiled path against the per-point reference path.
+pub fn execute_strategy(
+    plan: Arc<ParallelPlan>,
+    model: MachineModel,
+    mode: ExecMode,
+    strategy: ExecStrategy,
+    options: EngineOptions,
+) -> Result<ExecutionResult, RunError> {
     let nprocs = plan.num_procs();
     let plan2 = plan.clone();
     let report = run_cluster_opts(nprocs, model, options, move |comm| {
-        run_rank(&plan2, comm, mode)
+        run_rank(&plan2, comm, mode, strategy)
     })?;
     let total_iterations: u64 = report.results.iter().map(|r| r.iterations).sum();
     let data = match mode {
         ExecMode::TimingOnly => None,
-        ExecMode::Full => {
-            let (lo, hi) = plan.algorithm.nest.bounding_box();
-            let mut ds = DataSpace::with_width(&lo, &hi, plan.algorithm.width());
-            for out in &report.results {
-                for (j, v) in &out.values {
-                    ds.set_all(j, v);
-                }
-            }
-            Some(ds)
-        }
+        ExecMode::Full => Some(gather(&plan, &report, strategy)),
     };
     Ok(ExecutionResult {
         report,
@@ -126,9 +148,54 @@ pub fn execute_opts(
     })
 }
 
+/// Write every rank's LDS back to the global data space (the paper's
+/// `loc⁻¹` role), on the main thread.
+///
+/// The compiled strategy bulk-copies interior tiles through the
+/// precomputed offsets and walks `tile_iterations` only for boundary
+/// tiles; the reference strategy re-walks every tile per point.
+fn gather(
+    plan: &ParallelPlan,
+    report: &RunReport<RankOutput>,
+    strategy: ExecStrategy,
+) -> DataSpace {
+    let (lo, hi) = plan.algorithm.nest.bounding_box();
+    let mut ds = DataSpace::with_width(&lo, &hi, plan.algorithm.width());
+    let t = plan.tiled.transform();
+    let m = plan.m();
+    let w = plan.algorithm.width();
+    let mut vals = vec![0.0f64; w];
+    for (rank, out) in report.results.iter().enumerate() {
+        let lds = out.lds.as_ref().expect("full mode returns the rank LDS");
+        let pid = &plan.dist.pids[rank];
+        let (lo_t, hi_t) = plan.dist.chains[rank];
+        let chain = plan.compiled_for(hi_t - lo_t + 1);
+        for t_abs in lo_t..=hi_t {
+            let tpos = t_abs - lo_t;
+            let cur_tile = insert_at(pid, m, t_abs);
+            if strategy == ExecStrategy::Compiled && plan.tiled.tile_is_interior(&cur_tile) {
+                let origin = tile_origin(t, &cur_tile);
+                crate::compiled::gather_tile_fast(chain, lds, tpos, &origin, &mut ds);
+            } else {
+                for (jp, j) in plan.tiled.tile_iterations(&cur_tile) {
+                    let g = lds.unrolled(tpos, &jp);
+                    lds.get_into(&g, &mut vals);
+                    ds.set_all(&j, &vals);
+                }
+            }
+        }
+    }
+    ds
+}
+
 /// The body each rank runs — the direct analogue of the paper's generated
 /// FORACROSS code skeleton (§3.2).
-fn run_rank(plan: &ParallelPlan, comm: &mut impl Comm, mode: ExecMode) -> RankOutput {
+fn run_rank(
+    plan: &ParallelPlan,
+    comm: &mut impl Comm,
+    mode: ExecMode,
+    strategy: ExecStrategy,
+) -> RankOutput {
     let rank = comm.rank();
     let n = plan.dim();
     let m = plan.m();
@@ -141,6 +208,7 @@ fn run_rank(plan: &ParallelPlan, comm: &mut impl Comm, mode: ExecMode) -> RankOu
     let num_tiles = hi_t - lo_t + 1;
     let w = plan.algorithm.width();
     let mut lds = Lds::with_width(plan.geo.clone(), anchor.clone(), num_tiles, w);
+    let chain = plan.compiled_for(num_tiles);
 
     let deps = plan.deps();
     let q = deps.cols();
@@ -153,6 +221,7 @@ fn run_rank(plan: &ParallelPlan, comm: &mut impl Comm, mode: ExecMode) -> RankOu
     let mut out = vec![0.0f64; w];
     let mut src = vec![0i64; n];
     let mut gs = vec![0i64; n];
+    let mut j_buf = vec![0i64; n];
 
     for t_abs in lo_t..=hi_t {
         let tpos = t_abs - lo_t; // chain-relative tile position
@@ -182,52 +251,85 @@ fn run_rank(plan: &ParallelPlan, comm: &mut impl Comm, mode: ExecMode) -> RankOu
             // mismatch messages (MPI-style tag matching restores pairing).
             let payload = comm.recv_tagged(from_rank, pred[m]);
             if mode == ExecMode::Full {
-                // Unpack into the LDS: sender's region points, addressed as
-                // data of chain tile (tpos − ds_m) shifted by −ds_k·v_k.
-                let lo = plan.comm.region_lo(dm, v);
-                let mut idx = 0usize;
-                for jp in lattice.points_in_box(&lo, v) {
-                    let mut g = jp;
-                    for k in 0..n {
-                        if k != m {
-                            g[k] -= ds[k] * v[k];
+                match strategy {
+                    ExecStrategy::Compiled => unpack_region(chain, &mut lds, tpos, i, &payload),
+                    ExecStrategy::Reference => {
+                        // Unpack into the LDS: sender's region points,
+                        // addressed as data of chain tile (tpos − ds_m)
+                        // shifted by −ds_k·v_k.
+                        let lo = plan.comm.region_lo(dm, v);
+                        let mut idx = 0usize;
+                        for jp in lattice.points_in_box(&lo, v) {
+                            let mut g = jp;
+                            for k in 0..n {
+                                if k != m {
+                                    g[k] -= ds[k] * v[k];
+                                }
+                            }
+                            g[m] += (tpos - ds[m]) * v[m];
+                            lds.set_all(&g, &payload[idx * w..(idx + 1) * w]);
+                            idx += 1;
                         }
+                        debug_assert_eq!(idx * w, payload.len(), "unpack count mismatch");
                     }
-                    g[m] += (tpos - ds[m]) * v[m];
-                    lds.set_all(&g, &payload[idx * w..(idx + 1) * w]);
-                    idx += 1;
                 }
-                debug_assert_eq!(idx * w, payload.len(), "unpack count mismatch");
             }
         }
 
         // --- COMPUTE ------------------------------------------------------
         let mut tile_iters: u64 = 0;
-        if mode == ExecMode::TimingOnly {
-            tile_iters = plan.tiled.tile_volume_fast(&cur_tile) as u64;
-        }
-        #[allow(clippy::collapsible_if)]
-        for (jp, j) in (mode == ExecMode::Full)
-            .then(|| plan.tiled.tile_iterations(&cur_tile))
-            .into_iter()
-            .flatten()
-        {
-            tile_iters += 1;
-            {
-                let g = lds.unrolled(tpos, &jp);
-                for dq in 0..q {
-                    for k in 0..n {
-                        src[k] = j[k] - deps[(k, dq)];
-                        gs[k] = g[k] - d_prime[(k, dq)];
-                    }
-                    if space.contains(&src) {
-                        lds.get_into(&gs, &mut reads[dq * w..(dq + 1) * w]);
-                    } else {
-                        kernel.initial(&src, &mut reads[dq * w..(dq + 1) * w]);
-                    }
+        match (mode, strategy) {
+            (ExecMode::TimingOnly, _) => {
+                tile_iters = plan.tiled.tile_volume_fast(&cur_tile) as u64;
+            }
+            (ExecMode::Full, ExecStrategy::Compiled) => {
+                let origin = tile_origin(t, &cur_tile);
+                if plan.tiled.tile_is_compute_interior(&cur_tile, deps) {
+                    compute_tile_fast(
+                        chain,
+                        &mut lds,
+                        tpos,
+                        &origin,
+                        kernel.as_ref(),
+                        &mut reads,
+                        &mut out,
+                        &mut j_buf,
+                    );
+                    tile_iters = chain.tile_points as u64;
+                } else {
+                    tile_iters = compute_tile_clamped(
+                        chain,
+                        &mut lds,
+                        tpos,
+                        &origin,
+                        kernel.as_ref(),
+                        space,
+                        deps,
+                        &mut reads,
+                        &mut out,
+                        &mut j_buf,
+                        &mut src,
+                    );
                 }
-                kernel.compute(&j, &reads, &mut out);
-                lds.set_all(&g, &out);
+            }
+            (ExecMode::Full, ExecStrategy::Reference) => {
+                for (jp, j) in plan.tiled.tile_iterations(&cur_tile) {
+                    tile_iters += 1;
+                    let g = lds.unrolled(tpos, &jp);
+                    for dq in 0..q {
+                        for k in 0..n {
+                            src[k] = j[k] - deps[(k, dq)];
+                            gs[k] = g[k] - d_prime[(k, dq)];
+                        }
+                        if space.contains(&src) {
+                            lds.get_into(&gs, &mut reads[dq * w..(dq + 1) * w]);
+                        } else {
+                            kernel.initial(&src, &mut reads[dq * w..(dq + 1) * w]);
+                        }
+                    }
+                    kernel.compute(&j, &reads, &mut out);
+                    lds.set_all(&g, &out);
+                }
             }
         }
         iterations += tile_iters;
@@ -251,40 +353,32 @@ fn run_rank(plan: &ParallelPlan, comm: &mut impl Comm, mode: ExecMode) -> RankOu
             let mut payload = Vec::new();
             if mode == ExecMode::Full {
                 payload.resize(count * w, 0.0);
-                let lo = plan.comm.region_lo(dm, v);
-                let mut idx = 0usize;
-                for jp in lattice.points_in_box(&lo, v) {
-                    let g = lds.unrolled(tpos, &jp);
-                    if lds.index_of(&g).is_some() {
-                        lds.get_into(&g, &mut payload[idx * w..(idx + 1) * w]);
+                match strategy {
+                    ExecStrategy::Compiled => pack_region(chain, &lds, tpos, dm_idx, &mut payload),
+                    ExecStrategy::Reference => {
+                        let lo = plan.comm.region_lo(dm, v);
+                        let mut idx = 0usize;
+                        for jp in lattice.points_in_box(&lo, v) {
+                            let g = lds.unrolled(tpos, &jp);
+                            if lds.index_of(&g).is_some() {
+                                lds.get_into(&g, &mut payload[idx * w..(idx + 1) * w]);
+                            }
+                            idx += 1;
+                        }
+                        debug_assert_eq!(idx, count);
                     }
-                    idx += 1;
                 }
-                debug_assert_eq!(idx, count);
             }
             comm.send_tagged(to_rank, t_abs, payload, count * 8 * w);
         }
     }
 
-    // --- GATHER (write back to the global data space, loc⁻¹ role) ---------
-    let values = match mode {
-        ExecMode::TimingOnly => Vec::new(),
-        ExecMode::Full => {
-            let mut acc = Vec::with_capacity(iterations as usize);
-            for t_abs in lo_t..=hi_t {
-                let tpos = t_abs - lo_t;
-                let cur_tile = insert_at(&pid, m, t_abs);
-                for (jp, j) in plan.tiled.tile_iterations(&cur_tile) {
-                    let g = lds.unrolled(tpos, &jp);
-                    let mut vals = vec![0.0f64; w];
-                    lds.get_into(&g, &mut vals);
-                    acc.push((j, vals));
-                }
-            }
-            acc
-        }
-    };
-    RankOutput { values, iterations }
+    // The LDS goes back whole; the main thread gathers it into the global
+    // data space (loc⁻¹ role) — no duplicated TTIS traversal here.
+    RankOutput {
+        lds: (mode == ExecMode::Full).then_some(lds),
+        iterations,
+    }
 }
 
 #[cfg(test)]

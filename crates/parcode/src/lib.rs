@@ -6,14 +6,19 @@
 //! skeleton on the in-process cluster substrate, and a C/MPI source emitter
 //! mirroring the code the paper's tool generated.
 
+pub mod compiled;
 pub mod emitter;
 pub mod emitter_full;
 pub mod executor;
 pub mod plan;
 pub mod seqtiled;
 
+pub use compiled::CompiledChain;
 pub use emitter::emit_c_mpi;
 pub use emitter_full::{emit_c_program, KernelSource};
-pub use executor::{execute, execute_opts, execute_with, ExecMode, ExecutionResult, RankOutput};
+pub use executor::{
+    execute, execute_opts, execute_strategy, execute_with, ExecMode, ExecStrategy, ExecutionResult,
+    RankOutput,
+};
 pub use plan::{unrolled_of, ParallelPlan};
 pub use seqtiled::execute_tiled_sequential;

@@ -6,6 +6,8 @@
 //! functions (Tables 1–2) that translate between the original iteration
 //! space `J^n` and per-processor Local Data Spaces.
 
+use crate::compiled::CompiledChain;
+use std::collections::BTreeMap;
 use tilecc_linalg::IMat;
 use tilecc_loopnest::Algorithm;
 use tilecc_tiling::{
@@ -23,6 +25,9 @@ pub struct ParallelPlan {
     /// Lattice-point count of each processor dependence's pack region
     /// (message length in values; constant across tiles).
     pub region_counts: Vec<usize>,
+    /// Flat-index execution tables, one per distinct chain length (LDS
+    /// extents — hence cell weights — depend on the chain length).
+    compiled: BTreeMap<i64, CompiledChain>,
 }
 
 impl ParallelPlan {
@@ -42,15 +47,23 @@ impl ParallelPlan {
         let dist = Distribution::new(&tiled, m);
         let comm = CommPlan::new(&tiled, algorithm.nest.deps(), dist.m);
         let geo = LdsGeometry::new(tiled.transform(), &comm);
-        let t = tiled.transform();
-        let region_counts = comm
-            .proc_deps
-            .iter()
-            .map(|dm| {
-                let lo = comm.region_lo(dm, t.v());
-                t.lattice().points_in_box(&lo, t.v()).count()
-            })
-            .collect();
+        let ds_weights = {
+            let (lo, hi) = algorithm.nest.bounding_box();
+            let extents: Vec<i64> = lo.iter().zip(&hi).map(|(&l, &h)| h - l + 1).collect();
+            LdsGeometry::weights(&extents)
+        };
+        let mut compiled = BTreeMap::new();
+        for &(lo_t, hi_t) in &dist.chains {
+            let nt = hi_t - lo_t + 1;
+            compiled
+                .entry(nt)
+                .or_insert_with(|| CompiledChain::new(&tiled, &comm, &geo, &ds_weights, nt));
+        }
+        let region_counts = compiled
+            .values()
+            .next()
+            .expect("a distribution always has at least one chain")
+            .pack_counts();
         Ok(ParallelPlan {
             algorithm,
             tiled,
@@ -58,7 +71,18 @@ impl ParallelPlan {
             comm,
             geo,
             region_counts,
+            compiled,
         })
+    }
+
+    /// The flat-index execution table for a chain of `num_tiles` tiles.
+    ///
+    /// # Panics
+    /// Panics if no rank of this plan runs a chain of that length.
+    pub fn compiled_for(&self, num_tiles: i64) -> &CompiledChain {
+        self.compiled
+            .get(&num_tiles)
+            .expect("no compiled chain for this length")
     }
 
     /// Loop-nest dimension `n`.

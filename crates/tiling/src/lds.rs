@@ -80,6 +80,31 @@ impl LdsGeometry {
             .collect()
     }
 
+    /// Signed flat (row-major) cell index of the unrolled local coordinate
+    /// `g` under the per-dimension `weights`, with **no range checks**: each
+    /// dimension's address may be negative or beyond its extent. This is the
+    /// compile-time lowering primitive of the flat-index execution path —
+    /// for any two coordinates whose per-dimension addresses are in range,
+    /// the *difference* of their signed flat indices is their true cell
+    /// distance, so relative offsets computed here are exact wherever the
+    /// checked [`Lds::index_of`] would succeed.
+    pub fn flat_cell_signed(&self, g: &[i64], weights: &[i64]) -> i64 {
+        (0..self.dim())
+            .map(|k| (div_floor(g[k], self.c[k]) + self.off[k]) * weights[k])
+            .sum()
+    }
+
+    /// Row-major cell weights for the given per-dimension extents
+    /// (`weights[n−1] = 1`, `weights[k] = weights[k+1] · extents[k+1]`).
+    pub fn weights(extents: &[i64]) -> Vec<i64> {
+        let n = extents.len();
+        let mut w = vec![1i64; n];
+        for k in (0..n.saturating_sub(1)).rev() {
+            w[k] = w[k + 1] * extents[k + 1];
+        }
+        w
+    }
+
     /// Inverse of [`LdsGeometry::addr`] for a processor anchored at `a`
     /// (full `n`-dim tile coordinates of its first tile): reconstructs `g`
     /// from the address by forward substitution of the lattice residues.
@@ -230,6 +255,27 @@ impl Lds {
         g[self.geo.m] += t * self.geo.v[self.geo.m];
         g
     }
+
+    /// Per-dimension address extents of this allocation.
+    #[inline]
+    pub fn extents(&self) -> &[i64] {
+        &self.extents
+    }
+
+    /// The raw value storage, `width` consecutive `f64`s per cell in
+    /// row-major cell order — the flat-index execution path reads and
+    /// writes cells directly by linear index instead of re-deriving
+    /// per-dimension addresses point by point.
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable access to the raw value storage (see [`Lds::values`]).
+    #[inline]
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
 }
 
 /// Convenience: the halo-region extent check `off_k ≥ ⌈maxd_k / c_k⌉` used
@@ -352,6 +398,22 @@ mod tests {
                         lds.index_of(&g).is_some(),
                         "read target outside LDS: t={chain_t} jp={jp:?} d={d:?}"
                     );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flat_cell_signed_matches_index_of_in_range() {
+        for h in [rect_h(4, 4, 4), nr_h(4, 4, 4), nr_h(2, 3, 4)] {
+            let (t, geo, _plan) = setup(h, 2);
+            let lds = Lds::new(geo.clone(), vec![0, 0, 0], 3);
+            let weights = LdsGeometry::weights(lds.extents());
+            for chain_t in 0..3i64 {
+                for jp in t.ttis_points() {
+                    let g = lds.unrolled(chain_t, &jp);
+                    let checked = lds.index_of(&g).expect("owned point addressable");
+                    assert_eq!(geo.flat_cell_signed(&g, &weights), checked as i64);
                 }
             }
         }

@@ -11,6 +11,7 @@
 
 use crate::transform::TilingTransform;
 use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
 use tilecc_linalg::IMat;
 use tilecc_polytope::{Constraint, LoopNestBounds, Polyhedron};
 
@@ -24,6 +25,10 @@ pub struct TiledSpace {
     space_bounds: LoopNestBounds,
     /// Number of TTIS lattice points of a full (interior) tile.
     full_tile_volume: usize,
+    /// Number of [`TiledSpace::tile_iterations`] traversals started — the
+    /// per-tile TTIS walks the compiled execution path exists to avoid.
+    /// Observable via [`TiledSpace::traversal_count`] for regression tests.
+    traversals: AtomicU64,
 }
 
 impl TiledSpace {
@@ -70,6 +75,7 @@ impl TiledSpace {
             tile_bounds,
             space_bounds,
             full_tile_volume,
+            traversals: AtomicU64::new(0),
         }
     }
 
@@ -111,15 +117,20 @@ impl TiledSpace {
         self.tile_bounds.points()
     }
 
-    /// True iff tile `tile` lies entirely inside `J^n`: all `2ⁿ` rational
-    /// corners of the tile parallelepiped are inside, which suffices by
-    /// convexity. Interior tiles need no per-point boundary clamping.
-    pub fn tile_is_interior(&self, tile: &[i64]) -> bool {
+    /// True iff all `2ⁿ` rational corners of the tile parallelepiped,
+    /// shifted by `-shift`, lie inside `J^n` — which suffices for the whole
+    /// shifted tile by convexity.
+    fn shifted_corners_in_space(&self, tile: &[i64], shift: Option<&[i64]>) -> bool {
         use tilecc_linalg::Rational;
         let t = &self.transform;
         let n = self.dim();
         let p = t.p();
-        let base = p.mul_ivec(tile);
+        let mut base = p.mul_ivec(tile);
+        if let Some(d) = shift {
+            for k in 0..n {
+                base[k] = base[k] - Rational::from_int(d[k]);
+            }
+        }
         // Corner offsets: P'·corner with corner_k ∈ {0, v_k}. P'·(V·e_k·…)
         // column combinations: corner = Σ_k choice_k · v_k · P'_col_k = Σ_k
         // choice_k · P_col_k (since P'V = ... P = P'·V columnwise: P e_k =
@@ -140,6 +151,35 @@ impl TiledSpace {
         true
     }
 
+    /// True iff tile `tile` lies entirely inside `J^n`. Interior tiles need
+    /// no per-point boundary clamping.
+    pub fn tile_is_interior(&self, tile: &[i64]) -> bool {
+        self.shifted_corners_in_space(tile, None)
+    }
+
+    /// The stronger interiority used by the compiled compute fast path: the
+    /// tile is interior *and* every dependence source `j − d` of every tile
+    /// point is also inside `J^n` (checked on the corners of the tile
+    /// parallelepiped shifted by `−d`, which suffices by convexity). Such
+    /// tiles run with zero membership tests: every read resolves to an LDS
+    /// cell, never to the kernel's boundary value.
+    pub fn tile_is_compute_interior(&self, tile: &[i64], deps: &IMat) -> bool {
+        if !self.tile_is_interior(tile) {
+            return false;
+        }
+        (0..deps.cols()).all(|q| {
+            let d = deps.col(q);
+            self.shifted_corners_in_space(tile, Some(&d))
+        })
+    }
+
+    /// Number of [`TiledSpace::tile_iterations`] walks started so far on
+    /// this space (across all threads). The compiled execution path keeps
+    /// this flat: interior tiles never traverse.
+    pub fn traversal_count(&self) -> u64 {
+        self.traversals.load(Ordering::Relaxed)
+    }
+
     /// Enumerate the iterations of tile `tile` (TTIS lattice points whose
     /// global iteration lies in `J^n`), as `(j', j)` pairs in strided loop
     /// order. Boundary tiles are clamped by the original iteration-space
@@ -149,6 +189,7 @@ impl TiledSpace {
         &'a self,
         tile: &[i64],
     ) -> impl Iterator<Item = (Vec<i64>, Vec<i64>)> + 'a {
+        self.traversals.fetch_add(1, Ordering::Relaxed);
         let t = &self.transform;
         let lo = vec![0i64; self.dim()];
         let interior = self.tile_is_interior(tile);
