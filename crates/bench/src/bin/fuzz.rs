@@ -16,12 +16,11 @@
 //! pairing — see DESIGN.md).
 
 use std::sync::Arc;
-use tilecc_cluster::{EngineOptions, FaultPlan, MachineModel};
+use tilecc_cluster::{Counter, EngineOptions, FaultPlan, MachineModel, MetricsRegistry};
 use tilecc_linalg::{IMat, RMat, Rational};
 use tilecc_loopnest::{Algorithm, Kernel, LoopNest};
 use tilecc_parcode::{
-    execute, execute_opts, execute_strategy, execute_tiled_sequential, ExecMode, ExecStrategy,
-    ParallelPlan,
+    execute_opts, execute_strategy, execute_tiled_sequential, ExecMode, ExecStrategy, ParallelPlan,
 };
 use tilecc_polytope::{Constraint, Polyhedron};
 use tilecc_tiling::{tiling_cone_rays, TilingTransform};
@@ -187,11 +186,25 @@ fn main() {
         if seq.diff(&ts).is_some() {
             fail(seed, case, "tiled sequential reordering mismatch");
         }
-        let res = execute(
+        // The compiled run records observability metrics so conservation
+        // invariants can be checked below.
+        let reg_c = MetricsRegistry::new();
+        let res = match execute_strategy(
             plan.clone(),
             MachineModel::fast_ethernet_p3(),
             ExecMode::Full,
-        );
+            ExecStrategy::Compiled,
+            EngineOptions {
+                obs: Some(reg_c.clone()),
+                ..EngineOptions::default()
+            },
+        ) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("  compiled-strategy run failed: {e}");
+                fail(seed, case, "compiled strategy failed");
+            }
+        };
         if let Some(bad) = seq.diff(res.data.as_ref().unwrap()) {
             eprintln!("  MISMATCH at {bad:?}");
             let tf = plan.tiled.transform();
@@ -216,12 +229,16 @@ fn main() {
         // Compiled vs reference strategy: `execute` above ran the compiled
         // (default) path; the per-point reference path must agree bitwise
         // with identical virtual time and traffic.
+        let reg_r = MetricsRegistry::new();
         let reference = match execute_strategy(
             plan.clone(),
             MachineModel::fast_ethernet_p3(),
             ExecMode::Full,
             ExecStrategy::Reference,
-            EngineOptions::default(),
+            EngineOptions {
+                obs: Some(reg_r.clone()),
+                ..EngineOptions::default()
+            },
         ) {
             Ok(r) => r,
             Err(e) => {
@@ -249,12 +266,67 @@ fn main() {
         if res.report.total_bytes() != reference.report.total_bytes() {
             fail(seed, case, "compiled/reference traffic mismatch");
         }
+        // Metrics conservation: in a fault-free run every message sent is
+        // received exactly once, byte-for-byte, and no fault or reliability
+        // counters fire.
+        let rep_c = reg_c.run_report(&res.report.local_times);
+        let rep_r = reg_r.run_report(&reference.report.local_times);
+        for rep in [&rep_c, &rep_r] {
+            if rep.total(Counter::MessagesSent) != rep.total(Counter::MessagesReceived) {
+                fail(seed, case, "fault-free sends != receives");
+            }
+            if rep.total(Counter::BytesSent) != rep.total(Counter::BytesReceived) {
+                fail(seed, case, "fault-free bytes sent != bytes received");
+            }
+            if rep.total(Counter::Retransmits) != 0
+                || rep.total(Counter::DupsSuppressed) != 0
+                || rep.total(Counter::FaultDrops) != 0
+            {
+                fail(seed, case, "fault counters fired in a fault-free run");
+            }
+        }
+        if rep_c.total(Counter::MessagesSent) != res.report.total_messages()
+            || rep_c.total(Counter::BytesSent) != res.report.total_bytes()
+        {
+            fail(seed, case, "metrics registry disagrees with engine report");
+        }
+        // Both strategies must report identical logical counters; only the
+        // dispatch counters tell them apart.
+        for c in [
+            Counter::MessagesSent,
+            Counter::BytesSent,
+            Counter::MessagesReceived,
+            Counter::BytesReceived,
+            Counter::Tiles,
+            Counter::InteriorTiles,
+            Counter::BoundaryTiles,
+            Counter::Iterations,
+        ] {
+            if rep_c.total(c) != rep_r.total(c) {
+                eprintln!(
+                    "  counter {}: compiled {} reference {}",
+                    c.name(),
+                    rep_c.total(c),
+                    rep_r.total(c)
+                );
+                fail(seed, case, "compiled/reference logical counter mismatch");
+            }
+        }
+        if rep_c.total(Counter::CompiledDispatches) != rep_c.total(Counter::Tiles)
+            || rep_c.total(Counter::ReferenceDispatches) != 0
+            || rep_r.total(Counter::ReferenceDispatches) != rep_r.total(Counter::Tiles)
+            || rep_r.total(Counter::CompiledDispatches) != 0
+        {
+            fail(seed, case, "dispatch counters do not match the strategy");
+        }
         if faults {
             // Re-run the case over a chaotic substrate seeded per-case: the
             // reliability layer must reproduce the fault-free data bitwise.
             let fault_seed = seed ^ case.wrapping_mul(0x9E37_79B9);
+            let reg_f = MetricsRegistry::new();
             let options = EngineOptions {
                 fault: Some(FaultPlan::chaos(fault_seed, 0.3)),
+                obs: Some(reg_f.clone()),
                 ..EngineOptions::default()
             };
             let faulty = match execute_opts(
@@ -275,6 +347,35 @@ fn main() {
             }
             if faulty.report.total_messages() > 20 && faulty.report.total_retransmissions() == 0 {
                 fail(seed, case, "30% drop rate produced no retransmissions");
+            }
+            // Faulty conservation: the reliability layer delivers exactly
+            // once (receives == sends — drops are retried before counting,
+            // duplicates are suppressed before counting), every dropped
+            // attempt shows up as a retransmission, and suppressions never
+            // exceed injected duplicates.
+            let rep_f = reg_f.run_report(&faulty.report.local_times);
+            if rep_f.total(Counter::MessagesSent) != rep_f.total(Counter::MessagesReceived) {
+                fail(seed, case, "faulty run broke exactly-once delivery");
+            }
+            if rep_f.total(Counter::BytesSent) != rep_f.total(Counter::BytesReceived) {
+                fail(seed, case, "faulty run lost or invented bytes");
+            }
+            if rep_f.total(Counter::Retransmits) != rep_f.total(Counter::FaultDrops) {
+                fail(seed, case, "retransmissions != injected drops");
+            }
+            if rep_f.total(Counter::DupsSuppressed) > rep_f.total(Counter::FaultDups) {
+                fail(seed, case, "suppressed more duplicates than were injected");
+            }
+            // Faults perturb timing, never the logical workload.
+            for c in [
+                Counter::MessagesSent,
+                Counter::BytesSent,
+                Counter::Tiles,
+                Counter::Iterations,
+            ] {
+                if rep_f.total(c) != rep_c.total(c) {
+                    fail(seed, case, "faults changed the logical workload counters");
+                }
             }
         }
     }

@@ -15,8 +15,10 @@
 //! a thin wrapper.
 
 use std::fmt::Write as _;
+use std::sync::Arc;
 use tilecc::Pipeline;
-use tilecc_cluster::{CommScheme, EngineOptions, FaultPlan, MachineModel};
+use tilecc_cluster::obs::json::Json;
+use tilecc_cluster::{CommScheme, EngineOptions, FaultPlan, MachineModel, MetricsRegistry, Phase};
 use tilecc_frontend::{compile, lower, parse, Program};
 use tilecc_linalg::{RMat, Rational};
 use tilecc_loopnest::Algorithm;
@@ -52,6 +54,10 @@ struct Options {
     /// Rank to crash, with an optional `rank@time` virtual crash time
     /// (`--crash-rank`).
     crash: Option<(usize, f64)>,
+    /// Write a Chrome trace-event JSON here (`--trace-out`).
+    trace_out: Option<String>,
+    /// Write the aggregated metrics JSON here (`--metrics-out`).
+    metrics_out: Option<String>,
 }
 
 impl Options {
@@ -160,6 +166,8 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
         fault_seed: None,
         drop_rate: None,
         crash: None,
+        trace_out: None,
+        metrics_out: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -230,6 +238,20 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
                 o.crash = Some(parse_crash_spec(v)?);
                 i += 2;
             }
+            "--trace-out" => {
+                let v = args
+                    .get(i + 1)
+                    .ok_or(CliError("--trace-out needs a file path".into()))?;
+                o.trace_out = Some(v.clone());
+                i += 2;
+            }
+            "--metrics-out" => {
+                let v = args
+                    .get(i + 1)
+                    .ok_or(CliError("--metrics-out needs a file path".into()))?;
+                o.metrics_out = Some(v.clone());
+                i += 2;
+            }
             other => return err(format!("unknown option `{other}`")),
         }
     }
@@ -286,6 +308,89 @@ fn kernel_source(program: &Program) -> tilecc_parcode::KernelSource {
     }
 }
 
+/// Render a saved `tilecc-metrics-v1` JSON file (written by
+/// `--metrics-out`) as the textual run summary.
+fn render_saved_metrics(path: &str) -> Result<String, CliError> {
+    let src = std::fs::read_to_string(path)
+        .map_err(|e| CliError(format!("cannot read `{path}`: {e}")))?;
+    let j = tilecc_cluster::obs::json::parse(&src).map_err(|e| CliError(format!("{path}: {e}")))?;
+    let schema = j.get("schema").and_then(Json::as_str);
+    if schema != Some("tilecc-metrics-v1") {
+        return err(format!(
+            "{path}: unsupported metrics schema {schema:?} (expected \"tilecc-metrics-v1\")"
+        ));
+    }
+    let makespan = j
+        .get("makespan")
+        .and_then(Json::as_f64)
+        .ok_or_else(|| CliError(format!("{path}: missing makespan")))?;
+    let ranks = j
+        .get("ranks")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| CliError(format!("{path}: missing ranks")))?;
+    let field = |r: &Json, k: &str| r.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+    let counter = |r: &Json, k: &str| {
+        r.get("counters")
+            .and_then(|c| c.get(k))
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+    };
+    let mut out = String::new();
+    let n = ranks.len();
+    let _ = writeln!(
+        out,
+        "run report: {n} rank{}, makespan {makespan:.6} s",
+        if n == 1 { "" } else { "s" }
+    );
+    let (mut tc, mut tw, mut tm, mut tt) = (0.0, 0.0, 0.0, 0.0);
+    for r in ranks {
+        tc += field(r, "compute");
+        tw += field(r, "wait");
+        tm += field(r, "comm");
+        tt += field(r, "local_time");
+    }
+    if tt > 0.0 {
+        let _ = writeln!(
+            out,
+            "  split      : compute {:.1}%  wait {:.1}%  comm {:.1}%  (of total rank time)",
+            100.0 * tc / tt,
+            100.0 * tw / tt,
+            100.0 * tm / tt
+        );
+    }
+    let total = |k: &str| ranks.iter().map(|r| counter(r, k)).sum::<u64>();
+    let _ = writeln!(
+        out,
+        "  traffic    : {} messages, {} bytes on the wire, {} retransmits, {} dups suppressed",
+        total("messages_sent"),
+        total("bytes_sent"),
+        total("retransmits"),
+        total("dups_suppressed"),
+    );
+    let _ = writeln!(
+        out,
+        "  tiles      : {} ({} interior, {} boundary), {} iterations",
+        total("tiles"),
+        total("interior_tiles"),
+        total("boundary_tiles"),
+        total("iterations"),
+    );
+    for r in ranks {
+        let local = field(r, "local_time");
+        let _ = writeln!(
+            out,
+            "  rank {:>3}   : {:.6} s  compute {:.6}  wait {:.6}  comm {:.6}  util {:>5.1}%",
+            r.get("rank").and_then(Json::as_u64).unwrap_or(0),
+            local,
+            field(r, "compute"),
+            field(r, "wait"),
+            field(r, "comm"),
+            100.0 * field(r, "utilization"),
+        );
+    }
+    Ok(out)
+}
+
 fn fmt_matrix(m: &RMat) -> String {
     let mut s = String::new();
     for i in 0..m.rows() {
@@ -304,6 +409,7 @@ commands:
   run   <file> --tile|--rect simulate on the modelled cluster
   emit  <file> --tile|--rect emit a complete C/MPI program to stdout
   emit-skeleton <file> …      emit the paper-style code skeleton only
+  report <metrics.json>       render a saved metrics file as a summary
 
 options:
   --tile \"r11,r12;r21,r22\"   tiling matrix H (rows `;`, entries `,`, a/b)
@@ -317,6 +423,10 @@ options:
                               the reliability layer retransmits (run)
   --crash-rank <r[@t]>        crash rank r at virtual time t (default 0) to
                               exercise failure reporting (run)
+  --trace-out <file>          write a Chrome trace-event JSON of the run,
+                              loadable in Perfetto / chrome://tracing (run)
+  --metrics-out <file>        write the aggregated per-rank metrics JSON
+                              (tilecc-metrics-v1; see `tilecc report`) (run)
 ";
 
 /// Run the CLI. Returns the output text; errors carry user messages.
@@ -352,10 +462,23 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
             }
             Ok(out)
         }
+        "report" => {
+            let path = args.get(1).ok_or(CliError(USAGE.into()))?;
+            out.push_str(&render_saved_metrics(path)?);
+            Ok(out)
+        }
         "plan" | "run" | "emit" | "emit-skeleton" => {
             let path = args.get(1).ok_or(CliError(USAGE.into()))?;
             let opts = parse_options(&args[2..])?;
+            // One registry per invocation when an artifact was requested;
+            // the frontend, planner and engine all record into it.
+            let reg: Option<Arc<MetricsRegistry>> =
+                (opts.trace_out.is_some() || opts.metrics_out.is_some()).then(MetricsRegistry::new);
+            let lower_t0 = reg.as_ref().map(|r| r.now_ns());
             let alg = load(path)?;
+            if let (Some(r), Some(t0)) = (&reg, lower_t0) {
+                r.driver_span(Phase::Lower, "lower", t0, alg.nest.num_points() as u64);
+            }
             let h = opts
                 .tile
                 .clone()
@@ -368,7 +491,9 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
                     alg.nest.dim()
                 ));
             }
-            let pipe = Pipeline::compile(alg, h, opts.map)
+            let transform = tilecc_tiling::TilingTransform::new(h)
+                .map_err(|e| CliError(format!("tiling rejected: {e}")))?;
+            let pipe = Pipeline::compile_observed(alg, transform, opts.map, reg.as_deref())
                 .map_err(|e| CliError(format!("tiling rejected: {e}")))?;
             match cmd.as_str() {
                 "plan" => {
@@ -396,14 +521,15 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
                         CommScheme::Blocking
                     };
                     let fault = opts.fault_plan();
+                    let options = EngineOptions {
+                        scheme,
+                        fault: fault.clone(),
+                        obs: reg.clone(),
+                        ..EngineOptions::default()
+                    };
                     let summary = if opts.verify || fault.is_some() {
                         // Fault-injected runs go through the fallible engine
                         // entry point so failures carry rank-level context.
-                        let options = EngineOptions {
-                            scheme,
-                            fault,
-                            ..EngineOptions::default()
-                        };
                         let (s, _) = pipe.run_verified_opts(opts.model, options).map_err(|e| {
                             CliError(format!(
                                 "run failed: {e}\nranks implicated: {:?}",
@@ -411,6 +537,13 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
                             ))
                         })?;
                         s
+                    } else if reg.is_some() {
+                        pipe.simulate_opts(opts.model, options).map_err(|e| {
+                            CliError(format!(
+                                "run failed: {e}\nranks implicated: {:?}",
+                                e.ranks()
+                            ))
+                        })?
                     } else {
                         pipe.simulate_with(opts.model, scheme)
                     };
@@ -430,6 +563,23 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
                         if !v {
                             return err("verification FAILED: parallel result differs");
                         }
+                    }
+                    if let Some(reg) = &reg {
+                        let report = reg.run_report(&summary.local_times);
+                        if let Some(path) = &opts.trace_out {
+                            std::fs::write(path, reg.chrome_trace()).map_err(|e| {
+                                CliError(format!("cannot write trace to `{path}`: {e}"))
+                            })?;
+                            let _ = writeln!(out, "trace      : {path}");
+                        }
+                        if let Some(path) = &opts.metrics_out {
+                            std::fs::write(path, report.to_json()).map_err(|e| {
+                                CliError(format!("cannot write metrics to `{path}`: {e}"))
+                            })?;
+                            let _ = writeln!(out, "metrics    : {path}");
+                        }
+                        out.push('\n');
+                        out.push_str(&report.render());
                     }
                     Ok(out)
                 }
@@ -584,6 +734,51 @@ boundary = 0.25
             .parse()
             .unwrap();
         assert!(n > 0, "a 25% drop rate must force retransmissions\n{out}");
+    }
+
+    #[test]
+    fn observed_run_writes_artifacts_and_report_reads_them_back() {
+        let p = write_nest(ADI_SRC);
+        let trace = write_nest("");
+        let metrics = write_nest("");
+        let out = run_cli(&args(&[
+            "run",
+            p.to_str(),
+            "--rect",
+            "2,4,4",
+            "--map",
+            "0",
+            "--verify",
+            "--trace-out",
+            trace.to_str(),
+            "--metrics-out",
+            metrics.to_str(),
+        ]))
+        .unwrap();
+        assert!(out.contains("verified   : true"), "{out}");
+        assert!(out.contains("trace      :"), "{out}");
+        assert!(out.contains("run report"), "{out}");
+
+        // The trace must be valid JSON with Chrome trace-event structure.
+        let trace_txt = std::fs::read_to_string(trace.to_str()).unwrap();
+        let doc = tilecc_cluster::obs::json::parse(&trace_txt).unwrap();
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        assert!(!events.is_empty());
+        assert!(events
+            .iter()
+            .any(|e| e.get("ph").and_then(Json::as_str) == Some("X")));
+
+        // The metrics file round-trips through the `report` subcommand.
+        let rendered = run_cli(&args(&["report", metrics.to_str()])).unwrap();
+        assert!(rendered.contains("run report"), "{rendered}");
+        assert!(rendered.contains("rank"), "{rendered}");
+    }
+
+    #[test]
+    fn report_rejects_non_metrics_files() {
+        let bogus = write_nest("{\"schema\": \"other\"}");
+        let e = run_cli(&args(&["report", bogus.to_str()])).unwrap_err();
+        assert!(e.0.contains("schema"), "{e}");
     }
 
     #[test]

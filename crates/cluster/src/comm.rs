@@ -17,6 +17,7 @@
 
 use crate::error::CommError;
 use crate::model::MachineModel;
+use crate::obs::RankObs;
 
 /// A message in flight: payload, matching tag, the virtual time it becomes
 /// available at the receiver, and a per-link sequence number.
@@ -33,6 +34,9 @@ pub struct Envelope {
     /// layer: receivers suppress duplicates and re-sequence out-of-order
     /// arrivals by it, restoring exact FIFO semantics over faulty links.
     pub seq: u64,
+    /// Nominal (modelled) message size, carried so the receiver can account
+    /// bytes even in timing-only runs where the payload is elided.
+    pub bytes: usize,
 }
 
 /// Per-process communication statistics.
@@ -144,6 +148,14 @@ pub trait Comm {
 
     /// Statistics accumulated so far.
     fn stats(&self) -> CommStats;
+
+    /// Per-rank observability handle, when the engine was run with a
+    /// [`crate::obs::MetricsRegistry`] attached. Generated programs use this
+    /// to record phase spans and tile-level counters; the default is `None`
+    /// so plain implementations stay observability-free.
+    fn obs(&mut self) -> Option<&mut RankObs> {
+        None
+    }
 }
 
 #[cfg(test)]
@@ -157,12 +169,14 @@ mod tests {
             tag: 7,
             ready_at: 3.5,
             seq: 9,
+            bytes: 16,
         };
         let f = e.clone();
         assert_eq!(f.payload, vec![1.0, 2.0]);
         assert_eq!(f.tag, 7);
         assert_eq!(f.ready_at, 3.5);
         assert_eq!(f.seq, 9);
+        assert_eq!(f.bytes, 16);
     }
 
     #[test]

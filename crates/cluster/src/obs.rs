@@ -1,0 +1,1330 @@
+//! Cluster-wide observability: structured span tracing, a per-rank metrics
+//! registry, and Chrome-trace/Perfetto export.
+//!
+//! The virtual-time [`crate::trace`] module answers *"what does the modelled
+//! machine do?"*; this module answers *"where do the ranks actually spend
+//! their time?"* — and makes both inspectable outside the process:
+//!
+//! * [`MetricsRegistry`] — one lock-free slot of atomic counters, gauges and
+//!   fixed-bucket histograms per rank, shared by `Arc` between the engine,
+//!   the executor and the driver. Ranks never contend: each rank thread is
+//!   the only writer of its own slot.
+//! * [`Span`]s — structured phase intervals (lower, plan, compile-chain,
+//!   compute, pack, send, recv, unpack, gather) carrying **both** wall-clock
+//!   nanoseconds (from a shared epoch) and the engine's virtual-clock
+//!   timestamps. Rank threads buffer spans locally and flush once at exit.
+//! * [`MetricsRegistry::chrome_trace`] — trace-event JSON loadable in
+//!   `chrome://tracing` / Perfetto: one pid per rank (rank *r* is pid
+//!   `r + 1`; pid 0 is the driver/compiler), one tid lane per phase kind.
+//! * [`RunReport`] — the per-rank compute/wait/comm split (which sums to
+//!   each rank's virtual makespan exactly), utilization, traffic and tile
+//!   counters, serialized with the same hand-rolled JSON style as the bench
+//!   artifacts, plus a human-readable text rendering.
+//!
+//! Observability is strictly opt-in: with `EngineOptions::obs == None` the
+//! engine and executor only ever test an `Option` that is `None`, so the
+//! hot paths are unchanged (see `perf --obs-overhead`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// The pid used for driver/compiler-side spans in the Chrome trace; rank
+/// `r`'s spans live on pid `r + 1`.
+pub const DRIVER_PID: u32 = 0;
+
+/// Span taxonomy: one variant per pipeline phase.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Phase {
+    /// Frontend: source text → loop-nest model.
+    Lower,
+    /// Plan construction: validation, HNF/FM tiled space, distribution,
+    /// communication plan, LDS geometry.
+    Plan,
+    /// `CompiledChain` lowering (flat-index execution tables).
+    CompileChain,
+    /// A tile's kernel loop on a rank.
+    Compute,
+    /// Packing a communication region into a message payload.
+    Pack,
+    /// Message injection (engine-side).
+    Send,
+    /// Blocking receive (engine-side).
+    Recv,
+    /// Unpacking a received payload into the LDS.
+    Unpack,
+    /// Writing a rank's LDS back into the global data space (driver-side).
+    Gather,
+}
+
+impl Phase {
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Lower => "lower",
+            Phase::Plan => "plan",
+            Phase::CompileChain => "compile-chain",
+            Phase::Compute => "compute",
+            Phase::Pack => "pack",
+            Phase::Send => "send",
+            Phase::Recv => "recv",
+            Phase::Unpack => "unpack",
+            Phase::Gather => "gather",
+        }
+    }
+
+    /// The tid lane this phase renders on within its pid.
+    pub fn lane(self) -> u32 {
+        match self {
+            Phase::Compute => 0,
+            Phase::Recv => 1,
+            Phase::Send => 2,
+            Phase::Pack => 3,
+            Phase::Unpack => 4,
+            // Driver-side lanes (pid 0).
+            Phase::Lower => 0,
+            Phase::Plan => 1,
+            Phase::CompileChain => 2,
+            Phase::Gather => 3,
+        }
+    }
+}
+
+/// One traced interval. `virt` is the engine's virtual-clock interval in
+/// seconds (absent for driver-side spans, which have no virtual clock).
+#[derive(Clone, Debug)]
+pub struct Span {
+    pub phase: Phase,
+    /// Event name (defaults to the phase name; driver spans may refine it,
+    /// e.g. `"fourier-motzkin"` under [`Phase::Plan`]).
+    pub name: &'static str,
+    /// Chrome-trace pid: [`DRIVER_PID`] or `rank + 1`.
+    pub pid: u32,
+    /// Wall-clock interval in nanoseconds since the registry epoch.
+    pub wall_start_ns: u64,
+    pub wall_end_ns: u64,
+    /// Virtual-clock interval in seconds, when the span ran under the
+    /// engine's virtual clock.
+    pub virt: Option<(f64, f64)>,
+    /// Phase-specific magnitude: iterations for compute, bytes for
+    /// pack/send/recv/unpack, rank for gather, 0 otherwise.
+    pub detail: u64,
+}
+
+/// Monotonically named counters, one cell per rank. Plain `u64` adds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Counter {
+    MessagesSent,
+    BytesSent,
+    MessagesReceived,
+    BytesReceived,
+    /// Transmission attempts repeated by the reliability layer.
+    Retransmits,
+    /// Envelopes discarded by receiver-side duplicate suppression.
+    DupsSuppressed,
+    /// Fault-plan decisions that fired, by kind.
+    FaultDrops,
+    FaultDups,
+    FaultReorders,
+    FaultDelays,
+    /// Tiles executed, split into dense-interior and boundary-clamped.
+    Tiles,
+    InteriorTiles,
+    BoundaryTiles,
+    /// Loop iterations executed.
+    Iterations,
+    /// Tiles dispatched through the compiled flat-index path vs the
+    /// per-point reference path.
+    CompiledDispatches,
+    ReferenceDispatches,
+}
+
+impl Counter {
+    pub const COUNT: usize = 16;
+    pub const ALL: [Counter; Counter::COUNT] = [
+        Counter::MessagesSent,
+        Counter::BytesSent,
+        Counter::MessagesReceived,
+        Counter::BytesReceived,
+        Counter::Retransmits,
+        Counter::DupsSuppressed,
+        Counter::FaultDrops,
+        Counter::FaultDups,
+        Counter::FaultReorders,
+        Counter::FaultDelays,
+        Counter::Tiles,
+        Counter::InteriorTiles,
+        Counter::BoundaryTiles,
+        Counter::Iterations,
+        Counter::CompiledDispatches,
+        Counter::ReferenceDispatches,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::MessagesSent => "messages_sent",
+            Counter::BytesSent => "bytes_sent",
+            Counter::MessagesReceived => "messages_received",
+            Counter::BytesReceived => "bytes_received",
+            Counter::Retransmits => "retransmits",
+            Counter::DupsSuppressed => "dups_suppressed",
+            Counter::FaultDrops => "fault_drops",
+            Counter::FaultDups => "fault_dups",
+            Counter::FaultReorders => "fault_reorders",
+            Counter::FaultDelays => "fault_delays",
+            Counter::Tiles => "tiles",
+            Counter::InteriorTiles => "interior_tiles",
+            Counter::BoundaryTiles => "boundary_tiles",
+            Counter::Iterations => "iterations",
+            Counter::CompiledDispatches => "compiled_dispatches",
+            Counter::ReferenceDispatches => "reference_dispatches",
+        }
+    }
+}
+
+/// Level gauges: current value plus high-water mark.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GaugeId {
+    /// Arrived-but-unmatched envelopes buffered by MPI-style tag matching.
+    PendingDepth,
+    /// Out-of-order arrivals awaiting re-sequencing.
+    ResequenceDepth,
+    /// Accepted sends not yet on the wire (reorder holdbacks).
+    OutstandingSends,
+}
+
+impl GaugeId {
+    pub const COUNT: usize = 3;
+    pub const ALL: [GaugeId; GaugeId::COUNT] = [
+        GaugeId::PendingDepth,
+        GaugeId::ResequenceDepth,
+        GaugeId::OutstandingSends,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            GaugeId::PendingDepth => "pending_depth",
+            GaugeId::ResequenceDepth => "resequence_depth",
+            GaugeId::OutstandingSends => "outstanding_sends",
+        }
+    }
+}
+
+/// Fixed-bucket wall-clock histograms (power-of-two nanosecond buckets).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HistId {
+    /// Wall nanoseconds per tile's kernel loop.
+    ComputeTileNs,
+    /// Wall nanoseconds blocked in a receive (including tag-mismatch
+    /// buffering of unrelated arrivals).
+    RecvWaitNs,
+    /// Wall nanoseconds packing one communication region.
+    PackNs,
+    /// Wall nanoseconds unpacking one payload.
+    UnpackNs,
+    /// Wall nanoseconds gathering one tile into the global data space.
+    GatherNs,
+}
+
+impl HistId {
+    pub const COUNT: usize = 5;
+    pub const ALL: [HistId; HistId::COUNT] = [
+        HistId::ComputeTileNs,
+        HistId::RecvWaitNs,
+        HistId::PackNs,
+        HistId::UnpackNs,
+        HistId::GatherNs,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            HistId::ComputeTileNs => "compute_tile_ns",
+            HistId::RecvWaitNs => "recv_wait_ns",
+            HistId::PackNs => "pack_ns",
+            HistId::UnpackNs => "unpack_ns",
+            HistId::GatherNs => "gather_ns",
+        }
+    }
+}
+
+/// Virtual-time accumulators; together they partition a rank's final
+/// virtual clock exactly (see [`RunReport`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VirtAcc {
+    /// `advance_compute` charges.
+    Compute,
+    /// True data-dependence waiting in receives.
+    Wait,
+    /// Sender-side injection cost (zero under the overlapped scheme).
+    Send,
+    /// Receiver-side per-message overhead (zero under overlapped).
+    RecvOverhead,
+    /// Retransmission backoff + repeated injections.
+    Retrans,
+    /// Injected stalls.
+    Stall,
+}
+
+impl VirtAcc {
+    pub const COUNT: usize = 6;
+    pub const ALL: [VirtAcc; VirtAcc::COUNT] = [
+        VirtAcc::Compute,
+        VirtAcc::Wait,
+        VirtAcc::Send,
+        VirtAcc::RecvOverhead,
+        VirtAcc::Retrans,
+        VirtAcc::Stall,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            VirtAcc::Compute => "compute_virt",
+            VirtAcc::Wait => "wait_virt",
+            VirtAcc::Send => "send_virt",
+            VirtAcc::RecvOverhead => "recv_overhead_virt",
+            VirtAcc::Retrans => "retrans_virt",
+            VirtAcc::Stall => "stall_virt",
+        }
+    }
+}
+
+/// Number of power-of-two histogram buckets: bucket `i` counts values in
+/// `[2^i, 2^(i+1))` ns (bucket 0 also takes 0), the last bucket is
+/// unbounded (≥ ~67 ms).
+pub const HIST_BUCKETS: usize = 27;
+
+/// A fixed-bucket histogram with atomic cells.
+pub struct Histogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    fn new() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// The bucket index for a value: `floor(log2(v))` clamped to the range.
+    pub fn bucket_of(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            ((63 - v.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+        }
+    }
+
+    pub fn observe(&self, v: u64) {
+        self.buckets[Self::bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// `(bucket_lower_bound, count)` for every non-empty bucket.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let c = b.load(Ordering::Relaxed);
+                (c > 0).then_some((if i == 0 { 0 } else { 1u64 << i }, c))
+            })
+            .collect()
+    }
+}
+
+/// A level gauge: last set value and high-water mark.
+pub struct Gauge {
+    value: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Gauge {
+    fn new() -> Self {
+        Gauge {
+            value: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    pub fn value(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+}
+
+/// One rank's metrics slot. Counters and histograms are atomic so the slot
+/// can be shared by `Arc`, but by construction each rank thread is the only
+/// writer of its own slot — reads from the driver after the run race with
+/// nothing.
+pub struct RankMetrics {
+    counters: [AtomicU64; Counter::COUNT],
+    gauges: [Gauge; GaugeId::COUNT],
+    hists: [Histogram; HistId::COUNT],
+    /// f64 accumulators stored as bits; single-writer, so load-add-store is
+    /// race-free.
+    virt: [AtomicU64; VirtAcc::COUNT],
+}
+
+impl RankMetrics {
+    fn new() -> Self {
+        RankMetrics {
+            counters: std::array::from_fn(|_| AtomicU64::new(0)),
+            gauges: std::array::from_fn(|_| Gauge::new()),
+            hists: std::array::from_fn(|_| Histogram::new()),
+            virt: std::array::from_fn(|_| AtomicU64::new(0.0f64.to_bits())),
+        }
+    }
+
+    pub fn add(&self, c: Counter, v: u64) {
+        self.counters[c as usize].fetch_add(v, Ordering::Relaxed);
+    }
+
+    pub fn get(&self, c: Counter) -> u64 {
+        self.counters[c as usize].load(Ordering::Relaxed)
+    }
+
+    pub fn gauge(&self, g: GaugeId) -> &Gauge {
+        &self.gauges[g as usize]
+    }
+
+    pub fn hist(&self, h: HistId) -> &Histogram {
+        &self.hists[h as usize]
+    }
+
+    /// Accumulate virtual seconds. Only the owning rank thread may call
+    /// this (single-writer discipline).
+    pub fn virt_add(&self, a: VirtAcc, dv: f64) {
+        let cell = &self.virt[a as usize];
+        let cur = f64::from_bits(cell.load(Ordering::Relaxed));
+        cell.store((cur + dv).to_bits(), Ordering::Relaxed);
+    }
+
+    pub fn virt_get(&self, a: VirtAcc) -> f64 {
+        f64::from_bits(self.virt[a as usize].load(Ordering::Relaxed))
+    }
+}
+
+/// The shared observability session: per-rank metrics slots, the collected
+/// spans, and the wall-clock epoch every span timestamp is relative to.
+pub struct MetricsRegistry {
+    epoch: Instant,
+    ranks: Mutex<Vec<Arc<RankMetrics>>>,
+    spans: Mutex<Vec<Span>>,
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "MetricsRegistry({} ranks)", self.rank_count())
+    }
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        MetricsRegistry {
+            epoch: Instant::now(),
+            ranks: Mutex::new(Vec::new()),
+            spans: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Nanoseconds since the registry epoch.
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// The metrics slot for `rank`, growing the registry as needed.
+    pub fn rank_metrics(&self, rank: usize) -> Arc<RankMetrics> {
+        let mut ranks = self.ranks.lock().expect("obs registry poisoned");
+        while ranks.len() <= rank {
+            ranks.push(Arc::new(RankMetrics::new()));
+        }
+        ranks[rank].clone()
+    }
+
+    pub fn rank_count(&self) -> usize {
+        self.ranks.lock().expect("obs registry poisoned").len()
+    }
+
+    /// Snapshot of every rank slot.
+    pub fn ranks(&self) -> Vec<Arc<RankMetrics>> {
+        self.ranks.lock().expect("obs registry poisoned").clone()
+    }
+
+    /// Append a batch of rank spans (called by [`RankObs::flush`]).
+    pub fn push_spans(&self, spans: &mut Vec<Span>) {
+        if spans.is_empty() {
+            return;
+        }
+        self.spans
+            .lock()
+            .expect("obs registry poisoned")
+            .append(spans);
+    }
+
+    /// Record a driver-side span (no virtual clock) ending now.
+    pub fn driver_span(&self, phase: Phase, name: &'static str, wall_start_ns: u64, detail: u64) {
+        let span = Span {
+            phase,
+            name,
+            pid: DRIVER_PID,
+            wall_start_ns,
+            wall_end_ns: self.now_ns(),
+            virt: None,
+            detail,
+        };
+        self.spans.lock().expect("obs registry poisoned").push(span);
+    }
+
+    pub fn spans(&self) -> Vec<Span> {
+        self.spans.lock().expect("obs registry poisoned").clone()
+    }
+
+    /// Chrome trace-event JSON on the virtual clock (rank lanes use virtual
+    /// microseconds; driver lanes, which have no virtual clock, use wall).
+    pub fn chrome_trace(&self) -> String {
+        self.chrome_trace_with(ExportClock::Virtual)
+    }
+
+    /// Chrome trace-event JSON with an explicit timeline clock.
+    pub fn chrome_trace_with(&self, clock: ExportClock) -> String {
+        chrome_trace_json(&self.spans(), clock)
+    }
+
+    /// Build the aggregated [`RunReport`] for a finished run with the given
+    /// per-rank final virtual clocks.
+    pub fn run_report(&self, local_times: &[f64]) -> RunReport {
+        RunReport::from_registry(self, local_times)
+    }
+}
+
+/// Per-rank observability handle owned by the engine's communication
+/// endpoint: a metrics slot plus a local span buffer, flushed to the
+/// registry when the rank finishes.
+pub struct RankObs {
+    rank: usize,
+    reg: Arc<MetricsRegistry>,
+    metrics: Arc<RankMetrics>,
+    spans: Vec<Span>,
+}
+
+impl RankObs {
+    pub fn new(reg: Arc<MetricsRegistry>, rank: usize) -> Self {
+        let metrics = reg.rank_metrics(rank);
+        RankObs {
+            rank,
+            reg,
+            metrics,
+            spans: Vec::new(),
+        }
+    }
+
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    pub fn now_ns(&self) -> u64 {
+        self.reg.now_ns()
+    }
+
+    pub fn add(&self, c: Counter, v: u64) {
+        self.metrics.add(c, v);
+    }
+
+    pub fn observe(&self, h: HistId, ns: u64) {
+        self.metrics.hist(h).observe(ns);
+    }
+
+    pub fn gauge_set(&self, g: GaugeId, v: u64) {
+        self.metrics.gauge(g).set(v);
+    }
+
+    pub fn virt_add(&self, a: VirtAcc, dv: f64) {
+        self.metrics.virt_add(a, dv);
+    }
+
+    /// Record a span ending now on this rank's pid.
+    pub fn span(&mut self, phase: Phase, wall_start_ns: u64, virt: (f64, f64), detail: u64) {
+        let wall_end_ns = self.reg.now_ns();
+        self.spans.push(Span {
+            phase,
+            name: phase.name(),
+            pid: self.rank as u32 + 1,
+            wall_start_ns,
+            wall_end_ns,
+            virt: Some(virt),
+            detail,
+        });
+    }
+
+    /// Push the buffered spans to the registry.
+    pub fn flush(&mut self) {
+        let mut spans = std::mem::take(&mut self.spans);
+        self.reg.push_spans(&mut spans);
+    }
+}
+
+impl Drop for RankObs {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace export
+// ---------------------------------------------------------------------------
+
+/// Which clock drives the exported timeline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ExportClock {
+    /// Rank lanes on the deterministic virtual clock (µs = virtual
+    /// seconds × 10⁶); driver lanes fall back to wall time.
+    #[default]
+    Virtual,
+    /// Everything on real wall time since the registry epoch.
+    Wall,
+}
+
+fn fmt_us(ns_or_us: f64) -> String {
+    // Trim to 3 decimals; trace viewers do not need more.
+    format!("{ns_or_us:.3}")
+}
+
+/// Serialize spans as Chrome trace-event JSON (`ph:"X"` complete events
+/// plus process/thread-name metadata). One pid per rank, one tid per phase
+/// lane.
+pub fn chrome_trace_json(spans: &[Span], clock: ExportClock) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("{\n\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n");
+    // Metadata: name each pid and each (pid, lane) we are about to emit.
+    let mut pids: Vec<u32> = spans.iter().map(|s| s.pid).collect();
+    pids.sort_unstable();
+    pids.dedup();
+    let mut lanes: Vec<(u32, u32, &'static str)> = spans
+        .iter()
+        .map(|s| (s.pid, s.phase.lane(), s.phase.name()))
+        .collect();
+    lanes.sort_unstable();
+    lanes.dedup_by_key(|l| (l.0, l.1));
+    let mut first = true;
+    let mut sep = |out: &mut String| {
+        if first {
+            first = false;
+        } else {
+            out.push_str(",\n");
+        }
+    };
+    for pid in &pids {
+        let name = if *pid == DRIVER_PID {
+            "driver".to_string()
+        } else {
+            format!("rank {}", pid - 1)
+        };
+        sep(&mut out);
+        let _ = write!(
+            out,
+            "{{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": {pid}, \"tid\": 0, \"args\": {{\"name\": \"{name}\"}}}}"
+        );
+    }
+    for (pid, lane, name) in &lanes {
+        sep(&mut out);
+        let _ = write!(
+            out,
+            "{{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": {pid}, \"tid\": {lane}, \"args\": {{\"name\": \"{name}\"}}}}"
+        );
+    }
+    for s in spans {
+        let (ts, dur) = match (clock, s.virt) {
+            (ExportClock::Virtual, Some((v0, v1))) => (v0 * 1e6, (v1 - v0).max(0.0) * 1e6),
+            _ => (
+                s.wall_start_ns as f64 / 1e3,
+                s.wall_end_ns.saturating_sub(s.wall_start_ns) as f64 / 1e3,
+            ),
+        };
+        sep(&mut out);
+        let _ = write!(
+            out,
+            "{{\"name\": \"{}\", \"cat\": \"{}\", \"ph\": \"X\", \"pid\": {}, \"tid\": {}, \"ts\": {}, \"dur\": {}, \"args\": {{\"detail\": {}, \"wall_start_ns\": {}, \"wall_dur_ns\": {}",
+            s.name,
+            s.phase.name(),
+            s.pid,
+            s.phase.lane(),
+            fmt_us(ts),
+            fmt_us(dur),
+            s.detail,
+            s.wall_start_ns,
+            s.wall_end_ns.saturating_sub(s.wall_start_ns),
+        );
+        if let Some((v0, v1)) = s.virt {
+            let _ = write!(out, ", \"virt_start_s\": {v0:.9}, \"virt_end_s\": {v1:.9}");
+        }
+        out.push_str("}}");
+    }
+    out.push_str("\n]\n}\n");
+    out
+}
+
+// ---------------------------------------------------------------------------
+// RunReport
+// ---------------------------------------------------------------------------
+
+/// One histogram's aggregated view: `(id, count, sum, non-empty buckets)`
+/// where each bucket is `(floor, count)`.
+pub type HistReport = (HistId, u64, u64, Vec<(u64, u64)>);
+
+/// One rank's aggregated view.
+#[derive(Clone, Debug)]
+pub struct RankReport {
+    pub rank: usize,
+    /// The rank's final virtual clock.
+    pub local_time: f64,
+    /// Virtual seconds computing.
+    pub compute: f64,
+    /// Virtual seconds blocked on data dependences (incl. injected stalls).
+    pub wait: f64,
+    /// Virtual seconds of communication CPU cost: send injection, receive
+    /// overhead and retransmission charges.
+    pub comm: f64,
+    /// `compute / local_time` (0 for an idle rank).
+    pub utilization: f64,
+    pub counters: Vec<(Counter, u64)>,
+    pub gauges: Vec<(GaugeId, u64, u64)>,
+    pub hists: Vec<HistReport>,
+}
+
+/// The whole run, aggregated from the registry. Per rank,
+/// `compute + wait + comm == local_time` exactly (the virtual accumulators
+/// partition every clock advance).
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    pub ranks: Vec<RankReport>,
+    /// Virtual makespan: the latest local clock.
+    pub makespan: f64,
+}
+
+impl RunReport {
+    pub fn from_registry(reg: &MetricsRegistry, local_times: &[f64]) -> RunReport {
+        let slots = reg.ranks();
+        let mut ranks = Vec::with_capacity(local_times.len());
+        for (rank, &local_time) in local_times.iter().enumerate() {
+            let empty = Arc::new(RankMetrics::new());
+            let m = slots.get(rank).unwrap_or(&empty);
+            let compute = m.virt_get(VirtAcc::Compute);
+            let wait = m.virt_get(VirtAcc::Wait) + m.virt_get(VirtAcc::Stall);
+            let comm = m.virt_get(VirtAcc::Send)
+                + m.virt_get(VirtAcc::RecvOverhead)
+                + m.virt_get(VirtAcc::Retrans);
+            ranks.push(RankReport {
+                rank,
+                local_time,
+                compute,
+                wait,
+                comm,
+                utilization: if local_time > 0.0 {
+                    compute / local_time
+                } else {
+                    0.0
+                },
+                counters: Counter::ALL.iter().map(|&c| (c, m.get(c))).collect(),
+                gauges: GaugeId::ALL
+                    .iter()
+                    .map(|&g| (g, m.gauge(g).value(), m.gauge(g).max()))
+                    .collect(),
+                hists: HistId::ALL
+                    .iter()
+                    .map(|&h| {
+                        let hist = m.hist(h);
+                        (h, hist.count(), hist.sum(), hist.nonzero_buckets())
+                    })
+                    .collect(),
+            });
+        }
+        let makespan = local_times.iter().copied().fold(0.0, f64::max);
+        RunReport { ranks, makespan }
+    }
+
+    /// Sum of one counter across all ranks.
+    pub fn total(&self, c: Counter) -> u64 {
+        self.ranks
+            .iter()
+            .map(|r| r.counters[c as usize].1)
+            .sum::<u64>()
+    }
+
+    /// The rank with the latest local clock (the critical path), if any.
+    pub fn slowest_rank(&self) -> Option<&RankReport> {
+        self.ranks
+            .iter()
+            .max_by(|a, b| a.local_time.total_cmp(&b.local_time))
+    }
+
+    /// Hand-rolled JSON, same style as the bench artifacts
+    /// (`schema: "tilecc-metrics-v1"`; see `docs/observability.md`).
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut j = String::from("{\n  \"schema\": \"tilecc-metrics-v1\",\n");
+        let _ = writeln!(j, "  \"makespan\": {:.9},", self.makespan);
+        let _ = writeln!(j, "  \"ranks\": [");
+        let nr = self.ranks.len();
+        for (i, r) in self.ranks.iter().enumerate() {
+            let _ = writeln!(j, "    {{");
+            let _ = writeln!(j, "      \"rank\": {},", r.rank);
+            let _ = writeln!(j, "      \"local_time\": {:.9},", r.local_time);
+            let _ = writeln!(j, "      \"compute\": {:.9},", r.compute);
+            let _ = writeln!(j, "      \"wait\": {:.9},", r.wait);
+            let _ = writeln!(j, "      \"comm\": {:.9},", r.comm);
+            let _ = writeln!(j, "      \"utilization\": {:.6},", r.utilization);
+            let _ = writeln!(j, "      \"counters\": {{");
+            let nc = r.counters.len();
+            for (k, (c, v)) in r.counters.iter().enumerate() {
+                let _ = writeln!(
+                    j,
+                    "        \"{}\": {}{}",
+                    c.name(),
+                    v,
+                    if k + 1 < nc { "," } else { "" }
+                );
+            }
+            let _ = writeln!(j, "      }},");
+            let _ = writeln!(j, "      \"gauges\": {{");
+            let ng = r.gauges.len();
+            for (k, (g, v, mx)) in r.gauges.iter().enumerate() {
+                let _ = writeln!(
+                    j,
+                    "        \"{}\": {{\"value\": {}, \"max\": {}}}{}",
+                    g.name(),
+                    v,
+                    mx,
+                    if k + 1 < ng { "," } else { "" }
+                );
+            }
+            let _ = writeln!(j, "      }},");
+            let _ = writeln!(j, "      \"histograms\": {{");
+            let nh = r.hists.len();
+            for (k, (h, count, sum, buckets)) in r.hists.iter().enumerate() {
+                let bs: Vec<String> = buckets
+                    .iter()
+                    .map(|(lo, c)| format!("[{lo}, {c}]"))
+                    .collect();
+                let _ = writeln!(
+                    j,
+                    "        \"{}\": {{\"count\": {}, \"sum\": {}, \"buckets\": [{}]}}{}",
+                    h.name(),
+                    count,
+                    sum,
+                    bs.join(", "),
+                    if k + 1 < nh { "," } else { "" }
+                );
+            }
+            let _ = writeln!(j, "      }}");
+            let _ = writeln!(j, "    }}{}", if i + 1 < nr { "," } else { "" });
+        }
+        j.push_str("  ]\n}\n");
+        j
+    }
+
+    /// Human-readable summary: utilization, compute/wait/comm split, wire
+    /// traffic, tile mix and the slowest-rank critical path.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let n = self.ranks.len();
+        let _ = writeln!(
+            out,
+            "run report: {n} rank{}, makespan {:.6} s",
+            if n == 1 { "" } else { "s" },
+            self.makespan
+        );
+        let (mut tc, mut tw, mut tm, mut tt) = (0.0, 0.0, 0.0, 0.0);
+        for r in &self.ranks {
+            tc += r.compute;
+            tw += r.wait;
+            tm += r.comm;
+            tt += r.local_time;
+        }
+        if tt > 0.0 {
+            let _ = writeln!(
+                out,
+                "  split      : compute {:.1}%  wait {:.1}%  comm {:.1}%  (of total rank time)",
+                100.0 * tc / tt,
+                100.0 * tw / tt,
+                100.0 * tm / tt
+            );
+            let _ = writeln!(
+                out,
+                "  utilization: {:.1}% mean over ranks",
+                100.0 * self.ranks.iter().map(|r| r.utilization).sum::<f64>() / n.max(1) as f64
+            );
+        }
+        let _ = writeln!(
+            out,
+            "  traffic    : {} messages, {} bytes on the wire, {} retransmits, {} dups suppressed",
+            self.total(Counter::MessagesSent),
+            self.total(Counter::BytesSent),
+            self.total(Counter::Retransmits),
+            self.total(Counter::DupsSuppressed),
+        );
+        let _ = writeln!(
+            out,
+            "  tiles      : {} ({} interior, {} boundary), {} iterations",
+            self.total(Counter::Tiles),
+            self.total(Counter::InteriorTiles),
+            self.total(Counter::BoundaryTiles),
+            self.total(Counter::Iterations),
+        );
+        if let Some(s) = self.slowest_rank() {
+            let _ = writeln!(
+                out,
+                "  critical   : rank {} ({:.6} s = compute {:.6} + wait {:.6} + comm {:.6})",
+                s.rank, s.local_time, s.compute, s.wait, s.comm
+            );
+        }
+        for r in &self.ranks {
+            let _ = writeln!(
+                out,
+                "  rank {:>3}   : {:.6} s  compute {:.6}  wait {:.6}  comm {:.6}  util {:>5.1}%",
+                r.rank,
+                r.local_time,
+                r.compute,
+                r.wait,
+                r.comm,
+                100.0 * r.utilization
+            );
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON parser (artifact validation and `tilecc report`)
+// ---------------------------------------------------------------------------
+
+/// A tiny recursive-descent JSON reader: enough to validate the emitted
+/// artifacts and re-render saved metrics, with zero dependencies.
+pub mod json {
+    /// A parsed JSON value.
+    #[derive(Clone, Debug, PartialEq)]
+    pub enum Json {
+        Null,
+        Bool(bool),
+        Num(f64),
+        Str(String),
+        Arr(Vec<Json>),
+        Obj(Vec<(String, Json)>),
+    }
+
+    impl Json {
+        /// Object field lookup.
+        pub fn get(&self, key: &str) -> Option<&Json> {
+            match self {
+                Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Json::Num(x) => Some(*x),
+                _ => None,
+            }
+        }
+
+        pub fn as_u64(&self) -> Option<u64> {
+            match self {
+                Json::Num(x) if *x >= 0.0 && x.fract() == 0.0 => Some(*x as u64),
+                _ => None,
+            }
+        }
+
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Json::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        pub fn as_arr(&self) -> Option<&[Json]> {
+            match self {
+                Json::Arr(v) => Some(v),
+                _ => None,
+            }
+        }
+
+        pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+            match self {
+                Json::Obj(v) => Some(v),
+                _ => None,
+            }
+        }
+    }
+
+    struct P<'a> {
+        s: &'a [u8],
+        i: usize,
+    }
+
+    impl<'a> P<'a> {
+        fn err<T>(&self, msg: &str) -> Result<T, String> {
+            Err(format!("JSON error at byte {}: {}", self.i, msg))
+        }
+
+        fn ws(&mut self) {
+            while self.i < self.s.len() && self.s[self.i].is_ascii_whitespace() {
+                self.i += 1;
+            }
+        }
+
+        fn peek(&self) -> Option<u8> {
+            self.s.get(self.i).copied()
+        }
+
+        fn eat(&mut self, b: u8) -> Result<(), String> {
+            if self.peek() == Some(b) {
+                self.i += 1;
+                Ok(())
+            } else {
+                self.err(&format!("expected `{}`", b as char))
+            }
+        }
+
+        fn value(&mut self) -> Result<Json, String> {
+            self.ws();
+            match self.peek() {
+                Some(b'{') => self.object(),
+                Some(b'[') => self.array(),
+                Some(b'"') => Ok(Json::Str(self.string()?)),
+                Some(b't') => self.lit("true", Json::Bool(true)),
+                Some(b'f') => self.lit("false", Json::Bool(false)),
+                Some(b'n') => self.lit("null", Json::Null),
+                Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+                _ => self.err("expected a value"),
+            }
+        }
+
+        fn lit(&mut self, word: &str, v: Json) -> Result<Json, String> {
+            if self.s[self.i..].starts_with(word.as_bytes()) {
+                self.i += word.len();
+                Ok(v)
+            } else {
+                self.err(&format!("expected `{word}`"))
+            }
+        }
+
+        fn number(&mut self) -> Result<Json, String> {
+            let start = self.i;
+            if self.peek() == Some(b'-') {
+                self.i += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+            {
+                self.i += 1;
+            }
+            std::str::from_utf8(&self.s[start..self.i])
+                .ok()
+                .and_then(|t| t.parse::<f64>().ok())
+                .map(Json::Num)
+                .ok_or_else(|| format!("JSON error at byte {start}: bad number"))
+        }
+
+        fn string(&mut self) -> Result<String, String> {
+            self.eat(b'"')?;
+            let mut out = String::new();
+            loop {
+                match self.peek() {
+                    None => return self.err("unterminated string"),
+                    Some(b'"') => {
+                        self.i += 1;
+                        return Ok(out);
+                    }
+                    Some(b'\\') => {
+                        self.i += 1;
+                        match self.peek() {
+                            Some(b'"') => out.push('"'),
+                            Some(b'\\') => out.push('\\'),
+                            Some(b'/') => out.push('/'),
+                            Some(b'n') => out.push('\n'),
+                            Some(b't') => out.push('\t'),
+                            Some(b'r') => out.push('\r'),
+                            Some(b'b') => out.push('\u{8}'),
+                            Some(b'f') => out.push('\u{c}'),
+                            Some(b'u') => {
+                                if self.i + 4 >= self.s.len() {
+                                    return self.err("truncated \\u escape");
+                                }
+                                let hex = std::str::from_utf8(&self.s[self.i + 1..self.i + 5])
+                                    .map_err(|_| "bad \\u escape".to_string())?;
+                                let cp = u32::from_str_radix(hex, 16)
+                                    .map_err(|_| "bad \\u escape".to_string())?;
+                                out.push(char::from_u32(cp).unwrap_or('\u{fffd}'));
+                                self.i += 4;
+                            }
+                            _ => return self.err("bad escape"),
+                        }
+                        self.i += 1;
+                    }
+                    Some(_) => {
+                        // Copy a full UTF-8 scalar.
+                        let rest = std::str::from_utf8(&self.s[self.i..])
+                            .map_err(|_| "invalid UTF-8 in string".to_string())?;
+                        let ch = rest.chars().next().unwrap();
+                        out.push(ch);
+                        self.i += ch.len_utf8();
+                    }
+                }
+            }
+        }
+
+        fn array(&mut self) -> Result<Json, String> {
+            self.eat(b'[')?;
+            let mut items = Vec::new();
+            self.ws();
+            if self.peek() == Some(b']') {
+                self.i += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(self.value()?);
+                self.ws();
+                match self.peek() {
+                    Some(b',') => {
+                        self.i += 1;
+                    }
+                    Some(b']') => {
+                        self.i += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return self.err("expected `,` or `]`"),
+                }
+            }
+        }
+
+        fn object(&mut self) -> Result<Json, String> {
+            self.eat(b'{')?;
+            let mut fields = Vec::new();
+            self.ws();
+            if self.peek() == Some(b'}') {
+                self.i += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                self.ws();
+                let key = self.string()?;
+                self.ws();
+                self.eat(b':')?;
+                let val = self.value()?;
+                fields.push((key, val));
+                self.ws();
+                match self.peek() {
+                    Some(b',') => {
+                        self.i += 1;
+                    }
+                    Some(b'}') => {
+                        self.i += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    _ => return self.err("expected `,` or `}`"),
+                }
+            }
+        }
+    }
+
+    /// Parse a complete JSON document.
+    pub fn parse(s: &str) -> Result<Json, String> {
+        let mut p = P {
+            s: s.as_bytes(),
+            i: 0,
+        };
+        let v = p.value()?;
+        p.ws();
+        if p.i != p.s.len() {
+            return p.err("trailing data");
+        }
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_power_of_two() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 0);
+        assert_eq!(Histogram::bucket_of(2), 1);
+        assert_eq!(Histogram::bucket_of(3), 1);
+        assert_eq!(Histogram::bucket_of(1024), 10);
+        assert_eq!(Histogram::bucket_of(u64::MAX), HIST_BUCKETS - 1);
+        let h = Histogram::new();
+        h.observe(0);
+        h.observe(5);
+        h.observe(5);
+        h.observe(1 << 40);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 10 + (1 << 40));
+        let nz = h.nonzero_buckets();
+        assert_eq!(nz, vec![(0, 1), (4, 2), (1 << (HIST_BUCKETS - 1), 1)]);
+    }
+
+    #[test]
+    fn gauge_tracks_high_water_mark() {
+        let g = Gauge::new();
+        g.set(3);
+        g.set(7);
+        g.set(2);
+        assert_eq!(g.value(), 2);
+        assert_eq!(g.max(), 7);
+    }
+
+    #[test]
+    fn registry_grows_and_aggregates() {
+        let reg = MetricsRegistry::new();
+        let m0 = reg.rank_metrics(0);
+        let m2 = reg.rank_metrics(2);
+        assert_eq!(reg.rank_count(), 3);
+        m0.add(Counter::BytesSent, 100);
+        m2.add(Counter::BytesSent, 23);
+        m2.virt_add(VirtAcc::Compute, 1.5);
+        m2.virt_add(VirtAcc::Compute, 0.5);
+        assert_eq!(m2.virt_get(VirtAcc::Compute), 2.0);
+        let report = reg.run_report(&[1.0, 0.0, 4.0]);
+        assert_eq!(report.total(Counter::BytesSent), 123);
+        assert_eq!(report.makespan, 4.0);
+        assert_eq!(report.slowest_rank().unwrap().rank, 2);
+        assert_eq!(report.ranks[2].compute, 2.0);
+        assert_eq!(report.ranks[2].utilization, 0.5);
+    }
+
+    #[test]
+    fn run_report_json_parses_and_round_trips_fields() {
+        let reg = MetricsRegistry::new();
+        let m = reg.rank_metrics(0);
+        m.add(Counter::MessagesSent, 7);
+        m.hist(HistId::ComputeTileNs).observe(100);
+        m.gauge(GaugeId::PendingDepth).set(2);
+        let report = reg.run_report(&[2.5]);
+        let j = json::parse(&report.to_json()).expect("metrics JSON must parse");
+        assert_eq!(
+            j.get("schema").and_then(|s| s.as_str()),
+            Some("tilecc-metrics-v1")
+        );
+        let ranks = j.get("ranks").and_then(|r| r.as_arr()).unwrap();
+        assert_eq!(ranks.len(), 1);
+        let counters = ranks[0].get("counters").unwrap();
+        assert_eq!(
+            counters.get("messages_sent").and_then(|v| v.as_u64()),
+            Some(7)
+        );
+        let hist = ranks[0].get("histograms").unwrap().get("compute_tile_ns");
+        assert_eq!(
+            hist.and_then(|h| h.get("count")).and_then(|v| v.as_u64()),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_metadata() {
+        let reg = MetricsRegistry::new();
+        let mut obs = RankObs::new(reg.clone(), 0);
+        let t0 = obs.now_ns();
+        obs.span(Phase::Compute, t0, (0.0, 1.0), 64);
+        obs.span(Phase::Send, obs.now_ns(), (1.0, 1.25), 128);
+        drop(obs); // flush
+        reg.driver_span(Phase::Plan, "fourier-motzkin", 0, 0);
+        let trace = reg.chrome_trace();
+        let j = json::parse(&trace).expect("chrome trace must parse");
+        let events = j.get("traceEvents").and_then(|e| e.as_arr()).unwrap();
+        // 2 process_name + 3 thread_name + 3 spans.
+        assert_eq!(events.len(), 8);
+        let compute = events
+            .iter()
+            .find(|e| e.get("name").and_then(|n| n.as_str()) == Some("compute"))
+            .unwrap();
+        assert_eq!(compute.get("pid").and_then(|p| p.as_u64()), Some(1));
+        assert_eq!(compute.get("ts").and_then(|t| t.as_f64()), Some(0.0));
+        assert_eq!(compute.get("dur").and_then(|t| t.as_f64()), Some(1e6));
+    }
+
+    #[test]
+    fn virtual_export_keeps_rank_lanes_monotone() {
+        let reg = MetricsRegistry::new();
+        let mut obs = RankObs::new(reg.clone(), 3);
+        for k in 0..5 {
+            let t0 = obs.now_ns();
+            obs.span(Phase::Compute, t0, (k as f64, k as f64 + 0.5), 1);
+        }
+        obs.flush();
+        let j = json::parse(&reg.chrome_trace()).unwrap();
+        let events = j.get("traceEvents").and_then(|e| e.as_arr()).unwrap();
+        let mut last = f64::NEG_INFINITY;
+        for e in events {
+            if e.get("ph").and_then(|p| p.as_str()) != Some("X") {
+                continue;
+            }
+            let ts = e.get("ts").and_then(|t| t.as_f64()).unwrap();
+            assert!(ts >= last, "per-lane timestamps must be monotone");
+            last = ts;
+        }
+    }
+
+    #[test]
+    fn json_parser_handles_the_usual_suspects() {
+        use json::{parse, Json};
+        assert_eq!(parse("null"), Ok(Json::Null));
+        assert_eq!(
+            parse(" [1, 2.5, -3e2] ").unwrap().as_arr().unwrap().len(),
+            3
+        );
+        let obj = parse(r#"{"a": "x\ny", "b": [true, false], "c": {"d": 1}}"#).unwrap();
+        assert_eq!(obj.get("a").and_then(|v| v.as_str()), Some("x\ny"));
+        assert_eq!(
+            obj.get("c")
+                .and_then(|c| c.get("d"))
+                .and_then(|v| v.as_u64()),
+            Some(1)
+        );
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("12 34").is_err());
+        assert!(parse(r#"{"u": "A"}"#).unwrap().get("u").unwrap().as_str() == Some("A"));
+    }
+
+    #[test]
+    fn rank_report_split_partitions_local_time() {
+        let reg = MetricsRegistry::new();
+        let m = reg.rank_metrics(0);
+        m.virt_add(VirtAcc::Compute, 3.0);
+        m.virt_add(VirtAcc::Wait, 1.0);
+        m.virt_add(VirtAcc::Send, 0.5);
+        m.virt_add(VirtAcc::RecvOverhead, 0.25);
+        m.virt_add(VirtAcc::Retrans, 0.125);
+        let report = reg.run_report(&[4.875]);
+        let r = &report.ranks[0];
+        assert!((r.compute + r.wait + r.comm - r.local_time).abs() < 1e-12);
+    }
+}

@@ -32,6 +32,7 @@ use crate::comm::{Comm, CommAbort, CommStats, Envelope};
 use crate::error::{CommError, RunError};
 use crate::fault::{FaultPlan, RankStall};
 use crate::model::MachineModel;
+use crate::obs::{Counter, GaugeId, HistId, MetricsRegistry, Phase, RankObs, VirtAcc};
 use crate::trace::{Event, Trace};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -132,6 +133,10 @@ pub struct EngineOptions {
     /// Detect the all-ranks-blocked condition and return
     /// [`RunError::Deadlock`] instead of hanging (default: on).
     pub deadlock_detection: bool,
+    /// Observability session: when set, every rank records spans, counters,
+    /// gauges and histograms into its slot of the shared registry. `None`
+    /// (the default) keeps the hot paths observability-free.
+    pub obs: Option<Arc<MetricsRegistry>>,
 }
 
 impl Default for EngineOptions {
@@ -142,6 +147,7 @@ impl Default for EngineOptions {
             fault: None,
             wall_timeout: default_wall_timeout(),
             deadlock_detection: true,
+            obs: None,
         }
     }
 }
@@ -252,6 +258,10 @@ pub struct ThreadedComm {
     /// released after the next message on that link (or at the next
     /// blocking receive / rank exit, so a hold can never cause deadlock).
     holdback: Vec<Option<Envelope>>,
+    /// Observability handle (`None` unless the run has a registry attached).
+    /// Buffered spans flush to the registry when the endpoint drops, which
+    /// happens in the rank thread before its outcome is reported.
+    obs: Option<RankObs>,
 }
 
 impl ThreadedComm {
@@ -263,6 +273,9 @@ impl ThreadedComm {
                 self.stall = None;
                 self.clock += stall.duration;
                 self.stats.wait_time += stall.duration;
+                if let Some(o) = &self.obs {
+                    o.virt_add(VirtAcc::Stall, stall.duration);
+                }
             }
         }
         if let Some(at) = self.crash_at {
@@ -337,6 +350,9 @@ impl ThreadedComm {
                     let want = self.expect_seq[from];
                     if env.seq < want || self.resequence[from].iter().any(|e| e.seq == env.seq) {
                         self.stats.duplicates_suppressed += 1;
+                        if let Some(o) = &self.obs {
+                            o.add(Counter::DupsSuppressed, 1);
+                        }
                         continue;
                     }
                     if env.seq == want {
@@ -384,6 +400,8 @@ impl Comm for ThreadedComm {
     ) -> Result<(), CommError> {
         assert!(to != self.rank, "send to self is not supported");
         self.fault_tick();
+        let wall_t0 = self.obs.as_ref().map(|o| o.now_ns());
+        let virt_t0 = self.clock;
         let seq = self.next_seq[to];
         self.next_seq[to] += 1;
 
@@ -404,15 +422,22 @@ impl Comm for ThreadedComm {
                 self.clock += pause;
                 self.stats.retransmissions += 1;
                 self.stats.retrans_time += pause;
+                if let Some(o) = &self.obs {
+                    o.add(Counter::FaultDrops, 1);
+                    o.add(Counter::Retransmits, 1);
+                    o.virt_add(VirtAcc::Retrans, pause);
+                }
             }
         }
 
+        let send_cost = match self.scheme {
+            CommScheme::Blocking => self.model.send_cost(nominal_bytes),
+            // Background transfer: injection off the CPU.
+            CommScheme::Overlapped => 0.0,
+        };
+        self.clock += send_cost;
         let ready_at = match self.scheme {
-            CommScheme::Blocking => {
-                self.clock += self.model.send_cost(nominal_bytes);
-                self.clock + self.model.wire_latency
-            }
-            // Background transfer: injection and wire time off the CPU.
+            CommScheme::Blocking => self.clock + self.model.wire_latency,
             CommScheme::Overlapped => {
                 self.clock + self.model.send_cost(nominal_bytes) + self.model.wire_latency
             }
@@ -422,6 +447,7 @@ impl Comm for ThreadedComm {
             tag,
             ready_at,
             seq,
+            bytes: nominal_bytes,
         };
         self.stats.messages_sent += 1;
         self.stats.bytes_sent += nominal_bytes as u64;
@@ -432,16 +458,33 @@ impl Comm for ThreadedComm {
                 bytes: nominal_bytes,
             });
         }
+        if let Some(o) = &self.obs {
+            o.add(Counter::MessagesSent, 1);
+            o.add(Counter::BytesSent, nominal_bytes as u64);
+            o.virt_add(VirtAcc::Send, send_cost);
+        }
 
         let (duplicate, reorder) = match &self.fault {
             Some(f) if f.perturbs_links() => {
                 if let Some(extra) = f.delayed(self.rank, to, seq) {
                     env.ready_at += extra;
+                    if let Some(o) = &self.obs {
+                        o.add(Counter::FaultDelays, 1);
+                    }
                 }
-                (
+                let (dup, reord) = (
                     f.duplicated(self.rank, to, seq),
                     f.reordered(self.rank, to, seq),
-                )
+                );
+                if let Some(o) = &self.obs {
+                    if dup {
+                        o.add(Counter::FaultDups, 1);
+                    }
+                    if reord {
+                        o.add(Counter::FaultReorders, 1);
+                    }
+                }
+                (dup, reord)
             }
             _ => (false, false),
         };
@@ -468,6 +511,19 @@ impl Comm for ThreadedComm {
                 self.push_link_redundant(to, prev)?;
             }
         }
+        if let Some(wall_t0) = wall_t0 {
+            let virt_t1 = self.clock;
+            let outstanding = self.holdback.iter().filter(|h| h.is_some()).count() as u64;
+            if let Some(o) = &mut self.obs {
+                o.gauge_set(GaugeId::OutstandingSends, outstanding);
+                o.span(
+                    Phase::Send,
+                    wall_t0,
+                    (virt_t0, virt_t1),
+                    nominal_bytes as u64,
+                );
+            }
+        }
         Ok(())
     }
 
@@ -477,6 +533,7 @@ impl Comm for ThreadedComm {
         // Anything we still hold must be released before blocking, or a
         // reorder hold could manufacture a deadlock.
         self.flush_holdbacks()?;
+        let wall_t0 = self.obs.as_ref().map(|o| o.now_ns());
         let start = self.clock;
         // Match against already-arrived messages first (MPI tag matching).
         let env = if let Some(pos) = self.pending[from].iter().position(|e| e.tag == tag) {
@@ -493,12 +550,19 @@ impl Comm for ThreadedComm {
             }
         };
         if env.ready_at > self.clock {
-            self.stats.wait_time += env.ready_at - self.clock;
+            let waited = env.ready_at - self.clock;
+            self.stats.wait_time += waited;
             self.clock = env.ready_at;
+            if let Some(o) = &self.obs {
+                o.virt_add(VirtAcc::Wait, waited);
+            }
         }
         let ready = self.clock;
         if self.scheme == CommScheme::Blocking {
             self.clock += self.model.recv_overhead;
+            if let Some(o) = &self.obs {
+                o.virt_add(VirtAcc::RecvOverhead, self.model.recv_overhead);
+            }
         }
         self.stats.messages_received += 1;
         if let Some(tr) = &mut self.trace {
@@ -508,6 +572,19 @@ impl Comm for ThreadedComm {
                 end: self.clock,
                 from,
             });
+        }
+        if let Some(wall_t0) = wall_t0 {
+            let virt_t1 = self.clock;
+            let pending_depth = self.pending.iter().map(|p| p.len()).sum::<usize>() as u64;
+            let reseq_depth = self.resequence.iter().map(|r| r.len()).sum::<usize>() as u64;
+            if let Some(o) = &mut self.obs {
+                o.add(Counter::MessagesReceived, 1);
+                o.add(Counter::BytesReceived, env.bytes as u64);
+                o.observe(HistId::RecvWaitNs, o.now_ns().saturating_sub(wall_t0));
+                o.gauge_set(GaugeId::PendingDepth, pending_depth);
+                o.gauge_set(GaugeId::ResequenceDepth, reseq_depth);
+                o.span(Phase::Recv, wall_t0, (start, virt_t1), env.bytes as u64);
+            }
         }
         Ok(env.payload)
     }
@@ -525,6 +602,12 @@ impl Comm for ThreadedComm {
                 iters,
             });
         }
+        // The virtual accumulator only; the Compute *span* is recorded by
+        // the executor around the whole tile (kernel + this charge), so the
+        // two would double-count if both lived here.
+        if let Some(o) = &self.obs {
+            o.virt_add(VirtAcc::Compute, dt);
+        }
     }
 
     fn local_time(&self) -> f64 {
@@ -537,6 +620,10 @@ impl Comm for ThreadedComm {
 
     fn stats(&self) -> CommStats {
         self.stats
+    }
+
+    fn obs(&mut self) -> Option<&mut RankObs> {
+        self.obs.as_mut()
     }
 }
 
@@ -697,6 +784,10 @@ where
             expect_seq: vec![0; size],
             resequence: (0..size).map(|_| Vec::new()).collect(),
             holdback: (0..size).map(|_| None).collect(),
+            obs: options
+                .obs
+                .as_ref()
+                .map(|reg| RankObs::new(reg.clone(), rank)),
             txs,
             rxs,
         };
@@ -1125,6 +1216,124 @@ mod trace_tests {
             comm.advance_compute(1);
         });
         assert!(report.traces[0].events.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod obs_tests {
+    use super::*;
+
+    fn model() -> MachineModel {
+        MachineModel {
+            compute_per_iter: 1.0,
+            send_overhead: 2.0,
+            recv_overhead: 3.0,
+            wire_latency: 4.0,
+            per_byte: 0.5,
+        }
+    }
+
+    #[test]
+    fn obs_partitions_every_rank_clock() {
+        let reg = MetricsRegistry::new();
+        let report = run_cluster_opts(
+            3,
+            model(),
+            EngineOptions {
+                obs: Some(reg.clone()),
+                ..EngineOptions::default()
+            },
+            |comm| {
+                let r = comm.rank();
+                if r > 0 {
+                    comm.recv(r - 1);
+                }
+                comm.advance_compute(10);
+                if r + 1 < comm.size() {
+                    comm.send(r + 1, vec![1.0; 4], 32);
+                }
+            },
+        )
+        .unwrap();
+        let obs_report = reg.run_report(&report.local_times);
+        for r in &obs_report.ranks {
+            assert!(
+                (r.compute + r.wait + r.comm - r.local_time).abs() < 1e-9,
+                "rank {}: {} + {} + {} != {}",
+                r.rank,
+                r.compute,
+                r.wait,
+                r.comm,
+                r.local_time
+            );
+        }
+        assert_eq!(obs_report.total(Counter::MessagesSent), 2);
+        assert_eq!(obs_report.total(Counter::MessagesReceived), 2);
+        assert_eq!(obs_report.total(Counter::BytesSent), 64);
+        assert_eq!(obs_report.total(Counter::BytesReceived), 64);
+        // Send and Recv spans from the ranks were flushed before collection.
+        let spans = reg.spans();
+        assert!(spans.iter().any(|s| s.phase == Phase::Send));
+        assert!(spans.iter().any(|s| s.phase == Phase::Recv));
+    }
+
+    #[test]
+    fn obs_accounts_faults_and_suppressions() {
+        let reg = MetricsRegistry::new();
+        let report = run_cluster_opts(
+            3,
+            MachineModel::fast_ethernet_p3(),
+            EngineOptions {
+                fault: Some(FaultPlan::chaos(0xBEEF, 0.3)),
+                obs: Some(reg.clone()),
+                ..EngineOptions::default()
+            },
+            |comm| {
+                let r = comm.rank();
+                let n = comm.size();
+                let mut acc = r as f64;
+                for round in 0..6 {
+                    comm.advance_compute(10);
+                    comm.send_tagged((r + 1) % n, round, vec![acc], 8);
+                    acc += comm.recv_tagged((r + n - 1) % n, round)[0];
+                }
+                acc
+            },
+        )
+        .unwrap();
+        let obs_report = reg.run_report(&report.local_times);
+        // Exactly-once delivery under faults.
+        assert_eq!(
+            obs_report.total(Counter::MessagesReceived),
+            obs_report.total(Counter::MessagesSent)
+        );
+        assert_eq!(
+            obs_report.total(Counter::BytesReceived),
+            obs_report.total(Counter::BytesSent)
+        );
+        // Every injected drop costs exactly one retransmission.
+        assert_eq!(
+            obs_report.total(Counter::Retransmits),
+            obs_report.total(Counter::FaultDrops)
+        );
+        // A duplicate copy can only be suppressed if it was injected.
+        assert!(obs_report.total(Counter::DupsSuppressed) <= obs_report.total(Counter::FaultDups));
+        // And the obs counters agree with the engine's own stats.
+        assert_eq!(
+            obs_report.total(Counter::Retransmits),
+            report.total_retransmissions()
+        );
+        assert_eq!(
+            obs_report.total(Counter::DupsSuppressed),
+            report.total_duplicates_suppressed()
+        );
+        for r in &obs_report.ranks {
+            assert!(
+                (r.compute + r.wait + r.comm - r.local_time).abs() < 1e-9,
+                "faulty run must still partition rank {} clock",
+                r.rank
+            );
+        }
     }
 }
 

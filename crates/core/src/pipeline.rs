@@ -3,7 +3,7 @@
 //! results and simulated timings.
 
 use std::sync::Arc;
-use tilecc_cluster::{CommScheme, EngineOptions, MachineModel, RunError};
+use tilecc_cluster::{CommScheme, EngineOptions, MachineModel, MetricsRegistry, RunError};
 use tilecc_linalg::RMat;
 use tilecc_loopnest::{Algorithm, DataSpace};
 use tilecc_parcode::{emit_c_mpi, execute, execute_opts, ExecMode, ExecutionResult, ParallelPlan};
@@ -39,6 +39,9 @@ pub struct RunSummary {
     pub retransmissions: u64,
     /// Messages discarded by receiver-side duplicate suppression.
     pub duplicates_suppressed: u64,
+    /// Per-rank final virtual clocks (feeds the observability
+    /// [`tilecc_cluster::obs::RunReport`]).
+    pub local_times: Vec<f64>,
 }
 
 impl Pipeline {
@@ -55,7 +58,18 @@ impl Pipeline {
         transform: TilingTransform,
         m: Option<usize>,
     ) -> Result<Self, TilingError> {
-        let plan = ParallelPlan::new(algorithm, transform, m)?;
+        Self::compile_observed(algorithm, transform, m, None)
+    }
+
+    /// [`Pipeline::compile_transform`] recording plan-construction and
+    /// chain-lowering spans into an observability registry.
+    pub fn compile_observed(
+        algorithm: Algorithm,
+        transform: TilingTransform,
+        m: Option<usize>,
+        obs: Option<&MetricsRegistry>,
+    ) -> Result<Self, TilingError> {
+        let plan = ParallelPlan::new_observed(algorithm, transform, m, obs)?;
         Ok(Pipeline {
             plan: Arc::new(plan),
         })
@@ -84,6 +98,17 @@ impl Pipeline {
         let res =
             tilecc_parcode::execute_with(self.plan.clone(), model, ExecMode::TimingOnly, scheme);
         self.summarize(&res, &model, None)
+    }
+
+    /// Timing-only run with full engine options (fault injection, tracing,
+    /// observability) — the fallible counterpart of [`Pipeline::simulate`].
+    pub fn simulate_opts(
+        &self,
+        model: MachineModel,
+        options: EngineOptions,
+    ) -> Result<RunSummary, RunError> {
+        let res = execute_opts(self.plan.clone(), model, ExecMode::TimingOnly, options)?;
+        Ok(self.summarize(&res, &model, None))
     }
 
     /// Run fully and verify the gathered data against the sequential
@@ -138,6 +163,7 @@ impl Pipeline {
             verified,
             retransmissions: res.report.total_retransmissions(),
             duplicates_suppressed: res.report.total_duplicates_suppressed(),
+            local_times: res.report.local_times.clone(),
         }
     }
 }

@@ -15,7 +15,8 @@ use crate::compiled::{
 use crate::plan::ParallelPlan;
 use std::sync::Arc;
 use tilecc_cluster::{
-    run_cluster_opts, Comm, CommScheme, EngineOptions, MachineModel, RunError, RunReport,
+    run_cluster_opts, Comm, CommScheme, Counter, EngineOptions, HistId, MachineModel,
+    MetricsRegistry, Phase, RunError, RunReport,
 };
 use tilecc_loopnest::DataSpace;
 use tilecc_tiling::{insert_at, Lds};
@@ -133,13 +134,14 @@ pub fn execute_strategy(
 ) -> Result<ExecutionResult, RunError> {
     let nprocs = plan.num_procs();
     let plan2 = plan.clone();
+    let obs_reg = options.obs.clone();
     let report = run_cluster_opts(nprocs, model, options, move |comm| {
         run_rank(&plan2, comm, mode, strategy)
     })?;
     let total_iterations: u64 = report.results.iter().map(|r| r.iterations).sum();
     let data = match mode {
         ExecMode::TimingOnly => None,
-        ExecMode::Full => Some(gather(&plan, &report, strategy)),
+        ExecMode::Full => Some(gather(&plan, &report, strategy, obs_reg.as_deref())),
     };
     Ok(ExecutionResult {
         report,
@@ -158,6 +160,7 @@ fn gather(
     plan: &ParallelPlan,
     report: &RunReport<RankOutput>,
     strategy: ExecStrategy,
+    obs: Option<&MetricsRegistry>,
 ) -> DataSpace {
     let (lo, hi) = plan.algorithm.nest.bounding_box();
     let mut ds = DataSpace::with_width(&lo, &hi, plan.algorithm.width());
@@ -166,11 +169,13 @@ fn gather(
     let w = plan.algorithm.width();
     let mut vals = vec![0.0f64; w];
     for (rank, out) in report.results.iter().enumerate() {
+        let rank_t0 = obs.map(|r| r.now_ns());
         let lds = out.lds.as_ref().expect("full mode returns the rank LDS");
         let pid = &plan.dist.pids[rank];
         let (lo_t, hi_t) = plan.dist.chains[rank];
         let chain = plan.compiled_for(hi_t - lo_t + 1);
         for t_abs in lo_t..=hi_t {
+            let tile_t0 = obs.map(|r| r.now_ns());
             let tpos = t_abs - lo_t;
             let cur_tile = insert_at(pid, m, t_abs);
             if strategy == ExecStrategy::Compiled && plan.tiled.tile_is_interior(&cur_tile) {
@@ -183,6 +188,14 @@ fn gather(
                     ds.set_all(&j, &vals);
                 }
             }
+            if let (Some(reg), Some(t0)) = (obs, tile_t0) {
+                reg.rank_metrics(rank)
+                    .hist(HistId::GatherNs)
+                    .observe(reg.now_ns().saturating_sub(t0));
+            }
+        }
+        if let (Some(reg), Some(t0)) = (obs, rank_t0) {
+            reg.driver_span(Phase::Gather, "gather", t0, rank as u64);
         }
     }
     ds
@@ -222,6 +235,7 @@ fn run_rank(
     let mut src = vec![0i64; n];
     let mut gs = vec![0i64; n];
     let mut j_buf = vec![0i64; n];
+    let obs_on = comm.obs().is_some();
 
     for t_abs in lo_t..=hi_t {
         let tpos = t_abs - lo_t; // chain-relative tile position
@@ -251,6 +265,11 @@ fn run_rank(
             // mismatch messages (MPI-style tag matching restores pairing).
             let payload = comm.recv_tagged(from_rank, pred[m]);
             if mode == ExecMode::Full {
+                let unpack_t0 = if obs_on {
+                    comm.obs().map(|o| o.now_ns())
+                } else {
+                    None
+                };
                 match strategy {
                     ExecStrategy::Compiled => unpack_region(chain, &mut lds, tpos, i, &payload),
                     ExecStrategy::Reference => {
@@ -273,10 +292,32 @@ fn run_rank(
                         debug_assert_eq!(idx * w, payload.len(), "unpack count mismatch");
                     }
                 }
+                if let Some(t0) = unpack_t0 {
+                    // The unpack is real work on the wall clock but free on
+                    // the virtual one (the model folds it into recv
+                    // overhead), so its virtual interval is a point.
+                    let v = comm.local_time();
+                    if let Some(o) = comm.obs() {
+                        let bytes = (payload.len() * 8) as u64;
+                        o.observe(HistId::UnpackNs, o.now_ns().saturating_sub(t0));
+                        o.span(Phase::Unpack, t0, (v, v), bytes);
+                    }
+                }
             }
         }
 
         // --- COMPUTE ------------------------------------------------------
+        // Interior/boundary classification feeds both the compiled dispatch
+        // and the tile-mix counters; only run it when someone consumes it so
+        // the TimingOnly hot path stays untouched with observability off.
+        let classify = obs_on || (mode == ExecMode::Full && strategy == ExecStrategy::Compiled);
+        let is_interior = classify && plan.tiled.tile_is_compute_interior(&cur_tile, deps);
+        let compute_t0 = if obs_on {
+            comm.obs().map(|o| o.now_ns())
+        } else {
+            None
+        };
+        let compute_v0 = comm.local_time();
         let mut tile_iters: u64 = 0;
         match (mode, strategy) {
             (ExecMode::TimingOnly, _) => {
@@ -284,7 +325,7 @@ fn run_rank(
             }
             (ExecMode::Full, ExecStrategy::Compiled) => {
                 let origin = tile_origin(t, &cur_tile);
-                if plan.tiled.tile_is_compute_interior(&cur_tile, deps) {
+                if is_interior {
                     compute_tile_fast(
                         chain,
                         &mut lds,
@@ -334,6 +375,30 @@ fn run_rank(
         }
         iterations += tile_iters;
         comm.advance_compute(tile_iters);
+        if let Some(t0) = compute_t0 {
+            let v1 = comm.local_time();
+            if let Some(o) = comm.obs() {
+                o.observe(HistId::ComputeTileNs, o.now_ns().saturating_sub(t0));
+                o.span(Phase::Compute, t0, (compute_v0, v1), tile_iters);
+                o.add(Counter::Tiles, 1);
+                o.add(Counter::Iterations, tile_iters);
+                o.add(
+                    if is_interior {
+                        Counter::InteriorTiles
+                    } else {
+                        Counter::BoundaryTiles
+                    },
+                    1,
+                );
+                o.add(
+                    match strategy {
+                        ExecStrategy::Compiled => Counter::CompiledDispatches,
+                        ExecStrategy::Reference => Counter::ReferenceDispatches,
+                    },
+                    1,
+                );
+            }
+        }
 
         // --- SEND ---------------------------------------------------------
         for (dm_idx, dm) in plan.comm.proc_deps.iter().enumerate() {
@@ -352,6 +417,11 @@ fn run_rank(
             let count = plan.region_counts[dm_idx];
             let mut payload = Vec::new();
             if mode == ExecMode::Full {
+                let pack_t0 = if obs_on {
+                    comm.obs().map(|o| o.now_ns())
+                } else {
+                    None
+                };
                 payload.resize(count * w, 0.0);
                 match strategy {
                     ExecStrategy::Compiled => pack_region(chain, &lds, tpos, dm_idx, &mut payload),
@@ -366,6 +436,15 @@ fn run_rank(
                             idx += 1;
                         }
                         debug_assert_eq!(idx, count);
+                    }
+                }
+                if let Some(t0) = pack_t0 {
+                    // Like unpack: real wall time, a point on the virtual
+                    // clock (the model folds packing into the send cost).
+                    let v_now = comm.local_time();
+                    if let Some(o) = comm.obs() {
+                        o.observe(HistId::PackNs, o.now_ns().saturating_sub(t0));
+                        o.span(Phase::Pack, t0, (v_now, v_now), (count * 8 * w) as u64);
                     }
                 }
             }
@@ -466,6 +545,109 @@ mod tests {
             None,
             "lossy run must produce bitwise-identical data"
         );
+    }
+
+    #[test]
+    fn observed_run_records_phases_and_partitions_clocks() {
+        let alg = kernels::sor_skewed(4, 6, 1.1);
+        let t = TilingTransform::rectangular(&[2, 3, 4]).unwrap();
+        let reg = MetricsRegistry::new();
+        let plan =
+            Arc::new(crate::plan::ParallelPlan::new_observed(alg, t, Some(2), Some(&reg)).unwrap());
+        let res = execute_opts(
+            plan,
+            MachineModel::fast_ethernet_p3(),
+            ExecMode::Full,
+            EngineOptions {
+                obs: Some(reg.clone()),
+                ..EngineOptions::default()
+            },
+        )
+        .unwrap();
+        let spans = reg.spans();
+        for phase in [
+            Phase::Plan,
+            Phase::CompileChain,
+            Phase::Compute,
+            Phase::Pack,
+            Phase::Send,
+            Phase::Recv,
+            Phase::Unpack,
+            Phase::Gather,
+        ] {
+            assert!(
+                spans.iter().any(|s| s.phase == phase),
+                "missing phase {phase:?} in spans"
+            );
+        }
+        let report = reg.run_report(&res.report.local_times);
+        for r in &report.ranks {
+            assert!(
+                (r.compute + r.wait + r.comm - r.local_time).abs() < 1e-9,
+                "rank {} clock not partitioned",
+                r.rank
+            );
+        }
+        assert_eq!(report.total(Counter::Iterations), res.total_iterations);
+        assert_eq!(
+            report.total(Counter::Tiles),
+            report.total(Counter::InteriorTiles) + report.total(Counter::BoundaryTiles)
+        );
+        assert_eq!(report.total(Counter::ReferenceDispatches), 0);
+        assert!(report.total(Counter::CompiledDispatches) > 0);
+        // Fault-free conservation.
+        assert_eq!(
+            report.total(Counter::BytesSent),
+            report.total(Counter::BytesReceived)
+        );
+        assert_eq!(
+            report.total(Counter::MessagesSent),
+            report.total(Counter::MessagesReceived)
+        );
+    }
+
+    #[test]
+    fn compiled_and_reference_report_identical_logical_counters() {
+        let alg = kernels::adi(6, 8);
+        let t = TilingTransform::rectangular(&[2, 4, 4]).unwrap();
+        let plan = Arc::new(ParallelPlan::new(alg, t, Some(0)).unwrap());
+        let model = MachineModel::fast_ethernet_p3();
+        let run = |strategy| {
+            let reg = MetricsRegistry::new();
+            let res = execute_strategy(
+                plan.clone(),
+                model,
+                ExecMode::Full,
+                strategy,
+                EngineOptions {
+                    obs: Some(reg.clone()),
+                    ..EngineOptions::default()
+                },
+            )
+            .unwrap();
+            reg.run_report(&res.report.local_times)
+        };
+        let compiled = run(ExecStrategy::Compiled);
+        let reference = run(ExecStrategy::Reference);
+        for c in [
+            Counter::Tiles,
+            Counter::InteriorTiles,
+            Counter::BoundaryTiles,
+            Counter::Iterations,
+            Counter::MessagesSent,
+            Counter::BytesSent,
+            Counter::MessagesReceived,
+            Counter::BytesReceived,
+        ] {
+            assert_eq!(
+                compiled.total(c),
+                reference.total(c),
+                "strategies disagree on {}",
+                c.name()
+            );
+        }
+        assert_eq!(compiled.total(Counter::ReferenceDispatches), 0);
+        assert_eq!(reference.total(Counter::CompiledDispatches), 0);
     }
 
     #[test]

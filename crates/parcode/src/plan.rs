@@ -8,6 +8,7 @@
 
 use crate::compiled::CompiledChain;
 use std::collections::BTreeMap;
+use tilecc_cluster::{MetricsRegistry, Phase};
 use tilecc_linalg::IMat;
 use tilecc_loopnest::Algorithm;
 use tilecc_tiling::{
@@ -42,11 +43,37 @@ impl ParallelPlan {
         transform: TilingTransform,
         m: Option<usize>,
     ) -> Result<Self, TilingError> {
+        Self::new_observed(algorithm, transform, m, None)
+    }
+
+    /// [`ParallelPlan::new`] recording plan-construction and chain-lowering
+    /// spans into an observability registry (driver pid, wall clock only).
+    pub fn new_observed(
+        algorithm: Algorithm,
+        transform: TilingTransform,
+        m: Option<usize>,
+        obs: Option<&MetricsRegistry>,
+    ) -> Result<Self, TilingError> {
+        let stamp = |name: &'static str, start: Option<u64>| {
+            if let (Some(reg), Some(t0)) = (obs, start) {
+                reg.driver_span(Phase::Plan, name, t0, 0);
+            }
+        };
+        let t0 = obs.map(|r| r.now_ns());
         transform.validate_for(algorithm.nest.deps())?;
+        stamp("validate-tiling", t0);
+        let t0 = obs.map(|r| r.now_ns());
         let tiled = TiledSpace::new(transform, algorithm.nest.space().clone());
+        stamp("tiled-space", t0);
+        let t0 = obs.map(|r| r.now_ns());
         let dist = Distribution::new(&tiled, m);
+        stamp("distribution", t0);
+        let t0 = obs.map(|r| r.now_ns());
         let comm = CommPlan::new(&tiled, algorithm.nest.deps(), dist.m);
+        stamp("comm-plan", t0);
+        let t0 = obs.map(|r| r.now_ns());
         let geo = LdsGeometry::new(tiled.transform(), &comm);
+        stamp("lds-geometry", t0);
         let ds_weights = {
             let (lo, hi) = algorithm.nest.bounding_box();
             let extents: Vec<i64> = lo.iter().zip(&hi).map(|(&l, &h)| h - l + 1).collect();
@@ -55,9 +82,14 @@ impl ParallelPlan {
         let mut compiled = BTreeMap::new();
         for &(lo_t, hi_t) in &dist.chains {
             let nt = hi_t - lo_t + 1;
-            compiled
-                .entry(nt)
-                .or_insert_with(|| CompiledChain::new(&tiled, &comm, &geo, &ds_weights, nt));
+            compiled.entry(nt).or_insert_with(|| {
+                let t0 = obs.map(|r| r.now_ns());
+                let chain = CompiledChain::new(&tiled, &comm, &geo, &ds_weights, nt);
+                if let (Some(reg), Some(t0)) = (obs, t0) {
+                    reg.driver_span(Phase::CompileChain, "compile-chain", t0, nt as u64);
+                }
+                chain
+            });
         }
         let region_counts = compiled
             .values()
