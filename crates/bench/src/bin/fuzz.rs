@@ -1,9 +1,10 @@
 //! Randomized end-to-end fuzzer: generates random convex spaces, uniform
 //! dependence sets and (rectangular or tiling-cone) tilings, and checks the
 //! full parallel pipeline bitwise against sequential execution. Every case
-//! also runs both execution strategies — the compiled flat-index path and
-//! the per-point reference path — which must agree bitwise with identical
-//! makespans and message traffic.
+//! also runs all three execution strategies — the compiled flat-index path,
+//! the per-point reference path, and the overlapped boundary/interior
+//! path — which must agree bitwise with identical message traffic; the
+//! overlapped makespan must never exceed the blocking compiled one.
 //!
 //! Usage: `fuzz [seed] [cases] [--faults]`. With `--faults`, every case is
 //! additionally executed under a seeded lossy/duplicating/reordering
@@ -319,6 +320,77 @@ fn main() {
         {
             fail(seed, case, "dispatch counters do not match the strategy");
         }
+        // Overlapped strategy: boundary-first execution with sends hidden
+        // behind the interior must be a pure schedule change — same data,
+        // same traffic, and never a later finish than blocking compiled.
+        let reg_o = MetricsRegistry::new();
+        let overlapped = match execute_strategy(
+            plan.clone(),
+            MachineModel::fast_ethernet_p3(),
+            ExecMode::Full,
+            ExecStrategy::Overlapped,
+            EngineOptions {
+                obs: Some(reg_o.clone()),
+                ..EngineOptions::default()
+            },
+        ) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("  overlapped-strategy run failed: {e}");
+                fail(seed, case, "overlapped strategy failed");
+            }
+        };
+        if let Some(bad) = res
+            .data
+            .as_ref()
+            .unwrap()
+            .diff(overlapped.data.as_ref().unwrap())
+        {
+            eprintln!("  OVERLAPPED MISMATCH at {bad:?}");
+            fail(seed, case, "compiled/overlapped strategy data mismatch");
+        }
+        if overlapped.makespan() > res.makespan() + 1e-12 {
+            eprintln!(
+                "  makespans: compiled {} overlapped {}",
+                res.makespan(),
+                overlapped.makespan()
+            );
+            fail(seed, case, "overlapped strategy slower than blocking");
+        }
+        if overlapped.report.total_bytes() != res.report.total_bytes()
+            || overlapped.report.total_messages() != res.report.total_messages()
+        {
+            fail(seed, case, "compiled/overlapped traffic mismatch");
+        }
+        if overlapped.report.total_bytes_received() != overlapped.report.total_bytes() {
+            fail(seed, case, "overlapped run lost or invented bytes");
+        }
+        let rep_o = reg_o.run_report(&overlapped.report.local_times);
+        for c in [
+            Counter::MessagesSent,
+            Counter::BytesSent,
+            Counter::MessagesReceived,
+            Counter::BytesReceived,
+            Counter::Tiles,
+            Counter::InteriorTiles,
+            Counter::BoundaryTiles,
+            Counter::Iterations,
+        ] {
+            if rep_o.total(c) != rep_c.total(c) {
+                eprintln!(
+                    "  counter {}: compiled {} overlapped {}",
+                    c.name(),
+                    rep_c.total(c),
+                    rep_o.total(c)
+                );
+                fail(seed, case, "compiled/overlapped logical counter mismatch");
+            }
+        }
+        if rep_o.total(Counter::CompiledDispatches) != rep_o.total(Counter::Tiles)
+            || rep_o.total(Counter::ReferenceDispatches) != 0
+        {
+            fail(seed, case, "overlapped dispatch counters are wrong");
+        }
         if faults {
             // Re-run the case over a chaotic substrate seeded per-case: the
             // reliability layer must reproduce the fault-free data bitwise.
@@ -376,6 +448,31 @@ fn main() {
                 if rep_f.total(c) != rep_c.total(c) {
                     fail(seed, case, "faults changed the logical workload counters");
                 }
+            }
+            // The overlapped schedule must survive the same chaos plan: its
+            // in-flight sends go through the identical reliability layer.
+            let faulty_o = match execute_strategy(
+                plan.clone(),
+                MachineModel::fast_ethernet_p3(),
+                ExecMode::Full,
+                ExecStrategy::Overlapped,
+                EngineOptions {
+                    fault: Some(FaultPlan::chaos(fault_seed, 0.3)),
+                    ..EngineOptions::default()
+                },
+            ) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("  faulty overlapped run failed: {e} (fault seed {fault_seed})");
+                    fail(seed, case, "overlapped strategy failed under faults");
+                }
+            };
+            if let Some(bad) = seq.diff(faulty_o.data.as_ref().unwrap()) {
+                eprintln!("  FAULTY OVERLAPPED MISMATCH at {bad:?} (fault seed {fault_seed})");
+                fail(seed, case, "fault-injected overlapped result differs");
+            }
+            if faulty_o.report.total_bytes_received() != faulty_o.report.total_bytes() {
+                fail(seed, case, "faulty overlapped run lost or invented bytes");
             }
         }
     }

@@ -13,6 +13,12 @@
 //! every timed closure runs exactly once (CI smoke mode) and no JSON file
 //! is written.
 //!
+//! `perf --overlap-bench [--out <path>]` instead compares the blocking
+//! compiled strategy against the overlapped boundary/interior schedule on
+//! the paper workloads by deterministic virtual makespan and writes
+//! `BENCH_PR4.json`; overlapping must never lose and must win at least
+//! 1.1x somewhere.
+//!
 //! `perf --obs-overhead [--test]` instead measures the observability
 //! layer: the compiled compute hot path with the executor's disabled-obs
 //! gating must be within 2% of the raw loop (hooks are `Option` tests when
@@ -427,20 +433,89 @@ fn obs_overhead(smoke: bool) {
     );
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let smoke = args.iter().any(|a| a == "--test" || a == "--smoke");
-    if args.iter().any(|a| a == "--obs-overhead") {
-        obs_overhead(smoke);
-        return;
+/// Virtual-makespan comparison of the blocking compiled strategy against
+/// the overlapped boundary/interior schedule, written to `BENCH_PR4.json`.
+///
+/// Makespans are deterministic virtual model times — not wall clock — so
+/// this benchmark runs, asserts, and writes its JSON identically in smoke
+/// mode; CI uses it as a release-mode acceptance gate.
+fn overlap_bench(out_path: &str) {
+    let model = MachineModel::fast_ethernet_p3();
+    let mut json =
+        String::from("{\n  \"bench\": \"PR4 overlapped boundary/interior execution\",\n");
+    json.push_str("  \"unit\": \"virtual_seconds\",\n  \"workloads\": {\n");
+    let workloads = paper_workloads();
+    let nw = workloads.len();
+    let mut max_speedup = 0.0f64;
+    for (wi, (name, plan)) in workloads.into_iter().enumerate() {
+        let plan = Arc::new(plan);
+        let run = |strategy: ExecStrategy| {
+            let reg = MetricsRegistry::new();
+            let res = execute_strategy(
+                plan.clone(),
+                model,
+                ExecMode::TimingOnly,
+                strategy,
+                EngineOptions {
+                    obs: Some(reg.clone()),
+                    ..EngineOptions::default()
+                },
+            )
+            .expect("execution failed");
+            let hidden: f64 = reg
+                .run_report(&res.report.local_times)
+                .ranks
+                .iter()
+                .map(|r| r.overlap_hidden)
+                .sum();
+            (res, hidden)
+        };
+        let (blocking, _) = run(ExecStrategy::Compiled);
+        let (overlapped, hidden) = run(ExecStrategy::Overlapped);
+        assert_eq!(
+            blocking.report.total_bytes(),
+            overlapped.report.total_bytes(),
+            "{name}: overlapping must not change traffic"
+        );
+        assert!(
+            overlapped.makespan() <= blocking.makespan() + 1e-12,
+            "acceptance: {name} overlapped {} must not exceed blocking {}",
+            overlapped.makespan(),
+            blocking.makespan()
+        );
+        let speedup = blocking.makespan() / overlapped.makespan();
+        max_speedup = max_speedup.max(speedup);
+        println!(
+            "  {name:<12} blocking {:.6} s  overlapped {:.6} s  speedup {speedup:.3}x  hidden {:.6} s",
+            blocking.makespan(),
+            overlapped.makespan(),
+            hidden
+        );
+        let _ = writeln!(
+            json,
+            "    \"{name}\": {{\"blocking_makespan\": {:.9}, \"overlapped_makespan\": {:.9}, \
+             \"speedup\": {:.3}, \"overlap_hidden\": {:.9}}}{}",
+            blocking.makespan(),
+            overlapped.makespan(),
+            speedup,
+            hidden,
+            if wi + 1 < nw { "," } else { "" }
+        );
     }
-    let out_path = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1).cloned())
-        .unwrap_or_else(|| "BENCH_PR2.json".to_string());
+    let _ = writeln!(json, "  }},\n  \"max_speedup\": {max_speedup:.3}\n}}");
+    assert!(
+        max_speedup >= 1.1,
+        "acceptance: overlapping must win >= 1.1x on at least one paper workload \
+         (best {max_speedup:.3}x)"
+    );
+    std::fs::write(out_path, &json).expect("write bench JSON");
+    println!("wrote {out_path} (max overlap speedup {max_speedup:.3}x)");
+}
 
-    let workloads: Vec<(&str, ParallelPlan)> = vec![
+/// The paper's SOR/Jacobi/ADI workloads under their rectangular and
+/// non-rectangular tilings, shared by every benchmark mode.
+fn paper_workloads() -> Vec<(&'static str, ParallelPlan)> {
+    vec![
         (
             "sor_rect",
             ParallelPlan::new(
@@ -495,7 +570,27 @@ fn main() {
             )
             .unwrap(),
         ),
-    ];
+    ]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--test" || a == "--smoke");
+    if args.iter().any(|a| a == "--obs-overhead") {
+        obs_overhead(smoke);
+        return;
+    }
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned());
+    if args.iter().any(|a| a == "--overlap-bench") {
+        overlap_bench(out_path.as_deref().unwrap_or("BENCH_PR4.json"));
+        return;
+    }
+    let out_path = out_path.unwrap_or_else(|| "BENCH_PR2.json".to_string());
+
+    let workloads = paper_workloads();
 
     let mut json = String::from("{\n  \"bench\": \"PR2 compiled tile execution hot paths\",\n");
     json.push_str("  \"unit\": \"ns_per_iter\",\n  \"workloads\": {\n");

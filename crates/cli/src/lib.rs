@@ -22,6 +22,7 @@ use tilecc_cluster::{CommScheme, EngineOptions, FaultPlan, MachineModel, Metrics
 use tilecc_frontend::{compile, lower, parse, Program};
 use tilecc_linalg::{RMat, Rational};
 use tilecc_loopnest::Algorithm;
+use tilecc_parcode::ExecStrategy;
 use tilecc_tiling::tiling_cone_rays;
 
 /// CLI error: message for the user, non-zero exit.
@@ -46,6 +47,9 @@ struct Options {
     map: Option<usize>,
     verify: bool,
     overlap: bool,
+    /// Tile execution strategy (`--strategy`): how each rank walks and
+    /// communicates its tiles.
+    strategy: ExecStrategy,
     model: MachineModel,
     /// Seed for deterministic fault injection (`--fault-seed`).
     fault_seed: Option<u64>,
@@ -162,6 +166,7 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
         map: None,
         verify: false,
         overlap: false,
+        strategy: ExecStrategy::default(),
         model: MachineModel::fast_ethernet_p3(),
         fault_seed: None,
         drop_rate: None,
@@ -203,6 +208,22 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
             "--overlap" => {
                 o.overlap = true;
                 i += 1;
+            }
+            "--strategy" => {
+                let v = args
+                    .get(i + 1)
+                    .ok_or(CliError("--strategy needs a value".into()))?;
+                o.strategy = match v.as_str() {
+                    "compiled" => ExecStrategy::Compiled,
+                    "reference" => ExecStrategy::Reference,
+                    "overlapped" => ExecStrategy::Overlapped,
+                    other => {
+                        return err(format!(
+                            "unknown --strategy `{other}` (expected compiled, reference, or overlapped)"
+                        ))
+                    }
+                };
+                i += 2;
             }
             "--zero-comm" => {
                 o.model = MachineModel::zero_comm(o.model.compute_per_iter);
@@ -417,6 +438,10 @@ options:
   --map <k>                   mapping dimension (default: longest)
   --verify                    full run, compare against sequential (run)
   --overlap                   overlapped communication scheme (run)
+  --strategy <s>              tile execution strategy: compiled (default),
+                              reference, or overlapped — compute the tile's
+                              boundary slab first and hide its sends behind
+                              the private interior (run)
   --zero-comm                 zero-cost network model (run)
   --fault-seed <s>            seed for deterministic fault injection (run)
   --drop-rate <p>             drop each send attempt with probability p;
@@ -527,26 +552,26 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
                         obs: reg.clone(),
                         ..EngineOptions::default()
                     };
+                    let run_err = |e: tilecc_cluster::RunError| {
+                        CliError(format!(
+                            "run failed: {e}\nranks implicated: {:?}",
+                            e.ranks()
+                        ))
+                    };
                     let summary = if opts.verify || fault.is_some() {
                         // Fault-injected runs go through the fallible engine
                         // entry point so failures carry rank-level context.
-                        let (s, _) = pipe.run_verified_opts(opts.model, options).map_err(|e| {
-                            CliError(format!(
-                                "run failed: {e}\nranks implicated: {:?}",
-                                e.ranks()
-                            ))
-                        })?;
+                        let (s, _) = pipe
+                            .run_verified_strategy(opts.model, opts.strategy, options)
+                            .map_err(run_err)?;
                         s
-                    } else if reg.is_some() {
-                        pipe.simulate_opts(opts.model, options).map_err(|e| {
-                            CliError(format!(
-                                "run failed: {e}\nranks implicated: {:?}",
-                                e.ranks()
-                            ))
-                        })?
                     } else {
-                        pipe.simulate_with(opts.model, scheme)
+                        pipe.simulate_strategy(opts.model, opts.strategy, options)
+                            .map_err(run_err)?
                     };
+                    if opts.strategy != ExecStrategy::default() {
+                        let _ = writeln!(out, "strategy   : {:?}", opts.strategy);
+                    }
                     let _ = writeln!(out, "processors : {}", summary.procs);
                     let _ = writeln!(out, "iterations : {}", summary.iterations);
                     let _ = writeln!(out, "seq time   : {:.6} s", summary.sequential_time);
@@ -691,6 +716,78 @@ boundary = 0.25
         ]))
         .unwrap();
         assert!(out.contains("speedup"), "{out}");
+    }
+
+    #[test]
+    fn overlapped_strategy_verifies_and_is_no_slower() {
+        let p = write_nest(ADI_SRC);
+        let makespan = |out: &str| -> f64 {
+            out.lines()
+                .find_map(|l| l.strip_prefix("makespan   :"))
+                .unwrap()
+                .trim()
+                .trim_end_matches(" s")
+                .parse()
+                .unwrap()
+        };
+        let run = |strategy: &str| {
+            run_cli(&args(&[
+                "run",
+                p.to_str(),
+                "--rect",
+                "2,4,4",
+                "--map",
+                "0",
+                "--verify",
+                "--strategy",
+                strategy,
+            ]))
+            .unwrap()
+        };
+        let overlapped = run("overlapped");
+        assert!(
+            overlapped.contains("strategy   : Overlapped"),
+            "{overlapped}"
+        );
+        assert!(overlapped.contains("verified   : true"), "{overlapped}");
+        let compiled = run("compiled");
+        assert!(
+            makespan(&overlapped) <= makespan(&compiled) + 1e-12,
+            "overlapped must not be slower\n{overlapped}\n{compiled}"
+        );
+    }
+
+    #[test]
+    fn unknown_strategy_is_rejected() {
+        let p = write_nest(ADI_SRC);
+        let e = run_cli(&args(&[
+            "run",
+            p.to_str(),
+            "--rect",
+            "2,4,4",
+            "--strategy",
+            "turbo",
+        ]))
+        .unwrap_err();
+        assert!(e.0.contains("unknown --strategy `turbo`"), "{e}");
+    }
+
+    #[test]
+    fn unwritable_artifact_paths_are_reported_not_panicked() {
+        // A nonexistent parent directory must surface as a CliError naming
+        // the artifact and path — never a panic or a silent success.
+        let p = write_nest(ADI_SRC);
+        let base = args(&["run", p.to_str(), "--rect", "2,4,4", "--map", "0"]);
+        for (flag, what) in [("--trace-out", "trace"), ("--metrics-out", "metrics")] {
+            let bad = "/nonexistent-tilecc-dir/artifact.json";
+            let mut a = base.clone();
+            a.extend(args(&[flag, bad]));
+            let e = run_cli(&a).unwrap_err();
+            assert!(
+                e.0.contains(&format!("cannot write {what} to `{bad}`")),
+                "{flag}: {e}"
+            );
+        }
     }
 
     #[test]

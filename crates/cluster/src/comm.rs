@@ -45,6 +45,10 @@ pub struct CommStats {
     pub messages_sent: u64,
     pub bytes_sent: u64,
     pub messages_received: u64,
+    /// Nominal bytes of every *accepted* envelope — duplicates suppressed by
+    /// the reliability layer are excluded, so a fault-free or faulty run
+    /// both conserve `bytes_received == bytes_sent`.
+    pub bytes_received: u64,
     /// Virtual seconds spent blocked waiting for messages.
     pub wait_time: f64,
     /// Virtual seconds spent computing.
@@ -139,6 +143,15 @@ pub trait Comm {
 
     /// Account `iters` loop iterations of local computation.
     fn advance_compute(&mut self, iters: u64);
+
+    /// Wait for every outstanding (overlapped) send to leave the NIC —
+    /// `MPI_Waitall` semantics. Advances the local clock by the comm-lane
+    /// overshoot beyond the current clock and returns that overshoot.
+    /// The default (and any blocking implementation) has no outstanding
+    /// sends, so it is a no-op.
+    fn drain_sends(&mut self) -> f64 {
+        0.0
+    }
 
     /// Current virtual time of this process.
     fn local_time(&self) -> f64;

@@ -55,6 +55,9 @@ pub enum Phase {
     Unpack,
     /// Writing a rank's LDS back into the global data space (driver-side).
     Gather,
+    /// Draining the rank's comm lane under the overlapped strategy: the
+    /// residual send/transit time not hidden behind interior compute.
+    Overlap,
 }
 
 impl Phase {
@@ -69,6 +72,7 @@ impl Phase {
             Phase::Recv => "recv",
             Phase::Unpack => "unpack",
             Phase::Gather => "gather",
+            Phase::Overlap => "overlap",
         }
     }
 
@@ -80,6 +84,7 @@ impl Phase {
             Phase::Send => 2,
             Phase::Pack => 3,
             Phase::Unpack => 4,
+            Phase::Overlap => 5,
             // Driver-side lanes (pid 0).
             Phase::Lower => 0,
             Phase::Plan => 1,
@@ -262,10 +267,16 @@ pub enum VirtAcc {
     Retrans,
     /// Injected stalls.
     Stall,
+    /// Comm-lane overshoot paid when draining outstanding overlapped sends
+    /// (the part of the lane that was *not* hidden behind compute).
+    Drain,
+    /// Comm-lane busy time hidden behind compute under the overlapped
+    /// strategy. Informational: NOT part of the clock partition.
+    OverlapHidden,
 }
 
 impl VirtAcc {
-    pub const COUNT: usize = 6;
+    pub const COUNT: usize = 8;
     pub const ALL: [VirtAcc; VirtAcc::COUNT] = [
         VirtAcc::Compute,
         VirtAcc::Wait,
@@ -273,6 +284,8 @@ impl VirtAcc {
         VirtAcc::RecvOverhead,
         VirtAcc::Retrans,
         VirtAcc::Stall,
+        VirtAcc::Drain,
+        VirtAcc::OverlapHidden,
     ];
 
     pub fn name(self) -> &'static str {
@@ -283,6 +296,8 @@ impl VirtAcc {
             VirtAcc::RecvOverhead => "recv_overhead_virt",
             VirtAcc::Retrans => "retrans_virt",
             VirtAcc::Stall => "stall_virt",
+            VirtAcc::Drain => "drain_virt",
+            VirtAcc::OverlapHidden => "overlap_hidden_virt",
         }
     }
 }
@@ -570,10 +585,23 @@ impl RankObs {
 
     /// Record a span ending now on this rank's pid.
     pub fn span(&mut self, phase: Phase, wall_start_ns: u64, virt: (f64, f64), detail: u64) {
+        self.named_span(phase, phase.name(), wall_start_ns, virt, detail);
+    }
+
+    /// [`RankObs::span`] with a refined event name (e.g.
+    /// `"compute-boundary"` / `"compute-interior"` under [`Phase::Compute`]).
+    pub fn named_span(
+        &mut self,
+        phase: Phase,
+        name: &'static str,
+        wall_start_ns: u64,
+        virt: (f64, f64),
+        detail: u64,
+    ) {
         let wall_end_ns = self.reg.now_ns();
         self.spans.push(Span {
             phase,
-            name: phase.name(),
+            name,
             pid: self.rank as u32 + 1,
             wall_start_ns,
             wall_end_ns,
@@ -708,8 +736,11 @@ pub struct RankReport {
     /// Virtual seconds blocked on data dependences (incl. injected stalls).
     pub wait: f64,
     /// Virtual seconds of communication CPU cost: send injection, receive
-    /// overhead and retransmission charges.
+    /// overhead, retransmission charges and overlapped-lane drains.
     pub comm: f64,
+    /// Virtual seconds of comm-lane time hidden behind compute under the
+    /// overlapped strategy (informational; not part of the partition).
+    pub overlap_hidden: f64,
     /// `compute / local_time` (0 for an idle rank).
     pub utilization: f64,
     pub counters: Vec<(Counter, u64)>,
@@ -738,13 +769,16 @@ impl RunReport {
             let wait = m.virt_get(VirtAcc::Wait) + m.virt_get(VirtAcc::Stall);
             let comm = m.virt_get(VirtAcc::Send)
                 + m.virt_get(VirtAcc::RecvOverhead)
-                + m.virt_get(VirtAcc::Retrans);
+                + m.virt_get(VirtAcc::Retrans)
+                + m.virt_get(VirtAcc::Drain);
+            let overlap_hidden = m.virt_get(VirtAcc::OverlapHidden);
             ranks.push(RankReport {
                 rank,
                 local_time,
                 compute,
                 wait,
                 comm,
+                overlap_hidden,
                 utilization: if local_time > 0.0 {
                     compute / local_time
                 } else {
@@ -798,6 +832,7 @@ impl RunReport {
             let _ = writeln!(j, "      \"compute\": {:.9},", r.compute);
             let _ = writeln!(j, "      \"wait\": {:.9},", r.wait);
             let _ = writeln!(j, "      \"comm\": {:.9},", r.comm);
+            let _ = writeln!(j, "      \"overlap_hidden\": {:.9},", r.overlap_hidden);
             let _ = writeln!(j, "      \"utilization\": {:.6},", r.utilization);
             let _ = writeln!(j, "      \"counters\": {{");
             let nc = r.counters.len();
@@ -897,6 +932,13 @@ impl RunReport {
             self.total(Counter::BoundaryTiles),
             self.total(Counter::Iterations),
         );
+        let hidden: f64 = self.ranks.iter().map(|r| r.overlap_hidden).sum();
+        if hidden > 0.0 {
+            let _ = writeln!(
+                out,
+                "  overlap    : {hidden:.6} s of comm-lane time hidden behind compute"
+            );
+        }
         if let Some(s) = self.slowest_rank() {
             let _ = writeln!(
                 out,
@@ -928,11 +970,16 @@ impl RunReport {
 /// artifacts and re-render saved metrics, with zero dependencies.
 pub mod json {
     /// A parsed JSON value.
+    ///
+    /// Integer lexemes (no `.`/`e`/`E`) parse to [`Json::Int`] so u64-sized
+    /// counters round-trip exactly; routing everything through `f64` would
+    /// silently lose precision above 2^53.
     #[derive(Clone, Debug, PartialEq)]
     pub enum Json {
         Null,
         Bool(bool),
         Num(f64),
+        Int(i128),
         Str(String),
         Arr(Vec<Json>),
         Obj(Vec<(String, Json)>),
@@ -950,6 +997,7 @@ pub mod json {
         pub fn as_f64(&self) -> Option<f64> {
             match self {
                 Json::Num(x) => Some(*x),
+                Json::Int(x) => Some(*x as f64),
                 _ => None,
             }
         }
@@ -957,6 +1005,14 @@ pub mod json {
         pub fn as_u64(&self) -> Option<u64> {
             match self {
                 Json::Num(x) if *x >= 0.0 && x.fract() == 0.0 => Some(*x as u64),
+                Json::Int(x) => u64::try_from(*x).ok(),
+                _ => None,
+            }
+        }
+
+        pub fn as_i128(&self) -> Option<i128> {
+            match self {
+                Json::Int(x) => Some(*x),
                 _ => None,
             }
         }
@@ -1040,12 +1096,23 @@ pub mod json {
             if self.peek() == Some(b'-') {
                 self.i += 1;
             }
+            let mut integral = true;
             while matches!(self.peek(), Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
             {
+                if matches!(self.s[self.i], b'.' | b'e' | b'E') {
+                    integral = false;
+                }
                 self.i += 1;
             }
-            std::str::from_utf8(&self.s[start..self.i])
-                .ok()
+            let lexeme = std::str::from_utf8(&self.s[start..self.i]).ok();
+            // Integer lexemes stay exact via i128; anything with a fraction
+            // or exponent (or beyond i128) takes the f64 path.
+            if integral {
+                if let Some(x) = lexeme.and_then(|t| t.parse::<i128>().ok()) {
+                    return Ok(Json::Int(x));
+                }
+            }
+            lexeme
                 .and_then(|t| t.parse::<f64>().ok())
                 .map(Json::Num)
                 .ok_or_else(|| format!("JSON error at byte {start}: bad number"))
@@ -1315,6 +1382,59 @@ mod tests {
     }
 
     #[test]
+    fn json_integers_round_trip_exactly() {
+        use json::{parse, Json};
+        // u64::MAX and the first values that f64 cannot represent exactly.
+        for v in [
+            u64::MAX,
+            (1u64 << 53) - 1,
+            1u64 << 53,
+            (1u64 << 53) + 1,
+            0,
+            1,
+        ] {
+            let doc = format!("{{\"c\": {v}}}");
+            let j = parse(&doc).expect("integer JSON must parse");
+            assert_eq!(
+                j.get("c").and_then(|x| x.as_u64()),
+                Some(v),
+                "u64 {v} must round-trip exactly"
+            );
+            assert_eq!(j.get("c").and_then(|x| x.as_i128()), Some(v as i128));
+        }
+        // Distinguishes 2^53 from 2^53 + 1, which f64 cannot.
+        let a = parse("9007199254740992").unwrap();
+        let b = parse("9007199254740993").unwrap();
+        assert_ne!(a, b);
+        // Negative integers and fractional/exponent forms keep working.
+        assert_eq!(parse("-42").unwrap().as_i128(), Some(-42));
+        assert_eq!(parse("2.5").unwrap().as_f64(), Some(2.5));
+        assert_eq!(parse("-3e2").unwrap().as_f64(), Some(-300.0));
+        assert_eq!(parse("1e3").unwrap(), Json::Num(1000.0));
+    }
+
+    #[test]
+    fn run_report_counters_survive_json_at_u64_extremes() {
+        let reg = MetricsRegistry::new();
+        let m = reg.rank_metrics(0);
+        m.add(Counter::BytesSent, u64::MAX);
+        m.add(Counter::Iterations, (1u64 << 53) + 1);
+        let report = reg.run_report(&[1.0]);
+        let j = json::parse(&report.to_json()).expect("metrics JSON must parse");
+        let counters = j.get("ranks").and_then(|r| r.as_arr()).unwrap()[0]
+            .get("counters")
+            .unwrap();
+        assert_eq!(
+            counters.get("bytes_sent").and_then(|v| v.as_u64()),
+            Some(u64::MAX)
+        );
+        assert_eq!(
+            counters.get("iterations").and_then(|v| v.as_u64()),
+            Some((1u64 << 53) + 1)
+        );
+    }
+
+    #[test]
     fn rank_report_split_partitions_local_time() {
         let reg = MetricsRegistry::new();
         let m = reg.rank_metrics(0);
@@ -1323,8 +1443,12 @@ mod tests {
         m.virt_add(VirtAcc::Send, 0.5);
         m.virt_add(VirtAcc::RecvOverhead, 0.25);
         m.virt_add(VirtAcc::Retrans, 0.125);
-        let report = reg.run_report(&[4.875]);
+        m.virt_add(VirtAcc::Drain, 0.0625);
+        // OverlapHidden is informational only: must NOT enter the partition.
+        m.virt_add(VirtAcc::OverlapHidden, 100.0);
+        let report = reg.run_report(&[4.9375]);
         let r = &report.ranks[0];
         assert!((r.compute + r.wait + r.comm - r.local_time).abs() < 1e-12);
+        assert_eq!(r.overlap_hidden, 100.0);
     }
 }

@@ -85,6 +85,13 @@ impl<R> RunReport<R> {
         self.stats.iter().map(|s| s.bytes_sent).sum()
     }
 
+    /// Aggregate bytes accepted by receivers across all ranks (duplicate
+    /// deliveries suppressed by the reliability layer are not counted, so
+    /// this equals [`RunReport::total_bytes`] even on faulty links).
+    pub fn total_bytes_received(&self) -> u64 {
+        self.stats.iter().map(|s| s.bytes_received).sum()
+    }
+
     /// Aggregate messages sent across all ranks.
     pub fn total_messages(&self) -> u64 {
         self.stats.iter().map(|s| s.messages_sent).sum()
@@ -231,6 +238,14 @@ pub struct ThreadedComm {
     model: MachineModel,
     scheme: CommScheme,
     clock: f64,
+    /// Per-rank NIC lane for the overlapped scheme: the virtual time the
+    /// lane finishes its last queued injection. Sends serialize on the lane
+    /// (`max(lane, clock) + send_cost`) instead of charging the CPU clock;
+    /// [`Comm::drain_sends`] max-merges the lane back into the clock.
+    comm_lane: f64,
+    /// Lane busy time accumulated since the last drain (for the
+    /// `overlap_hidden` accounting).
+    lane_busy: f64,
     stats: CommStats,
     trace: Option<Trace>,
     /// `txs[to]`: channel to each peer (slot `rank` unused).
@@ -419,13 +434,27 @@ impl Comm for ThreadedComm {
                     });
                 }
                 let pause = fault.backoff(attempt) + self.model.send_cost(nominal_bytes);
-                self.clock += pause;
                 self.stats.retransmissions += 1;
                 self.stats.retrans_time += pause;
+                match self.scheme {
+                    CommScheme::Blocking => {
+                        self.clock += pause;
+                        if let Some(o) = &self.obs {
+                            o.virt_add(VirtAcc::Retrans, pause);
+                        }
+                    }
+                    // Overlapped: the NIC retries in the background, so the
+                    // backoff occupies the comm lane, not the CPU clock —
+                    // it surfaces as Drain time if the lane overshoots.
+                    CommScheme::Overlapped => {
+                        let lane_start = self.comm_lane.max(self.clock);
+                        self.comm_lane = lane_start + pause;
+                        self.lane_busy += pause;
+                    }
+                }
                 if let Some(o) = &self.obs {
                     o.add(Counter::FaultDrops, 1);
                     o.add(Counter::Retransmits, 1);
-                    o.virt_add(VirtAcc::Retrans, pause);
                 }
             }
         }
@@ -439,7 +468,13 @@ impl Comm for ThreadedComm {
         let ready_at = match self.scheme {
             CommScheme::Blocking => self.clock + self.model.wire_latency,
             CommScheme::Overlapped => {
-                self.clock + self.model.send_cost(nominal_bytes) + self.model.wire_latency
+                // Sends serialize on the rank's NIC lane: each injection
+                // starts when both the lane and the CPU have reached it.
+                let lane_start = self.comm_lane.max(self.clock);
+                let lane_end = lane_start + self.model.send_cost(nominal_bytes);
+                self.comm_lane = lane_end;
+                self.lane_busy += self.model.send_cost(nominal_bytes);
+                lane_end + self.model.wire_latency
             }
         };
         let mut env = Envelope {
@@ -565,6 +600,7 @@ impl Comm for ThreadedComm {
             }
         }
         self.stats.messages_received += 1;
+        self.stats.bytes_received += env.bytes as u64;
         if let Some(tr) = &mut self.trace {
             tr.events.push(Event::Recv {
                 start,
@@ -587,6 +623,23 @@ impl Comm for ThreadedComm {
             }
         }
         Ok(env.payload)
+    }
+
+    fn drain_sends(&mut self) -> f64 {
+        let overshoot = (self.comm_lane - self.clock).max(0.0);
+        let hidden = (self.lane_busy - overshoot).max(0.0);
+        if let Some(o) = &self.obs {
+            if overshoot > 0.0 {
+                o.virt_add(VirtAcc::Drain, overshoot);
+            }
+            if hidden > 0.0 {
+                o.virt_add(VirtAcc::OverlapHidden, hidden);
+            }
+        }
+        self.clock += overshoot;
+        self.comm_lane = self.clock;
+        self.lane_busy = 0.0;
+        overshoot
     }
 
     fn advance_compute(&mut self, iters: u64) {
@@ -773,6 +826,8 @@ where
             model,
             scheme,
             clock: 0.0,
+            comm_lane: 0.0,
+            lane_busy: 0.0,
             stats: CommStats::default(),
             trace: options.trace.then(Trace::default),
             pending: (0..size).map(|_| Vec::new()).collect(),
@@ -1152,6 +1207,95 @@ mod overlap_tests {
         // Overlapped: 10 + (5+2) + 10 + (5+2) + 10 = 44 — injection and
         // receive overheads are off the CPU, wire+bandwidth delay remains.
         assert!((overlapped.makespan() - 44.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn drain_sends_pays_only_the_lane_overshoot() {
+        let report = run_cluster_with(2, model(), CommScheme::Overlapped, |comm| {
+            if comm.rank() == 0 {
+                // Two back-to-back sends serialize on the NIC lane: the lane
+                // reaches 2 × 5 = 10 while the CPU clock stays at 0.
+                comm.send(1, vec![1.0], 0);
+                comm.send(1, vec![2.0], 0);
+                let before = comm.local_time();
+                let paid = comm.drain_sends();
+                assert!((before - 0.0).abs() < 1e-12);
+                assert!((paid - 10.0).abs() < 1e-12);
+                // Idempotent: a second drain finds an empty lane.
+                assert_eq!(comm.drain_sends(), 0.0);
+                comm.local_time()
+            } else {
+                comm.recv(0);
+                comm.recv(0);
+                comm.drain_sends();
+                comm.local_time()
+            }
+        });
+        assert!((report.results[0] - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn drain_after_compute_hides_the_lane() {
+        // The send's lane time runs concurrently with the compute that
+        // follows it, so the drain right after costs nothing.
+        let report = run_cluster_with(2, model(), CommScheme::Overlapped, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, vec![1.0], 0);
+                comm.advance_compute(20); // 20 > send_cost 5: fully hides it
+                let paid = comm.drain_sends();
+                assert_eq!(paid, 0.0);
+                comm.local_time()
+            } else {
+                comm.recv(0);
+                comm.local_time()
+            }
+        });
+        assert!((report.results[0] - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn blocking_drain_is_a_no_op() {
+        let report = run_cluster_with(2, model(), CommScheme::Blocking, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, vec![1.0], 0);
+                let t = comm.local_time();
+                assert_eq!(comm.drain_sends(), 0.0);
+                assert_eq!(comm.local_time(), t);
+            } else {
+                comm.recv(0);
+            }
+            comm.local_time()
+        });
+        assert!((report.results[0] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn receivers_account_accepted_bytes() {
+        let report = pipeline_run(CommScheme::Overlapped);
+        assert_eq!(report.total_bytes_received(), report.total_bytes());
+        let faulty = run_cluster_opts(
+            3,
+            MachineModel::fast_ethernet_p3(),
+            EngineOptions {
+                fault: Some(FaultPlan::chaos(0xABCD, 0.3)),
+                ..EngineOptions::default()
+            },
+            |comm| {
+                let r = comm.rank();
+                let n = comm.size();
+                let mut acc = r as f64;
+                for round in 0..6 {
+                    comm.advance_compute(10);
+                    comm.send_tagged((r + 1) % n, round, vec![acc], 8);
+                    acc += comm.recv_tagged((r + n - 1) % n, round)[0];
+                }
+                acc
+            },
+        )
+        .unwrap();
+        // Duplicate-suppressed envelopes must not double-count bytes.
+        assert!(faulty.total_duplicates_suppressed() > 0 || faulty.total_retransmissions() > 0);
+        assert_eq!(faulty.total_bytes_received(), faulty.total_bytes());
     }
 
     #[test]

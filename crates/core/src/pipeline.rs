@@ -6,7 +6,10 @@ use std::sync::Arc;
 use tilecc_cluster::{CommScheme, EngineOptions, MachineModel, MetricsRegistry, RunError};
 use tilecc_linalg::RMat;
 use tilecc_loopnest::{Algorithm, DataSpace};
-use tilecc_parcode::{emit_c_mpi, execute, execute_opts, ExecMode, ExecutionResult, ParallelPlan};
+use tilecc_parcode::{
+    emit_c_mpi, execute, execute_opts, execute_strategy, ExecMode, ExecStrategy, ExecutionResult,
+    ParallelPlan,
+};
 use tilecc_tiling::{TilingError, TilingTransform};
 
 /// High-level driver for one (algorithm, tiling) pair.
@@ -111,6 +114,42 @@ impl Pipeline {
         Ok(self.summarize(&res, &model, None))
     }
 
+    /// Timing-only run under an explicit [`ExecStrategy`] —
+    /// [`ExecStrategy::Overlapped`] computes each tile's boundary slab
+    /// first, posts its sends on the NIC lane, and hides them behind the
+    /// private interior.
+    pub fn simulate_strategy(
+        &self,
+        model: MachineModel,
+        strategy: ExecStrategy,
+        options: EngineOptions,
+    ) -> Result<RunSummary, RunError> {
+        let res = execute_strategy(
+            self.plan.clone(),
+            model,
+            ExecMode::TimingOnly,
+            strategy,
+            options,
+        )?;
+        Ok(self.summarize(&res, &model, None))
+    }
+
+    /// Full run under an explicit [`ExecStrategy`], verified bitwise
+    /// against the sequential reference execution.
+    pub fn run_verified_strategy(
+        &self,
+        model: MachineModel,
+        strategy: ExecStrategy,
+        options: EngineOptions,
+    ) -> Result<(RunSummary, DataSpace), RunError> {
+        let res = execute_strategy(self.plan.clone(), model, ExecMode::Full, strategy, options)?;
+        let parallel = res.data.as_ref().expect("full mode returns data");
+        let sequential = self.plan.algorithm.execute_sequential();
+        let verified = sequential.diff(parallel).is_none();
+        let summary = self.summarize(&res, &model, Some(verified));
+        Ok((summary, res.data.unwrap()))
+    }
+
     /// Run fully and verify the gathered data against the sequential
     /// reference execution (bitwise).
     ///
@@ -131,12 +170,7 @@ impl Pipeline {
         model: MachineModel,
         options: EngineOptions,
     ) -> Result<(RunSummary, DataSpace), RunError> {
-        let res = execute_opts(self.plan.clone(), model, ExecMode::Full, options)?;
-        let parallel = res.data.as_ref().expect("full mode returns data");
-        let sequential = self.plan.algorithm.execute_sequential();
-        let verified = sequential.diff(parallel).is_none();
-        let summary = self.summarize(&res, &model, Some(verified));
-        Ok((summary, res.data.unwrap()))
+        self.run_verified_strategy(model, ExecStrategy::default(), options)
     }
 
     /// Emit the C/MPI source for this plan.
@@ -234,6 +268,36 @@ mod tests {
             summary.retransmissions > 0,
             "drops must surface in the summary"
         );
+    }
+
+    #[test]
+    fn overlapped_strategy_through_pipeline() {
+        let alg = kernels::adi(6, 8);
+        let pipe = Pipeline::compile_transform(
+            alg,
+            tilecc_tiling::TilingTransform::rectangular(&[2, 4, 4]).unwrap(),
+            Some(0),
+        )
+        .unwrap();
+        let model = MachineModel::fast_ethernet_p3();
+        let (summary, _) = pipe
+            .run_verified_strategy(model, ExecStrategy::Overlapped, EngineOptions::default())
+            .unwrap();
+        assert_eq!(summary.verified, Some(true));
+        let blocking = pipe
+            .simulate_strategy(model, ExecStrategy::Compiled, EngineOptions::default())
+            .unwrap();
+        let overlapped = pipe
+            .simulate_strategy(model, ExecStrategy::Overlapped, EngineOptions::default())
+            .unwrap();
+        assert!(
+            overlapped.makespan <= blocking.makespan + 1e-12,
+            "overlapped {} vs blocking {}",
+            overlapped.makespan,
+            blocking.makespan
+        );
+        assert_eq!(overlapped.bytes, blocking.bytes);
+        assert_eq!(overlapped.messages, blocking.messages);
     }
 
     #[test]

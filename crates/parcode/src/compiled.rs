@@ -29,6 +29,7 @@
 //! halo unpack cells that fall outside the allocation — writes the reference
 //! path's `Lds::set_all` silently drops — are marked [`SKIP`] at build time.
 
+use std::collections::BTreeMap;
 use tilecc_linalg::vecops::div_floor;
 use tilecc_linalg::IMat;
 use tilecc_loopnest::{DataSpace, MultiKernel};
@@ -75,6 +76,14 @@ pub struct CompiledChain {
     /// `comm.tile_deps`; empty for intra-processor dependences): halo cell
     /// of each region point at `tpos = 0`, or [`SKIP`].
     pub unpack_rel: Vec<Vec<i64>>,
+    /// Boundary-slab point indices (into the TTIS walk order), ascending:
+    /// the dependence closure of the union of the pack regions. Executing
+    /// these first makes every pack region ready to send before the
+    /// interior runs (the overlapped strategy's compute-boundary pass).
+    pub boundary_order: Vec<u32>,
+    /// The complementary private-interior point indices, ascending. No pack
+    /// region reads them, so they compute while sends are in flight.
+    pub interior_order: Vec<u32>,
 }
 
 impl CompiledChain {
@@ -124,9 +133,11 @@ impl CompiledChain {
         let mut j_off = Vec::new();
         let mut src_rel = Vec::new();
         let mut gather_rel = Vec::new();
+        let mut coords: Vec<Vec<i64>> = Vec::new();
         let mut g0 = vec![0i64; n];
         let zero = vec![0i64; n];
         lat.for_each_in_box(&zero, v, |jp| {
+            coords.push(jp.to_vec());
             let cell = flat_checked(jp, "owned");
             assert!(cell + (num_tiles - 1) * chain_step < total_cells);
             dst.push(cell);
@@ -197,6 +208,60 @@ impl CompiledChain {
             })
             .collect();
 
+        // Boundary/interior split for the overlapped strategy. The slab is
+        // the *dependence closure* of the union of the pack regions: every
+        // TTIS point some pack-region point transitively reads within the
+        // tile, not just the regions themselves — tiling validity gives
+        // `d' = H'·d ≥ 0`, so region points read *lower* lattice points and
+        // a region-only pass would execute them against stale cells.
+        // Because `d' ≥ 0` also makes the ascending lattice walk order a
+        // topological order, running the slab in walk order, then the
+        // interior in walk order, respects every intra-tile dependence:
+        // the closure is predecessor-closed, so no slab point reads an
+        // interior point.
+        assert!(tile_points <= u32::MAX as usize, "tile too large to index");
+        let index_of: BTreeMap<&[i64], usize> = coords
+            .iter()
+            .enumerate()
+            .map(|(i, jp)| (jp.as_slice(), i))
+            .collect();
+        let mut in_slab = vec![false; tile_points];
+        let mut work: Vec<usize> = Vec::new();
+        for dm in &comm.proc_deps {
+            let lo = comm.region_lo(dm, v);
+            for (i, jp) in coords.iter().enumerate() {
+                if !in_slab[i] && jp.iter().zip(&lo).all(|(&x, &l)| x >= l) {
+                    in_slab[i] = true;
+                    work.push(i);
+                }
+            }
+        }
+        let mut pred = vec![0i64; n];
+        while let Some(i) = work.pop() {
+            for dq in 0..q {
+                for k in 0..n {
+                    pred[k] = coords[i][k] - comm.d_prime[(k, dq)];
+                }
+                // `j' − d'` stays on the lattice (d' = H'·d), so box
+                // membership is exactly map membership.
+                if let Some(&p) = index_of.get(pred.as_slice()) {
+                    if !in_slab[p] {
+                        in_slab[p] = true;
+                        work.push(p);
+                    }
+                }
+            }
+        }
+        let boundary_order: Vec<u32> = (0..tile_points)
+            .filter(|&i| in_slab[i])
+            .map(|i| i as u32)
+            .collect();
+        let interior_order: Vec<u32> = (0..tile_points)
+            .filter(|&i| !in_slab[i])
+            .map(|i| i as u32)
+            .collect();
+        debug_assert_eq!(boundary_order.len() + interior_order.len(), tile_points);
+
         CompiledChain {
             num_tiles,
             tile_points,
@@ -209,6 +274,8 @@ impl CompiledChain {
             gather_rel,
             pack_rel,
             unpack_rel,
+            boundary_order,
+            interior_order,
         }
     }
 
@@ -310,6 +377,109 @@ pub fn compute_tile_clamped(
     iters
 }
 
+/// [`compute_tile_fast`] restricted to a point subset (ascending walk-order
+/// indices): the overlapped strategy's boundary and interior passes.
+#[allow(clippy::too_many_arguments)]
+pub fn compute_tile_fast_subset(
+    chain: &CompiledChain,
+    lds: &mut Lds,
+    tpos: i64,
+    origin: &[i64],
+    kernel: &dyn MultiKernel,
+    reads: &mut [f64],
+    out: &mut [f64],
+    j_buf: &mut [i64],
+    subset: &[u32],
+) {
+    let (n, q, w) = (chain.n, chain.q, lds.width());
+    let base = tpos * chain.chain_step;
+    for &i in subset {
+        let i = i as usize;
+        for k in 0..n {
+            j_buf[k] = origin[k] + chain.j_off[i * n + k];
+        }
+        let vals = lds.values();
+        for dq in 0..q {
+            let cell = (base + chain.src_rel[i * q + dq]) as usize;
+            reads[dq * w..(dq + 1) * w].copy_from_slice(&vals[cell * w..(cell + 1) * w]);
+        }
+        kernel.compute(j_buf, reads, out);
+        let cell = (base + chain.dst[i]) as usize;
+        lds.values_mut()[cell * w..(cell + 1) * w].copy_from_slice(out);
+    }
+}
+
+/// [`compute_tile_clamped`] restricted to a point subset. Returns the
+/// number of in-space iterations executed.
+#[allow(clippy::too_many_arguments)]
+pub fn compute_tile_clamped_subset(
+    chain: &CompiledChain,
+    lds: &mut Lds,
+    tpos: i64,
+    origin: &[i64],
+    kernel: &dyn MultiKernel,
+    space: &Polyhedron,
+    deps: &IMat,
+    reads: &mut [f64],
+    out: &mut [f64],
+    j_buf: &mut [i64],
+    src_buf: &mut [i64],
+    subset: &[u32],
+) -> u64 {
+    let (n, q, w) = (chain.n, chain.q, lds.width());
+    let base = tpos * chain.chain_step;
+    let mut iters = 0u64;
+    for &i in subset {
+        let i = i as usize;
+        for k in 0..n {
+            j_buf[k] = origin[k] + chain.j_off[i * n + k];
+        }
+        if !space.contains(j_buf) {
+            continue;
+        }
+        iters += 1;
+        for dq in 0..q {
+            for k in 0..n {
+                src_buf[k] = j_buf[k] - deps[(k, dq)];
+            }
+            if space.contains(src_buf) {
+                let cell = (base + chain.src_rel[i * q + dq]) as usize;
+                reads[dq * w..(dq + 1) * w]
+                    .copy_from_slice(&lds.values()[cell * w..(cell + 1) * w]);
+            } else {
+                kernel.initial(src_buf, &mut reads[dq * w..(dq + 1) * w]);
+            }
+        }
+        kernel.compute(j_buf, reads, out);
+        let cell = (base + chain.dst[i]) as usize;
+        lds.values_mut()[cell * w..(cell + 1) * w].copy_from_slice(out);
+    }
+    iters
+}
+
+/// Count the in-space points of a subset of a tile's TTIS walk without
+/// touching any data — the timing-only path of the overlapped strategy.
+pub fn count_in_space_subset(
+    chain: &CompiledChain,
+    origin: &[i64],
+    space: &Polyhedron,
+    subset: &[u32],
+    j_buf: &mut [i64],
+) -> u64 {
+    let n = chain.n;
+    let mut iters = 0u64;
+    for &i in subset {
+        let i = i as usize;
+        for k in 0..n {
+            j_buf[k] = origin[k] + chain.j_off[i * n + k];
+        }
+        if space.contains(j_buf) {
+            iters += 1;
+        }
+    }
+    iters
+}
+
 /// Fill `payload` with the pack region of processor dependence `dm_idx` at
 /// chain position `tpos` — a dense index-list copy.
 pub fn pack_region(
@@ -370,5 +540,232 @@ pub fn gather_tile_fast(
         let src = (base + chain.dst[i]) as usize;
         let cell = (gbase + chain.gather_rel[i]) as usize;
         ds.write_cell(cell, &vals[src * w..(src + 1) * w]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::plan::ParallelPlan;
+    use tilecc_linalg::{RMat, Rational};
+    use tilecc_loopnest::kernels;
+    use tilecc_tiling::TilingTransform;
+
+    /// xorshift64* — the same generator the fuzz harness uses, so failures
+    /// reproduce from the printed seed alone.
+    struct G(u64);
+    impl G {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.0 = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+        fn range(&mut self, lo: i64, hi: i64) -> i64 {
+            lo + (self.next() % (hi - lo + 1) as u64) as i64
+        }
+    }
+
+    /// The boundary/interior split must partition the tile's TTIS points:
+    /// no overlap, no gap, pack-region seeds on the boundary side, the
+    /// boundary predecessor-closed under every `d'` column (so the slab
+    /// never reads an interior point), and the two in-space subset counts
+    /// summing to exactly `tile_iterations` on every tile — across random
+    /// non-rectangular tilings of all three paper kernels.
+    #[test]
+    fn split_partitions_ttis_points_across_random_tilings() {
+        let mut g = G(0x5EED_CAFE);
+        let mut valid = 0usize;
+        let mut nonrect = 0usize;
+        let mut with_interior = 0usize;
+        for case in 0..100 {
+            let which = g.range(0, 2);
+            let alg = match which {
+                0 => kernels::sor_skewed(6, 9, 1.1),
+                1 => kernels::jacobi_skewed(5, 7, 6),
+                _ => kernels::adi(6, 8),
+            };
+            let n = alg.nest.dim();
+            let fs: Vec<i64> = (0..n).map(|_| g.range(2, 4)).collect();
+            let (x, y, z) = (fs[0], fs[1], fs[2]);
+            // Half the cases draw from the paper's non-rectangular tiling
+            // families (§4) with random factors; the rest perturb a random
+            // lower-triangular H (most die in validation — that's fine,
+            // the survivors add shape diversity).
+            let (h, offdiag) = if g.next().is_multiple_of(2) {
+                let shape = g.range(0, 2);
+                let h = match (which, shape) {
+                    // SOR H_nr family: skew row z against row x.
+                    (0, _) => RMat::from_fractions(&[
+                        &[(1, x), (0, 1), (0, 1)],
+                        &[(0, 1), (1, y), (0, 1)],
+                        &[(-1, z), (0, 1), (1, z)],
+                    ]),
+                    // Jacobi H_nr: skew row x against row y.
+                    (1, _) => RMat::from_fractions(&[
+                        &[(1, x), (-1, 2 * x), (0, 1)],
+                        &[(0, 1), (1, y), (0, 1)],
+                        &[(0, 1), (0, 1), (1, z)],
+                    ]),
+                    // ADI H_nr1 / H_nr2 / H_nr3.
+                    (_, 0) => RMat::from_fractions(&[
+                        &[(1, x), (-1, x), (0, 1)],
+                        &[(0, 1), (1, y), (0, 1)],
+                        &[(0, 1), (0, 1), (1, z)],
+                    ]),
+                    (_, 1) => RMat::from_fractions(&[
+                        &[(1, x), (0, 1), (-1, x)],
+                        &[(0, 1), (1, y), (0, 1)],
+                        &[(0, 1), (0, 1), (1, z)],
+                    ]),
+                    (_, _) => RMat::from_fractions(&[
+                        &[(1, x), (-1, x), (-1, x)],
+                        &[(0, 1), (1, y), (0, 1)],
+                        &[(0, 1), (0, 1), (1, z)],
+                    ]),
+                };
+                (h, true)
+            } else {
+                let mut offdiag = false;
+                let mut rows: Vec<Vec<Rational>> = Vec::new();
+                for i in 0..n {
+                    let mut row = vec![Rational::ZERO; n];
+                    row[i] = Rational::new(1, fs[i] as i128);
+                    for cell in row.iter_mut().take(i) {
+                        if g.next().is_multiple_of(2) {
+                            let s = g.range(1, 2) * 2;
+                            *cell = Rational::new(-1, (fs[i] * s) as i128);
+                            offdiag = true;
+                        }
+                    }
+                    rows.push(row);
+                }
+                (RMat::from_fn(n, n, |i, j| rows[i][j]), offdiag)
+            };
+            let Ok(t) = TilingTransform::new(h) else {
+                continue;
+            };
+            if t.validate_for(alg.nest.deps()).is_err() {
+                continue;
+            }
+            let m = (g.next() % n as u64) as usize;
+            let Ok(plan) = ParallelPlan::new(alg, t, Some(m)) else {
+                continue;
+            };
+            valid += 1;
+            if offdiag {
+                nonrect += 1;
+            }
+
+            let tr = plan.tiled.transform();
+            let v = tr.v();
+            let lat = tr.lattice();
+            let zero = vec![0i64; n];
+            let mut coords: Vec<Vec<i64>> = Vec::new();
+            lat.for_each_in_box(&zero, v, |jp| coords.push(jp.to_vec()));
+            let index_of: std::collections::BTreeMap<&[i64], usize> = coords
+                .iter()
+                .enumerate()
+                .map(|(i, jp)| (jp.as_slice(), i))
+                .collect();
+
+            let mut lens = std::collections::BTreeSet::new();
+            for &(lo_t, hi_t) in &plan.dist.chains {
+                lens.insert(hi_t - lo_t + 1);
+            }
+            for &len in &lens {
+                let chain = plan.compiled_for(len);
+                assert_eq!(chain.tile_points, coords.len(), "case {case}");
+
+                // Partition: each side strictly ascending, union complete.
+                let mut side = vec![None; chain.tile_points];
+                for (order, tag) in [
+                    (&chain.boundary_order, true),
+                    (&chain.interior_order, false),
+                ] {
+                    assert!(order.windows(2).all(|w| w[0] < w[1]), "case {case}");
+                    for &i in order.iter() {
+                        assert!(
+                            side[i as usize].replace(tag).is_none(),
+                            "case {case}: point {i} on both sides"
+                        );
+                    }
+                }
+                assert!(
+                    side.iter().all(Option::is_some),
+                    "case {case}: split leaves a gap"
+                );
+
+                // Pack-region seeds are boundary points.
+                for dm in &plan.comm.proc_deps {
+                    let lo = plan.comm.region_lo(dm, v);
+                    for (i, jp) in coords.iter().enumerate() {
+                        if jp.iter().zip(&lo).all(|(&x, &l)| x >= l) {
+                            assert_eq!(
+                                side[i],
+                                Some(true),
+                                "case {case}: region point {jp:?} not in slab"
+                            );
+                        }
+                    }
+                }
+
+                // Predecessor-closed: a slab point's intra-tile reads are
+                // slab points, so the interior never feeds a send.
+                let q = plan.comm.d_prime.cols();
+                let mut pred = vec![0i64; n];
+                for &i in chain.boundary_order.iter() {
+                    for dq in 0..q {
+                        for k in 0..n {
+                            pred[k] = coords[i as usize][k] - plan.comm.d_prime[(k, dq)];
+                        }
+                        if let Some(&p) = index_of.get(pred.as_slice()) {
+                            assert_eq!(
+                                side[p],
+                                Some(true),
+                                "case {case}: slab reads interior point {pred:?}"
+                            );
+                        }
+                    }
+                }
+                if !chain.interior_order.is_empty() {
+                    with_interior += 1;
+                }
+            }
+
+            // In-space subset counts partition every tile's iterations.
+            let mut j_buf = vec![0i64; n];
+            let space = plan.tiled.space();
+            if let Some(&(lo_t, hi_t)) = plan.dist.chains.first() {
+                // Per-tile counts are chain-length independent.
+                let chain = plan.compiled_for(hi_t - lo_t + 1);
+                for tile in plan.tiled.tiles() {
+                    let origin = super::tile_origin(tr, &tile);
+                    let b = super::count_in_space_subset(
+                        chain,
+                        &origin,
+                        space,
+                        &chain.boundary_order,
+                        &mut j_buf,
+                    );
+                    let i = super::count_in_space_subset(
+                        chain,
+                        &origin,
+                        space,
+                        &chain.interior_order,
+                        &mut j_buf,
+                    );
+                    let expect = plan.tiled.tile_iterations(&tile).count() as u64;
+                    assert_eq!(b + i, expect, "case {case}: tile {tile:?}");
+                }
+            }
+        }
+        assert!(valid >= 10, "only {valid} valid sampled tilings");
+        assert!(nonrect >= 5, "only {nonrect} non-rectangular tilings");
+        assert!(
+            with_interior >= 1,
+            "no sampled tiling produced a private interior"
+        );
     }
 }

@@ -10,7 +10,8 @@
 //! per processor dependence that has a valid successor tile.
 
 use crate::compiled::{
-    compute_tile_clamped, compute_tile_fast, pack_region, tile_origin, unpack_region,
+    compute_tile_clamped, compute_tile_clamped_subset, compute_tile_fast, compute_tile_fast_subset,
+    count_in_space_subset, pack_region, tile_origin, unpack_region, CompiledChain,
 };
 use crate::plan::ParallelPlan;
 use std::sync::Arc;
@@ -43,6 +44,14 @@ pub enum ExecStrategy {
     /// The per-point reference path: re-derives every LDS address and walks
     /// every communication region per tile. Kept as the correctness oracle.
     Reference,
+    /// Compiled execution with the boundary/interior split: each tile's
+    /// boundary slab (the dependence closure of its pack regions) computes
+    /// first, the sends post onto the background comm lane, the private
+    /// interior computes while they are in flight, and the rank drains the
+    /// lane at chain end. Forces [`CommScheme::Overlapped`]; data is
+    /// bitwise identical to the other strategies and the makespan is never
+    /// worse than `Compiled` under the blocking scheme.
+    Overlapped,
 }
 
 /// Per-rank result: the rank's Local Data Space (`Full` mode only — the
@@ -130,8 +139,13 @@ pub fn execute_strategy(
     model: MachineModel,
     mode: ExecMode,
     strategy: ExecStrategy,
-    options: EngineOptions,
+    mut options: EngineOptions,
 ) -> Result<ExecutionResult, RunError> {
+    // The boundary/interior reorder only pays off when sends actually run
+    // in the background; the strategy implies the comm scheme.
+    if strategy == ExecStrategy::Overlapped {
+        options.scheme = CommScheme::Overlapped;
+    }
     let nprocs = plan.num_procs();
     let plan2 = plan.clone();
     let obs_reg = options.obs.clone();
@@ -178,7 +192,10 @@ fn gather(
             let tile_t0 = obs.map(|r| r.now_ns());
             let tpos = t_abs - lo_t;
             let cur_tile = insert_at(pid, m, t_abs);
-            if strategy == ExecStrategy::Compiled && plan.tiled.tile_is_interior(&cur_tile) {
+            if !plan.tiled.tile_valid(&cur_tile) {
+                continue;
+            }
+            if strategy != ExecStrategy::Reference && plan.tiled.tile_is_interior(&cur_tile) {
                 let origin = tile_origin(t, &cur_tile);
                 crate::compiled::gather_tile_fast(chain, lds, tpos, &origin, &mut ds);
             } else {
@@ -240,6 +257,12 @@ fn run_rank(
     for t_abs in lo_t..=hi_t {
         let tpos = t_abs - lo_t; // chain-relative tile position
         let cur_tile = insert_at(&pid, m, t_abs);
+        // Chains span [min, max] of a pid's non-empty tiles; an empty
+        // candidate inside that range is not a valid tile (plan-time
+        // pruning) and must neither compute nor touch any channel.
+        if !plan.tiled.tile_valid(&cur_tile) {
+            continue;
+        }
 
         // --- RECEIVE ------------------------------------------------------
         for (i, ds) in plan.comm.tile_deps.iter().enumerate() {
@@ -271,7 +294,9 @@ fn run_rank(
                     None
                 };
                 match strategy {
-                    ExecStrategy::Compiled => unpack_region(chain, &mut lds, tpos, i, &payload),
+                    ExecStrategy::Compiled | ExecStrategy::Overlapped => {
+                        unpack_region(chain, &mut lds, tpos, i, &payload)
+                    }
                     ExecStrategy::Reference => {
                         // Unpack into the LDS: sender's region points,
                         // addressed as data of chain tile (tpos − ds_m)
@@ -310,9 +335,9 @@ fn run_rank(
         // Interior/boundary classification feeds both the compiled dispatch
         // and the tile-mix counters; only run it when someone consumes it so
         // the TimingOnly hot path stays untouched with observability off.
-        let classify = obs_on || (mode == ExecMode::Full && strategy == ExecStrategy::Compiled);
+        let classify = obs_on || (mode == ExecMode::Full && strategy != ExecStrategy::Reference);
         let is_interior = classify && plan.tiled.tile_is_compute_interior(&cur_tile, deps);
-        let compute_t0 = if obs_on {
+        let compute_t0 = if obs_on && strategy != ExecStrategy::Overlapped {
             comm.obs().map(|o| o.now_ns())
         } else {
             None
@@ -320,6 +345,142 @@ fn run_rank(
         let compute_v0 = comm.local_time();
         let mut tile_iters: u64 = 0;
         match (mode, strategy) {
+            // Overlapped order: boundary slab → post sends → private
+            // interior. The slab is the dependence closure of the pack
+            // regions, so after it every outgoing payload is final; the
+            // interior then computes while the sends ride the comm lane.
+            (_, ExecStrategy::Overlapped) => {
+                let origin = tile_origin(t, &cur_tile);
+                let space_interior =
+                    mode == ExecMode::TimingOnly && plan.tiled.tile_is_interior(&cur_tile);
+                let b_t0 = if obs_on {
+                    comm.obs().map(|o| o.now_ns())
+                } else {
+                    None
+                };
+                let b_v0 = comm.local_time();
+                let boundary_iters = match mode {
+                    ExecMode::TimingOnly if space_interior => chain.boundary_order.len() as u64,
+                    ExecMode::TimingOnly => count_in_space_subset(
+                        chain,
+                        &origin,
+                        space,
+                        &chain.boundary_order,
+                        &mut j_buf,
+                    ),
+                    ExecMode::Full if is_interior => {
+                        compute_tile_fast_subset(
+                            chain,
+                            &mut lds,
+                            tpos,
+                            &origin,
+                            kernel.as_ref(),
+                            &mut reads,
+                            &mut out,
+                            &mut j_buf,
+                            &chain.boundary_order,
+                        );
+                        chain.boundary_order.len() as u64
+                    }
+                    ExecMode::Full => compute_tile_clamped_subset(
+                        chain,
+                        &mut lds,
+                        tpos,
+                        &origin,
+                        kernel.as_ref(),
+                        space,
+                        deps,
+                        &mut reads,
+                        &mut out,
+                        &mut j_buf,
+                        &mut src,
+                        &chain.boundary_order,
+                    ),
+                };
+                comm.advance_compute(boundary_iters);
+                if let Some(t0) = b_t0 {
+                    if boundary_iters > 0 {
+                        let v1 = comm.local_time();
+                        if let Some(o) = comm.obs() {
+                            o.observe(HistId::ComputeTileNs, o.now_ns().saturating_sub(t0));
+                            o.named_span(
+                                Phase::Compute,
+                                "compute-boundary",
+                                t0,
+                                (b_v0, v1),
+                                boundary_iters,
+                            );
+                        }
+                    }
+                }
+
+                send_tile(
+                    plan, chain, comm, &lds, mode, strategy, obs_on, &pid, &cur_tile, tpos, t_abs,
+                    w,
+                );
+
+                let i_t0 = if obs_on {
+                    comm.obs().map(|o| o.now_ns())
+                } else {
+                    None
+                };
+                let i_v0 = comm.local_time();
+                let interior_iters = match mode {
+                    ExecMode::TimingOnly if space_interior => chain.interior_order.len() as u64,
+                    ExecMode::TimingOnly => count_in_space_subset(
+                        chain,
+                        &origin,
+                        space,
+                        &chain.interior_order,
+                        &mut j_buf,
+                    ),
+                    ExecMode::Full if is_interior => {
+                        compute_tile_fast_subset(
+                            chain,
+                            &mut lds,
+                            tpos,
+                            &origin,
+                            kernel.as_ref(),
+                            &mut reads,
+                            &mut out,
+                            &mut j_buf,
+                            &chain.interior_order,
+                        );
+                        chain.interior_order.len() as u64
+                    }
+                    ExecMode::Full => compute_tile_clamped_subset(
+                        chain,
+                        &mut lds,
+                        tpos,
+                        &origin,
+                        kernel.as_ref(),
+                        space,
+                        deps,
+                        &mut reads,
+                        &mut out,
+                        &mut j_buf,
+                        &mut src,
+                        &chain.interior_order,
+                    ),
+                };
+                comm.advance_compute(interior_iters);
+                if let Some(t0) = i_t0 {
+                    if interior_iters > 0 {
+                        let v1 = comm.local_time();
+                        if let Some(o) = comm.obs() {
+                            o.observe(HistId::ComputeTileNs, o.now_ns().saturating_sub(t0));
+                            o.named_span(
+                                Phase::Compute,
+                                "compute-interior",
+                                t0,
+                                (i_v0, v1),
+                                interior_iters,
+                            );
+                        }
+                    }
+                }
+                tile_iters = boundary_iters + interior_iters;
+            }
             (ExecMode::TimingOnly, _) => {
                 tile_iters = plan.tiled.tile_volume_fast(&cur_tile) as u64;
             }
@@ -374,12 +535,18 @@ fn run_rank(
             }
         }
         iterations += tile_iters;
-        comm.advance_compute(tile_iters);
-        if let Some(t0) = compute_t0 {
-            let v1 = comm.local_time();
+        if strategy != ExecStrategy::Overlapped {
+            comm.advance_compute(tile_iters);
+        }
+        if obs_on {
+            if let Some(t0) = compute_t0 {
+                let v1 = comm.local_time();
+                if let Some(o) = comm.obs() {
+                    o.observe(HistId::ComputeTileNs, o.now_ns().saturating_sub(t0));
+                    o.span(Phase::Compute, t0, (compute_v0, v1), tile_iters);
+                }
+            }
             if let Some(o) = comm.obs() {
-                o.observe(HistId::ComputeTileNs, o.now_ns().saturating_sub(t0));
-                o.span(Phase::Compute, t0, (compute_v0, v1), tile_iters);
                 o.add(Counter::Tiles, 1);
                 o.add(Counter::Iterations, tile_iters);
                 o.add(
@@ -392,7 +559,10 @@ fn run_rank(
                 );
                 o.add(
                     match strategy {
-                        ExecStrategy::Compiled => Counter::CompiledDispatches,
+                        // Overlapped runs through the same compiled tables.
+                        ExecStrategy::Compiled | ExecStrategy::Overlapped => {
+                            Counter::CompiledDispatches
+                        }
                         ExecStrategy::Reference => Counter::ReferenceDispatches,
                     },
                     1,
@@ -401,54 +571,30 @@ fn run_rank(
         }
 
         // --- SEND ---------------------------------------------------------
-        for (dm_idx, dm) in plan.comm.proc_deps.iter().enumerate() {
-            let has_valid_succ = plan.comm.ds_of_dm(dm_idx).any(|ds| {
-                let succ: Vec<i64> = cur_tile.iter().zip(ds).map(|(&a, &b)| a + b).collect();
-                plan.tiled.tile_valid(&succ)
-            });
-            if !has_valid_succ {
-                continue;
+        // (the overlapped strategy already sent between its two passes)
+        if strategy != ExecStrategy::Overlapped {
+            send_tile(
+                plan, chain, comm, &lds, mode, strategy, obs_on, &pid, &cur_tile, tpos, t_abs, w,
+            );
+        }
+    }
+
+    // --- DRAIN --------------------------------------------------------
+    // MPI_Waitall: merge the background comm lane back into the clock. A
+    // no-op under the blocking scheme (nothing outstanding).
+    let drain_t0 = if obs_on {
+        comm.obs().map(|o| o.now_ns())
+    } else {
+        None
+    };
+    let drain_v0 = comm.local_time();
+    let paid = comm.drain_sends();
+    if let Some(t0) = drain_t0 {
+        if paid > 0.0 {
+            let v1 = comm.local_time();
+            if let Some(o) = comm.obs() {
+                o.named_span(Phase::Overlap, "drain-sends", t0, (drain_v0, v1), 0);
             }
-            let to_pid: Vec<i64> = pid.iter().zip(dm).map(|(&a, &b)| a + b).collect();
-            let to_rank = plan
-                .dist
-                .rank(&to_pid)
-                .expect("valid successor tile must belong to a known processor");
-            let count = plan.region_counts[dm_idx];
-            let mut payload = Vec::new();
-            if mode == ExecMode::Full {
-                let pack_t0 = if obs_on {
-                    comm.obs().map(|o| o.now_ns())
-                } else {
-                    None
-                };
-                payload.resize(count * w, 0.0);
-                match strategy {
-                    ExecStrategy::Compiled => pack_region(chain, &lds, tpos, dm_idx, &mut payload),
-                    ExecStrategy::Reference => {
-                        let lo = plan.comm.region_lo(dm, v);
-                        let mut idx = 0usize;
-                        for jp in lattice.points_in_box(&lo, v) {
-                            let g = lds.unrolled(tpos, &jp);
-                            if lds.index_of(&g).is_some() {
-                                lds.get_into(&g, &mut payload[idx * w..(idx + 1) * w]);
-                            }
-                            idx += 1;
-                        }
-                        debug_assert_eq!(idx, count);
-                    }
-                }
-                if let Some(t0) = pack_t0 {
-                    // Like unpack: real wall time, a point on the virtual
-                    // clock (the model folds packing into the send cost).
-                    let v_now = comm.local_time();
-                    if let Some(o) = comm.obs() {
-                        o.observe(HistId::PackNs, o.now_ns().saturating_sub(t0));
-                        o.span(Phase::Pack, t0, (v_now, v_now), (count * 8 * w) as u64);
-                    }
-                }
-            }
-            comm.send_tagged(to_rank, t_abs, payload, count * 8 * w);
         }
     }
 
@@ -457,6 +603,82 @@ fn run_rank(
     RankOutput {
         lds: (mode == ExecMode::Full).then_some(lds),
         iterations,
+    }
+}
+
+/// The SEND phase of one tile: one message per processor dependence with a
+/// valid successor tile. Shared by the blocking order (after the whole
+/// tile) and the overlapped order (between the boundary and interior
+/// passes — every pack region lives in the boundary slab, so the payloads
+/// are final).
+#[allow(clippy::too_many_arguments)]
+fn send_tile(
+    plan: &ParallelPlan,
+    chain: &CompiledChain,
+    comm: &mut impl Comm,
+    lds: &Lds,
+    mode: ExecMode,
+    strategy: ExecStrategy,
+    obs_on: bool,
+    pid: &[i64],
+    cur_tile: &[i64],
+    tpos: i64,
+    t_abs: i64,
+    w: usize,
+) {
+    let t = plan.tiled.transform();
+    let v = t.v();
+    let lattice = t.lattice();
+    for (dm_idx, dm) in plan.comm.proc_deps.iter().enumerate() {
+        let has_valid_succ = plan.comm.ds_of_dm(dm_idx).any(|ds| {
+            let succ: Vec<i64> = cur_tile.iter().zip(ds).map(|(&a, &b)| a + b).collect();
+            plan.tiled.tile_valid(&succ)
+        });
+        if !has_valid_succ {
+            continue;
+        }
+        let to_pid: Vec<i64> = pid.iter().zip(dm).map(|(&a, &b)| a + b).collect();
+        let to_rank = plan
+            .dist
+            .rank(&to_pid)
+            .expect("valid successor tile must belong to a known processor");
+        let count = plan.region_counts[dm_idx];
+        let mut payload = Vec::new();
+        if mode == ExecMode::Full {
+            let pack_t0 = if obs_on {
+                comm.obs().map(|o| o.now_ns())
+            } else {
+                None
+            };
+            payload.resize(count * w, 0.0);
+            match strategy {
+                ExecStrategy::Compiled | ExecStrategy::Overlapped => {
+                    pack_region(chain, lds, tpos, dm_idx, &mut payload)
+                }
+                ExecStrategy::Reference => {
+                    let lo = plan.comm.region_lo(dm, v);
+                    let mut idx = 0usize;
+                    for jp in lattice.points_in_box(&lo, v) {
+                        let g = lds.unrolled(tpos, &jp);
+                        if lds.index_of(&g).is_some() {
+                            lds.get_into(&g, &mut payload[idx * w..(idx + 1) * w]);
+                        }
+                        idx += 1;
+                    }
+                    debug_assert_eq!(idx, count);
+                }
+            }
+            if let Some(t0) = pack_t0 {
+                // Like unpack: real wall time, a point on the virtual
+                // clock (the model folds packing into the send cost).
+                let v_now = comm.local_time();
+                if let Some(o) = comm.obs() {
+                    o.observe(HistId::PackNs, o.now_ns().saturating_sub(t0));
+                    o.span(Phase::Pack, t0, (v_now, v_now), (count * 8 * w) as u64);
+                }
+            }
+        }
+        comm.send_tagged(to_rank, t_abs, payload, count * 8 * w);
     }
 }
 
@@ -711,6 +933,168 @@ mod overlap_tests {
         assert!(
             overlapped.makespan() < blocking.makespan(),
             "overlap should hide something"
+        );
+    }
+
+    #[test]
+    fn overlapped_strategy_matches_both_oracles_bitwise() {
+        let alg = kernels::sor_skewed(6, 9, 1.1);
+        let h = RMat::from_fractions(&[
+            &[(1, 2), (0, 1), (0, 1)],
+            &[(0, 1), (1, 3), (0, 1)],
+            &[(-1, 4), (0, 1), (1, 4)],
+        ]);
+        let plan =
+            Arc::new(ParallelPlan::new(alg, TilingTransform::new(h).unwrap(), Some(2)).unwrap());
+        let model = MachineModel::fast_ethernet_p3();
+        let seq = plan.algorithm.execute_sequential();
+        let run = |strategy| {
+            execute_strategy(
+                plan.clone(),
+                model,
+                ExecMode::Full,
+                strategy,
+                EngineOptions::default(),
+            )
+            .unwrap()
+        };
+        let reference = run(ExecStrategy::Reference);
+        let compiled = run(ExecStrategy::Compiled);
+        let overlapped = run(ExecStrategy::Overlapped);
+        assert_eq!(seq.diff(reference.data.as_ref().unwrap()), None);
+        assert_eq!(seq.diff(compiled.data.as_ref().unwrap()), None);
+        assert_eq!(
+            seq.diff(overlapped.data.as_ref().unwrap()),
+            None,
+            "boundary/interior reorder must not change the data"
+        );
+        assert_eq!(overlapped.total_iterations, compiled.total_iterations);
+        // Same messages, same bytes — only the schedule changed.
+        assert_eq!(
+            overlapped.report.total_bytes(),
+            compiled.report.total_bytes()
+        );
+        assert_eq!(
+            overlapped.report.total_messages(),
+            compiled.report.total_messages()
+        );
+    }
+
+    #[test]
+    fn overlapped_strategy_is_never_slower_than_blocking_compiled() {
+        for (alg, tile) in [
+            (kernels::sor_skewed(6, 9, 1.1), vec![2, 3, 4]),
+            (kernels::jacobi_skewed(6, 8, 8), vec![2, 4, 4]),
+            (kernels::adi(6, 8), vec![2, 4, 4]),
+        ] {
+            let t = TilingTransform::rectangular(&tile).unwrap();
+            let plan = Arc::new(ParallelPlan::new(alg, t, None).unwrap());
+            let model = MachineModel::fast_ethernet_p3();
+            let blocking = execute_strategy(
+                plan.clone(),
+                model,
+                ExecMode::TimingOnly,
+                ExecStrategy::Compiled,
+                EngineOptions::default(),
+            )
+            .unwrap();
+            let overlapped = execute_strategy(
+                plan.clone(),
+                model,
+                ExecMode::TimingOnly,
+                ExecStrategy::Overlapped,
+                EngineOptions::default(),
+            )
+            .unwrap();
+            assert!(
+                overlapped.makespan() <= blocking.makespan() + 1e-12,
+                "overlapped {:.6} > blocking {:.6}",
+                overlapped.makespan(),
+                blocking.makespan()
+            );
+        }
+    }
+
+    #[test]
+    fn overlapped_timing_only_matches_full_makespan() {
+        let alg = kernels::adi(6, 8);
+        let t = TilingTransform::rectangular(&[2, 4, 4]).unwrap();
+        let plan = Arc::new(ParallelPlan::new(alg, t, Some(0)).unwrap());
+        let model = MachineModel::fast_ethernet_p3();
+        let run = |mode| {
+            execute_strategy(
+                plan.clone(),
+                model,
+                mode,
+                ExecStrategy::Overlapped,
+                EngineOptions::default(),
+            )
+            .unwrap()
+        };
+        let full = run(ExecMode::Full);
+        let timing = run(ExecMode::TimingOnly);
+        assert_eq!(full.makespan(), timing.makespan());
+        assert_eq!(full.report.total_bytes(), timing.report.total_bytes());
+        assert_eq!(full.total_iterations, timing.total_iterations);
+    }
+
+    #[test]
+    fn overlapped_observed_run_partitions_clocks_and_reports_hidden_time() {
+        // ADI's dependence closure leaves a genuine private interior
+        // (SOR/Jacobi closures swallow the whole tile), so this run
+        // exercises both split compute spans.
+        let alg = kernels::adi(6, 8);
+        let t = TilingTransform::rectangular(&[2, 4, 4]).unwrap();
+        let reg = MetricsRegistry::new();
+        let plan =
+            Arc::new(crate::plan::ParallelPlan::new_observed(alg, t, Some(0), Some(&reg)).unwrap());
+        let res = execute_strategy(
+            plan,
+            MachineModel::fast_ethernet_p3(),
+            ExecMode::Full,
+            ExecStrategy::Overlapped,
+            EngineOptions {
+                obs: Some(reg.clone()),
+                ..EngineOptions::default()
+            },
+        )
+        .unwrap();
+        let report = reg.run_report(&res.report.local_times);
+        for r in &report.ranks {
+            assert!(
+                (r.compute + r.wait + r.comm - r.local_time).abs() < 1e-9,
+                "rank {} clock not partitioned under overlap",
+                r.rank
+            );
+        }
+        assert!(
+            report.ranks.iter().map(|r| r.overlap_hidden).sum::<f64>() > 0.0,
+            "an overlapped SOR run must hide some comm-lane time"
+        );
+        assert_eq!(report.total(Counter::Iterations), res.total_iterations);
+        assert_eq!(report.total(Counter::ReferenceDispatches), 0);
+        assert!(report.total(Counter::CompiledDispatches) > 0);
+        assert_eq!(
+            report.total(Counter::BytesSent),
+            report.total(Counter::BytesReceived)
+        );
+        // The overlapped schedule emits split compute spans and a drain span.
+        let spans = reg.spans();
+        assert!(spans
+            .iter()
+            .any(|s| s.phase == Phase::Compute && s.name == "compute-boundary"));
+        assert!(spans
+            .iter()
+            .any(|s| s.phase == Phase::Compute && s.name == "compute-interior"));
+        assert!(spans.iter().any(|s| s.phase == Phase::Overlap));
+        // No span may cover zero work on a zero-length virtual interval
+        // with zero detail — empty tiles must not be dispatched at all.
+        assert!(
+            spans
+                .iter()
+                .filter(|s| s.phase == Phase::Compute)
+                .all(|s| s.detail > 0),
+            "empty compute spans must be skipped"
         );
     }
 }

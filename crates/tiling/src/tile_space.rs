@@ -5,9 +5,12 @@
 //! `(j^S, j)` — `j ∈ J^n` together with `0 ≤ H'·j − V·j^S ≤ v − 1` — and
 //! eliminating the `j` variables with Fourier–Motzkin. The resulting shadow
 //! is a convex over-approximation whose integer points include every
-//! non-empty tile; empty candidate tiles simply execute zero iterations
-//! (the paper corrects boundary tiles the same way, with the original
-//! iteration-space inequalities).
+//! non-empty tile; the empty candidates it also admits are pruned once at
+//! plan time, so [`TiledSpace::tiles`] and [`TiledSpace::tile_valid`] see
+//! only tiles that execute at least one iteration — no rank ever computes,
+//! packs, or waits on a tile with nothing in it (the paper corrects
+//! boundary tiles the same way, with the original iteration-space
+//! inequalities).
 
 use crate::transform::TilingTransform;
 use std::collections::BTreeSet;
@@ -25,6 +28,12 @@ pub struct TiledSpace {
     space_bounds: LoopNestBounds,
     /// Number of TTIS lattice points of a full (interior) tile.
     full_tile_volume: usize,
+    /// The non-empty tiles, in lexicographic order: shadow integer points
+    /// whose tile contains at least one in-space iteration. The convex FM
+    /// shadow over-approximates; this is the exact tile set.
+    nonempty: BTreeSet<Vec<i64>>,
+    /// Empty candidate tiles the shadow admitted and `new` discarded.
+    tiles_pruned: usize,
     /// Number of [`TiledSpace::tile_iterations`] traversals started — the
     /// per-tile TTIS walks the compiled execution path exists to avoid.
     /// Observable via [`TiledSpace::traversal_count`] for regression tests.
@@ -68,15 +77,46 @@ impl TiledSpace {
         let tile_bounds = LoopNestBounds::new(&shadow);
         let space_bounds = LoopNestBounds::new(&space);
         let full_tile_volume = transform.ttis_points().count();
-        TiledSpace {
+        let mut ts = TiledSpace {
             transform,
             space,
             shadow,
             tile_bounds,
             space_bounds,
             full_tile_volume,
+            nonempty: BTreeSet::new(),
+            tiles_pruned: 0,
             traversals: AtomicU64::new(0),
+        };
+        // Prune the empty candidates the convex shadow admits. Interior
+        // tiles are non-empty by construction; boundary candidates walk
+        // their TTIS lattice with early exit, without touching the
+        // traversal counter (this is a plan-time emptiness test, not one
+        // of the per-tile walks the compiled path eliminates).
+        let mut candidates = 0usize;
+        let mut nonempty = BTreeSet::new();
+        let lo = vec![0i64; n];
+        for tile in ts.tile_bounds.points() {
+            candidates += 1;
+            let t = &ts.transform;
+            if ts.tile_is_interior(&tile)
+                || t.lattice()
+                    .points_in_box(&lo, t.v())
+                    .any(|jp| ts.space.contains(&t.iteration_fast(&tile, &jp)))
+            {
+                nonempty.insert(tile);
+            }
         }
+        ts.tiles_pruned = candidates - nonempty.len();
+        ts.nonempty = nonempty;
+        ts
+    }
+
+    /// Number of empty candidate tiles the shadow admitted and
+    /// [`TiledSpace::new`] pruned.
+    #[inline]
+    pub fn tiles_pruned(&self) -> usize {
+        self.tiles_pruned
     }
 
     #[inline]
@@ -106,15 +146,17 @@ impl TiledSpace {
         &self.tile_bounds
     }
 
-    /// Compile-time validity predicate for a candidate tile: inside the
-    /// tile-space shadow. Used symmetrically by send and receive sides.
+    /// Compile-time validity predicate for a candidate tile: non-empty
+    /// (which implies inside the tile-space shadow). Used symmetrically by
+    /// send and receive sides, so no channel ever carries a message for a
+    /// tile with zero iterations.
     pub fn tile_valid(&self, tile: &[i64]) -> bool {
-        self.shadow.contains(tile)
+        self.nonempty.contains(tile)
     }
 
-    /// Enumerate all candidate tiles in lexicographic order.
+    /// Enumerate the non-empty tiles in lexicographic order.
     pub fn tiles(&self) -> impl Iterator<Item = Vec<i64>> + '_ {
-        self.tile_bounds.points()
+        self.nonempty.iter().cloned()
     }
 
     /// True iff all `2ⁿ` rational corners of the tile parallelepiped,
@@ -373,5 +415,59 @@ mod tests {
         // All tiles distinct.
         let set: BTreeSet<_> = tiles.iter().cloned().collect();
         assert_eq!(set.len(), tiles.len());
+    }
+
+    #[test]
+    fn shadow_pruning_drops_empty_candidate_tiles() {
+        // 2D space 0<=i<=7, 0<=j<=4 cut by 3i <= 2j + 5, tiled by the
+        // non-rectangular H = [[1/4, 0], [1/4, 1/2]]. The FM shadow's
+        // parametric integer bounds over-approximate here: they admit one
+        // candidate tile whose box contains no iteration point. Plan-time
+        // pruning must drop it so no rank ever computes, packs, or waits
+        // on an empty tile.
+        let mut p = Polyhedron::universe(2);
+        p.add(Constraint::new(vec![1, 0], 0));
+        p.add(Constraint::new(vec![-1, 0], 7));
+        p.add(Constraint::new(vec![0, 1], 0));
+        p.add(Constraint::new(vec![0, -1], 4));
+        p.add(Constraint::new(vec![-3, 2], 5));
+        let h = RMat::from_fractions(&[&[(1, 4), (0, 1)], &[(1, 4), (1, 2)]]);
+        let tiled = TiledSpace::new(TilingTransform::new(h).unwrap(), p.clone());
+
+        assert_eq!(
+            tiled.tiles_pruned(),
+            1,
+            "shadow should admit one empty candidate"
+        );
+        // Every surviving tile is genuinely non-empty...
+        for tile in tiled.tiles() {
+            assert!(
+                tiled.tile_volume(&tile) >= 1,
+                "empty tile {tile:?} survived pruning"
+            );
+        }
+        // ...and pruning loses no iterations: the per-tile volumes still
+        // sum to the full space.
+        let total_space = LoopNestBounds::new(&p).points().count();
+        assert_eq!(tiled.total_tiled_iterations(), total_space);
+        // The pruned candidate count matches the raw shadow enumeration.
+        let candidates = tiled.tile_bounds().points().count();
+        assert_eq!(candidates, tiled.tiles().count() + tiled.tiles_pruned());
+    }
+
+    #[test]
+    fn pruning_is_a_noop_on_exact_shadows() {
+        // For the paper's kernel-style spaces the FM shadow plus redundancy
+        // elimination is empirically exact; pruning must keep every
+        // candidate and report zero drops.
+        let space = sor_like_space();
+        for t in [
+            TilingTransform::rectangular(&[2, 3, 2]).unwrap(),
+            sor_hnr(2, 3, 2),
+            sor_hnr(3, 2, 4),
+        ] {
+            let tiled = TiledSpace::new(t, space.clone());
+            assert_eq!(tiled.tiles_pruned(), 0);
+        }
     }
 }
