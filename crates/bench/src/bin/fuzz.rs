@@ -6,10 +6,14 @@
 //! path — which must agree bitwise with identical message traffic; the
 //! overlapped makespan must never exceed the blocking compiled one.
 //!
-//! Usage: `fuzz [seed] [cases] [--faults]`. With `--faults`, every case is
-//! additionally executed under a seeded lossy/duplicating/reordering
-//! `FaultPlan`; the reliability layer must reproduce the fault-free result
-//! bitwise, with retransmissions visible in the stats.
+//! Usage: `fuzz [seed] [cases] [--faults] [--tcp]`. With `--faults`, every
+//! case is additionally executed under a seeded
+//! lossy/duplicating/reordering `FaultPlan`; the reliability layer must
+//! reproduce the fault-free result bitwise, with retransmissions visible
+//! in the stats. With `--tcp`, every case with ≤ 8 processors is
+//! re-executed over the TCP backend (real sockets, TCMP framing) — clean
+//! and under a seeded chaos plan — and must match the threaded backend
+//! bitwise: same data, same per-rank virtual clocks, same counters.
 //!
 //! Every failure path prints the RNG seed so regressions reproduce with
 //! `fuzz <seed>`. Found two real bugs during development (Fourier–Motzkin
@@ -21,7 +25,8 @@ use tilecc_cluster::{Counter, EngineOptions, FaultPlan, MachineModel, MetricsReg
 use tilecc_linalg::{IMat, RMat, Rational};
 use tilecc_loopnest::{Algorithm, Kernel, LoopNest};
 use tilecc_parcode::{
-    execute_opts, execute_strategy, execute_tiled_sequential, ExecMode, ExecStrategy, ParallelPlan,
+    execute_backend, execute_opts, execute_strategy, execute_tiled_sequential, Backend, ExecMode,
+    ExecStrategy, ParallelPlan,
 };
 use tilecc_polytope::{Constraint, Polyhedron};
 use tilecc_tiling::{tiling_cone_rays, TilingTransform};
@@ -66,6 +71,9 @@ fn fail(seed: u64, case: u64, what: &str) -> ! {
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let faults = args.iter().any(|a| a == "--faults");
+    let tcp = args.iter().any(|a| a == "--tcp");
+    let mut tcp_cases = 0u64;
+    let mut tcp_chaos_cases = 0u64;
     let positional: Vec<&String> = args[1..].iter().filter(|a| !a.starts_with("--")).collect();
     let seed: u64 = positional
         .first()
@@ -391,6 +399,113 @@ fn main() {
         {
             fail(seed, case, "overlapped dispatch counters are wrong");
         }
+        if tcp && plan.num_procs() <= 8 {
+            // Cross-backend check: the same compiled program over real
+            // sockets must be indistinguishable from the threaded run —
+            // bitwise data, bitwise per-rank clocks, identical counters.
+            tcp_cases += 1;
+            let tcp_res = match execute_backend(
+                plan.clone(),
+                MachineModel::fast_ethernet_p3(),
+                ExecMode::Full,
+                ExecStrategy::Compiled,
+                Backend::Tcp,
+                EngineOptions::default(),
+            ) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("  tcp-backend run failed: {e}");
+                    fail(seed, case, "tcp backend failed");
+                }
+            };
+            if let Some(bad) = res
+                .data
+                .as_ref()
+                .unwrap()
+                .diff(tcp_res.data.as_ref().unwrap())
+            {
+                eprintln!("  TCP MISMATCH at {bad:?}");
+                fail(seed, case, "tcp/threaded data mismatch");
+            }
+            for rank in 0..plan.num_procs() {
+                if res.report.local_times[rank].to_bits()
+                    != tcp_res.report.local_times[rank].to_bits()
+                {
+                    eprintln!(
+                        "  rank {rank} clocks: threaded {} tcp {}",
+                        res.report.local_times[rank], tcp_res.report.local_times[rank]
+                    );
+                    fail(seed, case, "tcp/threaded virtual clock mismatch");
+                }
+            }
+            if tcp_res.report.total_messages() != res.report.total_messages()
+                || tcp_res.report.total_bytes() != res.report.total_bytes()
+                || tcp_res.report.total_bytes_received() != res.report.total_bytes_received()
+            {
+                fail(seed, case, "tcp/threaded traffic mismatch");
+            }
+            // The same chaos plan over sockets: faults are decided above
+            // the transport, so the perturbed schedule must also agree
+            // bitwise, retransmission accounting included.
+            let fault_seed = seed ^ case.wrapping_mul(0x9E37_79B9);
+            let chaos = FaultPlan::chaos(fault_seed, 0.3);
+            let threaded_f = match execute_opts(
+                plan.clone(),
+                MachineModel::fast_ethernet_p3(),
+                ExecMode::Full,
+                EngineOptions {
+                    fault: Some(chaos.clone()),
+                    ..EngineOptions::default()
+                },
+            ) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("  faulty threaded run failed: {e} (fault seed {fault_seed})");
+                    fail(seed, case, "threaded backend failed under chaos");
+                }
+            };
+            let tcp_f = match execute_backend(
+                plan.clone(),
+                MachineModel::fast_ethernet_p3(),
+                ExecMode::Full,
+                ExecStrategy::Compiled,
+                Backend::Tcp,
+                EngineOptions {
+                    fault: Some(chaos),
+                    ..EngineOptions::default()
+                },
+            ) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("  faulty tcp run failed: {e} (fault seed {fault_seed})");
+                    fail(seed, case, "tcp backend failed under chaos");
+                }
+            };
+            tcp_chaos_cases += 1;
+            if let Some(bad) = threaded_f
+                .data
+                .as_ref()
+                .unwrap()
+                .diff(tcp_f.data.as_ref().unwrap())
+            {
+                eprintln!("  FAULTY TCP MISMATCH at {bad:?} (fault seed {fault_seed})");
+                fail(seed, case, "tcp/threaded data mismatch under chaos");
+            }
+            if threaded_f.makespan().to_bits() != tcp_f.makespan().to_bits() {
+                eprintln!(
+                    "  chaos makespans: threaded {} tcp {} (fault seed {fault_seed})",
+                    threaded_f.makespan(),
+                    tcp_f.makespan()
+                );
+                fail(seed, case, "tcp/threaded makespan mismatch under chaos");
+            }
+            if threaded_f.report.total_retransmissions() != tcp_f.report.total_retransmissions()
+                || threaded_f.report.total_duplicates_suppressed()
+                    != tcp_f.report.total_duplicates_suppressed()
+            {
+                fail(seed, case, "tcp/threaded reliability counters mismatch");
+            }
+        }
         if faults {
             // Re-run the case over a chaotic substrate seeded per-case: the
             // reliability layer must reproduce the fault-free data bitwise.
@@ -475,6 +590,15 @@ fn main() {
                 fail(seed, case, "faulty overlapped run lost or invented bytes");
             }
         }
+    }
+    if tcp {
+        if tcp_cases == 0 || tcp_chaos_cases == 0 {
+            eprintln!(
+                "--tcp covered {tcp_cases} clean / {tcp_chaos_cases} chaos cases — corpus too small"
+            );
+            fail(seed, cases, "tcp cross-check never ran");
+        }
+        eprintln!("tcp cross-check: {tcp_cases} clean + {tcp_chaos_cases} chaos cases");
     }
     eprintln!(
         "all {cases} cases passed{}",

@@ -16,13 +16,19 @@
 
 use std::fmt::Write as _;
 use std::sync::Arc;
-use tilecc::Pipeline;
+use std::time::Duration;
+use tilecc::{Pipeline, RunSummary};
 use tilecc_cluster::obs::json::Json;
-use tilecc_cluster::{CommScheme, EngineOptions, FaultPlan, MachineModel, MetricsRegistry, Phase};
+use tilecc_cluster::{
+    collect_workers, run_worker, CommScheme, CommStats, EngineOptions, FaultPlan, MachineModel,
+    MetricsRegistry, Phase, Rendezvous, WorkerConfig, WorkerReport,
+};
 use tilecc_frontend::{compile, lower, parse, Program};
 use tilecc_linalg::{RMat, Rational};
-use tilecc_loopnest::Algorithm;
-use tilecc_parcode::ExecStrategy;
+use tilecc_loopnest::{Algorithm, DataSpace};
+use tilecc_parcode::{
+    rank_data_points, run_rank_body, Backend, ExecMode, ExecStrategy, RankOutput,
+};
 use tilecc_tiling::tiling_cone_rays;
 
 /// CLI error: message for the user, non-zero exit.
@@ -62,6 +68,14 @@ struct Options {
     trace_out: Option<String>,
     /// Write the aggregated metrics JSON here (`--metrics-out`).
     metrics_out: Option<String>,
+    /// Cluster backend carrying the messages (`--backend`).
+    backend: Backend,
+    /// Expected worker-process count for the TCP backend (`--ranks`).
+    ranks: Option<usize>,
+    /// Internal: run as TCP worker process for this rank (`--worker-rank`).
+    worker_rank: Option<usize>,
+    /// Internal: the driver's rendezvous `host:port` (`--connect`).
+    connect: Option<String>,
 }
 
 impl Options {
@@ -173,6 +187,10 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
         crash: None,
         trace_out: None,
         metrics_out: None,
+        backend: Backend::default(),
+        ranks: None,
+        worker_rank: None,
+        connect: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -257,6 +275,48 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
                     .get(i + 1)
                     .ok_or(CliError("--crash-rank needs a value".into()))?;
                 o.crash = Some(parse_crash_spec(v)?);
+                i += 2;
+            }
+            "--backend" => {
+                let v = args
+                    .get(i + 1)
+                    .ok_or(CliError("--backend needs a value".into()))?;
+                o.backend = match v.as_str() {
+                    "threaded" => Backend::Threaded,
+                    "tcp" => Backend::Tcp,
+                    other => {
+                        return err(format!(
+                            "unknown --backend `{other}` (expected threaded or tcp)"
+                        ))
+                    }
+                };
+                i += 2;
+            }
+            "--ranks" => {
+                let v = args
+                    .get(i + 1)
+                    .ok_or(CliError("--ranks needs a value".into()))?;
+                o.ranks = Some(
+                    v.parse()
+                        .map_err(|_| CliError(format!("invalid --ranks value `{v}`")))?,
+                );
+                i += 2;
+            }
+            "--worker-rank" => {
+                let v = args
+                    .get(i + 1)
+                    .ok_or(CliError("--worker-rank needs a value".into()))?;
+                o.worker_rank = Some(
+                    v.parse()
+                        .map_err(|_| CliError(format!("invalid --worker-rank value `{v}`")))?,
+                );
+                i += 2;
+            }
+            "--connect" => {
+                let v = args
+                    .get(i + 1)
+                    .ok_or(CliError("--connect needs a host:port value".into()))?;
+                o.connect = Some(v.clone());
                 i += 2;
             }
             "--trace-out" => {
@@ -412,6 +472,475 @@ fn render_saved_metrics(path: &str) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// How long the TCP driver waits for every worker to reach the rendezvous.
+const RENDEZVOUS_DEADLINE: Duration = Duration::from_secs(30);
+/// Wall-clock cap on a whole multi-process run (driver side).
+const DRIVER_WALL_CAP: Duration = Duration::from_secs(300);
+
+/// Print the run summary lines shared by every backend. `checksum` is the
+/// gathered data-space checksum (full-mode runs only); printing it lets two
+/// backends be compared for bitwise-identical results from their stdout.
+fn render_run_summary(
+    out: &mut String,
+    opts: &Options,
+    summary: &RunSummary,
+    checksum: Option<f64>,
+) -> Result<(), CliError> {
+    if opts.strategy != ExecStrategy::default() {
+        let _ = writeln!(out, "strategy   : {:?}", opts.strategy);
+    }
+    if opts.backend == Backend::Tcp {
+        let _ = writeln!(out, "backend    : tcp ({} worker processes)", summary.procs);
+    }
+    let _ = writeln!(out, "processors : {}", summary.procs);
+    let _ = writeln!(out, "iterations : {}", summary.iterations);
+    let _ = writeln!(out, "seq time   : {:.6} s", summary.sequential_time);
+    let _ = writeln!(out, "makespan   : {:.6} s", summary.makespan);
+    let _ = writeln!(out, "speedup    : {:.3}", summary.speedup);
+    let _ = writeln!(out, "messages   : {}", summary.messages);
+    let _ = writeln!(out, "bytes      : {}", summary.bytes);
+    if summary.retransmissions > 0 || summary.duplicates_suppressed > 0 {
+        let _ = writeln!(out, "retransmits: {}", summary.retransmissions);
+        let _ = writeln!(out, "dups suppr : {}", summary.duplicates_suppressed);
+    }
+    if let Some(c) = checksum {
+        let _ = writeln!(out, "checksum   : {:016x}", c.to_bits());
+    }
+    if let Some(v) = summary.verified {
+        let _ = writeln!(out, "verified   : {v}");
+        if !v {
+            return err("verification FAILED: parallel result differs");
+        }
+    }
+    Ok(())
+}
+
+/// A TCP worker's decoded `RESULT` payload (see `docs/wire-protocol.md`,
+/// "Worker RESULT payload"): its comm statistics, iteration count, and — in
+/// full mode — the data points of the tiles it owns.
+struct WorkerPayload {
+    stats: CommStats,
+    iterations: u64,
+    cells: Option<Vec<(Vec<i64>, Vec<f64>)>>,
+}
+
+/// Serialize a worker's `RESULT` payload. All fields little-endian; `f64`s
+/// travel as IEEE-754 bit patterns so the driver rebuilds values bitwise.
+fn encode_worker_payload(
+    stats: &CommStats,
+    iterations: u64,
+    cells: Option<&[(Vec<i64>, Vec<f64>)]>,
+) -> Vec<u8> {
+    let mut buf = Vec::new();
+    for v in [
+        stats.messages_sent,
+        stats.bytes_sent,
+        stats.messages_received,
+        stats.bytes_received,
+    ] {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+    buf.extend_from_slice(&stats.wait_time.to_le_bytes());
+    buf.extend_from_slice(&stats.compute_time.to_le_bytes());
+    buf.extend_from_slice(&stats.retransmissions.to_le_bytes());
+    buf.extend_from_slice(&stats.retrans_time.to_le_bytes());
+    buf.extend_from_slice(&stats.duplicates_suppressed.to_le_bytes());
+    buf.extend_from_slice(&iterations.to_le_bytes());
+    match cells {
+        None => buf.push(0),
+        Some(points) => {
+            buf.push(1);
+            let n = points.first().map_or(0, |(j, _)| j.len()) as u32;
+            let w = points.first().map_or(0, |(_, v)| v.len()) as u32;
+            buf.extend_from_slice(&n.to_le_bytes());
+            buf.extend_from_slice(&w.to_le_bytes());
+            buf.extend_from_slice(&(points.len() as u64).to_le_bytes());
+            for (j, vals) in points {
+                for c in j {
+                    buf.extend_from_slice(&c.to_le_bytes());
+                }
+                for v in vals {
+                    buf.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+        }
+    }
+    buf
+}
+
+/// Cursor over a `RESULT` payload; every read is bounds-checked so a
+/// malformed worker payload surfaces as an error, never a panic.
+struct PayloadReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> PayloadReader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| format!("payload truncated at byte {}", self.pos))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn i64(&mut self) -> Result<i64, String> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn f64(&mut self) -> Result<f64, String> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+}
+
+/// Inverse of [`encode_worker_payload`].
+fn decode_worker_payload(buf: &[u8]) -> Result<WorkerPayload, String> {
+    let mut r = PayloadReader { buf, pos: 0 };
+    let stats = CommStats {
+        messages_sent: r.u64()?,
+        bytes_sent: r.u64()?,
+        messages_received: r.u64()?,
+        bytes_received: r.u64()?,
+        wait_time: r.f64()?,
+        compute_time: r.f64()?,
+        retransmissions: r.u64()?,
+        retrans_time: r.f64()?,
+        duplicates_suppressed: r.u64()?,
+    };
+    let iterations = r.u64()?;
+    let cells = match r.u8()? {
+        0 => None,
+        1 => {
+            let n = r.u32()? as usize;
+            let w = r.u32()? as usize;
+            let count = r.u64()? as usize;
+            // Reject sizes the remaining bytes cannot possibly hold before
+            // allocating anything.
+            let per = 8usize
+                .checked_mul(n + w)
+                .ok_or("cell size overflow".to_string())?;
+            if count
+                .checked_mul(per)
+                .is_none_or(|total| total > buf.len() - r.pos)
+            {
+                return Err(format!("cell table claims {count} cells of {per} bytes"));
+            }
+            let mut points = Vec::with_capacity(count);
+            for _ in 0..count {
+                let mut j = Vec::with_capacity(n);
+                for _ in 0..n {
+                    j.push(r.i64()?);
+                }
+                let mut vals = Vec::with_capacity(w);
+                for _ in 0..w {
+                    vals.push(r.f64()?);
+                }
+                points.push((j, vals));
+            }
+            Some(points)
+        }
+        k => return Err(format!("unknown cell-table marker {k}")),
+    };
+    if r.pos != buf.len() {
+        return Err(format!(
+            "{} trailing bytes after payload",
+            buf.len() - r.pos
+        ));
+    }
+    Ok(WorkerPayload {
+        stats,
+        iterations,
+        cells,
+    })
+}
+
+/// The comm scheme, fault plan and execution mode implied by the run flags —
+/// identical for the worker, the driver, and the in-process path so every
+/// backend executes the same program.
+fn engine_setup(opts: &Options) -> (CommScheme, Option<FaultPlan>, ExecMode) {
+    // The overlapped strategy implies the overlapped scheme, mirroring
+    // `execute_backend`.
+    let scheme = if opts.overlap || opts.strategy == ExecStrategy::Overlapped {
+        CommScheme::Overlapped
+    } else {
+        CommScheme::Blocking
+    };
+    let fault = opts.fault_plan();
+    let mode = if opts.verify || fault.is_some() {
+        ExecMode::Full
+    } else {
+        ExecMode::TimingOnly
+    };
+    (scheme, fault, mode)
+}
+
+/// Run as a TCP worker process (`--worker-rank R --connect host:port`):
+/// recompile the plan deterministically, execute this rank's chain over the
+/// socket mesh, report the `RESULT` frame, and wait for the driver's `BYE`.
+/// Failures exit nonzero with the typed [`tilecc_cluster::RunError`] text
+/// naming the implicated rank.
+fn tcp_worker(
+    pipe: &Pipeline,
+    opts: &Options,
+    rank: usize,
+    reg: Option<Arc<MetricsRegistry>>,
+) -> Result<String, CliError> {
+    let Some(connect) = opts.connect.clone() else {
+        return err("--worker-rank requires --connect <host:port>");
+    };
+    let size = pipe.num_procs();
+    if rank >= size {
+        return err(format!(
+            "--worker-rank {rank} out of range for a {size}-processor plan"
+        ));
+    }
+    let (scheme, fault, mode) = engine_setup(opts);
+    let options = EngineOptions {
+        scheme,
+        fault,
+        obs: reg.clone(),
+        // The multi-process watchdog lives in the driver; workers just
+        // stream progress heartbeats.
+        wall_timeout: None,
+        deadlock_detection: false,
+        ..EngineOptions::default()
+    };
+    let cfg = WorkerConfig {
+        rank,
+        size,
+        rendezvous: connect,
+        model: opts.model,
+        options,
+    };
+    let plan = pipe.plan().clone();
+    let strategy = opts.strategy;
+    let (result, local_time, stats, handle): (RankOutput, f64, CommStats, _) =
+        run_worker(&cfg, move |comm| run_rank_body(&plan, comm, mode, strategy)).map_err(|e| {
+            CliError(format!(
+                "worker rank {rank} failed: {e}\nranks implicated: {:?}",
+                e.ranks()
+            ))
+        })?;
+    let cells = (mode == ExecMode::Full).then(|| rank_data_points(pipe.plan(), rank, &result));
+    let payload = encode_worker_payload(&stats, result.iterations, cells.as_deref());
+    handle
+        .send_result(local_time, payload)
+        .map_err(|e| CliError(format!("worker rank {rank}: cannot report result: {e}")))?;
+    if let Some(reg) = &reg {
+        // Per-worker artifacts: rank metrics live in this process only, so
+        // each worker writes `<path>.rank<R>` next to the requested path.
+        let mut local_times = vec![0.0; size];
+        local_times[rank] = local_time;
+        if let Some(path) = &opts.trace_out {
+            let p = format!("{path}.rank{rank}");
+            std::fs::write(&p, reg.chrome_trace())
+                .map_err(|e| CliError(format!("cannot write trace to `{p}`: {e}")))?;
+        }
+        if let Some(path) = &opts.metrics_out {
+            let p = format!("{path}.rank{rank}");
+            std::fs::write(&p, reg.run_report(&local_times).to_json())
+                .map_err(|e| CliError(format!("cannot write metrics to `{p}`: {e}")))?;
+        }
+    }
+    handle
+        .wait_bye()
+        .map_err(|e| CliError(format!("worker rank {rank}: driver went away: {e}")))?;
+    // The driver owns stdout; a worker prints nothing on success.
+    Ok(String::new())
+}
+
+/// Kill and reap every spawned worker — the driver's cleanup on any failure
+/// path, so no orphan processes outlive a failed run.
+fn kill_children(children: &mut [std::process::Child]) {
+    for c in children.iter_mut() {
+        let _ = c.kill();
+    }
+    for c in children.iter_mut() {
+        let _ = c.wait();
+    }
+}
+
+/// Run as the TCP driver: spawn one worker process per rank of the plan,
+/// coordinate the rendezvous, collect every `RESULT`, rebuild the global
+/// data space, and print the same summary the threaded backend prints.
+fn tcp_driver(
+    path: &str,
+    run_args: &[String],
+    pipe: &Pipeline,
+    opts: &Options,
+    mut out: String,
+) -> Result<String, CliError> {
+    let size = pipe.num_procs();
+    if let Some(r) = opts.ranks {
+        if r != size {
+            return err(format!(
+                "--ranks {r} does not match the plan's {size} processors; \
+                 adjust --rect/--tile/--map or drop --ranks"
+            ));
+        }
+    }
+    let (_, _, mode) = engine_setup(opts);
+    let rendezvous = Rendezvous::bind().map_err(|e| CliError(format!("tcp driver: {e}")))?;
+    let addr = rendezvous.addr().to_string();
+
+    // Respawn this binary once per rank, forwarding the run options and
+    // appending the worker coordinates. `TILECC_BIN` overrides the binary
+    // for callers embedding `run_cli` outside the installed executable.
+    let exe = std::env::var_os("TILECC_BIN")
+        .map(|v| Ok(std::path::PathBuf::from(v)))
+        .unwrap_or_else(std::env::current_exe)
+        .map_err(|e| CliError(format!("cannot locate the tilecc binary: {e}")))?;
+    let mut forwarded: Vec<&String> = Vec::new();
+    let mut i = 0;
+    while i < run_args.len() {
+        match run_args[i].as_str() {
+            // Workers derive the world size from the plan.
+            "--ranks" => i += 2,
+            _ => {
+                forwarded.push(&run_args[i]);
+                i += 1;
+            }
+        }
+    }
+    let mut children: Vec<std::process::Child> = Vec::with_capacity(size);
+    for rank in 0..size {
+        let spawned = std::process::Command::new(&exe)
+            .arg("run")
+            .arg(path)
+            .args(forwarded.iter().map(|s| s.as_str()))
+            .arg("--worker-rank")
+            .arg(rank.to_string())
+            .arg("--connect")
+            .arg(&addr)
+            .stdin(std::process::Stdio::null())
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::inherit())
+            .spawn();
+        match spawned {
+            Ok(c) => children.push(c),
+            Err(e) => {
+                kill_children(&mut children);
+                return err(format!("cannot spawn worker rank {rank}: {e}"));
+            }
+        }
+    }
+
+    // Coordinate the rendezvous on a helper thread while watching for
+    // workers that die before ever connecting (bad flags, missing file on a
+    // worker's view of the world, immediate crash).
+    let coord = std::thread::spawn(move || rendezvous.coordinate(size, RENDEZVOUS_DEADLINE));
+    let controls = loop {
+        if coord.is_finished() {
+            break coord.join().unwrap_or_else(|_| {
+                Err(tilecc_cluster::CommError::Transport {
+                    detail: "rendezvous coordinator panicked".into(),
+                })
+            });
+        }
+        for (rank, child) in children.iter_mut().enumerate() {
+            if let Ok(Some(status)) = child.try_wait() {
+                kill_children(&mut children);
+                return err(format!(
+                    "worker rank {rank} exited during startup ({status})"
+                ));
+            }
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    let controls = match controls {
+        Ok(c) => c,
+        Err(e) => {
+            kill_children(&mut children);
+            return err(format!("tcp rendezvous failed: {e}"));
+        }
+    };
+
+    let reports: Vec<WorkerReport> = match collect_workers(controls, Some(DRIVER_WALL_CAP), true) {
+        Ok(r) => r,
+        Err(e) => {
+            kill_children(&mut children);
+            return err(format!(
+                "run failed: {e}\nranks implicated: {:?}",
+                e.ranks()
+            ));
+        }
+    };
+    // Every result is in; workers exit after the BYE. Reap them so artifact
+    // write failures (nonzero exits after reporting) still surface.
+    for (rank, child) in children.iter_mut().enumerate() {
+        match child.wait() {
+            Ok(st) if st.success() => {}
+            Ok(st) => {
+                return err(format!(
+                    "worker rank {rank} exited with {st} after reporting its result"
+                ))
+            }
+            Err(e) => return err(format!("cannot reap worker rank {rank}: {e}")),
+        }
+    }
+
+    let mut payloads: Vec<WorkerPayload> = Vec::with_capacity(size);
+    for rep in &reports {
+        payloads.push(decode_worker_payload(&rep.payload).map_err(|e| {
+            CliError(format!(
+                "worker rank {} sent a malformed result payload: {e}",
+                rep.rank
+            ))
+        })?);
+    }
+    let total_iterations: u64 = payloads.iter().map(|p| p.iterations).sum();
+    let local_times: Vec<f64> = reports.iter().map(|r| r.local_time).collect();
+    let makespan = local_times.iter().cloned().fold(0.0, f64::max);
+    let sequential_time = opts.model.compute_cost(total_iterations);
+    let (verified, checksum) = if mode == ExecMode::Full {
+        let (lo, hi) = pipe.plan().algorithm.nest.bounding_box();
+        let mut parallel = DataSpace::with_width(&lo, &hi, pipe.plan().algorithm.width());
+        for p in &payloads {
+            for (j, vals) in p.cells.as_deref().unwrap_or(&[]) {
+                parallel.set_all(j, vals);
+            }
+        }
+        let sequential = pipe.plan().algorithm.execute_sequential();
+        (
+            Some(sequential.diff(&parallel).is_none()),
+            Some(parallel.checksum()),
+        )
+    } else {
+        (None, None)
+    };
+    let summary = RunSummary {
+        procs: size,
+        iterations: total_iterations,
+        sequential_time,
+        makespan,
+        speedup: sequential_time / makespan,
+        bytes: payloads.iter().map(|p| p.stats.bytes_sent).sum(),
+        messages: payloads.iter().map(|p| p.stats.messages_sent).sum(),
+        verified,
+        retransmissions: payloads.iter().map(|p| p.stats.retransmissions).sum(),
+        duplicates_suppressed: payloads.iter().map(|p| p.stats.duplicates_suppressed).sum(),
+        local_times,
+    };
+    render_run_summary(&mut out, opts, &summary, checksum)?;
+    if let Some(p) = &opts.trace_out {
+        let _ = writeln!(out, "trace      : {p}.rank0 .. {p}.rank{}", size - 1);
+    }
+    if let Some(p) = &opts.metrics_out {
+        let _ = writeln!(out, "metrics    : {p}.rank0 .. {p}.rank{}", size - 1);
+    }
+    Ok(out)
+}
+
 fn fmt_matrix(m: &RMat) -> String {
     let mut s = String::new();
     for i in 0..m.rows() {
@@ -443,6 +972,17 @@ options:
                               boundary slab first and hide its sends behind
                               the private interior (run)
   --zero-comm                 zero-cost network model (run)
+  --backend <b>               cluster substrate: threaded (default, one
+                              thread per rank) or tcp — spawn one worker
+                              process per rank, every message over real
+                              sockets in the TCMP wire format (run)
+  --ranks <n>                 assert the worker-process count for
+                              --backend tcp; must equal the plan's
+                              processor count (run)
+  --worker-rank <r>           internal: run as TCP worker process r
+                              (spawned by the driver, not by hand)
+  --connect <host:port>       internal: the driver's rendezvous address
+                              for --worker-rank
   --fault-seed <s>            seed for deterministic fault injection (run)
   --drop-rate <p>             drop each send attempt with probability p;
                               the reliability layer retransmits (run)
@@ -540,6 +1080,18 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
                     Ok(out)
                 }
                 "run" => {
+                    if let Some(rank) = opts.worker_rank {
+                        return tcp_worker(&pipe, &opts, rank, reg);
+                    }
+                    if opts.connect.is_some() {
+                        return err("--connect is only meaningful together with --worker-rank");
+                    }
+                    if opts.backend == Backend::Tcp {
+                        return tcp_driver(path, &args[2..], &pipe, &opts, out);
+                    }
+                    if opts.ranks.is_some() {
+                        return err("--ranks is only meaningful with --backend tcp");
+                    }
                     let scheme = if opts.overlap {
                         CommScheme::Overlapped
                     } else {
@@ -558,37 +1110,26 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
                             e.ranks()
                         ))
                     };
-                    let summary = if opts.verify || fault.is_some() {
+                    let (summary, data) = if opts.verify || fault.is_some() {
                         // Fault-injected runs go through the fallible engine
                         // entry point so failures carry rank-level context.
-                        let (s, _) = pipe
+                        let (s, d) = pipe
                             .run_verified_strategy(opts.model, opts.strategy, options)
                             .map_err(run_err)?;
-                        s
+                        (s, Some(d))
                     } else {
-                        pipe.simulate_strategy(opts.model, opts.strategy, options)
-                            .map_err(run_err)?
+                        (
+                            pipe.simulate_strategy(opts.model, opts.strategy, options)
+                                .map_err(run_err)?,
+                            None,
+                        )
                     };
-                    if opts.strategy != ExecStrategy::default() {
-                        let _ = writeln!(out, "strategy   : {:?}", opts.strategy);
-                    }
-                    let _ = writeln!(out, "processors : {}", summary.procs);
-                    let _ = writeln!(out, "iterations : {}", summary.iterations);
-                    let _ = writeln!(out, "seq time   : {:.6} s", summary.sequential_time);
-                    let _ = writeln!(out, "makespan   : {:.6} s", summary.makespan);
-                    let _ = writeln!(out, "speedup    : {:.3}", summary.speedup);
-                    let _ = writeln!(out, "messages   : {}", summary.messages);
-                    let _ = writeln!(out, "bytes      : {}", summary.bytes);
-                    if summary.retransmissions > 0 || summary.duplicates_suppressed > 0 {
-                        let _ = writeln!(out, "retransmits: {}", summary.retransmissions);
-                        let _ = writeln!(out, "dups suppr : {}", summary.duplicates_suppressed);
-                    }
-                    if let Some(v) = summary.verified {
-                        let _ = writeln!(out, "verified   : {v}");
-                        if !v {
-                            return err("verification FAILED: parallel result differs");
-                        }
-                    }
+                    render_run_summary(
+                        &mut out,
+                        &opts,
+                        &summary,
+                        data.as_ref().map(DataSpace::checksum),
+                    )?;
                     if let Some(reg) = &reg {
                         let report = reg.run_report(&summary.local_times);
                         if let Some(path) = &opts.trace_out {

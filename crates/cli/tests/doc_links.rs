@@ -1,0 +1,105 @@
+//! Intra-repo markdown link checker: every relative link in the repo's
+//! documentation must resolve to a file that exists, so the docs cannot
+//! silently rot as files move. External (`http…`, `mailto:`) and
+//! pure-anchor links are ignored; fenced code blocks are skipped.
+
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+/// The documentation set under link discipline: every tracked markdown
+/// file at the repo root and under `docs/`.
+fn doc_files() -> Vec<PathBuf> {
+    let root = repo_root();
+    let mut files = Vec::new();
+    for dir in [root.clone(), root.join("docs")] {
+        for entry in std::fs::read_dir(&dir).expect("readable doc dir") {
+            let path = entry.expect("dir entry").path();
+            if path.extension().is_some_and(|e| e == "md") {
+                files.push(path);
+            }
+        }
+    }
+    assert!(
+        files.iter().any(|p| p.ends_with("README.md")),
+        "doc scan must cover the README"
+    );
+    files.sort();
+    files
+}
+
+/// Extract `](target)` link targets outside fenced code blocks.
+fn link_targets(markdown: &str) -> Vec<(usize, String)> {
+    let mut targets = Vec::new();
+    let mut in_fence = false;
+    for (lineno, line) in markdown.lines().enumerate() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        let mut rest = line;
+        while let Some(open) = rest.find("](") {
+            rest = &rest[open + 2..];
+            let Some(close) = rest.find(')') else { break };
+            targets.push((lineno + 1, rest[..close].to_string()));
+            rest = &rest[close + 1..];
+        }
+    }
+    targets
+}
+
+#[test]
+fn intra_repo_markdown_links_resolve() {
+    let mut broken = Vec::new();
+    let mut checked = 0usize;
+    for file in doc_files() {
+        let body = std::fs::read_to_string(&file)
+            .unwrap_or_else(|e| panic!("unreadable doc {file:?}: {e}"));
+        for (line, target) in link_targets(&body) {
+            let target = target.trim();
+            if target.starts_with("http://")
+                || target.starts_with("https://")
+                || target.starts_with("mailto:")
+                || target.starts_with('#')
+                || target.is_empty()
+            {
+                continue;
+            }
+            // Strip a trailing anchor; intra-file anchors aren't checked.
+            let path_part = target.split('#').next().unwrap();
+            let resolved = file.parent().unwrap().join(path_part);
+            checked += 1;
+            if !resolved.exists() {
+                broken.push(format!(
+                    "{}:{line}: `{target}` → {resolved:?} does not exist",
+                    file.strip_prefix(repo_root()).unwrap_or(&file).display()
+                ));
+            }
+        }
+    }
+    assert!(
+        checked >= 10,
+        "link scan found only {checked} relative links — scanner likely broken"
+    );
+    assert!(
+        broken.is_empty(),
+        "broken intra-repo links:\n{}",
+        broken.join("\n")
+    );
+}
+
+#[test]
+fn readme_links_the_protocol_and_architecture_docs() {
+    let readme = std::fs::read_to_string(repo_root().join("README.md")).unwrap();
+    for doc in ["docs/wire-protocol.md", "docs/architecture.md"] {
+        assert!(
+            readme.contains(&format!("]({doc})")),
+            "README must link {doc}"
+        );
+    }
+}

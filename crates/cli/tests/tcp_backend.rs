@@ -1,0 +1,235 @@
+//! End-to-end tests for `tilecc run --backend tcp`: the driver spawns real
+//! worker processes, and the summary it prints must agree with the
+//! threaded backend line for line — including the bitwise `checksum` —
+//! clean and under fault injection. Failure paths must exit nonzero and
+//! name the rank.
+
+use std::process::{Command, Output};
+
+fn sor_nest() -> String {
+    format!(
+        "{}/../../examples/nests/sor.tcc",
+        env!("CARGO_MANIFEST_DIR")
+    )
+}
+
+/// Self-cleaning temp path prefix (per-worker artifacts append `.rankN`).
+struct TempArtifacts(std::path::PathBuf);
+
+impl TempArtifacts {
+    fn new(tag: &str) -> Self {
+        TempArtifacts(std::env::temp_dir().join(format!("tilecc-tcp-{}-{tag}", std::process::id())))
+    }
+    fn to_str(&self) -> &str {
+        self.0.to_str().unwrap()
+    }
+    fn rank(&self, r: usize) -> std::path::PathBuf {
+        std::path::PathBuf::from(format!("{}.rank{r}", self.to_str()))
+    }
+}
+
+impl Drop for TempArtifacts {
+    fn drop(&mut self) {
+        for r in 0..16 {
+            let _ = std::fs::remove_file(self.rank(r));
+        }
+    }
+}
+
+fn tilecc(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_tilecc"))
+        .args(args)
+        .output()
+        .expect("spawn tilecc")
+}
+
+fn stdout_of(out: &Output) -> String {
+    assert!(
+        out.status.success(),
+        "tilecc failed: {}\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn field<'a>(out: &'a str, key: &str) -> &'a str {
+    out.lines()
+        .find_map(|l| {
+            let (k, v) = l.split_once(':')?;
+            (k.trim() == key).then(|| v.trim())
+        })
+        .unwrap_or_else(|| panic!("no `{key}` line in:\n{out}"))
+}
+
+/// Run SOR on both backends with `extra` flags and assert every summary
+/// line they share is identical — virtual times, counters, and the bitwise
+/// data checksum.
+fn assert_backends_print_identically(extra: &[&str]) -> (String, String) {
+    let nest = sor_nest();
+    let mut base = vec![
+        "run",
+        nest.as_str(),
+        "--rect",
+        "4,10,10",
+        "--map",
+        "2",
+        "--verify",
+    ];
+    base.extend_from_slice(extra);
+
+    let threaded = stdout_of(&tilecc(&base));
+    let procs = field(&threaded, "processors");
+
+    let mut tcp_args = base.clone();
+    tcp_args.extend_from_slice(&["--backend", "tcp", "--ranks", procs]);
+    let tcp = stdout_of(&tilecc(&tcp_args));
+
+    for key in [
+        "processors",
+        "iterations",
+        "seq time",
+        "makespan",
+        "speedup",
+        "messages",
+        "bytes",
+        "checksum",
+        "verified",
+    ] {
+        assert_eq!(
+            field(&threaded, key),
+            field(&tcp, key),
+            "`{key}` differs between backends\n--- threaded ---\n{threaded}\n--- tcp ---\n{tcp}"
+        );
+    }
+    assert_eq!(field(&tcp, "verified"), "true");
+    assert!(field(&tcp, "backend").starts_with("tcp"), "{tcp}");
+    (threaded, tcp)
+}
+
+#[test]
+fn tcp_run_matches_threaded_bitwise() {
+    assert_backends_print_identically(&[]);
+}
+
+#[test]
+fn faulty_tcp_run_matches_threaded_bitwise() {
+    // A lossy link: the reliability layer retransmits over real sockets
+    // and the run must still agree bitwise, retransmit counts included.
+    let (threaded, tcp) =
+        assert_backends_print_identically(&["--fault-seed", "7", "--drop-rate", "0.25"]);
+    if threaded.contains("retransmits") {
+        assert_eq!(
+            field(&threaded, "retransmits"),
+            field(&tcp, "retransmits"),
+            "--- threaded ---\n{threaded}\n--- tcp ---\n{tcp}"
+        );
+    }
+}
+
+#[test]
+fn crashed_worker_fails_the_run_naming_the_rank() {
+    let nest = sor_nest();
+    let threaded = stdout_of(&tilecc(&["run", &nest, "--rect", "4,10,10", "--map", "2"]));
+    let procs = field(&threaded, "processors");
+
+    let out = tilecc(&[
+        "run",
+        &nest,
+        "--rect",
+        "4,10,10",
+        "--map",
+        "2",
+        "--backend",
+        "tcp",
+        "--ranks",
+        procs,
+        "--crash-rank",
+        "1",
+    ]);
+    assert!(!out.status.success(), "a crashed rank must fail the driver");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("rank 1") && stderr.contains("panicked"),
+        "driver stderr must name the crashed rank:\n{stderr}"
+    );
+}
+
+#[test]
+fn worker_with_unreachable_rendezvous_exits_nonzero_fast() {
+    let nest = sor_nest();
+    let start = std::time::Instant::now();
+    let out = tilecc(&[
+        "run",
+        &nest,
+        "--rect",
+        "4,10,10",
+        "--map",
+        "2",
+        "--worker-rank",
+        "0",
+        "--connect",
+        "127.0.0.1:1",
+    ]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("rendezvous"), "{stderr}");
+    assert!(
+        start.elapsed() < std::time::Duration::from_secs(20),
+        "connection refusal must fail fast, took {:?}",
+        start.elapsed()
+    );
+}
+
+#[test]
+fn ranks_must_match_the_plan() {
+    let nest = sor_nest();
+    let out = tilecc(&[
+        "run",
+        &nest,
+        "--rect",
+        "4,10,10",
+        "--map",
+        "2",
+        "--backend",
+        "tcp",
+        "--ranks",
+        "999",
+    ]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("999"), "{stderr}");
+}
+
+#[test]
+fn tcp_run_writes_per_worker_metrics_artifacts() {
+    let nest = sor_nest();
+    let threaded = stdout_of(&tilecc(&["run", &nest, "--rect", "4,10,10", "--map", "2"]));
+    let procs: usize = field(&threaded, "processors").parse().unwrap();
+
+    let metrics = TempArtifacts::new("metrics.json");
+    let out = stdout_of(&tilecc(&[
+        "run",
+        &nest,
+        "--rect",
+        "4,10,10",
+        "--map",
+        "2",
+        "--backend",
+        "tcp",
+        "--ranks",
+        &procs.to_string(),
+        "--metrics-out",
+        metrics.to_str(),
+    ]));
+    assert!(out.contains("metrics"), "{out}");
+    for r in 0..procs {
+        let path = metrics.rank(r);
+        let body = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("worker artifact {path:?} missing: {e}"));
+        assert!(
+            body.contains("tilecc-metrics-v1"),
+            "artifact {path:?} is not a metrics report"
+        );
+    }
+}

@@ -23,12 +23,16 @@ use crate::obs::RankObs;
 /// available at the receiver, and a per-link sequence number.
 #[derive(Clone, Debug)]
 pub struct Envelope {
+    /// The message values. May be empty in timing-only runs, where only
+    /// [`Envelope::bytes`] carries the modelled size.
     pub payload: Vec<f64>,
     /// MPI-style message tag, matched by [`Comm::recv`]. Needed whenever the
     /// consumption order can differ from the send order — e.g. tile
     /// dependencies whose mapping-dimension components exceed 1 make the
     /// minimum-successor consumption non-monotone in the sender's tiles.
     pub tag: i64,
+    /// Virtual time at which the message becomes available at the
+    /// receiver (sender clock + modelled injection + wire latency).
     pub ready_at: f64,
     /// Per-(sender, receiver) sequence number assigned by the reliability
     /// layer: receivers suppress duplicates and re-sequence out-of-order
@@ -42,8 +46,12 @@ pub struct Envelope {
 /// Per-process communication statistics.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct CommStats {
+    /// Messages handed to the transport (each counted once, regardless of
+    /// fault-injected duplicates or retransmissions).
     pub messages_sent: u64,
+    /// Nominal bytes of every sent message.
     pub bytes_sent: u64,
+    /// Messages accepted by this rank's receive path.
     pub messages_received: u64,
     /// Nominal bytes of every *accepted* envelope — duplicates suppressed by
     /// the reliability layer are excluded, so a fault-free or faulty run
@@ -68,11 +76,35 @@ pub struct CommStats {
 /// from genuine bugs in rank closures.
 #[derive(Clone, Debug)]
 pub struct CommAbort {
+    /// Rank that observed the failure.
     pub rank: usize,
+    /// The failure itself.
     pub error: CommError,
 }
 
 /// Blocking point-to-point communication with a virtual clock.
+///
+/// # Contract
+///
+/// * **Blocking semantics** — [`Comm::try_recv_tagged`] blocks until a
+///   matching message arrives (or the engine aborts the run); sends may
+///   buffer but never reorder. There is no nonblocking probe.
+/// * **Tag matching** — receives match on `(from, tag)` like
+///   `MPI_Recv`: messages from `from` with a different tag are buffered
+///   and do not satisfy the call, in arrival order per tag.
+/// * **FIFO per link** — between a fixed (sender, receiver) pair,
+///   messages with the same tag are delivered in send order.
+/// * **Delivery under faults** — with a [`crate::FaultPlan`] attached,
+///   the reliability sublayer restores *exactly-once, in-order* delivery:
+///   drops are retransmitted (charged to the sender's virtual clock),
+///   duplicates are suppressed at the receiver, reordered arrivals are
+///   re-sequenced. Only an unreachable peer (every retry dropped) or a
+///   dead peer surfaces as a [`CommError`].
+/// * **Virtual time** — every operation advances the caller's clock per
+///   the [`MachineModel`]; one run yields both data and simulated time.
+///
+/// Implementations: [`crate::ThreadedComm`] (in-process channels) and
+/// [`crate::TcpComm`] (sockets, in- or multi-process).
 pub trait Comm {
     /// This process's rank in `0..size()`.
     fn rank(&self) -> usize;

@@ -13,13 +13,35 @@ use std::time::Duration;
 pub enum CommError {
     /// The peer's channel endpoints are gone: it panicked or returned while
     /// messages were still expected.
-    Disconnected { peer: usize },
+    Disconnected {
+        /// The vanished peer's rank.
+        peer: usize,
+    },
     /// The reliability layer gave up: every transmission attempt (original
     /// plus retries) was dropped by the fault plan.
-    Unreachable { peer: usize, attempts: u32 },
+    Unreachable {
+        /// The unreachable peer's rank.
+        peer: usize,
+        /// Transmission attempts made before giving up.
+        attempts: u32,
+    },
     /// The engine watchdog aborted the run (deadlock or wall timeout) while
     /// this rank was blocked.
     Aborted,
+    /// The TCP transport lost its socket to the named rank mid-run: the
+    /// peer's process died, closed the connection, or the connection was
+    /// reset. The socket-level analogue of [`CommError::Disconnected`].
+    PeerDisconnected {
+        /// Rank whose socket went away.
+        rank: usize,
+    },
+    /// The TCP transport failed outside an established link: rendezvous,
+    /// mesh handshake, or a malformed wire frame. `detail` carries the
+    /// stage and the underlying error text.
+    Transport {
+        /// Human-readable description of the failing stage.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for CommError {
@@ -38,6 +60,10 @@ impl std::fmt::Display for CommError {
                 )
             }
             CommError::Aborted => write!(f, "run aborted by the engine watchdog"),
+            CommError::PeerDisconnected { rank } => {
+                write!(f, "peer rank {rank} disconnected (tcp socket closed)")
+            }
+            CommError::Transport { detail } => write!(f, "transport failure: {detail}"),
         }
     }
 }
@@ -51,22 +77,36 @@ pub enum RunError {
     /// A rank closure panicked. The payload is the stringified panic
     /// message; peers that consequently observed disconnected channels are
     /// folded into this primary cause.
-    RankPanicked { rank: usize, payload: String },
+    RankPanicked {
+        /// The panicked rank.
+        rank: usize,
+        /// Stringified panic message.
+        payload: String,
+    },
     /// Every live rank is blocked in a receive and no message is in flight:
     /// the communication schedule is cyclic. `waiting_on` lists
     /// `(rank, from, tag)` for each blocked rank.
     Deadlock {
+        /// Every blocked rank.
         blocked_ranks: Vec<usize>,
+        /// `(rank, from, tag)` for each blocked receive.
         waiting_on: Vec<(usize, usize, i64)>,
     },
     /// The run exceeded the wall-clock cap ([`crate::EngineOptions::wall_timeout`]).
     WallTimeout {
+        /// Wall-clock time elapsed when the cap fired.
         elapsed: Duration,
+        /// Ranks that had not finished.
         unfinished: Vec<usize>,
     },
     /// A rank reported a communication error that was not caused by a peer
     /// panic (e.g. the reliability layer exhausted its retries).
-    Comm { rank: usize, error: CommError },
+    Comm {
+        /// The rank that observed the error.
+        rank: usize,
+        /// The communication error itself.
+        error: CommError,
+    },
 }
 
 impl std::fmt::Display for RunError {
@@ -146,5 +186,21 @@ mod tests {
         };
         assert!(c.to_string().contains("rank 2"));
         assert!(c.to_string().contains("33 attempts"));
+    }
+
+    #[test]
+    fn tcp_errors_name_the_rank() {
+        let e = RunError::Comm {
+            rank: 0,
+            error: CommError::PeerDisconnected { rank: 1 },
+        };
+        let s = e.to_string();
+        assert!(s.contains("rank 0"), "{s}");
+        assert!(s.contains("peer rank 1 disconnected"), "{s}");
+
+        let t = CommError::Transport {
+            detail: "rendezvous: connection refused".into(),
+        };
+        assert!(t.to_string().contains("rendezvous"), "{t}");
     }
 }

@@ -19,6 +19,7 @@
 /// its local clock reaches `at`, exercising the engine's panic containment.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct RankCrash {
+    /// The rank that crashes.
     pub rank: usize,
     /// Virtual time (seconds) at or after which the rank panics.
     pub at: f64,
@@ -29,6 +30,7 @@ pub struct RankCrash {
 /// hiccup, a slow NIC — anything that delays one node without killing it).
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct RankStall {
+    /// The rank that stalls.
     pub rank: usize,
     /// Virtual time (seconds) at or after which the stall happens.
     pub at: f64,

@@ -61,6 +61,7 @@ pub enum Phase {
 }
 
 impl Phase {
+    /// Stable snake-case name used in exports.
     pub fn name(self) -> &'static str {
         match self {
             Phase::Lower => "lower",
@@ -98,14 +99,16 @@ impl Phase {
 /// seconds (absent for driver-side spans, which have no virtual clock).
 #[derive(Clone, Debug)]
 pub struct Span {
+    /// The phase the span belongs to.
     pub phase: Phase,
     /// Event name (defaults to the phase name; driver spans may refine it,
     /// e.g. `"fourier-motzkin"` under [`Phase::Plan`]).
     pub name: &'static str,
     /// Chrome-trace pid: [`DRIVER_PID`] or `rank + 1`.
     pub pid: u32,
-    /// Wall-clock interval in nanoseconds since the registry epoch.
+    /// Wall-clock start in nanoseconds since the registry epoch.
     pub wall_start_ns: u64,
+    /// Wall-clock end in nanoseconds since the registry epoch.
     pub wall_end_ns: u64,
     /// Virtual-clock interval in seconds, when the span ran under the
     /// engine's virtual clock.
@@ -118,33 +121,44 @@ pub struct Span {
 /// Monotonically named counters, one cell per rank. Plain `u64` adds.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Counter {
+    /// Messages handed to the transport.
     MessagesSent,
+    /// Nominal bytes of every sent message.
     BytesSent,
+    /// Messages accepted by the receive path.
     MessagesReceived,
+    /// Nominal bytes of every accepted message.
     BytesReceived,
     /// Transmission attempts repeated by the reliability layer.
     Retransmits,
     /// Envelopes discarded by receiver-side duplicate suppression.
     DupsSuppressed,
-    /// Fault-plan decisions that fired, by kind.
+    /// Fault-plan drop decisions that fired.
     FaultDrops,
+    /// Fault-plan duplicate decisions that fired.
     FaultDups,
+    /// Fault-plan reorder decisions that fired.
     FaultReorders,
+    /// Fault-plan delay decisions that fired.
     FaultDelays,
-    /// Tiles executed, split into dense-interior and boundary-clamped.
+    /// Tiles executed.
     Tiles,
+    /// Dense-interior tiles (compiled fast path, no bounds clamping).
     InteriorTiles,
+    /// Boundary tiles (clamped against the iteration-space box).
     BoundaryTiles,
     /// Loop iterations executed.
     Iterations,
-    /// Tiles dispatched through the compiled flat-index path vs the
-    /// per-point reference path.
+    /// Tiles dispatched through the compiled flat-index path.
     CompiledDispatches,
+    /// Tiles dispatched through the per-point reference path.
     ReferenceDispatches,
 }
 
 impl Counter {
+    /// Number of counters.
     pub const COUNT: usize = 16;
+    /// Every counter, in index order.
     pub const ALL: [Counter; Counter::COUNT] = [
         Counter::MessagesSent,
         Counter::BytesSent,
@@ -164,6 +178,7 @@ impl Counter {
         Counter::ReferenceDispatches,
     ];
 
+    /// Stable snake-case name used in exports.
     pub fn name(self) -> &'static str {
         match self {
             Counter::MessagesSent => "messages_sent",
@@ -195,21 +210,29 @@ pub enum GaugeId {
     ResequenceDepth,
     /// Accepted sends not yet on the wire (reorder holdbacks).
     OutstandingSends,
+    /// Wall nanoseconds the TCP backend spent establishing its full mesh
+    /// (rendezvous + peer handshakes). Set once per run.
+    ConnectNs,
 }
 
 impl GaugeId {
-    pub const COUNT: usize = 3;
+    /// Number of gauge ids (update together with [`GaugeId::ALL`]).
+    pub const COUNT: usize = 4;
+    /// All gauge ids, in storage order.
     pub const ALL: [GaugeId; GaugeId::COUNT] = [
         GaugeId::PendingDepth,
         GaugeId::ResequenceDepth,
         GaugeId::OutstandingSends,
+        GaugeId::ConnectNs,
     ];
 
+    /// Stable export name of this gauge.
     pub fn name(self) -> &'static str {
         match self {
             GaugeId::PendingDepth => "pending_depth",
             GaugeId::ResequenceDepth => "resequence_depth",
             GaugeId::OutstandingSends => "outstanding_sends",
+            GaugeId::ConnectNs => "connect_ns",
         }
     }
 }
@@ -228,18 +251,28 @@ pub enum HistId {
     UnpackNs,
     /// Wall nanoseconds gathering one tile into the global data space.
     GatherNs,
+    /// Wall nanoseconds encoding one envelope to wire bytes (TCP backend).
+    SerializeNs,
+    /// Wall nanoseconds decoding one wire frame back into an envelope
+    /// (TCP backend; recorded by the reader thread).
+    DeserializeNs,
 }
 
 impl HistId {
-    pub const COUNT: usize = 5;
+    /// Number of histogram ids (update together with [`HistId::ALL`]).
+    pub const COUNT: usize = 7;
+    /// All histogram ids, in storage order.
     pub const ALL: [HistId; HistId::COUNT] = [
         HistId::ComputeTileNs,
         HistId::RecvWaitNs,
         HistId::PackNs,
         HistId::UnpackNs,
         HistId::GatherNs,
+        HistId::SerializeNs,
+        HistId::DeserializeNs,
     ];
 
+    /// Stable export name of this histogram.
     pub fn name(self) -> &'static str {
         match self {
             HistId::ComputeTileNs => "compute_tile_ns",
@@ -247,6 +280,8 @@ impl HistId {
             HistId::PackNs => "pack_ns",
             HistId::UnpackNs => "unpack_ns",
             HistId::GatherNs => "gather_ns",
+            HistId::SerializeNs => "serialize_ns",
+            HistId::DeserializeNs => "deserialize_ns",
         }
     }
 }
@@ -276,7 +311,9 @@ pub enum VirtAcc {
 }
 
 impl VirtAcc {
+    /// Number of accumulators.
     pub const COUNT: usize = 8;
+    /// Every accumulator, in index order.
     pub const ALL: [VirtAcc; VirtAcc::COUNT] = [
         VirtAcc::Compute,
         VirtAcc::Wait,
@@ -288,6 +325,7 @@ impl VirtAcc {
         VirtAcc::OverlapHidden,
     ];
 
+    /// Stable snake-case name used in exports.
     pub fn name(self) -> &'static str {
         match self {
             VirtAcc::Compute => "compute_virt",
@@ -332,16 +370,19 @@ impl Histogram {
         }
     }
 
+    /// Record one value (thread-safe; cells are atomic).
     pub fn observe(&self, v: u64) {
         self.buckets[Self::bucket_of(v)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(v, Ordering::Relaxed);
     }
 
+    /// Number of observations.
     pub fn count(&self) -> u64 {
         self.count.load(Ordering::Relaxed)
     }
 
+    /// Sum of all observed values.
     pub fn sum(&self) -> u64 {
         self.sum.load(Ordering::Relaxed)
     }
@@ -373,15 +414,18 @@ impl Gauge {
         }
     }
 
+    /// Set the level, updating the high-water mark.
     pub fn set(&self, v: u64) {
         self.value.store(v, Ordering::Relaxed);
         self.max.fetch_max(v, Ordering::Relaxed);
     }
 
+    /// Last set value.
     pub fn value(&self) -> u64 {
         self.value.load(Ordering::Relaxed)
     }
 
+    /// High-water mark.
     pub fn max(&self) -> u64 {
         self.max.load(Ordering::Relaxed)
     }
@@ -410,18 +454,22 @@ impl RankMetrics {
         }
     }
 
+    /// Add `v` to counter `c`.
     pub fn add(&self, c: Counter, v: u64) {
         self.counters[c as usize].fetch_add(v, Ordering::Relaxed);
     }
 
+    /// Current value of counter `c`.
     pub fn get(&self, c: Counter) -> u64 {
         self.counters[c as usize].load(Ordering::Relaxed)
     }
 
+    /// The gauge cell for `g`.
     pub fn gauge(&self, g: GaugeId) -> &Gauge {
         &self.gauges[g as usize]
     }
 
+    /// The histogram for `h`.
     pub fn hist(&self, h: HistId) -> &Histogram {
         &self.hists[h as usize]
     }
@@ -434,6 +482,7 @@ impl RankMetrics {
         cell.store((cur + dv).to_bits(), Ordering::Relaxed);
     }
 
+    /// Current value of accumulator `a` in virtual seconds.
     pub fn virt_get(&self, a: VirtAcc) -> f64 {
         f64::from_bits(self.virt[a as usize].load(Ordering::Relaxed))
     }
@@ -464,6 +513,7 @@ impl Default for MetricsRegistry {
 }
 
 impl MetricsRegistry {
+    /// A fresh shared registry with its epoch at "now".
     pub fn new() -> Arc<Self> {
         Arc::new(Self::default())
     }
@@ -482,6 +532,7 @@ impl MetricsRegistry {
         ranks[rank].clone()
     }
 
+    /// Number of rank slots allocated so far.
     pub fn rank_count(&self) -> usize {
         self.ranks.lock().expect("obs registry poisoned").len()
     }
@@ -516,6 +567,7 @@ impl MetricsRegistry {
         self.spans.lock().expect("obs registry poisoned").push(span);
     }
 
+    /// Snapshot of every collected span.
     pub fn spans(&self) -> Vec<Span> {
         self.spans.lock().expect("obs registry poisoned").clone()
     }
@@ -549,6 +601,7 @@ pub struct RankObs {
 }
 
 impl RankObs {
+    /// The observability handle for `rank`, allocating its registry slot.
     pub fn new(reg: Arc<MetricsRegistry>, rank: usize) -> Self {
         let metrics = reg.rank_metrics(rank);
         RankObs {
@@ -559,26 +612,42 @@ impl RankObs {
         }
     }
 
+    /// The rank this handle records for.
     pub fn rank(&self) -> usize {
         self.rank
     }
 
+    /// The underlying per-rank metric store, for helper threads that record
+    /// on this rank's behalf (e.g. the TCP reader threads timing frame
+    /// decodes). Counters, gauges and histograms are atomics and safe to
+    /// update from any thread; the *virtual* accumulators are single-writer
+    /// and must only be touched through [`RankObs::virt_add`] on the rank's
+    /// own thread.
+    pub fn metrics(&self) -> Arc<RankMetrics> {
+        self.metrics.clone()
+    }
+
+    /// Nanoseconds since the registry epoch.
     pub fn now_ns(&self) -> u64 {
         self.reg.now_ns()
     }
 
+    /// Add `v` to this rank's counter `c`.
     pub fn add(&self, c: Counter, v: u64) {
         self.metrics.add(c, v);
     }
 
+    /// Record `ns` into this rank's histogram `h`.
     pub fn observe(&self, h: HistId, ns: u64) {
         self.metrics.hist(h).observe(ns);
     }
 
+    /// Set this rank's gauge `g`.
     pub fn gauge_set(&self, g: GaugeId, v: u64) {
         self.metrics.gauge(g).set(v);
     }
 
+    /// Accumulate virtual seconds into this rank's accumulator `a`.
     pub fn virt_add(&self, a: VirtAcc, dv: f64) {
         self.metrics.virt_add(a, dv);
     }
@@ -728,6 +797,7 @@ pub type HistReport = (HistId, u64, u64, Vec<(u64, u64)>);
 /// One rank's aggregated view.
 #[derive(Clone, Debug)]
 pub struct RankReport {
+    /// The rank this row describes.
     pub rank: usize,
     /// The rank's final virtual clock.
     pub local_time: f64,
@@ -743,8 +813,11 @@ pub struct RankReport {
     pub overlap_hidden: f64,
     /// `compute / local_time` (0 for an idle rank).
     pub utilization: f64,
+    /// `(counter, value)` for every counter.
     pub counters: Vec<(Counter, u64)>,
+    /// `(gauge, value, high-water mark)` for every gauge.
     pub gauges: Vec<(GaugeId, u64, u64)>,
+    /// `(hist, count, sum, non-empty buckets)` for every histogram.
     pub hists: Vec<HistReport>,
 }
 
@@ -753,12 +826,15 @@ pub struct RankReport {
 /// partition every clock advance).
 #[derive(Clone, Debug)]
 pub struct RunReport {
+    /// One row per rank, in rank order.
     pub ranks: Vec<RankReport>,
     /// Virtual makespan: the latest local clock.
     pub makespan: f64,
 }
 
 impl RunReport {
+    /// Aggregate the registry's metrics into per-rank rows, pairing each
+    /// rank with its final virtual clock.
     pub fn from_registry(reg: &MetricsRegistry, local_times: &[f64]) -> RunReport {
         let slots = reg.ranks();
         let mut ranks = Vec::with_capacity(local_times.len());
@@ -976,12 +1052,19 @@ pub mod json {
     /// silently lose precision above 2^53.
     #[derive(Clone, Debug, PartialEq)]
     pub enum Json {
+        /// `null`.
         Null,
+        /// `true` / `false`.
         Bool(bool),
+        /// A number with a fractional or exponent part.
         Num(f64),
+        /// An integer lexeme, kept exact.
         Int(i128),
+        /// A string.
         Str(String),
+        /// An array.
         Arr(Vec<Json>),
+        /// An object, fields in source order.
         Obj(Vec<(String, Json)>),
     }
 
@@ -994,6 +1077,7 @@ pub mod json {
             }
         }
 
+        /// The value as `f64` (integers convert; may round above 2^53).
         pub fn as_f64(&self) -> Option<f64> {
             match self {
                 Json::Num(x) => Some(*x),
@@ -1002,6 +1086,7 @@ pub mod json {
             }
         }
 
+        /// The value as `u64`, when it is a non-negative integer.
         pub fn as_u64(&self) -> Option<u64> {
             match self {
                 Json::Num(x) if *x >= 0.0 && x.fract() == 0.0 => Some(*x as u64),
@@ -1010,6 +1095,7 @@ pub mod json {
             }
         }
 
+        /// The exact integer value, when the lexeme was an integer.
         pub fn as_i128(&self) -> Option<i128> {
             match self {
                 Json::Int(x) => Some(*x),
@@ -1017,6 +1103,7 @@ pub mod json {
             }
         }
 
+        /// The string value.
         pub fn as_str(&self) -> Option<&str> {
             match self {
                 Json::Str(s) => Some(s),
@@ -1024,6 +1111,7 @@ pub mod json {
             }
         }
 
+        /// The array elements.
         pub fn as_arr(&self) -> Option<&[Json]> {
             match self {
                 Json::Arr(v) => Some(v),
@@ -1031,6 +1119,7 @@ pub mod json {
             }
         }
 
+        /// The object fields, in source order.
         pub fn as_obj(&self) -> Option<&[(String, Json)]> {
             match self {
                 Json::Obj(v) => Some(v),

@@ -1,0 +1,1486 @@
+//! The TCP cluster backend: the [`Comm`] contract over real sockets.
+//!
+//! Where the threaded engine moves [`Envelope`]s through in-process
+//! channels, this backend serializes every message through the TCMP wire
+//! format ([`crate::wire`]) and moves it over localhost (or cross-machine)
+//! TCP connections. The virtual-clock arithmetic, the reliability sublayer
+//! ([`crate::reliability`]), and the fault-injection decisions are shared
+//! with the threaded engine, so for the same program the two backends
+//! produce **bitwise-identical data, identical virtual clocks, and
+//! identical logical counters** — faulty runs included. `ready_at` travels
+//! as an `f64` bit pattern and fault decisions are pure hashes of
+//! `(seed, link, seq, attempt)`, so nothing depends on real-time races.
+//!
+//! # Topology
+//!
+//! Connection establishment is rendezvous-based: every rank binds an
+//! ephemeral listener, reports it to the rendezvous ([`Rendezvous`]) with
+//! a `HELLO` frame, receives the full address list (`ADDRS`), then builds
+//! a full mesh — dialing every lower-ranked peer (announcing itself with a
+//! `PEER` frame) and accepting from every higher-ranked one. One
+//! bidirectional socket serves each unordered rank pair.
+//!
+//! Per peer, a *writer thread* drains a bounded queue of pre-encoded
+//! frames onto the socket, and a *reader thread* decodes incoming frames
+//! into the same tag-matching receive path the threaded engine uses. On
+//! clean exit writers flush and send `FIN` (`shutdown(Write)`); readers
+//! keep draining to end-of-stream so a socket is never reset while it may
+//! still carry undelivered frames.
+//!
+//! # Process models
+//!
+//! * [`run_cluster_tcp`] — every rank is a thread of this process, but all
+//!   communication crosses real sockets. Drop-in replacement for
+//!   [`crate::run_cluster_opts`]; used by tests, the fuzz harness, and
+//!   in-process callers.
+//! * [`run_worker`] + [`Rendezvous`]/[`collect_workers`] — the
+//!   multi-process model: a driver process spawns one worker process per
+//!   rank, workers run [`run_worker`] and report results over their
+//!   rendezvous (control) connection, and the driver supervises them with
+//!   a heartbeat-fed deadlock watchdog mirroring the threaded engine's.
+
+use crate::comm::{Comm, CommAbort, CommStats, Envelope};
+use crate::error::{CommError, RunError};
+use crate::fault::{FaultPlan, RankStall};
+use crate::model::MachineModel;
+use crate::obs::{Counter, GaugeId, HistId, Phase, RankMetrics, RankObs, VirtAcc};
+use crate::reliability::{retransmit_pauses, Admit, LinkSeq};
+use crate::threaded::{
+    collect, install_quiet_panic_hook, panic_message, CommScheme, EngineOptions, Monitor, RankEnd,
+    RankPhase, RunReport, ABORT_GRACE, COLLECT_POLL, RECV_POLL,
+};
+use crate::trace::{Event, Trace};
+use crate::wire::{self, Frame, FrameKind};
+use std::io::Read;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, sync_channel, Receiver, RecvTimeoutError, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Deadline for rendezvous and mesh handshakes.
+const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(30);
+/// Bounded depth (frames) of each per-peer writer queue.
+const SEND_QUEUE_FRAMES: usize = 64;
+/// How often a worker ships a heartbeat (`PROGRESS` frame) to the driver.
+const HEARTBEAT_PERIOD: Duration = Duration::from_millis(50);
+/// Consecutive silent driver sweeps with every live worker blocked before
+/// the multi-process watchdog declares a deadlock. Sweeps run every
+/// [`COLLECT_POLL`]; this must comfortably exceed [`HEARTBEAT_PERIOD`] so
+/// a quiet-but-alive worker is never misread (~600 ms of global silence).
+const DRIVER_STABLE_SWEEPS: u32 = 60;
+/// How long a worker waits for the driver's `BYE` after its result.
+const BYE_TIMEOUT: Duration = Duration::from_secs(60);
+
+fn transport_error(stage: &str, e: impl std::fmt::Display) -> CommError {
+    CommError::Transport {
+        detail: format!("{stage}: {e}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Connection establishment
+// ---------------------------------------------------------------------------
+
+/// The rendezvous listener: ranks report their mesh listeners here and
+/// receive the full address list back. In the multi-process model the
+/// driver owns it and keeps the per-rank control connections for results
+/// and heartbeats.
+pub struct Rendezvous {
+    listener: TcpListener,
+    addr: SocketAddr,
+}
+
+impl Rendezvous {
+    /// Bind an ephemeral rendezvous listener on localhost.
+    pub fn bind() -> Result<Rendezvous, CommError> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))
+            .map_err(|e| transport_error("rendezvous bind", e))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| transport_error("rendezvous addr", e))?;
+        Ok(Rendezvous { listener, addr })
+    }
+
+    /// The `host:port` workers should `--connect` to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Accept `size` `HELLO`s (each announcing a rank's mesh listener and
+    /// expected world size), then broadcast the `ADDRS` list. Returns the
+    /// control connections in rank order.
+    pub fn coordinate(&self, size: usize, deadline: Duration) -> Result<Vec<TcpStream>, CommError> {
+        let until = Instant::now() + deadline;
+        self.listener
+            .set_nonblocking(true)
+            .map_err(|e| transport_error("rendezvous nonblocking", e))?;
+        let mut controls: Vec<Option<TcpStream>> = (0..size).map(|_| None).collect();
+        let mut addrs: Vec<Option<String>> = vec![None; size];
+        let mut pending = 0usize;
+        while pending < size {
+            match self.listener.accept() {
+                Ok((mut stream, _)) => {
+                    stream
+                        .set_read_timeout(Some(HANDSHAKE_TIMEOUT))
+                        .map_err(|e| transport_error("rendezvous control", e))?;
+                    let hello = wire::read_frame(&mut stream)
+                        .map_err(|e| transport_error("rendezvous hello", e))?;
+                    if hello.kind != FrameKind::Hello {
+                        return Err(transport_error(
+                            "rendezvous hello",
+                            format!("unexpected {:?} frame", hello.kind),
+                        ));
+                    }
+                    let rank = hello.src as usize;
+                    if rank >= size {
+                        return Err(transport_error(
+                            "rendezvous hello",
+                            format!("rank {rank} out of range for world size {size}"),
+                        ));
+                    }
+                    if hello.seq != size as u64 {
+                        return Err(transport_error(
+                            "rendezvous hello",
+                            format!(
+                                "rank {rank} expects world size {}, driver has {size}",
+                                hello.seq
+                            ),
+                        ));
+                    }
+                    if controls[rank].is_some() {
+                        return Err(transport_error(
+                            "rendezvous hello",
+                            format!("duplicate hello from rank {rank}"),
+                        ));
+                    }
+                    addrs[rank] = Some(
+                        String::from_utf8(hello.payload)
+                            .map_err(|e| transport_error("rendezvous hello", e))?,
+                    );
+                    controls[rank] = Some(stream);
+                    pending += 1;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if Instant::now() >= until {
+                        let missing: Vec<usize> =
+                            (0..size).filter(|&r| controls[r].is_none()).collect();
+                        return Err(transport_error(
+                            "rendezvous",
+                            format!("timed out waiting for ranks {missing:?}"),
+                        ));
+                    }
+                    thread::sleep(COLLECT_POLL);
+                }
+                Err(e) => return Err(transport_error("rendezvous accept", e)),
+            }
+        }
+        let list: Vec<String> = addrs
+            .into_iter()
+            .map(|a| a.expect("all collected"))
+            .collect();
+        let mut broadcast = Frame::control(FrameKind::Addrs, u32::MAX);
+        broadcast.payload = list.join("\n").into_bytes();
+        let mut out = Vec::with_capacity(size);
+        for (rank, control) in controls.into_iter().enumerate() {
+            let mut control = control.expect("all collected");
+            wire::write_frame(&mut control, &broadcast)
+                .map_err(|e| transport_error(&format!("rendezvous addrs to rank {rank}"), e))?;
+            out.push(control);
+        }
+        Ok(out)
+    }
+}
+
+/// One rank's established connections: the per-peer mesh sockets and the
+/// control connection to the rendezvous.
+struct Mesh {
+    peers: Vec<Option<TcpStream>>,
+    control: TcpStream,
+}
+
+/// Build this rank's side of the full mesh through the rendezvous at
+/// `rendezvous` (`host:port`).
+fn connect_mesh(rank: usize, size: usize, rendezvous: &str) -> Result<Mesh, CommError> {
+    let listener =
+        TcpListener::bind(("127.0.0.1", 0)).map_err(|e| transport_error("mesh bind", e))?;
+    let my_addr = listener
+        .local_addr()
+        .map_err(|e| transport_error("mesh addr", e))?;
+    let rdv_addr = rendezvous
+        .to_socket_addrs()
+        .map_err(|e| transport_error("rendezvous resolve", e))?
+        .next()
+        .ok_or_else(|| transport_error("rendezvous resolve", "no address"))?;
+    let mut control = TcpStream::connect_timeout(&rdv_addr, HANDSHAKE_TIMEOUT)
+        .map_err(|e| transport_error("rendezvous connect", e))?;
+    control
+        .set_nodelay(true)
+        .map_err(|e| transport_error("rendezvous connect", e))?;
+    control
+        .set_read_timeout(Some(HANDSHAKE_TIMEOUT))
+        .map_err(|e| transport_error("rendezvous connect", e))?;
+    let mut hello = Frame::control(FrameKind::Hello, rank as u32);
+    hello.seq = size as u64;
+    hello.payload = my_addr.to_string().into_bytes();
+    wire::write_frame(&mut control, &hello).map_err(|e| transport_error("hello", e))?;
+    let addrs_frame =
+        wire::read_frame(&mut control).map_err(|e| transport_error("awaiting addrs", e))?;
+    if addrs_frame.kind != FrameKind::Addrs {
+        return Err(transport_error(
+            "awaiting addrs",
+            format!("unexpected {:?} frame", addrs_frame.kind),
+        ));
+    }
+    let addrs: Vec<String> = String::from_utf8(addrs_frame.payload)
+        .map_err(|e| transport_error("addrs payload", e))?
+        .lines()
+        .map(str::to_string)
+        .collect();
+    if addrs.len() != size {
+        return Err(transport_error(
+            "addrs payload",
+            format!("{} addresses for world size {size}", addrs.len()),
+        ));
+    }
+
+    let mut peers: Vec<Option<TcpStream>> = (0..size).map(|_| None).collect();
+    // Dial every lower rank, announcing who we are.
+    for (peer, addr) in addrs.iter().enumerate().take(rank) {
+        let peer_addr = addr
+            .to_socket_addrs()
+            .map_err(|e| transport_error("peer resolve", e))?
+            .next()
+            .ok_or_else(|| transport_error("peer resolve", "no address"))?;
+        let mut stream = TcpStream::connect_timeout(&peer_addr, HANDSHAKE_TIMEOUT)
+            .map_err(|e| transport_error(&format!("dial rank {peer}"), e))?;
+        stream
+            .set_nodelay(true)
+            .map_err(|e| transport_error("peer setup", e))?;
+        wire::write_frame(&mut stream, &Frame::control(FrameKind::Peer, rank as u32))
+            .map_err(|e| transport_error(&format!("peer handshake to rank {peer}"), e))?;
+        peers[peer] = Some(stream);
+    }
+    // Accept from every higher rank.
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| transport_error("mesh accept", e))?;
+    let until = Instant::now() + HANDSHAKE_TIMEOUT;
+    let mut accepted = 0usize;
+    while accepted < size - rank - 1 {
+        match listener.accept() {
+            Ok((mut stream, _)) => {
+                stream
+                    .set_nodelay(true)
+                    .map_err(|e| transport_error("peer setup", e))?;
+                stream
+                    .set_read_timeout(Some(HANDSHAKE_TIMEOUT))
+                    .map_err(|e| transport_error("peer setup", e))?;
+                let peer_frame = wire::read_frame(&mut stream)
+                    .map_err(|e| transport_error("peer handshake", e))?;
+                if peer_frame.kind != FrameKind::Peer {
+                    return Err(transport_error(
+                        "peer handshake",
+                        format!("unexpected {:?} frame", peer_frame.kind),
+                    ));
+                }
+                let peer = peer_frame.src as usize;
+                if peer <= rank || peer >= size || peers[peer].is_some() {
+                    return Err(transport_error(
+                        "peer handshake",
+                        format!("unexpected peer rank {peer}"),
+                    ));
+                }
+                // Reader threads block indefinitely from here on.
+                stream
+                    .set_read_timeout(None)
+                    .map_err(|e| transport_error("peer setup", e))?;
+                peers[peer] = Some(stream);
+                accepted += 1;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if Instant::now() >= until {
+                    let missing: Vec<usize> =
+                        (rank + 1..size).filter(|&p| peers[p].is_none()).collect();
+                    return Err(transport_error(
+                        "mesh accept",
+                        format!("timed out waiting for ranks {missing:?}"),
+                    ));
+                }
+                thread::sleep(COLLECT_POLL);
+            }
+            Err(e) => return Err(transport_error("mesh accept", e)),
+        }
+    }
+    Ok(Mesh { peers, control })
+}
+
+// ---------------------------------------------------------------------------
+// The endpoint
+// ---------------------------------------------------------------------------
+
+/// Everything needed to assemble a [`TcpComm`] besides the sockets.
+struct TcpCommConfig {
+    rank: usize,
+    size: usize,
+    model: MachineModel,
+    scheme: CommScheme,
+    fault: Option<Arc<FaultPlan>>,
+    trace: bool,
+    obs: Option<RankObs>,
+    connect_ns: u64,
+}
+
+/// The socket-backed [`Comm`] endpoint.
+///
+/// Virtual-clock arithmetic, fault injection, and reliability bookkeeping
+/// mirror [`crate::ThreadedComm`] operation for operation, so both
+/// backends yield identical clocks and counters; only the substrate
+/// differs — outgoing envelopes are encoded to TCMP frames on the calling
+/// thread (measured as `serialize_ns`) and queued to per-peer writer
+/// threads, while per-peer reader threads decode arrivals (measured as
+/// `deserialize_ns`) into the receive path.
+///
+/// Constructed by [`run_cluster_tcp`] (in-process ranks) and
+/// [`run_worker`] (one rank of a multi-process run).
+pub struct TcpComm {
+    rank: usize,
+    size: usize,
+    model: MachineModel,
+    scheme: CommScheme,
+    clock: f64,
+    comm_lane: f64,
+    lane_busy: f64,
+    stats: CommStats,
+    trace: Option<Trace>,
+    /// Pre-encoded frames to each peer's writer thread.
+    writers: Vec<Option<SyncSender<Vec<u8>>>>,
+    /// Decoded envelopes from each peer's reader thread.
+    rxs: Vec<Option<Receiver<Envelope>>>,
+    /// Per-peer buffers of arrived-but-unmatched messages (tag matching).
+    pending: Vec<Vec<Envelope>>,
+    monitor: Arc<Monitor>,
+    fault: Option<Arc<FaultPlan>>,
+    crash_at: Option<f64>,
+    stall: Option<RankStall>,
+    links: LinkSeq,
+    holdback: Vec<Option<Envelope>>,
+    obs: Option<RankObs>,
+}
+
+impl TcpComm {
+    fn build(
+        cfg: TcpCommConfig,
+        peers: Vec<Option<TcpStream>>,
+        monitor: Arc<Monitor>,
+    ) -> (TcpComm, Vec<JoinHandle<()>>) {
+        let size = cfg.size;
+        let metrics = cfg.obs.as_ref().map(|o| o.metrics());
+        let mut writers: Vec<Option<SyncSender<Vec<u8>>>> = (0..size).map(|_| None).collect();
+        let mut rxs: Vec<Option<Receiver<Envelope>>> = (0..size).map(|_| None).collect();
+        let mut writer_handles = Vec::new();
+        for (peer, stream) in peers.into_iter().enumerate() {
+            let Some(stream) = stream else { continue };
+            let read_half = stream.try_clone().expect("socket clone");
+            let (out_tx, out_rx) = sync_channel::<Vec<u8>>(SEND_QUEUE_FRAMES);
+            let (in_tx, in_rx) = channel::<Envelope>();
+            let writer = thread::Builder::new()
+                .name(format!("tilecc-tcp-w{}-{}", cfg.rank, peer))
+                .spawn(move || {
+                    let mut stream = stream;
+                    while let Ok(buf) = out_rx.recv() {
+                        if std::io::Write::write_all(&mut stream, &buf).is_err() {
+                            break;
+                        }
+                    }
+                    // Flush done (or socket dead): announce end-of-stream but
+                    // keep our read side open — the peer may still be
+                    // flushing frames to us, and resetting the socket could
+                    // destroy them in flight.
+                    let _ = stream.shutdown(Shutdown::Write);
+                })
+                .expect("failed to spawn tcp writer thread");
+            let reader_metrics = metrics.clone();
+            thread::Builder::new()
+                .name(format!("tilecc-tcp-r{}-{}", cfg.rank, peer))
+                .spawn(move || reader_loop(read_half, in_tx, reader_metrics))
+                .expect("failed to spawn tcp reader thread");
+            writers[peer] = Some(out_tx);
+            rxs[peer] = Some(in_rx);
+            writer_handles.push(writer);
+        }
+        if let Some(o) = &cfg.obs {
+            o.gauge_set(GaugeId::ConnectNs, cfg.connect_ns);
+        }
+        let comm = TcpComm {
+            rank: cfg.rank,
+            size,
+            model: cfg.model,
+            scheme: cfg.scheme,
+            clock: 0.0,
+            comm_lane: 0.0,
+            lane_busy: 0.0,
+            stats: CommStats::default(),
+            trace: cfg.trace.then(Trace::default),
+            writers,
+            rxs,
+            pending: (0..size).map(|_| Vec::new()).collect(),
+            monitor,
+            crash_at: cfg.fault.as_ref().and_then(|fp| fp.crash_time(cfg.rank)),
+            stall: cfg.fault.as_ref().and_then(|fp| fp.stall_of(cfg.rank)),
+            fault: cfg.fault,
+            links: LinkSeq::new(size),
+            holdback: (0..size).map(|_| None).collect(),
+            obs: cfg.obs,
+        };
+        (comm, writer_handles)
+    }
+
+    /// Fire any virtual-time-triggered faults (identical to the threaded
+    /// engine: a stall jumps the clock once, a crash panics).
+    fn fault_tick(&mut self) {
+        if let Some(stall) = self.stall {
+            if self.clock >= stall.at {
+                self.stall = None;
+                self.clock += stall.duration;
+                self.stats.wait_time += stall.duration;
+                if let Some(o) = &self.obs {
+                    o.virt_add(VirtAcc::Stall, stall.duration);
+                }
+            }
+        }
+        if let Some(at) = self.crash_at {
+            if self.clock >= at {
+                std::panic::panic_any(crate::threaded::InjectedCrash {
+                    rank: self.rank,
+                    at,
+                    clock: self.clock,
+                });
+            }
+        }
+    }
+
+    /// Encode one envelope and queue it to the peer's writer thread.
+    fn push_link(&self, to: usize, env: &Envelope) -> Result<(), CommError> {
+        self.monitor.bump();
+        let t0 = self.obs.as_ref().map(|o| o.now_ns());
+        let buf = wire::encode_envelope(self.rank as u32, env);
+        if let (Some(o), Some(t0)) = (&self.obs, t0) {
+            o.observe(HistId::SerializeNs, o.now_ns().saturating_sub(t0));
+        }
+        self.writers[to]
+            .as_ref()
+            .expect("no link to peer")
+            .send(buf)
+            .map_err(|_| {
+                if self.monitor.aborted() {
+                    CommError::Aborted
+                } else {
+                    CommError::PeerDisconnected { rank: to }
+                }
+            })
+    }
+
+    /// Queue a *redundant* envelope (duplicate copy or released reorder
+    /// hold). A peer that already exited is not an error — see
+    /// `ThreadedComm::push_link_redundant`.
+    fn push_link_redundant(&self, to: usize, env: &Envelope) -> Result<(), CommError> {
+        match self.push_link(to, env) {
+            Ok(())
+            | Err(CommError::PeerDisconnected { .. })
+            | Err(CommError::Disconnected { .. }) => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Release every held-back (reorder-injected) envelope.
+    fn flush_holdbacks(&mut self) -> Result<(), CommError> {
+        for to in 0..self.size {
+            if let Some(env) = self.holdback[to].take() {
+                self.push_link_redundant(to, &env)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The next in-sequence envelope from `from`, suppressing duplicates
+    /// and re-sequencing out-of-order arrivals — the socket twin of the
+    /// threaded engine's receive loop.
+    fn next_in_order(&mut self, from: usize, tag: i64) -> Result<Envelope, CommError> {
+        if let Some(env) = self.links.take_ready(from) {
+            return Ok(env);
+        }
+        self.monitor
+            .set(self.rank, RankPhase::Blocked { from, tag });
+        let result = loop {
+            let rx = self.rxs[from].as_ref().expect("no link from peer");
+            match rx.recv_timeout(RECV_POLL) {
+                Ok(env) => {
+                    self.monitor.bump();
+                    match self.links.admit(from, env) {
+                        Admit::Deliver(env) => break Ok(env),
+                        Admit::Duplicate => {
+                            self.stats.duplicates_suppressed += 1;
+                            if let Some(o) = &self.obs {
+                                o.add(Counter::DupsSuppressed, 1);
+                            }
+                        }
+                        Admit::Buffered => {}
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    if self.monitor.aborted() {
+                        break Err(CommError::Aborted);
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    break Err(if self.monitor.aborted() {
+                        CommError::Aborted
+                    } else {
+                        CommError::PeerDisconnected { rank: from }
+                    });
+                }
+            }
+        };
+        self.monitor.set(self.rank, RankPhase::Running);
+        result
+    }
+}
+
+/// Reader-thread body: decode frames off one peer socket into the receive
+/// channel. Runs until end-of-stream so the socket is fully drained even
+/// after the local rank finished (a reset could otherwise destroy frames
+/// a *third* rank still needs — TCP resets discard receive buffers).
+fn reader_loop(
+    mut stream: TcpStream,
+    in_tx: std::sync::mpsc::Sender<Envelope>,
+    metrics: Option<Arc<RankMetrics>>,
+) {
+    loop {
+        match wire::read_frame(&mut stream) {
+            Ok(frame) if frame.kind == FrameKind::Data => {
+                let t0 = Instant::now();
+                match wire::decode_envelope(&frame) {
+                    Ok(env) => {
+                        if let Some(m) = &metrics {
+                            m.hist(HistId::DeserializeNs)
+                                .observe(t0.elapsed().as_nanos() as u64);
+                        }
+                        // A closed receiver means the local rank finished;
+                        // keep draining the socket regardless.
+                        let _ = in_tx.send(env);
+                    }
+                    Err(_) => break,
+                }
+            }
+            // Stray control frames on a mesh socket: ignore.
+            Ok(_) => {}
+            // Closed, truncated, or reset: the peer is gone.
+            Err(_) => break,
+        }
+    }
+}
+
+impl Comm for TcpComm {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.size
+    }
+
+    fn try_send_tagged(
+        &mut self,
+        to: usize,
+        tag: i64,
+        payload: Vec<f64>,
+        nominal_bytes: usize,
+    ) -> Result<(), CommError> {
+        assert!(to != self.rank, "send to self is not supported");
+        self.fault_tick();
+        let wall_t0 = self.obs.as_ref().map(|o| o.now_ns());
+        let virt_t0 = self.clock;
+        let seq = self.links.assign(to);
+
+        if let Some(fault) = self.fault.clone() {
+            for pause in retransmit_pauses(&fault, &self.model, self.rank, to, seq, nominal_bytes)?
+            {
+                self.stats.retransmissions += 1;
+                self.stats.retrans_time += pause;
+                match self.scheme {
+                    CommScheme::Blocking => {
+                        self.clock += pause;
+                        if let Some(o) = &self.obs {
+                            o.virt_add(VirtAcc::Retrans, pause);
+                        }
+                    }
+                    CommScheme::Overlapped => {
+                        let lane_start = self.comm_lane.max(self.clock);
+                        self.comm_lane = lane_start + pause;
+                        self.lane_busy += pause;
+                    }
+                }
+                if let Some(o) = &self.obs {
+                    o.add(Counter::FaultDrops, 1);
+                    o.add(Counter::Retransmits, 1);
+                }
+            }
+        }
+
+        let send_cost = match self.scheme {
+            CommScheme::Blocking => self.model.send_cost(nominal_bytes),
+            CommScheme::Overlapped => 0.0,
+        };
+        self.clock += send_cost;
+        let ready_at = match self.scheme {
+            CommScheme::Blocking => self.clock + self.model.wire_latency,
+            CommScheme::Overlapped => {
+                let lane_start = self.comm_lane.max(self.clock);
+                let lane_end = lane_start + self.model.send_cost(nominal_bytes);
+                self.comm_lane = lane_end;
+                self.lane_busy += self.model.send_cost(nominal_bytes);
+                lane_end + self.model.wire_latency
+            }
+        };
+        let mut env = Envelope {
+            payload,
+            tag,
+            ready_at,
+            seq,
+            bytes: nominal_bytes,
+        };
+        self.stats.messages_sent += 1;
+        self.stats.bytes_sent += nominal_bytes as u64;
+        if let Some(tr) = &mut self.trace {
+            tr.events.push(Event::Send {
+                at: self.clock,
+                to,
+                bytes: nominal_bytes,
+            });
+        }
+        if let Some(o) = &self.obs {
+            o.add(Counter::MessagesSent, 1);
+            o.add(Counter::BytesSent, nominal_bytes as u64);
+            o.virt_add(VirtAcc::Send, send_cost);
+        }
+
+        let (duplicate, reorder) = match &self.fault {
+            Some(f) if f.perturbs_links() => {
+                if let Some(extra) = f.delayed(self.rank, to, seq) {
+                    env.ready_at += extra;
+                    if let Some(o) = &self.obs {
+                        o.add(Counter::FaultDelays, 1);
+                    }
+                }
+                let (dup, reord) = (
+                    f.duplicated(self.rank, to, seq),
+                    f.reordered(self.rank, to, seq),
+                );
+                if let Some(o) = &self.obs {
+                    if dup {
+                        o.add(Counter::FaultDups, 1);
+                    }
+                    if reord {
+                        o.add(Counter::FaultReorders, 1);
+                    }
+                }
+                (dup, reord)
+            }
+            _ => (false, false),
+        };
+        if reorder {
+            if duplicate {
+                self.push_link(to, &env)?;
+            }
+            if let Some(prev) = self.holdback[to].take() {
+                self.push_link_redundant(to, &prev)?;
+            }
+            self.holdback[to] = Some(env);
+        } else {
+            if duplicate {
+                self.push_link(to, &env)?;
+                self.push_link_redundant(to, &env)?;
+            } else {
+                self.push_link(to, &env)?;
+            }
+            if let Some(prev) = self.holdback[to].take() {
+                self.push_link_redundant(to, &prev)?;
+            }
+        }
+        if let Some(wall_t0) = wall_t0 {
+            let virt_t1 = self.clock;
+            let outstanding = self.holdback.iter().filter(|h| h.is_some()).count() as u64;
+            if let Some(o) = &mut self.obs {
+                o.gauge_set(GaugeId::OutstandingSends, outstanding);
+                o.span(
+                    Phase::Send,
+                    wall_t0,
+                    (virt_t0, virt_t1),
+                    nominal_bytes as u64,
+                );
+            }
+        }
+        Ok(())
+    }
+
+    fn try_recv_tagged(&mut self, from: usize, tag: i64) -> Result<Vec<f64>, CommError> {
+        assert!(from != self.rank, "recv from self is not supported");
+        self.fault_tick();
+        self.flush_holdbacks()?;
+        let wall_t0 = self.obs.as_ref().map(|o| o.now_ns());
+        let start = self.clock;
+        let env = if let Some(pos) = self.pending[from].iter().position(|e| e.tag == tag) {
+            self.pending[from].remove(pos)
+        } else {
+            loop {
+                let env = self.next_in_order(from, tag)?;
+                if env.tag == tag {
+                    break env;
+                }
+                self.pending[from].push(env);
+            }
+        };
+        if env.ready_at > self.clock {
+            let waited = env.ready_at - self.clock;
+            self.stats.wait_time += waited;
+            self.clock = env.ready_at;
+            if let Some(o) = &self.obs {
+                o.virt_add(VirtAcc::Wait, waited);
+            }
+        }
+        let ready = self.clock;
+        if self.scheme == CommScheme::Blocking {
+            self.clock += self.model.recv_overhead;
+            if let Some(o) = &self.obs {
+                o.virt_add(VirtAcc::RecvOverhead, self.model.recv_overhead);
+            }
+        }
+        self.stats.messages_received += 1;
+        self.stats.bytes_received += env.bytes as u64;
+        if let Some(tr) = &mut self.trace {
+            tr.events.push(Event::Recv {
+                start,
+                ready,
+                end: self.clock,
+                from,
+            });
+        }
+        if let Some(wall_t0) = wall_t0 {
+            let virt_t1 = self.clock;
+            let pending_depth = self.pending.iter().map(|p| p.len()).sum::<usize>() as u64;
+            let reseq_depth = self.links.resequence_depth();
+            if let Some(o) = &mut self.obs {
+                o.add(Counter::MessagesReceived, 1);
+                o.add(Counter::BytesReceived, env.bytes as u64);
+                o.observe(HistId::RecvWaitNs, o.now_ns().saturating_sub(wall_t0));
+                o.gauge_set(GaugeId::PendingDepth, pending_depth);
+                o.gauge_set(GaugeId::ResequenceDepth, reseq_depth);
+                o.span(Phase::Recv, wall_t0, (start, virt_t1), env.bytes as u64);
+            }
+        }
+        Ok(env.payload)
+    }
+
+    fn drain_sends(&mut self) -> f64 {
+        let overshoot = (self.comm_lane - self.clock).max(0.0);
+        let hidden = (self.lane_busy - overshoot).max(0.0);
+        if let Some(o) = &self.obs {
+            if overshoot > 0.0 {
+                o.virt_add(VirtAcc::Drain, overshoot);
+            }
+            if hidden > 0.0 {
+                o.virt_add(VirtAcc::OverlapHidden, hidden);
+            }
+        }
+        self.clock += overshoot;
+        self.comm_lane = self.clock;
+        self.lane_busy = 0.0;
+        overshoot
+    }
+
+    fn advance_compute(&mut self, iters: u64) {
+        self.fault_tick();
+        let dt = self.model.compute_cost(iters);
+        let start = self.clock;
+        self.clock += dt;
+        self.stats.compute_time += dt;
+        if let Some(tr) = &mut self.trace {
+            tr.events.push(Event::Compute {
+                start,
+                end: self.clock,
+                iters,
+            });
+        }
+        if let Some(o) = &self.obs {
+            o.virt_add(VirtAcc::Compute, dt);
+        }
+    }
+
+    fn local_time(&self) -> f64 {
+        self.clock
+    }
+
+    fn model(&self) -> &MachineModel {
+        &self.model
+    }
+
+    fn stats(&self) -> CommStats {
+        self.stats
+    }
+
+    fn obs(&mut self) -> Option<&mut RankObs> {
+        self.obs.as_mut()
+    }
+}
+
+impl Drop for TcpComm {
+    fn drop(&mut self) {
+        let _ = self.flush_holdbacks();
+        // Dropping `writers` ends each writer thread's queue; writers flush
+        // what is queued, then send FIN. Readers drain to end-of-stream.
+    }
+}
+
+// ---------------------------------------------------------------------------
+// In-process runner
+// ---------------------------------------------------------------------------
+
+/// Run an SPMD program over `size` ranks communicating through real
+/// localhost sockets, all within this process — the TCP twin of
+/// [`crate::run_cluster_opts`], sharing its watchdog (deadlock detection,
+/// wall cap) and failure reporting.
+pub fn run_cluster_tcp<R, F>(
+    size: usize,
+    model: MachineModel,
+    options: EngineOptions,
+    f: F,
+) -> Result<RunReport<R>, RunError>
+where
+    R: Send + 'static,
+    F: Fn(&mut TcpComm) -> R + Send + Sync + 'static,
+{
+    assert!(size > 0, "cluster needs at least one process");
+    install_quiet_panic_hook();
+    let rendezvous = Rendezvous::bind().map_err(|error| RunError::Comm { rank: 0, error })?;
+    let rdv_addr = rendezvous.addr().to_string();
+    // The coordinator keeps the control sockets alive until the run ends.
+    let coordinator = thread::spawn(move || rendezvous.coordinate(size, HANDSHAKE_TIMEOUT));
+
+    let scheme = options.scheme;
+    let fault = options.fault.clone().map(Arc::new);
+    let monitor = Arc::new(Monitor::new(size));
+    let f = Arc::new(f);
+    let (done_tx, done_rx) = channel();
+    for rank in 0..size {
+        let f = f.clone();
+        let monitor_for_rank = monitor.clone();
+        let done = done_tx.clone();
+        let fault = fault.clone();
+        let obs = options
+            .obs
+            .as_ref()
+            .map(|reg| RankObs::new(reg.clone(), rank));
+        let trace = options.trace;
+        let rdv_addr = rdv_addr.clone();
+        thread::Builder::new()
+            .name(format!("tilecc-tcp-rank-{rank}"))
+            .spawn(move || {
+                let connect_t0 = Instant::now();
+                let mesh = match connect_mesh(rank, size, &rdv_addr) {
+                    Ok(mesh) => mesh,
+                    Err(error) => {
+                        monitor_for_rank.set(rank, RankPhase::Done);
+                        let _ = done.send((
+                            rank,
+                            RankEnd::CommFail(error),
+                            0.0,
+                            CommStats::default(),
+                            Trace::default(),
+                        ));
+                        return;
+                    }
+                };
+                // Keep the control socket open for the run's duration so the
+                // coordinator's accept bookkeeping stays simple.
+                let _control = mesh.control;
+                let (mut comm, writer_handles) = TcpComm::build(
+                    TcpCommConfig {
+                        rank,
+                        size,
+                        model,
+                        scheme,
+                        fault,
+                        trace,
+                        obs,
+                        connect_ns: connect_t0.elapsed().as_nanos() as u64,
+                    },
+                    mesh.peers,
+                    monitor_for_rank.clone(),
+                );
+                let outcome = catch_unwind(AssertUnwindSafe(|| f(&mut comm)));
+                monitor_for_rank.set(rank, RankPhase::Done);
+                let end = match outcome {
+                    Ok(r) => RankEnd::Ok(r),
+                    Err(payload) => match payload.downcast::<CommAbort>() {
+                        Ok(abort) => RankEnd::CommFail(abort.error),
+                        Err(payload) => RankEnd::Panic(panic_message(payload.as_ref())),
+                    },
+                };
+                let (clock, stats) = (comm.clock, comm.stats);
+                let trace = comm.trace.take().unwrap_or_default();
+                // Close our endpoint: writers flush + FIN, blocked peers
+                // observe end-of-stream instead of hanging.
+                drop(comm);
+                for h in writer_handles {
+                    let _ = h.join();
+                }
+                let _ = done.send((rank, end, clock, stats, trace));
+            })
+            .expect("failed to spawn tcp rank thread");
+    }
+    drop(done_tx);
+
+    let result = collect(size, monitor, done_rx, &options);
+    let _ = coordinator.join();
+    result
+}
+
+// ---------------------------------------------------------------------------
+// Multi-process workers
+// ---------------------------------------------------------------------------
+
+/// Configuration of one worker process's rank ([`run_worker`]).
+#[derive(Clone, Debug)]
+pub struct WorkerConfig {
+    /// This worker's rank.
+    pub rank: usize,
+    /// World size (number of worker processes).
+    pub size: usize,
+    /// The driver's rendezvous address (`host:port`).
+    pub rendezvous: String,
+    /// Machine model, which must match the driver's.
+    pub model: MachineModel,
+    /// Engine options; `scheme`, `fault`, `trace`, and `obs` apply
+    /// (watchdog fields are the driver's job in the multi-process model).
+    pub options: EngineOptions,
+}
+
+/// A worker's channel back to the driver after a successful run: used to
+/// ship the result payload and wait for the driver's `BYE` barrier.
+pub struct WorkerHandle {
+    rank: usize,
+    control: Arc<Mutex<TcpStream>>,
+}
+
+impl WorkerHandle {
+    /// Send the `RESULT` frame: final virtual clock plus a caller-defined
+    /// payload (serialized stats and gathered data).
+    pub fn send_result(&self, local_time: f64, payload: Vec<u8>) -> Result<(), CommError> {
+        let mut frame = Frame::control(FrameKind::Result, self.rank as u32);
+        frame.ready_at = local_time;
+        frame.payload = payload;
+        let mut control = self.control.lock().expect("control poisoned");
+        wire::write_frame(&mut *control, &frame).map_err(|e| transport_error("send result", e))
+    }
+
+    /// Block until the driver's `BYE` arrives — the signal that every
+    /// rank's result is safely at the driver, so this process may exit
+    /// without resetting sockets that still carry undelivered frames.
+    pub fn wait_bye(&self) -> Result<(), CommError> {
+        let mut control = self.control.lock().expect("control poisoned");
+        control
+            .set_read_timeout(Some(BYE_TIMEOUT))
+            .map_err(|e| transport_error("await bye", e))?;
+        loop {
+            match wire::read_frame(&mut *control) {
+                Ok(frame) if frame.kind == FrameKind::Bye => return Ok(()),
+                Ok(_) => {}
+                Err(e) => return Err(transport_error("await bye", e)),
+            }
+        }
+    }
+}
+
+/// Encode a typed [`CommError`] into `ERROR`-frame scalars `(tag,
+/// nominal)`; the inverse of [`decode_comm_error`].
+fn encode_comm_error(e: &CommError) -> (i64, u64) {
+    match e {
+        CommError::Disconnected { peer } => (1, *peer as u64),
+        CommError::Unreachable { peer, attempts } => {
+            (2, (*peer as u64) | ((*attempts as u64) << 32))
+        }
+        CommError::Aborted => (3, 0),
+        CommError::PeerDisconnected { rank } => (4, *rank as u64),
+        CommError::Transport { .. } => (5, 0),
+    }
+}
+
+/// Reconstruct a typed [`CommError`] from `ERROR`-frame scalars; the
+/// payload text supplies [`CommError::Transport`]'s detail.
+fn decode_comm_error(tag: i64, nominal: u64, text: &str) -> CommError {
+    match tag {
+        1 => CommError::Disconnected {
+            peer: (nominal & 0xFFFF_FFFF) as usize,
+        },
+        2 => CommError::Unreachable {
+            peer: (nominal & 0xFFFF_FFFF) as usize,
+            attempts: (nominal >> 32) as u32,
+        },
+        3 => CommError::Aborted,
+        4 => CommError::PeerDisconnected {
+            rank: (nominal & 0xFFFF_FFFF) as usize,
+        },
+        _ => CommError::Transport {
+            detail: text.to_string(),
+        },
+    }
+}
+
+/// Heartbeat thread: ship this rank's phase and progress counter to the
+/// driver every [`HEARTBEAT_PERIOD`] so the multi-process watchdog can see
+/// blocked/running states exactly like the threaded engine's monitor.
+fn spawn_heartbeat(
+    rank: usize,
+    control: Arc<Mutex<TcpStream>>,
+    monitor: Arc<Monitor>,
+    stop: Arc<AtomicBool>,
+) -> JoinHandle<()> {
+    thread::Builder::new()
+        .name(format!("tilecc-tcp-hb-{rank}"))
+        .spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                let mut frame = Frame::control(FrameKind::Progress, rank as u32);
+                frame.seq = monitor.progress();
+                match monitor.phase_of(rank) {
+                    RankPhase::Running => frame.nominal = 0,
+                    RankPhase::Blocked { from, tag } => {
+                        frame.nominal = from as u64 + 1;
+                        frame.tag = tag;
+                    }
+                    RankPhase::Done => frame.nominal = u64::MAX,
+                }
+                {
+                    let mut control = control.lock().expect("control poisoned");
+                    if wire::write_frame(&mut *control, &frame).is_err() {
+                        return; // Driver gone; the run is over either way.
+                    }
+                }
+                thread::sleep(HEARTBEAT_PERIOD);
+            }
+        })
+        .expect("failed to spawn heartbeat thread")
+}
+
+/// Run one rank of a multi-process TCP cluster inside this process:
+/// connect the mesh through the driver's rendezvous, execute `f`, and
+/// return its result plus the final clock and statistics together with
+/// the [`WorkerHandle`] for shipping the result payload.
+///
+/// Failures are *typed and terminal*: a panic inside `f` becomes
+/// [`RunError::RankPanicked`], a substrate failure (notably
+/// [`CommError::PeerDisconnected`] when a peer process dies mid-run)
+/// becomes [`RunError::Comm`] — in both cases a best-effort `ERROR` frame
+/// is shipped to the driver first, and the caller is expected to exit
+/// nonzero. A worker never hangs on a dead peer: the peer's socket
+/// reaching end-of-stream unblocks any receive on it.
+pub fn run_worker<R, F>(
+    cfg: &WorkerConfig,
+    f: F,
+) -> Result<(R, f64, CommStats, WorkerHandle), RunError>
+where
+    F: FnOnce(&mut TcpComm) -> R,
+{
+    install_quiet_panic_hook();
+    let rank = cfg.rank;
+    let connect_t0 = Instant::now();
+    let mesh = connect_mesh(rank, cfg.size, &cfg.rendezvous)
+        .map_err(|error| RunError::Comm { rank, error })?;
+    let connect_ns = connect_t0.elapsed().as_nanos() as u64;
+    let control = Arc::new(Mutex::new(mesh.control.try_clone().map_err(|e| {
+        RunError::Comm {
+            rank,
+            error: transport_error("control clone", e),
+        }
+    })?));
+    // Keep the original control handle alive too (dropping a clone does not
+    // close the socket, but be explicit about ownership).
+    let _control_keepalive = mesh.control;
+    let monitor = Arc::new(Monitor::new(cfg.size));
+    let stop = Arc::new(AtomicBool::new(false));
+    let heartbeat = spawn_heartbeat(rank, control.clone(), monitor.clone(), stop.clone());
+    let obs = cfg.options.obs.as_ref().map(|reg| {
+        // Force the registry to the full world size so per-rank exports
+        // index consistently even though only our slot is written.
+        let _ = reg.rank_metrics(cfg.size.saturating_sub(1));
+        RankObs::new(reg.clone(), rank)
+    });
+    let (mut comm, writer_handles) = TcpComm::build(
+        TcpCommConfig {
+            rank,
+            size: cfg.size,
+            model: cfg.model,
+            scheme: cfg.options.scheme,
+            fault: cfg.options.fault.clone().map(Arc::new),
+            trace: cfg.options.trace,
+            obs,
+            connect_ns,
+        },
+        mesh.peers,
+        monitor.clone(),
+    );
+    let outcome = catch_unwind(AssertUnwindSafe(|| f(&mut comm)));
+    monitor.set(rank, RankPhase::Done);
+    let (clock, stats) = (comm.clock, comm.stats);
+    // Flush our endpoint (writers drain + FIN) before reporting.
+    drop(comm);
+    for h in writer_handles {
+        let _ = h.join();
+    }
+    stop.store(true, Ordering::Relaxed);
+    let _ = heartbeat.join();
+    match outcome {
+        Ok(r) => Ok((r, clock, stats, WorkerHandle { rank, control })),
+        Err(payload) => {
+            let error = match payload.downcast::<CommAbort>() {
+                Ok(abort) => RunError::Comm {
+                    rank,
+                    error: abort.error,
+                },
+                Err(payload) => RunError::RankPanicked {
+                    rank,
+                    payload: panic_message(payload.as_ref()),
+                },
+            };
+            let mut frame = Frame::control(FrameKind::Error, rank as u32);
+            match &error {
+                RunError::Comm { error: e, .. } => {
+                    frame.seq = 2;
+                    let (tag, nominal) = encode_comm_error(e);
+                    frame.tag = tag;
+                    frame.nominal = nominal;
+                    frame.payload = e.to_string().into_bytes();
+                }
+                RunError::RankPanicked { payload, .. } => {
+                    // The bare panic payload: the driver re-wraps it in a
+                    // `RankPanicked` carrying the rank, so sending the
+                    // rendered error would double the prefix.
+                    frame.seq = 1;
+                    frame.payload = payload.clone().into_bytes();
+                }
+                other => {
+                    frame.seq = 1;
+                    frame.payload = other.to_string().into_bytes();
+                }
+            }
+            if let Ok(mut control) = control.lock() {
+                let _ = wire::write_frame(&mut *control, &frame);
+            }
+            Err(error)
+        }
+    }
+}
+
+/// One worker's successful outcome as seen by the driver.
+#[derive(Clone, Debug)]
+pub struct WorkerReport {
+    /// The worker's rank.
+    pub rank: usize,
+    /// Its final virtual clock.
+    pub local_time: f64,
+    /// The caller-defined result payload from its `RESULT` frame.
+    pub payload: Vec<u8>,
+}
+
+/// Per-rank driver-side state while collecting workers.
+struct WorkerSlot {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    report: Option<WorkerReport>,
+    /// `(class, error)` from an `ERROR` frame: class 1 = panic, 2 = comm.
+    failure: Option<(u64, RunError)>,
+    dead: bool,
+    progress: u64,
+    phase: RankPhase,
+}
+
+impl WorkerSlot {
+    /// Pull everything currently readable off the control socket into the
+    /// frame buffer, then process complete frames.
+    fn poll(&mut self) {
+        if self.dead && self.report.is_none() {
+            return;
+        }
+        let mut chunk = [0u8; 4096];
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    self.dead = true;
+                    break;
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    break;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.dead = true;
+                    break;
+                }
+            }
+        }
+        loop {
+            match Frame::decode(&self.buf) {
+                Ok((frame, used)) => {
+                    self.buf.drain(..used);
+                    self.ingest(frame);
+                }
+                Err(wire::WireError::Truncated { .. }) => break,
+                Err(_) => {
+                    self.dead = true;
+                    break;
+                }
+            }
+        }
+    }
+
+    fn ingest(&mut self, frame: Frame) {
+        let rank = frame.src as usize;
+        match frame.kind {
+            FrameKind::Progress => {
+                self.progress = frame.seq;
+                self.phase = if frame.nominal == 0 {
+                    RankPhase::Running
+                } else if frame.nominal == u64::MAX {
+                    RankPhase::Done
+                } else {
+                    RankPhase::Blocked {
+                        from: (frame.nominal - 1) as usize,
+                        tag: frame.tag,
+                    }
+                };
+            }
+            FrameKind::Result => {
+                self.phase = RankPhase::Done;
+                self.report = Some(WorkerReport {
+                    rank,
+                    local_time: frame.ready_at,
+                    payload: frame.payload,
+                });
+            }
+            FrameKind::Error => {
+                self.phase = RankPhase::Done;
+                let text = String::from_utf8_lossy(&frame.payload).into_owned();
+                let error = if frame.seq == 2 {
+                    RunError::Comm {
+                        rank,
+                        error: decode_comm_error(frame.tag, frame.nominal, &text),
+                    }
+                } else {
+                    RunError::RankPanicked {
+                        rank,
+                        payload: text,
+                    }
+                };
+                self.failure = Some((frame.seq, error));
+            }
+            _ => {}
+        }
+    }
+}
+
+/// The primary failure among worker outcomes, mirroring the threaded
+/// engine's ordering: panics beat communication errors beat silent deaths.
+fn worker_primary_failure(slots: &[WorkerSlot]) -> Option<RunError> {
+    for slot in slots {
+        if let Some((1, e)) = &slot.failure {
+            return Some(e.clone());
+        }
+    }
+    for slot in slots {
+        if let Some((_, e)) = &slot.failure {
+            return Some(e.clone());
+        }
+    }
+    for (rank, slot) in slots.iter().enumerate() {
+        if slot.dead && slot.report.is_none() {
+            return Some(RunError::RankPanicked {
+                rank,
+                payload: "worker process died without reporting a result".into(),
+            });
+        }
+    }
+    None
+}
+
+/// Driver-side supervision of multi-process workers: collect `RESULT`
+/// frames off the control connections while running the same watchdog the
+/// threaded engine has — heartbeat-fed deadlock detection (every live
+/// worker blocked with no progress), an optional wall cap, and typed
+/// failure propagation. On success every worker receives `BYE` and the
+/// reports are returned in rank order.
+pub fn collect_workers(
+    controls: Vec<TcpStream>,
+    wall_timeout: Option<Duration>,
+    deadlock_detection: bool,
+) -> Result<Vec<WorkerReport>, RunError> {
+    let size = controls.len();
+    let started = Instant::now();
+    let mut slots: Vec<WorkerSlot> = Vec::with_capacity(size);
+    for stream in controls {
+        stream.set_nonblocking(true).map_err(|e| RunError::Comm {
+            rank: 0,
+            error: transport_error("control nonblocking", e),
+        })?;
+        slots.push(WorkerSlot {
+            stream,
+            buf: Vec::new(),
+            report: None,
+            failure: None,
+            dead: false,
+            progress: 0,
+            phase: RankPhase::Running,
+        });
+    }
+
+    let mut stable: u32 = 0;
+    let mut last_progress: Option<Vec<u64>> = None;
+    loop {
+        for slot in &mut slots {
+            slot.poll();
+        }
+        if slots.iter().all(|s| s.report.is_some()) {
+            break;
+        }
+        if slots
+            .iter()
+            .any(|s| s.failure.is_some() || (s.dead && s.report.is_none()))
+        {
+            // Give the remaining workers a grace period to report context,
+            // then fold to the primary cause.
+            let deadline = Instant::now() + ABORT_GRACE;
+            while Instant::now() < deadline {
+                for slot in &mut slots {
+                    slot.poll();
+                }
+                if slots
+                    .iter()
+                    .all(|s| s.report.is_some() || s.failure.is_some() || s.dead)
+                {
+                    break;
+                }
+                thread::sleep(COLLECT_POLL);
+            }
+            return Err(worker_primary_failure(&slots).expect("failure observed"));
+        }
+        if let Some(cap) = wall_timeout {
+            if started.elapsed() >= cap {
+                let unfinished: Vec<usize> =
+                    (0..size).filter(|&r| slots[r].report.is_none()).collect();
+                return Err(RunError::WallTimeout {
+                    elapsed: started.elapsed(),
+                    unfinished,
+                });
+            }
+        }
+        if deadlock_detection {
+            let progress: Vec<u64> = slots.iter().map(|s| s.progress).collect();
+            let waiting_on: Vec<(usize, usize, i64)> = slots
+                .iter()
+                .enumerate()
+                .filter_map(|(rank, s)| match s.phase {
+                    RankPhase::Blocked { from, tag } => Some((rank, from, tag)),
+                    _ => None,
+                })
+                .collect();
+            let any_running = slots
+                .iter()
+                .any(|s| s.report.is_none() && s.phase == RankPhase::Running);
+            let moved = last_progress.as_ref() != Some(&progress);
+            last_progress = Some(progress);
+            if moved || any_running || waiting_on.is_empty() {
+                stable = 0;
+            } else {
+                stable += 1;
+                if stable >= DRIVER_STABLE_SWEEPS {
+                    return Err(RunError::Deadlock {
+                        blocked_ranks: waiting_on.iter().map(|w| w.0).collect(),
+                        waiting_on,
+                    });
+                }
+            }
+        }
+        thread::sleep(COLLECT_POLL);
+    }
+
+    // All results are in: release the workers.
+    let bye = Frame::control(FrameKind::Bye, u32::MAX);
+    for slot in &mut slots {
+        let _ = wire::write_frame(&mut slot.stream, &bye);
+    }
+    Ok(slots
+        .into_iter()
+        .map(|s| s.report.expect("all reports collected"))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comm_error_codes_round_trip() {
+        let cases = [
+            CommError::Disconnected { peer: 3 },
+            CommError::Unreachable {
+                peer: 2,
+                attempts: 65,
+            },
+            CommError::Aborted,
+            CommError::PeerDisconnected { rank: 7 },
+            CommError::Transport {
+                detail: "boom".into(),
+            },
+        ];
+        for e in cases {
+            let (tag, nominal) = encode_comm_error(&e);
+            let text = match &e {
+                CommError::Transport { detail } => detail.clone(),
+                other => other.to_string(),
+            };
+            assert_eq!(decode_comm_error(tag, nominal, &text), e);
+        }
+    }
+
+    #[test]
+    fn tcp_ping_pong_matches_threaded_virtual_times() {
+        let model = MachineModel {
+            compute_per_iter: 0.0,
+            send_overhead: 1.0,
+            recv_overhead: 2.0,
+            wire_latency: 4.0,
+            per_byte: 0.5,
+        };
+        let report = run_cluster_tcp(2, model, EngineOptions::default(), |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, vec![7.0, 8.0], 16);
+                comm.local_time()
+            } else {
+                let v = comm.recv(0);
+                assert_eq!(v, vec![7.0, 8.0]);
+                comm.local_time()
+            }
+        })
+        .unwrap();
+        // Identical arithmetic to the threaded engine's ping_pong test.
+        assert!((report.results[0] - 9.0).abs() < 1e-12);
+        assert!((report.results[1] - 15.0).abs() < 1e-12);
+        assert_eq!(report.total_bytes(), 16);
+        assert_eq!(report.total_messages(), 1);
+    }
+}

@@ -33,6 +33,7 @@ use crate::error::{CommError, RunError};
 use crate::fault::{FaultPlan, RankStall};
 use crate::model::MachineModel;
 use crate::obs::{Counter, GaugeId, HistId, MetricsRegistry, Phase, RankObs, VirtAcc};
+use crate::reliability::{retransmit_pauses, Admit, LinkSeq};
 use crate::trace::{Event, Trace};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -42,14 +43,14 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 /// How often a blocked receiver wakes to check the abort flag.
-const RECV_POLL: Duration = Duration::from_millis(25);
+pub(crate) const RECV_POLL: Duration = Duration::from_millis(25);
 /// How often the collector thread polls watchdog conditions.
-const COLLECT_POLL: Duration = Duration::from_millis(10);
+pub(crate) const COLLECT_POLL: Duration = Duration::from_millis(10);
 /// Consecutive silent polls with every live rank blocked before the
 /// watchdog declares a deadlock (~120 ms of global inactivity).
-const DEADLOCK_STABLE_POLLS: u32 = 12;
+pub(crate) const DEADLOCK_STABLE_POLLS: u32 = 12;
 /// How long the collector drains straggler outcomes after an abort.
-const ABORT_GRACE: Duration = Duration::from_secs(1);
+pub(crate) const ABORT_GRACE: Duration = Duration::from_secs(1);
 
 /// Outcome of a cluster run.
 #[derive(Clone, Debug)]
@@ -119,8 +120,12 @@ impl<R> RunReport<R> {
 /// only true data-dependence waiting remains.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum CommScheme {
+    /// MPI-style blocking sends and receives: the sender's clock pays the
+    /// injection cost, the receiver pays the per-message overhead.
     #[default]
     Blocking,
+    /// Background transfers on a dedicated comm lane: only true
+    /// data-dependence waiting charges the ranks' clocks.
     Overlapped,
 }
 
@@ -128,7 +133,9 @@ pub enum CommScheme {
 /// watchdog configuration.
 #[derive(Clone, Debug)]
 pub struct EngineOptions {
+    /// Communication scheme in force (see [`CommScheme`]).
     pub scheme: CommScheme,
+    /// Record per-rank [`Trace`] event logs.
     pub trace: bool,
     /// Deterministic fault-injection plan (`None` = perfect substrate).
     pub fault: Option<FaultPlan>,
@@ -173,6 +180,7 @@ fn default_wall_timeout() -> Option<Duration> {
 /// Panic payload of a [`FaultPlan`]-injected rank crash.
 #[derive(Clone, Debug)]
 pub struct InjectedCrash {
+    /// The crashed rank.
     pub rank: usize,
     /// Configured crash time.
     pub at: f64,
@@ -182,22 +190,24 @@ pub struct InjectedCrash {
 
 /// What a rank is doing, as seen by the watchdog.
 #[derive(Clone, Debug, PartialEq)]
-enum RankPhase {
+pub(crate) enum RankPhase {
     Running,
     Blocked { from: usize, tag: i64 },
     Done,
 }
 
 /// Shared run state: per-rank phases, a progress counter bumped on every
-/// state change and message hand-off, and the abort flag.
-struct Monitor {
+/// state change and message hand-off, and the abort flag. Shared between
+/// the threaded and TCP engines (the TCP multi-process driver rebuilds the
+/// same view from heartbeat frames).
+pub(crate) struct Monitor {
     phases: Mutex<Vec<RankPhase>>,
     progress: AtomicU64,
     abort: AtomicBool,
 }
 
 impl Monitor {
-    fn new(size: usize) -> Self {
+    pub(crate) fn new(size: usize) -> Self {
         Monitor {
             phases: Mutex::new(vec![RankPhase::Running; size]),
             progress: AtomicU64::new(0),
@@ -205,28 +215,32 @@ impl Monitor {
         }
     }
 
-    fn set(&self, rank: usize, phase: RankPhase) {
+    pub(crate) fn set(&self, rank: usize, phase: RankPhase) {
         self.phases.lock().expect("monitor poisoned")[rank] = phase;
         self.bump();
     }
 
-    fn snapshot(&self) -> Vec<RankPhase> {
+    pub(crate) fn snapshot(&self) -> Vec<RankPhase> {
         self.phases.lock().expect("monitor poisoned").clone()
     }
 
-    fn bump(&self) {
+    pub(crate) fn phase_of(&self, rank: usize) -> RankPhase {
+        self.phases.lock().expect("monitor poisoned")[rank].clone()
+    }
+
+    pub(crate) fn bump(&self) {
         self.progress.fetch_add(1, Ordering::Relaxed);
     }
 
-    fn progress(&self) -> u64 {
+    pub(crate) fn progress(&self) -> u64 {
         self.progress.load(Ordering::Relaxed)
     }
 
-    fn abort(&self) {
+    pub(crate) fn abort(&self) {
         self.abort.store(true, Ordering::Relaxed);
     }
 
-    fn aborted(&self) -> bool {
+    pub(crate) fn aborted(&self) -> bool {
         self.abort.load(Ordering::Relaxed)
     }
 }
@@ -263,12 +277,9 @@ pub struct ThreadedComm {
     crash_at: Option<f64>,
     /// This rank's injected stall, if any (cleared once fired).
     stall: Option<RankStall>,
-    /// Reliability layer: next sequence number per outgoing link.
-    next_seq: Vec<u64>,
-    /// Reliability layer: next expected sequence number per incoming link.
-    expect_seq: Vec<u64>,
-    /// Reliability layer: out-of-order arrivals awaiting re-sequencing.
-    resequence: Vec<Vec<Envelope>>,
+    /// Reliability layer: per-link sequence state (duplicate suppression,
+    /// re-sequencing) shared with the TCP transport.
+    links: LinkSeq,
     /// Reorder injection: at most one held-back envelope per outgoing link,
     /// released after the next message on that link (or at the next
     /// blocking receive / rank exit, so a hold can never cause deadlock).
@@ -350,10 +361,8 @@ impl ThreadedComm {
     /// periodically to honour a watchdog abort. `tag` is only for the
     /// watchdog's diagnostics.
     fn next_in_order(&mut self, from: usize, tag: i64) -> Result<Envelope, CommError> {
-        let want = self.expect_seq[from];
-        if let Some(pos) = self.resequence[from].iter().position(|e| e.seq == want) {
-            self.expect_seq[from] += 1;
-            return Ok(self.resequence[from].remove(pos));
+        if let Some(env) = self.links.take_ready(from) {
+            return Ok(env);
         }
         self.monitor
             .set(self.rank, RankPhase::Blocked { from, tag });
@@ -362,19 +371,16 @@ impl ThreadedComm {
             match rx.recv_timeout(RECV_POLL) {
                 Ok(env) => {
                     self.monitor.bump();
-                    let want = self.expect_seq[from];
-                    if env.seq < want || self.resequence[from].iter().any(|e| e.seq == env.seq) {
-                        self.stats.duplicates_suppressed += 1;
-                        if let Some(o) = &self.obs {
-                            o.add(Counter::DupsSuppressed, 1);
+                    match self.links.admit(from, env) {
+                        Admit::Deliver(env) => break Ok(env),
+                        Admit::Duplicate => {
+                            self.stats.duplicates_suppressed += 1;
+                            if let Some(o) = &self.obs {
+                                o.add(Counter::DupsSuppressed, 1);
+                            }
                         }
-                        continue;
+                        Admit::Buffered => {}
                     }
-                    if env.seq == want {
-                        self.expect_seq[from] += 1;
-                        break Ok(env);
-                    }
-                    self.resequence[from].push(env);
                 }
                 Err(RecvTimeoutError::Timeout) => {
                     if self.monitor.aborted() {
@@ -417,23 +423,14 @@ impl Comm for ThreadedComm {
         self.fault_tick();
         let wall_t0 = self.obs.as_ref().map(|o| o.now_ns());
         let virt_t0 = self.clock;
-        let seq = self.next_seq[to];
-        self.next_seq[to] += 1;
+        let seq = self.links.assign(to);
 
         // Reliability layer: simulate stop-and-wait ARQ over the lossy link.
         // Each dropped attempt charges the sender's clock the injection cost
         // plus an exponential backoff before the retransmission.
         if let Some(fault) = self.fault.clone() {
-            let mut attempt: u32 = 0;
-            while fault.dropped(self.rank, to, seq, attempt) {
-                attempt += 1;
-                if attempt > fault.max_retries {
-                    return Err(CommError::Unreachable {
-                        peer: to,
-                        attempts: attempt,
-                    });
-                }
-                let pause = fault.backoff(attempt) + self.model.send_cost(nominal_bytes);
+            for pause in retransmit_pauses(&fault, &self.model, self.rank, to, seq, nominal_bytes)?
+            {
                 self.stats.retransmissions += 1;
                 self.stats.retrans_time += pause;
                 match self.scheme {
@@ -612,7 +609,7 @@ impl Comm for ThreadedComm {
         if let Some(wall_t0) = wall_t0 {
             let virt_t1 = self.clock;
             let pending_depth = self.pending.iter().map(|p| p.len()).sum::<usize>() as u64;
-            let reseq_depth = self.resequence.iter().map(|r| r.len()).sum::<usize>() as u64;
+            let reseq_depth = self.links.resequence_depth();
             if let Some(o) = &mut self.obs {
                 o.add(Counter::MessagesReceived, 1);
                 o.add(Counter::BytesReceived, env.bytes as u64);
@@ -730,17 +727,17 @@ where
 }
 
 /// How one rank thread ended.
-enum RankEnd<R> {
+pub(crate) enum RankEnd<R> {
     Ok(R),
     CommFail(CommError),
     Panic(String),
 }
 
 /// A collected rank outcome: how it ended, final clock, stats, trace.
-type RankSlot<R> = Option<(RankEnd<R>, f64, CommStats, Trace)>;
+pub(crate) type RankSlot<R> = Option<(RankEnd<R>, f64, CommStats, Trace)>;
 
 /// Stringify a caught panic payload.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(c) = payload.downcast_ref::<InjectedCrash>() {
         format!(
             "injected crash at virtual time {:.6} (configured at {:.6})",
@@ -759,7 +756,7 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// ([`CommAbort`] cascades and [`InjectedCrash`]es): they are expected
 /// control flow, reported through [`RunError`], and would otherwise spam
 /// stderr with backtraces. Genuine panics still reach the previous hook.
-fn install_quiet_panic_hook() {
+pub(crate) fn install_quiet_panic_hook() {
     static ONCE: Once = Once::new();
     ONCE.call_once(|| {
         let previous = std::panic::take_hook();
@@ -835,9 +832,7 @@ where
             crash_at: fault.as_ref().and_then(|fp| fp.crash_time(rank)),
             stall: fault.as_ref().and_then(|fp| fp.stall_of(rank)),
             fault: fault.clone(),
-            next_seq: vec![0; size],
-            expect_seq: vec![0; size],
-            resequence: (0..size).map(|_| Vec::new()).collect(),
+            links: LinkSeq::new(size),
             holdback: (0..size).map(|_| None).collect(),
             obs: options
                 .obs
@@ -873,8 +868,9 @@ where
 }
 
 /// Collect rank outcomes while running the watchdog: wall-clock cap and
-/// all-ranks-blocked deadlock detection.
-fn collect<R>(
+/// all-ranks-blocked deadlock detection. Shared by the threaded engine and
+/// the in-process TCP runner ([`crate::tcp::run_cluster_tcp`]).
+pub(crate) fn collect<R>(
     size: usize,
     monitor: Arc<Monitor>,
     done_rx: Receiver<(usize, RankEnd<R>, f64, CommStats, Trace)>,

@@ -11,16 +11,34 @@
 #[derive(Clone, Debug, PartialEq)]
 pub enum Event {
     /// A computation phase.
-    Compute { start: f64, end: f64, iters: u64 },
+    Compute {
+        /// Virtual time the phase began.
+        start: f64,
+        /// Virtual time the phase ended.
+        end: f64,
+        /// Loop iterations executed in the phase.
+        iters: u64,
+    },
     /// A message injection (instantaneous at `at` for the CPU; the wire
     /// time is modelled on the receiver side).
-    Send { at: f64, to: usize, bytes: usize },
+    Send {
+        /// Virtual injection time.
+        at: f64,
+        /// Destination rank.
+        to: usize,
+        /// Nominal message size.
+        bytes: usize,
+    },
     /// A blocking receive: `start` when the CPU began waiting, `ready` when
     /// the message arrived, `end` after the receive overhead.
     Recv {
+        /// Virtual time the CPU began waiting.
         start: f64,
+        /// Virtual time the message arrived.
         ready: f64,
+        /// Virtual time after the receive overhead.
         end: f64,
+        /// Source rank.
         from: usize,
     },
 }
@@ -39,6 +57,7 @@ impl Event {
 /// A per-process event log.
 #[derive(Clone, Debug, Default)]
 pub struct Trace {
+    /// The events, in increasing virtual time.
     pub events: Vec<Event>,
 }
 

@@ -1,0 +1,155 @@
+//! Integration tests for the loopback TCP engine: smoke runs over real
+//! sockets, bitwise threaded-vs-TCP equivalence (clean and faulty), and
+//! watchdog behaviour through the TCP transport.
+
+use std::time::Duration;
+use tilecc_cluster::{
+    run_cluster_opts, run_cluster_tcp, Comm, EngineOptions, FaultPlan, MachineModel, RunError,
+};
+
+fn test_model() -> MachineModel {
+    MachineModel {
+        compute_per_iter: 1e-7,
+        send_overhead: 3e-5,
+        recv_overhead: 3e-5,
+        wire_latency: 4e-5,
+        per_byte: 8e-8,
+    }
+}
+
+fn opts_with(fault: Option<FaultPlan>) -> EngineOptions {
+    EngineOptions {
+        fault,
+        wall_timeout: Some(Duration::from_secs(60)),
+        ..EngineOptions::default()
+    }
+}
+
+/// A pipeline body exercising sends, tagged receives, compute and stats —
+/// generic over the backend so the exact same closure runs on both.
+fn wavefront_body<C: Comm>(comm: &mut C) -> (f64, Vec<u64>) {
+    let rank = comm.rank();
+    let size = comm.size();
+    let mut acc = vec![rank as u64];
+    for step in 0..3i64 {
+        if rank > 0 {
+            let v = comm.recv_tagged(rank - 1, step);
+            acc.push(v[0].to_bits());
+        }
+        comm.advance_compute(100 + 10 * rank as u64);
+        if rank + 1 < size {
+            comm.send_tagged(rank + 1, step, vec![(rank * 100) as f64 + step as f64], 64);
+        }
+    }
+    (comm.local_time(), acc)
+}
+
+#[test]
+fn tcp_loopback_smoke_run() {
+    let report = run_cluster_tcp(4, test_model(), opts_with(None), wavefront_body).unwrap();
+    assert_eq!(report.results.len(), 4);
+    assert!(report.makespan() > 0.0);
+    // 3 steps on each of the 3 forward links.
+    assert_eq!(report.total_messages(), 9);
+    assert_eq!(report.total_bytes(), 9 * 64);
+    // Every rank's returned clock equals its reported clock.
+    for (rank, (t, _)) in report.results.iter().enumerate() {
+        assert_eq!(t.to_bits(), report.local_times[rank].to_bits());
+    }
+}
+
+/// The heart of the backend contract: the same program under the same
+/// options produces bit-identical clocks, data and counters on threads
+/// and on sockets.
+fn assert_backends_agree(fault: Option<FaultPlan>) {
+    let threaded =
+        run_cluster_opts(4, test_model(), opts_with(fault.clone()), wavefront_body).unwrap();
+    let tcp = run_cluster_tcp(4, test_model(), opts_with(fault), wavefront_body).unwrap();
+    assert_eq!(threaded.local_times.len(), tcp.local_times.len());
+    for rank in 0..threaded.local_times.len() {
+        assert_eq!(
+            threaded.local_times[rank].to_bits(),
+            tcp.local_times[rank].to_bits(),
+            "rank {rank} clock must match bitwise"
+        );
+        assert_eq!(
+            threaded.results[rank].1, tcp.results[rank].1,
+            "rank {rank} received data must match bitwise"
+        );
+        let (a, b) = (&threaded.stats[rank], &tcp.stats[rank]);
+        assert_eq!(a.messages_sent, b.messages_sent);
+        assert_eq!(a.bytes_sent, b.bytes_sent);
+        assert_eq!(a.messages_received, b.messages_received);
+        assert_eq!(a.bytes_received, b.bytes_received);
+        assert_eq!(a.retransmissions, b.retransmissions);
+        assert_eq!(a.duplicates_suppressed, b.duplicates_suppressed);
+        assert_eq!(a.wait_time.to_bits(), b.wait_time.to_bits());
+        assert_eq!(a.retrans_time.to_bits(), b.retrans_time.to_bits());
+    }
+    assert_eq!(threaded.makespan().to_bits(), tcp.makespan().to_bits());
+}
+
+#[test]
+fn tcp_matches_threaded_bitwise_clean() {
+    assert_backends_agree(None);
+}
+
+#[test]
+fn tcp_matches_threaded_bitwise_under_chaos() {
+    // Heavy chaos: drops, duplicates, reorders and delays all at 30%. The
+    // reliability layer must mask everything identically on both backends.
+    let plan = FaultPlan::chaos(2026, 0.3);
+    let threaded = run_cluster_opts(
+        4,
+        test_model(),
+        opts_with(Some(plan.clone())),
+        wavefront_body,
+    )
+    .unwrap();
+    assert!(
+        threaded.total_retransmissions() > 0 || threaded.total_duplicates_suppressed() > 0,
+        "chaos plan must actually perturb this schedule"
+    );
+    assert_backends_agree(Some(plan));
+}
+
+#[test]
+fn tcp_deadlock_is_detected() {
+    // Both ranks receive first: a cycle with no message in flight. The
+    // watchdog must name both ranks and their waits instead of hanging.
+    let err = run_cluster_tcp(2, test_model(), opts_with(None), |comm: &mut _| {
+        let peer = 1 - comm.rank();
+        let _ = Comm::recv_tagged(comm, peer, 7);
+    })
+    .unwrap_err();
+    match err {
+        RunError::Deadlock {
+            blocked_ranks,
+            waiting_on,
+        } => {
+            assert_eq!(blocked_ranks, vec![0, 1]);
+            assert!(waiting_on.contains(&(0, 1, 7)), "{waiting_on:?}");
+            assert!(waiting_on.contains(&(1, 0, 7)), "{waiting_on:?}");
+        }
+        other => panic!("expected deadlock, got {other}"),
+    }
+}
+
+#[test]
+fn tcp_rank_panic_is_contained() {
+    let err = run_cluster_tcp(3, test_model(), opts_with(None), |comm: &mut _| {
+        if comm.rank() == 1 {
+            panic!("injected test failure");
+        }
+        // Ranks 0 and 2 wait on the dead rank and observe the disconnect.
+        let _ = comm.try_recv(1);
+    })
+    .unwrap_err();
+    match err {
+        RunError::RankPanicked { rank, payload } => {
+            assert_eq!(rank, 1);
+            assert!(payload.contains("injected test failure"), "{payload}");
+        }
+        other => panic!("expected rank panic, got {other}"),
+    }
+}

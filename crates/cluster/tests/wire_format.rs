@@ -1,0 +1,351 @@
+//! Integration tests for the TCMP wire format: seeded round-trips,
+//! corruption rejection, and a lockstep check that keeps
+//! `docs/wire-protocol.md` in agreement with the encoder constants.
+
+use std::io::Cursor;
+use tilecc_cluster::wire::{
+    self, encode_envelope, read_frame, write_frame, HEADER_LEN, MAGIC, MAX_PAYLOAD, OFF_KIND,
+    OFF_MAGIC, OFF_NOMINAL_BYTES, OFF_PAYLOAD_LEN, OFF_READY_AT, OFF_SEQ, OFF_SRC_RANK, OFF_TAG,
+    OFF_VERSION, VERSION,
+};
+use tilecc_cluster::{Envelope, Frame, FrameKind, WireError};
+
+/// xorshift64*: deterministic stream for seeded round-trip corpora.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    fn f64(&mut self) -> f64 {
+        f64::from_bits(self.next())
+    }
+}
+
+fn seeded_envelope(rng: &mut Rng, len: usize) -> Envelope {
+    Envelope {
+        payload: (0..len).map(|_| rng.f64()).collect(),
+        tag: rng.next() as i64,
+        ready_at: (rng.next() >> 12) as f64 * 1e-9,
+        seq: rng.next(),
+        bytes: (rng.next() % (1 << 20)) as usize,
+    }
+}
+
+/// Bitwise envelope equality: payload compared as bit patterns so NaNs and
+/// signed zeros count.
+fn assert_envelopes_bitwise_equal(a: &Envelope, b: &Envelope) {
+    assert_eq!(a.tag, b.tag);
+    assert_eq!(a.seq, b.seq);
+    assert_eq!(a.bytes, b.bytes);
+    assert_eq!(a.ready_at.to_bits(), b.ready_at.to_bits());
+    assert_eq!(a.payload.len(), b.payload.len());
+    for (x, y) in a.payload.iter().zip(&b.payload) {
+        assert_eq!(x.to_bits(), y.to_bits());
+    }
+}
+
+#[test]
+fn seeded_envelopes_round_trip_bitwise() {
+    let mut rng = Rng(0x1234_5678_9ABC_DEF0);
+    for case in 0..200 {
+        let len = (case * 7) % 97;
+        let env = seeded_envelope(&mut rng, len);
+        let bytes = encode_envelope((case % 64) as u32, &env);
+        let (frame, consumed) = Frame::decode(&bytes).expect("well-formed frame");
+        assert_eq!(consumed, bytes.len());
+        assert_eq!(frame.kind, FrameKind::Data);
+        assert_eq!(frame.src, (case % 64) as u32);
+        let back = wire::decode_envelope(&frame).expect("data frame decodes");
+        assert_envelopes_bitwise_equal(&env, &back);
+    }
+}
+
+#[test]
+fn large_payload_round_trips() {
+    // 1 MiB of payload: well past any internal buffer boundary.
+    let mut rng = Rng(42);
+    let env = seeded_envelope(&mut rng, 131_072);
+    let bytes = encode_envelope(5, &env);
+    assert_eq!(bytes.len(), HEADER_LEN + 131_072 * 8);
+    let (frame, consumed) = Frame::decode(&bytes).expect("well-formed frame");
+    assert_eq!(consumed, bytes.len());
+    let back = wire::decode_envelope(&frame).expect("data frame decodes");
+    assert_envelopes_bitwise_equal(&env, &back);
+}
+
+#[test]
+fn special_values_survive_bitwise() {
+    let env = Envelope {
+        payload: vec![f64::NAN, -0.0, f64::INFINITY, f64::MIN_POSITIVE, -1.5e300],
+        tag: i64::MIN,
+        ready_at: f64::MAX,
+        seq: u64::MAX,
+        bytes: 0,
+    };
+    let bytes = encode_envelope(u32::MAX, &env);
+    let (frame, _) = Frame::decode(&bytes).unwrap();
+    let back = wire::decode_envelope(&frame).unwrap();
+    assert_envelopes_bitwise_equal(&env, &back);
+}
+
+#[test]
+fn stream_round_trip_through_reader() {
+    // Several frames written back-to-back must come off a byte stream one
+    // by one, exactly as the socket reader consumes them.
+    let mut rng = Rng(7);
+    let envs: Vec<Envelope> = (0..8).map(|i| seeded_envelope(&mut rng, i * 11)).collect();
+    let mut stream = Vec::new();
+    for (i, env) in envs.iter().enumerate() {
+        stream.extend_from_slice(&encode_envelope(i as u32, env));
+    }
+    let mut cursor = Cursor::new(stream);
+    for (i, env) in envs.iter().enumerate() {
+        let frame = read_frame(&mut cursor).expect("frame available");
+        assert_eq!(frame.src, i as u32);
+        let back = wire::decode_envelope(&frame).unwrap();
+        assert_envelopes_bitwise_equal(env, &back);
+    }
+    assert!(matches!(read_frame(&mut cursor), Err(WireError::Closed)));
+}
+
+#[test]
+fn control_frames_round_trip() {
+    for kind in [
+        FrameKind::Hello,
+        FrameKind::Addrs,
+        FrameKind::Peer,
+        FrameKind::Result,
+        FrameKind::Error,
+        FrameKind::Progress,
+        FrameKind::Bye,
+    ] {
+        let mut frame = Frame::control(kind, 9);
+        frame.seq = 1234;
+        frame.payload = b"127.0.0.1:4242".to_vec();
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &frame).unwrap();
+        let (back, consumed) = Frame::decode(&buf).unwrap();
+        assert_eq!(consumed, buf.len());
+        assert_eq!(back, frame);
+    }
+}
+
+#[test]
+fn truncated_frames_are_rejected() {
+    let env = Envelope {
+        payload: vec![1.0, 2.0, 3.0],
+        tag: 4,
+        ready_at: 0.5,
+        seq: 6,
+        bytes: 24,
+    };
+    let bytes = encode_envelope(0, &env);
+    // Every strict prefix must be rejected as truncated, never mis-decoded.
+    for cut in 0..bytes.len() {
+        match Frame::decode(&bytes[..cut]) {
+            Err(WireError::Truncated { needed, got }) => {
+                assert_eq!(got, cut);
+                assert!(needed > cut, "needed {needed} must exceed got {got}");
+            }
+            other => panic!("prefix of {cut} bytes decoded as {other:?}"),
+        }
+    }
+    // A reader dying mid-frame reports Truncated, not Closed.
+    let mut cursor = Cursor::new(bytes[..bytes.len() - 1].to_vec());
+    assert!(matches!(
+        read_frame(&mut cursor),
+        Err(WireError::Truncated { .. })
+    ));
+}
+
+#[test]
+fn corrupt_headers_are_rejected() {
+    let env = Envelope {
+        payload: vec![1.0],
+        tag: 0,
+        ready_at: 0.0,
+        seq: 0,
+        bytes: 8,
+    };
+    let good = encode_envelope(0, &env);
+
+    let mut bad_magic = good.clone();
+    bad_magic[OFF_MAGIC] = b'X';
+    assert!(matches!(
+        Frame::decode(&bad_magic),
+        Err(WireError::BadMagic(_))
+    ));
+
+    let mut bad_version = good.clone();
+    bad_version[OFF_VERSION..OFF_VERSION + 2].copy_from_slice(&(VERSION + 1).to_le_bytes());
+    assert!(matches!(
+        Frame::decode(&bad_version),
+        Err(WireError::BadVersion(v)) if v == VERSION + 1
+    ));
+
+    let mut bad_kind = good.clone();
+    bad_kind[OFF_KIND..OFF_KIND + 2].copy_from_slice(&999u16.to_le_bytes());
+    assert!(matches!(
+        Frame::decode(&bad_kind),
+        Err(WireError::UnknownKind(999))
+    ));
+
+    let mut oversize = good.clone();
+    oversize[OFF_PAYLOAD_LEN..OFF_PAYLOAD_LEN + 4]
+        .copy_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
+    assert!(matches!(
+        Frame::decode(&oversize),
+        Err(WireError::Oversize(_))
+    ));
+
+    // The envelope decoder rejects non-data frames and ragged payloads.
+    let bye = Frame::control(FrameKind::Bye, 0);
+    assert!(wire::decode_envelope(&bye).is_err());
+    let (mut frame, _) = Frame::decode(&good).unwrap();
+    frame.payload.pop();
+    assert!(wire::decode_envelope(&frame).is_err());
+}
+
+// ---------------------------------------------------------------------------
+// docs/wire-protocol.md lockstep
+// ---------------------------------------------------------------------------
+
+fn wire_protocol_doc() -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../docs/wire-protocol.md");
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("docs/wire-protocol.md must exist ({e}) at {path:?}"))
+}
+
+/// Split a markdown table row into trimmed cells, stripping backticks.
+fn cells(line: &str) -> Vec<String> {
+    line.trim()
+        .trim_matches('|')
+        .split('|')
+        .map(|c| c.trim().replace('`', ""))
+        .collect()
+}
+
+#[test]
+fn documented_header_table_matches_encoder_constants() {
+    let doc = wire_protocol_doc();
+    let section = doc
+        .split("### Header field table")
+        .nth(1)
+        .expect("doc has the header field table section");
+    // (offset, size, field) rows until the table ends.
+    let mut rows = Vec::new();
+    for line in section.lines() {
+        if !line.trim_start().starts_with('|') {
+            if !rows.is_empty() {
+                break;
+            }
+            continue;
+        }
+        let c = cells(line);
+        if c.len() < 3 {
+            continue;
+        }
+        if let Ok(offset) = c[0].parse::<usize>() {
+            rows.push((offset, c[1].clone(), c[2].clone()));
+        }
+    }
+
+    let expected: &[(&str, usize, usize)] = &[
+        ("magic", OFF_MAGIC, 4),
+        ("version", OFF_VERSION, 2),
+        ("kind", OFF_KIND, 2),
+        ("src_rank", OFF_SRC_RANK, 4),
+        ("payload_len", OFF_PAYLOAD_LEN, 4),
+        ("tag", OFF_TAG, 8),
+        ("seq", OFF_SEQ, 8),
+        ("ready_at", OFF_READY_AT, 8),
+        ("nominal_bytes", OFF_NOMINAL_BYTES, 8),
+    ];
+    assert_eq!(
+        rows.len(),
+        expected.len() + 1,
+        "table must list every header field plus the payload row: {rows:?}"
+    );
+    for ((offset, size, field), (name, exp_offset, exp_size)) in rows.iter().zip(expected) {
+        assert_eq!(field, name, "field order in the doc must match the header");
+        assert_eq!(
+            *offset, *exp_offset,
+            "documented offset of `{name}` disagrees with wire.rs"
+        );
+        assert_eq!(
+            size.parse::<usize>().expect("size column is numeric"),
+            *exp_size,
+            "documented size of `{name}` disagrees with wire.rs"
+        );
+    }
+    // The payload row starts exactly at the end of the header.
+    let (payload_offset, _, payload_field) = &rows[expected.len()];
+    assert_eq!(payload_field, "payload");
+    assert_eq!(*payload_offset, HEADER_LEN);
+
+    // Prose constants.
+    assert!(
+        doc.contains("**48 bytes**"),
+        "doc must state the 48-byte header length"
+    );
+    assert_eq!(HEADER_LEN, 48);
+    assert!(
+        doc.contains(&format!("currently `{VERSION}`")),
+        "doc must state the current protocol version"
+    );
+    assert_eq!(MAX_PAYLOAD, 1 << 30);
+    assert_eq!(&MAGIC, b"TCMP");
+}
+
+#[test]
+fn documented_frame_kinds_match_discriminants() {
+    let doc = wire_protocol_doc();
+    let section = doc
+        .split("## Frame kinds")
+        .nth(1)
+        .expect("doc has the frame kinds section");
+    let mut seen = Vec::new();
+    for line in section.lines() {
+        if !line.trim_start().starts_with('|') {
+            if !seen.is_empty() {
+                break;
+            }
+            continue;
+        }
+        let c = cells(line);
+        if c.len() < 2 {
+            continue;
+        }
+        if let Ok(value) = c[1].parse::<u16>() {
+            seen.push((c[0].clone(), value));
+        }
+    }
+    let expected = [
+        ("DATA", FrameKind::Data),
+        ("HELLO", FrameKind::Hello),
+        ("ADDRS", FrameKind::Addrs),
+        ("PEER", FrameKind::Peer),
+        ("RESULT", FrameKind::Result),
+        ("ERROR", FrameKind::Error),
+        ("PROGRESS", FrameKind::Progress),
+        ("BYE", FrameKind::Bye),
+    ];
+    assert_eq!(seen.len(), expected.len(), "kind table rows: {seen:?}");
+    for ((name, value), (exp_name, kind)) in seen.iter().zip(&expected) {
+        assert_eq!(name, exp_name);
+        assert_eq!(*value, *kind as u16, "documented value of {name}");
+        assert_eq!(FrameKind::from_u16(*value), Some(*kind));
+    }
+    // Every documented discriminant decodes; the next one after the table
+    // must not (the doc claims the table is exhaustive).
+    let max = seen.iter().map(|(_, v)| *v).max().unwrap();
+    assert_eq!(FrameKind::from_u16(max + 1), None);
+    assert_eq!(FrameKind::from_u16(0), None);
+}

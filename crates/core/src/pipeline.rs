@@ -7,8 +7,8 @@ use tilecc_cluster::{CommScheme, EngineOptions, MachineModel, MetricsRegistry, R
 use tilecc_linalg::RMat;
 use tilecc_loopnest::{Algorithm, DataSpace};
 use tilecc_parcode::{
-    emit_c_mpi, execute, execute_opts, execute_strategy, ExecMode, ExecStrategy, ExecutionResult,
-    ParallelPlan,
+    emit_c_mpi, execute, execute_backend, execute_opts, execute_strategy, Backend, ExecMode,
+    ExecStrategy, ExecutionResult, ParallelPlan,
 };
 use tilecc_tiling::{TilingError, TilingTransform};
 
@@ -134,6 +134,27 @@ impl Pipeline {
         Ok(self.summarize(&res, &model, None))
     }
 
+    /// Timing-only run under an explicit cluster [`Backend`]
+    /// ([`Backend::Tcp`] carries every message over real sockets; the
+    /// virtual times are identical to the threaded backend's).
+    pub fn simulate_backend(
+        &self,
+        model: MachineModel,
+        strategy: ExecStrategy,
+        backend: Backend,
+        options: EngineOptions,
+    ) -> Result<RunSummary, RunError> {
+        let res = execute_backend(
+            self.plan.clone(),
+            model,
+            ExecMode::TimingOnly,
+            strategy,
+            backend,
+            options,
+        )?;
+        Ok(self.summarize(&res, &model, None))
+    }
+
     /// Full run under an explicit [`ExecStrategy`], verified bitwise
     /// against the sequential reference execution.
     pub fn run_verified_strategy(
@@ -142,7 +163,27 @@ impl Pipeline {
         strategy: ExecStrategy,
         options: EngineOptions,
     ) -> Result<(RunSummary, DataSpace), RunError> {
-        let res = execute_strategy(self.plan.clone(), model, ExecMode::Full, strategy, options)?;
+        self.run_verified_backend(model, strategy, Backend::default(), options)
+    }
+
+    /// [`Pipeline::run_verified_strategy`] with an explicit cluster
+    /// [`Backend`]: the gathered data must match the sequential reference
+    /// bitwise no matter which substrate carried the messages.
+    pub fn run_verified_backend(
+        &self,
+        model: MachineModel,
+        strategy: ExecStrategy,
+        backend: Backend,
+        options: EngineOptions,
+    ) -> Result<(RunSummary, DataSpace), RunError> {
+        let res = execute_backend(
+            self.plan.clone(),
+            model,
+            ExecMode::Full,
+            strategy,
+            backend,
+            options,
+        )?;
         let parallel = res.data.as_ref().expect("full mode returns data");
         let sequential = self.plan.algorithm.execute_sequential();
         let verified = sequential.diff(parallel).is_none();

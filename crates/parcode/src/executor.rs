@@ -16,8 +16,8 @@ use crate::compiled::{
 use crate::plan::ParallelPlan;
 use std::sync::Arc;
 use tilecc_cluster::{
-    run_cluster_opts, Comm, CommScheme, Counter, EngineOptions, HistId, MachineModel,
-    MetricsRegistry, Phase, RunError, RunReport,
+    run_cluster_opts, run_cluster_tcp, Comm, CommScheme, Counter, EngineOptions, HistId,
+    MachineModel, MetricsRegistry, Phase, RunError, RunReport,
 };
 use tilecc_loopnest::DataSpace;
 use tilecc_tiling::{insert_at, Lds};
@@ -52,6 +52,22 @@ pub enum ExecStrategy {
     /// bitwise identical to the other strategies and the makespan is never
     /// worse than `Compiled` under the blocking scheme.
     Overlapped,
+}
+
+/// Which cluster engine carries the messages. Both backends run the same
+/// rank body over the same virtual-time model, so they produce
+/// bitwise-identical data, identical makespans, and identical logical
+/// counters; only the substrate differs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Backend {
+    /// In-process channels ([`tilecc_cluster::ThreadedComm`]): one thread
+    /// per rank, no serialization. The default.
+    #[default]
+    Threaded,
+    /// Real TCP sockets ([`tilecc_cluster::TcpComm`]): every message is
+    /// framed through the TCMP wire format. In-process here; the CLI's
+    /// `--backend tcp` additionally runs each rank in its own process.
+    Tcp,
 }
 
 /// Per-rank result: the rank's Local Data Space (`Full` mode only — the
@@ -139,6 +155,21 @@ pub fn execute_strategy(
     model: MachineModel,
     mode: ExecMode,
     strategy: ExecStrategy,
+    options: EngineOptions,
+) -> Result<ExecutionResult, RunError> {
+    execute_backend(plan, model, mode, strategy, Backend::default(), options)
+}
+
+/// [`execute_strategy`] with an explicit cluster [`Backend`]. The rank
+/// body, virtual-time model, and gather are identical for every backend —
+/// the choice only selects the message substrate — so the fuzz harness
+/// cross-checks backends for bitwise-identical data and counters here.
+pub fn execute_backend(
+    plan: Arc<ParallelPlan>,
+    model: MachineModel,
+    mode: ExecMode,
+    strategy: ExecStrategy,
+    backend: Backend,
     mut options: EngineOptions,
 ) -> Result<ExecutionResult, RunError> {
     // The boundary/interior reorder only pays off when sends actually run
@@ -149,9 +180,14 @@ pub fn execute_strategy(
     let nprocs = plan.num_procs();
     let plan2 = plan.clone();
     let obs_reg = options.obs.clone();
-    let report = run_cluster_opts(nprocs, model, options, move |comm| {
-        run_rank(&plan2, comm, mode, strategy)
-    })?;
+    let report = match backend {
+        Backend::Threaded => run_cluster_opts(nprocs, model, options, move |comm| {
+            run_rank(&plan2, comm, mode, strategy)
+        })?,
+        Backend::Tcp => run_cluster_tcp(nprocs, model, options, move |comm| {
+            run_rank(&plan2, comm, mode, strategy)
+        })?,
+    };
     let total_iterations: u64 = report.results.iter().map(|r| r.iterations).sum();
     let data = match mode {
         ExecMode::TimingOnly => None,
@@ -162,6 +198,50 @@ pub fn execute_strategy(
         data,
         total_iterations,
     })
+}
+
+/// The SPMD body of one rank, public for the multi-process TCP worker: the
+/// CLI's `--worker-rank` mode runs this over a [`tilecc_cluster::TcpComm`]
+/// connected to sibling processes. Identical to what every in-process
+/// backend executes.
+pub fn run_rank_body(
+    plan: &ParallelPlan,
+    comm: &mut impl Comm,
+    mode: ExecMode,
+    strategy: ExecStrategy,
+) -> RankOutput {
+    run_rank(plan, comm, mode, strategy)
+}
+
+/// Enumerate the data points a rank owns — `(global iteration point,
+/// values)` for every iteration in its valid tiles, read from its LDS. The
+/// multi-process worker serializes this list into its `RESULT` payload so
+/// the driver can rebuild the global [`DataSpace`] without sharing memory.
+pub fn rank_data_points(
+    plan: &ParallelPlan,
+    rank: usize,
+    out: &RankOutput,
+) -> Vec<(Vec<i64>, Vec<f64>)> {
+    let lds = out.lds.as_ref().expect("full mode returns the rank LDS");
+    let m = plan.m();
+    let w = plan.algorithm.width();
+    let pid = &plan.dist.pids[rank];
+    let (lo_t, hi_t) = plan.dist.chains[rank];
+    let mut points = Vec::new();
+    let mut vals = vec![0.0f64; w];
+    for t_abs in lo_t..=hi_t {
+        let tpos = t_abs - lo_t;
+        let cur_tile = insert_at(pid, m, t_abs);
+        if !plan.tiled.tile_valid(&cur_tile) {
+            continue;
+        }
+        for (jp, j) in plan.tiled.tile_iterations(&cur_tile) {
+            let g = lds.unrolled(tpos, &jp);
+            lds.get_into(&g, &mut vals);
+            points.push((j, vals.clone()));
+        }
+    }
+    points
 }
 
 /// Write every rank's LDS back to the global data space (the paper's

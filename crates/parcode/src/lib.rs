@@ -17,8 +17,8 @@ pub use compiled::CompiledChain;
 pub use emitter::emit_c_mpi;
 pub use emitter_full::{emit_c_program, KernelSource};
 pub use executor::{
-    execute, execute_opts, execute_strategy, execute_with, ExecMode, ExecStrategy, ExecutionResult,
-    RankOutput,
+    execute, execute_backend, execute_opts, execute_strategy, execute_with, rank_data_points,
+    run_rank_body, Backend, ExecMode, ExecStrategy, ExecutionResult, RankOutput,
 };
 pub use plan::{unrolled_of, ParallelPlan};
 pub use seqtiled::execute_tiled_sequential;
