@@ -6,14 +6,18 @@
 //! path — which must agree bitwise with identical message traffic; the
 //! overlapped makespan must never exceed the blocking compiled one.
 //!
-//! Usage: `fuzz [seed] [cases] [--faults] [--tcp]`. With `--faults`, every
-//! case is additionally executed under a seeded
+//! Usage: `fuzz [seed] [cases] [--faults] [--tcp] [--recovery]`. With
+//! `--faults`, every case is additionally executed under a seeded
 //! lossy/duplicating/reordering `FaultPlan`; the reliability layer must
 //! reproduce the fault-free result bitwise, with retransmissions visible
 //! in the stats. With `--tcp`, every case with ≤ 8 processors is
 //! re-executed over the TCP backend (real sockets, TCMP framing) — clean
 //! and under a seeded chaos plan — and must match the threaded backend
-//! bitwise: same data, same per-rank virtual clocks, same counters.
+//! bitwise: same data, same per-rank virtual clocks, same counters. With
+//! `--recovery`, every case crashes its busiest rank mid-run under a
+//! checkpoint/recovery policy on both backends: the recovered run must
+//! reproduce the fault-free data bitwise, and every rank's clock must be
+//! the fault-free clock plus exactly its recovery debt.
 //!
 //! Every failure path prints the RNG seed so regressions reproduce with
 //! `fuzz <seed>`. Found two real bugs during development (Fourier–Motzkin
@@ -21,7 +25,9 @@
 //! pairing — see DESIGN.md).
 
 use std::sync::Arc;
-use tilecc_cluster::{Counter, EngineOptions, FaultPlan, MachineModel, MetricsRegistry};
+use tilecc_cluster::{
+    Counter, EngineOptions, FaultPlan, MachineModel, MetricsRegistry, RecoveryOptions,
+};
 use tilecc_linalg::{IMat, RMat, Rational};
 use tilecc_loopnest::{Algorithm, Kernel, LoopNest};
 use tilecc_parcode::{
@@ -72,8 +78,10 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let faults = args.iter().any(|a| a == "--faults");
     let tcp = args.iter().any(|a| a == "--tcp");
+    let recovery = args.iter().any(|a| a == "--recovery");
     let mut tcp_cases = 0u64;
     let mut tcp_chaos_cases = 0u64;
+    let mut recovered_cases = 0u64;
     let positional: Vec<&String> = args[1..].iter().filter(|a| !a.starts_with("--")).collect();
     let seed: u64 = positional
         .first()
@@ -590,6 +598,107 @@ fn main() {
                 fail(seed, case, "faulty overlapped run lost or invented bytes");
             }
         }
+        if recovery {
+            // Crash the busiest rank halfway through its run and recover
+            // from checkpoints: the recovered run must reproduce the
+            // fault-free data bitwise, and every rank's clock must equal
+            // the fault-free clock plus exactly its recovery debt.
+            let (crash_rank, peak) = res
+                .report
+                .local_times
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(r, t)| (r, *t))
+                .unwrap();
+            let crash = FaultPlan::lossy(0, 0.0).with_crash(crash_rank, peak * 0.5);
+            let ropts = |fault: FaultPlan| EngineOptions {
+                fault: Some(fault),
+                recovery: Some(RecoveryOptions {
+                    interval: 2,
+                    max_recoveries: 2,
+                }),
+                ..EngineOptions::default()
+            };
+            let rec = match execute_opts(
+                plan.clone(),
+                MachineModel::fast_ethernet_p3(),
+                ExecMode::Full,
+                ropts(crash.clone()),
+            ) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("  crashed threaded run failed: {e} (rank {crash_rank} @ {peak})");
+                    fail(seed, case, "threaded recovery failed to mask a crash");
+                }
+            };
+            if let Some(bad) = seq.diff(rec.data.as_ref().unwrap()) {
+                eprintln!("  RECOVERED MISMATCH at {bad:?} (rank {crash_rank})");
+                fail(seed, case, "recovered result differs from fault-free");
+            }
+            for r in 0..plan.num_procs() {
+                let expect = res.report.local_times[r] + rec.report.stats[r].recovery_time;
+                if expect.to_bits() != rec.report.local_times[r].to_bits() {
+                    eprintln!(
+                        "  rank {r}: clean {} + debt {} != recovered {}",
+                        res.report.local_times[r],
+                        rec.report.stats[r].recovery_time,
+                        rec.report.local_times[r]
+                    );
+                    fail(seed, case, "recovery debt does not settle the clock");
+                }
+            }
+            if rec.report.total_recoveries() > 0 {
+                recovered_cases += 1;
+            }
+            if plan.num_procs() <= 8 {
+                // The in-process TCP backend must recover identically:
+                // same data, same clocks, same recovery accounting.
+                let rec_tcp = match execute_backend(
+                    plan.clone(),
+                    MachineModel::fast_ethernet_p3(),
+                    ExecMode::Full,
+                    ExecStrategy::Compiled,
+                    Backend::Tcp,
+                    ropts(crash),
+                ) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        eprintln!("  crashed tcp run failed: {e} (rank {crash_rank} @ {peak})");
+                        fail(seed, case, "tcp recovery failed to mask a crash");
+                    }
+                };
+                if let Some(bad) = rec
+                    .data
+                    .as_ref()
+                    .unwrap()
+                    .diff(rec_tcp.data.as_ref().unwrap())
+                {
+                    eprintln!("  RECOVERED TCP MISMATCH at {bad:?} (rank {crash_rank})");
+                    fail(seed, case, "tcp/threaded data mismatch after recovery");
+                }
+                for r in 0..plan.num_procs() {
+                    if rec.report.local_times[r].to_bits()
+                        != rec_tcp.report.local_times[r].to_bits()
+                    {
+                        fail(seed, case, "tcp/threaded clock mismatch after recovery");
+                    }
+                }
+                if rec.report.total_recoveries() != rec_tcp.report.total_recoveries()
+                    || rec.report.total_recovery_time().to_bits()
+                        != rec_tcp.report.total_recovery_time().to_bits()
+                {
+                    fail(seed, case, "tcp/threaded recovery accounting mismatch");
+                }
+            }
+        }
+    }
+    if recovery {
+        if recovered_cases == 0 {
+            eprintln!("--recovery never observed an actual crash — corpus too small");
+            fail(seed, cases, "recovery cross-check never fired");
+        }
+        eprintln!("recovery cross-check: {recovered_cases} cases survived a mid-run crash");
     }
     if tcp {
         if tcp_cases == 0 || tcp_chaos_cases == 0 {

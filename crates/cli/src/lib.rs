@@ -15,13 +15,15 @@
 //! a thin wrapper.
 
 use std::fmt::Write as _;
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
 use tilecc::{Pipeline, RunSummary};
 use tilecc_cluster::obs::json::Json;
 use tilecc_cluster::{
-    collect_workers, run_worker, CommScheme, CommStats, EngineOptions, FaultPlan, MachineModel,
-    MetricsRegistry, Phase, Rendezvous, WorkerConfig, WorkerReport,
+    collect_workers, run_worker, CommError, CommScheme, CommStats, EngineOptions, FaultPlan,
+    MachineModel, MetricsRegistry, Phase, RecoveryOptions, Rendezvous, RunError, WorkerCkptConfig,
+    WorkerConfig, WorkerReport,
 };
 use tilecc_frontend::{compile, lower, parse, Program};
 use tilecc_linalg::{RMat, Rational};
@@ -45,6 +47,18 @@ impl std::error::Error for CliError {}
 
 fn err<T>(msg: impl Into<String>) -> Result<T, CliError> {
     Err(CliError(msg.into()))
+}
+
+/// Crash policy (`--on-crash`): fail the run, or recover from per-rank
+/// checkpoints — rewinding in place on the threaded backend, restarting
+/// the world from checkpoint files on the TCP backend.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum OnCrash {
+    /// A crashed rank fails the whole run (the default).
+    Fail,
+    /// Checkpoint every `--ckpt-interval` chain steps and recover crashed
+    /// ranks, bounded by the `--max-recoveries` budget.
+    Recover,
 }
 
 /// Parsed command-line options.
@@ -76,6 +90,26 @@ struct Options {
     worker_rank: Option<usize>,
     /// Internal: the driver's rendezvous `host:port` (`--connect`).
     connect: Option<String>,
+    /// Crash policy (`--on-crash`).
+    on_crash: OnCrash,
+    /// Run-wide restore budget under `--on-crash recover`
+    /// (`--max-recoveries`).
+    max_recoveries: u64,
+    /// Chain steps between checkpoints (`--ckpt-interval`).
+    ckpt_interval: u64,
+    /// Worker mesh listener bind address (`--bind-addr`).
+    bind_addr: Option<String>,
+    /// Worker heartbeat cadence in milliseconds (`--heartbeat-ms`).
+    heartbeat_ms: Option<u64>,
+    /// Driver-side dead-peer timeout in milliseconds (`--peer-timeout-ms`);
+    /// `None` relies on socket EOF alone to detect dead workers.
+    peer_timeout_ms: Option<u64>,
+    /// Internal: directory holding per-rank checkpoint files (`--ckpt-dir`).
+    ckpt_dir: Option<String>,
+    /// Internal: restore the worker from its checkpoint file (`--resume`).
+    resume: bool,
+    /// Internal: restores this worker's rank has undergone (`--recovered`).
+    recovered: u64,
 }
 
 impl Options {
@@ -90,6 +124,14 @@ impl Options {
             plan = plan.with_crash(rank, at);
         }
         Some(plan)
+    }
+
+    /// The engine-level recovery policy implied by `--on-crash`.
+    fn recovery_options(&self) -> Option<RecoveryOptions> {
+        (self.on_crash == OnCrash::Recover).then(|| RecoveryOptions {
+            interval: self.ckpt_interval.max(1),
+            max_recoveries: self.max_recoveries,
+        })
     }
 }
 
@@ -191,6 +233,15 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
         ranks: None,
         worker_rank: None,
         connect: None,
+        on_crash: OnCrash::Fail,
+        max_recoveries: 1,
+        ckpt_interval: 4,
+        bind_addr: None,
+        heartbeat_ms: None,
+        peer_timeout_ms: None,
+        ckpt_dir: None,
+        resume: false,
+        recovered: 0,
     };
     let mut i = 0;
     while i < args.len() {
@@ -317,6 +368,93 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
                     .get(i + 1)
                     .ok_or(CliError("--connect needs a host:port value".into()))?;
                 o.connect = Some(v.clone());
+                i += 2;
+            }
+            "--on-crash" => {
+                let v = args
+                    .get(i + 1)
+                    .ok_or(CliError("--on-crash needs a value".into()))?;
+                o.on_crash = match v.as_str() {
+                    "fail" => OnCrash::Fail,
+                    "recover" => OnCrash::Recover,
+                    other => {
+                        return err(format!(
+                            "unknown --on-crash `{other}` (expected fail or recover)"
+                        ))
+                    }
+                };
+                i += 2;
+            }
+            "--max-recoveries" => {
+                let v = args
+                    .get(i + 1)
+                    .ok_or(CliError("--max-recoveries needs a value".into()))?;
+                o.max_recoveries = v
+                    .parse()
+                    .map_err(|_| CliError(format!("invalid --max-recoveries value `{v}`")))?;
+                i += 2;
+            }
+            "--ckpt-interval" => {
+                let v = args
+                    .get(i + 1)
+                    .ok_or(CliError("--ckpt-interval needs a value".into()))?;
+                let k: u64 = v
+                    .parse()
+                    .map_err(|_| CliError(format!("invalid --ckpt-interval value `{v}`")))?;
+                if k == 0 {
+                    return err("--ckpt-interval must be at least 1");
+                }
+                o.ckpt_interval = k;
+                i += 2;
+            }
+            "--bind-addr" => {
+                let v = args
+                    .get(i + 1)
+                    .ok_or(CliError("--bind-addr needs a host:port value".into()))?;
+                o.bind_addr = Some(v.clone());
+                i += 2;
+            }
+            "--heartbeat-ms" => {
+                let v = args
+                    .get(i + 1)
+                    .ok_or(CliError("--heartbeat-ms needs a value".into()))?;
+                let ms: u64 = v
+                    .parse()
+                    .map_err(|_| CliError(format!("invalid --heartbeat-ms value `{v}`")))?;
+                if ms == 0 {
+                    return err("--heartbeat-ms must be at least 1");
+                }
+                o.heartbeat_ms = Some(ms);
+                i += 2;
+            }
+            "--peer-timeout-ms" => {
+                let v = args
+                    .get(i + 1)
+                    .ok_or(CliError("--peer-timeout-ms needs a value".into()))?;
+                o.peer_timeout_ms = Some(
+                    v.parse()
+                        .map_err(|_| CliError(format!("invalid --peer-timeout-ms value `{v}`")))?,
+                );
+                i += 2;
+            }
+            "--ckpt-dir" => {
+                let v = args
+                    .get(i + 1)
+                    .ok_or(CliError("--ckpt-dir needs a directory".into()))?;
+                o.ckpt_dir = Some(v.clone());
+                i += 2;
+            }
+            "--resume" => {
+                o.resume = true;
+                i += 1;
+            }
+            "--recovered" => {
+                let v = args
+                    .get(i + 1)
+                    .ok_or(CliError("--recovered needs a value".into()))?;
+                o.recovered = v
+                    .parse()
+                    .map_err(|_| CliError(format!("invalid --recovered value `{v}`")))?;
                 i += 2;
             }
             "--trace-out" => {
@@ -503,6 +641,10 @@ fn render_run_summary(
         let _ = writeln!(out, "retransmits: {}", summary.retransmissions);
         let _ = writeln!(out, "dups suppr : {}", summary.duplicates_suppressed);
     }
+    if summary.recoveries > 0 {
+        let _ = writeln!(out, "recoveries : {}", summary.recoveries);
+        let _ = writeln!(out, "rec time   : {:.6} s", summary.recovery_time);
+    }
     if let Some(c) = checksum {
         let _ = writeln!(out, "checksum   : {:016x}", c.to_bits());
     }
@@ -545,6 +687,8 @@ fn encode_worker_payload(
     buf.extend_from_slice(&stats.retransmissions.to_le_bytes());
     buf.extend_from_slice(&stats.retrans_time.to_le_bytes());
     buf.extend_from_slice(&stats.duplicates_suppressed.to_le_bytes());
+    buf.extend_from_slice(&stats.recoveries.to_le_bytes());
+    buf.extend_from_slice(&stats.recovery_time.to_le_bytes());
     buf.extend_from_slice(&iterations.to_le_bytes());
     match cells {
         None => buf.push(0),
@@ -616,6 +760,8 @@ fn decode_worker_payload(buf: &[u8]) -> Result<WorkerPayload, String> {
         retransmissions: r.u64()?,
         retrans_time: r.f64()?,
         duplicates_suppressed: r.u64()?,
+        recoveries: r.u64()?,
+        recovery_time: r.f64()?,
     };
     let iterations = r.u64()?;
     let cells = match r.u8()? {
@@ -715,13 +861,23 @@ fn tcp_worker(
         deadlock_detection: false,
         ..EngineOptions::default()
     };
-    let cfg = WorkerConfig {
-        rank,
-        size,
-        rendezvous: connect,
-        model: opts.model,
-        options,
-    };
+    let mut cfg = WorkerConfig::new(rank, size, connect, opts.model, options);
+    if let Some(bind) = &opts.bind_addr {
+        cfg.bind_addr = bind.clone();
+    }
+    if let Some(ms) = opts.heartbeat_ms {
+        cfg.heartbeat = Duration::from_millis(ms);
+    }
+    if let Some(dir) = &opts.ckpt_dir {
+        // The driver hands every worker the shared checkpoint directory;
+        // each rank owns one file in it.
+        cfg.ckpt = Some(WorkerCkptConfig {
+            path: std::path::Path::new(dir).join(format!("rank{rank}.ckpt")),
+            interval: opts.ckpt_interval.max(1),
+            resume: opts.resume,
+            recovered: opts.recovered,
+        });
+    }
     let plan = pipe.plan().clone();
     let strategy = opts.strategy;
     let (result, local_time, stats, handle): (RankOutput, f64, CommStats, _) =
@@ -770,6 +926,32 @@ fn kill_children(children: &mut [std::process::Child]) {
     }
 }
 
+/// The rank whose death explains a failed collection, if the failure is
+/// attributable to a single crashed worker — the precondition for a
+/// restart-the-world recovery. Deadlocks, wall timeouts, and transport
+/// failures outside an established link are not recoverable by respawn.
+fn crashed_rank_of(e: &RunError) -> Option<usize> {
+    match e {
+        RunError::RankPanicked { rank, .. } => Some(*rank),
+        RunError::Comm {
+            error: CommError::PeerDisconnected { rank },
+            ..
+        } => Some(*rank),
+        RunError::Comm {
+            error: CommError::Disconnected { peer },
+            ..
+        } => Some(*peer),
+        _ => None,
+    }
+}
+
+/// Bounded exponential backoff between restart attempts: 200 ms doubling
+/// per restart, capped at 2 s.
+fn restart_backoff(restarts: u32) -> Duration {
+    let ms = 100u64.saturating_mul(1u64 << restarts.min(5));
+    Duration::from_millis(ms.min(2000))
+}
+
 /// Run as the TCP driver: spawn one worker process per rank of the plan,
 /// coordinate the rendezvous, collect every `RESULT`, rebuild the global
 /// data space, and print the same summary the threaded backend prints.
@@ -790,8 +972,6 @@ fn tcp_driver(
         }
     }
     let (_, _, mode) = engine_setup(opts);
-    let rendezvous = Rendezvous::bind().map_err(|e| CliError(format!("tcp driver: {e}")))?;
-    let addr = rendezvous.addr().to_string();
 
     // Respawn this binary once per rank, forwarding the run options and
     // appending the worker coordinates. `TILECC_BIN` overrides the binary
@@ -804,75 +984,132 @@ fn tcp_driver(
     let mut i = 0;
     while i < run_args.len() {
         match run_args[i].as_str() {
-            // Workers derive the world size from the plan.
-            "--ranks" => i += 2,
+            // Workers derive the world size from the plan; the recovery
+            // coordinates below are appended per worker by the driver.
+            "--ranks" | "--ckpt-dir" | "--recovered" => i += 2,
+            "--resume" => i += 1,
             _ => {
                 forwarded.push(&run_args[i]);
                 i += 1;
             }
         }
     }
-    let mut children: Vec<std::process::Child> = Vec::with_capacity(size);
-    for rank in 0..size {
-        let spawned = std::process::Command::new(&exe)
-            .arg("run")
-            .arg(path)
-            .args(forwarded.iter().map(|s| s.as_str()))
-            .arg("--worker-rank")
-            .arg(rank.to_string())
-            .arg("--connect")
-            .arg(&addr)
-            .stdin(std::process::Stdio::null())
-            .stdout(std::process::Stdio::null())
-            .stderr(std::process::Stdio::inherit())
-            .spawn();
-        match spawned {
-            Ok(c) => children.push(c),
+
+    // Under `--on-crash recover` every worker checkpoints into a shared
+    // directory, and a dead worker triggers a restart of the whole world
+    // from those files (restart-the-world keeps the virtual clocks exact).
+    let recover = opts.on_crash == OnCrash::Recover;
+    let ckpt_dir: Option<PathBuf> = if recover {
+        static RUN_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let dir = opts.ckpt_dir.clone().map(PathBuf::from).unwrap_or_else(|| {
+            std::env::temp_dir().join(format!(
+                "tilecc-ckpt-{}-{}",
+                std::process::id(),
+                RUN_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+            ))
+        });
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| CliError(format!("cannot create checkpoint dir {dir:?}: {e}")))?;
+        Some(dir)
+    } else {
+        None
+    };
+    let peer_timeout = opts.peer_timeout_ms.map(Duration::from_millis);
+    let mut recovered: Vec<u64> = vec![0; size];
+    let mut budget = opts.max_recoveries;
+    let mut restarts: u32 = 0;
+
+    let (reports, mut children): (Vec<WorkerReport>, Vec<std::process::Child>) = loop {
+        let rendezvous = Rendezvous::bind().map_err(|e| CliError(format!("tcp driver: {e}")))?;
+        let addr = rendezvous.addr().to_string();
+        let mut children: Vec<std::process::Child> = Vec::with_capacity(size);
+        for (rank, &times_recovered) in recovered.iter().enumerate() {
+            let mut cmd = std::process::Command::new(&exe);
+            cmd.arg("run")
+                .arg(path)
+                .args(forwarded.iter().map(|s| s.as_str()))
+                .arg("--worker-rank")
+                .arg(rank.to_string())
+                .arg("--connect")
+                .arg(&addr);
+            if let Some(dir) = &ckpt_dir {
+                cmd.arg("--ckpt-dir").arg(dir);
+                cmd.arg("--recovered").arg(times_recovered.to_string());
+                if restarts > 0 {
+                    cmd.arg("--resume");
+                }
+            }
+            let spawned = cmd
+                .stdin(std::process::Stdio::null())
+                .stdout(std::process::Stdio::null())
+                .stderr(std::process::Stdio::inherit())
+                .spawn();
+            match spawned {
+                Ok(c) => children.push(c),
+                Err(e) => {
+                    kill_children(&mut children);
+                    return err(format!("cannot spawn worker rank {rank}: {e}"));
+                }
+            }
+        }
+
+        // Coordinate the rendezvous on a helper thread while watching for
+        // workers that die before ever connecting (bad flags, missing file
+        // on a worker's view of the world, immediate crash).
+        let coord = std::thread::spawn(move || rendezvous.coordinate(size, RENDEZVOUS_DEADLINE));
+        let controls = loop {
+            if coord.is_finished() {
+                break coord.join().unwrap_or_else(|_| {
+                    Err(tilecc_cluster::CommError::Transport {
+                        detail: "rendezvous coordinator panicked".into(),
+                    })
+                });
+            }
+            for (rank, child) in children.iter_mut().enumerate() {
+                if let Ok(Some(status)) = child.try_wait() {
+                    kill_children(&mut children);
+                    return err(format!(
+                        "worker rank {rank} exited during startup ({status})"
+                    ));
+                }
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        };
+        let controls = match controls {
+            Ok(c) => c,
             Err(e) => {
                 kill_children(&mut children);
-                return err(format!("cannot spawn worker rank {rank}: {e}"));
+                return err(format!("tcp rendezvous failed: {e}"));
             }
-        }
-    }
+        };
 
-    // Coordinate the rendezvous on a helper thread while watching for
-    // workers that die before ever connecting (bad flags, missing file on a
-    // worker's view of the world, immediate crash).
-    let coord = std::thread::spawn(move || rendezvous.coordinate(size, RENDEZVOUS_DEADLINE));
-    let controls = loop {
-        if coord.is_finished() {
-            break coord.join().unwrap_or_else(|_| {
-                Err(tilecc_cluster::CommError::Transport {
-                    detail: "rendezvous coordinator panicked".into(),
-                })
-            });
-        }
-        for (rank, child) in children.iter_mut().enumerate() {
-            if let Ok(Some(status)) = child.try_wait() {
+        match collect_workers(controls, Some(DRIVER_WALL_CAP), true, peer_timeout) {
+            Ok(r) => break (r, children),
+            Err(e) => {
                 kill_children(&mut children);
-                return err(format!(
-                    "worker rank {rank} exited during startup ({status})"
-                ));
+                let dead = if recover { crashed_rank_of(&e) } else { None };
+                let Some(dead) = dead else {
+                    return err(format!(
+                        "run failed: {e}\nranks implicated: {:?}",
+                        e.ranks()
+                    ));
+                };
+                if budget == 0 {
+                    return err(format!(
+                        "run failed: {e}\nranks implicated: {:?}\n\
+                         recovery budget exhausted after {restarts} restart(s)",
+                        e.ranks()
+                    ));
+                }
+                budget -= 1;
+                recovered[dead] += 1;
+                restarts += 1;
+                eprintln!(
+                    "tilecc: rank {dead} failed ({e}); \
+                     restarting the world from checkpoints (restart {restarts})"
+                );
+                std::thread::sleep(restart_backoff(restarts));
             }
-        }
-        std::thread::sleep(Duration::from_millis(10));
-    };
-    let controls = match controls {
-        Ok(c) => c,
-        Err(e) => {
-            kill_children(&mut children);
-            return err(format!("tcp rendezvous failed: {e}"));
-        }
-    };
-
-    let reports: Vec<WorkerReport> = match collect_workers(controls, Some(DRIVER_WALL_CAP), true) {
-        Ok(r) => r,
-        Err(e) => {
-            kill_children(&mut children);
-            return err(format!(
-                "run failed: {e}\nranks implicated: {:?}",
-                e.ranks()
-            ));
         }
     };
     // Every result is in; workers exit after the BYE. Reap them so artifact
@@ -929,8 +1166,17 @@ fn tcp_driver(
         verified,
         retransmissions: payloads.iter().map(|p| p.stats.retransmissions).sum(),
         duplicates_suppressed: payloads.iter().map(|p| p.stats.duplicates_suppressed).sum(),
+        recoveries: payloads.iter().map(|p| p.stats.recoveries).sum(),
+        recovery_time: payloads.iter().map(|p| p.stats.recovery_time).sum(),
         local_times,
     };
+    if opts.ckpt_dir.is_none() {
+        // The driver created the checkpoint directory; a finished run has
+        // no further use for it.
+        if let Some(dir) = &ckpt_dir {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+    }
     render_run_summary(&mut out, opts, &summary, checksum)?;
     if let Some(p) = &opts.trace_out {
         let _ = writeln!(out, "trace      : {p}.rank0 .. {p}.rank{}", size - 1);
@@ -988,6 +1234,29 @@ options:
                               the reliability layer retransmits (run)
   --crash-rank <r[@t]>        crash rank r at virtual time t (default 0) to
                               exercise failure reporting (run)
+  --on-crash <fail|recover>   crash policy (default fail): `recover` takes
+                              a checkpoint every --ckpt-interval chain
+                              steps and survives crashed ranks — rewinding
+                              in place on the threaded backend, respawning
+                              dead worker processes from their checkpoint
+                              files on tcp — with results bitwise identical
+                              to a fault-free run (run)
+  --max-recoveries <n>        run-wide restore budget for --on-crash
+                              recover (default 1) (run)
+  --ckpt-interval <k>         chain steps between checkpoints (default 4)
+                              (run)
+  --bind-addr <host:port>     mesh listener bind address for tcp workers
+                              (default 127.0.0.1:0) (run)
+  --heartbeat-ms <ms>         worker heartbeat cadence to the driver
+                              (default 50) (run)
+  --peer-timeout-ms <ms>      driver declares a silent worker dead after
+                              this long without control-socket traffic
+                              (default: socket EOF only) (run)
+  --ckpt-dir <dir>            internal: per-rank checkpoint directory
+                              (managed by the driver)
+  --resume                    internal: restore workers from checkpoints
+  --recovered <n>             internal: restores this worker's rank has
+                              undergone
   --trace-out <file>          write a Chrome trace-event JSON of the run,
                               loadable in Perfetto / chrome://tracing (run)
   --metrics-out <file>        write the aggregated per-rank metrics JSON
@@ -1101,6 +1370,7 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
                     let options = EngineOptions {
                         scheme,
                         fault: fault.clone(),
+                        recovery: opts.recovery_options(),
                         obs: reg.clone(),
                         ..EngineOptions::default()
                     };
@@ -1436,6 +1706,89 @@ boundary = 0.25
         assert!(e.0.contains("run failed"), "{e}");
         assert!(e.0.contains("rank 1"), "{e}");
         assert!(e.0.contains("injected crash"), "{e}");
+    }
+
+    /// Extract the value of a `key : value` summary line.
+    fn field<'a>(out: &'a str, key: &str) -> &'a str {
+        out.lines()
+            .find_map(|l| {
+                let (k, v) = l.split_once(':')?;
+                (k.trim() == key).then(|| v.trim())
+            })
+            .unwrap_or_else(|| panic!("no `{key}` line in:\n{out}"))
+    }
+
+    #[test]
+    fn crashed_rank_recovers_bitwise_with_on_crash_recover() {
+        let p = write_nest(ADI_SRC);
+        let base = [
+            "run",
+            p.to_str(),
+            "--rect",
+            "2,4,4",
+            "--map",
+            "0",
+            "--verify",
+        ];
+        let clean = run_cli(&args(&base)).unwrap();
+        let mut rec_args = base.to_vec();
+        rec_args.extend_from_slice(&[
+            "--crash-rank",
+            "1",
+            "--on-crash",
+            "recover",
+            "--ckpt-interval",
+            "2",
+        ]);
+        let rec = run_cli(&args(&rec_args)).unwrap();
+        assert_eq!(field(&rec, "verified"), "true", "{rec}");
+        assert_eq!(
+            field(&clean, "checksum"),
+            field(&rec, "checksum"),
+            "recovered run must reproduce the clean data bitwise\n{rec}"
+        );
+        assert_eq!(field(&rec, "recoveries"), "1", "{rec}");
+        assert!(rec.contains("rec time"), "{rec}");
+        // The clean run never prints recovery lines.
+        assert!(!clean.contains("recoveries"), "{clean}");
+    }
+
+    #[test]
+    fn exhausted_recovery_budget_still_fails() {
+        let p = write_nest(ADI_SRC);
+        let e = run_cli(&args(&[
+            "run",
+            p.to_str(),
+            "--rect",
+            "2,4,4",
+            "--map",
+            "0",
+            "--crash-rank",
+            "1",
+            "--on-crash",
+            "recover",
+            "--max-recoveries",
+            "0",
+        ]))
+        .unwrap_err();
+        assert!(e.0.contains("run failed"), "{e}");
+        assert!(e.0.contains("injected crash"), "{e}");
+    }
+
+    #[test]
+    fn recovery_flag_values_are_validated() {
+        let p = write_nest(ADI_SRC);
+        let run_with = |extra: &[&str]| {
+            let mut v = vec!["run", p.to_str(), "--rect", "2,4,4"];
+            v.extend_from_slice(extra);
+            run_cli(&args(&v))
+        };
+        let e = run_with(&["--on-crash", "explode"]).unwrap_err();
+        assert!(e.0.contains("--on-crash"), "{e}");
+        let e = run_with(&["--ckpt-interval", "0"]).unwrap_err();
+        assert!(e.0.contains("--ckpt-interval"), "{e}");
+        let e = run_with(&["--heartbeat-ms", "0"]).unwrap_err();
+        assert!(e.0.contains("--heartbeat-ms"), "{e}");
     }
 
     #[test]

@@ -1,0 +1,181 @@
+//! End-to-end crash-recovery tests for `tilecc run --on-crash recover`:
+//! a worker killed mid-run — by an injected virtual-time crash or a real
+//! SIGKILL — must be respawned from its checkpoint and the run must
+//! finish with the same summary as a fault-free run, bitwise checksum
+//! and makespan included (worker respawn carries zero recovery debt).
+
+use std::process::{Command, Output};
+
+fn sor_nest() -> String {
+    format!(
+        "{}/../../examples/nests/sor.tcc",
+        env!("CARGO_MANIFEST_DIR")
+    )
+}
+
+fn tilecc_env(args: &[&str], envs: &[(&str, &str)]) -> Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_tilecc"));
+    cmd.args(args);
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    cmd.output().expect("spawn tilecc")
+}
+
+fn tilecc(args: &[&str]) -> Output {
+    tilecc_env(args, &[])
+}
+
+fn stdout_of(out: &Output) -> String {
+    assert!(
+        out.status.success(),
+        "tilecc failed: {}\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn field<'a>(out: &'a str, key: &str) -> &'a str {
+    out.lines()
+        .find_map(|l| {
+            let (k, v) = l.split_once(':')?;
+            (k.trim() == key).then(|| v.trim())
+        })
+        .unwrap_or_else(|| panic!("no `{key}` line in:\n{out}"))
+}
+
+/// A clean TCP run of SOR plus its rank count, for comparison.
+fn clean_tcp_run() -> (String, String) {
+    let nest = sor_nest();
+    let threaded = stdout_of(&tilecc(&[
+        "run", &nest, "--rect", "4,10,10", "--map", "2", "--verify",
+    ]));
+    let procs = field(&threaded, "processors").to_string();
+    let clean = stdout_of(&tilecc(&[
+        "run",
+        &nest,
+        "--rect",
+        "4,10,10",
+        "--map",
+        "2",
+        "--verify",
+        "--backend",
+        "tcp",
+        "--ranks",
+        &procs,
+    ]));
+    (clean, procs)
+}
+
+/// Every summary line a fault-free run prints must be reproduced by the
+/// recovered run — a respawned worker resumes its virtual clock from the
+/// checkpoint, so even the makespan is bitwise identical.
+fn assert_recovered_matches_clean(clean: &str, recovered: &str) {
+    for key in [
+        "processors",
+        "iterations",
+        "seq time",
+        "makespan",
+        "speedup",
+        "messages",
+        "bytes",
+        "checksum",
+        "verified",
+    ] {
+        assert_eq!(
+            field(clean, key),
+            field(recovered, key),
+            "`{key}` differs after recovery\n--- clean ---\n{clean}\n--- recovered ---\n{recovered}"
+        );
+    }
+    assert_eq!(field(recovered, "verified"), "true");
+    assert_eq!(field(recovered, "recoveries"), "1", "{recovered}");
+}
+
+#[test]
+fn tcp_injected_crash_recovers_bitwise() {
+    let (clean, procs) = clean_tcp_run();
+    let nest = sor_nest();
+    let recovered = stdout_of(&tilecc(&[
+        "run",
+        &nest,
+        "--rect",
+        "4,10,10",
+        "--map",
+        "2",
+        "--verify",
+        "--backend",
+        "tcp",
+        "--ranks",
+        &procs,
+        "--crash-rank",
+        "1",
+        "--on-crash",
+        "recover",
+        "--ckpt-interval",
+        "2",
+    ]));
+    assert_recovered_matches_clean(&clean, &recovered);
+}
+
+#[test]
+fn tcp_sigkilled_worker_respawns_and_completes_bitwise() {
+    let (clean, procs) = clean_tcp_run();
+    let nest = sor_nest();
+    // Rank 1 hard-kills itself (SIGKILL, no cleanup) right after writing
+    // its second checkpoint; the driver must respawn it from that file.
+    let recovered = stdout_of(&tilecc_env(
+        &[
+            "run",
+            &nest,
+            "--rect",
+            "4,10,10",
+            "--map",
+            "2",
+            "--verify",
+            "--backend",
+            "tcp",
+            "--ranks",
+            &procs,
+            "--on-crash",
+            "recover",
+            "--ckpt-interval",
+            "1",
+        ],
+        &[("TILECC_CRASH_KILL", "1:2")],
+    ));
+    assert_recovered_matches_clean(&clean, &recovered);
+}
+
+#[test]
+fn exhausted_recovery_budget_fails_naming_the_rank() {
+    let nest = sor_nest();
+    let threaded = stdout_of(&tilecc(&["run", &nest, "--rect", "4,10,10", "--map", "2"]));
+    let procs = field(&threaded, "processors");
+    let out = tilecc(&[
+        "run",
+        &nest,
+        "--rect",
+        "4,10,10",
+        "--map",
+        "2",
+        "--backend",
+        "tcp",
+        "--ranks",
+        procs,
+        "--crash-rank",
+        "1",
+        "--on-crash",
+        "recover",
+        "--max-recoveries",
+        "0",
+    ]);
+    assert!(
+        !out.status.success(),
+        "a crash past the recovery budget must fail the driver"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("rank 1"), "{stderr}");
+    assert!(stderr.contains("recovery budget exhausted"), "{stderr}");
+}

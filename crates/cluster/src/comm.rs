@@ -68,6 +68,23 @@ pub struct CommStats {
     pub retrans_time: f64,
     /// Messages discarded by the receiver's duplicate suppression.
     pub duplicates_suppressed: u64,
+    /// Times this rank was restored from a checkpoint after a crash.
+    pub recoveries: u64,
+    /// Virtual seconds of re-execution charged to recovery: the wall the
+    /// rank's clock was rewound over, re-charged at the end of the run so
+    /// every message timestamp stays bitwise identical to the fault-free
+    /// run (`local_time - recovery_time` is the fault-free clock).
+    pub recovery_time: f64,
+}
+
+/// State handed back by [`Comm::try_restore`]: where to resume the chain
+/// walk and the application snapshot taken at that checkpoint.
+#[derive(Clone, Debug)]
+pub struct Restored {
+    /// Chain position the checkpoint was taken at (resume from here).
+    pub chain_pos: u64,
+    /// Opaque application bytes passed to [`Comm::checkpoint`].
+    pub app: Vec<u8>,
 }
 
 /// Panic payload used by the infallible [`Comm`] wrappers when the
@@ -200,6 +217,44 @@ pub trait Comm {
     /// so plain implementations stay observability-free.
     fn obs(&mut self) -> Option<&mut RankObs> {
         None
+    }
+
+    /// Checkpoint cadence: `Some(K)` when the engine was configured with a
+    /// recovery policy, asking the executor to call [`Comm::checkpoint`]
+    /// every `K` chain steps. `None` (the default) disables checkpointing.
+    fn recovery_interval(&self) -> Option<u64> {
+        None
+    }
+
+    /// Record a recovery checkpoint at chain position `chain_pos` with the
+    /// caller's serialized application state (LDS snapshot + logical
+    /// counters). Implementations snapshot their clock, statistics and
+    /// reliability frontiers alongside, and acknowledge received envelopes
+    /// so senders can trim their replay logs. Default: no-op.
+    fn checkpoint(&mut self, _chain_pos: u64, _app: &[u8]) {}
+
+    /// After an injected crash unwound the chain walk: restore the latest
+    /// checkpoint and return the resume state, or `None` when recovery is
+    /// disabled, no recovery budget remains, or this implementation recovers
+    /// at a different level (e.g. process respawn). Default: `None`.
+    fn try_restore(&mut self) -> Option<Restored> {
+        None
+    }
+
+    /// Resume state loaded *before* the rank body started — a respawned
+    /// worker process restores its checkpoint file during transport setup
+    /// and hands the chain position + application bytes to the executor
+    /// here, exactly once. Default: `None` (fresh start).
+    fn resume_state(&mut self) -> Option<Restored> {
+        None
+    }
+
+    /// Settle the accumulated recovery debt at the end of the rank's run:
+    /// charge the re-executed virtual time to the clock once, so
+    /// `local_time == fault-free time + recovery_time`. Returns the debt.
+    /// Default: no-op.
+    fn settle_recovery(&mut self) -> f64 {
+        0.0
     }
 }
 

@@ -17,11 +17,14 @@ pub enum CommError {
         /// The vanished peer's rank.
         peer: usize,
     },
-    /// The reliability layer gave up: every transmission attempt (original
-    /// plus retries) was dropped by the fault plan.
-    Unreachable {
+    /// The reliability layer gave up on one message: every transmission
+    /// attempt (original plus retries, bounded by
+    /// [`crate::FaultPlan::max_retries`]) was dropped by the fault plan.
+    RetransmitExhausted {
         /// The unreachable peer's rank.
-        peer: usize,
+        rank: usize,
+        /// Tag of the undeliverable message.
+        tag: i64,
         /// Transmission attempts made before giving up.
         attempts: u32,
     },
@@ -53,10 +56,14 @@ impl std::fmt::Display for CommError {
                     "peer rank {peer} disconnected (panicked or exited early)"
                 )
             }
-            CommError::Unreachable { peer, attempts } => {
+            CommError::RetransmitExhausted {
+                rank,
+                tag,
+                attempts,
+            } => {
                 write!(
                     f,
-                    "message to rank {peer} undeliverable after {attempts} attempts"
+                    "message to rank {rank} (tag {tag}) undeliverable after {attempts} attempts"
                 )
             }
             CommError::Aborted => write!(f, "run aborted by the engine watchdog"),
@@ -179,12 +186,15 @@ mod tests {
 
         let c = RunError::Comm {
             rank: 2,
-            error: CommError::Unreachable {
-                peer: 5,
+            error: CommError::RetransmitExhausted {
+                rank: 5,
+                tag: 7,
                 attempts: 33,
             },
         };
         assert!(c.to_string().contains("rank 2"));
+        assert!(c.to_string().contains("rank 5"));
+        assert!(c.to_string().contains("tag 7"));
         assert!(c.to_string().contains("33 attempts"));
     }
 

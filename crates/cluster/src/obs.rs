@@ -153,11 +153,15 @@ pub enum Counter {
     CompiledDispatches,
     /// Tiles dispatched through the per-point reference path.
     ReferenceDispatches,
+    /// Recovery checkpoints taken.
+    Checkpoints,
+    /// Crash recoveries performed (checkpoint restores / respawns).
+    Recoveries,
 }
 
 impl Counter {
     /// Number of counters.
-    pub const COUNT: usize = 16;
+    pub const COUNT: usize = 18;
     /// Every counter, in index order.
     pub const ALL: [Counter; Counter::COUNT] = [
         Counter::MessagesSent,
@@ -176,6 +180,8 @@ impl Counter {
         Counter::Iterations,
         Counter::CompiledDispatches,
         Counter::ReferenceDispatches,
+        Counter::Checkpoints,
+        Counter::Recoveries,
     ];
 
     /// Stable snake-case name used in exports.
@@ -197,6 +203,8 @@ impl Counter {
             Counter::Iterations => "iterations",
             Counter::CompiledDispatches => "compiled_dispatches",
             Counter::ReferenceDispatches => "reference_dispatches",
+            Counter::Checkpoints => "checkpoints",
+            Counter::Recoveries => "recoveries",
         }
     }
 }
@@ -213,17 +221,22 @@ pub enum GaugeId {
     /// Wall nanoseconds the TCP backend spent establishing its full mesh
     /// (rendezvous + peer handshakes). Set once per run.
     ConnectNs,
+    /// Envelopes retained in this rank's outgoing replay logs awaiting a
+    /// receiver checkpoint ack (max over links; the high-water mark bounds
+    /// the recovery replay window).
+    ReplayLogDepth,
 }
 
 impl GaugeId {
     /// Number of gauge ids (update together with [`GaugeId::ALL`]).
-    pub const COUNT: usize = 4;
+    pub const COUNT: usize = 5;
     /// All gauge ids, in storage order.
     pub const ALL: [GaugeId; GaugeId::COUNT] = [
         GaugeId::PendingDepth,
         GaugeId::ResequenceDepth,
         GaugeId::OutstandingSends,
         GaugeId::ConnectNs,
+        GaugeId::ReplayLogDepth,
     ];
 
     /// Stable export name of this gauge.
@@ -233,6 +246,7 @@ impl GaugeId {
             GaugeId::ResequenceDepth => "resequence_depth",
             GaugeId::OutstandingSends => "outstanding_sends",
             GaugeId::ConnectNs => "connect_ns",
+            GaugeId::ReplayLogDepth => "replay_log_depth",
         }
     }
 }
@@ -308,11 +322,14 @@ pub enum VirtAcc {
     /// Comm-lane busy time hidden behind compute under the overlapped
     /// strategy. Informational: NOT part of the clock partition.
     OverlapHidden,
+    /// Virtual time re-executed after a crash recovery, charged once when
+    /// the rank settles its recovery debt at the end of the run.
+    Recovery,
 }
 
 impl VirtAcc {
     /// Number of accumulators.
-    pub const COUNT: usize = 8;
+    pub const COUNT: usize = 9;
     /// Every accumulator, in index order.
     pub const ALL: [VirtAcc; VirtAcc::COUNT] = [
         VirtAcc::Compute,
@@ -323,6 +340,7 @@ impl VirtAcc {
         VirtAcc::Stall,
         VirtAcc::Drain,
         VirtAcc::OverlapHidden,
+        VirtAcc::Recovery,
     ];
 
     /// Stable snake-case name used in exports.
@@ -336,6 +354,7 @@ impl VirtAcc {
             VirtAcc::Stall => "stall_virt",
             VirtAcc::Drain => "drain_virt",
             VirtAcc::OverlapHidden => "overlap_hidden_virt",
+            VirtAcc::Recovery => "recovery_virt",
         }
     }
 }
@@ -464,6 +483,12 @@ impl RankMetrics {
         self.counters[c as usize].load(Ordering::Relaxed)
     }
 
+    /// Overwrite counter `c` (crash recovery rewinds counters to a
+    /// checkpoint snapshot; single-writer discipline applies).
+    pub fn set(&self, c: Counter, v: u64) {
+        self.counters[c as usize].store(v, Ordering::Relaxed);
+    }
+
     /// The gauge cell for `g`.
     pub fn gauge(&self, g: GaugeId) -> &Gauge {
         &self.gauges[g as usize]
@@ -485,6 +510,13 @@ impl RankMetrics {
     /// Current value of accumulator `a` in virtual seconds.
     pub fn virt_get(&self, a: VirtAcc) -> f64 {
         f64::from_bits(self.virt[a as usize].load(Ordering::Relaxed))
+    }
+
+    /// Overwrite accumulator `a` (crash recovery rewinds the virtual
+    /// accumulators to a checkpoint snapshot; single-writer discipline
+    /// applies).
+    pub fn virt_set(&self, a: VirtAcc, v: f64) {
+        self.virt[a as usize].store(v.to_bits(), Ordering::Relaxed);
     }
 }
 
@@ -808,6 +840,9 @@ pub struct RankReport {
     /// Virtual seconds of communication CPU cost: send injection, receive
     /// overhead, retransmission charges and overlapped-lane drains.
     pub comm: f64,
+    /// Virtual seconds re-executed after crash recoveries (zero on a
+    /// recovery-free run); `local_time - recovery` is the fault-free clock.
+    pub recovery: f64,
     /// Virtual seconds of comm-lane time hidden behind compute under the
     /// overlapped strategy (informational; not part of the partition).
     pub overlap_hidden: f64,
@@ -822,8 +857,9 @@ pub struct RankReport {
 }
 
 /// The whole run, aggregated from the registry. Per rank,
-/// `compute + wait + comm == local_time` exactly (the virtual accumulators
-/// partition every clock advance).
+/// `compute + wait + comm + recovery == local_time` exactly (the virtual
+/// accumulators partition every clock advance; `recovery` is zero unless a
+/// crash was recovered).
 #[derive(Clone, Debug)]
 pub struct RunReport {
     /// One row per rank, in rank order.
@@ -847,6 +883,7 @@ impl RunReport {
                 + m.virt_get(VirtAcc::RecvOverhead)
                 + m.virt_get(VirtAcc::Retrans)
                 + m.virt_get(VirtAcc::Drain);
+            let recovery = m.virt_get(VirtAcc::Recovery);
             let overlap_hidden = m.virt_get(VirtAcc::OverlapHidden);
             ranks.push(RankReport {
                 rank,
@@ -854,6 +891,7 @@ impl RunReport {
                 compute,
                 wait,
                 comm,
+                recovery,
                 overlap_hidden,
                 utilization: if local_time > 0.0 {
                     compute / local_time
@@ -908,6 +946,7 @@ impl RunReport {
             let _ = writeln!(j, "      \"compute\": {:.9},", r.compute);
             let _ = writeln!(j, "      \"wait\": {:.9},", r.wait);
             let _ = writeln!(j, "      \"comm\": {:.9},", r.comm);
+            let _ = writeln!(j, "      \"recovery\": {:.9},", r.recovery);
             let _ = writeln!(j, "      \"overlap_hidden\": {:.9},", r.overlap_hidden);
             let _ = writeln!(j, "      \"utilization\": {:.6},", r.utilization);
             let _ = writeln!(j, "      \"counters\": {{");
@@ -1013,6 +1052,15 @@ impl RunReport {
             let _ = writeln!(
                 out,
                 "  overlap    : {hidden:.6} s of comm-lane time hidden behind compute"
+            );
+        }
+        let recoveries = self.total(Counter::Recoveries);
+        if recoveries > 0 {
+            let rec: f64 = self.ranks.iter().map(|r| r.recovery).sum();
+            let _ = writeln!(
+                out,
+                "  recovery   : {recoveries} recoveries, {rec:.6} s re-executed ({} checkpoints)",
+                self.total(Counter::Checkpoints)
             );
         }
         if let Some(s) = self.slowest_rank() {
@@ -1533,11 +1581,13 @@ mod tests {
         m.virt_add(VirtAcc::RecvOverhead, 0.25);
         m.virt_add(VirtAcc::Retrans, 0.125);
         m.virt_add(VirtAcc::Drain, 0.0625);
+        m.virt_add(VirtAcc::Recovery, 0.03125);
         // OverlapHidden is informational only: must NOT enter the partition.
         m.virt_add(VirtAcc::OverlapHidden, 100.0);
-        let report = reg.run_report(&[4.9375]);
+        let report = reg.run_report(&[4.96875]);
         let r = &report.ranks[0];
-        assert!((r.compute + r.wait + r.comm - r.local_time).abs() < 1e-12);
+        assert!((r.compute + r.wait + r.comm + r.recovery - r.local_time).abs() < 1e-12);
+        assert_eq!(r.recovery, 0.03125);
         assert_eq!(r.overlap_hidden, 100.0);
     }
 }

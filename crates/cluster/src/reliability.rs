@@ -1,6 +1,7 @@
 //! The transport-generic reliability sublayer: per-link sequence numbers,
-//! receiver-side duplicate suppression and re-sequencing, and the
-//! sender-side stop-and-wait retransmission schedule.
+//! receiver-side duplicate suppression and re-sequencing, the sender-side
+//! stop-and-wait retransmission schedule, and the bounded per-link replay
+//! log that crash recovery replays from (see `DESIGN.md` §11).
 //!
 //! Both engines — the in-process threaded substrate and the TCP socket
 //! backend — delegate to this module, so a faulty run produces the same
@@ -14,6 +15,7 @@ use crate::comm::Envelope;
 use crate::error::CommError;
 use crate::fault::FaultPlan;
 use crate::model::MachineModel;
+use std::collections::VecDeque;
 
 /// Verdict of [`LinkSeq::admit`] on an arrived envelope.
 #[derive(Debug)]
@@ -88,12 +90,141 @@ impl LinkSeq {
     pub fn resequence_depth(&self) -> u64 {
         self.resequence.iter().map(|r| r.len() as u64).sum()
     }
+
+    /// Snapshot of the outgoing (`next`) sequence frontier per link.
+    pub fn next_frontier(&self) -> Vec<u64> {
+        self.next.clone()
+    }
+
+    /// Snapshot of the incoming (`expect`) sequence frontier per link.
+    pub fn expect_frontier(&self) -> Vec<u64> {
+        self.expect.clone()
+    }
+
+    /// The next sequence number expected from `from`.
+    pub fn expect_of(&self, from: usize) -> u64 {
+        self.expect[from]
+    }
+
+    /// Rewind both frontiers to a checkpoint's snapshot. The re-sequencing
+    /// buffers are deliberately left intact: envelopes parked there at crash
+    /// time were consumed from the transport and would otherwise be lost,
+    /// and their sequence numbers all lie at or past the crash-time `expect`
+    /// frontier, so they are exactly the not-yet-delivered tail.
+    pub fn rewind(&mut self, next: &[u64], expect: &[u64]) {
+        self.next.copy_from_slice(next);
+        self.expect.copy_from_slice(expect);
+    }
+
+    /// Re-inject a replayed envelope from `from` into the re-sequencing
+    /// buffer (recovery only). Duplicates of an already-buffered sequence
+    /// number are ignored.
+    pub fn reinject(&mut self, from: usize, env: Envelope) {
+        if env.seq >= self.expect[from] && !self.resequence[from].iter().any(|e| e.seq == env.seq) {
+            self.resequence[from].push(env);
+        }
+    }
+}
+
+/// A bounded sender-side replay log for one directed link: every envelope
+/// pushed to the transport is recorded here (one entry per sequence number,
+/// in order) and retained until the receiver's next checkpoint acknowledges
+/// it — at which point [`ReplayLog::trim_below`] drops the prefix. Crash
+/// recovery replays a contiguous range of retained envelopes to rebuild the
+/// receiver's lost in-flight window.
+#[derive(Debug, Default)]
+pub struct ReplayLog {
+    /// Smallest retained sequence number (entries are contiguous from here).
+    base: u64,
+    /// Retained envelopes: `items[i].seq == base + i`.
+    items: VecDeque<Envelope>,
+}
+
+impl ReplayLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        ReplayLog::default()
+    }
+
+    /// One past the highest recorded sequence number.
+    pub fn high(&self) -> u64 {
+        self.base + self.items.len() as u64
+    }
+
+    /// Record the envelope for the next sequence number. Re-records of an
+    /// already-logged (or already-trimmed) sequence number are ignored, so
+    /// recovery re-execution over the rewound window is idempotent.
+    pub fn record(&mut self, env: Envelope) {
+        if env.seq == self.high() {
+            self.items.push_back(env);
+        }
+    }
+
+    /// Drop every retained envelope with `seq < seq` (the receiver's
+    /// checkpoint acknowledged them).
+    pub fn trim_below(&mut self, seq: u64) {
+        while self.base < seq {
+            if self.items.pop_front().is_none() {
+                self.base = seq;
+                return;
+            }
+            self.base += 1;
+        }
+    }
+
+    /// Clones of the retained envelopes with `lo <= seq < hi` (clamped to
+    /// the retained window).
+    pub fn range(&self, lo: u64, hi: u64) -> Vec<Envelope> {
+        self.items
+            .iter()
+            .filter(|e| e.seq >= lo && e.seq < hi)
+            .cloned()
+            .collect()
+    }
+
+    /// Clones of every retained envelope with `seq >= lo`.
+    pub fn replay_from(&self, lo: u64) -> Vec<Envelope> {
+        self.range(lo, u64::MAX)
+    }
+
+    /// Smallest retained sequence number (for persisting the log).
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// The retained envelopes in sequence order (for persisting the log).
+    pub fn items(&self) -> impl Iterator<Item = &Envelope> {
+        self.items.iter()
+    }
+
+    /// Rebuild a log from persisted parts: `items[i].seq` must equal
+    /// `base + i` (checked), the invariant [`ReplayLog::record`] maintains.
+    pub fn restore(base: u64, items: Vec<Envelope>) -> ReplayLog {
+        for (i, env) in items.iter().enumerate() {
+            assert_eq!(env.seq, base + i as u64, "replay log restore out of order");
+        }
+        ReplayLog {
+            base,
+            items: items.into(),
+        }
+    }
+
+    /// Number of retained envelopes (feeds the `replay_log_depth` gauge).
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the log retains nothing.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
 }
 
 /// The stop-and-wait ARQ schedule for one message on a lossy link: one
 /// virtual-time pause per dropped attempt (exponential backoff plus the
-/// repeated injection cost), or [`CommError::Unreachable`] once every
-/// attempt up to `max_retries` was dropped.
+/// repeated injection cost), or [`CommError::RetransmitExhausted`] once
+/// every attempt up to `max_retries` was dropped — the loop is bounded, it
+/// never retries forever.
 ///
 /// Drop decisions are pure hashes of `(seed, from, to, seq, attempt)`, so
 /// the schedule — and therefore every engine's clock arithmetic — is
@@ -103,6 +234,7 @@ pub fn retransmit_pauses(
     model: &MachineModel,
     from: usize,
     to: usize,
+    tag: i64,
     seq: u64,
     nominal_bytes: usize,
 ) -> Result<Vec<f64>, CommError> {
@@ -111,8 +243,9 @@ pub fn retransmit_pauses(
     while fault.dropped(from, to, seq, attempt) {
         attempt += 1;
         if attempt > fault.max_retries {
-            return Err(CommError::Unreachable {
-                peer: to,
+            return Err(CommError::RetransmitExhausted {
+                rank: to,
+                tag,
                 attempts: attempt,
             });
         }
@@ -182,7 +315,7 @@ mod tests {
         // pause equals backoff + injection cost.
         let mut checked = false;
         for seq in 0..64 {
-            let pauses = retransmit_pauses(&fault, &model, 0, 1, seq, 128).unwrap();
+            let pauses = retransmit_pauses(&fault, &model, 0, 1, 0, seq, 128).unwrap();
             for (i, pause) in pauses.iter().enumerate() {
                 let attempt = (i + 1) as u32;
                 assert_eq!(*pause, fault.backoff(attempt) + model.send_cost(128));
@@ -190,14 +323,85 @@ mod tests {
             }
         }
         assert!(checked, "seed 7 at 50% must drop something in 64 messages");
+    }
 
+    #[test]
+    fn retransmission_gives_up_with_a_typed_error() {
+        // A 100% drop rate exhausts the bounded retry budget: the loop must
+        // terminate with RetransmitExhausted naming rank, tag and attempts —
+        // never retry forever.
+        let model = MachineModel::fast_ethernet_p3();
         let total = FaultPlan {
             max_retries: 3,
             ..FaultPlan::lossy(1, 1.0)
         };
-        match retransmit_pauses(&total, &model, 0, 1, 0, 8) {
-            Err(CommError::Unreachable { peer: 1, attempts }) => assert_eq!(attempts, 4),
-            other => panic!("expected Unreachable, got {other:?}"),
+        match retransmit_pauses(&total, &model, 0, 1, 42, 0, 8) {
+            Err(CommError::RetransmitExhausted {
+                rank: 1,
+                tag: 42,
+                attempts,
+            }) => assert_eq!(attempts, 4),
+            other => panic!("expected RetransmitExhausted, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn replay_log_records_trims_and_replays() {
+        let mut log = ReplayLog::new();
+        assert!(log.is_empty());
+        for seq in 0..6 {
+            log.record(env(seq));
+        }
+        // Re-records of already-logged seqs are ignored (recovery
+        // re-execution is idempotent).
+        log.record(env(3));
+        assert_eq!(log.len(), 6);
+        assert_eq!(log.high(), 6);
+
+        // A checkpoint ack trims the prefix.
+        log.trim_below(2);
+        assert_eq!(log.len(), 4);
+        log.record(env(1)); // below base: ignored
+        assert_eq!(log.len(), 4);
+
+        let replayed = log.range(3, 5);
+        assert_eq!(
+            replayed.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![3, 4]
+        );
+        let tail = log.replay_from(4);
+        assert_eq!(tail.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![4, 5]);
+
+        // Trimming past the end empties the log but keeps it consistent.
+        log.trim_below(100);
+        assert!(log.is_empty());
+        assert_eq!(log.high(), 100);
+        log.record(env(100));
+        assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn linkseq_rewind_keeps_resequence_and_reinjects() {
+        let mut links = LinkSeq::new(2);
+        let next0 = links.next_frontier();
+        let expect0 = links.expect_frontier();
+        // Deliver 0, buffer 2 (out of order).
+        assert!(matches!(links.admit(0, env(0)), Admit::Deliver(_)));
+        assert!(matches!(links.admit(0, env(2)), Admit::Buffered));
+        assert_eq!(links.assign(1), 0);
+        assert_eq!(links.expect_of(0), 1);
+
+        // Rewind to the initial frontiers: seq 2 stays parked.
+        links.rewind(&next0, &expect0);
+        assert_eq!(links.expect_of(0), 0);
+        assert_eq!(links.resequence_depth(), 1);
+
+        // Replay re-injects the lost window; duplicates are ignored.
+        links.reinject(0, env(0));
+        links.reinject(0, env(2));
+        assert_eq!(links.resequence_depth(), 2);
+        let e = links.take_ready(0).expect("seq 0 must be ready");
+        assert_eq!(e.seq, 0);
+        assert!(links.take_ready(0).is_none(), "seq 1 was never re-injected");
     }
 }

@@ -39,29 +39,36 @@
 //!   rendezvous (control) connection, and the driver supervises them with
 //!   a heartbeat-fed deadlock watchdog mirroring the threaded engine's.
 
-use crate::comm::{Comm, CommAbort, CommStats, Envelope};
+use crate::comm::{Comm, CommAbort, CommStats, Envelope, Restored};
 use crate::error::{CommError, RunError};
 use crate::fault::{FaultPlan, RankStall};
 use crate::model::MachineModel;
 use crate::obs::{Counter, GaugeId, HistId, Phase, RankMetrics, RankObs, VirtAcc};
-use crate::reliability::{retransmit_pauses, Admit, LinkSeq};
+use crate::reliability::{retransmit_pauses, Admit, LinkSeq, ReplayLog};
 use crate::threaded::{
-    collect, install_quiet_panic_hook, panic_message, CommScheme, EngineOptions, Monitor, RankEnd,
-    RankPhase, RunReport, ABORT_GRACE, COLLECT_POLL, RECV_POLL,
+    collect, install_quiet_panic_hook, new_replay_logs, panic_message, CkptState, CommScheme,
+    EngineOptions, Monitor, RankEnd, RankPhase, RecoveryCtl, ReplayLogs, RunReport, ABORT_GRACE,
+    COLLECT_POLL, RECV_POLL,
 };
 use crate::trace::{Event, Trace};
 use crate::wire::{self, Frame, FrameKind};
 use std::io::Read;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{channel, sync_channel, Receiver, RecvTimeoutError, SyncSender};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, sync_channel, Receiver, RecvTimeoutError, Sender, SyncSender};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 /// Deadline for rendezvous and mesh handshakes.
 const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(30);
+/// Retry budget for dialing a listener that refuses the connection (a
+/// respawned worker racing a fresh rendezvous, a peer's mesh listener not
+/// yet bound). Deliberately shorter than [`HANDSHAKE_TIMEOUT`]: a plain
+/// misconfiguration must fail fast, not after the handshake deadline.
+const CONNECT_RETRY_BUDGET: Duration = Duration::from_secs(10);
 /// Bounded depth (frames) of each per-peer writer queue.
 const SEND_QUEUE_FRAMES: usize = 64;
 /// How often a worker ships a heartbeat (`PROGRESS` frame) to the driver.
@@ -96,8 +103,15 @@ pub struct Rendezvous {
 impl Rendezvous {
     /// Bind an ephemeral rendezvous listener on localhost.
     pub fn bind() -> Result<Rendezvous, CommError> {
-        let listener = TcpListener::bind(("127.0.0.1", 0))
-            .map_err(|e| transport_error("rendezvous bind", e))?;
+        Rendezvous::bind_to("127.0.0.1:0")
+    }
+
+    /// Bind the rendezvous listener on an explicit local address
+    /// (`host:port`; port 0 picks an ephemeral port) — the driver's
+    /// `--bind-addr` knob for multi-machine runs.
+    pub fn bind_to(addr: &str) -> Result<Rendezvous, CommError> {
+        let listener =
+            TcpListener::bind(addr).map_err(|e| transport_error("rendezvous bind", e))?;
         let addr = listener
             .local_addr()
             .map_err(|e| transport_error("rendezvous addr", e))?;
@@ -201,11 +215,41 @@ struct Mesh {
     control: TcpStream,
 }
 
+/// Dial with bounded exponential backoff. A respawned worker can race the
+/// driver's fresh rendezvous listener (or a peer's mesh listener), so a
+/// refused connection is retried with doubling pauses until
+/// [`CONNECT_RETRY_BUDGET`] is spent instead of failing on the first
+/// attempt.
+fn connect_backoff(addr: &SocketAddr, stage: &str) -> Result<TcpStream, CommError> {
+    let until = Instant::now() + CONNECT_RETRY_BUDGET;
+    let mut pause = Duration::from_millis(50);
+    loop {
+        let left = until.saturating_duration_since(Instant::now());
+        if left.is_zero() {
+            return Err(transport_error(stage, "timed out retrying connect"));
+        }
+        match TcpStream::connect_timeout(addr, left) {
+            Ok(stream) => return Ok(stream),
+            Err(e) => {
+                if Instant::now() + pause >= until {
+                    return Err(transport_error(stage, e));
+                }
+                thread::sleep(pause);
+                pause = (pause * 2).min(Duration::from_secs(2));
+            }
+        }
+    }
+}
+
 /// Build this rank's side of the full mesh through the rendezvous at
-/// `rendezvous` (`host:port`).
-fn connect_mesh(rank: usize, size: usize, rendezvous: &str) -> Result<Mesh, CommError> {
-    let listener =
-        TcpListener::bind(("127.0.0.1", 0)).map_err(|e| transport_error("mesh bind", e))?;
+/// `rendezvous` (`host:port`), binding the mesh listener on `bind_addr`.
+fn connect_mesh(
+    rank: usize,
+    size: usize,
+    rendezvous: &str,
+    bind_addr: &str,
+) -> Result<Mesh, CommError> {
+    let listener = TcpListener::bind(bind_addr).map_err(|e| transport_error("mesh bind", e))?;
     let my_addr = listener
         .local_addr()
         .map_err(|e| transport_error("mesh addr", e))?;
@@ -214,8 +258,7 @@ fn connect_mesh(rank: usize, size: usize, rendezvous: &str) -> Result<Mesh, Comm
         .map_err(|e| transport_error("rendezvous resolve", e))?
         .next()
         .ok_or_else(|| transport_error("rendezvous resolve", "no address"))?;
-    let mut control = TcpStream::connect_timeout(&rdv_addr, HANDSHAKE_TIMEOUT)
-        .map_err(|e| transport_error("rendezvous connect", e))?;
+    let mut control = connect_backoff(&rdv_addr, "rendezvous connect")?;
     control
         .set_nodelay(true)
         .map_err(|e| transport_error("rendezvous connect", e))?;
@@ -254,8 +297,7 @@ fn connect_mesh(rank: usize, size: usize, rendezvous: &str) -> Result<Mesh, Comm
             .map_err(|e| transport_error("peer resolve", e))?
             .next()
             .ok_or_else(|| transport_error("peer resolve", "no address"))?;
-        let mut stream = TcpStream::connect_timeout(&peer_addr, HANDSHAKE_TIMEOUT)
-            .map_err(|e| transport_error(&format!("dial rank {peer}"), e))?;
+        let mut stream = connect_backoff(&peer_addr, &format!("dial rank {peer}"))?;
         stream
             .set_nodelay(true)
             .map_err(|e| transport_error("peer setup", e))?;
@@ -331,6 +373,57 @@ struct TcpCommConfig {
     trace: bool,
     obs: Option<RankObs>,
     connect_ns: u64,
+    /// Sender-side replay-log matrix (`Some` only with a recovery policy;
+    /// shared across ranks in-process, this rank's row only in a worker).
+    replay_logs: Option<ReplayLogs>,
+    /// Crash-recovery mode (`None` = a crash fails the run).
+    recovery: Option<TcpRecovery>,
+}
+
+/// How a [`TcpComm`] endpoint recovers from a crash.
+enum TcpRecovery {
+    /// In-process ranks rewind in place from an in-memory checkpoint —
+    /// exactly the threaded engine's mechanism (shared [`RecoveryCtl`]).
+    InProcess(RecoveryCtl),
+    /// A worker process checkpoints to a file and recovers by respawn: the
+    /// driver restarts the world, the respawned processes restore their
+    /// files and re-synchronize over `RESUME` frames.
+    Worker(WorkerRecovery),
+}
+
+/// Worker-process recovery state (see [`TcpRecovery::Worker`]).
+struct WorkerRecovery {
+    /// Checkpoint cadence requested from the executor.
+    interval: u64,
+    /// Checkpoint file, atomically replaced each interval.
+    path: PathBuf,
+    /// Resume state restored from the file, consumed once by the executor.
+    resume: Option<Restored>,
+    /// Whether this process was respawned into an existing run (`--resume`):
+    /// gates the resume barrier and disarms the kill hook.
+    resume_run: bool,
+    /// Re-execution send frontier per link, from each peer's `RESUME`
+    /// frame: sends below it redo the virtual accounting but skip the
+    /// physical push (the peer consumed them before its checkpoint).
+    resend_skip: Vec<u64>,
+    /// Receives `(peer, frontier)` from reader threads when peers announce
+    /// `RESUME`; the resume barrier drains one entry per peer.
+    resume_rx: Option<Receiver<(usize, u64)>>,
+    /// Checkpoints taken by this process (drives the kill hook).
+    ckpts_taken: u64,
+    /// Test hook: SIGKILL this process at its N-th checkpoint.
+    kill_at: Option<u64>,
+}
+
+/// Recovery handles given to a reader thread: the replay-log row it trims
+/// and replays, the writer queue it injects replays into, and the resume
+/// channel it signals the barrier through.
+struct ReaderCtl {
+    logs: ReplayLogs,
+    resume_tx: Sender<(usize, u64)>,
+    out_tx: SyncSender<Vec<u8>>,
+    rank: usize,
+    peer: usize,
 }
 
 /// The socket-backed [`Comm`] endpoint.
@@ -368,6 +461,10 @@ pub struct TcpComm {
     links: LinkSeq,
     holdback: Vec<Option<Envelope>>,
     obs: Option<RankObs>,
+    /// Sender-side replay logs (`Some` only with a recovery policy).
+    replay_logs: Option<ReplayLogs>,
+    /// Crash-recovery state (`Some` only with a recovery policy).
+    recovery: Option<TcpRecovery>,
 }
 
 impl TcpComm {
@@ -381,6 +478,17 @@ impl TcpComm {
         let mut writers: Vec<Option<SyncSender<Vec<u8>>>> = (0..size).map(|_| None).collect();
         let mut rxs: Vec<Option<Receiver<Envelope>>> = (0..size).map(|_| None).collect();
         let mut writer_handles = Vec::new();
+        // Worker-mode recovery: reader threads signal each peer's `RESUME`
+        // frontier through this channel to the resume barrier.
+        let mut recovery = cfg.recovery;
+        let resume_tx = match &mut recovery {
+            Some(TcpRecovery::Worker(w)) => {
+                let (tx, rx) = channel();
+                w.resume_rx = Some(rx);
+                Some(tx)
+            }
+            _ => None,
+        };
         for (peer, stream) in peers.into_iter().enumerate() {
             let Some(stream) = stream else { continue };
             let read_half = stream.try_clone().expect("socket clone");
@@ -390,8 +498,12 @@ impl TcpComm {
                 .name(format!("tilecc-tcp-w{}-{}", cfg.rank, peer))
                 .spawn(move || {
                     let mut stream = stream;
+                    // An empty buffer is the close sentinel from the
+                    // endpoint's `Drop`: reader threads also hold a sender
+                    // (replay injection), so channel closure alone cannot
+                    // signal the flush.
                     while let Ok(buf) = out_rx.recv() {
-                        if std::io::Write::write_all(&mut stream, &buf).is_err() {
+                        if buf.is_empty() || std::io::Write::write_all(&mut stream, &buf).is_err() {
                             break;
                         }
                     }
@@ -403,9 +515,22 @@ impl TcpComm {
                 })
                 .expect("failed to spawn tcp writer thread");
             let reader_metrics = metrics.clone();
+            // Worker-mode readers also service recovery frames: `CKPT_ACK`
+            // trims our replay log, `RESUME` injects replays into the
+            // peer's writer queue ahead of any fresh sends.
+            let ctl = match (&cfg.replay_logs, &resume_tx) {
+                (Some(logs), Some(tx)) => Some(ReaderCtl {
+                    logs: logs.clone(),
+                    resume_tx: tx.clone(),
+                    out_tx: out_tx.clone(),
+                    rank: cfg.rank,
+                    peer,
+                }),
+                _ => None,
+            };
             thread::Builder::new()
                 .name(format!("tilecc-tcp-r{}-{}", cfg.rank, peer))
-                .spawn(move || reader_loop(read_half, in_tx, reader_metrics))
+                .spawn(move || reader_loop(read_half, in_tx, reader_metrics, ctl))
                 .expect("failed to spawn tcp reader thread");
             writers[peer] = Some(out_tx);
             rxs[peer] = Some(in_rx);
@@ -434,6 +559,8 @@ impl TcpComm {
             links: LinkSeq::new(size),
             holdback: (0..size).map(|_| None).collect(),
             obs: cfg.obs,
+            replay_logs: cfg.replay_logs,
+            recovery,
         };
         (comm, writer_handles)
     }
@@ -547,6 +674,46 @@ impl TcpComm {
         self.monitor.set(self.rank, RankPhase::Running);
         result
     }
+
+    /// Restart-the-world synchronization for a resumed worker: announce
+    /// this rank's restored receive frontier to every peer (`RESUME`), then
+    /// wait for every peer's announcement. Reader threads queue the logged
+    /// replays *before* signalling, and the writer queue is FIFO, so every
+    /// replayed envelope reaches a peer ahead of any fresh send.
+    fn worker_resume_barrier(&mut self) -> Result<(), CommError> {
+        let size = self.size;
+        let rank = self.rank;
+        let expects: Vec<u64> = (0..size).map(|p| self.links.expect_of(p)).collect();
+        let Some(TcpRecovery::Worker(w)) = self.recovery.as_mut() else {
+            return Ok(());
+        };
+        if !w.resume_run {
+            return Ok(());
+        }
+        for (peer, writer) in self.writers.iter().enumerate() {
+            if peer == rank {
+                continue;
+            }
+            let mut frame = Frame::control(FrameKind::Resume, rank as u32);
+            frame.seq = expects[peer];
+            writer
+                .as_ref()
+                .expect("no link to peer")
+                .send(frame.encode())
+                .map_err(|_| CommError::PeerDisconnected { rank: peer })?;
+        }
+        let rx = w
+            .resume_rx
+            .as_ref()
+            .expect("worker recovery has a resume channel");
+        for _ in 0..size.saturating_sub(1) {
+            let (peer, frontier) = rx.recv_timeout(HANDSHAKE_TIMEOUT).map_err(|_| {
+                transport_error("resume barrier", "timed out waiting for peer RESUME frames")
+            })?;
+            w.resend_skip[peer] = frontier;
+        }
+        Ok(())
+    }
 }
 
 /// Reader-thread body: decode frames off one peer socket into the receive
@@ -557,10 +724,11 @@ fn reader_loop(
     mut stream: TcpStream,
     in_tx: std::sync::mpsc::Sender<Envelope>,
     metrics: Option<Arc<RankMetrics>>,
+    ctl: Option<ReaderCtl>,
 ) {
     loop {
         match wire::read_frame(&mut stream) {
-            Ok(frame) if frame.kind == FrameKind::Data => {
+            Ok(frame) if frame.kind == FrameKind::Data || frame.kind == FrameKind::Replay => {
                 let t0 = Instant::now();
                 match wire::decode_envelope(&frame) {
                     Ok(env) => {
@@ -573,6 +741,32 @@ fn reader_loop(
                         let _ = in_tx.send(env);
                     }
                     Err(_) => break,
+                }
+            }
+            // The peer's checkpoint acknowledges every envelope below `seq`
+            // on this link: drop them from our replay log.
+            Ok(frame) if frame.kind == FrameKind::CkptAck => {
+                if let Some(ctl) = &ctl {
+                    ctl.logs[ctl.rank][ctl.peer]
+                        .lock()
+                        .expect("replay log poisoned")
+                        .trim_below(frame.seq);
+                }
+            }
+            // A respawned peer announces its restored receive frontier:
+            // queue the retained envelopes from there on — ahead of any
+            // fresh send, since the writer queue is FIFO — then signal the
+            // resume barrier.
+            Ok(frame) if frame.kind == FrameKind::Resume => {
+                if let Some(ctl) = &ctl {
+                    let replays = ctl.logs[ctl.rank][ctl.peer]
+                        .lock()
+                        .expect("replay log poisoned")
+                        .replay_from(frame.seq);
+                    for env in replays {
+                        let _ = ctl.out_tx.send(wire::encode_replay(ctl.rank as u32, &env));
+                    }
+                    let _ = ctl.resume_tx.send((ctl.peer, frame.seq));
                 }
             }
             // Stray control frames on a mesh socket: ignore.
@@ -604,9 +798,19 @@ impl Comm for TcpComm {
         let wall_t0 = self.obs.as_ref().map(|o| o.now_ns());
         let virt_t0 = self.clock;
         let seq = self.links.assign(to);
+        // Recovery re-execution: a send the receiver already holds redoes
+        // every virtual charge and counter but skips the physical push —
+        // in-process below the crash-time frontier, worker mode below the
+        // peer's announced `RESUME` frontier.
+        let skip_physical = match &self.recovery {
+            Some(TcpRecovery::InProcess(r)) => seq < r.resend_skip[to],
+            Some(TcpRecovery::Worker(w)) => seq < w.resend_skip[to],
+            None => false,
+        };
 
         if let Some(fault) = self.fault.clone() {
-            for pause in retransmit_pauses(&fault, &self.model, self.rank, to, seq, nominal_bytes)?
+            for pause in
+                retransmit_pauses(&fault, &self.model, self.rank, to, tag, seq, nominal_bytes)?
             {
                 self.stats.retransmissions += 1;
                 self.stats.retrans_time += pause;
@@ -691,23 +895,38 @@ impl Comm for TcpComm {
             }
             _ => (false, false),
         };
-        if reorder {
-            if duplicate {
-                self.push_link(to, &env)?;
+        // Retain the primary copy (post delay perturbation, so a replay
+        // reproduces the receiver's wait bitwise) until the receiver's
+        // checkpoint acknowledges it. Only log-extending sends are
+        // recorded: a skipped in-process re-execution send below the crash
+        // frontier is already retained, while a resumed worker's skipped
+        // sends past its own checkpoint frontier extend the row restored
+        // from the file and must be logged even though the peer holds them.
+        if let Some(logs) = &self.replay_logs {
+            let mut log = logs[self.rank][to].lock().expect("replay log poisoned");
+            if env.seq == log.high() {
+                log.record(env.clone());
             }
-            if let Some(prev) = self.holdback[to].take() {
-                self.push_link_redundant(to, &prev)?;
-            }
-            self.holdback[to] = Some(env);
-        } else {
-            if duplicate {
-                self.push_link(to, &env)?;
-                self.push_link_redundant(to, &env)?;
+        }
+        if !skip_physical {
+            if reorder {
+                if duplicate {
+                    self.push_link(to, &env)?;
+                }
+                if let Some(prev) = self.holdback[to].take() {
+                    self.push_link_redundant(to, &prev)?;
+                }
+                self.holdback[to] = Some(env);
             } else {
-                self.push_link(to, &env)?;
-            }
-            if let Some(prev) = self.holdback[to].take() {
-                self.push_link_redundant(to, &prev)?;
+                if duplicate {
+                    self.push_link(to, &env)?;
+                    self.push_link_redundant(to, &env)?;
+                } else {
+                    self.push_link(to, &env)?;
+                }
+                if let Some(prev) = self.holdback[to].take() {
+                    self.push_link_redundant(to, &prev)?;
+                }
             }
         }
         if let Some(wall_t0) = wall_t0 {
@@ -834,13 +1053,244 @@ impl Comm for TcpComm {
     fn obs(&mut self) -> Option<&mut RankObs> {
         self.obs.as_mut()
     }
+
+    fn recovery_interval(&self) -> Option<u64> {
+        match &self.recovery {
+            Some(TcpRecovery::InProcess(r)) => Some(r.interval),
+            Some(TcpRecovery::Worker(w)) => Some(w.interval),
+            None => None,
+        }
+    }
+
+    fn checkpoint(&mut self, chain_pos: u64, app: &[u8]) {
+        if self.recovery.is_none() {
+            return;
+        }
+        // Snapshot observability state *before* counting the checkpoint, so
+        // a restore followed by a re-checkpoint at the same position counts
+        // it exactly once — like the fault-free run.
+        let (counters, virts) = match &self.obs {
+            Some(o) => {
+                let m = o.metrics();
+                (
+                    Some(Counter::ALL.iter().map(|&c| m.get(c)).collect()),
+                    Some(VirtAcc::ALL.iter().map(|&a| m.virt_get(a)).collect()),
+                )
+            }
+            None => (None, None),
+        };
+        let ckpt = CkptState {
+            chain_pos,
+            app: app.to_vec(),
+            clock: self.clock,
+            comm_lane: self.comm_lane,
+            lane_busy: self.lane_busy,
+            stats: self.stats,
+            next: self.links.next_frontier(),
+            expect: self.links.expect_frontier(),
+            pending: self.pending.clone(),
+            trace_len: self.trace.as_ref().map_or(0, |t| t.events.len()),
+            counters,
+            virts,
+        };
+        match self.recovery.as_mut().expect("recovery checked above") {
+            TcpRecovery::InProcess(rec) => {
+                // In-process ranks share the log matrix: acknowledge the
+                // consumed envelopes by trimming the incoming logs directly.
+                if let Some(logs) = &self.replay_logs {
+                    for from in 0..self.size {
+                        if from != self.rank {
+                            logs[from][self.rank]
+                                .lock()
+                                .expect("replay log poisoned")
+                                .trim_below(self.links.expect_of(from));
+                        }
+                    }
+                }
+                rec.ckpt = Some(ckpt);
+            }
+            TcpRecovery::Worker(w) => {
+                // A worker persists the checkpoint — endpoint snapshot plus
+                // its own outgoing replay-log row — then acknowledges the
+                // consumed envelopes with a `CKPT_ACK` per peer.
+                let row: Vec<(u64, Vec<Envelope>)> = (0..self.size)
+                    .map(|to| match &self.replay_logs {
+                        Some(logs) if to != self.rank => {
+                            let log = logs[self.rank][to].lock().expect("replay log poisoned");
+                            (log.base(), log.items().cloned().collect())
+                        }
+                        _ => (0, Vec::new()),
+                    })
+                    .collect();
+                let bytes = encode_ckpt(&ckpt, &row);
+                if let Err(e) = write_ckpt_file(&w.path, &bytes) {
+                    // A failed write must not kill the run: the previous
+                    // checkpoint (or a fresh start) still recovers it.
+                    eprintln!("tilecc worker {}: checkpoint write failed: {e}", self.rank);
+                }
+                w.ckpts_taken += 1;
+                for (peer, writer) in self.writers.iter().enumerate() {
+                    if peer == self.rank {
+                        continue;
+                    }
+                    let mut frame = Frame::control(FrameKind::CkptAck, self.rank as u32);
+                    frame.seq = self.links.expect_of(peer);
+                    if let Some(writer) = writer {
+                        let _ = writer.send(frame.encode());
+                    }
+                }
+                // Test hook: hard-kill this process at its N-th checkpoint
+                // (first life only — a respawn must not re-fire the kill).
+                if !w.resume_run && w.kill_at == Some(w.ckpts_taken) {
+                    kill_self();
+                }
+            }
+        }
+        if let Some(o) = &self.obs {
+            o.add(Counter::Checkpoints, 1);
+            if let Some(logs) = &self.replay_logs {
+                let depth: u64 = (0..self.size)
+                    .filter(|&to| to != self.rank)
+                    .map(|to| {
+                        logs[self.rank][to]
+                            .lock()
+                            .expect("replay log poisoned")
+                            .len() as u64
+                    })
+                    .sum();
+                o.gauge_set(GaugeId::ReplayLogDepth, depth);
+            }
+        }
+    }
+
+    fn try_restore(&mut self) -> Option<Restored> {
+        // Only in-process ranks restore in place; a worker recovers at the
+        // process level (its crash reaches the driver, which restarts the
+        // world with `--resume`).
+        match &self.recovery {
+            Some(TcpRecovery::InProcess(rec)) => rec.ckpt.as_ref()?,
+            _ => return None,
+        };
+        // Consume one unit of the run-wide restore budget.
+        {
+            let Some(TcpRecovery::InProcess(rec)) = &self.recovery else {
+                unreachable!("matched above");
+            };
+            loop {
+                let left = rec.budget.load(Ordering::SeqCst);
+                if left == 0 {
+                    return None;
+                }
+                if rec
+                    .budget
+                    .compare_exchange(left, left - 1, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok()
+                {
+                    break;
+                }
+            }
+        }
+        // Crash-time reorder holds may contain envelopes the receiver still
+        // needs; release them before rewinding (their seq numbers lie past
+        // the checkpoint frontier, so re-execution will skip re-pushing).
+        let _ = self.flush_holdbacks();
+        let clock_crash = self.clock;
+        let next_crash = self.links.next_frontier();
+        let expect_crash = self.links.expect_frontier();
+
+        let Some(TcpRecovery::InProcess(rec)) = self.recovery.as_mut() else {
+            unreachable!("matched above");
+        };
+        let ckpt = rec.ckpt.as_ref().expect("checked above");
+        self.clock = ckpt.clock;
+        self.comm_lane = ckpt.comm_lane;
+        self.lane_busy = ckpt.lane_busy;
+        self.stats = ckpt.stats;
+        self.links.rewind(&ckpt.next, &ckpt.expect);
+        self.pending = ckpt.pending.clone();
+        if let Some(tr) = &mut self.trace {
+            tr.events.truncate(ckpt.trace_len);
+        }
+        if let Some(o) = &self.obs {
+            let m = o.metrics();
+            if let Some(counters) = &ckpt.counters {
+                for (&c, &v) in Counter::ALL.iter().zip(counters) {
+                    m.set(c, v);
+                }
+            }
+            if let Some(virts) = &ckpt.virts {
+                for (&a, &v) in VirtAcc::ALL.iter().zip(virts) {
+                    m.virt_set(a, v);
+                }
+            }
+        }
+        // Re-inject the lost in-flight window from the peers' replay logs:
+        // everything consumed between the checkpoint and the crash.
+        if let Some(logs) = &self.replay_logs {
+            for from in 0..self.size {
+                if from != self.rank {
+                    let replayed = logs[from][self.rank]
+                        .lock()
+                        .expect("replay log poisoned")
+                        .range(ckpt.expect[from], expect_crash[from]);
+                    for env in replayed {
+                        self.links.reinject(from, env);
+                    }
+                }
+            }
+        }
+        rec.resend_skip = next_crash;
+        rec.debt += clock_crash - ckpt.clock;
+        rec.used += 1;
+        let (chain_pos, app) = (ckpt.chain_pos, ckpt.app.clone());
+        let used = rec.used;
+        self.stats.recoveries = used;
+        // The crash fired; a restored rank does not re-crash.
+        self.crash_at = None;
+        if let Some(o) = &self.obs {
+            o.add(Counter::Recoveries, 1);
+        }
+        self.monitor.bump();
+        Some(Restored { chain_pos, app })
+    }
+
+    fn resume_state(&mut self) -> Option<Restored> {
+        match self.recovery.as_mut() {
+            Some(TcpRecovery::Worker(w)) => w.resume.take(),
+            _ => None,
+        }
+    }
+
+    fn settle_recovery(&mut self) -> f64 {
+        // Worker-mode recovery carries no debt: a respawned process resumes
+        // its checkpointed clock and never rewinds a live one.
+        let Some(TcpRecovery::InProcess(rec)) = self.recovery.as_mut() else {
+            return 0.0;
+        };
+        let debt = rec.debt;
+        rec.debt = 0.0;
+        if debt > 0.0 {
+            self.clock += debt;
+            self.stats.recovery_time += debt;
+            if let Some(o) = &self.obs {
+                o.virt_add(VirtAcc::Recovery, debt);
+            }
+        }
+        debt
+    }
 }
 
 impl Drop for TcpComm {
     fn drop(&mut self) {
         let _ = self.flush_holdbacks();
-        // Dropping `writers` ends each writer thread's queue; writers flush
-        // what is queued, then send FIN. Readers drain to end-of-stream.
+        // Release the writer threads: they flush what is queued, then send
+        // FIN; readers drain to end-of-stream. With recovery active the
+        // reader threads hold queue senders too (replay injection), so
+        // dropping this endpoint's senders does not close the channels —
+        // hand every writer the explicit flush-and-exit sentinel instead.
+        for tx in self.writers.iter().flatten() {
+            let _ = tx.send(Vec::new());
+        }
     }
 }
 
@@ -871,6 +1321,11 @@ where
 
     let scheme = options.scheme;
     let fault = options.fault.clone().map(Arc::new);
+    // In-process recovery mirrors the threaded engine exactly: a shared
+    // replay-log matrix and a run-wide restore budget.
+    let recovery_opts = options.recovery;
+    let replay_logs = recovery_opts.map(|_| new_replay_logs(size));
+    let recovery_budget = recovery_opts.map(|r| Arc::new(AtomicU64::new(r.max_recoveries)));
     let monitor = Arc::new(Monitor::new(size));
     let f = Arc::new(f);
     let (done_tx, done_rx) = channel();
@@ -885,11 +1340,13 @@ where
             .map(|reg| RankObs::new(reg.clone(), rank));
         let trace = options.trace;
         let rdv_addr = rdv_addr.clone();
+        let rank_logs = replay_logs.clone();
+        let rank_budget = recovery_budget.clone();
         thread::Builder::new()
             .name(format!("tilecc-tcp-rank-{rank}"))
             .spawn(move || {
                 let connect_t0 = Instant::now();
-                let mesh = match connect_mesh(rank, size, &rdv_addr) {
+                let mesh = match connect_mesh(rank, size, &rdv_addr, "127.0.0.1:0") {
                     Ok(mesh) => mesh,
                     Err(error) => {
                         monitor_for_rank.set(rank, RankPhase::Done);
@@ -916,11 +1373,29 @@ where
                         trace,
                         obs,
                         connect_ns: connect_t0.elapsed().as_nanos() as u64,
+                        replay_logs: rank_logs,
+                        recovery: recovery_opts.map(|r| {
+                            TcpRecovery::InProcess(RecoveryCtl {
+                                interval: r.interval.max(1),
+                                budget: rank_budget.clone().expect("budget set with recovery"),
+                                ckpt: None,
+                                resend_skip: vec![0; size],
+                                debt: 0.0,
+                                used: 0,
+                            })
+                        }),
                     },
                     mesh.peers,
                     monitor_for_rank.clone(),
                 );
-                let outcome = catch_unwind(AssertUnwindSafe(|| f(&mut comm)));
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    let r = f(&mut comm);
+                    // Charge the accumulated recovery debt once, at the end:
+                    // every message timestamp stayed bitwise fault-free, and
+                    // the final clock is fault-free time + recovery time.
+                    comm.settle_recovery();
+                    r
+                }));
                 monitor_for_rank.set(rank, RankPhase::Done);
                 let end = match outcome {
                     Ok(r) => RankEnd::Ok(r),
@@ -966,6 +1441,54 @@ pub struct WorkerConfig {
     /// Engine options; `scheme`, `fault`, `trace`, and `obs` apply
     /// (watchdog fields are the driver's job in the multi-process model).
     pub options: EngineOptions,
+    /// Local address (`host:port`, usually port 0) to bind the mesh
+    /// listener on; loopback by default.
+    pub bind_addr: String,
+    /// Heartbeat cadence to the driver (pair it with the driver's
+    /// dead-peer timeout: the timeout must comfortably exceed this).
+    pub heartbeat: Duration,
+    /// Checkpoint/recovery policy (`None` disables checkpointing).
+    pub ckpt: Option<WorkerCkptConfig>,
+}
+
+impl WorkerConfig {
+    /// A worker with default transport knobs: loopback bind, the default
+    /// heartbeat cadence, no checkpointing.
+    pub fn new(
+        rank: usize,
+        size: usize,
+        rendezvous: String,
+        model: MachineModel,
+        options: EngineOptions,
+    ) -> WorkerConfig {
+        WorkerConfig {
+            rank,
+            size,
+            rendezvous,
+            model,
+            options,
+            bind_addr: "127.0.0.1:0".into(),
+            heartbeat: HEARTBEAT_PERIOD,
+            ckpt: None,
+        }
+    }
+}
+
+/// Checkpoint/recovery policy for one worker process.
+#[derive(Clone, Debug)]
+pub struct WorkerCkptConfig {
+    /// Checkpoint file, atomically replaced at each checkpoint.
+    pub path: PathBuf,
+    /// Chain steps between checkpoints (min 1).
+    pub interval: u64,
+    /// Resume from `path` instead of starting fresh — set by the driver on
+    /// every worker of a restarted (restart-the-world) run. A missing file
+    /// resumes from position zero, which is only possible when the process
+    /// died before its first checkpoint.
+    pub resume: bool,
+    /// Restores this rank has undergone (the driver's respawn count),
+    /// surfaced as `CommStats::recoveries`.
+    pub recovered: u64,
 }
 
 /// A worker's channel back to the driver after a successful run: used to
@@ -1004,29 +1527,38 @@ impl WorkerHandle {
     }
 }
 
-/// Encode a typed [`CommError`] into `ERROR`-frame scalars `(tag,
-/// nominal)`; the inverse of [`decode_comm_error`].
-fn encode_comm_error(e: &CommError) -> (i64, u64) {
+/// Encode a typed [`CommError`] into `ERROR`-frame scalars `(tag, nominal,
+/// aux)` — `aux` rides in the frame's otherwise-unused `ready_at` slot and
+/// carries [`CommError::RetransmitExhausted`]'s tag as a bit pattern; the
+/// inverse of [`decode_comm_error`].
+fn encode_comm_error(e: &CommError) -> (i64, u64, f64) {
     match e {
-        CommError::Disconnected { peer } => (1, *peer as u64),
-        CommError::Unreachable { peer, attempts } => {
-            (2, (*peer as u64) | ((*attempts as u64) << 32))
-        }
-        CommError::Aborted => (3, 0),
-        CommError::PeerDisconnected { rank } => (4, *rank as u64),
-        CommError::Transport { .. } => (5, 0),
+        CommError::Disconnected { peer } => (1, *peer as u64, 0.0),
+        CommError::RetransmitExhausted {
+            rank,
+            tag,
+            attempts,
+        } => (
+            2,
+            (*rank as u64) | ((*attempts as u64) << 32),
+            f64::from_bits(*tag as u64),
+        ),
+        CommError::Aborted => (3, 0, 0.0),
+        CommError::PeerDisconnected { rank } => (4, *rank as u64, 0.0),
+        CommError::Transport { .. } => (5, 0, 0.0),
     }
 }
 
 /// Reconstruct a typed [`CommError`] from `ERROR`-frame scalars; the
 /// payload text supplies [`CommError::Transport`]'s detail.
-fn decode_comm_error(tag: i64, nominal: u64, text: &str) -> CommError {
+fn decode_comm_error(tag: i64, nominal: u64, aux: f64, text: &str) -> CommError {
     match tag {
         1 => CommError::Disconnected {
             peer: (nominal & 0xFFFF_FFFF) as usize,
         },
-        2 => CommError::Unreachable {
-            peer: (nominal & 0xFFFF_FFFF) as usize,
+        2 => CommError::RetransmitExhausted {
+            rank: (nominal & 0xFFFF_FFFF) as usize,
+            tag: aux.to_bits() as i64,
             attempts: (nominal >> 32) as u32,
         },
         3 => CommError::Aborted,
@@ -1039,14 +1571,292 @@ fn decode_comm_error(tag: i64, nominal: u64, text: &str) -> CommError {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Checkpoint files
+// ---------------------------------------------------------------------------
+
+/// Magic prefix of a worker checkpoint file.
+const CKPT_MAGIC: [u8; 4] = *b"TCKP";
+/// Checkpoint file format version.
+const CKPT_VERSION: u16 = 1;
+
+fn push_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_f64(buf: &mut Vec<u8>, v: f64) {
+    push_u64(buf, v.to_bits());
+}
+
+fn push_env(buf: &mut Vec<u8>, env: &Envelope) {
+    push_u64(buf, env.tag as u64);
+    push_u64(buf, env.seq);
+    push_f64(buf, env.ready_at);
+    push_u64(buf, env.bytes as u64);
+    push_u64(buf, env.payload.len() as u64);
+    for v in &env.payload {
+        push_f64(buf, *v);
+    }
+}
+
+/// Serialize a worker checkpoint: the endpoint snapshot plus this rank's
+/// outgoing replay-log row, all little-endian with `f64`s as bit patterns,
+/// so a resumed run is bitwise identical to an uninterrupted one.
+fn encode_ckpt(ckpt: &CkptState, row: &[(u64, Vec<Envelope>)]) -> Vec<u8> {
+    let mut b = Vec::new();
+    b.extend_from_slice(&CKPT_MAGIC);
+    b.extend_from_slice(&CKPT_VERSION.to_le_bytes());
+    push_u64(&mut b, ckpt.chain_pos);
+    push_u64(&mut b, ckpt.app.len() as u64);
+    b.extend_from_slice(&ckpt.app);
+    push_f64(&mut b, ckpt.clock);
+    push_f64(&mut b, ckpt.comm_lane);
+    push_f64(&mut b, ckpt.lane_busy);
+    let st = &ckpt.stats;
+    push_u64(&mut b, st.messages_sent);
+    push_u64(&mut b, st.bytes_sent);
+    push_u64(&mut b, st.messages_received);
+    push_u64(&mut b, st.bytes_received);
+    push_f64(&mut b, st.wait_time);
+    push_f64(&mut b, st.compute_time);
+    push_u64(&mut b, st.retransmissions);
+    push_f64(&mut b, st.retrans_time);
+    push_u64(&mut b, st.duplicates_suppressed);
+    push_u64(&mut b, st.recoveries);
+    push_f64(&mut b, st.recovery_time);
+    push_u64(&mut b, ckpt.next.len() as u64);
+    for &v in &ckpt.next {
+        push_u64(&mut b, v);
+    }
+    for &v in &ckpt.expect {
+        push_u64(&mut b, v);
+    }
+    for peer in &ckpt.pending {
+        push_u64(&mut b, peer.len() as u64);
+        for env in peer {
+            push_env(&mut b, env);
+        }
+    }
+    match &ckpt.counters {
+        Some(cs) => {
+            push_u64(&mut b, 1);
+            push_u64(&mut b, cs.len() as u64);
+            for &c in cs {
+                push_u64(&mut b, c);
+            }
+        }
+        None => push_u64(&mut b, 0),
+    }
+    match &ckpt.virts {
+        Some(vs) => {
+            push_u64(&mut b, 1);
+            push_u64(&mut b, vs.len() as u64);
+            for &v in vs {
+                push_f64(&mut b, v);
+            }
+        }
+        None => push_u64(&mut b, 0),
+    }
+    for (base, items) in row {
+        push_u64(&mut b, *base);
+        push_u64(&mut b, items.len() as u64);
+        for env in items {
+            push_env(&mut b, env);
+        }
+    }
+    b
+}
+
+/// Bounds-checked little-endian reader over a checkpoint file.
+struct CkptCursor<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> CkptCursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.at + n > self.buf.len() {
+            return Err("truncated checkpoint file".into());
+        }
+        let slice = &self.buf[self.at..self.at + n];
+        self.at += n;
+        Ok(slice)
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("slice size"),
+        ))
+    }
+
+    fn f64(&mut self) -> Result<f64, String> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn env(&mut self) -> Result<Envelope, String> {
+        let tag = self.u64()? as i64;
+        let seq = self.u64()?;
+        let ready_at = self.f64()?;
+        let bytes = self.u64()? as usize;
+        let n = self.u64()? as usize;
+        let mut payload = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            payload.push(self.f64()?);
+        }
+        Ok(Envelope {
+            payload,
+            tag,
+            ready_at,
+            seq,
+            bytes,
+        })
+    }
+}
+
+/// Deserialize a worker checkpoint; the inverse of [`encode_ckpt`]. The
+/// worker's trace restarts empty on respawn, so `trace_len` is zero.
+#[allow(clippy::type_complexity)]
+fn decode_ckpt(bytes: &[u8]) -> Result<(CkptState, Vec<(u64, Vec<Envelope>)>), String> {
+    let mut c = CkptCursor { buf: bytes, at: 0 };
+    if c.take(4)? != CKPT_MAGIC {
+        return Err("bad checkpoint magic".into());
+    }
+    let version = u16::from_le_bytes(c.take(2)?.try_into().expect("slice size"));
+    if version != CKPT_VERSION {
+        return Err(format!(
+            "checkpoint version {version} (this build reads {CKPT_VERSION})"
+        ));
+    }
+    let chain_pos = c.u64()?;
+    let app_len = c.u64()? as usize;
+    let app = c.take(app_len)?.to_vec();
+    let clock = c.f64()?;
+    let comm_lane = c.f64()?;
+    let lane_busy = c.f64()?;
+    let stats = CommStats {
+        messages_sent: c.u64()?,
+        bytes_sent: c.u64()?,
+        messages_received: c.u64()?,
+        bytes_received: c.u64()?,
+        wait_time: c.f64()?,
+        compute_time: c.f64()?,
+        retransmissions: c.u64()?,
+        retrans_time: c.f64()?,
+        duplicates_suppressed: c.u64()?,
+        recoveries: c.u64()?,
+        recovery_time: c.f64()?,
+    };
+    let size = c.u64()? as usize;
+    let mut next = Vec::with_capacity(size);
+    for _ in 0..size {
+        next.push(c.u64()?);
+    }
+    let mut expect = Vec::with_capacity(size);
+    for _ in 0..size {
+        expect.push(c.u64()?);
+    }
+    let mut pending = Vec::with_capacity(size);
+    for _ in 0..size {
+        let n = c.u64()? as usize;
+        let mut envs = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            envs.push(c.env()?);
+        }
+        pending.push(envs);
+    }
+    let counters = if c.u64()? == 1 {
+        let n = c.u64()? as usize;
+        let mut cs = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            cs.push(c.u64()?);
+        }
+        Some(cs)
+    } else {
+        None
+    };
+    let virts = if c.u64()? == 1 {
+        let n = c.u64()? as usize;
+        let mut vs = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            vs.push(c.f64()?);
+        }
+        Some(vs)
+    } else {
+        None
+    };
+    let mut row = Vec::with_capacity(size);
+    for _ in 0..size {
+        let base = c.u64()?;
+        let n = c.u64()? as usize;
+        let mut items = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            items.push(c.env()?);
+        }
+        row.push((base, items));
+    }
+    Ok((
+        CkptState {
+            chain_pos,
+            app,
+            clock,
+            comm_lane,
+            lane_busy,
+            stats,
+            next,
+            expect,
+            pending,
+            trace_len: 0,
+            counters,
+            virts,
+        },
+        row,
+    ))
+}
+
+/// Atomically replace the checkpoint file (sibling tmp + rename), so a
+/// crash mid-write can never leave a torn checkpoint behind.
+fn write_ckpt_file(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, bytes)?;
+    std::fs::rename(&tmp, path)
+}
+
+/// Test hook: `TILECC_CRASH_KILL="<rank>:<n>"` hard-kills worker `rank`
+/// at its `n`-th checkpoint, so integration tests (and the CI recovery
+/// smoke job) can exercise real process death and respawn.
+fn kill_at_from_env(rank: usize) -> Option<u64> {
+    let spec = std::env::var("TILECC_CRASH_KILL").ok()?;
+    let (r, n) = spec.split_once(':')?;
+    if r.trim().parse::<usize>().ok()? != rank {
+        return None;
+    }
+    n.trim().parse::<u64>().ok()
+}
+
+/// SIGKILL this process — no unwinding, no flushing: the hardest death a
+/// worker can die short of pulling the plug.
+fn kill_self() -> ! {
+    let pid = std::process::id().to_string();
+    let _ = std::process::Command::new("kill")
+        .arg("-9")
+        .arg(&pid)
+        .status();
+    // SIGKILL cannot be handled, so reaching this line means the `kill`
+    // binary was unavailable; abort is the closest stand-in.
+    std::process::abort();
+}
+
 /// Heartbeat thread: ship this rank's phase and progress counter to the
-/// driver every [`HEARTBEAT_PERIOD`] so the multi-process watchdog can see
-/// blocked/running states exactly like the threaded engine's monitor.
+/// driver every `period` (default [`HEARTBEAT_PERIOD`]) so the
+/// multi-process watchdog can see blocked/running states exactly like the
+/// threaded engine's monitor — and so the driver's dead-peer timeout can
+/// tell a slow worker from a dead one.
 fn spawn_heartbeat(
     rank: usize,
     control: Arc<Mutex<TcpStream>>,
     monitor: Arc<Monitor>,
     stop: Arc<AtomicBool>,
+    period: Duration,
 ) -> JoinHandle<()> {
     thread::Builder::new()
         .name(format!("tilecc-tcp-hb-{rank}"))
@@ -1068,7 +1878,7 @@ fn spawn_heartbeat(
                         return; // Driver gone; the run is over either way.
                     }
                 }
-                thread::sleep(HEARTBEAT_PERIOD);
+                thread::sleep(period);
             }
         })
         .expect("failed to spawn heartbeat thread")
@@ -1096,7 +1906,7 @@ where
     install_quiet_panic_hook();
     let rank = cfg.rank;
     let connect_t0 = Instant::now();
-    let mesh = connect_mesh(rank, cfg.size, &cfg.rendezvous)
+    let mesh = connect_mesh(rank, cfg.size, &cfg.rendezvous, &cfg.bind_addr)
         .map_err(|error| RunError::Comm { rank, error })?;
     let connect_ns = connect_t0.elapsed().as_nanos() as u64;
     let control = Arc::new(Mutex::new(mesh.control.try_clone().map_err(|e| {
@@ -1110,13 +1920,66 @@ where
     let _control_keepalive = mesh.control;
     let monitor = Arc::new(Monitor::new(cfg.size));
     let stop = Arc::new(AtomicBool::new(false));
-    let heartbeat = spawn_heartbeat(rank, control.clone(), monitor.clone(), stop.clone());
+    let heartbeat = spawn_heartbeat(
+        rank,
+        control.clone(),
+        monitor.clone(),
+        stop.clone(),
+        cfg.heartbeat,
+    );
     let obs = cfg.options.obs.as_ref().map(|reg| {
         // Force the registry to the full world size so per-rank exports
         // index consistently even though only our slot is written.
         let _ = reg.rank_metrics(cfg.size.saturating_sub(1));
         RankObs::new(reg.clone(), rank)
     });
+    // Checkpointing: load any previous checkpoint file up front (resumed
+    // runs), seed this rank's replay-log row from it, and arm the kill
+    // hook on first lives only.
+    let mut resume_data = None;
+    let (replay_logs, recovery) = match &cfg.ckpt {
+        Some(ck) => {
+            let logs = new_replay_logs(cfg.size);
+            // A missing file is fine: the process died before its first
+            // checkpoint and resumes from position zero with zero frontiers.
+            if ck.resume {
+                if let Ok(bytes) = std::fs::read(&ck.path) {
+                    match decode_ckpt(&bytes) {
+                        Ok(data) => resume_data = Some(data),
+                        Err(detail) => {
+                            return Err(RunError::Comm {
+                                rank,
+                                error: transport_error("checkpoint restore", detail),
+                            })
+                        }
+                    }
+                }
+            }
+            if let Some((_, row)) = &resume_data {
+                for (to, (base, items)) in row.iter().enumerate() {
+                    if to != rank {
+                        *logs[rank][to].lock().expect("replay log poisoned") =
+                            ReplayLog::restore(*base, items.clone());
+                    }
+                }
+            }
+            let recovery = TcpRecovery::Worker(WorkerRecovery {
+                interval: ck.interval.max(1),
+                path: ck.path.clone(),
+                resume: resume_data.as_ref().map(|(ckpt, _)| Restored {
+                    chain_pos: ckpt.chain_pos,
+                    app: ckpt.app.clone(),
+                }),
+                resume_run: ck.resume,
+                resend_skip: vec![0; cfg.size],
+                resume_rx: None,
+                ckpts_taken: 0,
+                kill_at: kill_at_from_env(rank),
+            });
+            (Some(logs), Some(recovery))
+        }
+        None => (None, None),
+    };
     let (mut comm, writer_handles) = TcpComm::build(
         TcpCommConfig {
             rank,
@@ -1127,10 +1990,46 @@ where
             trace: cfg.options.trace,
             obs,
             connect_ns,
+            replay_logs,
+            recovery,
         },
         mesh.peers,
         monitor.clone(),
     );
+    if let Some((ckpt, _)) = resume_data {
+        // Rewind the fresh endpoint onto the checkpoint: clock, lanes,
+        // statistics, reliability frontiers, tag-matching buffers, and the
+        // observability counters — the resumed run continues bitwise.
+        comm.clock = ckpt.clock;
+        comm.comm_lane = ckpt.comm_lane;
+        comm.lane_busy = ckpt.lane_busy;
+        comm.stats = ckpt.stats;
+        comm.links.rewind(&ckpt.next, &ckpt.expect);
+        comm.pending = ckpt.pending;
+        if let Some(o) = &comm.obs {
+            let m = o.metrics();
+            if let Some(counters) = &ckpt.counters {
+                for (&c, &v) in Counter::ALL.iter().zip(counters) {
+                    m.set(c, v);
+                }
+            }
+            if let Some(virts) = &ckpt.virts {
+                for (&a, &v) in VirtAcc::ALL.iter().zip(virts) {
+                    m.virt_set(a, v);
+                }
+            }
+        }
+    }
+    if let Some(ck) = &cfg.ckpt {
+        comm.stats.recoveries = ck.recovered;
+        if ck.recovered > 0 {
+            // This rank's injected crash already fired in a previous life;
+            // a respawned process must not re-fire it after the rewind.
+            comm.crash_at = None;
+        }
+    }
+    comm.worker_resume_barrier()
+        .map_err(|error| RunError::Comm { rank, error })?;
     let outcome = catch_unwind(AssertUnwindSafe(|| f(&mut comm)));
     monitor.set(rank, RankPhase::Done);
     let (clock, stats) = (comm.clock, comm.stats);
@@ -1158,9 +2057,10 @@ where
             match &error {
                 RunError::Comm { error: e, .. } => {
                     frame.seq = 2;
-                    let (tag, nominal) = encode_comm_error(e);
+                    let (tag, nominal, aux) = encode_comm_error(e);
                     frame.tag = tag;
                     frame.nominal = nominal;
+                    frame.ready_at = aux;
                     frame.payload = e.to_string().into_bytes();
                 }
                 RunError::RankPanicked { payload, .. } => {
@@ -1204,6 +2104,9 @@ struct WorkerSlot {
     dead: bool,
     progress: u64,
     phase: RankPhase,
+    /// Wall time of the last byte read off the control socket; heartbeats
+    /// keep it fresh, so a slow-but-alive worker is never declared dead.
+    last_seen: Instant,
 }
 
 impl WorkerSlot {
@@ -1220,7 +2123,10 @@ impl WorkerSlot {
                     self.dead = true;
                     break;
                 }
-                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Ok(n) => {
+                    self.last_seen = Instant::now();
+                    self.buf.extend_from_slice(&chunk[..n]);
+                }
                 Err(e)
                     if e.kind() == std::io::ErrorKind::WouldBlock
                         || e.kind() == std::io::ErrorKind::TimedOut =>
@@ -1279,7 +2185,7 @@ impl WorkerSlot {
                 let error = if frame.seq == 2 {
                     RunError::Comm {
                         rank,
-                        error: decode_comm_error(frame.tag, frame.nominal, &text),
+                        error: decode_comm_error(frame.tag, frame.nominal, frame.ready_at, &text),
                     }
                 } else {
                     RunError::RankPanicked {
@@ -1328,6 +2234,7 @@ pub fn collect_workers(
     controls: Vec<TcpStream>,
     wall_timeout: Option<Duration>,
     deadlock_detection: bool,
+    peer_timeout: Option<Duration>,
 ) -> Result<Vec<WorkerReport>, RunError> {
     let size = controls.len();
     let started = Instant::now();
@@ -1345,6 +2252,7 @@ pub fn collect_workers(
             dead: false,
             progress: 0,
             phase: RankPhase::Running,
+            last_seen: Instant::now(),
         });
     }
 
@@ -1353,6 +2261,20 @@ pub fn collect_workers(
     loop {
         for slot in &mut slots {
             slot.poll();
+        }
+        // Heartbeat watchdog: a control socket silent past the dead-peer
+        // timeout means the worker process is gone (heartbeats flow every
+        // [`HEARTBEAT_PERIOD`] while it lives, even when blocked).
+        if let Some(timeout) = peer_timeout {
+            for slot in &mut slots {
+                if !slot.dead
+                    && slot.report.is_none()
+                    && slot.failure.is_none()
+                    && slot.last_seen.elapsed() >= timeout
+                {
+                    slot.dead = true;
+                }
+            }
         }
         if slots.iter().all(|s| s.report.is_some()) {
             break;
@@ -1432,13 +2354,16 @@ pub fn collect_workers(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::threaded::{InjectedCrash, RecoveryOptions};
+    use std::panic::resume_unwind;
 
     #[test]
     fn comm_error_codes_round_trip() {
         let cases = [
             CommError::Disconnected { peer: 3 },
-            CommError::Unreachable {
-                peer: 2,
+            CommError::RetransmitExhausted {
+                rank: 2,
+                tag: -7,
                 attempts: 65,
             },
             CommError::Aborted,
@@ -1448,13 +2373,259 @@ mod tests {
             },
         ];
         for e in cases {
-            let (tag, nominal) = encode_comm_error(&e);
+            let (tag, nominal, aux) = encode_comm_error(&e);
             let text = match &e {
                 CommError::Transport { detail } => detail.clone(),
                 other => other.to_string(),
             };
-            assert_eq!(decode_comm_error(tag, nominal, &text), e);
+            assert_eq!(decode_comm_error(tag, nominal, aux, &text), e);
         }
+    }
+
+    #[test]
+    fn checkpoint_file_round_trips() {
+        let env = |seq| Envelope {
+            payload: vec![1.5, -0.0],
+            tag: 3,
+            ready_at: 2.5,
+            seq,
+            bytes: 16,
+        };
+        let ckpt = CkptState {
+            chain_pos: 4,
+            app: vec![1, 2, 3],
+            clock: 1.25,
+            comm_lane: 2.5,
+            lane_busy: 0.5,
+            stats: CommStats {
+                messages_sent: 7,
+                bytes_sent: 112,
+                messages_received: 6,
+                bytes_received: 96,
+                wait_time: 0.25,
+                compute_time: 3.5,
+                retransmissions: 2,
+                retrans_time: 0.125,
+                duplicates_suppressed: 1,
+                recoveries: 1,
+                recovery_time: 0.0,
+            },
+            next: vec![0, 9],
+            expect: vec![0, 8],
+            pending: vec![Vec::new(), vec![env(5)]],
+            trace_len: 0,
+            counters: Some(vec![11; Counter::ALL.len()]),
+            virts: Some(vec![0.5; VirtAcc::ALL.len()]),
+        };
+        let row = vec![(0u64, Vec::new()), (7u64, vec![env(7), env(8)])];
+        let bytes = encode_ckpt(&ckpt, &row);
+        let (back, back_row) = decode_ckpt(&bytes).unwrap();
+        assert_eq!(back.chain_pos, 4);
+        assert_eq!(back.app, vec![1, 2, 3]);
+        assert_eq!(back.clock.to_bits(), ckpt.clock.to_bits());
+        assert_eq!(back.stats, ckpt.stats);
+        assert_eq!(back.next, ckpt.next);
+        assert_eq!(back.expect, ckpt.expect);
+        assert_eq!(back.pending[1][0].seq, 5);
+        assert_eq!(back.pending[1][0].payload[1].to_bits(), (-0.0f64).to_bits());
+        assert_eq!(back.counters, ckpt.counters);
+        assert_eq!(back.virts, ckpt.virts);
+        assert_eq!(back_row[1].0, 7);
+        assert_eq!(back_row[1].1.len(), 2);
+        assert_eq!(back_row[1].1[1].seq, 8);
+        // Truncation is an error, never a panic.
+        assert!(decode_ckpt(&bytes[..bytes.len() - 3]).is_err());
+        assert!(decode_ckpt(b"TCKQ").is_err());
+    }
+
+    /// The threaded recovery suite's ring, over sockets: checkpoints every
+    /// `recovery_interval` rounds and restores from injected crashes.
+    fn resilient_ring(comm: &mut TcpComm, rounds: u64) -> f64 {
+        let k = comm.recovery_interval().unwrap_or(u64::MAX);
+        let mut pos = 0u64;
+        let mut acc = (comm.rank() + 1) as f64;
+        loop {
+            let attempt = catch_unwind(AssertUnwindSafe(|| {
+                let (r, n) = (comm.rank(), comm.size());
+                let mut acc = acc;
+                for round in pos..rounds {
+                    if round % k == 0 {
+                        comm.checkpoint(round, &acc.to_bits().to_le_bytes());
+                    }
+                    comm.advance_compute(10 + r as u64);
+                    comm.send_tagged((r + 1) % n, round as i64, vec![acc, acc * 0.5], 16);
+                    let got = comm.recv_tagged((r + n - 1) % n, round as i64);
+                    acc += got[0] * 0.25 + got[1];
+                }
+                acc
+            }));
+            match attempt {
+                Ok(v) => return v,
+                Err(payload) => {
+                    if payload.downcast_ref::<InjectedCrash>().is_some() {
+                        if let Some(res) = comm.try_restore() {
+                            pos = res.chain_pos;
+                            acc = f64::from_bits(u64::from_le_bytes(
+                                res.app[..8].try_into().expect("8-byte app snapshot"),
+                            ));
+                            continue;
+                        }
+                    }
+                    resume_unwind(payload);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn injected_crash_recovers_in_process_tcp_bitwise() {
+        let model = MachineModel::fast_ethernet_p3();
+        let run = |fault: Option<FaultPlan>, recovery: Option<RecoveryOptions>| {
+            run_cluster_tcp(
+                3,
+                model,
+                EngineOptions {
+                    fault,
+                    recovery,
+                    ..EngineOptions::default()
+                },
+                |comm| resilient_ring(comm, 9),
+            )
+        };
+        let clean = run(None, None).unwrap();
+        let crash_at = clean.makespan() * 0.5;
+        let recovered = run(
+            Some(FaultPlan::default().with_crash(1, crash_at)),
+            Some(RecoveryOptions {
+                interval: 3,
+                max_recoveries: 1,
+            }),
+        )
+        .unwrap();
+        for r in 0..3 {
+            assert_eq!(
+                clean.results[r].to_bits(),
+                recovered.results[r].to_bits(),
+                "rank {r} data"
+            );
+            // The settle step adds the recovery debt once at the end, so
+            // the identity is exact in floating point, not just to 1e-9.
+            assert_eq!(
+                (clean.local_times[r] + recovered.stats[r].recovery_time).to_bits(),
+                recovered.local_times[r].to_bits(),
+                "rank {r} clock"
+            );
+        }
+        assert_eq!(recovered.stats[1].recoveries, 1);
+        assert!(recovered.stats[1].recovery_time > 0.0);
+        assert_eq!(recovered.stats[0].recoveries, 0);
+    }
+
+    #[test]
+    fn crash_overlapping_chaos_recovers_the_checksum_over_tcp() {
+        let model = MachineModel::fast_ethernet_p3();
+        let clean = run_cluster_tcp(3, model, EngineOptions::default(), |comm| {
+            resilient_ring(comm, 9)
+        })
+        .unwrap();
+        let crash_at = clean.makespan() * 0.4;
+        let chaotic = run_cluster_tcp(
+            3,
+            model,
+            EngineOptions {
+                fault: Some(FaultPlan::chaos(0xC0FFEE, 0.3).with_crash(1, crash_at)),
+                recovery: Some(RecoveryOptions {
+                    interval: 3,
+                    max_recoveries: 2,
+                }),
+                ..EngineOptions::default()
+            },
+            |comm| resilient_ring(comm, 9),
+        )
+        .unwrap();
+        // Chaos perturbs clocks (retransmission charges) but never data.
+        for r in 0..3 {
+            assert_eq!(
+                clean.results[r].to_bits(),
+                chaotic.results[r].to_bits(),
+                "rank {r} data"
+            );
+        }
+        assert!(chaotic.stats[1].recoveries >= 1);
+    }
+
+    #[test]
+    fn slow_but_alive_worker_is_not_declared_dead() {
+        let rdv = Rendezvous::bind().unwrap();
+        let addr = rdv.addr().to_string();
+        let worker = thread::spawn(move || {
+            let mut cfg = WorkerConfig::new(
+                0,
+                1,
+                addr,
+                MachineModel::fast_ethernet_p3(),
+                EngineOptions::default(),
+            );
+            cfg.heartbeat = Duration::from_millis(10);
+            let (out, t, _stats, handle) = run_worker(&cfg, |comm| {
+                // Wall-slow but heartbeating: far past the driver's
+                // dead-peer timeout below.
+                thread::sleep(Duration::from_millis(800));
+                comm.advance_compute(10);
+                42u64
+            })
+            .unwrap();
+            handle.send_result(t, out.to_le_bytes().to_vec()).unwrap();
+            handle.wait_bye().unwrap();
+            out
+        });
+        let controls = rdv.coordinate(1, HANDSHAKE_TIMEOUT).unwrap();
+        let reports = collect_workers(
+            controls,
+            Some(Duration::from_secs(30)),
+            true,
+            Some(Duration::from_millis(200)),
+        )
+        .unwrap();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(worker.join().unwrap(), 42);
+    }
+
+    #[test]
+    fn silent_worker_is_declared_dead_after_the_peer_timeout() {
+        let rdv = Rendezvous::bind().unwrap();
+        let addr = rdv.addr();
+        // A fake worker that completes the rendezvous and then falls
+        // silent — no heartbeats, no result, socket held open.
+        let (ghost_done_tx, ghost_done_rx) = channel::<()>();
+        let ghost = thread::spawn(move || {
+            let mut control = TcpStream::connect(addr).unwrap();
+            let mut hello = Frame::control(FrameKind::Hello, 0);
+            hello.seq = 1;
+            hello.payload = b"127.0.0.1:1".to_vec();
+            wire::write_frame(&mut control, &hello).unwrap();
+            let addrs = wire::read_frame(&mut control).unwrap();
+            assert_eq!(addrs.kind, FrameKind::Addrs);
+            // Hold the socket open until the driver has given up on us.
+            let _ = ghost_done_rx.recv_timeout(Duration::from_secs(30));
+        });
+        let controls = rdv.coordinate(1, HANDSHAKE_TIMEOUT).unwrap();
+        let err = collect_workers(
+            controls,
+            Some(Duration::from_secs(30)),
+            false,
+            Some(Duration::from_millis(150)),
+        )
+        .unwrap_err();
+        match err {
+            RunError::RankPanicked { rank, payload } => {
+                assert_eq!(rank, 0);
+                assert!(payload.contains("without reporting"), "{payload}");
+            }
+            other => panic!("expected silent-death failure, got {other}"),
+        }
+        drop(ghost_done_tx);
+        ghost.join().unwrap();
     }
 
     #[test]

@@ -28,12 +28,12 @@
 //!   ([`RunError::WallTimeout`]) so a wedged run can never hang the caller
 //!   forever.
 
-use crate::comm::{Comm, CommAbort, CommStats, Envelope};
+use crate::comm::{Comm, CommAbort, CommStats, Envelope, Restored};
 use crate::error::{CommError, RunError};
 use crate::fault::{FaultPlan, RankStall};
 use crate::model::MachineModel;
 use crate::obs::{Counter, GaugeId, HistId, MetricsRegistry, Phase, RankObs, VirtAcc};
-use crate::reliability::{retransmit_pauses, Admit, LinkSeq};
+use crate::reliability::{retransmit_pauses, Admit, LinkSeq, ReplayLog};
 use crate::trace::{Event, Trace};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -107,6 +107,19 @@ impl<R> RunReport<R> {
     pub fn total_duplicates_suppressed(&self) -> u64 {
         self.stats.iter().map(|s| s.duplicates_suppressed).sum()
     }
+
+    /// Aggregate checkpoint restores across all ranks (0 unless a crash
+    /// was recovered).
+    pub fn total_recoveries(&self) -> u64 {
+        self.stats.iter().map(|s| s.recoveries).sum()
+    }
+
+    /// Aggregate virtual seconds charged to crash recovery across all
+    /// ranks. Subtracting each rank's share from its local clock recovers
+    /// the fault-free clock bitwise.
+    pub fn total_recovery_time(&self) -> f64 {
+        self.stats.iter().map(|s| s.recovery_time).sum()
+    }
 }
 
 /// Communication scheme for the virtual-time model.
@@ -129,6 +142,32 @@ pub enum CommScheme {
     Overlapped,
 }
 
+/// Crash-recovery policy: checkpoint cadence and the shared restore budget.
+///
+/// With a policy attached the executor calls [`Comm::checkpoint`] every
+/// `interval` completed chain steps, and an injected crash rewinds the rank
+/// to its latest checkpoint instead of killing the run — as long as the
+/// run-wide `max_recoveries` budget is not exhausted. Recovered runs stay
+/// bitwise identical to fault-free ones: the re-executed virtual time is
+/// charged to the `recovery` accumulator at the end of the run, never to
+/// individual message timestamps.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecoveryOptions {
+    /// Take a checkpoint every `interval` chain steps (min 1).
+    pub interval: u64,
+    /// Total restores permitted across all ranks of the run.
+    pub max_recoveries: u64,
+}
+
+impl Default for RecoveryOptions {
+    fn default() -> Self {
+        RecoveryOptions {
+            interval: 4,
+            max_recoveries: 1,
+        }
+    }
+}
+
 /// Engine options: communication scheme, tracing, fault injection and the
 /// watchdog configuration.
 #[derive(Clone, Debug)]
@@ -139,6 +178,8 @@ pub struct EngineOptions {
     pub trace: bool,
     /// Deterministic fault-injection plan (`None` = perfect substrate).
     pub fault: Option<FaultPlan>,
+    /// Crash-recovery policy (`None` = a crash fails the run).
+    pub recovery: Option<RecoveryOptions>,
     /// Wall-clock cap on the whole run. `None` disables the cap. The
     /// default is `None` in release dependents and 60 s when this crate is
     /// compiled under `cfg(test)`, so the crate's own test suite can never
@@ -159,6 +200,7 @@ impl Default for EngineOptions {
             scheme: CommScheme::default(),
             trace: false,
             fault: None,
+            recovery: None,
             wall_timeout: default_wall_timeout(),
             deadlock_detection: true,
             obs: None,
@@ -186,6 +228,65 @@ pub struct InjectedCrash {
     pub at: f64,
     /// Virtual clock when the crash fired.
     pub clock: f64,
+}
+
+/// Shared sender-side replay logs: `logs[from][to]` retains the envelopes
+/// `from` pushed to `to` until `to`'s checkpoint acknowledges them.
+pub(crate) type ReplayLogs = Arc<Vec<Vec<Mutex<ReplayLog>>>>;
+
+/// A replay-log matrix for a world of `size` ranks (diagonal unused).
+pub(crate) fn new_replay_logs(size: usize) -> ReplayLogs {
+    Arc::new(
+        (0..size)
+            .map(|_| (0..size).map(|_| Mutex::new(ReplayLog::new())).collect())
+            .collect(),
+    )
+}
+
+/// One rank's checkpoint: everything needed to rewind the endpoint to a
+/// chain position and re-execute deterministically from there. Shared with
+/// the in-process TCP engine, which recovers at the same level.
+pub(crate) struct CkptState {
+    /// Chain position the checkpoint was taken at.
+    pub(crate) chain_pos: u64,
+    /// Opaque application snapshot (LDS values + logical counters).
+    pub(crate) app: Vec<u8>,
+    pub(crate) clock: f64,
+    pub(crate) comm_lane: f64,
+    pub(crate) lane_busy: f64,
+    pub(crate) stats: CommStats,
+    /// Outgoing sequence frontier per link.
+    pub(crate) next: Vec<u64>,
+    /// Incoming expected-sequence frontier per link.
+    pub(crate) expect: Vec<u64>,
+    /// Arrived-but-unmatched envelopes (MPI tag-matching buffers).
+    pub(crate) pending: Vec<Vec<Envelope>>,
+    /// Trace length, so restore can truncate re-executed events.
+    pub(crate) trace_len: usize,
+    /// Observability counter values at the checkpoint (`None` without obs).
+    pub(crate) counters: Option<Vec<u64>>,
+    /// Virtual-accumulator values at the checkpoint (`None` without obs).
+    pub(crate) virts: Option<Vec<f64>>,
+}
+
+/// Per-rank recovery state, shared by the threaded and in-process TCP
+/// engines.
+pub(crate) struct RecoveryCtl {
+    /// Checkpoint cadence requested from the executor.
+    pub(crate) interval: u64,
+    /// Run-wide remaining-restores budget, shared across ranks.
+    pub(crate) budget: Arc<AtomicU64>,
+    /// Latest checkpoint (overwritten each interval).
+    pub(crate) ckpt: Option<CkptState>,
+    /// Re-execution send frontier per outgoing link: sends with
+    /// `seq < resend_skip[to]` redo all virtual accounting but skip the
+    /// physical push — the receiver already holds those envelopes (either
+    /// delivered pre-crash or re-injected from the replay log).
+    pub(crate) resend_skip: Vec<u64>,
+    /// Virtual seconds rewound over, re-charged once at settle time.
+    pub(crate) debt: f64,
+    /// Restores performed by this rank.
+    pub(crate) used: u64,
 }
 
 /// What a rank is doing, as seen by the watchdog.
@@ -288,6 +389,10 @@ pub struct ThreadedComm {
     /// Buffered spans flush to the registry when the endpoint drops, which
     /// happens in the rank thread before its outcome is reported.
     obs: Option<RankObs>,
+    /// Shared sender-side replay logs (`Some` only with a recovery policy).
+    replay_logs: Option<ReplayLogs>,
+    /// Checkpoint/restore state (`Some` only with a recovery policy).
+    recovery: Option<RecoveryCtl>,
 }
 
 impl ThreadedComm {
@@ -424,12 +529,20 @@ impl Comm for ThreadedComm {
         let wall_t0 = self.obs.as_ref().map(|o| o.now_ns());
         let virt_t0 = self.clock;
         let seq = self.links.assign(to);
+        // Recovery re-execution: a send the receiver already holds (below
+        // the crash-time frontier) redoes every virtual charge and counter
+        // but must not be pushed again — see `RecoveryCtl::resend_skip`.
+        let skip_physical = self
+            .recovery
+            .as_ref()
+            .is_some_and(|r| seq < r.resend_skip[to]);
 
         // Reliability layer: simulate stop-and-wait ARQ over the lossy link.
         // Each dropped attempt charges the sender's clock the injection cost
         // plus an exponential backoff before the retransmission.
         if let Some(fault) = self.fault.clone() {
-            for pause in retransmit_pauses(&fault, &self.model, self.rank, to, seq, nominal_bytes)?
+            for pause in
+                retransmit_pauses(&fault, &self.model, self.rank, to, tag, seq, nominal_bytes)?
             {
                 self.stats.retransmissions += 1;
                 self.stats.retrans_time += pause;
@@ -520,27 +633,38 @@ impl Comm for ThreadedComm {
             }
             _ => (false, false),
         };
-        if reorder {
-            // Hold this envelope so the next message on the link overtakes
-            // it. A duplicate copy delivers immediately and doubles as the
-            // primary copy; an already-held envelope is released first — at
-            // most one hold per link.
-            if duplicate {
-                self.push_link(to, env.clone())?;
+        if !skip_physical {
+            // Retain the primary copy (post delay perturbation, so a replay
+            // reproduces the receiver's wait bitwise) until the receiver's
+            // checkpoint acknowledges it.
+            if let Some(logs) = &self.replay_logs {
+                logs[self.rank][to]
+                    .lock()
+                    .expect("replay log poisoned")
+                    .record(env.clone());
             }
-            if let Some(prev) = self.holdback[to].take() {
-                self.push_link_redundant(to, prev)?;
-            }
-            self.holdback[to] = Some(env);
-        } else {
-            if duplicate {
-                self.push_link(to, env.clone())?;
-                self.push_link_redundant(to, env)?;
+            if reorder {
+                // Hold this envelope so the next message on the link
+                // overtakes it. A duplicate copy delivers immediately and
+                // doubles as the primary copy; an already-held envelope is
+                // released first — at most one hold per link.
+                if duplicate {
+                    self.push_link(to, env.clone())?;
+                }
+                if let Some(prev) = self.holdback[to].take() {
+                    self.push_link_redundant(to, prev)?;
+                }
+                self.holdback[to] = Some(env);
             } else {
-                self.push_link(to, env)?;
-            }
-            if let Some(prev) = self.holdback[to].take() {
-                self.push_link_redundant(to, prev)?;
+                if duplicate {
+                    self.push_link(to, env.clone())?;
+                    self.push_link_redundant(to, env)?;
+                } else {
+                    self.push_link(to, env)?;
+                }
+                if let Some(prev) = self.holdback[to].take() {
+                    self.push_link_redundant(to, prev)?;
+                }
             }
         }
         if let Some(wall_t0) = wall_t0 {
@@ -675,6 +799,167 @@ impl Comm for ThreadedComm {
     fn obs(&mut self) -> Option<&mut RankObs> {
         self.obs.as_mut()
     }
+
+    fn recovery_interval(&self) -> Option<u64> {
+        self.recovery.as_ref().map(|r| r.interval)
+    }
+
+    fn checkpoint(&mut self, chain_pos: u64, app: &[u8]) {
+        if self.recovery.is_none() {
+            return;
+        }
+        // Snapshot observability state *before* counting the checkpoint, so
+        // a restore followed by a re-checkpoint at the same position counts
+        // it exactly once — like the fault-free run.
+        let (counters, virts) = match &self.obs {
+            Some(o) => {
+                let m = o.metrics();
+                (
+                    Some(Counter::ALL.iter().map(|&c| m.get(c)).collect()),
+                    Some(VirtAcc::ALL.iter().map(|&a| m.virt_get(a)).collect()),
+                )
+            }
+            None => (None, None),
+        };
+        let ckpt = CkptState {
+            chain_pos,
+            app: app.to_vec(),
+            clock: self.clock,
+            comm_lane: self.comm_lane,
+            lane_busy: self.lane_busy,
+            stats: self.stats,
+            next: self.links.next_frontier(),
+            expect: self.links.expect_frontier(),
+            pending: self.pending.clone(),
+            trace_len: self.trace.as_ref().map_or(0, |t| t.events.len()),
+            counters,
+            virts,
+        };
+        // The checkpoint acknowledges everything this rank has consumed:
+        // senders may drop those envelopes from their replay logs.
+        if let Some(logs) = &self.replay_logs {
+            for from in 0..self.size {
+                if from != self.rank {
+                    logs[from][self.rank]
+                        .lock()
+                        .expect("replay log poisoned")
+                        .trim_below(self.links.expect_of(from));
+                }
+            }
+        }
+        self.recovery.as_mut().expect("recovery checked above").ckpt = Some(ckpt);
+        if let Some(o) = &self.obs {
+            o.add(Counter::Checkpoints, 1);
+            if let Some(logs) = &self.replay_logs {
+                let depth: u64 = (0..self.size)
+                    .filter(|&to| to != self.rank)
+                    .map(|to| {
+                        logs[self.rank][to]
+                            .lock()
+                            .expect("replay log poisoned")
+                            .len() as u64
+                    })
+                    .sum();
+                o.gauge_set(GaugeId::ReplayLogDepth, depth);
+            }
+        }
+    }
+
+    fn try_restore(&mut self) -> Option<Restored> {
+        self.recovery.as_ref()?.ckpt.as_ref()?;
+        // Consume one unit of the run-wide restore budget.
+        {
+            let budget = &self.recovery.as_ref().expect("checked above").budget;
+            loop {
+                let left = budget.load(Ordering::SeqCst);
+                if left == 0 {
+                    return None;
+                }
+                if budget
+                    .compare_exchange(left, left - 1, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok()
+                {
+                    break;
+                }
+            }
+        }
+        // Crash-time reorder holds may contain envelopes the receiver still
+        // needs; release them before rewinding (their seq numbers lie past
+        // the checkpoint frontier, so re-execution will skip re-pushing).
+        let _ = self.flush_holdbacks();
+        let clock_crash = self.clock;
+        let next_crash = self.links.next_frontier();
+        let expect_crash = self.links.expect_frontier();
+
+        let rec = self.recovery.as_mut().expect("checked above");
+        let ckpt = rec.ckpt.as_ref().expect("checked above");
+        self.clock = ckpt.clock;
+        self.comm_lane = ckpt.comm_lane;
+        self.lane_busy = ckpt.lane_busy;
+        self.stats = ckpt.stats;
+        self.links.rewind(&ckpt.next, &ckpt.expect);
+        self.pending = ckpt.pending.clone();
+        if let Some(tr) = &mut self.trace {
+            tr.events.truncate(ckpt.trace_len);
+        }
+        if let Some(o) = &self.obs {
+            let m = o.metrics();
+            if let Some(counters) = &ckpt.counters {
+                for (&c, &v) in Counter::ALL.iter().zip(counters) {
+                    m.set(c, v);
+                }
+            }
+            if let Some(virts) = &ckpt.virts {
+                for (&a, &v) in VirtAcc::ALL.iter().zip(virts) {
+                    m.virt_set(a, v);
+                }
+            }
+        }
+        // Re-inject the lost in-flight window from the peers' replay logs:
+        // everything consumed between the checkpoint and the crash.
+        if let Some(logs) = &self.replay_logs {
+            for from in 0..self.size {
+                if from != self.rank {
+                    let replayed = logs[from][self.rank]
+                        .lock()
+                        .expect("replay log poisoned")
+                        .range(ckpt.expect[from], expect_crash[from]);
+                    for env in replayed {
+                        self.links.reinject(from, env);
+                    }
+                }
+            }
+        }
+        rec.resend_skip = next_crash;
+        rec.debt += clock_crash - ckpt.clock;
+        rec.used += 1;
+        let (chain_pos, app) = (ckpt.chain_pos, ckpt.app.clone());
+        let used = rec.used;
+        self.stats.recoveries = used;
+        // The crash fired; a restored rank does not re-crash.
+        self.crash_at = None;
+        if let Some(o) = &self.obs {
+            o.add(Counter::Recoveries, 1);
+        }
+        self.monitor.bump();
+        Some(Restored { chain_pos, app })
+    }
+
+    fn settle_recovery(&mut self) -> f64 {
+        let Some(rec) = self.recovery.as_mut() else {
+            return 0.0;
+        };
+        let debt = rec.debt;
+        rec.debt = 0.0;
+        if debt > 0.0 {
+            self.clock += debt;
+            self.stats.recovery_time += debt;
+            if let Some(o) = &self.obs {
+                o.virt_add(VirtAcc::Recovery, debt);
+            }
+        }
+        debt
+    }
 }
 
 impl Drop for ThreadedComm {
@@ -792,6 +1077,10 @@ where
     install_quiet_panic_hook();
     let scheme = options.scheme;
     let fault = options.fault.clone().map(Arc::new);
+    let replay_logs = options.recovery.map(|_| new_replay_logs(size));
+    let recovery_budget = options
+        .recovery
+        .map(|r| Arc::new(AtomicU64::new(r.max_recoveries)));
     // Channel matrix: channels[from][to].
     let mut senders: Vec<Vec<Option<Sender<Envelope>>>> = (0..size)
         .map(|_| (0..size).map(|_| None).collect())
@@ -838,13 +1127,29 @@ where
                 .obs
                 .as_ref()
                 .map(|reg| RankObs::new(reg.clone(), rank)),
+            replay_logs: replay_logs.clone(),
+            recovery: options.recovery.map(|r| RecoveryCtl {
+                interval: r.interval.max(1),
+                budget: recovery_budget.clone().expect("budget set with recovery"),
+                ckpt: None,
+                resend_skip: vec![0; size],
+                debt: 0.0,
+                used: 0,
+            }),
             txs,
             rxs,
         };
         thread::Builder::new()
             .name(format!("tilecc-rank-{rank}"))
             .spawn(move || {
-                let outcome = catch_unwind(AssertUnwindSafe(|| f(&mut comm)));
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    let r = f(&mut comm);
+                    // Charge the accumulated recovery debt once, at the end:
+                    // every message timestamp stayed bitwise fault-free, and
+                    // the final clock is fault-free time + recovery time.
+                    comm.settle_recovery();
+                    r
+                }));
                 monitor_for_rank.set(rank, RankPhase::Done);
                 let end = match outcome {
                     Ok(r) => RankEnd::Ok(r),
@@ -1661,7 +1966,7 @@ mod failure_tests {
     }
 
     #[test]
-    fn total_drop_reports_unreachable_peer() {
+    fn total_drop_reports_retransmit_exhausted() {
         let fault = FaultPlan {
             max_retries: 4,
             ..FaultPlan::lossy(1, 1.0)
@@ -1672,20 +1977,46 @@ mod failure_tests {
         };
         let err = run_cluster_opts(2, zero(), options, |comm| {
             if comm.rank() == 0 {
-                comm.send(1, vec![1.0], 8);
+                comm.send_tagged(1, 9, vec![1.0], 8);
             } else {
-                comm.recv(0);
+                comm.recv_tagged(0, 9);
             }
         })
         .unwrap_err();
         match err {
             RunError::Comm {
                 rank: 0,
-                error: CommError::Unreachable { peer: 1, attempts },
+                error:
+                    CommError::RetransmitExhausted {
+                        rank: 1,
+                        tag: 9,
+                        attempts,
+                    },
             } => {
                 assert_eq!(attempts, 5);
             }
-            other => panic!("expected Comm/Unreachable, got {other:?}"),
+            other => panic!("expected Comm/RetransmitExhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn crash_without_recovery_policy_still_fails() {
+        let fault = FaultPlan::default().with_crash(1, 5.0);
+        let options = EngineOptions {
+            fault: Some(fault),
+            ..EngineOptions::default()
+        };
+        let err = run_cluster_opts(2, zero(), options, |comm| {
+            comm.advance_compute(10);
+            comm.advance_compute(10);
+        })
+        .unwrap_err();
+        match err {
+            RunError::RankPanicked { rank, payload } => {
+                assert_eq!(rank, 1);
+                assert!(payload.contains("injected crash"), "{payload}");
+            }
+            other => panic!("expected RankPanicked, got {other:?}"),
         }
     }
 
@@ -1714,5 +2045,206 @@ mod failure_tests {
         .unwrap();
         assert_eq!(clean.results[0] + 10.0, stalled.results[0]);
         assert_eq!(stalled.results[1], stalled.results[0] + 100.0);
+    }
+}
+
+#[cfg(test)]
+mod recovery_tests {
+    use super::*;
+    use std::panic::resume_unwind;
+
+    /// A ring-exchange chain that checkpoints every `recovery_interval`
+    /// rounds and restores from injected crashes — the executor's recovery
+    /// loop in miniature. The app snapshot is the accumulator's bit pattern.
+    fn resilient_ring(comm: &mut ThreadedComm, rounds: u64) -> f64 {
+        let k = comm.recovery_interval().unwrap_or(u64::MAX);
+        let mut pos = 0u64;
+        let mut acc = (comm.rank() + 1) as f64;
+        loop {
+            let attempt = catch_unwind(AssertUnwindSafe(|| {
+                let (r, n) = (comm.rank(), comm.size());
+                let mut acc = acc;
+                for round in pos..rounds {
+                    if round % k == 0 {
+                        comm.checkpoint(round, &acc.to_bits().to_le_bytes());
+                    }
+                    comm.advance_compute(10 + r as u64);
+                    comm.send_tagged((r + 1) % n, round as i64, vec![acc, acc * 0.5], 16);
+                    let got = comm.recv_tagged((r + n - 1) % n, round as i64);
+                    acc += got[0] * 0.25 + got[1];
+                }
+                acc
+            }));
+            match attempt {
+                Ok(v) => return v,
+                Err(payload) => {
+                    if payload.downcast_ref::<InjectedCrash>().is_some() {
+                        if let Some(res) = comm.try_restore() {
+                            pos = res.chain_pos;
+                            acc = f64::from_bits(u64::from_le_bytes(
+                                res.app[..8].try_into().expect("8-byte app snapshot"),
+                            ));
+                            continue;
+                        }
+                    }
+                    resume_unwind(payload);
+                }
+            }
+        }
+    }
+
+    fn run_ring(
+        fault: Option<FaultPlan>,
+        max_recoveries: u64,
+        obs: Option<Arc<MetricsRegistry>>,
+    ) -> Result<RunReport<f64>, RunError> {
+        run_cluster_opts(
+            3,
+            MachineModel::fast_ethernet_p3(),
+            EngineOptions {
+                fault,
+                recovery: Some(RecoveryOptions {
+                    interval: 3,
+                    max_recoveries,
+                }),
+                obs,
+                ..EngineOptions::default()
+            },
+            |comm| resilient_ring(comm, 9),
+        )
+    }
+
+    #[test]
+    fn injected_crash_recovers_bitwise() {
+        let clean = run_ring(None, 1, None).unwrap();
+        let crash = FaultPlan::default().with_crash(1, clean.makespan() * 0.5);
+        let rec = run_ring(Some(crash), 1, None).unwrap();
+        // Data bitwise identical to the fault-free run.
+        for (a, b) in clean.results.iter().zip(&rec.results) {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "data must survive a crash bitwise"
+            );
+        }
+        // The victim recovered exactly once; everyone else never rewound.
+        assert_eq!(rec.stats[1].recoveries, 1);
+        assert!(rec.stats[1].recovery_time > 0.0);
+        assert_eq!(rec.stats[0].recoveries, 0);
+        assert_eq!(rec.stats[2].recoveries, 0);
+        // Makespan excluding recovery is bitwise fault-free: the recovered
+        // clock is exactly the fault-free clock plus the settled debt.
+        for r in 0..3 {
+            let expected = clean.local_times[r] + rec.stats[r].recovery_time;
+            assert_eq!(
+                expected.to_bits(),
+                rec.local_times[r].to_bits(),
+                "rank {r}: {} + {} != {}",
+                clean.local_times[r],
+                rec.stats[r].recovery_time,
+                rec.local_times[r]
+            );
+        }
+        // Logical counters match the fault-free run.
+        for (c, f) in clean.stats.iter().zip(&rec.stats) {
+            assert_eq!(c.messages_sent, f.messages_sent);
+            assert_eq!(c.bytes_sent, f.bytes_sent);
+            assert_eq!(c.messages_received, f.messages_received);
+            assert_eq!(c.bytes_received, f.bytes_received);
+        }
+    }
+
+    #[test]
+    fn recovery_preserves_the_partition_identity() {
+        let clean = run_ring(None, 1, None).unwrap();
+        let reg = MetricsRegistry::new();
+        let crash = FaultPlan::default().with_crash(2, clean.makespan() * 0.4);
+        let rec = run_ring(Some(crash), 1, Some(reg.clone())).unwrap();
+        let obs_report = reg.run_report(&rec.local_times);
+        assert_eq!(obs_report.total(Counter::Recoveries), 1);
+        assert!(obs_report.total(Counter::Checkpoints) > 0);
+        for r in &obs_report.ranks {
+            assert!(
+                (r.compute + r.wait + r.comm + r.recovery - r.local_time).abs() < 1e-9,
+                "rank {}: {} + {} + {} + {} != {}",
+                r.rank,
+                r.compute,
+                r.wait,
+                r.comm,
+                r.recovery,
+                r.local_time
+            );
+        }
+        // Obs counters match a fault-free run with the same cadence (the
+        // rewind restores them before re-execution re-adds them).
+        let clean_reg = MetricsRegistry::new();
+        let clean2 = run_ring(None, 1, Some(clean_reg.clone())).unwrap();
+        let clean_report = clean_reg.run_report(&clean2.local_times);
+        assert_eq!(
+            clean_report.total(Counter::MessagesSent),
+            obs_report.total(Counter::MessagesSent)
+        );
+        assert_eq!(
+            clean_report.total(Counter::BytesReceived),
+            obs_report.total(Counter::BytesReceived)
+        );
+        assert_eq!(
+            clean_report.total(Counter::Checkpoints),
+            obs_report.total(Counter::Checkpoints)
+        );
+    }
+
+    #[test]
+    fn exhausted_recovery_budget_fails_the_run() {
+        let clean = run_ring(None, 1, None).unwrap();
+        let crash = FaultPlan::default().with_crash(1, clean.makespan() * 0.5);
+        let err = run_ring(Some(crash), 0, None).unwrap_err();
+        match err {
+            RunError::RankPanicked { rank, payload } => {
+                assert_eq!(rank, 1);
+                assert!(payload.contains("injected crash"), "{payload}");
+            }
+            other => panic!("expected RankPanicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn crash_overlapping_chaos_recovers_the_checksum() {
+        // Satellite: a rank crash overlapping 30% drop/dup/reorder on the
+        // same run must still reproduce the fault-free data bitwise.
+        let clean = run_ring(None, 1, None).unwrap();
+        let fault = FaultPlan::chaos(0xC0FFEE, 0.3).with_crash(1, clean.makespan() * 0.5);
+        let rec = run_ring(Some(fault), 1, None).unwrap();
+        for (a, b) in clean.results.iter().zip(&rec.results) {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "data must survive crash + chaos bitwise"
+            );
+        }
+        assert_eq!(rec.stats[1].recoveries, 1);
+        // And the recovered chaos run is itself deterministic.
+        let again = run_ring(
+            Some(FaultPlan::chaos(0xC0FFEE, 0.3).with_crash(1, clean.makespan() * 0.5)),
+            1,
+            None,
+        )
+        .unwrap();
+        assert_eq!(rec.results, again.results);
+        assert_eq!(rec.local_times, again.local_times);
+    }
+
+    #[test]
+    fn two_crashes_consume_the_shared_budget() {
+        let clean = run_ring(None, 2, None).unwrap();
+        let fault = FaultPlan::default()
+            .with_crash(0, clean.makespan() * 0.3)
+            .with_crash(2, clean.makespan() * 0.6);
+        let rec = run_ring(Some(fault), 2, None).unwrap();
+        for (a, b) in clean.results.iter().zip(&rec.results) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(rec.stats[0].recoveries, 1);
+        assert_eq!(rec.stats[2].recoveries, 1);
     }
 }

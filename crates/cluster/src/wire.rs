@@ -123,6 +123,19 @@ pub enum FrameKind {
     /// hold their process open until this arrives so no socket carrying
     /// undelivered frames is reset early.
     Bye = 8,
+    /// Peer → peer checkpoint acknowledgement: "my latest checkpoint covers
+    /// every envelope from you with sequence number below `seq`" — the
+    /// receiving sender trims its replay log for that link below `seq`.
+    CkptAck = 9,
+    /// Peer → peer after a restart-the-world recovery: "I resumed from a
+    /// checkpoint whose receive frontier for your link is `seq`; replay
+    /// your logged envelopes from `seq` on and skip regenerating anything
+    /// below it". Workers barrier on one `Resume` per peer before rerunning.
+    Resume = 10,
+    /// A replayed [`FrameKind::Data`] envelope, resent from the sender's
+    /// replay log in response to a [`FrameKind::Resume`]. Identical layout
+    /// to `Data`; the distinct kind keeps recovered streams self-describing.
+    Replay = 11,
 }
 
 impl FrameKind {
@@ -137,6 +150,9 @@ impl FrameKind {
             6 => FrameKind::Error,
             7 => FrameKind::Progress,
             8 => FrameKind::Bye,
+            9 => FrameKind::CkptAck,
+            10 => FrameKind::Resume,
+            11 => FrameKind::Replay,
             _ => return None,
         })
     }
@@ -319,12 +335,21 @@ pub fn encode_envelope(src: u32, env: &Envelope) -> Vec<u8> {
     .encode()
 }
 
-/// Decode a [`FrameKind::Data`] frame back into an [`Envelope`]. The
-/// payload must be a whole number of 8-byte values
-/// ([`WireError::Misaligned`] otherwise) and the frame must actually be a
-/// data frame ([`WireError::UnknownKind`] otherwise).
+/// Encode an [`Envelope`] as a [`FrameKind::Replay`] frame from rank
+/// `src`: byte-for-byte the [`encode_envelope`] layout with the `Replay`
+/// kind, used when resending logged envelopes after a recovery.
+pub fn encode_replay(src: u32, env: &Envelope) -> Vec<u8> {
+    let mut bytes = encode_envelope(src, env);
+    bytes[OFF_KIND..OFF_KIND + 2].copy_from_slice(&(FrameKind::Replay as u16).to_le_bytes());
+    bytes
+}
+
+/// Decode a [`FrameKind::Data`] (or [`FrameKind::Replay`] — same layout)
+/// frame back into an [`Envelope`]. The payload must be a whole number of
+/// 8-byte values ([`WireError::Misaligned`] otherwise) and the frame must
+/// actually carry an envelope ([`WireError::UnknownKind`] otherwise).
 pub fn decode_envelope(frame: &Frame) -> Result<Envelope, WireError> {
-    if frame.kind != FrameKind::Data {
+    if frame.kind != FrameKind::Data && frame.kind != FrameKind::Replay {
         return Err(WireError::UnknownKind(frame.kind as u16));
     }
     if !frame.payload.len().is_multiple_of(8) {
@@ -428,6 +453,27 @@ mod tests {
         assert_eq!(back.seq, env.seq);
         assert_eq!(back.bytes, env.bytes);
         assert_eq!(back.ready_at.to_bits(), env.ready_at.to_bits());
+        for (a, b) in back.payload.iter().zip(&env.payload) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn replay_frames_share_the_data_layout() {
+        let env = Envelope {
+            payload: vec![2.5, -0.0],
+            tag: 3,
+            ready_at: 1.5,
+            seq: 11,
+            bytes: 16,
+        };
+        let bytes = encode_replay(4, &env);
+        let (frame, _) = Frame::decode(&bytes).unwrap();
+        assert_eq!(frame.kind, FrameKind::Replay);
+        assert_eq!(frame.src, 4);
+        let back = decode_envelope(&frame).unwrap();
+        assert_eq!(back.seq, env.seq);
+        assert_eq!(back.tag, env.tag);
         for (a, b) in back.payload.iter().zip(&env.payload) {
             assert_eq!(a.to_bits(), b.to_bits());
         }

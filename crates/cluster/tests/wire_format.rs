@@ -336,6 +336,9 @@ fn documented_frame_kinds_match_discriminants() {
         ("ERROR", FrameKind::Error),
         ("PROGRESS", FrameKind::Progress),
         ("BYE", FrameKind::Bye),
+        ("CKPT_ACK", FrameKind::CkptAck),
+        ("RESUME", FrameKind::Resume),
+        ("REPLAY", FrameKind::Replay),
     ];
     assert_eq!(seen.len(), expected.len(), "kind table rows: {seen:?}");
     for ((name, value), (exp_name, kind)) in seen.iter().zip(&expected) {

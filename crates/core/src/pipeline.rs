@@ -42,6 +42,14 @@ pub struct RunSummary {
     pub retransmissions: u64,
     /// Messages discarded by receiver-side duplicate suppression.
     pub duplicates_suppressed: u64,
+    /// Checkpoint restores performed across all ranks (0 unless a crash
+    /// was recovered under a [`tilecc_cluster::threaded::RecoveryOptions`]
+    /// policy).
+    pub recoveries: u64,
+    /// Virtual seconds charged to crash recovery across all ranks; the
+    /// makespan minus each rank's share reproduces the fault-free clocks
+    /// bitwise.
+    pub recovery_time: f64,
     /// Per-rank final virtual clocks (feeds the observability
     /// [`tilecc_cluster::obs::RunReport`]).
     pub local_times: Vec<f64>,
@@ -238,6 +246,8 @@ impl Pipeline {
             verified,
             retransmissions: res.report.total_retransmissions(),
             duplicates_suppressed: res.report.total_duplicates_suppressed(),
+            recoveries: res.report.total_recoveries(),
+            recovery_time: res.report.total_recovery_time(),
             local_times: res.report.local_times.clone(),
         }
     }

@@ -14,10 +14,11 @@ use crate::compiled::{
     count_in_space_subset, pack_region, tile_origin, unpack_region, CompiledChain,
 };
 use crate::plan::ParallelPlan;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use tilecc_cluster::{
     run_cluster_opts, run_cluster_tcp, Comm, CommScheme, Counter, EngineOptions, HistId,
-    MachineModel, MetricsRegistry, Phase, RunError, RunReport,
+    InjectedCrash, MachineModel, MetricsRegistry, Phase, RunError, RunReport,
 };
 use tilecc_loopnest::DataSpace;
 use tilecc_tiling::{insert_at, Lds};
@@ -334,328 +335,368 @@ fn run_rank(
     let mut j_buf = vec![0i64; n];
     let obs_on = comm.obs().is_some();
 
-    for t_abs in lo_t..=hi_t {
-        let tpos = t_abs - lo_t; // chain-relative tile position
-        let cur_tile = insert_at(&pid, m, t_abs);
-        // Chains span [min, max] of a pid's non-empty tiles; an empty
-        // candidate inside that range is not a valid tile (plan-time
-        // pruning) and must neither compute nor touch any channel.
-        if !plan.tiled.tile_valid(&cur_tile) {
-            continue;
-        }
+    let ckpt_every = comm.recovery_interval();
+    let mut start_t = lo_t;
+    if let Some(resumed) = comm.resume_state() {
+        // A respawned worker restored its checkpoint file during transport
+        // setup: rewind the walk and the application state to it.
+        start_t = lo_t + resumed.chain_pos as i64;
+        decode_app_state(&resumed.app, &mut iterations, &mut lds);
+    }
+    // The chain walk runs inside the recovery loop: an injected crash
+    // unwinds to the `match` below, and if the substrate can restore a
+    // checkpoint the walk re-enters at the checkpointed chain position
+    // with the application state rewound. Anything else propagates.
+    loop {
+        let walked = catch_unwind(AssertUnwindSafe(|| {
+            for t_abs in start_t..=hi_t {
+                let tpos = t_abs - lo_t; // chain-relative tile position
+                if let Some(k) = ckpt_every {
+                    if (tpos as u64).is_multiple_of(k) {
+                        comm.checkpoint(tpos as u64, &encode_app_state(iterations, &lds));
+                    }
+                }
+                let cur_tile = insert_at(&pid, m, t_abs);
+                // Chains span [min, max] of a pid's non-empty tiles; an empty
+                // candidate inside that range is not a valid tile (plan-time
+                // pruning) and must neither compute nor touch any channel.
+                if !plan.tiled.tile_valid(&cur_tile) {
+                    continue;
+                }
 
-        // --- RECEIVE ------------------------------------------------------
-        for (i, ds) in plan.comm.tile_deps.iter().enumerate() {
-            let Some(dm_idx) = plan.comm.dm_of_ds[i] else {
-                continue;
-            };
-            let pred: Vec<i64> = cur_tile.iter().zip(ds).map(|(&a, &b)| a - b).collect();
-            if !plan.tiled.tile_valid(&pred) {
-                continue;
-            }
-            if plan.minsucc(&pred, dm_idx) != Some(t_abs) {
-                continue;
-            }
-            let dm = &plan.comm.proc_deps[dm_idx];
-            let from_pid: Vec<i64> = pid.iter().zip(dm).map(|(&a, &b)| a - b).collect();
-            let from_rank = plan
-                .dist
-                .rank(&from_pid)
-                .expect("valid predecessor tile must belong to a known processor");
-            // Tag = predecessor tile's chain index: with tile-dependence
-            // m-components > 1 the minimum-successor consumption order is
-            // not monotone in the sender's tiles, so FIFO alone would
-            // mismatch messages (MPI-style tag matching restores pairing).
-            let payload = comm.recv_tagged(from_rank, pred[m]);
-            if mode == ExecMode::Full {
-                let unpack_t0 = if obs_on {
+                // --- RECEIVE ------------------------------------------------------
+                for (i, ds) in plan.comm.tile_deps.iter().enumerate() {
+                    let Some(dm_idx) = plan.comm.dm_of_ds[i] else {
+                        continue;
+                    };
+                    let pred: Vec<i64> = cur_tile.iter().zip(ds).map(|(&a, &b)| a - b).collect();
+                    if !plan.tiled.tile_valid(&pred) {
+                        continue;
+                    }
+                    if plan.minsucc(&pred, dm_idx) != Some(t_abs) {
+                        continue;
+                    }
+                    let dm = &plan.comm.proc_deps[dm_idx];
+                    let from_pid: Vec<i64> = pid.iter().zip(dm).map(|(&a, &b)| a - b).collect();
+                    let from_rank = plan
+                        .dist
+                        .rank(&from_pid)
+                        .expect("valid predecessor tile must belong to a known processor");
+                    // Tag = predecessor tile's chain index: with tile-dependence
+                    // m-components > 1 the minimum-successor consumption order is
+                    // not monotone in the sender's tiles, so FIFO alone would
+                    // mismatch messages (MPI-style tag matching restores pairing).
+                    let payload = comm.recv_tagged(from_rank, pred[m]);
+                    if mode == ExecMode::Full {
+                        let unpack_t0 = if obs_on {
+                            comm.obs().map(|o| o.now_ns())
+                        } else {
+                            None
+                        };
+                        match strategy {
+                            ExecStrategy::Compiled | ExecStrategy::Overlapped => {
+                                unpack_region(chain, &mut lds, tpos, i, &payload)
+                            }
+                            ExecStrategy::Reference => {
+                                // Unpack into the LDS: sender's region points,
+                                // addressed as data of chain tile (tpos − ds_m)
+                                // shifted by −ds_k·v_k.
+                                let lo = plan.comm.region_lo(dm, v);
+                                let mut idx = 0usize;
+                                for jp in lattice.points_in_box(&lo, v) {
+                                    let mut g = jp;
+                                    for k in 0..n {
+                                        if k != m {
+                                            g[k] -= ds[k] * v[k];
+                                        }
+                                    }
+                                    g[m] += (tpos - ds[m]) * v[m];
+                                    lds.set_all(&g, &payload[idx * w..(idx + 1) * w]);
+                                    idx += 1;
+                                }
+                                debug_assert_eq!(idx * w, payload.len(), "unpack count mismatch");
+                            }
+                        }
+                        if let Some(t0) = unpack_t0 {
+                            // The unpack is real work on the wall clock but free on
+                            // the virtual one (the model folds it into recv
+                            // overhead), so its virtual interval is a point.
+                            let v = comm.local_time();
+                            if let Some(o) = comm.obs() {
+                                let bytes = (payload.len() * 8) as u64;
+                                o.observe(HistId::UnpackNs, o.now_ns().saturating_sub(t0));
+                                o.span(Phase::Unpack, t0, (v, v), bytes);
+                            }
+                        }
+                    }
+                }
+
+                // --- COMPUTE ------------------------------------------------------
+                // Interior/boundary classification feeds both the compiled dispatch
+                // and the tile-mix counters; only run it when someone consumes it so
+                // the TimingOnly hot path stays untouched with observability off.
+                let classify =
+                    obs_on || (mode == ExecMode::Full && strategy != ExecStrategy::Reference);
+                let is_interior = classify && plan.tiled.tile_is_compute_interior(&cur_tile, deps);
+                let compute_t0 = if obs_on && strategy != ExecStrategy::Overlapped {
                     comm.obs().map(|o| o.now_ns())
                 } else {
                     None
                 };
-                match strategy {
-                    ExecStrategy::Compiled | ExecStrategy::Overlapped => {
-                        unpack_region(chain, &mut lds, tpos, i, &payload)
-                    }
-                    ExecStrategy::Reference => {
-                        // Unpack into the LDS: sender's region points,
-                        // addressed as data of chain tile (tpos − ds_m)
-                        // shifted by −ds_k·v_k.
-                        let lo = plan.comm.region_lo(dm, v);
-                        let mut idx = 0usize;
-                        for jp in lattice.points_in_box(&lo, v) {
-                            let mut g = jp;
-                            for k in 0..n {
-                                if k != m {
-                                    g[k] -= ds[k] * v[k];
+                let compute_v0 = comm.local_time();
+                let mut tile_iters: u64 = 0;
+                match (mode, strategy) {
+                    // Overlapped order: boundary slab → post sends → private
+                    // interior. The slab is the dependence closure of the pack
+                    // regions, so after it every outgoing payload is final; the
+                    // interior then computes while the sends ride the comm lane.
+                    (_, ExecStrategy::Overlapped) => {
+                        let origin = tile_origin(t, &cur_tile);
+                        let space_interior =
+                            mode == ExecMode::TimingOnly && plan.tiled.tile_is_interior(&cur_tile);
+                        let b_t0 = if obs_on {
+                            comm.obs().map(|o| o.now_ns())
+                        } else {
+                            None
+                        };
+                        let b_v0 = comm.local_time();
+                        let boundary_iters = match mode {
+                            ExecMode::TimingOnly if space_interior => {
+                                chain.boundary_order.len() as u64
+                            }
+                            ExecMode::TimingOnly => count_in_space_subset(
+                                chain,
+                                &origin,
+                                space,
+                                &chain.boundary_order,
+                                &mut j_buf,
+                            ),
+                            ExecMode::Full if is_interior => {
+                                compute_tile_fast_subset(
+                                    chain,
+                                    &mut lds,
+                                    tpos,
+                                    &origin,
+                                    kernel.as_ref(),
+                                    &mut reads,
+                                    &mut out,
+                                    &mut j_buf,
+                                    &chain.boundary_order,
+                                );
+                                chain.boundary_order.len() as u64
+                            }
+                            ExecMode::Full => compute_tile_clamped_subset(
+                                chain,
+                                &mut lds,
+                                tpos,
+                                &origin,
+                                kernel.as_ref(),
+                                space,
+                                deps,
+                                &mut reads,
+                                &mut out,
+                                &mut j_buf,
+                                &mut src,
+                                &chain.boundary_order,
+                            ),
+                        };
+                        comm.advance_compute(boundary_iters);
+                        if let Some(t0) = b_t0 {
+                            if boundary_iters > 0 {
+                                let v1 = comm.local_time();
+                                if let Some(o) = comm.obs() {
+                                    o.observe(HistId::ComputeTileNs, o.now_ns().saturating_sub(t0));
+                                    o.named_span(
+                                        Phase::Compute,
+                                        "compute-boundary",
+                                        t0,
+                                        (b_v0, v1),
+                                        boundary_iters,
+                                    );
                                 }
                             }
-                            g[m] += (tpos - ds[m]) * v[m];
-                            lds.set_all(&g, &payload[idx * w..(idx + 1) * w]);
-                            idx += 1;
                         }
-                        debug_assert_eq!(idx * w, payload.len(), "unpack count mismatch");
-                    }
-                }
-                if let Some(t0) = unpack_t0 {
-                    // The unpack is real work on the wall clock but free on
-                    // the virtual one (the model folds it into recv
-                    // overhead), so its virtual interval is a point.
-                    let v = comm.local_time();
-                    if let Some(o) = comm.obs() {
-                        let bytes = (payload.len() * 8) as u64;
-                        o.observe(HistId::UnpackNs, o.now_ns().saturating_sub(t0));
-                        o.span(Phase::Unpack, t0, (v, v), bytes);
-                    }
-                }
-            }
-        }
 
-        // --- COMPUTE ------------------------------------------------------
-        // Interior/boundary classification feeds both the compiled dispatch
-        // and the tile-mix counters; only run it when someone consumes it so
-        // the TimingOnly hot path stays untouched with observability off.
-        let classify = obs_on || (mode == ExecMode::Full && strategy != ExecStrategy::Reference);
-        let is_interior = classify && plan.tiled.tile_is_compute_interior(&cur_tile, deps);
-        let compute_t0 = if obs_on && strategy != ExecStrategy::Overlapped {
-            comm.obs().map(|o| o.now_ns())
-        } else {
-            None
-        };
-        let compute_v0 = comm.local_time();
-        let mut tile_iters: u64 = 0;
-        match (mode, strategy) {
-            // Overlapped order: boundary slab → post sends → private
-            // interior. The slab is the dependence closure of the pack
-            // regions, so after it every outgoing payload is final; the
-            // interior then computes while the sends ride the comm lane.
-            (_, ExecStrategy::Overlapped) => {
-                let origin = tile_origin(t, &cur_tile);
-                let space_interior =
-                    mode == ExecMode::TimingOnly && plan.tiled.tile_is_interior(&cur_tile);
-                let b_t0 = if obs_on {
-                    comm.obs().map(|o| o.now_ns())
-                } else {
-                    None
-                };
-                let b_v0 = comm.local_time();
-                let boundary_iters = match mode {
-                    ExecMode::TimingOnly if space_interior => chain.boundary_order.len() as u64,
-                    ExecMode::TimingOnly => count_in_space_subset(
-                        chain,
-                        &origin,
-                        space,
-                        &chain.boundary_order,
-                        &mut j_buf,
-                    ),
-                    ExecMode::Full if is_interior => {
-                        compute_tile_fast_subset(
-                            chain,
-                            &mut lds,
-                            tpos,
-                            &origin,
-                            kernel.as_ref(),
-                            &mut reads,
-                            &mut out,
-                            &mut j_buf,
-                            &chain.boundary_order,
+                        send_tile(
+                            plan, chain, comm, &lds, mode, strategy, obs_on, &pid, &cur_tile, tpos,
+                            t_abs, w,
                         );
-                        chain.boundary_order.len() as u64
-                    }
-                    ExecMode::Full => compute_tile_clamped_subset(
-                        chain,
-                        &mut lds,
-                        tpos,
-                        &origin,
-                        kernel.as_ref(),
-                        space,
-                        deps,
-                        &mut reads,
-                        &mut out,
-                        &mut j_buf,
-                        &mut src,
-                        &chain.boundary_order,
-                    ),
-                };
-                comm.advance_compute(boundary_iters);
-                if let Some(t0) = b_t0 {
-                    if boundary_iters > 0 {
-                        let v1 = comm.local_time();
-                        if let Some(o) = comm.obs() {
-                            o.observe(HistId::ComputeTileNs, o.now_ns().saturating_sub(t0));
-                            o.named_span(
-                                Phase::Compute,
-                                "compute-boundary",
-                                t0,
-                                (b_v0, v1),
-                                boundary_iters,
-                            );
-                        }
-                    }
-                }
 
-                send_tile(
-                    plan, chain, comm, &lds, mode, strategy, obs_on, &pid, &cur_tile, tpos, t_abs,
-                    w,
-                );
-
-                let i_t0 = if obs_on {
-                    comm.obs().map(|o| o.now_ns())
-                } else {
-                    None
-                };
-                let i_v0 = comm.local_time();
-                let interior_iters = match mode {
-                    ExecMode::TimingOnly if space_interior => chain.interior_order.len() as u64,
-                    ExecMode::TimingOnly => count_in_space_subset(
-                        chain,
-                        &origin,
-                        space,
-                        &chain.interior_order,
-                        &mut j_buf,
-                    ),
-                    ExecMode::Full if is_interior => {
-                        compute_tile_fast_subset(
-                            chain,
-                            &mut lds,
-                            tpos,
-                            &origin,
-                            kernel.as_ref(),
-                            &mut reads,
-                            &mut out,
-                            &mut j_buf,
-                            &chain.interior_order,
-                        );
-                        chain.interior_order.len() as u64
-                    }
-                    ExecMode::Full => compute_tile_clamped_subset(
-                        chain,
-                        &mut lds,
-                        tpos,
-                        &origin,
-                        kernel.as_ref(),
-                        space,
-                        deps,
-                        &mut reads,
-                        &mut out,
-                        &mut j_buf,
-                        &mut src,
-                        &chain.interior_order,
-                    ),
-                };
-                comm.advance_compute(interior_iters);
-                if let Some(t0) = i_t0 {
-                    if interior_iters > 0 {
-                        let v1 = comm.local_time();
-                        if let Some(o) = comm.obs() {
-                            o.observe(HistId::ComputeTileNs, o.now_ns().saturating_sub(t0));
-                            o.named_span(
-                                Phase::Compute,
-                                "compute-interior",
-                                t0,
-                                (i_v0, v1),
-                                interior_iters,
-                            );
-                        }
-                    }
-                }
-                tile_iters = boundary_iters + interior_iters;
-            }
-            (ExecMode::TimingOnly, _) => {
-                tile_iters = plan.tiled.tile_volume_fast(&cur_tile) as u64;
-            }
-            (ExecMode::Full, ExecStrategy::Compiled) => {
-                let origin = tile_origin(t, &cur_tile);
-                if is_interior {
-                    compute_tile_fast(
-                        chain,
-                        &mut lds,
-                        tpos,
-                        &origin,
-                        kernel.as_ref(),
-                        &mut reads,
-                        &mut out,
-                        &mut j_buf,
-                    );
-                    tile_iters = chain.tile_points as u64;
-                } else {
-                    tile_iters = compute_tile_clamped(
-                        chain,
-                        &mut lds,
-                        tpos,
-                        &origin,
-                        kernel.as_ref(),
-                        space,
-                        deps,
-                        &mut reads,
-                        &mut out,
-                        &mut j_buf,
-                        &mut src,
-                    );
-                }
-            }
-            (ExecMode::Full, ExecStrategy::Reference) => {
-                for (jp, j) in plan.tiled.tile_iterations(&cur_tile) {
-                    tile_iters += 1;
-                    let g = lds.unrolled(tpos, &jp);
-                    for dq in 0..q {
-                        for k in 0..n {
-                            src[k] = j[k] - deps[(k, dq)];
-                            gs[k] = g[k] - d_prime[(k, dq)];
-                        }
-                        if space.contains(&src) {
-                            lds.get_into(&gs, &mut reads[dq * w..(dq + 1) * w]);
+                        let i_t0 = if obs_on {
+                            comm.obs().map(|o| o.now_ns())
                         } else {
-                            kernel.initial(&src, &mut reads[dq * w..(dq + 1) * w]);
+                            None
+                        };
+                        let i_v0 = comm.local_time();
+                        let interior_iters = match mode {
+                            ExecMode::TimingOnly if space_interior => {
+                                chain.interior_order.len() as u64
+                            }
+                            ExecMode::TimingOnly => count_in_space_subset(
+                                chain,
+                                &origin,
+                                space,
+                                &chain.interior_order,
+                                &mut j_buf,
+                            ),
+                            ExecMode::Full if is_interior => {
+                                compute_tile_fast_subset(
+                                    chain,
+                                    &mut lds,
+                                    tpos,
+                                    &origin,
+                                    kernel.as_ref(),
+                                    &mut reads,
+                                    &mut out,
+                                    &mut j_buf,
+                                    &chain.interior_order,
+                                );
+                                chain.interior_order.len() as u64
+                            }
+                            ExecMode::Full => compute_tile_clamped_subset(
+                                chain,
+                                &mut lds,
+                                tpos,
+                                &origin,
+                                kernel.as_ref(),
+                                space,
+                                deps,
+                                &mut reads,
+                                &mut out,
+                                &mut j_buf,
+                                &mut src,
+                                &chain.interior_order,
+                            ),
+                        };
+                        comm.advance_compute(interior_iters);
+                        if let Some(t0) = i_t0 {
+                            if interior_iters > 0 {
+                                let v1 = comm.local_time();
+                                if let Some(o) = comm.obs() {
+                                    o.observe(HistId::ComputeTileNs, o.now_ns().saturating_sub(t0));
+                                    o.named_span(
+                                        Phase::Compute,
+                                        "compute-interior",
+                                        t0,
+                                        (i_v0, v1),
+                                        interior_iters,
+                                    );
+                                }
+                            }
+                        }
+                        tile_iters = boundary_iters + interior_iters;
+                    }
+                    (ExecMode::TimingOnly, _) => {
+                        tile_iters = plan.tiled.tile_volume_fast(&cur_tile) as u64;
+                    }
+                    (ExecMode::Full, ExecStrategy::Compiled) => {
+                        let origin = tile_origin(t, &cur_tile);
+                        if is_interior {
+                            compute_tile_fast(
+                                chain,
+                                &mut lds,
+                                tpos,
+                                &origin,
+                                kernel.as_ref(),
+                                &mut reads,
+                                &mut out,
+                                &mut j_buf,
+                            );
+                            tile_iters = chain.tile_points as u64;
+                        } else {
+                            tile_iters = compute_tile_clamped(
+                                chain,
+                                &mut lds,
+                                tpos,
+                                &origin,
+                                kernel.as_ref(),
+                                space,
+                                deps,
+                                &mut reads,
+                                &mut out,
+                                &mut j_buf,
+                                &mut src,
+                            );
                         }
                     }
-                    kernel.compute(&j, &reads, &mut out);
-                    lds.set_all(&g, &out);
-                }
-            }
-        }
-        iterations += tile_iters;
-        if strategy != ExecStrategy::Overlapped {
-            comm.advance_compute(tile_iters);
-        }
-        if obs_on {
-            if let Some(t0) = compute_t0 {
-                let v1 = comm.local_time();
-                if let Some(o) = comm.obs() {
-                    o.observe(HistId::ComputeTileNs, o.now_ns().saturating_sub(t0));
-                    o.span(Phase::Compute, t0, (compute_v0, v1), tile_iters);
-                }
-            }
-            if let Some(o) = comm.obs() {
-                o.add(Counter::Tiles, 1);
-                o.add(Counter::Iterations, tile_iters);
-                o.add(
-                    if is_interior {
-                        Counter::InteriorTiles
-                    } else {
-                        Counter::BoundaryTiles
-                    },
-                    1,
-                );
-                o.add(
-                    match strategy {
-                        // Overlapped runs through the same compiled tables.
-                        ExecStrategy::Compiled | ExecStrategy::Overlapped => {
-                            Counter::CompiledDispatches
+                    (ExecMode::Full, ExecStrategy::Reference) => {
+                        for (jp, j) in plan.tiled.tile_iterations(&cur_tile) {
+                            tile_iters += 1;
+                            let g = lds.unrolled(tpos, &jp);
+                            for dq in 0..q {
+                                for k in 0..n {
+                                    src[k] = j[k] - deps[(k, dq)];
+                                    gs[k] = g[k] - d_prime[(k, dq)];
+                                }
+                                if space.contains(&src) {
+                                    lds.get_into(&gs, &mut reads[dq * w..(dq + 1) * w]);
+                                } else {
+                                    kernel.initial(&src, &mut reads[dq * w..(dq + 1) * w]);
+                                }
+                            }
+                            kernel.compute(&j, &reads, &mut out);
+                            lds.set_all(&g, &out);
                         }
-                        ExecStrategy::Reference => Counter::ReferenceDispatches,
-                    },
-                    1,
-                );
-            }
-        }
+                    }
+                }
+                iterations += tile_iters;
+                if strategy != ExecStrategy::Overlapped {
+                    comm.advance_compute(tile_iters);
+                }
+                if obs_on {
+                    if let Some(t0) = compute_t0 {
+                        let v1 = comm.local_time();
+                        if let Some(o) = comm.obs() {
+                            o.observe(HistId::ComputeTileNs, o.now_ns().saturating_sub(t0));
+                            o.span(Phase::Compute, t0, (compute_v0, v1), tile_iters);
+                        }
+                    }
+                    if let Some(o) = comm.obs() {
+                        o.add(Counter::Tiles, 1);
+                        o.add(Counter::Iterations, tile_iters);
+                        o.add(
+                            if is_interior {
+                                Counter::InteriorTiles
+                            } else {
+                                Counter::BoundaryTiles
+                            },
+                            1,
+                        );
+                        o.add(
+                            match strategy {
+                                // Overlapped runs through the same compiled tables.
+                                ExecStrategy::Compiled | ExecStrategy::Overlapped => {
+                                    Counter::CompiledDispatches
+                                }
+                                ExecStrategy::Reference => Counter::ReferenceDispatches,
+                            },
+                            1,
+                        );
+                    }
+                }
 
-        // --- SEND ---------------------------------------------------------
-        // (the overlapped strategy already sent between its two passes)
-        if strategy != ExecStrategy::Overlapped {
-            send_tile(
-                plan, chain, comm, &lds, mode, strategy, obs_on, &pid, &cur_tile, tpos, t_abs, w,
-            );
+                // --- SEND ---------------------------------------------------------
+                // (the overlapped strategy already sent between its two passes)
+                if strategy != ExecStrategy::Overlapped {
+                    send_tile(
+                        plan, chain, comm, &lds, mode, strategy, obs_on, &pid, &cur_tile, tpos,
+                        t_abs, w,
+                    );
+                }
+            }
+        }));
+        match walked {
+            Ok(()) => break,
+            Err(payload) => {
+                if payload.is::<InjectedCrash>() {
+                    if let Some(restored) = comm.try_restore() {
+                        start_t = lo_t + restored.chain_pos as i64;
+                        decode_app_state(&restored.app, &mut iterations, &mut lds);
+                        continue;
+                    }
+                }
+                resume_unwind(payload);
+            }
         }
     }
 
@@ -683,6 +724,31 @@ fn run_rank(
     RankOutput {
         lds: (mode == ExecMode::Full).then_some(lds),
         iterations,
+    }
+}
+
+/// Serialize the executor's resumable state for [`Comm::checkpoint`]: the
+/// iteration counter followed by every LDS value as an `f64` bit pattern,
+/// all little-endian — restoring it reproduces the rank bitwise.
+fn encode_app_state(iterations: u64, lds: &Lds) -> Vec<u8> {
+    let vals = lds.values();
+    let mut out = Vec::with_capacity(8 + vals.len() * 8);
+    out.extend_from_slice(&iterations.to_le_bytes());
+    for v in vals {
+        out.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    out
+}
+
+/// Inverse of [`encode_app_state`], restoring in place. The LDS shape is
+/// plan-derived and deterministic, so only the values travel.
+fn decode_app_state(bytes: &[u8], iterations: &mut u64, lds: &mut Lds) {
+    *iterations = u64::from_le_bytes(bytes[..8].try_into().expect("app snapshot header"));
+    let vals = lds.values_mut();
+    let body = &bytes[8..];
+    assert_eq!(body.len(), vals.len() * 8, "app snapshot size mismatch");
+    for (v, c) in vals.iter_mut().zip(body.chunks_exact(8)) {
+        *v = f64::from_bits(u64::from_le_bytes(c.try_into().expect("chunk size")));
     }
 }
 
