@@ -82,6 +82,7 @@ fn main() {
     let mut tcp_cases = 0u64;
     let mut tcp_chaos_cases = 0u64;
     let mut recovered_cases = 0u64;
+    let mut vectorized_points = 0u64;
     let positional: Vec<&String> = args[1..].iter().filter(|a| !a.starts_with("--")).collect();
     let seed: u64 = positional
         .first()
@@ -336,6 +337,23 @@ fn main() {
         {
             fail(seed, case, "dispatch counters do not match the strategy");
         }
+        // VectorizedPoints is a dispatch-shape counter, not a logical one:
+        // the reference strategy never batches, and no strategy can batch
+        // more points than it iterates. Compiled and overlapped are NOT
+        // compared against each other — the boundary/interior split cuts
+        // runs differently, so their batch totals legitimately diverge
+        // while the data stays bitwise identical (checked above).
+        if rep_r.total(Counter::VectorizedPoints) != 0 {
+            fail(seed, case, "reference strategy reported batched points");
+        }
+        if rep_c.total(Counter::VectorizedPoints) > rep_c.total(Counter::Iterations) {
+            fail(
+                seed,
+                case,
+                "compiled strategy batched more points than iterations",
+            );
+        }
+        vectorized_points += rep_c.total(Counter::VectorizedPoints);
         // Overlapped strategy: boundary-first execution with sends hidden
         // behind the interior must be a pure schedule change — same data,
         // same traffic, and never a later finish than blocking compiled.
@@ -406,6 +424,13 @@ fn main() {
             || rep_o.total(Counter::ReferenceDispatches) != 0
         {
             fail(seed, case, "overlapped dispatch counters are wrong");
+        }
+        if rep_o.total(Counter::VectorizedPoints) > rep_o.total(Counter::Iterations) {
+            fail(
+                seed,
+                case,
+                "overlapped strategy batched more points than iterations",
+            );
         }
         if tcp && plan.num_procs() <= 8 {
             // Cross-backend check: the same compiled program over real
@@ -709,6 +734,15 @@ fn main() {
         }
         eprintln!("tcp cross-check: {tcp_cases} clean + {tcp_chaos_cases} chaos cases");
     }
+    // The batched hot path must actually fire across a random corpus —
+    // every batched point above went through the bitwise data comparison,
+    // so this is the coverage half of the "vectorized == reference" check.
+    // Small corpora can legitimately miss it (seed 42 first batches in
+    // case 16), so only CI-sized runs enforce coverage.
+    if cases >= 25 && vectorized_points == 0 {
+        fail(seed, cases, "no case ever took the batched compute path");
+    }
+    eprintln!("vectorized coverage: {vectorized_points} batched points across the corpus");
     eprintln!(
         "all {cases} cases passed{}",
         if faults {

@@ -25,15 +25,29 @@
 //! off), and an end-to-end run with metrics+tracing enabled reports its
 //! real cost and writes the same `perf_obs_trace.json` /
 //! `perf_obs_metrics.json` artifacts the CLI emits.
+//!
+//! `perf --vec-bench [--test] [--out <path>]` compares the run-coalesced /
+//! batched hot paths of this PR against the per-point PR2 baselines
+//! (kept verbatim as `*_per_point` / `*_per_index` / `*_per_cell`): the
+//! interior compute loop, pack, unpack, and gather. Every path is first
+//! cross-checked bitwise against its baseline on the same tile, then timed
+//! with warmup + median-of-N wall-clock rounds. Results — wall-clock
+//! medians, virtual-model makespans, batched-point coverage, and machine
+//! info — go to `BENCH_PR7.json`. Acceptance: the batched interior compute
+//! must beat the per-point loop by >= 1.5x on at least 4 of the 6 paper
+//! workloads. With `--test`, every path runs once (identity checks only)
+//! and no JSON is written.
 
 use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tilecc::matrices;
-use tilecc_cluster::{EngineOptions, MachineModel, MetricsRegistry};
+use tilecc_cluster::{Counter, EngineOptions, MachineModel, MetricsRegistry};
 use tilecc_loopnest::{kernels, DataSpace};
 use tilecc_parcode::compiled::{
-    compute_tile_fast, gather_tile_fast, pack_region, tile_origin, unpack_region,
+    compute_tile_fast, compute_tile_fast_per_point, gather_tile_fast, gather_tile_per_cell,
+    pack_region, pack_region_per_index, tile_origin, unpack_region, unpack_region_per_index,
+    ComputeScratch,
 };
 use tilecc_parcode::{execute_strategy, ExecMode, ExecStrategy, ParallelPlan};
 use tilecc_tiling::{insert_at, Lds, TilingTransform};
@@ -115,25 +129,16 @@ fn bench_workload(name: &str, plan: ParallelPlan, smoke: bool) -> (Vec<PathResul
     let mut out = vec![0.0f64; w];
     let mut src = vec![0i64; n];
     let mut gs = vec![0i64; n];
-    let mut j_buf = vec![0i64; n];
+    let mut scratch = ComputeScratch::new(n, q, w);
     let points = chain.tile_points;
     let mut results = Vec::new();
 
     // --- compute loop -----------------------------------------------------
     let compiled_ns = {
         let lds = &mut lds;
-        let (reads, out, j_buf) = (&mut reads, &mut out, &mut j_buf);
+        let scratch = &mut scratch;
         time_ns(smoke, points, || {
-            compute_tile_fast(
-                chain,
-                lds,
-                tpos,
-                &origin,
-                kernel.as_ref(),
-                reads,
-                out,
-                j_buf,
-            );
+            compute_tile_fast(chain, lds, tpos, &origin, kernel.as_ref(), scratch);
         })
     };
     let reference_ns = {
@@ -207,7 +212,7 @@ fn bench_workload(name: &str, plan: ParallelPlan, smoke: bool) -> (Vec<PathResul
         let compiled_ns = {
             let (lds, payload) = (&mut lds, &payload);
             time_ns(smoke, count, || {
-                unpack_region(chain, lds, tpos, ds_idx, payload);
+                unpack_region(chain, lds, tpos, ds_idx, payload).unwrap();
             })
         };
         let reference_ns = {
@@ -321,9 +326,7 @@ fn obs_overhead(smoke: bool) {
     for (i, x) in lds.values_mut().iter_mut().enumerate() {
         *x = ((i % 977) as f64) / 977.0;
     }
-    let mut reads = vec![0.0f64; q * w];
-    let mut out = vec![0.0f64; w];
-    let mut j_buf = vec![0i64; plan.dim()];
+    let mut scratch = ComputeScratch::new(plan.dim(), q, w);
     let points = chain.tile_points;
 
     // A registry that is never installed — runtime-dependent so the branch
@@ -340,19 +343,19 @@ fn obs_overhead(smoke: bool) {
     let mut ratios = Vec::with_capacity(runs);
     let (mut raw_ns, mut gated_ns) = (f64::INFINITY, f64::INFINITY);
     {
-        let (lds, reads, out, j_buf) = (&mut lds, &mut reads, &mut out, &mut j_buf);
+        let (lds, scratch) = (&mut lds, &mut scratch);
         let kernel = kernel.as_ref();
         let disabled = &disabled;
         for _ in 0..runs {
             let r = time_ns(smoke, points, || {
-                compute_tile_fast(chain, lds, tpos, &origin, kernel, reads, out, j_buf);
+                compute_tile_fast(chain, lds, tpos, &origin, kernel, scratch);
             });
             let g = time_ns(smoke, points, || {
                 // The executor's per-tile pattern with obs off: one branch
                 // before the tile (timestamp capture skipped) and one after
                 // (histogram/span recording skipped).
                 let t0 = disabled.as_ref().map(|_| Instant::now());
-                compute_tile_fast(chain, lds, tpos, &origin, kernel, reads, out, j_buf);
+                compute_tile_fast(chain, lds, tpos, &origin, kernel, scratch);
                 if let Some(reg) = disabled.as_ref() {
                     reg.rank_metrics(rank); // never reached
                     let _ = t0;
@@ -512,6 +515,388 @@ fn overlap_bench(out_path: &str) {
     println!("wrote {out_path} (max overlap speedup {max_speedup:.3}x)");
 }
 
+/// Wall-clock statistics for `f`: warmup runs, then `rounds` timed batches
+/// of at least `MIN_ROUND_MS` each, reported as ns per inner iteration.
+/// The median round is the headline number (noise-robust); the minimum is
+/// kept as the optimistic floor.
+struct WallStat {
+    median_ns: f64,
+    min_ns: f64,
+}
+
+const WALL_WARMUP_RUNS: usize = 3;
+const WALL_ROUNDS: usize = 15;
+const MIN_ROUND_MS: u64 = 10;
+
+fn wall_stat<F: FnMut()>(smoke: bool, inner: usize, mut f: F) -> WallStat {
+    for _ in 0..WALL_WARMUP_RUNS {
+        f();
+    }
+    if smoke {
+        return WallStat {
+            median_ns: 0.0,
+            min_ns: 0.0,
+        };
+    }
+    let mut samples = Vec::with_capacity(WALL_ROUNDS);
+    for _ in 0..WALL_ROUNDS {
+        let t0 = Instant::now();
+        let mut reps: u64 = 0;
+        while reps < 3 || t0.elapsed() < Duration::from_millis(MIN_ROUND_MS) {
+            f();
+            reps += 1;
+        }
+        samples.push(t0.elapsed().as_nanos() as f64 / (reps as usize * inner) as f64);
+    }
+    samples.sort_by(f64::total_cmp);
+    WallStat {
+        median_ns: samples[WALL_ROUNDS / 2],
+        min_ns: samples[0],
+    }
+}
+
+/// Machine identification for the bench JSON: OS, architecture, logical
+/// CPU count, and the CPU model string when `/proc/cpuinfo` offers one.
+fn machine_json() -> String {
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let model = std::fs::read_to_string("/proc/cpuinfo")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("model name") || l.starts_with("Model"))
+                .and_then(|l| l.split(':').nth(1).map(|m| m.trim().to_string()))
+        })
+        .unwrap_or_else(|| "unknown".into());
+    format!(
+        "{{\"os\": \"{}\", \"arch\": \"{}\", \"cpus\": {cpus}, \"cpu_model\": \"{}\"}}",
+        std::env::consts::OS,
+        std::env::consts::ARCH,
+        model.replace('"', "'")
+    )
+}
+
+/// One optimized-vs-baseline hot path of the vec bench.
+struct VecPath {
+    name: &'static str,
+    inner: usize,
+    baseline: WallStat,
+    optimized: WallStat,
+}
+
+impl VecPath {
+    fn speedup(&self) -> f64 {
+        self.baseline.median_ns / self.optimized.median_ns
+    }
+}
+
+/// Wall-clock comparison of the PR7 run-coalesced/batched hot paths
+/// against the per-point PR2 baselines, written to `BENCH_PR7.json`.
+///
+/// Every optimized path is first cross-checked bitwise against its
+/// baseline on the same tile state, so a timing win can never hide a
+/// semantic change. Acceptance (non-smoke): batched interior compute at
+/// least 1.5x over the per-point loop on at least 4 of the 6 paper
+/// workloads.
+#[allow(clippy::too_many_lines)]
+fn vec_bench(out_path: &str, smoke: bool) {
+    let model = MachineModel::fast_ethernet_p3();
+    let mut json = String::from(
+        "{\n  \"bench\": \"PR7 vectorized interior kernels + run-coalesced pack/unpack/gather\",\n",
+    );
+    json.push_str("  \"unit\": \"ns_per_iter\",\n");
+    json.push_str("  \"baseline\": \"PR2 per-point/per-index hot paths (kept verbatim)\",\n");
+    let _ = writeln!(
+        json,
+        "  \"timing\": {{\"warmup_runs\": {WALL_WARMUP_RUNS}, \"rounds\": {WALL_ROUNDS}, \
+         \"statistic\": \"median\", \"min_round_ms\": {MIN_ROUND_MS}}},"
+    );
+    let _ = writeln!(json, "  \"machine\": {},", machine_json());
+    json.push_str("  \"workloads\": {\n");
+
+    let workloads = paper_workloads();
+    let nw = workloads.len();
+    let mut compute_wins = 0u32;
+    for (wi, (name, plan)) in workloads.into_iter().enumerate() {
+        println!("== {name} ==");
+        let (rank, tpos, tile) =
+            find_interior(&plan).unwrap_or_else(|| panic!("{name}: no compute-interior tile"));
+        let n = plan.dim();
+        let t = plan.tiled.transform();
+        let (lo_t, hi_t) = plan.dist.chains[rank];
+        let num_tiles = hi_t - lo_t + 1;
+        let w = plan.algorithm.width();
+        let chain = plan.compiled_for(num_tiles);
+        let origin = tile_origin(t, &tile);
+        let q = plan.deps().cols();
+        let kernel = plan.algorithm.kernel.clone();
+        let kernel = kernel.as_ref();
+        let points = chain.tile_points;
+        // SOR's skewed innermost dependence has lag 1, so its plan cannot
+        // batch (the analysis proves any chunk would read stale values);
+        // it must still win on the coalesced pack/unpack/gather paths.
+        let expect_batched = !name.starts_with("sor");
+
+        let mut lds = Lds::with_width(plan.geo.clone(), plan.anchor(rank), num_tiles, w);
+        let fill = |lds: &mut Lds| {
+            for (i, x) in lds.values_mut().iter_mut().enumerate() {
+                *x = ((i % 977) as f64) / 977.0;
+            }
+        };
+        let mut scratch = ComputeScratch::new(n, q, w);
+
+        // --- bitwise identity: batched == per-point on the same tile ------
+        fill(&mut lds);
+        compute_tile_fast_per_point(chain, &mut lds, tpos, &origin, kernel, &mut scratch);
+        let want: Vec<u64> = lds.values().iter().map(|v| v.to_bits()).collect();
+        fill(&mut lds);
+        let batched = compute_tile_fast(chain, &mut lds, tpos, &origin, kernel, &mut scratch);
+        let got: Vec<u64> = lds.values().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(
+            want, got,
+            "{name}: batched compute differs bitwise from the per-point loop"
+        );
+        assert!(
+            !expect_batched || batched > 0,
+            "{name}: plan-time lag analysis produced no batched runs"
+        );
+        let batched_fraction = batched as f64 / points as f64;
+        let mut paths: Vec<VecPath> = Vec::new();
+
+        // --- interior compute ---------------------------------------------
+        fill(&mut lds);
+        let baseline = {
+            let (lds, scratch) = (&mut lds, &mut scratch);
+            wall_stat(smoke, points, || {
+                compute_tile_fast_per_point(chain, lds, tpos, &origin, kernel, scratch);
+            })
+        };
+        fill(&mut lds);
+        let optimized = {
+            let (lds, scratch) = (&mut lds, &mut scratch);
+            wall_stat(smoke, points, || {
+                compute_tile_fast(chain, lds, tpos, &origin, kernel, scratch);
+            })
+        };
+        paths.push(VecPath {
+            name: "compute",
+            inner: points,
+            baseline,
+            optimized,
+        });
+
+        // --- pack / unpack -------------------------------------------------
+        fill(&mut lds);
+        if !plan.comm.proc_deps.is_empty() {
+            let dm_idx = 0usize;
+            let count = plan.region_counts[dm_idx];
+            let mut payload = vec![0.0f64; count * w];
+            let mut payload_base = vec![0.0f64; count * w];
+            pack_region_per_index(chain, &lds, tpos, dm_idx, &mut payload_base);
+            pack_region(chain, &lds, tpos, dm_idx, &mut payload);
+            assert_eq!(
+                payload_base.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                payload.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "{name}: run-coalesced pack differs bitwise from per-index pack"
+            );
+            let baseline = {
+                let (lds, payload) = (&lds, &mut payload_base);
+                wall_stat(smoke, count, || {
+                    pack_region_per_index(chain, lds, tpos, dm_idx, payload);
+                })
+            };
+            let optimized = {
+                let (lds, payload) = (&lds, &mut payload);
+                wall_stat(smoke, count, || {
+                    pack_region(chain, lds, tpos, dm_idx, payload);
+                })
+            };
+            paths.push(VecPath {
+                name: "pack",
+                inner: count,
+                baseline,
+                optimized,
+            });
+
+            let ds_idx = plan
+                .comm
+                .dm_of_ds
+                .iter()
+                .position(|d| *d == Some(dm_idx))
+                .expect("every proc dep comes from a tile dep");
+            let ucount = chain.unpack_rel[ds_idx].len();
+            let upayload: Vec<f64> = (0..ucount * w).map(|i| 1.0 + 0.5 * i as f64).collect();
+            fill(&mut lds);
+            unpack_region_per_index(chain, &mut lds, tpos, ds_idx, &upayload).unwrap();
+            let want: Vec<u64> = lds.values().iter().map(|v| v.to_bits()).collect();
+            fill(&mut lds);
+            unpack_region(chain, &mut lds, tpos, ds_idx, &upayload).unwrap();
+            let got: Vec<u64> = lds.values().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(
+                want, got,
+                "{name}: run-coalesced unpack differs bitwise from per-index unpack"
+            );
+            let baseline = {
+                let (lds, upayload) = (&mut lds, &upayload);
+                wall_stat(smoke, ucount, || {
+                    unpack_region_per_index(chain, lds, tpos, ds_idx, upayload).unwrap();
+                })
+            };
+            let optimized = {
+                let (lds, upayload) = (&mut lds, &upayload);
+                wall_stat(smoke, ucount, || {
+                    unpack_region(chain, lds, tpos, ds_idx, upayload).unwrap();
+                })
+            };
+            paths.push(VecPath {
+                name: "unpack",
+                inner: ucount,
+                baseline,
+                optimized,
+            });
+        }
+
+        // --- gather --------------------------------------------------------
+        let (blo, bhi) = plan.algorithm.nest.bounding_box();
+        fill(&mut lds);
+        let mut ds_base = DataSpace::with_width(&blo, &bhi, w);
+        let mut ds_opt = DataSpace::with_width(&blo, &bhi, w);
+        gather_tile_per_cell(chain, &lds, tpos, &origin, &mut ds_base);
+        gather_tile_fast(chain, &lds, tpos, &origin, &mut ds_opt);
+        assert_eq!(
+            ds_base.diff(&ds_opt),
+            None,
+            "{name}: run-coalesced gather differs bitwise from per-cell gather"
+        );
+        let baseline = {
+            let (lds, ds) = (&lds, &mut ds_base);
+            wall_stat(smoke, points, || {
+                gather_tile_per_cell(chain, lds, tpos, &origin, ds);
+            })
+        };
+        let optimized = {
+            let (lds, ds) = (&lds, &mut ds_opt);
+            wall_stat(smoke, points, || {
+                gather_tile_fast(chain, lds, tpos, &origin, ds);
+            })
+        };
+        paths.push(VecPath {
+            name: "gather",
+            inner: points,
+            baseline,
+            optimized,
+        });
+
+        // --- end-to-end: virtual makespan + wall clock + batch coverage ---
+        let plan = Arc::new(plan);
+        let reg = MetricsRegistry::new();
+        let full = execute_strategy(
+            plan.clone(),
+            model,
+            ExecMode::Full,
+            ExecStrategy::Compiled,
+            EngineOptions {
+                obs: Some(reg.clone()),
+                ..EngineOptions::default()
+            },
+        )
+        .expect("execution failed");
+        let rep = reg.run_report(&full.report.local_times);
+        let e2e_vectorized = rep.total(Counter::VectorizedPoints);
+        let e2e_iterations = rep.total(Counter::Iterations);
+        assert!(
+            !expect_batched || e2e_vectorized > 0,
+            "{name}: end-to-end run reported no batched points"
+        );
+        let virtual_makespan = full.makespan();
+        let e2e_wall_s = if smoke {
+            0.0
+        } else {
+            let mut best = Duration::MAX;
+            for _ in 0..3 {
+                let t0 = Instant::now();
+                let _ = execute_strategy(
+                    plan.clone(),
+                    model,
+                    ExecMode::Full,
+                    ExecStrategy::Compiled,
+                    EngineOptions::default(),
+                )
+                .expect("execution failed");
+                best = best.min(t0.elapsed());
+            }
+            best.as_secs_f64()
+        };
+
+        // --- report --------------------------------------------------------
+        let _ = write!(json, "    \"{name}\": {{\n      \"paths\": {{\n");
+        let np = paths.len();
+        for (i, p) in paths.iter().enumerate() {
+            if smoke {
+                println!("  {:<8} ok (smoke, {} iters)", p.name, p.inner);
+            } else {
+                println!(
+                    "  {:<8} per-point {:>8.2} ns/iter  optimized {:>8.2} ns/iter  speedup {:>5.2}x  ({} iters)",
+                    p.name,
+                    p.baseline.median_ns,
+                    p.optimized.median_ns,
+                    p.speedup(),
+                    p.inner
+                );
+            }
+            if p.name == "compute" && p.speedup() >= 1.5 {
+                compute_wins += 1;
+            }
+            let _ = writeln!(
+                json,
+                "        \"{}\": {{\"baseline_ns\": {:.2}, \"optimized_ns\": {:.2}, \
+                 \"baseline_min_ns\": {:.2}, \"optimized_min_ns\": {:.2}, \
+                 \"speedup\": {:.3}, \"iters\": {}}}{}",
+                p.name,
+                p.baseline.median_ns,
+                p.optimized.median_ns,
+                p.baseline.min_ns,
+                p.optimized.min_ns,
+                p.speedup(),
+                p.inner,
+                if i + 1 < np { "," } else { "" }
+            );
+        }
+        if !smoke {
+            println!(
+                "  batched {batched}/{points} tile points ({:.1}%); end-to-end {e2e_vectorized}/{e2e_iterations} iterations; wall {:.1} ms; virtual makespan {virtual_makespan:.6} s",
+                100.0 * batched_fraction,
+                e2e_wall_s * 1e3,
+            );
+        }
+        let _ = writeln!(
+            json,
+            "      }},\n      \"tile_points\": {points},\n      \"batched_points\": {batched},\n      \
+             \"batched_fraction\": {batched_fraction:.4},\n      \
+             \"e2e_vectorized_points\": {e2e_vectorized},\n      \
+             \"e2e_iterations\": {e2e_iterations},\n      \
+             \"virtual_makespan_s\": {virtual_makespan:.9},\n      \
+             \"e2e_wall_s\": {e2e_wall_s:.6}\n    }}{}",
+            if wi + 1 < nw { "," } else { "" }
+        );
+    }
+    let _ = writeln!(
+        json,
+        "  }},\n  \"compute_workloads_ge_1_5x\": {compute_wins}\n}}"
+    );
+
+    if smoke {
+        println!("vec-bench smoke: all paths bitwise-checked and ran once; no JSON written");
+        return;
+    }
+    assert!(
+        compute_wins >= 4,
+        "acceptance: batched interior compute must be >= 1.5x over the per-point loop \
+         on at least 4 of 6 paper workloads (got {compute_wins})"
+    );
+    std::fs::write(out_path, &json).expect("write bench JSON");
+    println!("wrote {out_path} ({compute_wins}/6 workloads >= 1.5x on interior compute)");
+}
+
 /// The paper's SOR/Jacobi/ADI workloads under their rectangular and
 /// non-rectangular tilings, shared by every benchmark mode.
 fn paper_workloads() -> Vec<(&'static str, ParallelPlan)> {
@@ -586,6 +971,10 @@ fn main() {
         .and_then(|i| args.get(i + 1).cloned());
     if args.iter().any(|a| a == "--overlap-bench") {
         overlap_bench(out_path.as_deref().unwrap_or("BENCH_PR4.json"));
+        return;
+    }
+    if args.iter().any(|a| a == "--vec-bench") {
+        vec_bench(out_path.as_deref().unwrap_or("BENCH_PR7.json"), smoke);
         return;
     }
     let out_path = out_path.unwrap_or_else(|| "BENCH_PR2.json".to_string());

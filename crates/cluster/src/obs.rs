@@ -153,6 +153,11 @@ pub enum Counter {
     CompiledDispatches,
     /// Tiles dispatched through the per-point reference path.
     ReferenceDispatches,
+    /// Iterations computed through batched affine-run kernel dispatches
+    /// (the vectorized interior path) rather than per-point calls. A
+    /// dispatch-shape counter like the two above: bitwise-identical
+    /// strategies may legitimately differ on it.
+    VectorizedPoints,
     /// Recovery checkpoints taken.
     Checkpoints,
     /// Crash recoveries performed (checkpoint restores / respawns).
@@ -161,7 +166,7 @@ pub enum Counter {
 
 impl Counter {
     /// Number of counters.
-    pub const COUNT: usize = 18;
+    pub const COUNT: usize = 19;
     /// Every counter, in index order.
     pub const ALL: [Counter; Counter::COUNT] = [
         Counter::MessagesSent,
@@ -180,6 +185,7 @@ impl Counter {
         Counter::Iterations,
         Counter::CompiledDispatches,
         Counter::ReferenceDispatches,
+        Counter::VectorizedPoints,
         Counter::Checkpoints,
         Counter::Recoveries,
     ];
@@ -203,6 +209,7 @@ impl Counter {
             Counter::Iterations => "iterations",
             Counter::CompiledDispatches => "compiled_dispatches",
             Counter::ReferenceDispatches => "reference_dispatches",
+            Counter::VectorizedPoints => "vectorized_points",
             Counter::Checkpoints => "checkpoints",
             Counter::Recoveries => "recoveries",
         }
@@ -1047,6 +1054,15 @@ impl RunReport {
             self.total(Counter::BoundaryTiles),
             self.total(Counter::Iterations),
         );
+        let vectorized = self.total(Counter::VectorizedPoints);
+        if vectorized > 0 {
+            let iters = self.total(Counter::Iterations).max(1);
+            let _ = writeln!(
+                out,
+                "  vectorized : {vectorized} iterations through batched runs ({:.1}%)",
+                100.0 * vectorized as f64 / iters as f64
+            );
+        }
         let hidden: f64 = self.ranks.iter().map(|r| r.overlap_hidden).sum();
         if hidden > 0.0 {
             let _ = writeln!(

@@ -149,6 +149,19 @@ impl DataSpace {
         self.written[cell] = true;
     }
 
+    /// Bulk write of `count` *consecutive* cells starting at flat index
+    /// `cell` from `count·width` values, marking each cell written — the
+    /// run-coalesced gather's block-move primitive.
+    ///
+    /// # Panics
+    /// Panics if the range is outside the allocation or `v` has the wrong
+    /// length.
+    pub fn write_cells(&mut self, cell: usize, count: usize, v: &[f64]) {
+        assert_eq!(v.len(), count * self.width, "component width mismatch");
+        self.vals[cell * self.width..(cell + count) * self.width].copy_from_slice(v);
+        self.written[cell..cell + count].fill(true);
+    }
+
     /// Number of written cells.
     pub fn num_written(&self) -> usize {
         self.written.iter().filter(|&&w| w).count()

@@ -26,6 +26,35 @@ pub trait Kernel: Send + Sync {
 
     /// Boundary value for points outside the iteration space.
     fn initial(&self, j: &[i64]) -> f64;
+
+    /// Batched [`Kernel::compute`] over `count` consecutive points of an
+    /// affine run: point `p` sits at iteration `j0 + p·dj` and its read of
+    /// dependence `i` is `reads[i*count + p]` (dependence-major blocks).
+    /// Writes the value of point `p` to `out[p]`.
+    ///
+    /// The default walks the points in ascending order through `compute`,
+    /// so it is bitwise identical to the per-point path by construction.
+    /// Overrides may reassociate **across points** (lane blocks) but must
+    /// keep each point's own floating-point operation order unchanged.
+    fn compute_run(&self, j0: &[i64], dj: &[i64], count: usize, reads: &[f64], out: &mut [f64]) {
+        debug_assert_eq!(out.len(), count);
+        if count == 0 {
+            return;
+        }
+        debug_assert_eq!(reads.len() % count, 0);
+        let q = reads.len() / count;
+        let mut j = j0.to_vec();
+        let mut rbuf = vec![0.0f64; q];
+        for p in 0..count {
+            for (i, r) in rbuf.iter_mut().enumerate() {
+                *r = reads[i * count + p];
+            }
+            out[p] = self.compute(&j, &rbuf);
+            for (jk, d) in j.iter_mut().zip(dj) {
+                *jk += d;
+            }
+        }
+    }
 }
 
 /// Multi-array loop-body semantics: `width` components per iteration point.
@@ -41,6 +70,40 @@ pub trait MultiKernel: Send + Sync {
 
     /// Boundary components for points outside the iteration space.
     fn initial(&self, j: &[i64], out: &mut [f64]);
+
+    /// Batched [`MultiKernel::compute`] over `count` consecutive points of
+    /// an affine run: point `p` sits at iteration `j0 + p·dj`; component
+    /// `c` of its dependence-`i` read is `reads[(i*count + p)*width + c]`
+    /// (dependence-major blocks of `count` points each, which for
+    /// `width == 1` coincides with the scalar layout). The components of
+    /// point `p` go to `out[p*width..(p+1)*width]`.
+    ///
+    /// The default walks the points in ascending order through `compute`,
+    /// so it is bitwise identical to the per-point path by construction.
+    /// Overrides may reassociate **across points** (lane blocks) but must
+    /// keep each point's own floating-point operation order unchanged.
+    fn compute_run(&self, j0: &[i64], dj: &[i64], count: usize, reads: &[f64], out: &mut [f64]) {
+        let w = self.width();
+        debug_assert_eq!(out.len(), count * w);
+        if count == 0 {
+            return;
+        }
+        debug_assert_eq!(reads.len() % (count * w), 0);
+        let q = reads.len() / (count * w);
+        let mut j = j0.to_vec();
+        let mut rbuf = vec![0.0f64; q * w];
+        for p in 0..count {
+            for i in 0..q {
+                let at = (i * count + p) * w;
+                rbuf[i * w..(i + 1) * w].copy_from_slice(&reads[at..at + w]);
+            }
+            let (lo, hi) = (p * w, (p + 1) * w);
+            self.compute(&j, &rbuf, &mut out[lo..hi]);
+            for (jk, d) in j.iter_mut().zip(dj) {
+                *jk += d;
+            }
+        }
+    }
 }
 
 /// Adapter: every scalar [`Kernel`] is a width-1 [`MultiKernel`].
@@ -57,6 +120,13 @@ impl MultiKernel for ScalarKernel {
 
     fn initial(&self, j: &[i64], out: &mut [f64]) {
         out[0] = self.0.initial(j);
+    }
+
+    fn compute_run(&self, j0: &[i64], dj: &[i64], count: usize, reads: &[f64], out: &mut [f64]) {
+        // Width 1: the multi-kernel run layout coincides with the scalar
+        // one, so the scalar kernel's (possibly specialized) batch entry
+        // applies directly.
+        self.0.compute_run(j0, dj, count, reads, out);
     }
 }
 
@@ -177,6 +247,14 @@ impl MultiKernel for SkewedKernel {
         let orig = self.t_inv.mul_vec(j);
         self.inner.initial(&orig, out);
     }
+
+    fn compute_run(&self, j0: &[i64], dj: &[i64], count: usize, reads: &[f64], out: &mut [f64]) {
+        // T⁻¹ is linear, so the skewed run is an affine run in original
+        // coordinates too: T⁻¹(j0 + p·dj) = T⁻¹j0 + p·(T⁻¹dj), exactly.
+        let o0 = self.t_inv.mul_vec(j0);
+        let od = self.t_inv.mul_vec(dj);
+        self.inner.compute_run(&o0, &od, count, reads, out);
+    }
 }
 
 #[cfg(test)]
@@ -244,6 +322,80 @@ mod tests {
         fn initial(&self, _j: &[i64], out: &mut [f64]) {
             out[0] = 0.0;
             out[1] = 1.0;
+        }
+    }
+
+    /// The default `compute_run` and both adapter forwardings must be
+    /// bitwise identical to the per-point path on j-dependent kernels.
+    #[test]
+    fn compute_run_default_matches_per_point_bitwise() {
+        struct JDep;
+        impl Kernel for JDep {
+            fn compute(&self, j: &[i64], reads: &[f64]) -> f64 {
+                (j[0] * 3 - j[1]) as f64 * 0.125 + reads[0] * 1.5 - reads[1] / 3.0
+            }
+            fn initial(&self, _j: &[i64]) -> f64 {
+                0.0
+            }
+        }
+        let (q, count) = (2usize, 13usize);
+        let reads: Vec<f64> = (0..q * count).map(|i| (i as f64) * 0.37 + 0.1).collect();
+        let j0 = [5i64, -2];
+        let dj = [1i64, 3];
+        let mut out = vec![0.0f64; count];
+        JDep.compute_run(&j0, &dj, count, &reads, &mut out);
+        for p in 0..count {
+            let j = [j0[0] + p as i64 * dj[0], j0[1] + p as i64 * dj[1]];
+            let rb = [reads[p], reads[count + p]];
+            assert_eq!(out[p].to_bits(), JDep.compute(&j, &rb).to_bits(), "p={p}");
+        }
+
+        // Scalar adapter: same layout, same bits.
+        let mk = ScalarKernel(Arc::new(JDep));
+        let mut out2 = vec![0.0f64; count];
+        mk.compute_run(&j0, &dj, count, &reads, &mut out2);
+        assert_eq!(
+            out.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            out2.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+
+        // Skewed adapter: the run in skewed coordinates must evaluate the
+        // inner kernel at the original coordinates, point by point.
+        let t = IMat::from_rows(&[&[1, 0], &[1, 1]]);
+        let sk = SkewedKernel {
+            inner: Arc::new(ScalarKernel(Arc::new(JDep))),
+            t_inv: t.inverse().to_imat(),
+        };
+        let mut out3 = vec![0.0f64; count];
+        sk.compute_run(&j0, &dj, count, &reads, &mut out3);
+        let t_inv = t.inverse().to_imat();
+        for p in 0..count {
+            let js = [j0[0] + p as i64 * dj[0], j0[1] + p as i64 * dj[1]];
+            let orig = t_inv.mul_vec(&js);
+            let rb = [reads[p], reads[count + p]];
+            assert_eq!(
+                out3[p].to_bits(),
+                JDep.compute(&orig, &rb).to_bits(),
+                "skewed p={p}"
+            );
+        }
+    }
+
+    /// Multi-kernel default `compute_run` (width 2) against per-point.
+    #[test]
+    fn multi_compute_run_default_matches_per_point_bitwise() {
+        let k = Coupled;
+        let (q, w, count) = (1usize, 2usize, 9usize);
+        let reads: Vec<f64> = (0..q * count * w)
+            .map(|i| (i as f64) * 0.21 - 0.4)
+            .collect();
+        let mut out = vec![0.0f64; count * w];
+        k.compute_run(&[3], &[2], count, &reads, &mut out);
+        for p in 0..count {
+            let mut expect = [0.0f64; 2];
+            k.compute(&[3 + 2 * p as i64], &reads[p * w..(p + 1) * w], &mut expect);
+            assert_eq!(out[p * w].to_bits(), expect[0].to_bits());
+            assert_eq!(out[p * w + 1].to_bits(), expect[1].to_bits());
         }
     }
 

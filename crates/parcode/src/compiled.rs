@@ -41,6 +41,207 @@ use tilecc_tiling::{CommPlan, Lds, LdsGeometry, TiledSpace, TilingTransform};
 /// `Lds::set_all` does on the reference path.
 pub const SKIP: i64 = i64::MIN;
 
+/// Cache-block width (in points) of the batched interior compute: chunks
+/// are clamped so one chunk's read/write windows total
+/// `(q+1)·CACHE_BLOCK·width` values (~(q+1)·4 KiB at width 1) and stay
+/// L1/L2-resident no matter how long the affine run is.
+pub const CACHE_BLOCK: usize = 512;
+
+/// Minimum safe batch width worth a `compute_run` dispatch; runs whose
+/// dependence lag allows fewer points per chunk fall back to the
+/// per-point loop (the dispatch would cost more than it saves).
+pub const MIN_BATCH: u32 = 4;
+
+/// A maximal affine run inside a per-index cell list: positions
+/// `at..at+len` of the list hold cells `list[at] + t·step` (`0 ≤ t < len`).
+/// Runs never cover [`SKIP`] positions, and a SKIP splits runs exactly.
+/// `step == 1` is the block-move fast path: `len` consecutive cells are one
+/// `copy_from_slice` of `len·width` values.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IndexRun {
+    /// First covered position in the list (also the payload index).
+    pub at: u32,
+    /// Number of covered positions.
+    pub len: u32,
+    /// Cell advance per position (1 for singleton runs).
+    pub step: i64,
+}
+
+/// A maximal joint affine run of the gather's source (`dst`) and target
+/// (`gather_rel`) lists over walk positions `at..at+len`. When both steps
+/// are 1 the whole run is one LDS→DataSpace block copy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GatherRun {
+    /// First covered TTIS walk position.
+    pub at: u32,
+    /// Number of covered positions.
+    pub len: u32,
+    /// LDS source-cell advance per position.
+    pub src_step: i64,
+    /// DataSpace target-cell advance per position.
+    pub dst_step: i64,
+}
+
+/// A maximal affine run of the interior compute walk: `len` consecutive
+/// walk positions starting at `i0` whose `dst` and every `src_rel` advance
+/// by exactly one cell and whose iteration offset advances by the constant
+/// vector `dj`. `batch` is the largest chunk whose reads may be
+/// pre-gathered without observing a same-chunk write (see
+/// [`CompiledChain::new`]'s lag analysis); `batch == 0` disables batching.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ComputeRun {
+    /// First TTIS walk position of the run.
+    pub i0: u32,
+    /// Number of consecutive walk positions.
+    pub len: u32,
+    /// Safe chunk width for pre-gathered reads (0 = per-point fallback).
+    pub batch: u32,
+    /// Per-point iteration advance within the run (`n` entries).
+    pub dj: Vec<i64>,
+}
+
+/// Factor a per-index cell list into maximal affine runs. [`SKIP`] cells
+/// are never covered and split runs exactly; every non-SKIP position is
+/// covered by exactly one run, and runs are emitted in position order.
+pub fn coalesce_runs(list: &[i64]) -> Vec<IndexRun> {
+    let mut runs = Vec::new();
+    let mut i = 0usize;
+    while i < list.len() {
+        if list[i] == SKIP {
+            i += 1;
+            continue;
+        }
+        let at = i;
+        let mut step = 1i64;
+        let mut len = 1usize;
+        if at + 1 < list.len() && list[at + 1] != SKIP {
+            step = list[at + 1] - list[at];
+            len = 2;
+            while at + len < list.len()
+                && list[at + len] != SKIP
+                && list[at + len] - list[at + len - 1] == step
+            {
+                len += 1;
+            }
+        }
+        runs.push(IndexRun {
+            at: at as u32,
+            len: len as u32,
+            step,
+        });
+        i = at + len;
+    }
+    runs
+}
+
+/// Factor the gather's `(dst, gather_rel)` pair into maximal joint affine
+/// runs covering every walk position exactly once, in order.
+fn coalesce_gather_runs(dst: &[i64], grel: &[i64]) -> Vec<GatherRun> {
+    debug_assert_eq!(dst.len(), grel.len());
+    let mut runs = Vec::new();
+    let mut at = 0usize;
+    while at < dst.len() {
+        let mut len = 1usize;
+        let mut src_step = 1i64;
+        let mut dst_step = 1i64;
+        if at + 1 < dst.len() {
+            src_step = dst[at + 1] - dst[at];
+            dst_step = grel[at + 1] - grel[at];
+            len = 2;
+            while at + len < dst.len()
+                && dst[at + len] - dst[at + len - 1] == src_step
+                && grel[at + len] - grel[at + len - 1] == dst_step
+            {
+                len += 1;
+            }
+        }
+        runs.push(GatherRun {
+            at: at as u32,
+            len: len as u32,
+            src_step,
+            dst_step,
+        });
+        at += len;
+    }
+    runs
+}
+
+/// Factor an ascending walk-index sequence into maximal compute runs and
+/// derive each run's safe batch width from its dependence lags.
+fn compute_runs_for(
+    indices: &[u32],
+    dst: &[i64],
+    src_rel: &[i64],
+    j_off: &[i64],
+    q: usize,
+    n: usize,
+) -> Vec<ComputeRun> {
+    let mut runs = Vec::new();
+    let mut s = 0usize;
+    while s < indices.len() {
+        let i0 = indices[s] as usize;
+        let mut len = 1usize;
+        let mut dj = vec![0i64; n];
+        // Extend while walk indices stay consecutive, `dst` and every
+        // `src_rel` advance by exactly one cell, and the `j_off` delta
+        // stays the constant established by the first extension.
+        loop {
+            let e = s + len;
+            if e >= indices.len() {
+                break;
+            }
+            let (a, b) = (indices[e - 1] as usize, indices[e] as usize);
+            if b != a + 1 || dst[b] != dst[a] + 1 {
+                break;
+            }
+            if (0..q).any(|dq| src_rel[b * q + dq] != src_rel[a * q + dq] + 1) {
+                break;
+            }
+            let step: Vec<i64> = (0..n)
+                .map(|k| j_off[b * n + k] - j_off[a * n + k])
+                .collect();
+            if len == 1 {
+                dj = step;
+            } else if dj != step {
+                break;
+            }
+            len += 1;
+        }
+        // Lag analysis: within the run, point `p` writes cell `dst0 + p`
+        // and its dependence-`dq` read sits at `dst0 + p − lag_dq` (the
+        // lag is constant along the run because both lists advance by 1).
+        // A chunk of `B` pre-gathered points writes cells
+        // `[dst0+s, dst0+s+B)` only after gathering, so a read is stale
+        // exactly when its in-run writer `p − lag` falls inside the same
+        // chunk — impossible for `B ≤ lag`. `lag == 0` reads the cell's
+        // pre-run value on both paths (the run's only write of that cell
+        // happens at the reading point itself, after its read), and
+        // negative lags cannot occur: `d' ≥ 0` makes every per-dimension
+        // LDS address of `j' − d'` ≤ that of `j'`.
+        let mut batch = CACHE_BLOCK as i64;
+        for dq in 0..q {
+            let lag = dst[i0] - src_rel[i0 * q + dq];
+            debug_assert!(lag >= 0, "negative dependence lag");
+            if lag >= 1 {
+                batch = batch.min(lag);
+            }
+        }
+        let batch = if batch < MIN_BATCH as i64 {
+            0
+        } else {
+            batch as u32
+        };
+        runs.push(ComputeRun {
+            i0: i0 as u32,
+            len: len as u32,
+            batch,
+            dj,
+        });
+        s += len;
+    }
+    runs
+}
+
 /// Plan-time lowering of one chain length's tile work to flat LDS indices.
 ///
 /// LDS extents — and therefore row-major weights — depend on the chain
@@ -84,6 +285,19 @@ pub struct CompiledChain {
     /// The complementary private-interior point indices, ascending. No pack
     /// region reads them, so they compute while sends are in flight.
     pub interior_order: Vec<u32>,
+    /// Affine runs of each `pack_rel` list (cover every position, in order).
+    pub pack_runs: Vec<Vec<IndexRun>>,
+    /// Affine runs of each `unpack_rel` list (cover exactly the non-[`SKIP`]
+    /// positions, in order; SKIP cells split runs).
+    pub unpack_runs: Vec<Vec<IndexRun>>,
+    /// Joint affine runs of the gather's `(dst, gather_rel)` lists.
+    pub gather_runs: Vec<GatherRun>,
+    /// Compute runs over the full TTIS walk ([`compute_tile_fast`]).
+    pub compute_runs: Vec<ComputeRun>,
+    /// Compute runs over `boundary_order` (the overlapped boundary pass).
+    pub boundary_runs: Vec<ComputeRun>,
+    /// Compute runs over `interior_order` (the overlapped interior pass).
+    pub interior_runs: Vec<ComputeRun>,
 }
 
 impl CompiledChain {
@@ -262,6 +476,16 @@ impl CompiledChain {
             .collect();
         debug_assert_eq!(boundary_order.len() + interior_order.len(), tile_points);
 
+        // Affine-run coalescing: every hot per-index loop below gets a
+        // run-descriptor form computed once per plan, here.
+        let pack_runs: Vec<Vec<IndexRun>> = pack_rel.iter().map(|l| coalesce_runs(l)).collect();
+        let unpack_runs: Vec<Vec<IndexRun>> = unpack_rel.iter().map(|l| coalesce_runs(l)).collect();
+        let gather_runs = coalesce_gather_runs(&dst, &gather_rel);
+        let all: Vec<u32> = (0..tile_points as u32).collect();
+        let compute_runs = compute_runs_for(&all, &dst, &src_rel, &j_off, q, n);
+        let boundary_runs = compute_runs_for(&boundary_order, &dst, &src_rel, &j_off, q, n);
+        let interior_runs = compute_runs_for(&interior_order, &dst, &src_rel, &j_off, q, n);
+
         CompiledChain {
             num_tiles,
             tile_points,
@@ -276,6 +500,12 @@ impl CompiledChain {
             unpack_rel,
             boundary_order,
             interior_order,
+            pack_runs,
+            unpack_runs,
+            gather_runs,
+            compute_runs,
+            boundary_runs,
+            interior_runs,
         }
     }
 
@@ -299,34 +529,176 @@ pub fn tile_origin(t: &TilingTransform, tile: &[i64]) -> Vec<i64> {
         .collect()
 }
 
+/// Reusable per-rank scratch of the compiled compute paths: per-point
+/// staging (`reads`/`out`/`j`/`src`) plus one cache block of batched
+/// dependence-major reads and outputs. Allocated once per rank (or bench
+/// loop), so the hot paths stay allocation-free.
+pub struct ComputeScratch {
+    j: Vec<i64>,
+    src: Vec<i64>,
+    reads: Vec<f64>,
+    out: Vec<f64>,
+    run_reads: Vec<f64>,
+    run_out: Vec<f64>,
+}
+
+impl ComputeScratch {
+    /// Scratch for an `n`-dimensional nest with `q` dependences and `w`
+    /// components per cell.
+    pub fn new(n: usize, q: usize, w: usize) -> Self {
+        ComputeScratch {
+            j: vec![0i64; n],
+            src: vec![0i64; n],
+            reads: vec![0.0f64; q * w],
+            out: vec![0.0f64; w],
+            run_reads: vec![0.0f64; q * CACHE_BLOCK * w],
+            run_out: vec![0.0f64; CACHE_BLOCK * w],
+        }
+    }
+}
+
+/// Execute a set of compute runs against a hoisted LDS value buffer: the
+/// shared inner loop of [`compute_tile_fast`] and
+/// [`compute_tile_fast_subset`]. Runs with a usable `batch` width go
+/// through the kernel's `compute_run` batch entry in cache-blocked chunks
+/// (reads bulk-copied per dependence, one kernel dispatch per chunk, one
+/// bulk write-back); the rest fall back to the per-point loop. Returns the
+/// number of points computed through the batch entry.
+#[allow(clippy::too_many_arguments)]
+fn run_compute_runs<K: MultiKernel + ?Sized>(
+    chain: &CompiledChain,
+    vals: &mut [f64],
+    base: i64,
+    origin: &[i64],
+    kernel: &K,
+    scr: &mut ComputeScratch,
+    runs: &[ComputeRun],
+    w: usize,
+) -> u64 {
+    let (n, q) = (chain.n, chain.q);
+    let mut batched = 0u64;
+    for run in runs {
+        let len = run.len as usize;
+        if run.batch >= MIN_BATCH && len >= MIN_BATCH as usize {
+            let mut done = 0usize;
+            while done < len {
+                let b = (run.batch as usize).min(len - done);
+                let i = run.i0 as usize + done;
+                for k in 0..n {
+                    scr.j[k] = origin[k] + chain.j_off[i * n + k];
+                }
+                let cw = b * w;
+                for dq in 0..q {
+                    let cell = (base + chain.src_rel[i * q + dq]) as usize;
+                    scr.run_reads[dq * cw..dq * cw + cw]
+                        .copy_from_slice(&vals[cell * w..cell * w + cw]);
+                }
+                kernel.compute_run(
+                    &scr.j[..n],
+                    &run.dj,
+                    b,
+                    &scr.run_reads[..q * cw],
+                    &mut scr.run_out[..cw],
+                );
+                let cell = (base + chain.dst[i]) as usize;
+                vals[cell * w..cell * w + cw].copy_from_slice(&scr.run_out[..cw]);
+                batched += b as u64;
+                done += b;
+            }
+        } else {
+            for i in run.i0 as usize..run.i0 as usize + len {
+                for k in 0..n {
+                    scr.j[k] = origin[k] + chain.j_off[i * n + k];
+                }
+                for dq in 0..q {
+                    let cell = (base + chain.src_rel[i * q + dq]) as usize;
+                    scr.reads[dq * w..(dq + 1) * w]
+                        .copy_from_slice(&vals[cell * w..(cell + 1) * w]);
+                }
+                kernel.compute(&scr.j[..n], &scr.reads[..q * w], &mut scr.out[..w]);
+                let cell = (base + chain.dst[i]) as usize;
+                vals[cell * w..(cell + 1) * w].copy_from_slice(&scr.out[..w]);
+            }
+        }
+    }
+    batched
+}
+
 /// Dense compute loop for a compute-interior tile: every point is in the
 /// iteration space and every read source is stored in the LDS, so the loop
-/// runs with zero membership tests and no per-point allocation.
-#[allow(clippy::too_many_arguments)]
-pub fn compute_tile_fast(
+/// runs with zero membership tests and no per-point allocation. Iterates
+/// the plan-time compute runs — unit-lag-safe chunks go through the
+/// kernel's batch entry, bitwise identical to the per-point order (see
+/// [`CompiledChain`]'s lag analysis). Returns the number of points
+/// computed through the batch entry.
+pub fn compute_tile_fast<K: MultiKernel + ?Sized>(
+    chain: &CompiledChain,
+    lds: &mut Lds,
+    tpos: i64,
+    origin: &[i64],
+    kernel: &K,
+    scr: &mut ComputeScratch,
+) -> u64 {
+    let w = lds.width();
+    let base = tpos * chain.chain_step;
+    // Single split borrow of the LDS buffer, hoisted out of all loops.
+    let vals = lds.values_mut();
+    run_compute_runs(
+        chain,
+        vals,
+        base,
+        origin,
+        kernel,
+        scr,
+        &chain.compute_runs,
+        w,
+    )
+}
+
+/// [`compute_tile_fast`] restricted to a precomputed run set
+/// ([`CompiledChain::boundary_runs`] / [`CompiledChain::interior_runs`]):
+/// the overlapped strategy's boundary and interior passes. Returns the
+/// number of points computed through the batch entry.
+pub fn compute_tile_fast_subset<K: MultiKernel + ?Sized>(
+    chain: &CompiledChain,
+    lds: &mut Lds,
+    tpos: i64,
+    origin: &[i64],
+    kernel: &K,
+    scr: &mut ComputeScratch,
+    runs: &[ComputeRun],
+) -> u64 {
+    let w = lds.width();
+    let base = tpos * chain.chain_step;
+    let vals = lds.values_mut();
+    run_compute_runs(chain, vals, base, origin, kernel, scr, runs, w)
+}
+
+/// The PR2 per-point interior loop, kept verbatim (dyn dispatch and
+/// `lds.values()` re-borrow per point) as the wall-clock baseline of
+/// `--vec-bench` and as a second oracle for the batched path.
+pub fn compute_tile_fast_per_point(
     chain: &CompiledChain,
     lds: &mut Lds,
     tpos: i64,
     origin: &[i64],
     kernel: &dyn MultiKernel,
-    reads: &mut [f64],
-    out: &mut [f64],
-    j_buf: &mut [i64],
+    scr: &mut ComputeScratch,
 ) {
     let (n, q, w) = (chain.n, chain.q, lds.width());
     let base = tpos * chain.chain_step;
     for i in 0..chain.tile_points {
         for k in 0..n {
-            j_buf[k] = origin[k] + chain.j_off[i * n + k];
+            scr.j[k] = origin[k] + chain.j_off[i * n + k];
         }
         let vals = lds.values();
         for dq in 0..q {
             let cell = (base + chain.src_rel[i * q + dq]) as usize;
-            reads[dq * w..(dq + 1) * w].copy_from_slice(&vals[cell * w..(cell + 1) * w]);
+            scr.reads[dq * w..(dq + 1) * w].copy_from_slice(&vals[cell * w..(cell + 1) * w]);
         }
-        kernel.compute(j_buf, reads, out);
+        kernel.compute(&scr.j[..n], &scr.reads[..q * w], &mut scr.out[..w]);
         let cell = (base + chain.dst[i]) as usize;
-        lds.values_mut()[cell * w..(cell + 1) * w].copy_from_slice(out);
+        lds.values_mut()[cell * w..(cell + 1) * w].copy_from_slice(&scr.out[..w]);
     }
 }
 
@@ -334,125 +706,87 @@ pub fn compute_tile_fast(
 /// original iteration-space inequalities, with out-of-space reads served by
 /// the kernel's initial values. Returns the number of in-space iterations.
 #[allow(clippy::too_many_arguments)]
-pub fn compute_tile_clamped(
+pub fn compute_tile_clamped<K: MultiKernel + ?Sized>(
     chain: &CompiledChain,
     lds: &mut Lds,
     tpos: i64,
     origin: &[i64],
-    kernel: &dyn MultiKernel,
+    kernel: &K,
     space: &Polyhedron,
     deps: &IMat,
-    reads: &mut [f64],
-    out: &mut [f64],
-    j_buf: &mut [i64],
-    src_buf: &mut [i64],
+    scr: &mut ComputeScratch,
 ) -> u64 {
     let (n, q, w) = (chain.n, chain.q, lds.width());
     let base = tpos * chain.chain_step;
     let mut iters = 0u64;
+    let vals = lds.values_mut();
     for i in 0..chain.tile_points {
         for k in 0..n {
-            j_buf[k] = origin[k] + chain.j_off[i * n + k];
+            scr.j[k] = origin[k] + chain.j_off[i * n + k];
         }
-        if !space.contains(j_buf) {
+        if !space.contains(&scr.j) {
             continue;
         }
         iters += 1;
         for dq in 0..q {
             for k in 0..n {
-                src_buf[k] = j_buf[k] - deps[(k, dq)];
+                scr.src[k] = scr.j[k] - deps[(k, dq)];
             }
-            if space.contains(src_buf) {
+            if space.contains(&scr.src) {
                 let cell = (base + chain.src_rel[i * q + dq]) as usize;
-                reads[dq * w..(dq + 1) * w]
-                    .copy_from_slice(&lds.values()[cell * w..(cell + 1) * w]);
+                scr.reads[dq * w..(dq + 1) * w].copy_from_slice(&vals[cell * w..(cell + 1) * w]);
             } else {
-                kernel.initial(src_buf, &mut reads[dq * w..(dq + 1) * w]);
+                kernel.initial(&scr.src, &mut scr.reads[dq * w..(dq + 1) * w]);
             }
         }
-        kernel.compute(j_buf, reads, out);
+        kernel.compute(&scr.j[..n], &scr.reads[..q * w], &mut scr.out[..w]);
         let cell = (base + chain.dst[i]) as usize;
-        lds.values_mut()[cell * w..(cell + 1) * w].copy_from_slice(out);
+        vals[cell * w..(cell + 1) * w].copy_from_slice(&scr.out[..w]);
     }
     iters
 }
 
-/// [`compute_tile_fast`] restricted to a point subset (ascending walk-order
-/// indices): the overlapped strategy's boundary and interior passes.
+/// [`compute_tile_clamped`] restricted to a point subset (ascending
+/// walk-order indices). Returns the number of in-space iterations executed.
 #[allow(clippy::too_many_arguments)]
-pub fn compute_tile_fast_subset(
+pub fn compute_tile_clamped_subset<K: MultiKernel + ?Sized>(
     chain: &CompiledChain,
     lds: &mut Lds,
     tpos: i64,
     origin: &[i64],
-    kernel: &dyn MultiKernel,
-    reads: &mut [f64],
-    out: &mut [f64],
-    j_buf: &mut [i64],
-    subset: &[u32],
-) {
-    let (n, q, w) = (chain.n, chain.q, lds.width());
-    let base = tpos * chain.chain_step;
-    for &i in subset {
-        let i = i as usize;
-        for k in 0..n {
-            j_buf[k] = origin[k] + chain.j_off[i * n + k];
-        }
-        let vals = lds.values();
-        for dq in 0..q {
-            let cell = (base + chain.src_rel[i * q + dq]) as usize;
-            reads[dq * w..(dq + 1) * w].copy_from_slice(&vals[cell * w..(cell + 1) * w]);
-        }
-        kernel.compute(j_buf, reads, out);
-        let cell = (base + chain.dst[i]) as usize;
-        lds.values_mut()[cell * w..(cell + 1) * w].copy_from_slice(out);
-    }
-}
-
-/// [`compute_tile_clamped`] restricted to a point subset. Returns the
-/// number of in-space iterations executed.
-#[allow(clippy::too_many_arguments)]
-pub fn compute_tile_clamped_subset(
-    chain: &CompiledChain,
-    lds: &mut Lds,
-    tpos: i64,
-    origin: &[i64],
-    kernel: &dyn MultiKernel,
+    kernel: &K,
     space: &Polyhedron,
     deps: &IMat,
-    reads: &mut [f64],
-    out: &mut [f64],
-    j_buf: &mut [i64],
-    src_buf: &mut [i64],
+    scr: &mut ComputeScratch,
     subset: &[u32],
 ) -> u64 {
     let (n, q, w) = (chain.n, chain.q, lds.width());
     let base = tpos * chain.chain_step;
     let mut iters = 0u64;
+    let vals = lds.values_mut();
     for &i in subset {
         let i = i as usize;
         for k in 0..n {
-            j_buf[k] = origin[k] + chain.j_off[i * n + k];
+            scr.j[k] = origin[k] + chain.j_off[i * n + k];
         }
-        if !space.contains(j_buf) {
+        if !space.contains(&scr.j) {
             continue;
         }
         iters += 1;
         for dq in 0..q {
             for k in 0..n {
-                src_buf[k] = j_buf[k] - deps[(k, dq)];
+                scr.src[k] = scr.j[k] - deps[(k, dq)];
             }
-            if space.contains(src_buf) {
+            if space.contains(&scr.src) {
                 let cell = (base + chain.src_rel[i * q + dq]) as usize;
-                reads[dq * w..(dq + 1) * w]
-                    .copy_from_slice(&lds.values()[cell * w..(cell + 1) * w]);
+                scr.reads[dq * w..(dq + 1) * w].copy_from_slice(&vals[cell * w..(cell + 1) * w]);
             } else {
-                kernel.initial(src_buf, &mut reads[dq * w..(dq + 1) * w]);
+                kernel.initial(&scr.src, &mut scr.reads[dq * w..(dq + 1) * w]);
             }
         }
-        kernel.compute(j_buf, reads, out);
+        kernel.compute(&scr.j[..n], &scr.reads[..q * w], &mut scr.out[..w]);
         let cell = (base + chain.dst[i]) as usize;
-        lds.values_mut()[cell * w..(cell + 1) * w].copy_from_slice(out);
+        vals[cell * w..(cell + 1) * w].copy_from_slice(&scr.out[..w]);
     }
     iters
 }
@@ -481,8 +815,35 @@ pub fn count_in_space_subset(
 }
 
 /// Fill `payload` with the pack region of processor dependence `dm_idx` at
-/// chain position `tpos` — a dense index-list copy.
+/// chain position `tpos`. Unit-stride runs are whole-run block moves; the
+/// rest fall back to per-index cell copies.
 pub fn pack_region(
+    chain: &CompiledChain,
+    lds: &Lds,
+    tpos: i64,
+    dm_idx: usize,
+    payload: &mut [f64],
+) {
+    let w = lds.width();
+    let base = tpos * chain.chain_step;
+    let vals = lds.values();
+    let list = &chain.pack_rel[dm_idx];
+    for run in &chain.pack_runs[dm_idx] {
+        let (at, len) = (run.at as usize, run.len as usize);
+        if run.step == 1 {
+            let cell = (base + list[at]) as usize;
+            payload[at * w..(at + len) * w].copy_from_slice(&vals[cell * w..(cell + len) * w]);
+        } else {
+            for t in at..at + len {
+                let cell = (base + list[t]) as usize;
+                payload[t * w..(t + 1) * w].copy_from_slice(&vals[cell * w..(cell + 1) * w]);
+            }
+        }
+    }
+}
+
+/// The PR2 per-index pack loop, kept as the `--vec-bench` baseline.
+pub fn pack_region_per_index(
     chain: &CompiledChain,
     lds: &Lds,
     tpos: i64,
@@ -498,19 +859,87 @@ pub fn pack_region(
     }
 }
 
+/// A received payload whose length disagrees with the plan's unpack list —
+/// always checked, release builds included: a silent size mismatch would
+/// scatter values to the wrong halo cells and corrupt the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PayloadSizeError {
+    /// Index of the tile dependence being unpacked.
+    pub ds_idx: usize,
+    /// Expected payload length in values (`list.len() · width`).
+    pub expected: usize,
+    /// Actual payload length in values.
+    pub actual: usize,
+}
+
+impl std::fmt::Display for PayloadSizeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unpack payload size mismatch for tile dependence {}: expected {} values, got {}",
+            self.ds_idx, self.expected, self.actual
+        )
+    }
+}
+
+impl std::error::Error for PayloadSizeError {}
+
 /// Scatter a received `payload` into the halo cells of tile dependence
-/// `ds_idx` at chain position `tpos`, dropping [`SKIP`] cells.
+/// `ds_idx` at chain position `tpos`. Runs cover exactly the non-[`SKIP`]
+/// positions, so SKIP cells are dropped by construction and unit-stride
+/// runs are whole-run block moves.
 pub fn unpack_region(
     chain: &CompiledChain,
     lds: &mut Lds,
     tpos: i64,
     ds_idx: usize,
     payload: &[f64],
-) {
+) -> Result<(), PayloadSizeError> {
     let w = lds.width();
     let base = tpos * chain.chain_step;
     let list = &chain.unpack_rel[ds_idx];
-    debug_assert_eq!(list.len() * w, payload.len(), "unpack count mismatch");
+    if list.len() * w != payload.len() {
+        return Err(PayloadSizeError {
+            ds_idx,
+            expected: list.len() * w,
+            actual: payload.len(),
+        });
+    }
+    let vals = lds.values_mut();
+    for run in &chain.unpack_runs[ds_idx] {
+        let (at, len) = (run.at as usize, run.len as usize);
+        if run.step == 1 {
+            let cell = (base + list[at]) as usize;
+            vals[cell * w..(cell + len) * w].copy_from_slice(&payload[at * w..(at + len) * w]);
+        } else {
+            for t in at..at + len {
+                let cell = (base + list[t]) as usize;
+                vals[cell * w..(cell + 1) * w].copy_from_slice(&payload[t * w..(t + 1) * w]);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The PR2 per-index unpack loop, kept as the `--vec-bench` baseline;
+/// applies the same payload-size check as [`unpack_region`].
+pub fn unpack_region_per_index(
+    chain: &CompiledChain,
+    lds: &mut Lds,
+    tpos: i64,
+    ds_idx: usize,
+    payload: &[f64],
+) -> Result<(), PayloadSizeError> {
+    let w = lds.width();
+    let base = tpos * chain.chain_step;
+    let list = &chain.unpack_rel[ds_idx];
+    if list.len() * w != payload.len() {
+        return Err(PayloadSizeError {
+            ds_idx,
+            expected: list.len() * w,
+            actual: payload.len(),
+        });
+    }
     let vals = lds.values_mut();
     for (idx, &rel) in list.iter().enumerate() {
         if rel == SKIP {
@@ -519,12 +948,43 @@ pub fn unpack_region(
         let cell = (base + rel) as usize;
         vals[cell * w..(cell + 1) * w].copy_from_slice(&payload[idx * w..(idx + 1) * w]);
     }
+    Ok(())
 }
 
 /// Single-pass gather of an interior tile's owned cells into the global
-/// data space: bulk cell copies through the precomputed relative offsets,
-/// no re-traversal and no per-point vectors.
+/// data space. Joint unit-stride runs of the source and target lists
+/// become one block copy each (values and written flags); other runs fall
+/// back to per-cell writes.
 pub fn gather_tile_fast(
+    chain: &CompiledChain,
+    lds: &Lds,
+    tpos: i64,
+    origin: &[i64],
+    ds: &mut DataSpace,
+) {
+    let w = lds.width();
+    debug_assert_eq!(ds.width(), w);
+    let base = tpos * chain.chain_step;
+    let gbase = ds.flat_cell_signed(origin);
+    let vals = lds.values();
+    for run in &chain.gather_runs {
+        let (at, len) = (run.at as usize, run.len as usize);
+        if run.src_step == 1 && run.dst_step == 1 {
+            let src = (base + chain.dst[at]) as usize;
+            let cell = (gbase + chain.gather_rel[at]) as usize;
+            ds.write_cells(cell, len, &vals[src * w..(src + len) * w]);
+        } else {
+            for i in at..at + len {
+                let src = (base + chain.dst[i]) as usize;
+                let cell = (gbase + chain.gather_rel[i]) as usize;
+                ds.write_cell(cell, &vals[src * w..(src + 1) * w]);
+            }
+        }
+    }
+}
+
+/// The PR2 per-cell gather loop, kept as the `--vec-bench` baseline.
+pub fn gather_tile_per_cell(
     chain: &CompiledChain,
     lds: &Lds,
     tpos: i64,
@@ -767,5 +1227,167 @@ mod tests {
             with_interior >= 1,
             "no sampled tiling produced a private interior"
         );
+    }
+
+    /// SKIP sentinels are never covered and split otherwise-affine runs
+    /// exactly; singletons carry step 1 (the block-move fast path).
+    #[test]
+    fn coalesce_runs_splits_on_skip() {
+        use super::{coalesce_runs, IndexRun, SKIP};
+        assert_eq!(coalesce_runs(&[]), vec![]);
+        assert_eq!(coalesce_runs(&[SKIP, SKIP]), vec![]);
+        assert_eq!(
+            coalesce_runs(&[7]),
+            vec![IndexRun {
+                at: 0,
+                len: 1,
+                step: 1
+            }]
+        );
+        // One affine list cut in two by a SKIP; the second piece resumes
+        // with its own start cell and the same stride.
+        assert_eq!(
+            coalesce_runs(&[10, 12, 14, SKIP, 18, 20]),
+            vec![
+                IndexRun {
+                    at: 0,
+                    len: 3,
+                    step: 2
+                },
+                IndexRun {
+                    at: 4,
+                    len: 2,
+                    step: 2
+                },
+            ]
+        );
+        // A stride change splits without a gap.
+        assert_eq!(
+            coalesce_runs(&[0, 1, 2, 10, 11]),
+            vec![
+                IndexRun {
+                    at: 0,
+                    len: 3,
+                    step: 1
+                },
+                IndexRun {
+                    at: 3,
+                    len: 2,
+                    step: 1
+                },
+            ]
+        );
+    }
+
+    /// A short payload must be a typed error — in release builds too — and
+    /// must leave the LDS untouched; same for an over-long payload.
+    #[test]
+    fn unpack_rejects_wrong_payload_sizes() {
+        let plan = ParallelPlan::new(
+            kernels::jacobi_skewed(8, 12, 12),
+            TilingTransform::rectangular(&[2, 4, 4]).unwrap(),
+            Some(1),
+        )
+        .unwrap();
+        let (lo_t, hi_t) = plan.dist.chains[0];
+        let num_tiles = hi_t - lo_t + 1;
+        let w = plan.algorithm.width();
+        let chain = plan.compiled_for(num_tiles);
+        let ds_idx = chain
+            .unpack_rel
+            .iter()
+            .position(|l| !l.is_empty())
+            .expect("a tile dependence with an unpack list");
+        let expected = chain.unpack_rel[ds_idx].len() * w;
+        let mut lds =
+            tilecc_tiling::Lds::with_width(plan.geo.clone(), plan.anchor(0), num_tiles, w);
+        let before: Vec<u64> = lds.values().iter().map(|v| v.to_bits()).collect();
+        type UnpackFn = fn(
+            &super::CompiledChain,
+            &mut tilecc_tiling::Lds,
+            i64,
+            usize,
+            &[f64],
+        ) -> Result<(), super::PayloadSizeError>;
+        for (unpack, label) in [
+            (super::unpack_region as UnpackFn, "run"),
+            (super::unpack_region_per_index as UnpackFn, "per-index"),
+        ] {
+            for bad in [expected - 1, expected + w] {
+                let payload = vec![1.0f64; bad];
+                let err = unpack(chain, &mut lds, 0, ds_idx, &payload)
+                    .expect_err("wrong payload size must be rejected");
+                assert_eq!(err.ds_idx, ds_idx, "{label}");
+                assert_eq!(err.expected, expected, "{label}");
+                assert_eq!(err.actual, bad, "{label}");
+                assert!(err.to_string().contains("payload size mismatch"), "{label}");
+                let after: Vec<u64> = lds.values().iter().map(|v| v.to_bits()).collect();
+                assert_eq!(before, after, "{label}: failed unpack touched the LDS");
+            }
+        }
+    }
+
+    /// The batched interior compute must be bitwise identical to the
+    /// per-point PR2 loop on a real plan, and must actually batch.
+    #[test]
+    fn batched_compute_matches_per_point_bitwise() {
+        for (alg, h, m) in [
+            (
+                kernels::jacobi_skewed(8, 12, 12),
+                TilingTransform::rectangular(&[2, 4, 4]).unwrap(),
+                1usize,
+            ),
+            (
+                kernels::adi_paper(8, 15),
+                TilingTransform::rectangular(&[3, 5, 5]).unwrap(),
+                1,
+            ),
+        ] {
+            let name = alg.name.clone();
+            let plan = ParallelPlan::new(alg, h, Some(m)).unwrap();
+            let (lo_t, hi_t) = plan.dist.chains[0];
+            let num_tiles = hi_t - lo_t + 1;
+            let w = plan.algorithm.width();
+            let chain = plan.compiled_for(num_tiles);
+            let (n, q) = (chain.n, chain.q);
+            let tr = plan.tiled.transform();
+            let deps = plan.deps();
+            let tile = plan
+                .tiled
+                .tiles()
+                .find(|tile| plan.tiled.tile_is_compute_interior(tile, deps))
+                .expect("a compute-interior tile");
+            let origin = super::tile_origin(tr, &tile);
+            let mut scr = super::ComputeScratch::new(n, q, w);
+            let fill = |lds: &mut tilecc_tiling::Lds| {
+                for (i, x) in lds.values_mut().iter_mut().enumerate() {
+                    *x = ((i % 977) as f64) / 977.0;
+                }
+            };
+            let mut lds =
+                tilecc_tiling::Lds::with_width(plan.geo.clone(), plan.anchor(0), num_tiles, w);
+            fill(&mut lds);
+            super::compute_tile_fast_per_point(
+                chain,
+                &mut lds,
+                0,
+                &origin,
+                plan.algorithm.kernel.as_ref(),
+                &mut scr,
+            );
+            let want: Vec<u64> = lds.values().iter().map(|v| v.to_bits()).collect();
+            fill(&mut lds);
+            let batched = super::compute_tile_fast(
+                chain,
+                &mut lds,
+                0,
+                &origin,
+                plan.algorithm.kernel.as_ref(),
+                &mut scr,
+            );
+            let got: Vec<u64> = lds.values().iter().map(|v| v.to_bits()).collect();
+            assert!(batched > 0, "{name}: nothing batched");
+            assert_eq!(want, got, "{name}: batched compute differs bitwise");
+        }
     }
 }

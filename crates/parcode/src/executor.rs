@@ -11,7 +11,7 @@
 
 use crate::compiled::{
     compute_tile_clamped, compute_tile_clamped_subset, compute_tile_fast, compute_tile_fast_subset,
-    count_in_space_subset, pack_region, tile_origin, unpack_region, CompiledChain,
+    count_in_space_subset, pack_region, tile_origin, unpack_region, CompiledChain, ComputeScratch,
 };
 use crate::plan::ParallelPlan;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
@@ -328,6 +328,7 @@ fn run_rank(
     let space = plan.tiled.space();
 
     let mut iterations: u64 = 0;
+    let mut scratch = ComputeScratch::new(n, q, w);
     let mut reads = vec![0.0f64; q * w];
     let mut out = vec![0.0f64; w];
     let mut src = vec![0i64; n];
@@ -395,7 +396,11 @@ fn run_rank(
                         };
                         match strategy {
                             ExecStrategy::Compiled | ExecStrategy::Overlapped => {
-                                unpack_region(chain, &mut lds, tpos, i, &payload)
+                                // A size mismatch means transport corruption;
+                                // fail the rank loudly (release builds too).
+                                if let Err(e) = unpack_region(chain, &mut lds, tpos, i, &payload) {
+                                    panic!("{e}");
+                                }
                             }
                             ExecStrategy::Reference => {
                                 // Unpack into the LDS: sender's region points,
@@ -445,6 +450,7 @@ fn run_rank(
                 };
                 let compute_v0 = comm.local_time();
                 let mut tile_iters: u64 = 0;
+                let mut tile_vectorized: u64 = 0;
                 match (mode, strategy) {
                     // Overlapped order: boundary slab → post sends → private
                     // interior. The slab is the dependence closure of the pack
@@ -472,16 +478,14 @@ fn run_rank(
                                 &mut j_buf,
                             ),
                             ExecMode::Full if is_interior => {
-                                compute_tile_fast_subset(
+                                tile_vectorized += compute_tile_fast_subset(
                                     chain,
                                     &mut lds,
                                     tpos,
                                     &origin,
                                     kernel.as_ref(),
-                                    &mut reads,
-                                    &mut out,
-                                    &mut j_buf,
-                                    &chain.boundary_order,
+                                    &mut scratch,
+                                    &chain.boundary_runs,
                                 );
                                 chain.boundary_order.len() as u64
                             }
@@ -493,10 +497,7 @@ fn run_rank(
                                 kernel.as_ref(),
                                 space,
                                 deps,
-                                &mut reads,
-                                &mut out,
-                                &mut j_buf,
-                                &mut src,
+                                &mut scratch,
                                 &chain.boundary_order,
                             ),
                         };
@@ -540,16 +541,14 @@ fn run_rank(
                                 &mut j_buf,
                             ),
                             ExecMode::Full if is_interior => {
-                                compute_tile_fast_subset(
+                                tile_vectorized += compute_tile_fast_subset(
                                     chain,
                                     &mut lds,
                                     tpos,
                                     &origin,
                                     kernel.as_ref(),
-                                    &mut reads,
-                                    &mut out,
-                                    &mut j_buf,
-                                    &chain.interior_order,
+                                    &mut scratch,
+                                    &chain.interior_runs,
                                 );
                                 chain.interior_order.len() as u64
                             }
@@ -561,10 +560,7 @@ fn run_rank(
                                 kernel.as_ref(),
                                 space,
                                 deps,
-                                &mut reads,
-                                &mut out,
-                                &mut j_buf,
-                                &mut src,
+                                &mut scratch,
                                 &chain.interior_order,
                             ),
                         };
@@ -592,15 +588,13 @@ fn run_rank(
                     (ExecMode::Full, ExecStrategy::Compiled) => {
                         let origin = tile_origin(t, &cur_tile);
                         if is_interior {
-                            compute_tile_fast(
+                            tile_vectorized += compute_tile_fast(
                                 chain,
                                 &mut lds,
                                 tpos,
                                 &origin,
                                 kernel.as_ref(),
-                                &mut reads,
-                                &mut out,
-                                &mut j_buf,
+                                &mut scratch,
                             );
                             tile_iters = chain.tile_points as u64;
                         } else {
@@ -612,10 +606,7 @@ fn run_rank(
                                 kernel.as_ref(),
                                 space,
                                 deps,
-                                &mut reads,
-                                &mut out,
-                                &mut j_buf,
-                                &mut src,
+                                &mut scratch,
                             );
                         }
                     }
@@ -654,6 +645,9 @@ fn run_rank(
                     if let Some(o) = comm.obs() {
                         o.add(Counter::Tiles, 1);
                         o.add(Counter::Iterations, tile_iters);
+                        if tile_vectorized > 0 {
+                            o.add(Counter::VectorizedPoints, tile_vectorized);
+                        }
                         o.add(
                             if is_interior {
                                 Counter::InteriorTiles
