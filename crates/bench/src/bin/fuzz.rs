@@ -25,8 +25,10 @@
 //! pairing — see DESIGN.md).
 
 use std::sync::Arc;
+use tilecc_cluster::obs::RunReport as ObsReport;
 use tilecc_cluster::{
     Counter, EngineOptions, FaultPlan, MachineModel, MetricsRegistry, RecoveryOptions,
+    StatsSnapshot,
 };
 use tilecc_linalg::{IMat, RMat, Rational};
 use tilecc_loopnest::{Algorithm, Kernel, LoopNest};
@@ -307,6 +309,59 @@ fn main() {
             || rep_c.total(Counter::BytesSent) != res.report.total_bytes()
         {
             fail(seed, case, "metrics registry disagrees with engine report");
+        }
+        // STATS-snapshot merge path: what the multi-process TCP driver does
+        // (capture a snapshot per rank, merge with `from_snapshots`) must be
+        // bitwise indistinguishable from building the report straight off
+        // the registry, and each snapshot must survive its own wire codec.
+        let snaps: Vec<StatsSnapshot> = (0..plan.num_procs())
+            .map(|r| StatsSnapshot::capture(&reg_c.rank_metrics(r)))
+            .collect();
+        let merged = ObsReport::from_snapshots(&snaps, &res.report.local_times);
+        if merged.to_json() != rep_c.to_json() {
+            fail(
+                seed,
+                case,
+                "snapshot-merged report differs from registry report",
+            );
+        }
+        if !merged.deterministic_diff(&rep_c).is_empty() {
+            fail(seed, case, "snapshot merge broke the deterministic subset");
+        }
+        let zero = StatsSnapshot::zero();
+        for (r, snap) in snaps.iter().enumerate() {
+            // Absolute frame (delta against zero) and an idle incremental
+            // frame (delta against itself) must both round-trip exactly.
+            let abs = snap.encode_delta(&zero);
+            match StatsSnapshot::apply_delta(&zero, &abs) {
+                Ok(back) if back == *snap => {}
+                Ok(_) => fail(seed, case, "absolute stats frame did not round-trip"),
+                Err(e) => {
+                    eprintln!("  rank {r} absolute stats frame rejected: {e}");
+                    fail(seed, case, "absolute stats frame rejected by decoder");
+                }
+            }
+            let idle = snap.encode_delta(snap);
+            match StatsSnapshot::apply_delta(snap, &idle) {
+                Ok(back) if back == *snap => {}
+                _ => fail(seed, case, "idle stats delta did not round-trip"),
+            }
+            // Truncation anywhere must be a typed error, never a panic or a
+            // silent partial decode.
+            if !abs.is_empty() && StatsSnapshot::apply_delta(&zero, &abs[..abs.len() - 1]).is_ok() {
+                fail(seed, case, "truncated stats frame decoded successfully");
+            }
+            // Category totals accrue in a different addition order than the
+            // chronological engine clock, so the partition identity holds to
+            // rounding, not bitwise.
+            let clock = res.report.local_times[r];
+            if (snap.local_clock() - clock).abs() > 1e-9 * clock.abs().max(1.0) {
+                eprintln!(
+                    "  rank {r}: snapshot clock {} engine clock {clock}",
+                    snap.local_clock()
+                );
+                fail(seed, case, "snapshot clock partition disagrees with engine");
+            }
         }
         // Both strategies must report identical logical counters; only the
         // dispatch counters tell them apart.

@@ -20,10 +20,12 @@ use std::sync::Arc;
 use std::time::Duration;
 use tilecc::{Pipeline, RunSummary};
 use tilecc_cluster::obs::json::Json;
+use tilecc_cluster::obs::RunReport as MetricsReport;
 use tilecc_cluster::{
-    collect_workers, run_worker, CommError, CommScheme, CommStats, EngineOptions, FaultPlan,
-    MachineModel, MetricsRegistry, Phase, RecoveryOptions, Rendezvous, RunError, WorkerCkptConfig,
-    WorkerConfig, WorkerReport,
+    collect_workers, collect_workers_observed, run_worker, CommError, CommScheme, CommStats,
+    Counter, EngineOptions, ExportClock, FaultPlan, MachineModel, MetricsRegistry, Phase,
+    RankPhase, RankTelemetry, RecoveryOptions, Rendezvous, RunError, StatsSnapshot, VirtAcc,
+    WorkerCkptConfig, WorkerConfig, WorkerReport,
 };
 use tilecc_frontend::{compile, lower, parse, Program};
 use tilecc_linalg::{RMat, Rational};
@@ -82,6 +84,12 @@ struct Options {
     trace_out: Option<String>,
     /// Write the aggregated metrics JSON here (`--metrics-out`).
     metrics_out: Option<String>,
+    /// Render a live per-rank telemetry table on stderr while the TCP
+    /// driver collects results (`--live`).
+    live: bool,
+    /// Append newline-delimited telemetry snapshots here while the TCP
+    /// driver runs (`--stats-out`).
+    stats_out: Option<String>,
     /// Cluster backend carrying the messages (`--backend`).
     backend: Backend,
     /// Expected worker-process count for the TCP backend (`--ranks`).
@@ -229,6 +237,8 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
         crash: None,
         trace_out: None,
         metrics_out: None,
+        live: false,
+        stats_out: None,
         backend: Backend::default(),
         ranks: None,
         worker_rank: None,
@@ -471,6 +481,17 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
                 o.metrics_out = Some(v.clone());
                 i += 2;
             }
+            "--live" => {
+                o.live = true;
+                i += 1;
+            }
+            "--stats-out" => {
+                let v = args
+                    .get(i + 1)
+                    .ok_or(CliError("--stats-out needs a file path".into()))?;
+                o.stats_out = Some(v.clone());
+                i += 2;
+            }
             other => return err(format!("unknown option `{other}`")),
         }
     }
@@ -530,15 +551,7 @@ fn kernel_source(program: &Program) -> tilecc_parcode::KernelSource {
 /// Render a saved `tilecc-metrics-v1` JSON file (written by
 /// `--metrics-out`) as the textual run summary.
 fn render_saved_metrics(path: &str) -> Result<String, CliError> {
-    let src = std::fs::read_to_string(path)
-        .map_err(|e| CliError(format!("cannot read `{path}`: {e}")))?;
-    let j = tilecc_cluster::obs::json::parse(&src).map_err(|e| CliError(format!("{path}: {e}")))?;
-    let schema = j.get("schema").and_then(Json::as_str);
-    if schema != Some("tilecc-metrics-v1") {
-        return err(format!(
-            "{path}: unsupported metrics schema {schema:?} (expected \"tilecc-metrics-v1\")"
-        ));
-    }
+    let j = load_saved_metrics(path)?;
     let makespan = j
         .get("makespan")
         .and_then(Json::as_f64)
@@ -607,7 +620,125 @@ fn render_saved_metrics(path: &str) -> Result<String, CliError> {
             100.0 * field(r, "utilization"),
         );
     }
+    if let Some(cp) = j.get("critical_path") {
+        let length = cp.get("length").and_then(Json::as_f64).unwrap_or(0.0);
+        let hops = cp.get("hops").and_then(Json::as_arr).map_or(&[][..], |h| h);
+        let cross = hops
+            .iter()
+            .filter(|h| h.get("from_rank").and_then(Json::as_u64).is_some())
+            .count();
+        let _ = writeln!(
+            out,
+            "  critical   : {length:.6} s dependency chain, {} hops ({cross} cross-rank)",
+            hops.len(),
+        );
+        const SHOWN: usize = 16;
+        for h in hops.iter().take(SHOWN) {
+            let start = field(h, "start");
+            let end = field(h, "end");
+            let via = match h.get("from_rank").and_then(Json::as_u64) {
+                Some(s) => format!("  <- rank {s}"),
+                None => String::new(),
+            };
+            let _ = writeln!(
+                out,
+                "    {:>12.6} .. {:>12.6}  rank {:>3}  {:<8} {:.6} s{via}",
+                start,
+                end,
+                h.get("rank").and_then(Json::as_u64).unwrap_or(0),
+                h.get("phase").and_then(Json::as_str).unwrap_or("?"),
+                end - start,
+            );
+        }
+        if hops.len() > SHOWN {
+            let _ = writeln!(out, "    ... {} more hops", hops.len() - SHOWN);
+        }
+    }
     Ok(out)
+}
+
+/// Load a saved `tilecc-metrics-v1` file and validate its schema line.
+fn load_saved_metrics(path: &str) -> Result<Json, CliError> {
+    let src = std::fs::read_to_string(path)
+        .map_err(|e| CliError(format!("cannot read `{path}`: {e}")))?;
+    let j = tilecc_cluster::obs::json::parse(&src).map_err(|e| CliError(format!("{path}: {e}")))?;
+    let schema = j.get("schema").and_then(Json::as_str);
+    if schema != Some("tilecc-metrics-v1") {
+        return err(format!(
+            "{path}: unsupported metrics schema {schema:?} (expected \"tilecc-metrics-v1\")"
+        ));
+    }
+    Ok(j)
+}
+
+/// Compare the deterministic subset of two saved metrics files — the
+/// JSON-level mirror of `RunReport::deterministic_diff`: makespan, every
+/// rank's clock-partition terms and utilization, and every logical counter.
+/// Gauges, histograms and the transport-local checkpoint-persistence
+/// counters (`ckpt_writes`, `ckpt_write_bytes`) legitimately differ between
+/// backends and are skipped. Mismatches are a [`CliError`] (nonzero exit).
+fn diff_saved_metrics(path_a: &str, path_b: &str) -> Result<String, CliError> {
+    let a = load_saved_metrics(path_a)?;
+    let b = load_saved_metrics(path_b)?;
+    let mut diffs: Vec<String> = Vec::new();
+    let f = |j: &Json, k: &str| j.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+    let ma = f(&a, "makespan");
+    let mb = f(&b, "makespan");
+    if ma.to_bits() != mb.to_bits() {
+        diffs.push(format!("makespan: {ma:.9} vs {mb:.9}"));
+    }
+    let empty: Vec<Json> = Vec::new();
+    let ranks_a = a.get("ranks").and_then(Json::as_arr).unwrap_or(&empty);
+    let ranks_b = b.get("ranks").and_then(Json::as_arr).unwrap_or(&empty);
+    if ranks_a.len() != ranks_b.len() {
+        diffs.push(format!(
+            "rank count: {} vs {}",
+            ranks_a.len(),
+            ranks_b.len()
+        ));
+    }
+    for (r, (ra, rb)) in ranks_a.iter().zip(ranks_b).enumerate() {
+        for k in [
+            "local_time",
+            "compute",
+            "wait",
+            "comm",
+            "recovery",
+            "overlap_hidden",
+            "utilization",
+        ] {
+            let (x, y) = (f(ra, k), f(rb, k));
+            if x.to_bits() != y.to_bits() {
+                diffs.push(format!("rank {r} {k}: {x:.9} vs {y:.9}"));
+            }
+        }
+        for c in Counter::ALL {
+            if matches!(c, Counter::CkptWrites | Counter::CkptBytes) {
+                continue;
+            }
+            let get = |j: &Json| {
+                j.get("counters")
+                    .and_then(|cs| cs.get(c.name()))
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0)
+            };
+            let (x, y) = (get(ra), get(rb));
+            if x != y {
+                diffs.push(format!("rank {r} {}: {x} vs {y}", c.name()));
+            }
+        }
+    }
+    if diffs.is_empty() {
+        Ok(format!(
+            "reports agree on the deterministic subset ({} ranks, makespan {ma:.6} s)\n",
+            ranks_a.len()
+        ))
+    } else {
+        err(format!(
+            "{path_a} and {path_b} disagree on the deterministic subset:\n  {}",
+            diffs.join("\n  ")
+        ))
+    }
 }
 
 /// How long the TCP driver waits for every worker to reach the rendezvous.
@@ -889,6 +1020,15 @@ fn tcp_worker(
         })?;
     let cells = (mode == ExecMode::Full).then(|| rank_data_points(pipe.plan(), rank, &result));
     let payload = encode_worker_payload(&stats, result.iterations, cells.as_deref());
+    if let Some(reg) = &reg {
+        // Final absolute snapshot, sent before RESULT on the ordered
+        // control socket: the driver merges these into one report that is
+        // bitwise identical to a registry-built one.
+        let snap = StatsSnapshot::capture(&reg.rank_metrics(rank));
+        handle
+            .send_stats(&snap)
+            .map_err(|e| CliError(format!("worker rank {rank}: cannot report stats: {e}")))?;
+    }
     handle
         .send_result(local_time, payload)
         .map_err(|e| CliError(format!("worker rank {rank}: cannot report result: {e}")))?;
@@ -950,6 +1090,119 @@ fn crashed_rank_of(e: &RunError) -> Option<usize> {
 fn restart_backoff(restarts: u32) -> Duration {
     let ms = 100u64.saturating_mul(1u64 << restarts.min(5));
     Duration::from_millis(ms.min(2000))
+}
+
+/// The live-table phase column for one rank's telemetry row.
+fn telemetry_phase(t: &RankTelemetry) -> String {
+    if t.done {
+        return "done".into();
+    }
+    match t.phase {
+        RankPhase::Running => "running".into(),
+        RankPhase::Blocked { from, tag } => format!("recv<-{from}#{tag}"),
+        RankPhase::Done => "done".into(),
+    }
+}
+
+/// Render the `--live` per-rank table. When `redraw` lines were drawn
+/// before (stderr is a terminal), the cursor jumps back up and overwrites
+/// them in place; otherwise the table is appended. Returns the number of
+/// lines drawn.
+fn render_live_table(ranks: &[RankTelemetry], redraw: usize) -> usize {
+    use std::io::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "\x1b[2K{:>4}  {:<14} {:>12} {:>6} {:>6} {:>6} {:>12} {:>7} {:>4}",
+        "rank", "phase", "clock", "comp%", "wait%", "comm%", "bytes", "retx", "rec"
+    );
+    for t in ranks {
+        let phase = telemetry_phase(t);
+        match &t.stats {
+            Some(st) => {
+                let clock = st.local_clock();
+                let pct = |v: f64| if clock > 0.0 { 100.0 * v / clock } else { 0.0 };
+                let comm = st.virt(VirtAcc::Send)
+                    + st.virt(VirtAcc::RecvOverhead)
+                    + st.virt(VirtAcc::Retrans)
+                    + st.virt(VirtAcc::Drain);
+                let _ = writeln!(
+                    s,
+                    "\x1b[2K{:>4}  {:<14} {:>12.6} {:>6.1} {:>6.1} {:>6.1} {:>12} {:>7} {:>4}",
+                    t.rank,
+                    phase,
+                    clock,
+                    pct(st.virt(VirtAcc::Compute)),
+                    pct(st.virt(VirtAcc::Wait) + st.virt(VirtAcc::Stall)),
+                    pct(comm),
+                    st.counter(Counter::BytesSent),
+                    st.counter(Counter::Retransmits),
+                    st.counter(Counter::Recoveries),
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    s,
+                    "\x1b[2K{:>4}  {:<14} {:>12} (no snapshot yet)",
+                    t.rank, phase, "-"
+                );
+            }
+        }
+    }
+    let lines = ranks.len() + 1;
+    let stderr = std::io::stderr();
+    let mut h = stderr.lock();
+    if redraw > 0 {
+        let _ = write!(h, "\x1b[{redraw}A\r");
+    }
+    let _ = h.write_all(s.as_bytes());
+    let _ = h.flush();
+    lines
+}
+
+/// One `--stats-out` NDJSON record: the driver's wall-clock offset plus
+/// every rank's phase, heartbeat progress, and decoded snapshot (clock
+/// partition terms and the counters the live table shows).
+fn stats_ndjson_line(wall_ms: u128, ranks: &[RankTelemetry]) -> String {
+    let mut s = String::new();
+    let _ = write!(s, "{{\"t_wall_ms\": {wall_ms}, \"ranks\": [");
+    for (i, t) in ranks.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        let _ = write!(
+            s,
+            "{{\"rank\": {}, \"phase\": \"{}\", \"progress\": {}, \"seq\": {}",
+            t.rank,
+            telemetry_phase(t),
+            t.progress,
+            t.stats_seq
+        );
+        if let Some(st) = &t.stats {
+            let comm = st.virt(VirtAcc::Send)
+                + st.virt(VirtAcc::RecvOverhead)
+                + st.virt(VirtAcc::Retrans)
+                + st.virt(VirtAcc::Drain);
+            let _ = write!(
+                s,
+                ", \"clock\": {:.9}, \"compute\": {:.9}, \"wait\": {:.9}, \"comm\": {:.9}, \
+                 \"recovery\": {:.9}, \"bytes_sent\": {}, \"retransmits\": {}, \
+                 \"recoveries\": {}, \"ckpt_writes\": {}",
+                st.local_clock(),
+                st.virt(VirtAcc::Compute),
+                st.virt(VirtAcc::Wait) + st.virt(VirtAcc::Stall),
+                comm,
+                st.virt(VirtAcc::Recovery),
+                st.counter(Counter::BytesSent),
+                st.counter(Counter::Retransmits),
+                st.counter(Counter::Recoveries),
+                st.counter(Counter::CkptWrites),
+            );
+        }
+        s.push('}');
+    }
+    s.push_str("]}");
+    s
 }
 
 /// Run as the TCP driver: spawn one worker process per rank of the plan,
@@ -1019,6 +1272,27 @@ fn tcp_driver(
     let mut budget = opts.max_recoveries;
     let mut restarts: u32 = 0;
 
+    // Telemetry consumers: the STATS frames piggybacked on worker
+    // heartbeats feed an in-place `--live` table on stderr and an
+    // NDJSON snapshot stream (`--stats-out`). Both persist across
+    // restart-the-world recoveries so the stream shows the recovery.
+    let mut stats_file = match &opts.stats_out {
+        Some(p) => {
+            let f = std::fs::File::create(p)
+                .map_err(|e| CliError(format!("cannot write stats stream to `{p}`: {e}")))?;
+            Some(std::io::BufWriter::new(f))
+        }
+        None => None,
+    };
+    let live_tty = {
+        use std::io::IsTerminal as _;
+        std::io::stderr().is_terminal()
+    };
+    let run_start = std::time::Instant::now();
+    let mut last_seq_sum: u64 = 0;
+    let mut live_lines: usize = 0;
+    let mut last_live = run_start;
+
     let (reports, mut children): (Vec<WorkerReport>, Vec<std::process::Child>) = loop {
         let rendezvous = Rendezvous::bind().map_err(|e| CliError(format!("tcp driver: {e}")))?;
         let addr = rendezvous.addr().to_string();
@@ -1083,7 +1357,47 @@ fn tcp_driver(
             }
         };
 
-        match collect_workers(controls, Some(DRIVER_WALL_CAP), true, peer_timeout) {
+        let want_obs = opts.live || stats_file.is_some();
+        let mut observer = |ranks: &[RankTelemetry]| {
+            // Re-render only when a new snapshot actually arrived: the
+            // supervisor sweeps every few milliseconds, the heartbeats
+            // tick at `--heartbeat-ms`.
+            let seq_sum: u64 = ranks.iter().map(|t| t.stats_seq).sum();
+            if seq_sum == last_seq_sum {
+                return;
+            }
+            last_seq_sum = seq_sum;
+            if let Some(w) = &mut stats_file {
+                use std::io::Write as _;
+                let line = stats_ndjson_line(run_start.elapsed().as_millis(), ranks);
+                let _ = writeln!(w, "{line}");
+            }
+            if opts.live {
+                // On a terminal every update redraws in place; a
+                // redirected stderr gets an appended table at most twice
+                // a second.
+                if live_tty {
+                    live_lines = render_live_table(ranks, live_lines);
+                } else if last_live.elapsed() >= Duration::from_millis(500)
+                    || ranks.iter().all(|t| t.done)
+                {
+                    last_live = std::time::Instant::now();
+                    render_live_table(ranks, 0);
+                }
+            }
+        };
+        let collected = if want_obs {
+            collect_workers_observed(
+                controls,
+                Some(DRIVER_WALL_CAP),
+                true,
+                peer_timeout,
+                Some(&mut observer),
+            )
+        } else {
+            collect_workers(controls, Some(DRIVER_WALL_CAP), true, peer_timeout)
+        };
+        match collected {
             Ok(r) => break (r, children),
             Err(e) => {
                 kill_children(&mut children);
@@ -1178,11 +1492,46 @@ fn tcp_driver(
         }
     }
     render_run_summary(&mut out, opts, &summary, checksum)?;
+    if let Some(mut w) = stats_file {
+        use std::io::Write as _;
+        w.flush().map_err(|e| {
+            CliError(format!(
+                "cannot write stats stream to `{}`: {e}",
+                opts.stats_out.as_deref().unwrap_or("?")
+            ))
+        })?;
+        if let Some(p) = &opts.stats_out {
+            let _ = writeln!(out, "stats      : {p}");
+        }
+    }
     if let Some(p) = &opts.trace_out {
         let _ = writeln!(out, "trace      : {p}.rank0 .. {p}.rank{}", size - 1);
     }
     if let Some(p) = &opts.metrics_out {
-        let _ = writeln!(out, "metrics    : {p}.rank0 .. {p}.rank{}", size - 1);
+        // Every worker shipped its final absolute snapshot before its
+        // RESULT, so the driver can merge one report over all ranks —
+        // bitwise identical to the report a threaded run of the same
+        // program writes (`tilecc report a --diff b` checks this).
+        let snaps: Option<Vec<StatsSnapshot>> = reports.iter().map(|r| r.stats.clone()).collect();
+        match snaps {
+            Some(snaps) => {
+                let merged = MetricsReport::from_snapshots(&snaps, &summary.local_times);
+                std::fs::write(p, merged.to_json())
+                    .map_err(|e| CliError(format!("cannot write metrics to `{p}`: {e}")))?;
+                let _ = writeln!(
+                    out,
+                    "metrics    : {p} (driver-merged), per-rank {p}.rank0 .. {p}.rank{}",
+                    size - 1
+                );
+                out.push('\n');
+                out.push_str(&merged.render());
+            }
+            None => {
+                // A worker without observability enabled sends no final
+                // snapshot; only the per-rank artifacts exist then.
+                let _ = writeln!(out, "metrics    : {p}.rank0 .. {p}.rank{}", size - 1);
+            }
+        }
     }
     Ok(out)
 }
@@ -1206,6 +1555,9 @@ commands:
   emit  <file> --tile|--rect emit a complete C/MPI program to stdout
   emit-skeleton <file> …      emit the paper-style code skeleton only
   report <metrics.json>       render a saved metrics file as a summary
+  report <a> --diff <b>       compare two saved metrics files on the
+                              deterministic subset (exit nonzero on any
+                              mismatch)
 
 options:
   --tile \"r11,r12;r21,r22\"   tiling matrix H (rows `;`, entries `,`, a/b)
@@ -1260,7 +1612,17 @@ options:
   --trace-out <file>          write a Chrome trace-event JSON of the run,
                               loadable in Perfetto / chrome://tracing (run)
   --metrics-out <file>        write the aggregated per-rank metrics JSON
-                              (tilecc-metrics-v1; see `tilecc report`) (run)
+                              (tilecc-metrics-v1; see `tilecc report`); on
+                              --backend tcp the driver also merges every
+                              worker's final STATS snapshot into one
+                              report at this exact path (run)
+  --live                      render a live per-rank telemetry table on
+                              stderr while the tcp driver waits: phase,
+                              virtual clock, compute/wait/comm split,
+                              bytes, retransmits, recoveries (run)
+  --stats-out <file>          append one newline-delimited JSON telemetry
+                              snapshot per heartbeat STATS delta while the
+                              tcp driver waits (run)
 ";
 
 /// Run the CLI. Returns the output text; errors carry user messages.
@@ -1298,7 +1660,16 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
         }
         "report" => {
             let path = args.get(1).ok_or(CliError(USAGE.into()))?;
-            out.push_str(&render_saved_metrics(path)?);
+            match args.get(2).map(String::as_str) {
+                None => out.push_str(&render_saved_metrics(path)?),
+                Some("--diff") => {
+                    let other = args
+                        .get(3)
+                        .ok_or(CliError("--diff needs a second metrics file".into()))?;
+                    out.push_str(&diff_saved_metrics(path, other)?);
+                }
+                Some(extra) => return err(format!("unknown report option `{extra}`")),
+            }
             Ok(out)
         }
         "plan" | "run" | "emit" | "emit-skeleton" => {
@@ -1306,8 +1677,11 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
             let opts = parse_options(&args[2..])?;
             // One registry per invocation when an artifact was requested;
             // the frontend, planner and engine all record into it.
-            let reg: Option<Arc<MetricsRegistry>> =
-                (opts.trace_out.is_some() || opts.metrics_out.is_some()).then(MetricsRegistry::new);
+            let reg: Option<Arc<MetricsRegistry>> = (opts.trace_out.is_some()
+                || opts.metrics_out.is_some()
+                || opts.live
+                || opts.stats_out.is_some())
+            .then(MetricsRegistry::new);
             let lower_t0 = reg.as_ref().map(|r| r.now_ns());
             let alg = load(path)?;
             if let (Some(r), Some(t0)) = (&reg, lower_t0) {
@@ -1361,6 +1735,10 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
                     if opts.ranks.is_some() {
                         return err("--ranks is only meaningful with --backend tcp");
                     }
+                    if opts.live || opts.stats_out.is_some() {
+                        return err("--live/--stats-out stream worker telemetry and are only \
+                             meaningful with --backend tcp");
+                    }
                     let scheme = if opts.overlap {
                         CommScheme::Overlapped
                     } else {
@@ -1401,9 +1779,19 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
                         data.as_ref().map(DataSpace::checksum),
                     )?;
                     if let Some(reg) = &reg {
-                        let report = reg.run_report(&summary.local_times);
+                        // The dependency-true critical path replaces the
+                        // slowest-rank approximation in the rendered
+                        // report and is highlighted as a Perfetto flow in
+                        // the exported trace.
+                        let report = reg
+                            .run_report(&summary.local_times)
+                            .with_critical_path(reg.critical_path(&summary.local_times));
                         if let Some(path) = &opts.trace_out {
-                            std::fs::write(path, reg.chrome_trace()).map_err(|e| {
+                            let trace = reg.chrome_trace_with_path(
+                                ExportClock::Virtual,
+                                report.critical_path.as_ref(),
+                            );
+                            std::fs::write(path, trace).map_err(|e| {
                                 CliError(format!("cannot write trace to `{path}`: {e}"))
                             })?;
                             let _ = writeln!(out, "trace      : {path}");
@@ -1687,6 +2075,164 @@ boundary = 0.25
         let bogus = write_nest("{\"schema\": \"other\"}");
         let e = run_cli(&args(&["report", bogus.to_str()])).unwrap_err();
         assert!(e.0.contains("schema"), "{e}");
+    }
+
+    #[test]
+    fn report_rejects_schema_version_mismatch() {
+        // A future schema rev must be refused with a typed error naming
+        // both the found and the expected version — not misrendered.
+        let v2 =
+            write_nest("{\"schema\": \"tilecc-metrics-v2\", \"makespan\": 1.0, \"ranks\": []}");
+        let e = run_cli(&args(&["report", v2.to_str()])).unwrap_err();
+        assert!(e.0.contains("tilecc-metrics-v2"), "{e}");
+        assert!(e.0.contains("tilecc-metrics-v1"), "{e}");
+        // Same contract on the diff path, for either argument.
+        let good =
+            write_nest("{\"schema\": \"tilecc-metrics-v1\", \"makespan\": 1.0, \"ranks\": []}");
+        let e = run_cli(&args(&["report", good.to_str(), "--diff", v2.to_str()])).unwrap_err();
+        assert!(e.0.contains("unsupported metrics schema"), "{e}");
+    }
+
+    #[test]
+    fn report_rejects_truncated_metrics_json() {
+        // A metrics file cut off mid-write (crashed run, full disk) must
+        // surface as a typed parse error naming the file — never a panic.
+        let full =
+            "{\"schema\": \"tilecc-metrics-v1\", \"makespan\": 1.0, \"ranks\": [{\"rank\": 0";
+        for cut in [full.len(), full.len() - 20, 30, 1] {
+            let t = write_nest(&full[..cut]);
+            let e = run_cli(&args(&["report", t.to_str()])).unwrap_err();
+            assert!(
+                e.0.contains(t.to_str()),
+                "error must name the file at cut {cut}: {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn report_diff_agrees_and_detects_mismatches() {
+        let p = write_nest(ADI_SRC);
+        let metrics = write_nest("");
+        run_cli(&args(&[
+            "run",
+            p.to_str(),
+            "--rect",
+            "2,4,4",
+            "--map",
+            "0",
+            "--metrics-out",
+            metrics.to_str(),
+        ]))
+        .unwrap();
+        // A report agrees with itself.
+        let out = run_cli(&args(&[
+            "report",
+            metrics.to_str(),
+            "--diff",
+            metrics.to_str(),
+        ]))
+        .unwrap();
+        assert!(out.contains("agree"), "{out}");
+        // Perturbing one deterministic field must fail the diff and name it.
+        let src = std::fs::read_to_string(metrics.to_str()).unwrap();
+        let tampered = write_nest(&src.replacen("\"messages_sent\": ", "\"messages_sent\": 1", 1));
+        let e = run_cli(&args(&[
+            "report",
+            metrics.to_str(),
+            "--diff",
+            tampered.to_str(),
+        ]))
+        .unwrap_err();
+        assert!(e.0.contains("messages_sent"), "{e}");
+        // But a transport-local counter may differ freely.
+        let ckpt = write_nest(&src.replacen("\"ckpt_writes\": ", "\"ckpt_writes\": 9", 1));
+        let out = run_cli(&args(&[
+            "report",
+            metrics.to_str(),
+            "--diff",
+            ckpt.to_str(),
+        ]))
+        .unwrap();
+        assert!(out.contains("agree"), "{out}");
+        let e = run_cli(&args(&["report", metrics.to_str(), "--bogus"])).unwrap_err();
+        assert!(e.0.contains("unknown report option"), "{e}");
+    }
+
+    #[test]
+    fn live_and_stats_out_require_tcp_backend() {
+        let p = write_nest(ADI_SRC);
+        for extra in [&["--live"][..], &["--stats-out", "/tmp/x.ndjson"][..]] {
+            let mut v = vec!["run", p.to_str(), "--rect", "2,4,4", "--map", "0"];
+            v.extend_from_slice(extra);
+            let e = run_cli(&args(&v)).unwrap_err();
+            assert!(e.0.contains("--backend tcp"), "{extra:?}: {e}");
+        }
+    }
+
+    #[test]
+    fn stats_ndjson_lines_are_valid_json() {
+        let reg = MetricsRegistry::new();
+        let m = reg.rank_metrics(0);
+        m.add(Counter::BytesSent, 4096);
+        m.virt_add(VirtAcc::Compute, 0.5);
+        m.virt_add(VirtAcc::Wait, 0.25);
+        let ranks = vec![
+            RankTelemetry {
+                rank: 0,
+                phase: RankPhase::Running,
+                progress: 3,
+                done: false,
+                stats: Some(StatsSnapshot::capture(&m)),
+                stats_seq: 2,
+            },
+            RankTelemetry {
+                rank: 1,
+                phase: RankPhase::Blocked { from: 0, tag: 7 },
+                progress: 1,
+                done: false,
+                stats: None,
+                stats_seq: 0,
+            },
+        ];
+        let line = stats_ndjson_line(1234, &ranks);
+        let j = tilecc_cluster::obs::json::parse(&line).expect("NDJSON line must parse");
+        assert_eq!(j.get("t_wall_ms").and_then(Json::as_u64), Some(1234));
+        let rs = j.get("ranks").and_then(Json::as_arr).unwrap();
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs[0].get("clock").and_then(Json::as_f64), Some(0.75));
+        assert_eq!(rs[0].get("bytes_sent").and_then(Json::as_u64), Some(4096));
+        assert_eq!(
+            rs[1].get("phase").and_then(Json::as_str),
+            Some("recv<-0#7"),
+            "{line}"
+        );
+        // A rank without a snapshot yet reports identity only.
+        assert!(rs[1].get("clock").is_none());
+    }
+
+    #[test]
+    fn threaded_report_renders_dependency_critical_path() {
+        let p = write_nest(ADI_SRC);
+        let metrics = write_nest("");
+        let out = run_cli(&args(&[
+            "run",
+            p.to_str(),
+            "--rect",
+            "2,4,4",
+            "--map",
+            "0",
+            "--metrics-out",
+            metrics.to_str(),
+        ]))
+        .unwrap();
+        // The dependency chain replaces the slowest-rank approximation:
+        // hops are listed with virtual intervals and cross-rank hand-offs.
+        assert!(out.contains("dependency chain"), "{out}");
+        assert!(out.contains("<- rank"), "{out}");
+        // The saved JSON carries the path and `report` re-renders it.
+        let rendered = run_cli(&args(&["report", metrics.to_str()])).unwrap();
+        assert!(rendered.contains("dependency chain"), "{rendered}");
+        assert!(rendered.contains("<- rank"), "{rendered}");
     }
 
     #[test]

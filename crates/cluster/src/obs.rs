@@ -95,6 +95,22 @@ impl Phase {
     }
 }
 
+/// The cross-rank dependence a send/recv span participates in: the peer
+/// rank plus the envelope's `(tag, seq)` identity. A send span on rank *s*
+/// with `peer = r` matches the recv span on rank *r* with `peer = s` and
+/// the same `(tag, seq)` — together they form one edge of the run's
+/// dependence graph, which the critical-path walker follows backward.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpanEdge {
+    /// The other endpoint's rank (receiver for send spans, sender for recv
+    /// spans).
+    pub peer: u32,
+    /// The envelope's message tag.
+    pub tag: i64,
+    /// The envelope's per-link sequence number.
+    pub seq: u64,
+}
+
 /// One traced interval. `virt` is the engine's virtual-clock interval in
 /// seconds (absent for driver-side spans, which have no virtual clock).
 #[derive(Clone, Debug)]
@@ -116,6 +132,8 @@ pub struct Span {
     /// Phase-specific magnitude: iterations for compute, bytes for
     /// pack/send/recv/unpack, rank for gather, 0 otherwise.
     pub detail: u64,
+    /// The cross-rank dependence for send/recv spans (`None` elsewhere).
+    pub edge: Option<SpanEdge>,
 }
 
 /// Monotonically named counters, one cell per rank. Plain `u64` adds.
@@ -162,11 +180,17 @@ pub enum Counter {
     Checkpoints,
     /// Crash recoveries performed (checkpoint restores / respawns).
     Recoveries,
+    /// Checkpoint persistence operations (file writes on the TCP backend,
+    /// in-memory snapshots on the threaded engine). Transport-level: not
+    /// expected to agree bitwise across backends.
+    CkptWrites,
+    /// Bytes written by checkpoint persistence. Transport-level.
+    CkptBytes,
 }
 
 impl Counter {
     /// Number of counters.
-    pub const COUNT: usize = 19;
+    pub const COUNT: usize = 21;
     /// Every counter, in index order.
     pub const ALL: [Counter; Counter::COUNT] = [
         Counter::MessagesSent,
@@ -188,6 +212,8 @@ impl Counter {
         Counter::VectorizedPoints,
         Counter::Checkpoints,
         Counter::Recoveries,
+        Counter::CkptWrites,
+        Counter::CkptBytes,
     ];
 
     /// Stable snake-case name used in exports.
@@ -212,6 +238,8 @@ impl Counter {
             Counter::VectorizedPoints => "vectorized_points",
             Counter::Checkpoints => "checkpoints",
             Counter::Recoveries => "recoveries",
+            Counter::CkptWrites => "ckpt_writes",
+            Counter::CkptBytes => "ckpt_write_bytes",
         }
     }
 }
@@ -232,11 +260,15 @@ pub enum GaugeId {
     /// receiver checkpoint ack (max over links; the high-water mark bounds
     /// the recovery replay window).
     ReplayLogDepth,
+    /// Frames queued toward a peer's writer thread but not yet written to
+    /// the socket (max over links; TCP backend). The high-water mark shows
+    /// how deep the per-peer send queues actually run.
+    WriterQueueDepth,
 }
 
 impl GaugeId {
     /// Number of gauge ids (update together with [`GaugeId::ALL`]).
-    pub const COUNT: usize = 5;
+    pub const COUNT: usize = 6;
     /// All gauge ids, in storage order.
     pub const ALL: [GaugeId; GaugeId::COUNT] = [
         GaugeId::PendingDepth,
@@ -244,6 +276,7 @@ impl GaugeId {
         GaugeId::OutstandingSends,
         GaugeId::ConnectNs,
         GaugeId::ReplayLogDepth,
+        GaugeId::WriterQueueDepth,
     ];
 
     /// Stable export name of this gauge.
@@ -254,6 +287,7 @@ impl GaugeId {
             GaugeId::OutstandingSends => "outstanding_sends",
             GaugeId::ConnectNs => "connect_ns",
             GaugeId::ReplayLogDepth => "replay_log_depth",
+            GaugeId::WriterQueueDepth => "writer_queue_depth",
         }
     }
 }
@@ -277,11 +311,14 @@ pub enum HistId {
     /// Wall nanoseconds decoding one wire frame back into an envelope
     /// (TCP backend; recorded by the reader thread).
     DeserializeNs,
+    /// Wall nanoseconds per retransmission attempt (the reliability layer's
+    /// re-injection latency, both backends).
+    RetransNs,
 }
 
 impl HistId {
     /// Number of histogram ids (update together with [`HistId::ALL`]).
-    pub const COUNT: usize = 7;
+    pub const COUNT: usize = 8;
     /// All histogram ids, in storage order.
     pub const ALL: [HistId; HistId::COUNT] = [
         HistId::ComputeTileNs,
@@ -291,6 +328,7 @@ impl HistId {
         HistId::GatherNs,
         HistId::SerializeNs,
         HistId::DeserializeNs,
+        HistId::RetransNs,
     ];
 
     /// Stable export name of this histogram.
@@ -303,6 +341,7 @@ impl HistId {
             HistId::GatherNs => "gather_ns",
             HistId::SerializeNs => "serialize_ns",
             HistId::DeserializeNs => "deserialize_ns",
+            HistId::RetransNs => "retrans_ns",
         }
     }
 }
@@ -411,6 +450,12 @@ impl Histogram {
     /// Sum of all observed values.
     pub fn sum(&self) -> u64 {
         self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Every bucket's count, in index order (including empty buckets) —
+    /// the raw shape [`StatsSnapshot`] captures and delta-encodes.
+    pub fn buckets(&self) -> [u64; HIST_BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
     }
 
     /// `(bucket_lower_bound, count)` for every non-empty bucket.
@@ -602,6 +647,7 @@ impl MetricsRegistry {
             wall_end_ns: self.now_ns(),
             virt: None,
             detail,
+            edge: None,
         };
         self.spans.lock().expect("obs registry poisoned").push(span);
     }
@@ -620,6 +666,23 @@ impl MetricsRegistry {
     /// Chrome trace-event JSON with an explicit timeline clock.
     pub fn chrome_trace_with(&self, clock: ExportClock) -> String {
         chrome_trace_json(&self.spans(), clock)
+    }
+
+    /// Chrome trace-event JSON with the critical path highlighted as
+    /// Perfetto flow arrows (see [`chrome_trace_json_with_path`]).
+    pub fn chrome_trace_with_path(
+        &self,
+        clock: ExportClock,
+        path: Option<&CriticalPath>,
+    ) -> String {
+        chrome_trace_json_with_path(&self.spans(), clock, path)
+    }
+
+    /// The dependency-true critical path of a finished run: walk the
+    /// collected spans backward through send→recv edges from the slowest
+    /// rank's final clock (see [`critical_path_from_spans`]).
+    pub fn critical_path(&self, local_times: &[f64]) -> Option<CriticalPath> {
+        critical_path_from_spans(&self.spans(), local_times)
     }
 
     /// Build the aggregated [`RunReport`] for a finished run with the given
@@ -715,6 +778,30 @@ impl RankObs {
             wall_end_ns,
             virt: Some(virt),
             detail,
+            edge: None,
+        });
+    }
+
+    /// [`RankObs::span`] carrying the cross-rank dependence identity of a
+    /// send or receive, so the critical-path walker can match the two ends.
+    pub fn edge_span(
+        &mut self,
+        phase: Phase,
+        wall_start_ns: u64,
+        virt: (f64, f64),
+        detail: u64,
+        edge: SpanEdge,
+    ) {
+        let wall_end_ns = self.reg.now_ns();
+        self.spans.push(Span {
+            phase,
+            name: phase.name(),
+            pid: self.rank as u32 + 1,
+            wall_start_ns,
+            wall_end_ns,
+            virt: Some(virt),
+            detail,
+            edge: Some(edge),
         });
     }
 
@@ -728,6 +815,234 @@ impl RankObs {
 impl Drop for RankObs {
     fn drop(&mut self) {
         self.flush();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// StatsSnapshot: the STATS frame payload
+// ---------------------------------------------------------------------------
+
+/// One histogram's full state as captured by a [`StatsSnapshot`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Every bucket's count, in index order ([`HIST_BUCKETS`] entries).
+    pub buckets: Vec<u64>,
+}
+
+/// A complete copy of one rank's [`RankMetrics`] state, as shipped in a
+/// TCMP `STATS` frame: every counter, every virtual accumulator (as `f64`
+/// bit patterns, so clocks survive the wire bitwise), every gauge
+/// `(value, high-water)` pair and every histogram.
+///
+/// On the wire a snapshot travels as a *delta* against the previous
+/// snapshot on the same stream (see [`StatsSnapshot::encode_delta`]): the
+/// control connection is ordered and reliable, so the decoder can fold
+/// each delta into its running state. An absolute snapshot is simply a
+/// delta against [`StatsSnapshot::zero`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// One value per [`Counter`], in [`Counter::ALL`] order.
+    pub counters: Vec<u64>,
+    /// One `f64` bit pattern per [`VirtAcc`], in [`VirtAcc::ALL`] order.
+    pub virts: Vec<u64>,
+    /// One `(value, max)` pair per [`GaugeId`], in [`GaugeId::ALL`] order.
+    pub gauges: Vec<(u64, u64)>,
+    /// One [`HistSnapshot`] per [`HistId`], in [`HistId::ALL`] order.
+    pub hists: Vec<HistSnapshot>,
+}
+
+/// Append `v` as unsigned LEB128.
+fn put_uvarint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(b);
+            return;
+        }
+        out.push(b | 0x80);
+    }
+}
+
+/// Read one unsigned LEB128 value, advancing `*i`.
+fn get_uvarint(buf: &[u8], i: &mut usize) -> Result<u64, String> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let b = *buf
+            .get(*i)
+            .ok_or_else(|| format!("stats payload truncated at byte {}", *i))?;
+        *i += 1;
+        if shift >= 64 || (shift == 63 && b > 1) {
+            return Err(format!("stats varint overflows u64 at byte {}", *i));
+        }
+        v |= u64::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Zigzag-map a signed delta so small magnitudes stay small on the wire.
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Append the zigzag-encoded wrapping difference `cur - prev`.
+fn put_delta(out: &mut Vec<u8>, prev: u64, cur: u64) {
+    put_uvarint(out, zigzag(cur.wrapping_sub(prev) as i64));
+}
+
+/// Apply one zigzag delta read from `buf` to `prev`.
+fn get_delta(buf: &[u8], i: &mut usize, prev: u64) -> Result<u64, String> {
+    Ok(prev.wrapping_add(unzigzag(get_uvarint(buf, i)?) as u64))
+}
+
+impl StatsSnapshot {
+    /// The all-zero snapshot: the decoder's baseline for absolute frames.
+    pub fn zero() -> StatsSnapshot {
+        StatsSnapshot {
+            counters: vec![0; Counter::COUNT],
+            virts: vec![0.0f64.to_bits(); VirtAcc::COUNT],
+            gauges: vec![(0, 0); GaugeId::COUNT],
+            hists: vec![
+                HistSnapshot {
+                    count: 0,
+                    sum: 0,
+                    buckets: vec![0; HIST_BUCKETS],
+                };
+                HistId::COUNT
+            ],
+        }
+    }
+
+    /// Capture the current state of one rank's metrics slot. Values are
+    /// read with relaxed atomics: mid-run captures are a consistent-enough
+    /// telemetry view, and the final capture (after the rank finished) is
+    /// exact because the slot is single-writer.
+    pub fn capture(m: &RankMetrics) -> StatsSnapshot {
+        StatsSnapshot {
+            counters: Counter::ALL.iter().map(|&c| m.get(c)).collect(),
+            virts: VirtAcc::ALL
+                .iter()
+                .map(|&a| m.virt_get(a).to_bits())
+                .collect(),
+            gauges: GaugeId::ALL
+                .iter()
+                .map(|&g| (m.gauge(g).value(), m.gauge(g).max()))
+                .collect(),
+            hists: HistId::ALL
+                .iter()
+                .map(|&h| {
+                    let hist = m.hist(h);
+                    HistSnapshot {
+                        count: hist.count(),
+                        sum: hist.sum(),
+                        buckets: hist.buckets().to_vec(),
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// One counter's value.
+    pub fn counter(&self, c: Counter) -> u64 {
+        self.counters[c as usize]
+    }
+
+    /// One virtual accumulator's value in virtual seconds.
+    pub fn virt(&self, a: VirtAcc) -> f64 {
+        f64::from_bits(self.virts[a as usize])
+    }
+
+    /// The rank's current virtual clock, reconstructed from the partition
+    /// invariant: every clock advance is charged to exactly one
+    /// accumulator ([`VirtAcc::OverlapHidden`] is informational and
+    /// excluded), so their sum *is* the clock — no separate clock cell has
+    /// to travel with the snapshot.
+    pub fn local_clock(&self) -> f64 {
+        self.virt(VirtAcc::Compute)
+            + self.virt(VirtAcc::Wait)
+            + self.virt(VirtAcc::Send)
+            + self.virt(VirtAcc::RecvOverhead)
+            + self.virt(VirtAcc::Retrans)
+            + self.virt(VirtAcc::Stall)
+            + self.virt(VirtAcc::Drain)
+            + self.virt(VirtAcc::Recovery)
+    }
+
+    /// Delta-encode this snapshot against `prev` as the `STATS` payload:
+    /// zigzag-LEB128 of each wrapping difference, fields in declaration
+    /// order (counters, virts as XORed bit patterns, gauges, histograms).
+    /// Counters are signed deltas because a crash recovery *rewinds* them.
+    pub fn encode_delta(&self, prev: &StatsSnapshot) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        for (p, c) in prev.counters.iter().zip(&self.counters) {
+            put_delta(&mut out, *p, *c);
+        }
+        // Virtual clocks: XOR of the bit patterns — identical values encode
+        // as a single zero byte and decoding is exact (bitwise), which a
+        // numeric f64 delta could never guarantee.
+        for (p, c) in prev.virts.iter().zip(&self.virts) {
+            put_uvarint(&mut out, p ^ c);
+        }
+        for ((pv, pm), (cv, cm)) in prev.gauges.iter().zip(&self.gauges) {
+            put_delta(&mut out, *pv, *cv);
+            put_delta(&mut out, *pm, *cm);
+        }
+        for (p, c) in prev.hists.iter().zip(&self.hists) {
+            put_delta(&mut out, p.count, c.count);
+            put_delta(&mut out, p.sum, c.sum);
+            for (pb, cb) in p.buckets.iter().zip(&c.buckets) {
+                put_delta(&mut out, *pb, *cb);
+            }
+        }
+        out
+    }
+
+    /// Decode a `STATS` payload produced by [`StatsSnapshot::encode_delta`]
+    /// on top of `prev`. Rejects truncated and oversized payloads with a
+    /// typed message; both sides are the same binary, so the field counts
+    /// are implicit.
+    pub fn apply_delta(prev: &StatsSnapshot, payload: &[u8]) -> Result<StatsSnapshot, String> {
+        let mut i = 0usize;
+        let mut snap = StatsSnapshot::zero();
+        for (k, p) in prev.counters.iter().enumerate() {
+            snap.counters[k] = get_delta(payload, &mut i, *p)?;
+        }
+        for (k, p) in prev.virts.iter().enumerate() {
+            snap.virts[k] = p ^ get_uvarint(payload, &mut i)?;
+        }
+        for (k, (pv, pm)) in prev.gauges.iter().enumerate() {
+            snap.gauges[k] = (
+                get_delta(payload, &mut i, *pv)?,
+                get_delta(payload, &mut i, *pm)?,
+            );
+        }
+        for (k, p) in prev.hists.iter().enumerate() {
+            snap.hists[k].count = get_delta(payload, &mut i, p.count)?;
+            snap.hists[k].sum = get_delta(payload, &mut i, p.sum)?;
+            for (b, pb) in p.buckets.iter().enumerate() {
+                snap.hists[k].buckets[b] = get_delta(payload, &mut i, *pb)?;
+            }
+        }
+        if i != payload.len() {
+            return Err(format!(
+                "stats payload has {} trailing bytes after the last field",
+                payload.len() - i
+            ));
+        }
+        Ok(snap)
     }
 }
 
@@ -755,6 +1070,19 @@ fn fmt_us(ns_or_us: f64) -> String {
 /// plus process/thread-name metadata). One pid per rank, one tid per phase
 /// lane.
 pub fn chrome_trace_json(spans: &[Span], clock: ExportClock) -> String {
+    chrome_trace_json_with_path(spans, clock, None)
+}
+
+/// [`chrome_trace_json`] plus the critical path highlighted as Perfetto
+/// flow events: every cross-rank hop of `path` becomes an `s`/`f` arrow
+/// (category `critical-path`) from the sender's send lane to the
+/// receiver's recv lane at the hand-off instant. Flows are only emitted on
+/// the virtual clock — the path's coordinates are virtual seconds.
+pub fn chrome_trace_json_with_path(
+    spans: &[Span],
+    clock: ExportClock,
+    path: Option<&CriticalPath>,
+) -> String {
     use std::fmt::Write as _;
     let mut out = String::from("{\n\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n");
     // Metadata: name each pid and each (pid, lane) we are about to emit.
@@ -821,8 +1149,213 @@ pub fn chrome_trace_json(spans: &[Span], clock: ExportClock) -> String {
         }
         out.push_str("}}");
     }
+    if let (ExportClock::Virtual, Some(cp)) = (clock, path) {
+        let mut id = 0u64;
+        for h in &cp.hops {
+            let Some(from) = h.from_rank else { continue };
+            id += 1;
+            let ts = fmt_us(h.start * 1e6);
+            sep(&mut out);
+            let _ = write!(
+                out,
+                "{{\"name\": \"critical-path\", \"cat\": \"critical-path\", \"ph\": \"s\", \"id\": {id}, \"pid\": {}, \"tid\": {}, \"ts\": {ts}}}",
+                from as u32 + 1,
+                Phase::Send.lane(),
+            );
+            sep(&mut out);
+            let _ = write!(
+                out,
+                "{{\"name\": \"critical-path\", \"cat\": \"critical-path\", \"ph\": \"f\", \"bp\": \"e\", \"id\": {id}, \"pid\": {}, \"tid\": {}, \"ts\": {ts}}}",
+                h.rank as u32 + 1,
+                Phase::Recv.lane(),
+            );
+        }
+    }
     out.push_str("\n]\n}\n");
     out
+}
+
+// ---------------------------------------------------------------------------
+// Critical path
+// ---------------------------------------------------------------------------
+
+/// One hop of the dependency-true critical path: the half-open virtual
+/// interval `(start, end]` during which `rank` was the binding constraint
+/// on the run's completion.
+#[derive(Clone, Debug)]
+pub struct CriticalHop {
+    /// The rank the path runs on during this hop.
+    pub rank: usize,
+    /// What the rank was doing: a [`Phase::name`], or `"idle"` (between
+    /// recorded spans) / `"origin"` (before the rank's first span).
+    pub phase: &'static str,
+    /// Virtual start of the hop (exclusive).
+    pub start: f64,
+    /// Virtual end of the hop (inclusive).
+    pub end: f64,
+    /// `Some(sender)` when this hop was entered through a send→recv edge:
+    /// the hop starts the instant `sender`'s matched send completed.
+    pub from_rank: Option<usize>,
+}
+
+impl CriticalHop {
+    /// The hop's virtual duration in seconds.
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+/// The longest dependency chain of a run: a sequence of hops that tiles
+/// `(0, makespan]` exactly, following send→recv edges across ranks. Unlike
+/// the "slowest rank" approximation, the chain shows *which* rank bound
+/// the run during every interval and where the hand-offs happened.
+#[derive(Clone, Debug)]
+pub struct CriticalPath {
+    /// The hops in chronological order; consecutive hops share a boundary
+    /// (`hops[k].end == hops[k+1].start`), so the durations telescope.
+    pub hops: Vec<CriticalHop>,
+    /// The chain's total length in virtual seconds — the makespan, since
+    /// the chain tiles `(0, makespan]`. Always ≥ the slowest rank's clock.
+    pub length: f64,
+}
+
+/// Walk the recorded spans backward from the slowest rank's final clock,
+/// following matched send→recv [`SpanEdge`]s to produce the true longest
+/// dependency chain. Returns `None` without rank spans to walk (e.g. a
+/// multi-process driver registry, which only holds driver-side spans).
+pub fn critical_path_from_spans(spans: &[Span], local_times: &[f64]) -> Option<CriticalPath> {
+    use std::collections::HashMap;
+    let n = local_times.len();
+    if n == 0 {
+        return None;
+    }
+    let mut by_rank: Vec<Vec<&Span>> = vec![Vec::new(); n];
+    // (sender, receiver, tag, seq) → the send span's virtual end.
+    let mut sends: HashMap<(usize, u32, i64, u64), f64> = HashMap::new();
+    for s in spans {
+        if s.pid == DRIVER_PID {
+            continue;
+        }
+        let rank = (s.pid - 1) as usize;
+        if rank >= n || s.virt.is_none() {
+            continue;
+        }
+        if s.phase == Phase::Send {
+            if let Some(e) = s.edge {
+                sends.insert((rank, e.peer, e.tag, e.seq), s.virt.expect("filtered").1);
+            }
+        }
+        by_rank[rank].push(s);
+    }
+    if by_rank.iter().all(|v| v.is_empty()) {
+        return None;
+    }
+    for v in &mut by_rank {
+        v.sort_by(|a, b| {
+            let (a0, a1) = a.virt.expect("filtered");
+            let (b0, b1) = b.virt.expect("filtered");
+            a1.total_cmp(&b1).then(a0.total_cmp(&b0))
+        });
+    }
+    let (start_rank, start_t) = local_times
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(r, &t)| (r, t))?;
+    let mut rank = start_rank;
+    let mut t = start_t;
+    let mut rev: Vec<CriticalHop> = Vec::new();
+    // Every iteration pushes one hop that strictly decreases `t`, and each
+    // hop is anchored at a span boundary, so the walk terminates; the cap
+    // is pure defense against malformed span data.
+    let cap = 2 * spans.len() + n + 16;
+    'walk: while t > 0.0 && rev.len() < cap {
+        for s in by_rank[rank].iter().rev() {
+            let (v0, v1) = s.virt.expect("filtered");
+            if v1 > t {
+                continue;
+            }
+            if v1 < t {
+                // Nothing recorded on this rank in (v1, t]: it sat idle
+                // (e.g. finished early and the makespan is another rank's).
+                rev.push(CriticalHop {
+                    rank,
+                    phase: "idle",
+                    start: v1,
+                    end: t,
+                    from_rank: None,
+                });
+                t = v1;
+                continue 'walk;
+            }
+            // v1 == t. A receive whose matched send completed *after* this
+            // rank started waiting hands the path to the sender: during
+            // (send_end, t] the binding constraint was message delivery.
+            if s.phase == Phase::Recv {
+                if let Some(e) = s.edge {
+                    let key = (e.peer as usize, rank as u32, e.tag, e.seq);
+                    if let Some(&send_end) = sends.get(&key) {
+                        if send_end < t && send_end > v0 {
+                            rev.push(CriticalHop {
+                                rank,
+                                phase: s.phase.name(),
+                                start: send_end,
+                                end: t,
+                                from_rank: Some(e.peer as usize),
+                            });
+                            rank = e.peer as usize;
+                            t = send_end;
+                            continue 'walk;
+                        }
+                    }
+                }
+            }
+            if v0 < t {
+                rev.push(CriticalHop {
+                    rank,
+                    phase: s.phase.name(),
+                    start: v0,
+                    end: t,
+                    from_rank: None,
+                });
+                t = v0;
+                continue 'walk;
+            }
+            // A zero-length span exactly at `t` cannot advance the walk;
+            // keep scanning earlier spans.
+        }
+        // No span reaches further back: the remainder is this rank's
+        // pre-span time (model setup before its first recorded phase).
+        rev.push(CriticalHop {
+            rank,
+            phase: "origin",
+            start: 0.0,
+            end: t,
+            from_rank: None,
+        });
+        t = 0.0;
+    }
+    rev.reverse();
+    // Merge runs of same-rank same-phase hops (a long local stretch walks
+    // as one hop per span; the report wants the stretch).
+    let mut hops: Vec<CriticalHop> = Vec::new();
+    for h in rev {
+        match hops.last_mut() {
+            Some(last)
+                if last.rank == h.rank
+                    && last.phase == h.phase
+                    && h.from_rank.is_none()
+                    && last.end == h.start =>
+            {
+                last.end = h.end;
+            }
+            _ => hops.push(h),
+        }
+    }
+    Some(CriticalPath {
+        hops,
+        length: start_t,
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -873,6 +1406,9 @@ pub struct RunReport {
     pub ranks: Vec<RankReport>,
     /// Virtual makespan: the latest local clock.
     pub makespan: f64,
+    /// The dependency-true critical path, when spans with edges were
+    /// available to walk (attach with [`RunReport::with_critical_path`]).
+    pub critical_path: Option<CriticalPath>,
 }
 
 impl RunReport {
@@ -920,7 +1456,134 @@ impl RunReport {
             });
         }
         let makespan = local_times.iter().copied().fold(0.0, f64::max);
-        RunReport { ranks, makespan }
+        RunReport {
+            ranks,
+            makespan,
+            critical_path: None,
+        }
+    }
+
+    /// Attach (or clear) the dependency-true critical path. Kept out of
+    /// [`RunReport::from_registry`] so the JSON of a snapshot-merged report
+    /// and a registry-built report stay byte-identical by default.
+    pub fn with_critical_path(mut self, path: Option<CriticalPath>) -> RunReport {
+        self.critical_path = path;
+        self
+    }
+
+    /// Build the same aggregated report from per-rank [`StatsSnapshot`]s —
+    /// the multi-process driver's merge path. The arithmetic mirrors
+    /// [`RunReport::from_registry`] term for term, so merging the final
+    /// absolute snapshots of a run yields a report **bitwise identical**
+    /// to the one built from the live registry (fuzz-checked).
+    pub fn from_snapshots(snaps: &[StatsSnapshot], local_times: &[f64]) -> RunReport {
+        let zero = StatsSnapshot::zero();
+        let mut ranks = Vec::with_capacity(local_times.len());
+        for (rank, &local_time) in local_times.iter().enumerate() {
+            let m = snaps.get(rank).unwrap_or(&zero);
+            let compute = m.virt(VirtAcc::Compute);
+            let wait = m.virt(VirtAcc::Wait) + m.virt(VirtAcc::Stall);
+            let comm = m.virt(VirtAcc::Send)
+                + m.virt(VirtAcc::RecvOverhead)
+                + m.virt(VirtAcc::Retrans)
+                + m.virt(VirtAcc::Drain);
+            let recovery = m.virt(VirtAcc::Recovery);
+            let overlap_hidden = m.virt(VirtAcc::OverlapHidden);
+            ranks.push(RankReport {
+                rank,
+                local_time,
+                compute,
+                wait,
+                comm,
+                recovery,
+                overlap_hidden,
+                utilization: if local_time > 0.0 {
+                    compute / local_time
+                } else {
+                    0.0
+                },
+                counters: Counter::ALL.iter().map(|&c| (c, m.counter(c))).collect(),
+                gauges: GaugeId::ALL
+                    .iter()
+                    .map(|&g| {
+                        let (v, mx) = m.gauges[g as usize];
+                        (g, v, mx)
+                    })
+                    .collect(),
+                hists: HistId::ALL
+                    .iter()
+                    .map(|&h| {
+                        let hs = &m.hists[h as usize];
+                        let buckets = hs
+                            .buckets
+                            .iter()
+                            .enumerate()
+                            .filter_map(|(i, &c)| {
+                                (c > 0).then_some((if i == 0 { 0 } else { 1u64 << i }, c))
+                            })
+                            .collect();
+                        (h, hs.count, hs.sum, buckets)
+                    })
+                    .collect(),
+            });
+        }
+        let makespan = local_times.iter().copied().fold(0.0, f64::max);
+        RunReport {
+            ranks,
+            makespan,
+            critical_path: None,
+        }
+    }
+
+    /// Compare the *deterministic* subset of two reports — everything the
+    /// virtual-time model pins down bitwise across backends: the makespan
+    /// bits, every rank's clock-partition terms and utilization bits, and
+    /// every logical counter. Wall-clock artifacts (histograms, gauge
+    /// levels) and transport-local counters ([`Counter::CkptWrites`],
+    /// [`Counter::CkptBytes`]) legitimately differ between a threaded and
+    /// a multi-process run and are excluded. Returns one message per
+    /// mismatch; empty means the reports agree.
+    pub fn deterministic_diff(&self, other: &RunReport) -> Vec<String> {
+        let mut diffs = Vec::new();
+        if self.ranks.len() != other.ranks.len() {
+            diffs.push(format!(
+                "rank count: {} vs {}",
+                self.ranks.len(),
+                other.ranks.len()
+            ));
+            return diffs;
+        }
+        if self.makespan.to_bits() != other.makespan.to_bits() {
+            diffs.push(format!(
+                "makespan: {:.9} vs {:.9}",
+                self.makespan, other.makespan
+            ));
+        }
+        for (a, b) in self.ranks.iter().zip(&other.ranks) {
+            let fields = [
+                ("local_time", a.local_time, b.local_time),
+                ("compute", a.compute, b.compute),
+                ("wait", a.wait, b.wait),
+                ("comm", a.comm, b.comm),
+                ("recovery", a.recovery, b.recovery),
+                ("overlap_hidden", a.overlap_hidden, b.overlap_hidden),
+                ("utilization", a.utilization, b.utilization),
+            ];
+            for (name, x, y) in fields {
+                if x.to_bits() != y.to_bits() {
+                    diffs.push(format!("rank {} {}: {:.9} vs {:.9}", a.rank, name, x, y));
+                }
+            }
+            for (&(c, x), &(_, y)) in a.counters.iter().zip(&b.counters) {
+                if matches!(c, Counter::CkptWrites | Counter::CkptBytes) {
+                    continue;
+                }
+                if x != y {
+                    diffs.push(format!("rank {} {}: {} vs {}", a.rank, c.name(), x, y));
+                }
+            }
+        }
+        diffs
     }
 
     /// Sum of one counter across all ranks.
@@ -944,6 +1607,27 @@ impl RunReport {
         use std::fmt::Write as _;
         let mut j = String::from("{\n  \"schema\": \"tilecc-metrics-v1\",\n");
         let _ = writeln!(j, "  \"makespan\": {:.9},", self.makespan);
+        if let Some(cp) = &self.critical_path {
+            let _ = writeln!(j, "  \"critical_path\": {{");
+            let _ = writeln!(j, "    \"length\": {:.9},", cp.length);
+            let _ = writeln!(j, "    \"hops\": [");
+            let nh = cp.hops.len();
+            for (k, h) in cp.hops.iter().enumerate() {
+                let from = h.from_rank.map_or("null".to_string(), |r| r.to_string());
+                let _ = writeln!(
+                    j,
+                    "      {{\"rank\": {}, \"phase\": \"{}\", \"start\": {:.9}, \"end\": {:.9}, \"from_rank\": {}}}{}",
+                    h.rank,
+                    h.phase,
+                    h.start,
+                    h.end,
+                    from,
+                    if k + 1 < nh { "," } else { "" }
+                );
+            }
+            let _ = writeln!(j, "    ]");
+            let _ = writeln!(j, "  }},");
+        }
         let _ = writeln!(j, "  \"ranks\": [");
         let nr = self.ranks.len();
         for (i, r) in self.ranks.iter().enumerate() {
@@ -1079,7 +1763,41 @@ impl RunReport {
                 self.total(Counter::Checkpoints)
             );
         }
-        if let Some(s) = self.slowest_rank() {
+        if let Some(cp) = &self.critical_path {
+            let cross = cp.hops.iter().filter(|h| h.from_rank.is_some()).count();
+            let _ = writeln!(
+                out,
+                "  critical   : {:.6} s dependency chain, {} hops ({} cross-rank)",
+                cp.length,
+                cp.hops.len(),
+                cross
+            );
+            const SHOWN: usize = 16;
+            for h in cp.hops.iter().take(SHOWN) {
+                let via = match h.from_rank {
+                    Some(s) => format!("  <- rank {s}"),
+                    None => String::new(),
+                };
+                let _ = writeln!(
+                    out,
+                    "    {:>12.6} .. {:>12.6}  rank {:>3}  {:<8} {:.6} s{}",
+                    h.start,
+                    h.end,
+                    h.rank,
+                    h.phase,
+                    h.duration(),
+                    via
+                );
+            }
+            if cp.hops.len() > SHOWN {
+                let rest: f64 = cp.hops[SHOWN..].iter().map(|h| h.duration()).sum();
+                let _ = writeln!(
+                    out,
+                    "    ... {} more hops ({rest:.6} s)",
+                    cp.hops.len() - SHOWN
+                );
+            }
+        } else if let Some(s) = self.slowest_rank() {
             let _ = writeln!(
                 out,
                 "  critical   : rank {} ({:.6} s = compute {:.6} + wait {:.6} + comm {:.6})",
@@ -1192,9 +1910,15 @@ pub mod json {
         }
     }
 
+    /// Maximum container nesting the parser accepts. Recursion is bounded
+    /// so adversarial input (e.g. 100k `[`s) reports a typed error instead
+    /// of overflowing the stack.
+    pub const MAX_DEPTH: usize = 128;
+
     struct P<'a> {
         s: &'a [u8],
         i: usize,
+        depth: usize,
     }
 
     impl<'a> P<'a> {
@@ -1319,12 +2043,22 @@ pub mod json {
             }
         }
 
+        fn enter(&mut self) -> Result<(), String> {
+            self.depth += 1;
+            if self.depth > MAX_DEPTH {
+                return self.err(&format!("nesting deeper than {MAX_DEPTH} levels"));
+            }
+            Ok(())
+        }
+
         fn array(&mut self) -> Result<Json, String> {
             self.eat(b'[')?;
+            self.enter()?;
             let mut items = Vec::new();
             self.ws();
             if self.peek() == Some(b']') {
                 self.i += 1;
+                self.depth -= 1;
                 return Ok(Json::Arr(items));
             }
             loop {
@@ -1336,6 +2070,7 @@ pub mod json {
                     }
                     Some(b']') => {
                         self.i += 1;
+                        self.depth -= 1;
                         return Ok(Json::Arr(items));
                     }
                     _ => return self.err("expected `,` or `]`"),
@@ -1345,10 +2080,12 @@ pub mod json {
 
         fn object(&mut self) -> Result<Json, String> {
             self.eat(b'{')?;
+            self.enter()?;
             let mut fields = Vec::new();
             self.ws();
             if self.peek() == Some(b'}') {
                 self.i += 1;
+                self.depth -= 1;
                 return Ok(Json::Obj(fields));
             }
             loop {
@@ -1365,6 +2102,7 @@ pub mod json {
                     }
                     Some(b'}') => {
                         self.i += 1;
+                        self.depth -= 1;
                         return Ok(Json::Obj(fields));
                     }
                     _ => return self.err("expected `,` or `}`"),
@@ -1378,6 +2116,7 @@ pub mod json {
         let mut p = P {
             s: s.as_bytes(),
             i: 0,
+            depth: 0,
         };
         let v = p.value()?;
         p.ws();
@@ -1605,5 +2344,292 @@ mod tests {
         assert!((r.compute + r.wait + r.comm + r.recovery - r.local_time).abs() < 1e-12);
         assert_eq!(r.recovery, 0.03125);
         assert_eq!(r.overlap_hidden, 100.0);
+    }
+
+    /// A metrics slot with something in every field family, including f64
+    /// values whose bit patterns a numeric delta could not reproduce.
+    fn populated_metrics() -> Arc<RankMetrics> {
+        let m = Arc::new(RankMetrics::new());
+        m.add(Counter::MessagesSent, 42);
+        m.add(Counter::BytesSent, u64::MAX / 3);
+        m.add(Counter::Retransmits, 7);
+        m.add(Counter::CkptWrites, 2);
+        m.virt_add(VirtAcc::Compute, 0.1 + 0.2); // 0.30000000000000004
+        m.virt_add(VirtAcc::Wait, 1.0 / 3.0);
+        m.virt_add(VirtAcc::Drain, 5e-324); // subnormal
+        m.gauge(GaugeId::PendingDepth).set(9);
+        m.gauge(GaugeId::PendingDepth).set(3);
+        m.gauge(GaugeId::WriterQueueDepth).set(17);
+        m.hist(HistId::RetransNs).observe(1024);
+        m.hist(HistId::RetransNs).observe(1 << 50);
+        m.hist(HistId::ComputeTileNs).observe(0);
+        m
+    }
+
+    #[test]
+    fn stats_snapshot_delta_chain_round_trips_bitwise() {
+        let m = populated_metrics();
+        let a = StatsSnapshot::capture(&m);
+        // Absolute frame: a delta against zero().
+        let abs = a.encode_delta(&StatsSnapshot::zero());
+        let got = StatsSnapshot::apply_delta(&StatsSnapshot::zero(), &abs).unwrap();
+        assert_eq!(got, a);
+
+        // Mutate and chain a second (incremental) frame on top.
+        m.add(Counter::MessagesSent, 1);
+        m.virt_add(VirtAcc::Compute, 0.25);
+        m.gauge(GaugeId::WriterQueueDepth).set(1);
+        m.hist(HistId::RetransNs).observe(3);
+        let b = StatsSnapshot::capture(&m);
+        let delta = b.encode_delta(&a);
+        let got = StatsSnapshot::apply_delta(&got, &delta).unwrap();
+        assert_eq!(got, b);
+        // Identical consecutive snapshots encode compactly: one zero byte
+        // per field.
+        let idle = b.encode_delta(&b);
+        assert!(idle.iter().all(|&x| x == 0), "{idle:?}");
+    }
+
+    #[test]
+    fn stats_snapshot_delta_survives_counter_rewind() {
+        // Crash recovery rewinds counters DOWN; the signed zigzag delta
+        // must carry the decrease (an unsigned delta would wrap).
+        let m = populated_metrics();
+        let before = StatsSnapshot::capture(&m);
+        m.set(Counter::MessagesSent, 5); // rewound below the previous 42
+        m.virt_set(VirtAcc::Compute, 0.125);
+        let after = StatsSnapshot::capture(&m);
+        let delta = after.encode_delta(&before);
+        let got = StatsSnapshot::apply_delta(&before, &delta).unwrap();
+        assert_eq!(got, after);
+        assert_eq!(got.counter(Counter::MessagesSent), 5);
+        assert_eq!(got.virt(VirtAcc::Compute).to_bits(), 0.125f64.to_bits());
+    }
+
+    #[test]
+    fn stats_snapshot_rejects_corrupt_payloads() {
+        let m = populated_metrics();
+        let snap = StatsSnapshot::capture(&m);
+        let zero = StatsSnapshot::zero();
+        let good = snap.encode_delta(&zero);
+        // Truncation anywhere must surface as Err, never a panic.
+        for cut in [0, 1, good.len() / 2, good.len() - 1] {
+            assert!(
+                StatsSnapshot::apply_delta(&zero, &good[..cut]).is_err(),
+                "cut at {cut} must be rejected"
+            );
+        }
+        // Trailing garbage is rejected too.
+        let mut long = good.clone();
+        long.push(0);
+        assert!(StatsSnapshot::apply_delta(&zero, &long).is_err());
+        // An unterminated varint (all continuation bits) is rejected.
+        assert!(StatsSnapshot::apply_delta(&zero, &[0xFF; 64]).is_err());
+    }
+
+    #[test]
+    fn stats_snapshot_local_clock_matches_partition() {
+        let m = populated_metrics();
+        m.virt_add(VirtAcc::OverlapHidden, 9.0); // informational: excluded
+        let snap = StatsSnapshot::capture(&m);
+        let expect = VirtAcc::ALL
+            .iter()
+            .filter(|&&a| a != VirtAcc::OverlapHidden)
+            .map(|&a| m.virt_get(a))
+            .sum::<f64>();
+        assert_eq!(snap.local_clock().to_bits(), expect.to_bits());
+    }
+
+    #[test]
+    fn report_from_snapshots_matches_registry_bitwise() {
+        // The driver-side merge path must reproduce the registry-built
+        // report byte for byte — the cross-backend identity the TCP
+        // driver's merged `--metrics-out` relies on.
+        let reg = MetricsRegistry::new();
+        for rank in 0..3 {
+            let m = reg.rank_metrics(rank);
+            m.add(Counter::MessagesSent, 10 + rank as u64);
+            m.add(Counter::BytesSent, (rank as u64 + 1) * 1000);
+            m.virt_add(VirtAcc::Compute, 0.1 * (rank as f64 + 1.0) / 3.0);
+            m.virt_add(VirtAcc::Wait, 1.0 / 7.0);
+            m.virt_add(VirtAcc::Send, 0.01);
+            m.gauge(GaugeId::PendingDepth).set(rank as u64);
+            m.hist(HistId::RecvWaitNs).observe(123 << rank);
+        }
+        let local_times = [0.5, 0.7, 0.6];
+        let snaps: Vec<StatsSnapshot> = (0..3)
+            .map(|r| StatsSnapshot::capture(&reg.rank_metrics(r)))
+            .collect();
+        let from_reg = RunReport::from_registry(&reg, &local_times).to_json();
+        let from_snaps = RunReport::from_snapshots(&snaps, &local_times).to_json();
+        assert_eq!(from_reg, from_snaps);
+        // And the snapshots survive a wire round-trip first.
+        let wired: Vec<StatsSnapshot> = snaps
+            .iter()
+            .map(|s| {
+                let payload = s.encode_delta(&StatsSnapshot::zero());
+                StatsSnapshot::apply_delta(&StatsSnapshot::zero(), &payload).unwrap()
+            })
+            .collect();
+        assert_eq!(
+            RunReport::from_snapshots(&wired, &local_times).to_json(),
+            from_reg
+        );
+    }
+
+    /// Two ranks, one message: rank 0 computes then sends, rank 1 blocks in
+    /// a receive and computes on. The dependency-true path must cross from
+    /// rank 1 back to rank 0 through the send→recv edge.
+    fn cross_rank_spans(reg: &Arc<MetricsRegistry>) {
+        let edge = SpanEdge {
+            peer: 1,
+            tag: 5,
+            seq: 1,
+        };
+        let mut o0 = RankObs::new(reg.clone(), 0);
+        let t = o0.now_ns();
+        o0.span(Phase::Compute, t, (0.0, 1.0), 100);
+        o0.edge_span(Phase::Send, t, (1.0, 1.2), 64, edge);
+        drop(o0);
+        let mut o1 = RankObs::new(reg.clone(), 1);
+        o1.edge_span(
+            Phase::Recv,
+            t,
+            (0.0, 1.3),
+            64,
+            SpanEdge {
+                peer: 0,
+                tag: 5,
+                seq: 1,
+            },
+        );
+        o1.span(Phase::Compute, t, (1.3, 2.0), 70);
+        drop(o1);
+    }
+
+    #[test]
+    fn critical_path_follows_send_recv_edges() {
+        let reg = MetricsRegistry::new();
+        cross_rank_spans(&reg);
+        let local_times = [1.2, 2.0];
+        let cp = reg
+            .critical_path(&local_times)
+            .expect("spans were recorded");
+        // The chain tiles (0, makespan] exactly.
+        assert_eq!(cp.length, 2.0);
+        assert!(cp.length >= local_times.iter().fold(0.0f64, |a, &b| a.max(b)));
+        let hop_sum: f64 = cp.hops.iter().map(|h| h.duration()).sum();
+        assert!((hop_sum - cp.length).abs() < 1e-9, "{cp:?}");
+        assert_eq!(cp.hops.first().unwrap().start, 0.0);
+        assert_eq!(cp.hops.last().unwrap().end, 2.0);
+        for w in cp.hops.windows(2) {
+            assert_eq!(w[0].end, w[1].start, "hops must telescope: {cp:?}");
+        }
+        // The walk crossed to rank 0 through the recv: the hand-off hop
+        // starts the instant the matched send completed (1.2).
+        let cross = cp
+            .hops
+            .iter()
+            .find(|h| h.from_rank.is_some())
+            .expect("one cross-rank hop");
+        assert_eq!(cross.rank, 1);
+        assert_eq!(cross.from_rank, Some(0));
+        assert_eq!(cross.phase, "recv");
+        assert_eq!(cross.start, 1.2);
+        assert_eq!(cross.end, 1.3);
+        // Before the hand-off the path runs on rank 0, after it on rank 1.
+        assert!(cp
+            .hops
+            .iter()
+            .take_while(|h| h.from_rank.is_none())
+            .all(|h| h.rank == 0));
+        assert_eq!(cp.hops.last().unwrap().rank, 1);
+        assert_eq!(cp.hops.last().unwrap().phase, "compute");
+    }
+
+    #[test]
+    fn critical_path_needs_rank_spans() {
+        // A driver-only registry (the multi-process case) has nothing to
+        // walk: slowest-rank stays the report's fallback.
+        let reg = MetricsRegistry::new();
+        reg.driver_span(Phase::Plan, "plan", 0, 0);
+        assert!(reg.critical_path(&[1.0, 2.0]).is_none());
+        assert!(critical_path_from_spans(&[], &[]).is_none());
+    }
+
+    #[test]
+    fn critical_path_flows_land_in_trace_export() {
+        let reg = MetricsRegistry::new();
+        cross_rank_spans(&reg);
+        let cp = reg.critical_path(&[1.2, 2.0]).unwrap();
+        let trace = reg.chrome_trace_with_path(ExportClock::Virtual, Some(&cp));
+        let j = json::parse(&trace).expect("trace with flows must parse");
+        let events = j.get("traceEvents").and_then(|e| e.as_arr()).unwrap();
+        let phases: Vec<&str> = events
+            .iter()
+            .filter_map(|e| e.get("ph").and_then(|p| p.as_str()))
+            .collect();
+        assert_eq!(phases.iter().filter(|&&p| p == "s").count(), 1);
+        assert_eq!(phases.iter().filter(|&&p| p == "f").count(), 1);
+        // Flow arrows carry coordinates only on the virtual clock.
+        let wall = reg.chrome_trace_with_path(ExportClock::Wall, Some(&cp));
+        assert!(!wall.contains("\"ph\": \"s\""), "no flows on wall clock");
+    }
+
+    #[test]
+    fn json_parser_bounds_recursion_depth() {
+        // MAX_DEPTH levels parse; one more is a typed error; absurd depth
+        // must not overflow the stack.
+        let ok = format!(
+            "{}1{}",
+            "[".repeat(json::MAX_DEPTH),
+            "]".repeat(json::MAX_DEPTH)
+        );
+        assert!(json::parse(&ok).is_ok());
+        let deep = format!(
+            "{}1{}",
+            "[".repeat(json::MAX_DEPTH + 1),
+            "]".repeat(json::MAX_DEPTH + 1)
+        );
+        let e = json::parse(&deep).unwrap_err();
+        assert!(e.contains("nesting"), "{e}");
+        let absurd = "[".repeat(10_000);
+        assert!(json::parse(&absurd).is_err()); // typed error, no overflow
+        let mixed = format!("{}{}", "{\"k\":".repeat(10_000), "[");
+        assert!(json::parse(&mixed).is_err());
+    }
+
+    #[test]
+    fn json_extreme_f64_round_trip() {
+        for v in [
+            f64::MAX,
+            f64::MIN_POSITIVE, // smallest normal
+            5e-324,            // smallest subnormal
+            1e308,
+            -1.7976931348623157e308,
+        ] {
+            let doc = format!("[{v:e}]");
+            let j = json::parse(&doc).unwrap_or_else(|e| panic!("{doc}: {e}"));
+            let got = j.as_arr().unwrap()[0].as_f64().unwrap();
+            assert_eq!(got.to_bits(), v.to_bits(), "{v:e} must round-trip bitwise");
+        }
+    }
+
+    #[test]
+    fn histogram_power_of_two_boundaries_are_deterministic() {
+        // An exact power of two is always the *floor* of its bucket: 2^k
+        // lands in bucket k, 2^k - 1 in bucket k-1 — no boundary value can
+        // flap between buckets.
+        for k in 1..63u32 {
+            let v = 1u64 << k;
+            let expect = (k as usize).min(HIST_BUCKETS - 1);
+            assert_eq!(Histogram::bucket_of(v), expect, "2^{k}");
+            let below = (k as usize - 1).min(HIST_BUCKETS - 1);
+            assert_eq!(Histogram::bucket_of(v - 1), below, "2^{k} - 1");
+        }
+        // The reported floor is the bucket's power of two.
+        let h = Histogram::new();
+        h.observe(4096);
+        assert_eq!(h.nonzero_buckets(), vec![(4096, 1)]);
     }
 }

@@ -43,7 +43,9 @@ use crate::comm::{Comm, CommAbort, CommStats, Envelope, Restored};
 use crate::error::{CommError, RunError};
 use crate::fault::{FaultPlan, RankStall};
 use crate::model::MachineModel;
-use crate::obs::{Counter, GaugeId, HistId, Phase, RankMetrics, RankObs, VirtAcc};
+use crate::obs::{
+    Counter, GaugeId, HistId, Phase, RankMetrics, RankObs, SpanEdge, StatsSnapshot, VirtAcc,
+};
 use crate::reliability::{retransmit_pauses, Admit, LinkSeq, ReplayLog};
 use crate::threaded::{
     collect, install_quiet_panic_hook, new_replay_logs, panic_message, CkptState, CommScheme,
@@ -422,6 +424,9 @@ struct ReaderCtl {
     logs: ReplayLogs,
     resume_tx: Sender<(usize, u64)>,
     out_tx: SyncSender<Vec<u8>>,
+    /// Writer-queue depth of the peer's link, bumped for injected replays
+    /// so the gauge stays balanced with the writer thread's decrements.
+    out_depth: Arc<AtomicU64>,
     rank: usize,
     peer: usize,
 }
@@ -461,6 +466,10 @@ pub struct TcpComm {
     links: LinkSeq,
     holdback: Vec<Option<Envelope>>,
     obs: Option<RankObs>,
+    /// Per-peer writer-queue depth (frames queued, not yet written): bumped
+    /// on every enqueue, decremented by the writer thread per frame drained.
+    /// Feeds the `writer_queue_depth` gauge (current value + high-water).
+    writer_depth: Vec<Arc<AtomicU64>>,
     /// Sender-side replay logs (`Some` only with a recovery policy).
     replay_logs: Option<ReplayLogs>,
     /// Crash-recovery state (`Some` only with a recovery policy).
@@ -477,6 +486,8 @@ impl TcpComm {
         let metrics = cfg.obs.as_ref().map(|o| o.metrics());
         let mut writers: Vec<Option<SyncSender<Vec<u8>>>> = (0..size).map(|_| None).collect();
         let mut rxs: Vec<Option<Receiver<Envelope>>> = (0..size).map(|_| None).collect();
+        let writer_depth: Vec<Arc<AtomicU64>> =
+            (0..size).map(|_| Arc::new(AtomicU64::new(0))).collect();
         let mut writer_handles = Vec::new();
         // Worker-mode recovery: reader threads signal each peer's `RESUME`
         // frontier through this channel to the resume barrier.
@@ -494,6 +505,7 @@ impl TcpComm {
             let read_half = stream.try_clone().expect("socket clone");
             let (out_tx, out_rx) = sync_channel::<Vec<u8>>(SEND_QUEUE_FRAMES);
             let (in_tx, in_rx) = channel::<Envelope>();
+            let depth = writer_depth[peer].clone();
             let writer = thread::Builder::new()
                 .name(format!("tilecc-tcp-w{}-{}", cfg.rank, peer))
                 .spawn(move || {
@@ -501,9 +513,14 @@ impl TcpComm {
                     // An empty buffer is the close sentinel from the
                     // endpoint's `Drop`: reader threads also hold a sender
                     // (replay injection), so channel closure alone cannot
-                    // signal the flush.
+                    // signal the flush. The sentinel is never counted in
+                    // the depth gauge, so only real frames decrement it.
                     while let Ok(buf) = out_rx.recv() {
-                        if buf.is_empty() || std::io::Write::write_all(&mut stream, &buf).is_err() {
+                        if buf.is_empty() {
+                            break;
+                        }
+                        depth.fetch_sub(1, Ordering::Relaxed);
+                        if std::io::Write::write_all(&mut stream, &buf).is_err() {
                             break;
                         }
                     }
@@ -523,6 +540,7 @@ impl TcpComm {
                     logs: logs.clone(),
                     resume_tx: tx.clone(),
                     out_tx: out_tx.clone(),
+                    out_depth: writer_depth[peer].clone(),
                     rank: cfg.rank,
                     peer,
                 }),
@@ -559,6 +577,7 @@ impl TcpComm {
             links: LinkSeq::new(size),
             holdback: (0..size).map(|_| None).collect(),
             obs: cfg.obs,
+            writer_depth,
             replay_logs: cfg.replay_logs,
             recovery,
         };
@@ -597,17 +616,29 @@ impl TcpComm {
         if let (Some(o), Some(t0)) = (&self.obs, t0) {
             o.observe(HistId::SerializeNs, o.now_ns().saturating_sub(t0));
         }
-        self.writers[to]
+        // Count the frame before enqueueing so the writer thread can never
+        // decrement below zero, then roll back on a failed enqueue.
+        self.writer_depth[to].fetch_add(1, Ordering::Relaxed);
+        if self.writers[to]
             .as_ref()
             .expect("no link to peer")
             .send(buf)
-            .map_err(|_| {
-                if self.monitor.aborted() {
-                    CommError::Aborted
-                } else {
-                    CommError::PeerDisconnected { rank: to }
-                }
-            })
+            .is_err()
+        {
+            self.writer_depth[to].fetch_sub(1, Ordering::Relaxed);
+            return Err(if self.monitor.aborted() {
+                CommError::Aborted
+            } else {
+                CommError::PeerDisconnected { rank: to }
+            });
+        }
+        if let Some(o) = &self.obs {
+            o.gauge_set(
+                GaugeId::WriterQueueDepth,
+                self.writer_depth[to].load(Ordering::Relaxed),
+            );
+        }
+        Ok(())
     }
 
     /// Queue a *redundant* envelope (duplicate copy or released reorder
@@ -696,6 +727,7 @@ impl TcpComm {
             }
             let mut frame = Frame::control(FrameKind::Resume, rank as u32);
             frame.seq = expects[peer];
+            self.writer_depth[peer].fetch_add(1, Ordering::Relaxed);
             writer
                 .as_ref()
                 .expect("no link to peer")
@@ -764,7 +796,14 @@ fn reader_loop(
                         .expect("replay log poisoned")
                         .replay_from(frame.seq);
                     for env in replays {
-                        let _ = ctl.out_tx.send(wire::encode_replay(ctl.rank as u32, &env));
+                        ctl.out_depth.fetch_add(1, Ordering::Relaxed);
+                        if ctl
+                            .out_tx
+                            .send(wire::encode_replay(ctl.rank as u32, &env))
+                            .is_err()
+                        {
+                            ctl.out_depth.fetch_sub(1, Ordering::Relaxed);
+                        }
                     }
                     let _ = ctl.resume_tx.send((ctl.peer, frame.seq));
                 }
@@ -830,6 +869,9 @@ impl Comm for TcpComm {
                 if let Some(o) = &self.obs {
                     o.add(Counter::FaultDrops, 1);
                     o.add(Counter::Retransmits, 1);
+                    // Modelled backoff latency, in virtual nanoseconds; a
+                    // histogram, so it never perturbs the clock partition.
+                    o.observe(HistId::RetransNs, (pause * 1e9) as u64);
                 }
             }
         }
@@ -863,6 +905,7 @@ impl Comm for TcpComm {
                 at: self.clock,
                 to,
                 bytes: nominal_bytes,
+                tag,
             });
         }
         if let Some(o) = &self.obs {
@@ -934,11 +977,16 @@ impl Comm for TcpComm {
             let outstanding = self.holdback.iter().filter(|h| h.is_some()).count() as u64;
             if let Some(o) = &mut self.obs {
                 o.gauge_set(GaugeId::OutstandingSends, outstanding);
-                o.span(
+                o.edge_span(
                     Phase::Send,
                     wall_t0,
                     (virt_t0, virt_t1),
                     nominal_bytes as u64,
+                    SpanEdge {
+                        peer: to as u32,
+                        tag,
+                        seq,
+                    },
                 );
             }
         }
@@ -985,6 +1033,7 @@ impl Comm for TcpComm {
                 ready,
                 end: self.clock,
                 from,
+                tag,
             });
         }
         if let Some(wall_t0) = wall_t0 {
@@ -997,7 +1046,17 @@ impl Comm for TcpComm {
                 o.observe(HistId::RecvWaitNs, o.now_ns().saturating_sub(wall_t0));
                 o.gauge_set(GaugeId::PendingDepth, pending_depth);
                 o.gauge_set(GaugeId::ResequenceDepth, reseq_depth);
-                o.span(Phase::Recv, wall_t0, (start, virt_t1), env.bytes as u64);
+                o.edge_span(
+                    Phase::Recv,
+                    wall_t0,
+                    (start, virt_t1),
+                    env.bytes as u64,
+                    SpanEdge {
+                        peer: from as u32,
+                        tag,
+                        seq: env.seq,
+                    },
+                );
             }
         }
         Ok(env.payload)
@@ -1093,6 +1152,10 @@ impl Comm for TcpComm {
             counters,
             virts,
         };
+        // Transport-level write accounting: the in-process path snapshots
+        // only the application state, worker mode persists the full encoded
+        // checkpoint file.
+        let mut ckpt_bytes = app.len() as u64;
         match self.recovery.as_mut().expect("recovery checked above") {
             TcpRecovery::InProcess(rec) => {
                 // In-process ranks share the log matrix: acknowledge the
@@ -1123,6 +1186,7 @@ impl Comm for TcpComm {
                     })
                     .collect();
                 let bytes = encode_ckpt(&ckpt, &row);
+                ckpt_bytes = bytes.len() as u64;
                 if let Err(e) = write_ckpt_file(&w.path, &bytes) {
                     // A failed write must not kill the run: the previous
                     // checkpoint (or a fresh start) still recovers it.
@@ -1136,7 +1200,10 @@ impl Comm for TcpComm {
                     let mut frame = Frame::control(FrameKind::CkptAck, self.rank as u32);
                     frame.seq = self.links.expect_of(peer);
                     if let Some(writer) = writer {
-                        let _ = writer.send(frame.encode());
+                        self.writer_depth[peer].fetch_add(1, Ordering::Relaxed);
+                        if writer.send(frame.encode()).is_err() {
+                            self.writer_depth[peer].fetch_sub(1, Ordering::Relaxed);
+                        }
                     }
                 }
                 // Test hook: hard-kill this process at its N-th checkpoint
@@ -1148,6 +1215,8 @@ impl Comm for TcpComm {
         }
         if let Some(o) = &self.obs {
             o.add(Counter::Checkpoints, 1);
+            o.add(Counter::CkptWrites, 1);
+            o.add(Counter::CkptBytes, ckpt_bytes);
             if let Some(logs) = &self.replay_logs {
                 let depth: u64 = (0..self.size)
                     .filter(|&to| to != self.rank)
@@ -1509,6 +1578,21 @@ impl WorkerHandle {
         wire::write_frame(&mut *control, &frame).map_err(|e| transport_error("send result", e))
     }
 
+    /// Ship the rank's *final* metrics snapshot as an absolute `STATS`
+    /// frame (`seq = u64::MAX`, so it outranks every heartbeat delta).
+    /// Call it before [`WorkerHandle::send_result`]: the control socket is
+    /// ordered, so the driver holds the complete final snapshot by the
+    /// time the result lands — that is what makes the driver-merged report
+    /// bitwise-identical to an in-process run's.
+    pub fn send_stats(&self, snap: &StatsSnapshot) -> Result<(), CommError> {
+        let mut frame = Frame::control(FrameKind::Stats, self.rank as u32);
+        frame.seq = u64::MAX;
+        frame.nominal = 1;
+        frame.payload = snap.encode_delta(&StatsSnapshot::zero());
+        let mut control = self.control.lock().expect("control poisoned");
+        wire::write_frame(&mut *control, &frame).map_err(|e| transport_error("send stats", e))
+    }
+
     /// Block until the driver's `BYE` arrives — the signal that every
     /// rank's result is safely at the driver, so this process may exit
     /// without resetting sockets that still carry undelivered frames.
@@ -1851,16 +1935,24 @@ fn kill_self() -> ! {
 /// multi-process watchdog can see blocked/running states exactly like the
 /// threaded engine's monitor — and so the driver's dead-peer timeout can
 /// tell a slow worker from a dead one.
+///
+/// With observability enabled, every heartbeat also piggybacks a `STATS`
+/// frame: a delta-encoded [`StatsSnapshot`] of this rank's metrics (the
+/// first one absolute, `nominal = 1`). The control socket is ordered and
+/// reliable, so the driver can fold the deltas back losslessly.
 fn spawn_heartbeat(
     rank: usize,
     control: Arc<Mutex<TcpStream>>,
     monitor: Arc<Monitor>,
     stop: Arc<AtomicBool>,
     period: Duration,
+    metrics: Option<Arc<RankMetrics>>,
 ) -> JoinHandle<()> {
     thread::Builder::new()
         .name(format!("tilecc-tcp-hb-{rank}"))
         .spawn(move || {
+            let mut prev = StatsSnapshot::zero();
+            let mut snap_seq: u64 = 0;
             while !stop.load(Ordering::Relaxed) {
                 let mut frame = Frame::control(FrameKind::Progress, rank as u32);
                 frame.seq = monitor.progress();
@@ -1872,10 +1964,27 @@ fn spawn_heartbeat(
                     }
                     RankPhase::Done => frame.nominal = u64::MAX,
                 }
+                let stats = metrics.as_ref().map(|m| {
+                    let cur = StatsSnapshot::capture(m);
+                    snap_seq += 1;
+                    let mut sf = Frame::control(FrameKind::Stats, rank as u32);
+                    sf.seq = snap_seq;
+                    // `prev` starts at zero, so the first delta is the
+                    // absolute snapshot; flag it so a decoder can sync.
+                    sf.nominal = u64::from(snap_seq == 1);
+                    sf.payload = cur.encode_delta(&prev);
+                    (cur, sf)
+                });
                 {
                     let mut control = control.lock().expect("control poisoned");
                     if wire::write_frame(&mut *control, &frame).is_err() {
                         return; // Driver gone; the run is over either way.
+                    }
+                    if let Some((cur, sf)) = stats {
+                        if wire::write_frame(&mut *control, &sf).is_err() {
+                            return;
+                        }
+                        prev = cur;
                     }
                 }
                 thread::sleep(period);
@@ -1920,19 +2029,20 @@ where
     let _control_keepalive = mesh.control;
     let monitor = Arc::new(Monitor::new(cfg.size));
     let stop = Arc::new(AtomicBool::new(false));
-    let heartbeat = spawn_heartbeat(
-        rank,
-        control.clone(),
-        monitor.clone(),
-        stop.clone(),
-        cfg.heartbeat,
-    );
     let obs = cfg.options.obs.as_ref().map(|reg| {
         // Force the registry to the full world size so per-rank exports
         // index consistently even though only our slot is written.
         let _ = reg.rank_metrics(cfg.size.saturating_sub(1));
         RankObs::new(reg.clone(), rank)
     });
+    let heartbeat = spawn_heartbeat(
+        rank,
+        control.clone(),
+        monitor.clone(),
+        stop.clone(),
+        cfg.heartbeat,
+        obs.as_ref().map(|o| o.metrics()),
+    );
     // Checkpointing: load any previous checkpoint file up front (resumed
     // runs), seed this rank's replay-log row from it, and arm the kill
     // hook on first lives only.
@@ -2092,6 +2202,13 @@ pub struct WorkerReport {
     pub local_time: f64,
     /// The caller-defined result payload from its `RESULT` frame.
     pub payload: Vec<u8>,
+    /// The newest metrics snapshot received before the `RESULT` frame
+    /// (`None` when the worker ran without observability). A worker that
+    /// calls [`WorkerHandle::send_stats`] before its result makes this the
+    /// complete final state, which
+    /// [`crate::threaded::RunReport::from_snapshots`] merges into one
+    /// driver-side report.
+    pub stats: Option<StatsSnapshot>,
 }
 
 /// Per-rank driver-side state while collecting workers.
@@ -2107,6 +2224,12 @@ struct WorkerSlot {
     /// Wall time of the last byte read off the control socket; heartbeats
     /// keep it fresh, so a slow-but-alive worker is never declared dead.
     last_seen: Instant,
+    /// Decoder baseline for incoming `STATS` deltas.
+    stats_prev: StatsSnapshot,
+    /// Newest decoded snapshot (`None` until the first `STATS` frame).
+    stats: Option<StatsSnapshot>,
+    /// `seq` of the newest decoded snapshot.
+    stats_seq: u64,
 }
 
 impl WorkerSlot {
@@ -2177,7 +2300,23 @@ impl WorkerSlot {
                     rank,
                     local_time: frame.ready_at,
                     payload: frame.payload,
+                    stats: self.stats.clone(),
                 });
+            }
+            FrameKind::Stats => {
+                // `nominal = 1` marks an absolute snapshot: reset the delta
+                // baseline to zero. A payload that fails to decode only
+                // leaves the telemetry stale — it must never fail the run.
+                let base = if frame.nominal == 1 {
+                    StatsSnapshot::zero()
+                } else {
+                    self.stats_prev.clone()
+                };
+                if let Ok(snap) = StatsSnapshot::apply_delta(&base, &frame.payload) {
+                    self.stats_prev = snap.clone();
+                    self.stats = Some(snap);
+                    self.stats_seq = frame.seq;
+                }
             }
             FrameKind::Error => {
                 self.phase = RankPhase::Done;
@@ -2224,6 +2363,27 @@ fn worker_primary_failure(slots: &[WorkerSlot]) -> Option<RunError> {
     None
 }
 
+/// One rank's live telemetry as seen by the driver's supervision loop:
+/// the watchdog state (phase + progress) plus the newest decoded `STATS`
+/// snapshot. Handed to the [`collect_workers_observed`] observer on every
+/// supervision sweep.
+#[derive(Clone, Debug)]
+pub struct RankTelemetry {
+    /// The worker's rank.
+    pub rank: usize,
+    /// Last reported phase (running / blocked / done).
+    pub phase: RankPhase,
+    /// Last reported progress counter.
+    pub progress: u64,
+    /// Whether the worker's `RESULT` frame has arrived.
+    pub done: bool,
+    /// Newest metrics snapshot (`None` until the first `STATS` frame).
+    pub stats: Option<StatsSnapshot>,
+    /// `seq` of the newest snapshot — compare against the previous sweep
+    /// to tell fresh telemetry from a re-render of stale state.
+    pub stats_seq: u64,
+}
+
 /// Driver-side supervision of multi-process workers: collect `RESULT`
 /// frames off the control connections while running the same watchdog the
 /// threaded engine has — heartbeat-fed deadlock detection (every live
@@ -2235,6 +2395,30 @@ pub fn collect_workers(
     wall_timeout: Option<Duration>,
     deadlock_detection: bool,
     peer_timeout: Option<Duration>,
+) -> Result<Vec<WorkerReport>, RunError> {
+    collect_workers_observed(
+        controls,
+        wall_timeout,
+        deadlock_detection,
+        peer_timeout,
+        None,
+    )
+}
+
+/// A driver-side telemetry hook: called with the current per-rank
+/// telemetry on every supervision sweep. See [`collect_workers_observed`].
+pub type TelemetryObserver<'a> = Option<&'a mut dyn FnMut(&[RankTelemetry])>;
+
+/// [`collect_workers`] plus a telemetry observer: when `observer` is
+/// `Some`, it is invoked with the current [`RankTelemetry`] of every rank
+/// on each supervision sweep (every [`COLLECT_POLL`]) and once more after
+/// the last result lands — the hook behind `--live` and `--stats-out`.
+pub fn collect_workers_observed(
+    controls: Vec<TcpStream>,
+    wall_timeout: Option<Duration>,
+    deadlock_detection: bool,
+    peer_timeout: Option<Duration>,
+    mut observer: TelemetryObserver<'_>,
 ) -> Result<Vec<WorkerReport>, RunError> {
     let size = controls.len();
     let started = Instant::now();
@@ -2253,8 +2437,28 @@ pub fn collect_workers(
             progress: 0,
             phase: RankPhase::Running,
             last_seen: Instant::now(),
+            stats_prev: StatsSnapshot::zero(),
+            stats: None,
+            stats_seq: 0,
         });
     }
+    let observe = |slots: &[WorkerSlot], observer: &mut TelemetryObserver<'_>| {
+        if let Some(hook) = observer {
+            let telemetry: Vec<RankTelemetry> = slots
+                .iter()
+                .enumerate()
+                .map(|(rank, s)| RankTelemetry {
+                    rank,
+                    phase: s.phase,
+                    progress: s.progress,
+                    done: s.report.is_some(),
+                    stats: s.stats.clone(),
+                    stats_seq: s.stats_seq,
+                })
+                .collect();
+            hook(&telemetry);
+        }
+    };
 
     let mut stable: u32 = 0;
     let mut last_progress: Option<Vec<u64>> = None;
@@ -2262,6 +2466,7 @@ pub fn collect_workers(
         for slot in &mut slots {
             slot.poll();
         }
+        observe(&slots, &mut observer);
         // Heartbeat watchdog: a control socket silent past the dead-peer
         // timeout means the worker process is gone (heartbeats flow every
         // [`HEARTBEAT_PERIOD`] while it lives, even when blocked).
@@ -2340,7 +2545,9 @@ pub fn collect_workers(
         thread::sleep(COLLECT_POLL);
     }
 
-    // All results are in: release the workers.
+    // All results are in: one final observation (the pre-result absolute
+    // snapshots are decoded by now), then release the workers.
+    observe(&slots, &mut observer);
     let bye = Frame::control(FrameKind::Bye, u32::MAX);
     for slot in &mut slots {
         let _ = wire::write_frame(&mut slot.stream, &bye);

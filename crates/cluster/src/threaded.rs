@@ -32,7 +32,7 @@ use crate::comm::{Comm, CommAbort, CommStats, Envelope, Restored};
 use crate::error::{CommError, RunError};
 use crate::fault::{FaultPlan, RankStall};
 use crate::model::MachineModel;
-use crate::obs::{Counter, GaugeId, HistId, MetricsRegistry, Phase, RankObs, VirtAcc};
+use crate::obs::{Counter, GaugeId, HistId, MetricsRegistry, Phase, RankObs, SpanEdge, VirtAcc};
 use crate::reliability::{retransmit_pauses, Admit, LinkSeq, ReplayLog};
 use crate::trace::{Event, Trace};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -289,11 +289,20 @@ pub(crate) struct RecoveryCtl {
     pub(crate) used: u64,
 }
 
-/// What a rank is doing, as seen by the watchdog.
-#[derive(Clone, Debug, PartialEq)]
-pub(crate) enum RankPhase {
+/// What a rank is doing, as seen by the watchdog (and, in the
+/// multi-process model, by the driver's telemetry consumers).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RankPhase {
+    /// Computing or sending — anything but a blocking receive.
     Running,
-    Blocked { from: usize, tag: i64 },
+    /// Blocked in a receive.
+    Blocked {
+        /// The rank it is receiving from.
+        from: usize,
+        /// The tag it is waiting on.
+        tag: i64,
+    },
+    /// Finished its program (result may still be in flight).
     Done,
 }
 
@@ -326,7 +335,7 @@ impl Monitor {
     }
 
     pub(crate) fn phase_of(&self, rank: usize) -> RankPhase {
-        self.phases.lock().expect("monitor poisoned")[rank].clone()
+        self.phases.lock().expect("monitor poisoned")[rank]
     }
 
     pub(crate) fn bump(&self) {
@@ -565,6 +574,9 @@ impl Comm for ThreadedComm {
                 if let Some(o) = &self.obs {
                     o.add(Counter::FaultDrops, 1);
                     o.add(Counter::Retransmits, 1);
+                    // Modelled backoff latency, in virtual nanoseconds; a
+                    // histogram, so it never perturbs the clock partition.
+                    o.observe(HistId::RetransNs, (pause * 1e9) as u64);
                 }
             }
         }
@@ -601,6 +613,7 @@ impl Comm for ThreadedComm {
                 at: self.clock,
                 to,
                 bytes: nominal_bytes,
+                tag,
             });
         }
         if let Some(o) = &self.obs {
@@ -672,11 +685,16 @@ impl Comm for ThreadedComm {
             let outstanding = self.holdback.iter().filter(|h| h.is_some()).count() as u64;
             if let Some(o) = &mut self.obs {
                 o.gauge_set(GaugeId::OutstandingSends, outstanding);
-                o.span(
+                o.edge_span(
                     Phase::Send,
                     wall_t0,
                     (virt_t0, virt_t1),
                     nominal_bytes as u64,
+                    SpanEdge {
+                        peer: to as u32,
+                        tag,
+                        seq,
+                    },
                 );
             }
         }
@@ -728,6 +746,7 @@ impl Comm for ThreadedComm {
                 ready,
                 end: self.clock,
                 from,
+                tag,
             });
         }
         if let Some(wall_t0) = wall_t0 {
@@ -740,7 +759,17 @@ impl Comm for ThreadedComm {
                 o.observe(HistId::RecvWaitNs, o.now_ns().saturating_sub(wall_t0));
                 o.gauge_set(GaugeId::PendingDepth, pending_depth);
                 o.gauge_set(GaugeId::ResequenceDepth, reseq_depth);
-                o.span(Phase::Recv, wall_t0, (start, virt_t1), env.bytes as u64);
+                o.edge_span(
+                    Phase::Recv,
+                    wall_t0,
+                    (start, virt_t1),
+                    env.bytes as u64,
+                    SpanEdge {
+                        peer: from as u32,
+                        tag,
+                        seq: env.seq,
+                    },
+                );
             }
         }
         Ok(env.payload)
@@ -850,6 +879,10 @@ impl Comm for ThreadedComm {
         self.recovery.as_mut().expect("recovery checked above").ckpt = Some(ckpt);
         if let Some(o) = &self.obs {
             o.add(Counter::Checkpoints, 1);
+            // Transport-level write accounting: in-process checkpoints cost
+            // exactly the serialized application bytes.
+            o.add(Counter::CkptWrites, 1);
+            o.add(Counter::CkptBytes, app.len() as u64);
             if let Some(logs) = &self.replay_logs {
                 let depth: u64 = (0..self.size)
                     .filter(|&to| to != self.rank)

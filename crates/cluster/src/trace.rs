@@ -28,6 +28,9 @@ pub enum Event {
         to: usize,
         /// Nominal message size.
         bytes: usize,
+        /// Application tag; pairs the send with the matching receive so
+        /// cross-rank dependence edges can be reconstructed from traces.
+        tag: i64,
     },
     /// A blocking receive: `start` when the CPU began waiting, `ready` when
     /// the message arrived, `end` after the receive overhead.
@@ -40,6 +43,8 @@ pub enum Event {
         end: f64,
         /// Source rank.
         from: usize,
+        /// Application tag matching the sender's [`Event::Send`].
+        tag: i64,
     },
 }
 
@@ -158,6 +163,7 @@ mod tests {
                     ready: 2.0,
                     end: 2.5,
                     from: 1,
+                    tag: 7,
                 },
                 Event::Compute {
                     start: 2.5,
@@ -168,6 +174,7 @@ mod tests {
                     at: 8.0,
                     to: 1,
                     bytes: 64,
+                    tag: 8,
                 },
             ],
         }
@@ -216,6 +223,7 @@ mod tests {
                         at: 5.0,
                         to: 1,
                         bytes: 8,
+                        tag: 1,
                     },
                 ],
             },
@@ -226,6 +234,7 @@ mod tests {
                         ready: 5.0,
                         end: 6.0,
                         from: 0,
+                        tag: 1,
                     },
                     Event::Compute {
                         start: 6.0,
@@ -269,6 +278,7 @@ mod tests {
                 ready: 3.0,
                 end: 3.5,
                 from: 0,
+                tag: 0,
             }],
         }];
         let g = render_gantt(&instant, 8);

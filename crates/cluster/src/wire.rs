@@ -136,6 +136,13 @@ pub enum FrameKind {
     /// replay log in response to a [`FrameKind::Resume`]. Identical layout
     /// to `Data`; the distinct kind keeps recovered streams self-describing.
     Replay = 11,
+    /// Worker → driver telemetry: a delta-encoded
+    /// [`StatsSnapshot`](crate::obs::StatsSnapshot) of the rank's metrics,
+    /// piggybacked on the heartbeat cadence. `seq` is the snapshot counter;
+    /// `nominal_bytes` is 1 when the payload is absolute (delta against an
+    /// all-zero baseline), 0 when it is a delta against the previous
+    /// snapshot on this control stream.
+    Stats = 12,
 }
 
 impl FrameKind {
@@ -153,6 +160,7 @@ impl FrameKind {
             9 => FrameKind::CkptAck,
             10 => FrameKind::Resume,
             11 => FrameKind::Replay,
+            12 => FrameKind::Stats,
             _ => return None,
         })
     }

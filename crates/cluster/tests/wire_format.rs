@@ -125,6 +125,7 @@ fn control_frames_round_trip() {
         FrameKind::Error,
         FrameKind::Progress,
         FrameKind::Bye,
+        FrameKind::Stats,
     ] {
         let mut frame = Frame::control(kind, 9);
         frame.seq = 1234;
@@ -339,6 +340,7 @@ fn documented_frame_kinds_match_discriminants() {
         ("CKPT_ACK", FrameKind::CkptAck),
         ("RESUME", FrameKind::Resume),
         ("REPLAY", FrameKind::Replay),
+        ("STATS", FrameKind::Stats),
     ];
     assert_eq!(seen.len(), expected.len(), "kind table rows: {seen:?}");
     for ((name, value), (exp_name, kind)) in seen.iter().zip(&expected) {
