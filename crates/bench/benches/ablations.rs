@@ -33,7 +33,7 @@ fn strided_transform() -> TilingTransform {
 fn lds_ablation(h: &mut Harness) {
     let t = strided_transform();
     let alg = kernels::adi(32, 32);
-    let tiled = TiledSpace::new(t.clone(), alg.nest.space().clone());
+    let tiled = TiledSpace::new(t.clone(), alg.nest.space().clone()).unwrap();
     let plan = CommPlan::new(&tiled, alg.nest.deps(), 0);
     let geo = LdsGeometry::new(&t, &plan);
     let num_tiles = 4i64;
@@ -80,7 +80,7 @@ fn lds_ablation(h: &mut Harness) {
 fn clamp_ablation(h: &mut Harness) {
     let alg = kernels::sor_skewed(16, 24, 1.0);
     let t = TilingTransform::new(matrices::sor_nr(4, 10, 8)).unwrap();
-    let tiled = TiledSpace::new(t, alg.nest.space().clone());
+    let tiled = TiledSpace::new(t, alg.nest.space().clone()).unwrap();
     let tiles: Vec<Vec<i64>> = tiled.tiles().collect();
     h.bench("clamp_ablation/per_point_membership", || {
         let mut n = 0usize;

@@ -39,7 +39,7 @@ fn bench_fourier_motzkin(h: &mut Harness) {
     let space = alg.nest.space().clone();
     let t = TilingTransform::new(matrices::sor_nr(13, 38, 25)).unwrap();
     h.bench("fm/tile_space_projection_sor", || {
-        black_box(TiledSpace::new(t.clone(), space.clone()));
+        black_box(TiledSpace::new(t.clone(), space.clone()).unwrap());
     });
 
     let mut p = Polyhedron::universe(4);
@@ -52,7 +52,7 @@ fn bench_fourier_motzkin(h: &mut Harness) {
     p.add(Constraint::new(vec![0, 0, 1, 1], 5));
     p.add(Constraint::new(vec![0, 0, -1, -1], 60));
     h.bench("fm/project_4d_to_1d", || {
-        black_box(black_box(&p).project_onto_first(1));
+        black_box(black_box(&p).project_onto_first(1).unwrap());
     });
 }
 
@@ -76,7 +76,7 @@ fn bench_tile_deps(h: &mut Harness) {
     let space = alg.nest.space().clone();
     let deps = alg.nest.deps().clone();
     let t = TilingTransform::new(matrices::sor_nr(8, 23, 15)).unwrap();
-    let tiled = TiledSpace::new(t, space);
+    let tiled = TiledSpace::new(t, space).unwrap();
     h.bench("tiling/tile_deps_sor_nr", || {
         black_box(tiled.tile_deps(black_box(&deps)));
     });
@@ -97,7 +97,7 @@ fn bench_loc_round_trip(h: &mut Harness) {
 
 fn bench_point_scan(h: &mut Harness) {
     let alg = kernels::sor_skewed(16, 24, 1.0);
-    let bounds = LoopNestBounds::new(alg.nest.space());
+    let bounds = LoopNestBounds::new(alg.nest.space()).unwrap();
     h.bench("polytope/scan_skewed_sor_space", || {
         black_box(bounds.points().count());
     });

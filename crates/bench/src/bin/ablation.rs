@@ -28,7 +28,7 @@ fn main() {
                 let mut p = plan.tiled.shadow().clone();
                 for v in (0..3).rev() {
                     if v != k {
-                        p = p.eliminate(v);
+                        p = p.eliminate(v).unwrap();
                     }
                 }
                 let (lo, hi) = p.integer_bounds(0, &[]).unwrap();
@@ -68,7 +68,7 @@ fn main() {
     ]))
     .unwrap();
     let alg = kernels::adi(32, 32);
-    let tiled = TiledSpace::new(t.clone(), alg.nest.space().clone());
+    let tiled = TiledSpace::new(t.clone(), alg.nest.space().clone()).unwrap();
     let plan = CommPlan::new(&tiled, alg.nest.deps(), 0);
     let geo = LdsGeometry::new(&t, &plan);
     let condensed: i64 = geo.extents(4).iter().product();

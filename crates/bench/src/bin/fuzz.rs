@@ -6,7 +6,11 @@
 //! path — which must agree bitwise with identical message traffic; the
 //! overlapped makespan must never exceed the blocking compiled one.
 //!
-//! Usage: `fuzz [seed] [cases] [--faults] [--tcp] [--recovery]`. With
+//! Usage: `fuzz [seed] [cases] [--faults] [--tcp] [--recovery] [--tune]`.
+//! With `--tune`, the tiling of each case is drawn from the auto-tuner's
+//! candidate enumeration (`tilecc::enumerate_candidates`) instead of the
+//! rectangular/cone-greedy generators — every H the tuner could ever rank
+//! flows through the same three-way bitwise cross-check. With
 //! `--faults`, every case is additionally executed under a seeded
 //! lossy/duplicating/reordering `FaultPlan`; the reliability layer must
 //! reproduce the fault-free result bitwise, with retransmissions visible
@@ -81,6 +85,8 @@ fn main() {
     let faults = args.iter().any(|a| a == "--faults");
     let tcp = args.iter().any(|a| a == "--tcp");
     let recovery = args.iter().any(|a| a == "--recovery");
+    let tune = args.iter().any(|a| a == "--tune");
+    let mut tune_cases = 0u64;
     let mut tcp_cases = 0u64;
     let mut tcp_chaos_cases = 0u64;
     let mut recovered_cases = 0u64;
@@ -138,9 +144,19 @@ fn main() {
         let factors: Vec<i64> = (0..n).map(|_| g.range(2, 4)).collect();
         let use_cone = g.next().is_multiple_of(2);
         let m = (g.next() % n as u64) as usize;
-        eprintln!("case {case}: ext={ext:?} cuts={cuts:?} deps={cols:?} factors={factors:?} cone={use_cone} m={m}");
+        eprintln!("case {case}: ext={ext:?} cuts={cuts:?} deps={cols:?} factors={factors:?} cone={use_cone} m={m} tune={tune}");
         // tiling
-        let h = if use_cone {
+        let h = if tune {
+            // Draw from the auto-tuner's exact search space: every ordered
+            // row choice from the tiling cone pool at this tile volume.
+            let volume = factors.iter().product::<i64>();
+            let cands = tilecc::enumerate_candidates(&deps, volume);
+            if cands.is_empty() {
+                continue;
+            }
+            let idx = (g.next() % cands.len() as u64) as usize;
+            cands[idx].h.clone()
+        } else if use_cone {
             let rays = tiling_cone_rays(&deps);
             if rays.len() < n {
                 continue;
@@ -188,19 +204,22 @@ fn main() {
         }
         let alg = Algorithm::new("p", LoopNest::new(space, deps), Arc::new(K));
         let seq = alg.execute_sequential();
-        let tsq = tilecc_tiling::TiledSpace::new(t.clone(), alg.nest.space().clone());
+        let Ok(tsq) = tilecc_tiling::TiledSpace::new(t.clone(), alg.nest.space().clone()) else {
+            continue;
+        };
         eprintln!(
             "  stage: shadow has {} constraints; enumerating tiles",
             tsq.shadow().constraints().len()
         );
         let ntiles = tsq.tiles().count();
         eprintln!("  stage: {} tiles; distribution", ntiles);
-        let dist = tilecc_tiling::Distribution::new(&tsq, Some(m));
+        let dist = tilecc_tiling::Distribution::new(&tsq, Some(m)).unwrap();
         eprintln!("  stage: {} procs; commplan", dist.num_procs());
         let _cp = tilecc_tiling::CommPlan::new(&tsq, alg.nest.deps(), m);
         let Ok(plan) = ParallelPlan::new(alg, t, Some(m)) else {
             continue;
         };
+        tune_cases += u64::from(tune);
         let plan = Arc::new(plan);
         let ts = execute_tiled_sequential(&plan);
         if seq.diff(&ts).is_some() {
@@ -779,6 +798,13 @@ fn main() {
             fail(seed, cases, "recovery cross-check never fired");
         }
         eprintln!("recovery cross-check: {recovered_cases} cases survived a mid-run crash");
+    }
+    if tune {
+        if tune_cases == 0 {
+            eprintln!("--tune never executed a tuner-generated tiling — corpus too small");
+            fail(seed, cases, "tune cross-check never ran");
+        }
+        eprintln!("tune cross-check: {tune_cases} tuner-generated tilings executed");
     }
     if tcp {
         if tcp_cases == 0 || tcp_chaos_cases == 0 {

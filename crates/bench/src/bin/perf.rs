@@ -37,6 +37,15 @@
 //! must beat the per-point loop by >= 1.5x on at least 4 of the 6 paper
 //! workloads. With `--test`, every path runs once (identity checks only)
 //! and no JSON is written.
+//!
+//! `perf --tune-bench [--test] [--out <path>]` runs the `tilecc tune`
+//! search on all six paper workloads with the paper's fixed `H` seeded as
+//! the baseline, and writes the tuned-vs-fixed comparison to
+//! `BENCH_PR9.json` (modeled makespan, comm bytes, winning `H`, tuner
+//! counters). Acceptance: the tuned `H`'s modeled makespan is never worse
+//! than the paper's fixed `H` on any workload, and strictly better on at
+//! least 2 of the 6. With `--test`, smaller iteration spaces and candidate
+//! caps are used; the gates still apply.
 
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -958,6 +967,127 @@ fn paper_workloads() -> Vec<(&'static str, ParallelPlan)> {
     ]
 }
 
+/// `tilecc tune` vs the paper's fixed `H` on the six paper workloads,
+/// written to `BENCH_PR9.json`. The fixed `H` is seeded into the tuner's
+/// candidate list, so "tuned never worse" is structural; "strictly better
+/// on ≥ 2 workloads" is the real gate — the cone-derived search space must
+/// actually contain wins the paper's hand-picked matrices miss.
+fn tune_bench(out_path: &str, smoke: bool) {
+    use tilecc::{tune_labeled, TuneOptions, Variant, Workload};
+    let model = MachineModel::fast_ethernet_p3();
+    let (sor, jacobi, adi, cap) = if smoke {
+        (
+            Workload::Sor { m: 6, n: 9 },
+            Workload::Jacobi { t: 6, i: 8, j: 8 },
+            Workload::Adi { t: 6, n: 8 },
+            48,
+        )
+    } else {
+        (
+            Workload::Sor { m: 12, n: 18 },
+            Workload::Jacobi { t: 8, i: 12, j: 12 },
+            Workload::Adi { t: 8, n: 12 },
+            128,
+        )
+    };
+    type TuneCase = (&'static str, Workload, Variant, (i64, i64, i64));
+    let cases: [TuneCase; 6] = [
+        ("sor_rect", sor, Variant::Rect, (2, 3, 2)),
+        ("sor_nr", sor, Variant::NonRect, (2, 3, 2)),
+        ("jacobi_rect", jacobi, Variant::Rect, (2, 4, 3)),
+        ("jacobi_nr", jacobi, Variant::NonRect, (2, 4, 3)),
+        ("adi_rect", adi, Variant::Rect, (2, 3, 2)),
+        ("adi_nr", adi, Variant::NonRect, (2, 3, 2)),
+    ];
+
+    let mut json = String::from("{\n  \"bench\": \"PR9 tiling auto-tuner vs paper-fixed H\",\n");
+    let _ = writeln!(json, "  \"machine\": {},", machine_json());
+    let _ = writeln!(json, "  \"model\": \"fast_ethernet_p3\",");
+    let _ = writeln!(json, "  \"smoke\": {smoke},");
+    json.push_str("  \"workloads\": {\n");
+
+    let mut strict_wins = 0u32;
+    let nc = cases.len();
+    for (ci, (name, w, variant, (x, y, z))) in cases.into_iter().enumerate() {
+        let alg = w.algorithm();
+        let fixed_h = w.tiling(variant, x, y, z);
+        let mut opts = TuneOptions::new(x * y * z, w.mapping_dim());
+        opts.max_candidates = cap;
+        opts.include = vec![fixed_h];
+        let out = tune_labeled(&alg, &opts, model, &w.label());
+        let best = out
+            .best()
+            .unwrap_or_else(|| panic!("{name}: no candidate survived the tuner"));
+        let fixed = out
+            .best_included()
+            .unwrap_or_else(|| panic!("{name}: the paper-fixed H was not evaluated"));
+        assert!(
+            best.summary.makespan <= fixed.summary.makespan,
+            "{name}: tuned makespan {} worse than fixed {}",
+            best.summary.makespan,
+            fixed.summary.makespan
+        );
+        let strict = best.summary.makespan < fixed.summary.makespan;
+        strict_wins += u32::from(strict);
+        let improvement = fixed.summary.makespan / best.summary.makespan;
+        println!(
+            "== {name} == fixed {:.6} tuned {:.6} ({:.3}x){} [{} evaluated]",
+            fixed.summary.makespan,
+            best.summary.makespan,
+            improvement,
+            if strict { " strict win" } else { "" },
+            out.evaluated
+        );
+        let cand = |c: &tilecc::TunedCandidate| {
+            format!(
+                "{{\"h\": \"{}\", \"makespan\": {}, \"bytes\": {}, \"messages\": {}, \
+                 \"procs\": {}, \"speedup\": {}}}",
+                tilecc::tune::fmt_h(&c.h),
+                c.summary.makespan,
+                c.summary.bytes,
+                c.summary.messages,
+                c.summary.procs,
+                c.summary.speedup
+            )
+        };
+        let _ = writeln!(json, "    \"{name}\": {{");
+        let _ = writeln!(json, "      \"kernel\": \"{}\",", w.label());
+        let _ = writeln!(json, "      \"volume\": {},", x * y * z);
+        let _ = writeln!(json, "      \"m\": {},", w.mapping_dim());
+        let _ = writeln!(json, "      \"fixed_variant\": \"{}\",", variant.label());
+        let _ = writeln!(json, "      \"fixed\": {},", cand(fixed));
+        let _ = writeln!(json, "      \"tuned\": {},", cand(best));
+        let _ = writeln!(json, "      \"improvement\": {improvement},");
+        let _ = writeln!(json, "      \"strict_win\": {strict},");
+        let _ = writeln!(
+            json,
+            "      \"counters\": {{\"generated\": {}, \"invalid\": {}, \"illegal\": {}, \
+             \"deduped\": {}, \"truncated\": {}, \"failed\": {}, \"evaluated\": {}}}",
+            out.generated,
+            out.invalid,
+            out.illegal,
+            out.deduped,
+            out.truncated,
+            out.failed,
+            out.evaluated
+        );
+        let _ = writeln!(json, "    }}{}", if ci + 1 == nc { "" } else { "," });
+    }
+    json.push_str("  },\n");
+    let _ = writeln!(
+        json,
+        "  \"gates\": {{\"tuned_never_worse\": true, \"strict_wins\": {strict_wins}, \
+         \"required_strict_wins\": 2}}"
+    );
+    json.push('}');
+    assert!(
+        strict_wins >= 2,
+        "tuner strictly beat the paper's fixed H on only {strict_wins} of {nc} workloads (need 2)"
+    );
+    std::fs::write(out_path, &json).unwrap();
+    println!("wrote {out_path} ({strict_wins}/{nc} strict wins)");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--test" || a == "--smoke");
@@ -975,6 +1105,10 @@ fn main() {
     }
     if args.iter().any(|a| a == "--vec-bench") {
         vec_bench(out_path.as_deref().unwrap_or("BENCH_PR7.json"), smoke);
+        return;
+    }
+    if args.iter().any(|a| a == "--tune-bench") {
+        tune_bench(out_path.as_deref().unwrap_or("BENCH_PR9.json"), smoke);
         return;
     }
     let out_path = out_path.unwrap_or_else(|| "BENCH_PR2.json".to_string());

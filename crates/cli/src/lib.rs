@@ -18,7 +18,7 @@ use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
-use tilecc::{Pipeline, RunSummary};
+use tilecc::{Pipeline, RunSummary, TuneOptions};
 use tilecc_cluster::obs::json::Json;
 use tilecc_cluster::obs::RunReport as MetricsReport;
 use tilecc_cluster::{
@@ -222,6 +222,95 @@ pub fn parse_rect_spec(spec: &str) -> Result<RMat, CliError> {
             Rational::ZERO
         }
     }))
+}
+
+/// Parsed `tune` options: tuner configuration plus CLI-only presentation.
+struct TuneCliOptions {
+    opts: TuneOptions,
+    /// Ranking rows to print (`--top`).
+    top: usize,
+    /// Write the machine-readable outcome here (`--json`).
+    json_out: Option<String>,
+}
+
+fn parse_tune_options(args: &[String], n: usize) -> Result<TuneCliOptions, CliError> {
+    let mut volume: Option<i64> = None;
+    let mut m = 0usize;
+    let mut include: Vec<RMat> = vec![];
+    let mut top = 10usize;
+    let mut max_candidates = 128usize;
+    let mut json_out: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let value = |what: &str| {
+            args.get(i + 1)
+                .ok_or_else(|| CliError(format!("{} needs {what}", args[i])))
+        };
+        match args[i].as_str() {
+            "--volume" => {
+                let v: i64 = value("a tile volume")?
+                    .parse()
+                    .map_err(|_| CliError("--volume must be an integer".into()))?;
+                if v <= 0 {
+                    return err("--volume must be positive");
+                }
+                volume = Some(v);
+                i += 2;
+            }
+            "--map" => {
+                m = value("a dimension index")?
+                    .parse()
+                    .map_err(|_| CliError("--map must be a dimension index".into()))?;
+                i += 2;
+            }
+            "--tile" => {
+                include.push(parse_tile_spec(value("a tiling matrix")?)?);
+                i += 2;
+            }
+            "--rect" => {
+                include.push(parse_rect_spec(value("edge sizes")?)?);
+                i += 2;
+            }
+            "--top" => {
+                top = value("a row count")?
+                    .parse()
+                    .map_err(|_| CliError("--top must be an integer".into()))?;
+                i += 2;
+            }
+            "--max-candidates" => {
+                max_candidates = value("a candidate count")?
+                    .parse()
+                    .map_err(|_| CliError("--max-candidates must be an integer".into()))?;
+                i += 2;
+            }
+            "--json" => {
+                json_out = Some(value("a file path")?.clone());
+                i += 2;
+            }
+            other => return err(format!("unknown tune option `{other}`")),
+        }
+    }
+    let volume = volume.ok_or(CliError("tune needs --volume <n>".into()))?;
+    if m >= n {
+        return err(format!("--map {m} out of range for a {n}-dimensional nest"));
+    }
+    for h in &include {
+        if h.rows() != n {
+            return err(format!(
+                "seed tile matrix is {}×{} but the nest is {n}-dimensional",
+                h.rows(),
+                h.cols()
+            ));
+        }
+    }
+    let mut opts = TuneOptions::new(volume, m);
+    opts.max_candidates = max_candidates;
+    opts.include = include;
+    Ok(TuneCliOptions {
+        opts,
+        top,
+        json_out,
+    })
 }
 
 fn parse_options(args: &[String]) -> Result<Options, CliError> {
@@ -1550,6 +1639,8 @@ const USAGE: &str = "usage: tilecc <command> <nest.tcc> [options]
 commands:
   parse <file>               inspect the parsed loop nest
   cone  <file>               print the tiling cone's extreme rays
+  tune  <file> --volume <n>  search legal tilings of volume n drawn from
+                              the tiling cone, rank by modeled makespan
   plan  <file> --tile|--rect print the derived parallelization plan
   run   <file> --tile|--rect simulate on the modelled cluster
   emit  <file> --tile|--rect emit a complete C/MPI program to stdout
@@ -1560,9 +1651,19 @@ commands:
                               mismatch)
 
 options:
-  --tile \"r11,r12;r21,r22\"   tiling matrix H (rows `;`, entries `,`, a/b)
-  --rect x,y[,z…]             rectangular tiling of the given edge sizes
-  --map <k>                   mapping dimension (default: longest)
+  --tile \"r11,r12;r21,r22\"   tiling matrix H (rows `;`, entries `,`, a/b);
+                              for `tune`: a seed candidate that is always
+                              evaluated (e.g. the paper's fixed H)
+  --rect x,y[,z…]             rectangular tiling of the given edge sizes;
+                              for `tune`: a seed candidate
+  --map <k>                   mapping dimension (default: longest;
+                              `tune` default: 0)
+  --volume <n>                tune: target tile volume |det P|
+  --top <n>                   tune: ranking rows to print (default 10)
+  --max-candidates <n>        tune: cap on simulated candidates
+                              (default 128)
+  --json <file>               tune: write the full outcome (winning H,
+                              ranking, counters) as JSON
   --verify                    full run, compare against sequential (run)
   --overlap                   overlapped communication scheme (run)
   --strategy <s>              tile execution strategy: compiled (default),
@@ -1655,6 +1756,36 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
             let _ = writeln!(out, "tiling cone extreme rays:");
             for r in rays {
                 let _ = writeln!(out, "  {r:?}");
+            }
+            Ok(out)
+        }
+        "tune" => {
+            let path = args.get(1).ok_or(CliError(USAGE.into()))?;
+            let alg = load(path)?;
+            let topts = parse_tune_options(&args[2..], alg.nest.dim())?;
+            let outcome = tilecc::tune_labeled(
+                &alg,
+                &topts.opts,
+                MachineModel::fast_ethernet_p3(),
+                &alg.name,
+            );
+            out.push_str(&outcome.report_top(topts.top));
+            match outcome.best() {
+                None => return err("tune: no legal candidate survived"),
+                Some(best) => {
+                    let _ = writeln!(
+                        out,
+                        "winner: {} makespan {:.6} bytes {}",
+                        tilecc::tune::fmt_h(&best.h),
+                        best.summary.makespan,
+                        best.summary.bytes
+                    );
+                }
+            }
+            if let Some(json_path) = &topts.json_out {
+                std::fs::write(json_path, outcome.to_json(0))
+                    .map_err(|e| CliError(format!("cannot write `{json_path}`: {e}")))?;
+                let _ = writeln!(out, "json   : {json_path}");
             }
             Ok(out)
         }
@@ -1883,6 +2014,45 @@ boundary = 0.25
         let p = write_nest(ADI_SRC);
         let out = run_cli(&args(&["cone", p.to_str()])).unwrap();
         assert!(out.contains("[1, -1, -1]"), "{out}");
+    }
+
+    #[test]
+    fn tune_command_ranks_and_beats_rect_seed() {
+        let p = write_nest(ADI_SRC);
+        let json = std::env::temp_dir().join(format!(
+            "tilecc-cli-tune-{}-{}.json",
+            std::process::id(),
+            line!()
+        ));
+        let out = run_cli(&args(&[
+            "tune",
+            p.to_str(),
+            "--volume",
+            "8",
+            "--rect",
+            "2,2,2",
+            "--top",
+            "200",
+            "--json",
+            json.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("winner:"), "{out}");
+        assert!(out.contains("evaluated"), "{out}");
+        // The rect seed was evaluated (marked * in the ranking).
+        assert!(out.lines().any(|l| l.trim_end().ends_with('*')), "{out}");
+        let saved = std::fs::read_to_string(&json).unwrap();
+        let _ = std::fs::remove_file(&json);
+        assert!(saved.contains("\"ranking\""), "{saved}");
+        assert!(saved.contains("\"included\": true"), "{saved}");
+    }
+
+    #[test]
+    fn tune_command_rejects_missing_volume_and_bad_map() {
+        let p = write_nest(ADI_SRC);
+        assert!(run_cli(&args(&["tune", p.to_str()])).is_err());
+        assert!(run_cli(&args(&["tune", p.to_str(), "--volume", "8", "--map", "3"])).is_err());
+        assert!(run_cli(&args(&["tune", p.to_str(), "--volume", "-2"])).is_err());
     }
 
     #[test]

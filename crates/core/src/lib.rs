@@ -31,10 +31,14 @@ pub mod experiments;
 pub mod matrices;
 pub mod pipeline;
 pub mod predictor;
+pub mod tune;
 
 pub use experiments::{measure, probe_procs, MeasuredPoint, Variant, Workload};
 pub use pipeline::{Pipeline, RunSummary};
 pub use predictor::{predict, predicted_comm_volume, SchedulePrediction};
+pub use tune::{
+    enumerate_candidates, tune, tune_labeled, TuneOptions, TuneOutcome, TunedCandidate,
+};
 
 // Convenience re-exports of the substrate crates.
 pub use tilecc_cluster as cluster;

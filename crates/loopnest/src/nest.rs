@@ -6,7 +6,7 @@
 
 use tilecc_linalg::vecops::is_lex_positive;
 use tilecc_linalg::{IMat, Rational};
-use tilecc_polytope::{Constraint, LoopNestBounds, Polyhedron};
+use tilecc_polytope::{Constraint, LoopNestBounds, Polyhedron, PolytopeError};
 
 /// A perfect loop nest: iteration space plus uniform dependence matrix.
 #[derive(Clone, Debug)]
@@ -85,10 +85,10 @@ impl LoopNest {
                     acc
                 })
                 .collect();
-            space.add(Constraint::from_rationals(
-                &a,
-                Rational::from_int(c.constant()),
-            ));
+            space.add(
+                Constraint::from_rationals(&a, Rational::from_int(c.constant()))
+                    .expect("unimodular skewing keeps coefficients in i64"),
+            );
         }
         let deps = t.mul(&self.deps);
         // Sanity: unimodular skewing maps integer points bijectively.
@@ -97,15 +97,37 @@ impl LoopNest {
     }
 
     /// Precompute loop bounds for lexicographic scanning.
+    ///
+    /// # Panics
+    /// Panics on coefficient overflow; plan construction validates the space
+    /// through [`LoopNest::try_bounds`] first, so post-plan callers can rely
+    /// on this infallible form.
     pub fn bounds(&self) -> LoopNestBounds {
+        self.try_bounds()
+            .expect("loop bounds overflow: space not validated by plan construction")
+    }
+
+    /// Fallible form of [`LoopNest::bounds`], surfacing coefficient overflow
+    /// from user-authored spaces as a typed error.
+    pub fn try_bounds(&self) -> Result<LoopNestBounds, PolytopeError> {
         LoopNestBounds::new(&self.space)
     }
 
     /// Inclusive bounding box `(lo, hi)` of the iteration space.
     ///
     /// # Panics
-    /// Panics if the space is empty or unbounded.
+    /// Panics if the space is empty or unbounded, or on coefficient overflow
+    /// (see [`LoopNest::try_bounding_box`]).
     pub fn bounding_box(&self) -> (Vec<i64>, Vec<i64>) {
+        self.try_bounding_box()
+            .expect("bounding box overflow: space not validated by plan construction")
+            .expect("iteration space must be non-empty and bounded")
+    }
+
+    /// Fallible form of [`LoopNest::bounding_box`]: `Err` on coefficient
+    /// overflow, `Ok(None)` if the space is empty or unbounded.
+    #[allow(clippy::type_complexity)]
+    pub fn try_bounding_box(&self) -> Result<Option<(Vec<i64>, Vec<i64>)>, PolytopeError> {
         let mut lo = vec![0i64; self.dim];
         let mut hi = vec![0i64; self.dim];
         for k in 0..self.dim {
@@ -113,16 +135,16 @@ impl LoopNest {
             let mut p = self.space.clone();
             for v in (0..self.dim).rev() {
                 if v != k {
-                    p = p.eliminate(v);
+                    p = p.eliminate(v)?;
                 }
             }
-            let (l, h) = p
-                .integer_bounds(0, &[])
-                .expect("iteration space must be non-empty and bounded");
+            let Some((l, h)) = p.integer_bounds(0, &[]) else {
+                return Ok(None);
+            };
             lo[k] = l;
             hi[k] = h;
         }
-        (lo, hi)
+        Ok(Some((lo, hi)))
     }
 
     /// Total number of integer points (exact, by scanning).

@@ -63,10 +63,10 @@ impl ParallelPlan {
         transform.validate_for(algorithm.nest.deps())?;
         stamp("validate-tiling", t0);
         let t0 = obs.map(|r| r.now_ns());
-        let tiled = TiledSpace::new(transform, algorithm.nest.space().clone());
+        let tiled = TiledSpace::new(transform, algorithm.nest.space().clone())?;
         stamp("tiled-space", t0);
         let t0 = obs.map(|r| r.now_ns());
-        let dist = Distribution::new(&tiled, m);
+        let dist = Distribution::new(&tiled, m)?;
         stamp("distribution", t0);
         let t0 = obs.map(|r| r.now_ns());
         let comm = CommPlan::new(&tiled, algorithm.nest.deps(), dist.m);
@@ -75,7 +75,11 @@ impl ParallelPlan {
         let geo = LdsGeometry::new(tiled.transform(), &comm);
         stamp("lds-geometry", t0);
         let ds_weights = {
-            let (lo, hi) = algorithm.nest.bounding_box();
+            let (lo, hi) = algorithm
+                .nest
+                .try_bounding_box()
+                .map_err(TilingError::from)?
+                .expect("iteration space must be non-empty and bounded");
             let extents: Vec<i64> = lo.iter().zip(&hi).map(|(&l, &h)| h - l + 1).collect();
             LdsGeometry::weights(&extents)
         };

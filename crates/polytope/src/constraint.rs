@@ -4,6 +4,7 @@
 //! coefficients normalized so that `gcd(a, b) = 1`. Rational input (the
 //! tiling matrix rows) is scaled to this form exactly.
 
+use crate::error::PolytopeError;
 use tilecc_linalg::{gcd_i128, Rational};
 
 /// The inequality `coeffs · x + constant ≥ 0`.
@@ -23,16 +24,24 @@ impl Constraint {
 
     /// Build from rational coefficients by scaling with the common
     /// denominator: `q·x + r ≥ 0` becomes `(s·q)·x + s·r ≥ 0`.
-    pub fn from_rationals(coeffs: &[Rational], constant: Rational) -> Self {
+    ///
+    /// Fails with [`PolytopeError::Overflow`] when a scaled coefficient does
+    /// not fit `i64` — reachable from user-authored kernels with very large
+    /// rational bounds.
+    pub fn from_rationals(coeffs: &[Rational], constant: Rational) -> Result<Self, PolytopeError> {
         let mut lcm: i128 = constant.den();
         for c in coeffs {
             lcm = tilecc_linalg::lcm_i128(lcm, c.den());
         }
-        let scale = |r: &Rational| -> i64 {
-            let v = r.num() * (lcm / r.den());
-            i64::try_from(v).expect("constraint coefficient exceeds i64")
+        let overflow = PolytopeError::Overflow {
+            context: "rational constraint scaling",
         };
-        Constraint::new(coeffs.iter().map(scale).collect(), scale(&constant))
+        let scale = |r: &Rational| -> Result<i64, PolytopeError> {
+            let v = r.num().checked_mul(lcm / r.den()).ok_or(overflow)?;
+            i64::try_from(v).map_err(|_| overflow)
+        };
+        let coeffs = coeffs.iter().map(scale).collect::<Result<Vec<_>, _>>()?;
+        Ok(Constraint::new(coeffs, scale(&constant)?))
     }
 
     /// Lower-bound constraint `x_k ≥ bound`.
@@ -83,14 +92,16 @@ impl Constraint {
         self.coeffs.len()
     }
 
-    /// Evaluate `coeffs · x + constant` (checked).
-    pub fn eval(&self, x: &[i64]) -> i64 {
+    /// Evaluate `coeffs · x + constant` exactly in `i128`: each product of
+    /// two `i64` values fits `i128` with 62 bits to spare, so a sum of
+    /// `dim` such products cannot overflow for any realistic nest depth.
+    pub fn eval(&self, x: &[i64]) -> i128 {
         assert_eq!(x.len(), self.dim(), "constraint eval dimension mismatch");
         let mut acc = self.constant as i128;
         for (c, v) in self.coeffs.iter().zip(x) {
             acc += (*c as i128) * (*v as i128);
         }
-        i64::try_from(acc).expect("constraint eval overflow")
+        acc
     }
 
     /// True iff `x` satisfies the constraint.
@@ -101,15 +112,16 @@ impl Constraint {
 
     /// Evaluate with the variable `k` left out (used for bound extraction):
     /// returns `Σ_{i≠k} a_i·x_i + b`, where `x` supplies values for all
-    /// variables but position `k` is ignored.
-    pub fn eval_without(&self, x: &[i64], k: usize) -> i64 {
+    /// variables but position `k` is ignored. Exact in `i128` (see
+    /// [`Constraint::eval`]).
+    pub fn eval_without(&self, x: &[i64], k: usize) -> i128 {
         let mut acc = self.constant as i128;
         for (i, (c, v)) in self.coeffs.iter().zip(x).enumerate() {
             if i != k {
                 acc += (*c as i128) * (*v as i128);
             }
         }
-        i64::try_from(acc).expect("constraint eval overflow")
+        acc
     }
 
     /// Is this constraint trivially satisfied (all zero coefficients and a
@@ -126,26 +138,38 @@ impl Constraint {
 
     /// The positive combination `λ·self + μ·other` (λ, μ > 0), used by
     /// Fourier–Motzkin to cancel a variable.
-    pub fn combine(&self, lambda: i64, other: &Constraint, mu: i64) -> Constraint {
+    ///
+    /// Fails with [`PolytopeError::Overflow`] when a combined coefficient
+    /// does not fit `i64`; the elimination driver propagates the error
+    /// through plan construction instead of panicking.
+    pub fn combine(
+        &self,
+        lambda: i64,
+        other: &Constraint,
+        mu: i64,
+    ) -> Result<Constraint, PolytopeError> {
         assert_eq!(self.dim(), other.dim());
         assert!(
             lambda > 0 && mu > 0,
             "FM combination multipliers must be positive"
         );
-        let coeffs: Vec<i64> = self
+        let overflow = PolytopeError::Overflow {
+            context: "Fourier-Motzkin combination",
+        };
+        let coeffs = self
             .coeffs
             .iter()
             .zip(&other.coeffs)
             .map(|(&a, &b)| {
                 let v = (a as i128) * (lambda as i128) + (b as i128) * (mu as i128);
-                i64::try_from(v).expect("FM combination overflow")
+                i64::try_from(v).map_err(|_| overflow)
             })
-            .collect();
+            .collect::<Result<Vec<_>, _>>()?;
         let constant = i64::try_from(
             (self.constant as i128) * (lambda as i128) + (other.constant as i128) * (mu as i128),
         )
-        .expect("FM combination overflow");
-        Constraint::new(coeffs, constant)
+        .map_err(|_| overflow)?;
+        Ok(Constraint::new(coeffs, constant))
     }
 }
 
@@ -206,9 +230,28 @@ mod tests {
         let c = Constraint::from_rationals(
             &[Rational::new(1, 2), Rational::new(-1, 3)],
             Rational::new(1, 6),
-        );
+        )
+        .unwrap();
         assert_eq!(c.coeffs(), &[3, -2]);
         assert_eq!(c.constant(), 1);
+    }
+
+    #[test]
+    fn from_rationals_reports_overflow() {
+        // Scaling 2^62/3 by lcm(3, 5) = 15 exceeds i64.
+        let err = Constraint::from_rationals(
+            &[Rational::new(1 << 62, 3), Rational::new(1, 5)],
+            Rational::new(0, 1),
+        )
+        .unwrap_err();
+        assert!(matches!(err, PolytopeError::Overflow { .. }));
+        // The same shape with small numerators stays exact.
+        let ok = Constraint::from_rationals(
+            &[Rational::new(1, 3), Rational::new(1, 5)],
+            Rational::new(0, 1),
+        )
+        .unwrap();
+        assert_eq!(ok.coeffs(), &[5, 3]);
     }
 
     #[test]
@@ -237,11 +280,35 @@ mod tests {
         // λ = -u_k = 2, μ = l_k = 1 to cancel x.
         let l = Constraint::new(vec![1], -3);
         let u = Constraint::new(vec![-2], 11);
-        let c = l.combine(-u.coeff(0), &u, l.coeff(0));
+        let c = l.combine(-u.coeff(0), &u, l.coeff(0)).unwrap();
         assert_eq!(c.coeffs(), &[0]);
         // Raw combination is 0·x + 5 ≥ 0; normalization divides by gcd 5.
         assert_eq!(c.constant(), 1);
         assert!(c.is_tautology());
+    }
+
+    #[test]
+    fn combine_reports_overflow() {
+        // Primitive coefficient vectors (gcd 1) whose FM combination
+        // overflows i64: λ ≈ 2^40 times a coefficient ≈ 2^31.
+        let big = (1_i64 << 40) + 1;
+        let l = Constraint::new(vec![big, 1], 0);
+        let u = Constraint::new(vec![-big, (1 << 31) + 1], 0);
+        let err = l.combine(big, &u, big).unwrap_err();
+        assert!(matches!(err, PolytopeError::Overflow { .. }));
+        // Modest multipliers on the same constraints stay exact.
+        assert!(l.combine(1, &u, 1).is_ok());
+    }
+
+    #[test]
+    fn eval_is_exact_at_i64_extremes() {
+        // i128 evaluation cannot overflow even at the coefficient extremes
+        // that used to panic the checked i64 narrowing.
+        let m = i64::MAX as i128;
+        // Coprime coefficients so normalization keeps the magnitudes.
+        let c = Constraint::new(vec![i64::MAX, i64::MAX - 1], i64::MAX);
+        assert_eq!(c.eval(&[i64::MAX, i64::MAX]), m * 2 * m);
+        assert_eq!(c.eval_without(&[i64::MAX, i64::MAX], 0), m * m);
     }
 
     #[test]

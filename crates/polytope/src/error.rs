@@ -1,0 +1,31 @@
+//! Typed errors for the exact polyhedral computations.
+//!
+//! Every arithmetic step in this crate is exact over `i64` coefficients
+//! (intermediates widen to `i128`). When a result genuinely does not fit
+//! back into `i64` — reachable from user-authored kernels with very large
+//! bound coefficients — the operation reports [`PolytopeError::Overflow`]
+//! instead of panicking, and plan construction surfaces it as a typed
+//! compile error.
+
+/// Errors produced by exact polyhedral computations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PolytopeError {
+    /// An exact computation produced a coefficient or constant outside the
+    /// `i64` range. `context` names the operation that overflowed.
+    Overflow {
+        /// The operation that overflowed (static description).
+        context: &'static str,
+    },
+}
+
+impl std::fmt::Display for PolytopeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PolytopeError::Overflow { context } => {
+                write!(f, "polytope coefficient overflow: {context}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PolytopeError {}

@@ -12,7 +12,9 @@
 //! compile-time bound computation; [`PointIter`] is the executable loop nest.
 
 pub mod constraint;
+pub mod error;
 pub mod polyhedron;
 
 pub use constraint::Constraint;
+pub use error::PolytopeError;
 pub use polyhedron::{LoopNestBounds, PointIter, Polyhedron};

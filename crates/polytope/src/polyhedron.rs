@@ -7,6 +7,7 @@
 //! original nest and the tile space `J^S` (§2.3).
 
 use crate::constraint::Constraint;
+use crate::error::PolytopeError;
 use std::collections::HashSet;
 
 /// A convex polyhedron `{ x ∈ Qⁿ | A·x + b ≥ 0 }`.
@@ -105,15 +106,15 @@ impl Polyhedron {
     /// Exact rational emptiness test: eliminate every variable with
     /// Fourier–Motzkin; the polyhedron is empty iff a contradiction
     /// (`0 ≥ k`, `k > 0`) appears in the fully eliminated system.
-    pub fn is_empty_rational(&self) -> bool {
+    pub fn is_empty_rational(&self) -> Result<bool, PolytopeError> {
         let mut p = self.clone();
         for k in (0..self.dim).rev() {
             if p.has_contradiction() {
-                return true;
+                return Ok(true);
             }
-            p = p.eliminate(k);
+            p = p.eliminate(k)?;
         }
-        p.has_contradiction()
+        Ok(p.has_contradiction())
     }
 
     /// Remove constraints that are redundant over the *integer* points:
@@ -122,7 +123,7 @@ impl Polyhedron {
     /// violator of `c` has `a·x + b ≤ −1` and would witness that system, so
     /// removal preserves the integer point set exactly (it may enlarge the
     /// rational relaxation by less than one unit along `a`).
-    pub fn remove_redundant(&self) -> Polyhedron {
+    pub fn remove_redundant(&self) -> Result<Polyhedron, PolytopeError> {
         let mut kept: Vec<Constraint> = self.constraints.clone();
         let mut i = 0;
         while i < kept.len() {
@@ -139,22 +140,22 @@ impl Polyhedron {
                 -candidate.constant() - 1,
             );
             test.add(neg);
-            if test.is_empty_rational() {
+            if test.is_empty_rational()? {
                 kept.remove(i);
             } else {
                 i += 1;
             }
         }
-        Polyhedron {
+        Ok(Polyhedron {
             dim: self.dim,
             constraints: kept,
-        }
+        })
     }
 
     /// Fourier–Motzkin elimination of variable `k`. The result is a
     /// polyhedron over the remaining `dim − 1` variables that is the exact
     /// rational shadow (projection) of `self`.
-    pub fn eliminate(&self, k: usize) -> Polyhedron {
+    pub fn eliminate(&self, k: usize) -> Result<Polyhedron, PolytopeError> {
         assert!(k < self.dim, "variable out of range");
         let drop_var = |c: &Constraint| -> Constraint {
             let coeffs: Vec<i64> = c
@@ -170,18 +171,28 @@ impl Polyhedron {
         let mut lowers = vec![]; // coeff of x_k > 0
         let mut uppers = vec![]; // coeff of x_k < 0
         let mut out = Polyhedron::universe(self.dim - 1);
+        // One dedup set shared by pass-throughs and combinations: a lower ×
+        // upper pair frequently reproduces a constraint that passed through
+        // with a zero coefficient, and the zero arm used to bypass `seen`,
+        // leaving every such duplicate to `add`'s linear merge scan on each
+        // of the nested projections in `LoopNestBounds::new`.
+        let mut seen: HashSet<Constraint> = HashSet::new();
         for c in &self.constraints {
             match c.coeff(k).signum() {
-                0 => out.add(drop_var(c)),
+                0 => {
+                    let dropped = drop_var(c);
+                    if seen.insert(dropped.clone()) {
+                        out.add(dropped);
+                    }
+                }
                 1.. => lowers.push(c),
                 _ => uppers.push(c),
             }
         }
-        let mut seen: HashSet<Constraint> = HashSet::new();
         for l in &lowers {
             for u in &uppers {
                 // λ·l + μ·u with λ = -u_k, μ = l_k cancels x_k.
-                let combined = l.combine(-u.coeff(k), u, l.coeff(k));
+                let combined = l.combine(-u.coeff(k), u, l.coeff(k))?;
                 debug_assert_eq!(combined.coeff(k), 0);
                 let projected = drop_var(&combined);
                 if seen.insert(projected.clone()) {
@@ -189,7 +200,7 @@ impl Polyhedron {
                 }
             }
         }
-        out
+        Ok(out)
     }
 
     /// Project onto the first `m` variables by eliminating variables
@@ -200,7 +211,7 @@ impl Polyhedron {
     /// constraints are pruned whenever the system grows past a threshold —
     /// plain innermost-first elimination can blow up double-exponentially
     /// on the dense constraint systems produced by skewed tilings.
-    pub fn project_onto_first(&self, m: usize) -> Polyhedron {
+    pub fn project_onto_first(&self, m: usize) -> Result<Polyhedron, PolytopeError> {
         assert!(m <= self.dim);
         let mut p = self.clone();
         // Track the *original* indices still to eliminate; each eliminate
@@ -224,7 +235,7 @@ impl Polyhedron {
                     lo * hi
                 })
                 .expect("non-empty remaining");
-            p = p.eliminate(var);
+            p = p.eliminate(var)?;
             remaining.remove(pos);
             for r in &mut remaining {
                 if *r > var {
@@ -232,10 +243,10 @@ impl Polyhedron {
                 }
             }
             if p.constraints.len() > 64 {
-                p = p.remove_redundant();
+                p = p.remove_redundant()?;
             }
         }
-        p
+        Ok(p)
     }
 
     /// Exact rational bounds of variable `k` given fixed values of *all other
@@ -248,8 +259,10 @@ impl Polyhedron {
     pub fn integer_bounds(&self, k: usize, outer: &[i64]) -> Option<(i64, i64)> {
         assert!(k < self.dim);
         assert!(outer.len() >= k, "need values for all outer variables");
-        let mut lo: Option<i64> = None;
-        let mut hi: Option<i64> = None;
+        // Bound arithmetic is exact in i128; a final bound outside i64 means
+        // the range is un-enumerable anyway and is reported as absent.
+        let mut lo: Option<i128> = None;
+        let mut hi: Option<i128> = None;
         // Pad the point so eval_without can index every variable.
         let mut x = vec![0i64; self.dim];
         x[..k].copy_from_slice(&outer[..k]);
@@ -258,7 +271,7 @@ impl Polyhedron {
                 c.coeffs()[k + 1..].iter().all(|&v| v == 0),
                 "integer_bounds requires inner variables to be eliminated"
             );
-            let a = c.coeff(k);
+            let a = c.coeff(k) as i128;
             if a == 0 {
                 // Constraint only involves outer variables (or is a pure
                 // contradiction): if violated, the range is empty.
@@ -270,7 +283,7 @@ impl Polyhedron {
             let rest = c.eval_without(&x, k);
             if a > 0 {
                 // a·x_k + rest ≥ 0 ⇒ x_k ≥ ⌈-rest / a⌉
-                let b = (-rest).div_euclid(a) + i64::from((-rest).rem_euclid(a) != 0);
+                let b = (-rest).div_euclid(a) + i128::from((-rest).rem_euclid(a) != 0);
                 lo = Some(lo.map_or(b, |v| v.max(b)));
             } else {
                 // a·x_k + rest ≥ 0 ⇒ x_k ≤ ⌊rest / (-a)⌋
@@ -279,7 +292,10 @@ impl Polyhedron {
             }
         }
         match (lo, hi) {
-            (Some(l), Some(h)) if l <= h => Some((l, h)),
+            (Some(l), Some(h)) if l <= h => match (i64::try_from(l), i64::try_from(h)) {
+                (Ok(l), Ok(h)) => Some((l, h)),
+                _ => None,
+            },
             _ => None,
         }
     }
@@ -297,13 +313,13 @@ pub struct LoopNestBounds {
 
 impl LoopNestBounds {
     /// Compute the bounds systems for all loop levels of `p`.
-    pub fn new(p: &Polyhedron) -> Self {
+    pub fn new(p: &Polyhedron) -> Result<Self, PolytopeError> {
         let dim = p.dim();
         let mut systems = Vec::with_capacity(dim);
         for k in 0..dim {
-            systems.push(p.project_onto_first(k + 1));
+            systems.push(p.project_onto_first(k + 1)?);
         }
-        LoopNestBounds { systems, dim }
+        Ok(LoopNestBounds { systems, dim })
     }
 
     #[inline]
@@ -418,14 +434,14 @@ mod tests {
     #[test]
     fn emptiness_detection() {
         let mut p = Polyhedron::from_box(&[0, 0], &[5, 5]);
-        assert!(!p.is_empty_rational());
+        assert!(!p.is_empty_rational().unwrap());
         p.add(Constraint::new(vec![1, 1], -100));
-        assert!(p.is_empty_rational());
+        assert!(p.is_empty_rational().unwrap());
         // A rationally non-empty sliver.
         let mut q = Polyhedron::universe(1);
         q.add(Constraint::new(vec![2], -1)); // x >= 1/2
         q.add(Constraint::new(vec![-2], 1)); // x <= 1/2
-        assert!(!q.is_empty_rational());
+        assert!(!q.is_empty_rational().unwrap());
     }
 
     #[test]
@@ -433,7 +449,7 @@ mod tests {
         let mut p = Polyhedron::from_box(&[0, 0], &[4, 4]);
         p.add(Constraint::new(vec![1, 0], 10)); // x >= -10: redundant
         p.add(Constraint::new(vec![-1, -1], 100)); // x + y <= 100: redundant
-        let r = p.remove_redundant();
+        let r = p.remove_redundant().unwrap();
         assert_eq!(r.constraints().len(), 4, "{:?}", r.constraints());
         // Same integer point set.
         for x in -1..6 {
@@ -447,7 +463,7 @@ mod tests {
     fn remove_redundant_keeps_binding_constraints() {
         let mut p = Polyhedron::from_box(&[0, 0], &[8, 8]);
         p.add(Constraint::new(vec![-1, -1], 9)); // x + y <= 9 binds
-        let r = p.remove_redundant();
+        let r = p.remove_redundant().unwrap();
         assert!(r.constraints().len() >= 5 - 1);
         assert!(!r.contains(&[8, 8]));
         assert!(r.contains(&[4, 5]));
@@ -469,7 +485,7 @@ mod tests {
         p.add(Constraint::new(vec![1, 0], 0));
         p.add(Constraint::new(vec![0, 1], 0));
         p.add(Constraint::new(vec![-1, -1], 4));
-        let q = p.eliminate(1);
+        let q = p.eliminate(1).unwrap();
         assert_eq!(q.dim(), 1);
         assert!(q.contains(&[0]));
         assert!(q.contains(&[4]));
@@ -483,7 +499,7 @@ mod tests {
         p.add(Constraint::new(vec![1, 0], 0));
         p.add(Constraint::new(vec![0, 1], 0));
         p.add(Constraint::new(vec![-1, -1], 4));
-        let b = LoopNestBounds::new(&p);
+        let b = LoopNestBounds::new(&p).unwrap();
         assert_eq!(b.bounds(0, &[]), Some((0, 4)));
         assert_eq!(b.bounds(1, &[0]), Some((0, 4)));
         assert_eq!(b.bounds(1, &[4]), Some((0, 0)));
@@ -503,7 +519,7 @@ mod tests {
         p.add(Constraint::new(vec![1, -1, 0], 4)); // i <= t+4
         p.add(Constraint::new(vec![-2, 0, 1], -1)); // j >= 2t+1
         p.add(Constraint::new(vec![2, 0, -1], 5)); // j <= 2t+5
-        let b = LoopNestBounds::new(&p);
+        let b = LoopNestBounds::new(&p).unwrap();
         let fast: Vec<_> = b.points().collect();
         let mut slow = vec![];
         for t in -1..6 {
@@ -523,7 +539,7 @@ mod tests {
     fn empty_polyhedron_yields_no_points() {
         let mut p = Polyhedron::from_box(&[0, 0], &[5, 5]);
         p.add(Constraint::new(vec![1, 1], -100)); // x + y >= 100: impossible
-        let b = LoopNestBounds::new(&p);
+        let b = LoopNestBounds::new(&p).unwrap();
         assert_eq!(b.points().count(), 0);
     }
 
@@ -536,7 +552,7 @@ mod tests {
         p.add(Constraint::new(vec![2, -1], 1)); // y <= 2x + 1
         p.add(Constraint::new(vec![0, 1], 0)); // y >= 0
         p.add(Constraint::new(vec![0, -1], 9)); // y <= 9
-        let b = LoopNestBounds::new(&p);
+        let b = LoopNestBounds::new(&p).unwrap();
         let pts: Vec<_> = b.points().collect();
         for pt in &pts {
             assert!(p.contains(pt));
@@ -568,5 +584,62 @@ mod tests {
         let mut p = Polyhedron::universe(1);
         p.add(Constraint::new(vec![1], 0)); // x >= 0, no upper bound
         assert_eq!(p.integer_bounds(0, &[]), None);
+    }
+
+    #[test]
+    fn eliminate_dedups_pass_throughs_against_combinations() {
+        // The combination of y ≥ 0 with x + y ≤ 4 reproduces the pass-through
+        // x ≤ 4 exactly; the shared `seen` set must collapse them so repeated
+        // projections never accumulate copies of the same constraint.
+        let mut p = Polyhedron::universe(2);
+        p.add(Constraint::new(vec![1, 0], 0)); // x >= 0 (pass-through)
+        p.add(Constraint::new(vec![-1, 0], 4)); // x <= 4 (pass-through)
+        p.add(Constraint::new(vec![0, 1], 0)); // y >= 0
+        p.add(Constraint::new(vec![-1, -1], 4)); // x + y <= 4
+        let q = p.eliminate(1).unwrap();
+        assert_eq!(q.constraints().len(), 2, "{:?}", q.constraints());
+    }
+
+    #[test]
+    fn repeated_projection_keeps_constraints_duplicate_free() {
+        // The skewed 3D space from points_match_brute_force_on_skewed_space:
+        // every projection level LoopNestBounds computes must stay free of
+        // duplicate constraints (each set distinct and no count growth).
+        let mut p = Polyhedron::universe(3);
+        p.add(Constraint::new(vec![1, 0, 0], -1));
+        p.add(Constraint::new(vec![-1, 0, 0], 3));
+        p.add(Constraint::new(vec![-1, 1, 0], -1));
+        p.add(Constraint::new(vec![1, -1, 0], 4));
+        p.add(Constraint::new(vec![-2, 0, 1], -1));
+        p.add(Constraint::new(vec![2, 0, -1], 5));
+        for m in 1..=3 {
+            let q = p.project_onto_first(m).unwrap();
+            let distinct: HashSet<&Constraint> = q.constraints().iter().collect();
+            assert_eq!(
+                distinct.len(),
+                q.constraints().len(),
+                "duplicates after projecting onto first {m} vars"
+            );
+            assert!(q.constraints().len() <= 2 * m, "{:?}", q.constraints());
+        }
+    }
+
+    #[test]
+    fn elimination_overflow_is_reported_not_panicked() {
+        // FM multipliers of ~2^40 against coefficients of ~2^31 push the
+        // combined coefficient past i64; every fallible entry point must
+        // surface the typed error instead of panicking.
+        let big = (1_i64 << 40) + 1;
+        let mut p = Polyhedron::universe(2);
+        p.add(Constraint::new(vec![big, 1], 0));
+        p.add(Constraint::new(vec![-big, -(1 << 31) - 1], 0));
+        assert!(matches!(
+            p.eliminate(0),
+            Err(PolytopeError::Overflow { .. })
+        ));
+        assert!(p.eliminate(1).is_err());
+        assert!(p.is_empty_rational().is_err());
+        assert!(p.project_onto_first(0).is_err());
+        assert!(LoopNestBounds::new(&p).is_err());
     }
 }

@@ -76,7 +76,7 @@ fn fm_shadow_contains_projections() {
         let dim = p.dim();
         let pts = brute_points(&p);
         for k in 0..dim {
-            let shadow = p.eliminate(k);
+            let shadow = p.eliminate(k).unwrap();
             for pt in &pts {
                 let projected: Vec<i64> = pt
                     .iter()
@@ -100,7 +100,7 @@ fn scanner_is_exact_and_ordered() {
     let mut rng = Rng::new(0x5EED_0002);
     for case in 0..CASES {
         let p = bounded_poly(&mut rng);
-        let bounds = LoopNestBounds::new(&p);
+        let bounds = LoopNestBounds::new(&p).unwrap();
         let fast: Vec<_> = bounds.points().collect();
         let slow = brute_points(&p);
         assert_eq!(&fast, &slow, "case {case}");
@@ -116,7 +116,7 @@ fn bounds_bracket_inner_points() {
     let mut rng = Rng::new(0x5EED_0003);
     for case in 0..CASES {
         let p = bounded_poly(&mut rng);
-        let bounds = LoopNestBounds::new(&p);
+        let bounds = LoopNestBounds::new(&p).unwrap();
         let pts = brute_points(&p);
         for pt in &pts {
             let k = p.dim() - 1;

@@ -165,7 +165,7 @@ mod tests {
         // scaled... with H = diag(1/4): H' = I·... V = diag(4,4,4), H' = D
         // unchanged: maxd = (1, 1, 2), cc = (3, 3, 2).
         let t = TilingTransform::rectangular(&[4, 4, 4]).unwrap();
-        let tiled = TiledSpace::new(t, sor_space());
+        let tiled = TiledSpace::new(t, sor_space()).unwrap();
         let plan = CommPlan::new(&tiled, &sor_deps(), 2);
         assert_eq!(plan.maxd, vec![1, 1, 2]);
         assert_eq!(plan.cc, vec![3, 3, 2]);
@@ -184,7 +184,7 @@ mod tests {
             &[(-1, 4), (0, 1), (1, 4)],
         ]);
         let t = TilingTransform::new(h).unwrap();
-        let tiled = TiledSpace::new(t, sor_space());
+        let tiled = TiledSpace::new(t, sor_space()).unwrap();
         let plan = CommPlan::new(&tiled, &sor_deps(), 2);
         // d' for d=(1,1,2): (1,1,1); (0,1,0)->(0,1,0); (1,0,2)->(1,0,1);
         // (1,1,1)->(1,1,0); (0,0,1)->(0,0,1). maxd = (1,1,1): the skew
@@ -196,7 +196,7 @@ mod tests {
     #[test]
     fn tile_deps_sorted_with_descending_m_component() {
         let t = TilingTransform::rectangular(&[4, 4, 4]).unwrap();
-        let tiled = TiledSpace::new(t, sor_space());
+        let tiled = TiledSpace::new(t, sor_space()).unwrap();
         let plan = CommPlan::new(&tiled, &sor_deps(), 2);
         for w in plan.tile_deps.windows(2) {
             assert!(w[0][2] >= w[1][2]);
@@ -215,7 +215,7 @@ mod tests {
     #[test]
     fn region_lo_uses_cc_only_on_crossing_dims() {
         let t = TilingTransform::rectangular(&[4, 4, 4]).unwrap();
-        let tiled = TiledSpace::new(t, sor_space());
+        let tiled = TiledSpace::new(t, sor_space()).unwrap();
         let plan = CommPlan::new(&tiled, &sor_deps(), 2);
         let v = vec![4, 4, 4];
         assert_eq!(plan.region_lo(&[1, 0], &v), vec![3, 0, 0]);
@@ -227,7 +227,7 @@ mod tests {
     #[test]
     fn proc_deps_exclude_pure_chain_dependence() {
         let t = TilingTransform::rectangular(&[4, 4, 4]).unwrap();
-        let tiled = TiledSpace::new(t, sor_space());
+        let tiled = TiledSpace::new(t, sor_space()).unwrap();
         let plan = CommPlan::new(&tiled, &sor_deps(), 2);
         // (0,0,1) projects to zero: intra-processor, not in proc_deps.
         assert!(plan.proc_deps.iter().all(|dm| dm.iter().any(|&x| x != 0)));

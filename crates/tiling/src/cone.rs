@@ -172,6 +172,25 @@ fn is_extreme(x: &[i64], deps: &IMat) -> bool {
     rank(&active) == n - 1
 }
 
+/// Candidate tile-hyperplane normals for the auto-tuner: the cone's extreme
+/// rays (the communication-optimal directions of Hodzic/Shang) plus any
+/// coordinate unit vectors inside the cone (so rectangular and mixed tilings
+/// compete too — for SOR, `e_3` is in the cone but not extreme). Primitive,
+/// deduplicated, sorted.
+pub fn candidate_rows(deps: &IMat) -> Vec<Vec<i64>> {
+    let n = deps.rows();
+    let mut rows = tiling_cone_rays(deps);
+    for k in 0..n {
+        let mut e = vec![0i64; n];
+        e[k] = 1;
+        if in_tiling_cone(&e, deps) && !rows.contains(&e) {
+            rows.push(e);
+        }
+    }
+    rows.sort();
+    rows
+}
+
 /// Rational matrix whose rows are the cone rays — the paper's matrix `C`.
 pub fn cone_matrix(deps: &IMat) -> RMat {
     let rays = tiling_cone_rays(deps);
@@ -235,6 +254,20 @@ mod tests {
         let deps = IMat::from_rows(&[&[1, 0, 1, 1, 0], &[1, 1, 0, 1, 0], &[2, 0, 2, 1, 1]]);
         assert!(in_tiling_cone(&[0, 0, 1], &deps));
         assert!(!ray_set(&deps).contains(&vec![0, 0, 1]));
+    }
+
+    #[test]
+    fn candidate_rows_extend_rays_with_in_cone_units() {
+        // SOR: e_3 is in the cone but not extreme — the tuner pool must
+        // include it alongside the four extreme rays.
+        let deps = IMat::from_rows(&[&[1, 0, 1, 1, 0], &[1, 1, 0, 1, 0], &[2, 0, 2, 1, 1]]);
+        let rows: BTreeSet<Vec<i64>> = candidate_rows(&deps).into_iter().collect();
+        let mut expected = ray_set(&deps);
+        expected.insert(vec![0, 0, 1]);
+        assert_eq!(rows, expected);
+        // Orthant cone: units coincide with the rays, no duplicates.
+        let unit = IMat::identity(3);
+        assert_eq!(candidate_rows(&unit).len(), 3);
     }
 
     #[test]

@@ -24,7 +24,7 @@ pub mod tile_space;
 pub mod transform;
 
 pub use comm::CommPlan;
-pub use cone::{cone_matrix, in_tiling_cone, tiling_cone_rays};
+pub use cone::{candidate_rows, cone_matrix, in_tiling_cone, tiling_cone_rays};
 pub use lds::{Lds, LdsGeometry};
 pub use mapping::{insert_at, longest_dimension, project_pid, Distribution};
 pub use tile_space::TiledSpace;

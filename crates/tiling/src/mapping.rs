@@ -8,6 +8,7 @@
 //! of tile indices along `m`.
 
 use crate::tile_space::TiledSpace;
+use crate::transform::TilingError;
 use std::collections::HashMap;
 
 /// The processor assignment of a tiled space.
@@ -27,9 +28,12 @@ impl Distribution {
     /// Distribute `tiled` over processors, mapping along `m`
     /// (`None` selects the dimension with the maximum tile count, as the
     /// paper prescribes).
-    pub fn new(tiled: &TiledSpace, m: Option<usize>) -> Self {
+    pub fn new(tiled: &TiledSpace, m: Option<usize>) -> Result<Self, TilingError> {
         let n = tiled.dim();
-        let m = m.unwrap_or_else(|| longest_dimension(tiled));
+        let m = match m {
+            Some(m) => m,
+            None => longest_dimension(tiled)?,
+        };
         assert!(m < n, "mapping dimension out of range");
         let mut chains_map: HashMap<Vec<i64>, (i64, i64)> = HashMap::new();
         for tile in tiled.tiles() {
@@ -52,12 +56,12 @@ impl Distribution {
             .enumerate()
             .map(|(r, p)| (p, r))
             .collect();
-        Distribution {
+        Ok(Distribution {
             m,
             pids,
             chains,
             rank_of,
-        }
+        })
     }
 
     /// Number of processors.
@@ -106,7 +110,7 @@ pub fn insert_at(pid: &[i64], m: usize, t: i64) -> Vec<i64> {
 
 /// The dimension of the tile space with the maximum extent (number of
 /// candidate tile indices).
-pub fn longest_dimension(tiled: &TiledSpace) -> usize {
+pub fn longest_dimension(tiled: &TiledSpace) -> Result<usize, TilingError> {
     let n = tiled.dim();
     let mut best = 0usize;
     let mut best_len = -1i64;
@@ -115,7 +119,7 @@ pub fn longest_dimension(tiled: &TiledSpace) -> usize {
         let mut p = tiled.shadow().clone();
         for v in (0..n).rev() {
             if v != k {
-                p = p.eliminate(v);
+                p = p.eliminate(v)?;
             }
         }
         if let Some((lo, hi)) = p.integer_bounds(0, &[]) {
@@ -126,7 +130,7 @@ pub fn longest_dimension(tiled: &TiledSpace) -> usize {
             }
         }
     }
-    best
+    Ok(best)
 }
 
 #[cfg(test)]
@@ -142,18 +146,19 @@ mod tests {
             TilingTransform::rectangular(sizes).unwrap(),
             Polyhedron::from_box(&lo, &hi),
         )
+        .unwrap()
     }
 
     #[test]
     fn longest_dimension_picks_max_tile_count() {
         let tiled = tiled_box(&[8, 32, 8], &[4, 4, 4]);
-        assert_eq!(longest_dimension(&tiled), 1);
+        assert_eq!(longest_dimension(&tiled).unwrap(), 1);
     }
 
     #[test]
     fn distribution_covers_all_tiles_exactly_once() {
         let tiled = tiled_box(&[8, 12, 8], &[4, 4, 4]);
-        let dist = Distribution::new(&tiled, None);
+        let dist = Distribution::new(&tiled, None).unwrap();
         assert_eq!(dist.m, 1);
         assert_eq!(dist.num_procs(), 2 * 2); // 2 tiles in dims 0 and 2
         let mut count = 0;
@@ -172,7 +177,7 @@ mod tests {
     #[test]
     fn rank_lookup_round_trip() {
         let tiled = tiled_box(&[8, 8, 8], &[4, 4, 4]);
-        let dist = Distribution::new(&tiled, Some(2));
+        let dist = Distribution::new(&tiled, Some(2)).unwrap();
         for (r, pid) in dist.pids.iter().enumerate() {
             assert_eq!(dist.rank(pid), Some(r));
         }
@@ -191,7 +196,7 @@ mod tests {
     #[test]
     fn explicit_mapping_dimension_is_respected() {
         let tiled = tiled_box(&[8, 32, 8], &[4, 4, 4]);
-        let dist = Distribution::new(&tiled, Some(0));
+        let dist = Distribution::new(&tiled, Some(0)).unwrap();
         assert_eq!(dist.m, 0);
         assert_eq!(dist.num_procs(), 8 * 2);
     }

@@ -11,8 +11,19 @@
 //! packs, or waits on a tile with nothing in it (the paper corrects
 //! boundary tiles the same way, with the original iteration-space
 //! inequalities).
+//!
+//! Pruning itself is driven by an exact *rational feasibility test*: for a
+//! candidate tile `t` the pinned system `j ∈ J^n ∧ v_k·t_k ≤ H'_k·j ≤
+//! v_k·(t_k+1) − 1` has integer points exactly equal to `t`'s iterations
+//! (for integer `j`, that conjunction is `⌊H·j⌋ = t`), so rational
+//! emptiness proves the tile empty without walking its TTIS lattice. Only
+//! when the rational relaxation is non-empty — and could still be
+//! integer-empty — does the plan fall back to the early-exit lattice walk,
+//! keeping `tiles_pruned` exact while construction cost stops scaling with
+//! tile volume (this is what makes the auto-tuner's hundreds of candidate
+//! plans affordable).
 
-use crate::transform::TilingTransform;
+use crate::transform::{TilingError, TilingTransform};
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use tilecc_linalg::IMat;
@@ -34,6 +45,10 @@ pub struct TiledSpace {
     nonempty: BTreeSet<Vec<i64>>,
     /// Empty candidate tiles the shadow admitted and `new` discarded.
     tiles_pruned: usize,
+    /// Boundary candidates whose rational relaxation was non-empty, forcing
+    /// the lattice-walk fallback during construction. Observable so tests
+    /// and benches can show the feasibility test carries the pruning load.
+    feasibility_walks: usize,
     /// Number of [`TiledSpace::tile_iterations`] traversals started — the
     /// per-tile TTIS walks the compiled execution path exists to avoid.
     /// Observable via [`TiledSpace::traversal_count`] for regression tests.
@@ -41,8 +56,10 @@ pub struct TiledSpace {
 }
 
 impl TiledSpace {
-    /// Tile `space` by `transform`.
-    pub fn new(transform: TilingTransform, space: Polyhedron) -> Self {
+    /// Tile `space` by `transform`. Fails only when the exact polyhedral
+    /// machinery overflows `i64` coefficients (user-authored spaces with
+    /// extreme bounds).
+    pub fn new(transform: TilingTransform, space: Polyhedron) -> Result<Self, TilingError> {
         let n = transform.dim();
         assert_eq!(
             space.dim(),
@@ -73,9 +90,9 @@ impl TiledSpace {
         }
         // FM produces many redundant shadow constraints; prune them (exact
         // over the integer tiles) to keep tile_valid and bounds cheap.
-        let shadow = combined.project_onto_first(n).remove_redundant();
-        let tile_bounds = LoopNestBounds::new(&shadow);
-        let space_bounds = LoopNestBounds::new(&space);
+        let shadow = combined.project_onto_first(n)?.remove_redundant()?;
+        let tile_bounds = LoopNestBounds::new(&shadow)?;
+        let space_bounds = LoopNestBounds::new(&space)?;
         let full_tile_volume = transform.ttis_points().count();
         let mut ts = TiledSpace {
             transform,
@@ -86,30 +103,70 @@ impl TiledSpace {
             full_tile_volume,
             nonempty: BTreeSet::new(),
             tiles_pruned: 0,
+            feasibility_walks: 0,
             traversals: AtomicU64::new(0),
         };
         // Prune the empty candidates the convex shadow admits. Interior
-        // tiles are non-empty by construction; boundary candidates walk
-        // their TTIS lattice with early exit, without touching the
+        // tiles are non-empty by construction. Boundary candidates are
+        // decided by the exact rational feasibility test on the pinned tile
+        // system — emptiness there implies integer emptiness, so the prune
+        // is exact without touching the TTIS lattice. Only rationally
+        // non-empty candidates (which may still contain no integer point)
+        // fall back to the early-exit lattice walk, without touching the
         // traversal counter (this is a plan-time emptiness test, not one
         // of the per-tile walks the compiled path eliminates).
         let mut candidates = 0usize;
+        let mut walks = 0usize;
         let mut nonempty = BTreeSet::new();
         let lo = vec![0i64; n];
         for tile in ts.tile_bounds.points() {
             candidates += 1;
+            if ts.tile_is_interior(&tile) {
+                nonempty.insert(tile);
+                continue;
+            }
+            if ts.pinned_tile_system(&tile).is_empty_rational()? {
+                continue;
+            }
+            walks += 1;
             let t = &ts.transform;
-            if ts.tile_is_interior(&tile)
-                || t.lattice()
-                    .points_in_box(&lo, t.v())
-                    .any(|jp| ts.space.contains(&t.iteration_fast(&tile, &jp)))
+            if t.lattice()
+                .points_in_box(&lo, t.v())
+                .any(|jp| ts.space.contains(&t.iteration_fast(&tile, &jp)))
             {
                 nonempty.insert(tile);
             }
         }
         ts.tiles_pruned = candidates - nonempty.len();
+        ts.feasibility_walks = walks;
         ts.nonempty = nonempty;
-        ts
+        Ok(ts)
+    }
+
+    /// The "pinned tile" system over `j`: the original space intersected
+    /// with `v_k·t_k ≤ H'_k·j ≤ v_k·(t_k+1) − 1` for every `k`. For integer
+    /// `j` (where `H'_k·j` is an integer) that conjunction is exactly
+    /// `⌊H_k·j⌋ = t_k`, so the system's integer points are precisely the
+    /// tile's iterations — rational emptiness proves the tile empty.
+    fn pinned_tile_system(&self, tile: &[i64]) -> Polyhedron {
+        let n = self.dim();
+        let hp = self.transform.h_prime();
+        let v = self.transform.v();
+        let mut p = self.space.clone();
+        for k in 0..n {
+            let row: Vec<i64> = (0..n).map(|c| hp[(k, c)]).collect();
+            let neg: Vec<i64> = row.iter().map(|&x| -x).collect();
+            p.add(Constraint::new(row, -v[k] * tile[k]));
+            p.add(Constraint::new(neg, v[k] * (tile[k] + 1) - 1));
+        }
+        p
+    }
+
+    /// Number of candidate tiles whose rational relaxation was non-empty,
+    /// forcing the lattice-walk fallback during construction.
+    #[inline]
+    pub fn feasibility_walks(&self) -> usize {
+        self.feasibility_walks
     }
 
     /// Number of empty candidate tiles the shadow admitted and
@@ -339,7 +396,7 @@ mod tests {
             sor_hnr(2, 3, 2),
             sor_hnr(3, 2, 4),
         ] {
-            let tiled = TiledSpace::new(ts, space.clone());
+            let tiled = TiledSpace::new(ts, space.clone()).unwrap();
             let total_space = tiled.space_bounds().points().count();
             assert_eq!(tiled.total_tiled_iterations(), total_space);
         }
@@ -348,9 +405,9 @@ mod tests {
     #[test]
     fn tile_of_matches_enumeration() {
         let space = sor_like_space();
-        let tiled = TiledSpace::new(sor_hnr(2, 2, 3), space.clone());
+        let tiled = TiledSpace::new(sor_hnr(2, 2, 3), space.clone()).unwrap();
         // Each point's floor(Hj) tile must be valid and contain the point.
-        let bounds = LoopNestBounds::new(&space);
+        let bounds = LoopNestBounds::new(&space).unwrap();
         for j in bounds.points() {
             let tile = tiled.transform().tile_of(&j);
             assert!(
@@ -368,7 +425,7 @@ mod tests {
     fn rectangular_tile_deps_for_unit_deps() {
         let space = Polyhedron::from_box(&[0, 0], &[7, 7]);
         let t = TilingTransform::rectangular(&[4, 4]).unwrap();
-        let tiled = TiledSpace::new(t, space);
+        let tiled = TiledSpace::new(t, space).unwrap();
         let deps = IMat::from_rows(&[&[1, 0], &[0, 1]]);
         let ds = tiled.tile_deps(&deps);
         // d = (1,0) crosses tiles only at the boundary row: d^S = (1,0); same
@@ -382,7 +439,7 @@ mod tests {
     fn long_dependence_spans_two_tiles() {
         let space = Polyhedron::from_box(&[0], &[9]);
         let t = TilingTransform::rectangular(&[2]).unwrap();
-        let tiled = TiledSpace::new(t, space);
+        let tiled = TiledSpace::new(t, space).unwrap();
         // d = 3 with tile length 2: d^S in {1, 2}.
         let deps = IMat::from_rows(&[&[3]]);
         let ds = tiled.tile_deps(&deps);
@@ -396,7 +453,7 @@ mod tests {
         // SOR-nr with equal factors: D^S components must all be in {0, 1}
         // and lexicographically positive.
         let space = sor_like_space();
-        let tiled = TiledSpace::new(sor_hnr(3, 3, 3), space);
+        let tiled = TiledSpace::new(sor_hnr(3, 3, 3), space).unwrap();
         let deps = IMat::from_rows(&[&[1, 0, 1, 1, 0], &[1, 1, 0, 1, 0], &[2, 0, 2, 1, 1]]);
         let ds = tiled.tile_deps(&deps);
         for c in 0..ds.cols() {
@@ -409,7 +466,7 @@ mod tests {
     #[test]
     fn shadow_contains_every_nonempty_tile_and_scan_is_finite() {
         let space = sor_like_space();
-        let tiled = TiledSpace::new(sor_hnr(2, 3, 2), space);
+        let tiled = TiledSpace::new(sor_hnr(2, 3, 2), space).unwrap();
         let tiles: Vec<_> = tiled.tiles().collect();
         assert!(!tiles.is_empty());
         // All tiles distinct.
@@ -432,7 +489,7 @@ mod tests {
         p.add(Constraint::new(vec![0, -1], 4));
         p.add(Constraint::new(vec![-3, 2], 5));
         let h = RMat::from_fractions(&[&[(1, 4), (0, 1)], &[(1, 4), (1, 2)]]);
-        let tiled = TiledSpace::new(TilingTransform::new(h).unwrap(), p.clone());
+        let tiled = TiledSpace::new(TilingTransform::new(h).unwrap(), p.clone()).unwrap();
 
         assert_eq!(
             tiled.tiles_pruned(),
@@ -448,7 +505,7 @@ mod tests {
         }
         // ...and pruning loses no iterations: the per-tile volumes still
         // sum to the full space.
-        let total_space = LoopNestBounds::new(&p).points().count();
+        let total_space = LoopNestBounds::new(&p).unwrap().points().count();
         assert_eq!(tiled.total_tiled_iterations(), total_space);
         // The pruned candidate count matches the raw shadow enumeration.
         let candidates = tiled.tile_bounds().points().count();
@@ -466,7 +523,7 @@ mod tests {
             sor_hnr(2, 3, 2),
             sor_hnr(3, 2, 4),
         ] {
-            let tiled = TiledSpace::new(t, space.clone());
+            let tiled = TiledSpace::new(t, space.clone()).unwrap();
             assert_eq!(tiled.tiles_pruned(), 0);
         }
     }

@@ -12,6 +12,7 @@
 //!   incremental offsets `a_kl`.
 
 use tilecc_linalg::{column_hnf, IMat, Lattice, RMat, Rational};
+use tilecc_polytope::PolytopeError;
 
 /// Errors produced when constructing or validating a tiling transformation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -27,6 +28,15 @@ pub enum TilingError {
     /// `H·d < 0` for a dependence vector `d` — the tiling is illegal because
     /// a tile dependence would be lexicographically negative.
     IllegalForDependence { dep: Vec<i64> },
+    /// The exact polyhedral machinery under plan construction reported an
+    /// error (coefficient overflow from user-authored bounds).
+    Polytope(PolytopeError),
+}
+
+impl From<PolytopeError> for TilingError {
+    fn from(e: PolytopeError) -> Self {
+        TilingError::Polytope(e)
+    }
 }
 
 impl std::fmt::Display for TilingError {
@@ -45,6 +55,7 @@ impl std::fmt::Display for TilingError {
                     "tiling is illegal: H·d has a negative component for d = {dep:?}"
                 )
             }
+            TilingError::Polytope(e) => write!(f, "{e}"),
         }
     }
 }

@@ -117,7 +117,7 @@ fn volume_fast_matches_membership_tested_count() {
             continue;
         };
         cases += 1;
-        let tiled = TiledSpace::new(t, space);
+        let tiled = TiledSpace::new(t, space).unwrap();
         for tile in tiled.tiles().collect::<Vec<_>>() {
             let exact = tiled.tile_iterations(&tile).count();
             assert_eq!(
@@ -146,7 +146,7 @@ fn interior_tiles_enumerate_the_full_ttis_in_order() {
             continue;
         };
         cases += 1;
-        let tiled = TiledSpace::new(t.clone(), space.clone());
+        let tiled = TiledSpace::new(t.clone(), space.clone()).unwrap();
         let full: Vec<Vec<i64>> = t.ttis_points().collect();
         for tile in tiled.tiles().collect::<Vec<_>>() {
             if !tiled.tile_is_interior(&tile) {
@@ -181,7 +181,7 @@ fn compute_interior_tiles_keep_all_sources_in_space() {
             continue;
         };
         cases += 1;
-        let tiled = TiledSpace::new(t, space.clone());
+        let tiled = TiledSpace::new(t, space.clone()).unwrap();
         let n = tiled.dim();
         for tile in tiled.tiles().collect::<Vec<_>>() {
             let ci = tiled.tile_is_compute_interior(&tile, &deps);
