@@ -6,7 +6,7 @@
 //! path — which must agree bitwise with identical message traffic; the
 //! overlapped makespan must never exceed the blocking compiled one.
 //!
-//! Usage: `fuzz [seed] [cases] [--faults] [--tcp] [--recovery] [--tune]`.
+//! Usage: `fuzz [seed] [cases] [--faults] [--tcp] [--recovery] [--tune] [--dsl]`.
 //! With `--tune`, the tiling of each case is drawn from the auto-tuner's
 //! candidate enumeration (`tilecc::enumerate_candidates`) instead of the
 //! rectangular/cone-greedy generators — every H the tuner could ever rank
@@ -21,7 +21,14 @@
 //! `--recovery`, every case crashes its busiest rank mid-run under a
 //! checkpoint/recovery policy on both backends: the recovered run must
 //! reproduce the fault-free data bitwise, and every rank's clock must be
-//! the fault-free clock plus exactly its recovery debt.
+//! the fault-free clock plus exactly its recovery debt. With `--dsl`, the
+//! random-space generator is replaced by the `examples/kernels/*.tk`
+//! corpus: every case compiles one kernel-DSL program through the
+//! frontend, draws a random rectangular tiling and mapping dimension, and
+//! runs the same three-way strategy cross-check; the four paper workloads
+//! (`sor`, `jacobi`, `adi`, `adi_paper`) are additionally executed
+//! side-by-side with their hand-coded Rust kernels under the identical
+//! plan and must agree bitwise — data, makespan bits, and counters.
 //!
 //! Every failure path prints the RNG seed so regressions reproduce with
 //! `fuzz <seed>`. Found two real bugs during development (Fourier–Motzkin
@@ -80,6 +87,288 @@ fn fail(seed: u64, case: u64, what: &str) -> ! {
     std::process::exit(3);
 }
 
+/// The shipped kernel-DSL corpus, embedded at compile time so the fuzzer
+/// breaks the build if a corpus file goes missing or stops parsing.
+const DSL_CORPUS: &[(&str, &str)] = &[
+    ("sor", include_str!("../../../../examples/kernels/sor.tk")),
+    (
+        "jacobi",
+        include_str!("../../../../examples/kernels/jacobi.tk"),
+    ),
+    ("adi", include_str!("../../../../examples/kernels/adi.tk")),
+    (
+        "adi_paper",
+        include_str!("../../../../examples/kernels/adi_paper.tk"),
+    ),
+    (
+        "heat3d",
+        include_str!("../../../../examples/kernels/heat3d.tk"),
+    ),
+    (
+        "lu_sweep",
+        include_str!("../../../../examples/kernels/lu_sweep.tk"),
+    ),
+    (
+        "gs_redblack",
+        include_str!("../../../../examples/kernels/gs_redblack.tk"),
+    ),
+    (
+        "jacobi9",
+        include_str!("../../../../examples/kernels/jacobi9.tk"),
+    ),
+    (
+        "coupled",
+        include_str!("../../../../examples/kernels/coupled.tk"),
+    ),
+    (
+        "wavefront",
+        include_str!("../../../../examples/kernels/wavefront_skew.tk"),
+    ),
+];
+
+/// The hand-coded Rust twin of a paper workload at the sizes its `.tk`
+/// file declares, or `None` for the DSL-only corpus kernels.
+fn hand_twin(name: &str) -> Option<Algorithm> {
+    use tilecc_loopnest::kernels;
+    match name {
+        "sor" => Some(kernels::sor_skewed(8, 12, 1.1)),
+        "jacobi" => Some(kernels::jacobi_skewed(6, 8, 8)),
+        "adi" => Some(kernels::adi(6, 8)),
+        "adi_paper" => Some(kernels::adi_paper(6, 8)),
+        _ => None,
+    }
+}
+
+/// `--dsl`: fuzz the kernel-DSL corpus instead of random spaces. Each case
+/// compiles one `.tk` program, draws a random rectangular tiling and
+/// mapping dimension, and cross-checks all three execution strategies
+/// bitwise against sequential execution. Paper workloads are additionally
+/// raced against their hand-coded kernels under the identical plan: data,
+/// makespan bits, and every logical counter must agree.
+fn dsl_mode(seed: u64, cases: u64) -> ! {
+    let mut g = G(seed | 1);
+    let mut per_kernel = vec![0u64; DSL_CORPUS.len()];
+    let mut pair_cases = 0u64;
+    let mut vectorized_points = 0u64;
+    let run =
+        |plan: &Arc<ParallelPlan>, strat: ExecStrategy, reg: &Arc<MetricsRegistry>, case: u64| {
+            match execute_strategy(
+                plan.clone(),
+                MachineModel::fast_ethernet_p3(),
+                ExecMode::Full,
+                strat,
+                EngineOptions {
+                    obs: Some(reg.clone()),
+                    ..EngineOptions::default()
+                },
+            ) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("  {strat:?} strategy run failed: {e}");
+                    fail(seed, case, "strategy run failed on a DSL kernel");
+                }
+            }
+        };
+    for case in 0..cases {
+        let ki = (case % DSL_CORPUS.len() as u64) as usize;
+        let (name, src) = DSL_CORPUS[ki];
+        let alg = match tilecc_frontend::compile_kernel(src) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("  corpus kernel `{name}` failed to compile: {e}");
+                fail(seed, case, "corpus kernel did not compile");
+            }
+        };
+        let n = alg.nest.dim();
+        let edges: Vec<i64> = (0..n).map(|_| g.range(2, 4)).collect();
+        let m = g.range(0, n as i64 - 1) as usize;
+        eprintln!("case {case}: kernel={name} dim={n} edges={edges:?} m={m}");
+        let h = RMat::from_fn(n, n, |i, j| {
+            if i == j {
+                Rational::new(1, edges[i] as i128)
+            } else {
+                Rational::ZERO
+            }
+        });
+        let t = match TilingTransform::new(h) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("  rectangular tiling rejected: {e}");
+                fail(seed, case, "rectangular tiling rejected for DSL kernel");
+            }
+        };
+        if let Err(e) = t.validate_for(alg.nest.deps()) {
+            eprintln!("  tiling invalid for corpus deps: {e}");
+            fail(seed, case, "corpus kernel deps not rectangularly tileable");
+        }
+        let seq = alg.execute_sequential();
+        let hand = hand_twin(name);
+        let plan = match ParallelPlan::new(alg, t.clone(), Some(m)) {
+            Ok(p) => Arc::new(p),
+            Err(e) => {
+                eprintln!("  planning failed: {e}");
+                fail(seed, case, "planning failed on a DSL kernel");
+            }
+        };
+        per_kernel[ki] += 1;
+        let ts = execute_tiled_sequential(&plan);
+        if seq.diff(&ts).is_some() {
+            fail(seed, case, "DSL tiled sequential reordering mismatch");
+        }
+        let reg_c = MetricsRegistry::new();
+        let res = run(&plan, ExecStrategy::Compiled, &reg_c, case);
+        if let Some(bad) = seq.diff(res.data.as_ref().unwrap()) {
+            eprintln!("  MISMATCH at {bad:?}");
+            fail(seed, case, "DSL parallel/sequential mismatch");
+        }
+        let reg_r = MetricsRegistry::new();
+        let reference = run(&plan, ExecStrategy::Reference, &reg_r, case);
+        if res
+            .data
+            .as_ref()
+            .unwrap()
+            .diff(reference.data.as_ref().unwrap())
+            .is_some()
+        {
+            fail(seed, case, "DSL compiled/reference data mismatch");
+        }
+        if res.makespan() != reference.makespan()
+            || res.report.total_bytes() != reference.report.total_bytes()
+        {
+            fail(
+                seed,
+                case,
+                "DSL compiled/reference makespan/traffic mismatch",
+            );
+        }
+        let reg_o = MetricsRegistry::new();
+        let overlapped = run(&plan, ExecStrategy::Overlapped, &reg_o, case);
+        if res
+            .data
+            .as_ref()
+            .unwrap()
+            .diff(overlapped.data.as_ref().unwrap())
+            .is_some()
+        {
+            fail(seed, case, "DSL compiled/overlapped data mismatch");
+        }
+        if overlapped.makespan() > res.makespan() + 1e-12 {
+            fail(seed, case, "DSL overlapped strategy slower than blocking");
+        }
+        if overlapped.report.total_bytes() != res.report.total_bytes()
+            || overlapped.report.total_messages() != res.report.total_messages()
+        {
+            fail(seed, case, "DSL compiled/overlapped traffic mismatch");
+        }
+        let rep_c = reg_c.run_report(&res.report.local_times);
+        let rep_r = reg_r.run_report(&reference.report.local_times);
+        for c in [
+            Counter::MessagesSent,
+            Counter::BytesSent,
+            Counter::Tiles,
+            Counter::Iterations,
+        ] {
+            if rep_c.total(c) != rep_r.total(c) {
+                fail(
+                    seed,
+                    case,
+                    "DSL compiled/reference logical counter mismatch",
+                );
+            }
+        }
+        if rep_r.total(Counter::VectorizedPoints) != 0 {
+            fail(seed, case, "DSL reference strategy reported batched points");
+        }
+        vectorized_points += rep_c.total(Counter::VectorizedPoints);
+        // Paper workloads: the DSL-compiled program must be bitwise
+        // indistinguishable from the hand-coded kernel under the same plan.
+        if let Some(hand) = hand {
+            pair_cases += 1;
+            let hand_seq = hand.execute_sequential();
+            if let Some(bad) = hand_seq.diff(&seq) {
+                eprintln!("  HAND/DSL SEQUENTIAL MISMATCH at {bad:?}");
+                fail(seed, case, "DSL kernel differs from hand-coded sequential");
+            }
+            let hand_plan = match ParallelPlan::new(hand, t.clone(), Some(m)) {
+                Ok(p) => Arc::new(p),
+                Err(e) => {
+                    eprintln!("  hand-twin planning failed: {e}");
+                    fail(seed, case, "planning failed on a hand-coded twin");
+                }
+            };
+            let reg_h = MetricsRegistry::new();
+            let hand_res = run(&hand_plan, ExecStrategy::Compiled, &reg_h, case);
+            if let Some(bad) = res
+                .data
+                .as_ref()
+                .unwrap()
+                .diff(hand_res.data.as_ref().unwrap())
+            {
+                eprintln!("  HAND/DSL PARALLEL MISMATCH at {bad:?}");
+                fail(
+                    seed,
+                    case,
+                    "DSL kernel differs from hand-coded parallel run",
+                );
+            }
+            if res.makespan().to_bits() != hand_res.makespan().to_bits() {
+                eprintln!(
+                    "  makespans: dsl {} hand {}",
+                    res.makespan(),
+                    hand_res.makespan()
+                );
+                fail(seed, case, "DSL/hand makespan bits differ");
+            }
+            let rep_h = reg_h.run_report(&hand_res.report.local_times);
+            for c in [
+                Counter::MessagesSent,
+                Counter::BytesSent,
+                Counter::MessagesReceived,
+                Counter::BytesReceived,
+                Counter::Tiles,
+                Counter::InteriorTiles,
+                Counter::BoundaryTiles,
+                Counter::Iterations,
+                Counter::VectorizedPoints,
+            ] {
+                if rep_c.total(c) != rep_h.total(c) {
+                    eprintln!(
+                        "  counter {}: dsl {} hand {}",
+                        c.name(),
+                        rep_c.total(c),
+                        rep_h.total(c)
+                    );
+                    fail(seed, case, "DSL/hand counter mismatch");
+                }
+            }
+        }
+    }
+    if cases >= DSL_CORPUS.len() as u64 {
+        for (ki, count) in per_kernel.iter().enumerate() {
+            if *count == 0 {
+                eprintln!("corpus kernel `{}` never executed", DSL_CORPUS[ki].0);
+                fail(seed, cases, "DSL corpus coverage hole");
+            }
+        }
+    }
+    if pair_cases == 0 {
+        fail(seed, cases, "DSL/hand equivalence never checked");
+    }
+    if cases >= DSL_CORPUS.len() as u64 && vectorized_points == 0 {
+        fail(
+            seed,
+            cases,
+            "no DSL case ever took the batched compute path",
+        );
+    }
+    eprintln!(
+        "dsl cross-check: {cases} cases, {pair_cases} hand-twin races, \
+         {vectorized_points} batched points"
+    );
+    eprintln!("all {cases} cases passed (dsl corpus)");
+    std::process::exit(0);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let faults = args.iter().any(|a| a == "--faults");
@@ -100,6 +389,9 @@ fn main() {
         .get(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(200);
+    if args.iter().any(|a| a == "--dsl") {
+        dsl_mode(seed, cases);
+    }
     let mut g = G(seed | 1);
     for case in 0..cases {
         let n = 3usize;

@@ -38,6 +38,17 @@
 //! workloads. With `--test`, every path runs once (identity checks only)
 //! and no JSON is written.
 //!
+//! `perf --dsl-bench [--test] [--out <path>]` races the kernel-DSL
+//! frontend against the hand-coded Rust kernels on the four paper
+//! workloads that exist in both forms (`sor`, `jacobi`, `adi`,
+//! `adi_paper`, at the PR2 bench sizes): each pair is first cross-checked
+//! bitwise under the identical plan (data, makespan bits), then both are
+//! timed end-to-end in `Full` mode (best-of-5 wall clock). Results go to
+//! `BENCH_PR10.json`. Acceptance: the DSL-compiled tape interpreter costs
+//! at most `DSL_OVERHEAD_BOUND`x the hand-coded kernel on every workload.
+//! With `--test`, everything runs once (identity checks only) and no JSON
+//! is written.
+//!
 //! `perf --tune-bench [--test] [--out <path>]` runs the `tilecc tune`
 //! search on all six paper workloads with the paper's fixed `H` seeded as
 //! the baseline, and writes the tuned-vs-fixed comparison to
@@ -906,6 +917,175 @@ fn vec_bench(out_path: &str, smoke: bool) {
     println!("wrote {out_path} ({compute_wins}/6 workloads >= 1.5x on interior compute)");
 }
 
+/// Gate for `--dsl-bench`: end-to-end, the DSL tape interpreter may cost
+/// at most this factor over the hand-coded kernel. The tape evaluates the
+/// same arithmetic through an op-at-a-time interpreter over slot buffers
+/// whose batch path amortizes dispatch across whole runs, so the measured
+/// end-to-end overhead is only ~1.1x; 1.5x leaves headroom for noisy CI
+/// machines while still catching an accidental de-batching regression.
+const DSL_OVERHEAD_BOUND: f64 = 1.5;
+
+/// Rewrite the `param` declarations of a `.tk` source so the shipped
+/// example files (small, fast-verifying sizes) can be re-used at bench
+/// sizes without duplicating the kernel bodies.
+fn with_params(src: &str, params: &[(&str, i64)]) -> String {
+    let mut out = String::with_capacity(src.len());
+    for l in src.lines() {
+        let t = l.trim_start();
+        let rewritten = t.strip_prefix("param ").and_then(|rest| {
+            let name = rest.split_whitespace().next()?;
+            let (_, v) = params.iter().find(|(n, _)| *n == name)?;
+            Some(format!("param {name} = {v}"))
+        });
+        out.push_str(rewritten.as_deref().unwrap_or(l));
+        out.push('\n');
+    }
+    out
+}
+
+/// Wall-clock race of the DSL frontend against the hand-coded kernels on
+/// the paper workloads that exist in both forms, written to
+/// `BENCH_PR10.json`. Each pair is cross-checked bitwise (data and
+/// makespan bits under the identical plan) before any timing, so the
+/// overhead number can never hide a semantic difference.
+fn dsl_bench(out_path: &str, smoke: bool) {
+    let model = MachineModel::fast_ethernet_p3();
+    type DslCase = (&'static str, String, ParallelPlan);
+    let pair = |name: &'static str,
+                src: &str,
+                params: &[(&str, i64)],
+                hand: tilecc_loopnest::Algorithm,
+                h: tilecc_linalg::RMat,
+                m: usize|
+     -> (DslCase, ParallelPlan) {
+        let src = with_params(src, params);
+        let t = TilingTransform::new(h).unwrap();
+        let dsl_alg = tilecc_frontend::compile_kernel(&src)
+            .unwrap_or_else(|e| panic!("{name}: DSL twin failed to compile: {e}"));
+        let dsl_plan = ParallelPlan::new(dsl_alg, t.clone(), Some(m)).unwrap();
+        let hand_plan = ParallelPlan::new(hand, t, Some(m)).unwrap();
+        ((name, src, dsl_plan), hand_plan)
+    };
+    let cases = [
+        pair(
+            "sor",
+            include_str!("../../../../examples/kernels/sor.tk"),
+            &[("M", 24), ("N", 32)],
+            kernels::sor_skewed(24, 32, 1.1),
+            matrices::sor_rect(4, 6, 8),
+            2,
+        ),
+        pair(
+            "jacobi",
+            include_str!("../../../../examples/kernels/jacobi.tk"),
+            &[("T", 16), ("N", 24)],
+            kernels::jacobi_skewed(16, 24, 24),
+            matrices::jacobi_rect(4, 6, 6),
+            1,
+        ),
+        pair(
+            "adi",
+            include_str!("../../../../examples/kernels/adi.tk"),
+            &[("T", 16), ("N", 24)],
+            kernels::adi(16, 24),
+            matrices::adi_rect(4, 6, 6),
+            0,
+        ),
+        pair(
+            "adi_paper",
+            include_str!("../../../../examples/kernels/adi_paper.tk"),
+            &[("T", 16), ("N", 24)],
+            kernels::adi_paper(16, 24),
+            matrices::adi_rect(4, 6, 6),
+            1,
+        ),
+    ];
+
+    let mut json =
+        String::from("{\n  \"bench\": \"PR10 kernel-DSL frontend vs hand-coded paper kernels\",\n");
+    json.push_str("  \"unit\": \"wall_seconds_end_to_end\",\n");
+    let _ = writeln!(json, "  \"machine\": {},", machine_json());
+    let _ = writeln!(json, "  \"overhead_bound\": {DSL_OVERHEAD_BOUND},");
+    json.push_str("  \"workloads\": {\n");
+
+    let nc = cases.len();
+    let mut max_overhead = 0.0f64;
+    for (ci, ((name, _src, dsl_plan), hand_plan)) in cases.into_iter().enumerate() {
+        let dsl_plan = Arc::new(dsl_plan);
+        let hand_plan = Arc::new(hand_plan);
+        let run = |plan: &Arc<ParallelPlan>| {
+            execute_strategy(
+                plan.clone(),
+                model,
+                ExecMode::Full,
+                ExecStrategy::Compiled,
+                EngineOptions::default(),
+            )
+            .expect("execution failed")
+        };
+        // Bitwise identity gate before any timing.
+        let dsl_res = run(&dsl_plan);
+        let hand_res = run(&hand_plan);
+        if let Some(bad) = hand_res
+            .data
+            .as_ref()
+            .unwrap()
+            .diff(dsl_res.data.as_ref().unwrap())
+        {
+            panic!("{name}: DSL-compiled data differs from hand-coded at {bad:?}");
+        }
+        assert_eq!(
+            dsl_res.makespan().to_bits(),
+            hand_res.makespan().to_bits(),
+            "{name}: DSL/hand virtual makespan bits differ"
+        );
+        let (dsl_s, hand_s) = if smoke {
+            (0.0, 0.0)
+        } else {
+            let wall = |plan: &Arc<ParallelPlan>| {
+                let mut best = Duration::MAX;
+                for _ in 0..5 {
+                    let t0 = Instant::now();
+                    let _ = run(plan);
+                    best = best.min(t0.elapsed());
+                }
+                best.as_secs_f64()
+            };
+            (wall(&dsl_plan), wall(&hand_plan))
+        };
+        let overhead = if smoke { 1.0 } else { dsl_s / hand_s };
+        max_overhead = max_overhead.max(overhead);
+        if smoke {
+            println!("  {name:<10} ok (smoke, bitwise identical)");
+        } else {
+            println!(
+                "  {name:<10} hand {:.2} ms  dsl {:.2} ms  overhead {overhead:.2}x",
+                hand_s * 1e3,
+                dsl_s * 1e3
+            );
+        }
+        let _ = writeln!(
+            json,
+            "    \"{name}\": {{\"hand_wall_s\": {hand_s:.6}, \"dsl_wall_s\": {dsl_s:.6}, \
+             \"overhead\": {overhead:.3}, \"bitwise_identical\": true}}{}",
+            if ci + 1 < nc { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  }},\n  \"max_overhead\": {max_overhead:.3}\n}}");
+
+    if smoke {
+        println!("dsl-bench smoke: all pairs bitwise-checked; no JSON written");
+        return;
+    }
+    assert!(
+        max_overhead <= DSL_OVERHEAD_BOUND,
+        "acceptance: DSL-compiled kernels must stay within {DSL_OVERHEAD_BOUND}x of the \
+         hand-coded kernels end-to-end (worst {max_overhead:.2}x)"
+    );
+    std::fs::write(out_path, &json).expect("write bench JSON");
+    println!("wrote {out_path} (max DSL overhead {max_overhead:.2}x, bound {DSL_OVERHEAD_BOUND}x)");
+}
+
 /// The paper's SOR/Jacobi/ADI workloads under their rectangular and
 /// non-rectangular tilings, shared by every benchmark mode.
 fn paper_workloads() -> Vec<(&'static str, ParallelPlan)> {
@@ -1109,6 +1289,10 @@ fn main() {
     }
     if args.iter().any(|a| a == "--tune-bench") {
         tune_bench(out_path.as_deref().unwrap_or("BENCH_PR9.json"), smoke);
+        return;
+    }
+    if args.iter().any(|a| a == "--dsl-bench") {
+        dsl_bench(out_path.as_deref().unwrap_or("BENCH_PR10.json"), smoke);
         return;
     }
     let out_path = out_path.unwrap_or_else(|| "BENCH_PR2.json".to_string());

@@ -8,8 +8,14 @@
 //! tilecc cone   nest.tcc                          # tiling cone extreme rays
 //! tilecc plan   nest.tcc --tile "1/4,0,0;0,1/4,0;-1/4,0,1/4" [--map 2]
 //! tilecc run    nest.tcc --rect 4,4,4 [--verify] [--overlap]
+//! tilecc run    --kernel heat3d.tk --rect 4,4,4,4 # kernel-DSL stencils
 //! tilecc emit   nest.tcc --tile … > generated.c   # C/MPI source
 //! ```
+//!
+//! Inputs are either `.tcc` nest files (single-array, paper §2.1 notation)
+//! or `.tk` kernel-DSL files (arbitrary uniform-dependence stencils, multi
+//! array; see `docs/kernel-dsl.md`). The extension selects the frontend;
+//! `--kernel <file>` is the explicit spelling for DSL files.
 //!
 //! All logic lives in [`run_cli`] so it is directly testable; the binary is
 //! a thin wrapper.
@@ -590,7 +596,26 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
 fn load(path: &str) -> Result<Algorithm, CliError> {
     let src = std::fs::read_to_string(path)
         .map_err(|e| CliError(format!("cannot read `{path}`: {e}")))?;
-    compile(&src).map_err(|e| CliError(format!("{path}: {e}")))
+    if path.ends_with(".tk") {
+        // Kernel DSL: errors carry line:col and render a caret snippet.
+        tilecc_frontend::compile_kernel(&src).map_err(|e| CliError(e.render(path, &src)))
+    } else {
+        compile(&src).map_err(|e| CliError(format!("{path}: {e}")))
+    }
+}
+
+/// The input file of a command: either the first positional argument or the
+/// explicit `--kernel <file>` form. Returns the path and the index where
+/// the remaining options start.
+fn input_path(args: &[String]) -> Result<(&str, usize), CliError> {
+    match args.get(1).map(String::as_str) {
+        Some("--kernel") => args
+            .get(2)
+            .map(|p| (p.as_str(), 3))
+            .ok_or_else(|| CliError("--kernel needs a file path".into())),
+        Some(p) => Ok((p, 2)),
+        None => Err(CliError(USAGE.into())),
+    }
 }
 
 fn load_program(path: &str) -> Result<Program, CliError> {
@@ -1634,23 +1659,35 @@ fn fmt_matrix(m: &RMat) -> String {
     s
 }
 
-const USAGE: &str = "usage: tilecc <command> <nest.tcc> [options]
+const USAGE: &str = "usage: tilecc <command> <nest.tcc|kernel.tk> [options]
+
+Inputs are not limited to the built-in workloads: any `.tcc` nest file
+(single-array, paper notation) or `.tk` kernel-DSL file (arbitrary
+uniform-dependence stencils, multiple arrays, `let` bindings — see
+docs/kernel-dsl.md) compiles through the same pipeline and runs on every
+backend and strategy. The file extension selects the frontend.
 
 commands:
-  parse <file>               inspect the parsed loop nest
+  parse <file>               inspect the parsed loop nest / kernel
   cone  <file>               print the tiling cone's extreme rays
   tune  <file> --volume <n>  search legal tilings of volume n drawn from
                               the tiling cone, rank by modeled makespan
   plan  <file> --tile|--rect print the derived parallelization plan
   run   <file> --tile|--rect simulate on the modelled cluster
   emit  <file> --tile|--rect emit a complete C/MPI program to stdout
+                              (`.tcc` nests only)
   emit-skeleton <file> …      emit the paper-style code skeleton only
   report <metrics.json>       render a saved metrics file as a summary
+                              (works for runs of any workload, built-in,
+                              `.tcc`, or `.tk`)
   report <a> --diff <b>       compare two saved metrics files on the
                               deterministic subset (exit nonzero on any
                               mismatch)
 
 options:
+  --kernel <file.tk>          explicit input-file spelling for kernel-DSL
+                              files (equivalent to passing the path
+                              positionally): `tilecc run --kernel f.tk …`
   --tile \"r11,r12;r21,r22\"   tiling matrix H (rows `;`, entries `,`, a/b);
                               for `tune`: a seed candidate that is always
                               evaluated (e.g. the paper's fixed H)
@@ -1738,10 +1775,11 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
             Ok(out)
         }
         "parse" => {
-            let path = args.get(1).ok_or(CliError(USAGE.into()))?;
+            let (path, _) = input_path(args)?;
             let alg = load(path)?;
             let _ = writeln!(out, "algorithm : {}", alg.name);
             let _ = writeln!(out, "dimension : {}", alg.nest.dim());
+            let _ = writeln!(out, "components: {}", alg.width());
             let _ = writeln!(out, "iterations: {}", alg.nest.num_points());
             let _ = writeln!(out, "dependence columns:");
             for q in 0..alg.nest.deps().cols() {
@@ -1750,7 +1788,7 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
             Ok(out)
         }
         "cone" => {
-            let path = args.get(1).ok_or(CliError(USAGE.into()))?;
+            let (path, _) = input_path(args)?;
             let alg = load(path)?;
             let rays = tiling_cone_rays(alg.nest.deps());
             let _ = writeln!(out, "tiling cone extreme rays:");
@@ -1760,9 +1798,9 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
             Ok(out)
         }
         "tune" => {
-            let path = args.get(1).ok_or(CliError(USAGE.into()))?;
+            let (path, rest) = input_path(args)?;
             let alg = load(path)?;
-            let topts = parse_tune_options(&args[2..], alg.nest.dim())?;
+            let topts = parse_tune_options(&args[rest..], alg.nest.dim())?;
             let outcome = tilecc::tune_labeled(
                 &alg,
                 &topts.opts,
@@ -1804,8 +1842,8 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
             Ok(out)
         }
         "plan" | "run" | "emit" | "emit-skeleton" => {
-            let path = args.get(1).ok_or(CliError(USAGE.into()))?;
-            let opts = parse_options(&args[2..])?;
+            let (path, rest) = input_path(args)?;
+            let opts = parse_options(&args[rest..])?;
             // One registry per invocation when an artifact was requested;
             // the frontend, planner and engine all record into it.
             let reg: Option<Arc<MetricsRegistry>> = (opts.trace_out.is_some()
@@ -1861,7 +1899,7 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
                         return err("--connect is only meaningful together with --worker-rank");
                     }
                     if opts.backend == Backend::Tcp {
-                        return tcp_driver(path, &args[2..], &pipe, &opts, out);
+                        return tcp_driver(path, &args[rest..], &pipe, &opts, out);
                     }
                     if opts.ranks.is_some() {
                         return err("--ranks is only meaningful with --backend tcp");
@@ -1939,6 +1977,11 @@ pub fn run_cli(args: &[String]) -> Result<String, CliError> {
                     Ok(out)
                 }
                 "emit" => {
+                    if path.ends_with(".tk") {
+                        return err("emit does not support `.tk` kernel DSL files yet \
+                             (multi-array C emission is future work); \
+                             use run/plan/tune, or emit-skeleton for the schedule shape");
+                    }
                     let program = load_program(path)?;
                     // Consistency: the pipeline compiled from the same file.
                     let _ = lower(&program).map_err(|e| CliError(format!("{path}: {e}")))?;

@@ -96,7 +96,11 @@ fn intra_repo_markdown_links_resolve() {
 #[test]
 fn readme_links_the_protocol_and_architecture_docs() {
     let readme = std::fs::read_to_string(repo_root().join("README.md")).unwrap();
-    for doc in ["docs/wire-protocol.md", "docs/architecture.md"] {
+    for doc in [
+        "docs/wire-protocol.md",
+        "docs/architecture.md",
+        "docs/kernel-dsl.md",
+    ] {
         assert!(
             readme.contains(&format!("]({doc})")),
             "README must link {doc}"

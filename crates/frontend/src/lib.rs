@@ -20,13 +20,21 @@
 //! single assignment, uniform lexicographically-positive dependencies,
 //! identity write reference) and lowers into a `LoopNest` + interpreted
 //! kernel, applying the skewing matrix if present.
+//!
+//! The crate also hosts the richer `.tk` **kernel DSL** (module [`tk`],
+//! entry point [`compile_kernel`]): multiple arrays with per-array initial
+//! expressions, `let` bindings, `bnd()`/`mod()` builtins, an optional
+//! pinned dependence order, and source-located (`line:col` + caret) errors.
+//! See `docs/kernel-dsl.md` for the language reference.
 
 pub mod ast;
 pub mod lexer;
 pub mod lower;
 pub mod parser;
+pub mod tk;
 
 pub use ast::{AffineExpr, Expr, Loop, Program};
 pub use lexer::ParseError;
 pub use lower::{compile, lower};
 pub use parser::parse;
+pub use tk::{compile_kernel, parse_kernel, KernelProgram, TkError};

@@ -1,0 +1,73 @@
+//! Source-located errors for the `.tk` kernel DSL.
+//!
+//! Every parse and lowering failure carries a 1-based `line:col` position;
+//! [`TkError::render`] turns it into a compiler-style caret snippet naming
+//! the file, so CLI users see exactly which character broke.
+
+use std::fmt;
+
+/// A kernel-DSL error anchored to a source position.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TkError {
+    pub line: usize,
+    pub col: usize,
+    pub message: String,
+}
+
+impl TkError {
+    pub fn new(line: usize, col: usize, message: impl Into<String>) -> Self {
+        TkError {
+            line,
+            col,
+            message: message.into(),
+        }
+    }
+
+    /// Render as `file:line:col: message` plus a caret snippet:
+    ///
+    /// ```text
+    /// demo.tk:3:12: non-uniform access: index 2 of `A` must be `i + constant`
+    ///   3 | A[t,i,j] = A[t-1,2*i,j]
+    ///     |            ^
+    /// ```
+    pub fn render(&self, file: &str, source: &str) -> String {
+        let mut out = format!("{file}:{}:{}: {}", self.line, self.col, self.message);
+        if let Some(text) = source.lines().nth(self.line.saturating_sub(1)) {
+            let num = self.line.to_string();
+            let pad = " ".repeat(num.len());
+            let offset = " ".repeat(self.col.saturating_sub(1));
+            out.push_str(&format!("\n  {num} | {text}\n  {pad} | {offset}^"));
+        }
+        out
+    }
+}
+
+impl fmt::Display for TkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for TkError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_places_caret_under_column() {
+        let e = TkError::new(2, 8, "unexpected character `@`");
+        let src = "kernel k\nA[t] = @";
+        let r = e.render("demo.tk", src);
+        assert!(r.starts_with("demo.tk:2:8: unexpected character `@`"));
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines[1], "  2 | A[t] = @");
+        assert_eq!(lines[2], "    |        ^");
+    }
+
+    #[test]
+    fn render_without_matching_line_degrades_gracefully() {
+        let e = TkError::new(99, 1, "boom");
+        assert_eq!(e.render("f.tk", "one line"), "f.tk:99:1: boom");
+    }
+}

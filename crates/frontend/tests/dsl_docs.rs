@@ -1,0 +1,132 @@
+//! Doc-lock for `docs/kernel-dsl.md`: every fenced ```tk example in the
+//! language reference must parse, compile, and round-trip through the
+//! pretty-printer; every ```tk-error example must fail to compile with
+//! the message its `#=>` line promises. The reference cannot drift from
+//! the implementation (same discipline as `tests/wire_format.rs` locking
+//! `docs/wire-protocol.md`).
+
+use std::path::Path;
+use tilecc_frontend::{compile_kernel, parse_kernel};
+
+fn doc_source() -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../docs/kernel-dsl.md");
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("unreadable {path:?}: {e}"))
+}
+
+/// Extract fenced blocks of the given info string: `(start_line, body)`.
+fn fenced_blocks(markdown: &str, info: &str) -> Vec<(usize, String)> {
+    let mut blocks = Vec::new();
+    let mut current: Option<(usize, Vec<&str>)> = None;
+    for (lineno, line) in markdown.lines().enumerate() {
+        let trimmed = line.trim_start();
+        match &mut current {
+            Some((start, body)) => {
+                if trimmed.starts_with("```") {
+                    blocks.push((*start, body.join("\n")));
+                    current = None;
+                } else {
+                    body.push(line);
+                }
+            }
+            None => {
+                if let Some(rest) = trimmed.strip_prefix("```") {
+                    if rest.trim() == info {
+                        current = Some((lineno + 1, Vec::new()));
+                    }
+                }
+            }
+        }
+    }
+    assert!(
+        current.is_none(),
+        "unterminated fence in docs/kernel-dsl.md"
+    );
+    blocks
+}
+
+#[test]
+fn every_tk_example_compiles_and_round_trips() {
+    let doc = doc_source();
+    let blocks = fenced_blocks(&doc, "tk");
+    assert!(
+        blocks.len() >= 5,
+        "expected at least 5 ```tk examples in docs/kernel-dsl.md, found {}",
+        blocks.len()
+    );
+    for (line, src) in blocks {
+        let alg = compile_kernel(&src)
+            .unwrap_or_else(|e| panic!("docs/kernel-dsl.md:{line}: example fails to compile: {e}"));
+        // Every example must execute, not merely type-check: a tiny
+        // sequential run exercises initial data, reads, and the tape.
+        let _ = alg.execute_sequential();
+        // Round-trip: parse → pretty → parse must be the identity on the
+        // pretty form.
+        let p1 = parse_kernel(&src)
+            .unwrap_or_else(|e| panic!("docs/kernel-dsl.md:{line}: example fails to parse: {e}"));
+        let pretty = p1.pretty();
+        let p2 = parse_kernel(&pretty).unwrap_or_else(|e| {
+            panic!(
+                "docs/kernel-dsl.md:{line}: pretty-printed form fails to re-parse: {e}\n{pretty}"
+            )
+        });
+        assert_eq!(
+            pretty,
+            p2.pretty(),
+            "docs/kernel-dsl.md:{line}: pretty-print round-trip is not a fixed point"
+        );
+    }
+}
+
+#[test]
+fn every_tk_error_example_fails_as_documented() {
+    let doc = doc_source();
+    let blocks = fenced_blocks(&doc, "tk-error");
+    assert!(
+        blocks.len() >= 5,
+        "expected at least 5 ```tk-error examples in docs/kernel-dsl.md, found {}",
+        blocks.len()
+    );
+    for (line, block) in blocks {
+        let expect = block
+            .lines()
+            .find_map(|l| l.trim().strip_prefix("#=>"))
+            .unwrap_or_else(|| {
+                panic!("docs/kernel-dsl.md:{line}: tk-error block lacks a `#=>` expectation")
+            })
+            .trim()
+            .to_string();
+        match compile_kernel(&block) {
+            Ok(_) => panic!(
+                "docs/kernel-dsl.md:{line}: tk-error example unexpectedly compiled \
+                 (expected error containing {expect:?})"
+            ),
+            Err(e) => assert!(
+                e.message.contains(&expect),
+                "docs/kernel-dsl.md:{line}: error {:?} does not contain documented \
+                 substring {expect:?}",
+                e.message
+            ),
+        }
+    }
+}
+
+#[test]
+fn shipped_corpus_is_documented() {
+    // The reference promises ten corpus kernels; hold it to that.
+    let doc = doc_source();
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/kernels");
+    let mut names = Vec::new();
+    for entry in std::fs::read_dir(&dir).expect("examples/kernels exists") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().is_some_and(|e| e == "tk") {
+            names.push(path.file_stem().unwrap().to_string_lossy().into_owned());
+        }
+    }
+    assert_eq!(names.len(), 10, "corpus size drifted: {names:?}");
+    for name in &names {
+        assert!(
+            doc.contains(&format!("`{name}`")),
+            "docs/kernel-dsl.md does not mention corpus kernel `{name}`"
+        );
+    }
+}

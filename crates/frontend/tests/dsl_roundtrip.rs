@@ -1,0 +1,192 @@
+//! AST round-trip discipline for the `.tk` DSL: `parse → pretty → parse`
+//! must be the identity on the pretty form, and the pretty form must
+//! compile to a program that is *bitwise identical* in sequential
+//! execution to the original source. Runs over the shipped corpus in
+//! `examples/kernels/` and over a seeded random-kernel generator so the
+//! pretty-printer is exercised far beyond the hand-written examples.
+
+use std::path::{Path, PathBuf};
+use tilecc_frontend::{compile_kernel, parse_kernel};
+
+fn corpus_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/kernels")
+}
+
+/// Assert the full round-trip contract for one kernel source.
+fn assert_round_trip(name: &str, src: &str) {
+    let p1 = parse_kernel(src).unwrap_or_else(|e| panic!("{name}: fails to parse: {e}"));
+    let pretty = p1.pretty();
+    let p2 = parse_kernel(&pretty)
+        .unwrap_or_else(|e| panic!("{name}: pretty form fails to re-parse: {e}\n{pretty}"));
+    assert_eq!(
+        pretty,
+        p2.pretty(),
+        "{name}: pretty-print is not a fixed point"
+    );
+
+    // Semantic identity: the pretty form must compile to the same
+    // program — same dependence columns, bitwise-identical execution.
+    let a1 = compile_kernel(src).unwrap_or_else(|e| panic!("{name}: fails to compile: {e}"));
+    let a2 = compile_kernel(&pretty)
+        .unwrap_or_else(|e| panic!("{name}: pretty form fails to compile: {e}"));
+    assert_eq!(
+        a1.nest.deps(),
+        a2.nest.deps(),
+        "{name}: dependence matrix changed across round-trip"
+    );
+    let d1 = a1.execute_sequential();
+    let d2 = a2.execute_sequential();
+    assert_eq!(
+        d1.diff(&d2),
+        None,
+        "{name}: sequential execution differs after round-trip"
+    );
+    assert_eq!(
+        d1.checksum().to_bits(),
+        d2.checksum().to_bits(),
+        "{name}: checksum bits differ after round-trip"
+    );
+}
+
+#[test]
+fn corpus_round_trips() {
+    let mut count = 0;
+    for entry in std::fs::read_dir(corpus_dir()).expect("examples/kernels exists") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().is_some_and(|e| e == "tk") {
+            let src = std::fs::read_to_string(&path).unwrap();
+            assert_round_trip(&path.display().to_string(), &src);
+            count += 1;
+        }
+    }
+    assert_eq!(count, 10, "corpus size drifted");
+}
+
+// ---------------------------------------------------------------------
+// Seeded random-kernel generator
+// ---------------------------------------------------------------------
+
+/// xorshift64* — same generator family the fuzzer uses; deterministic
+/// across platforms.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform in `0..n`.
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        &xs[self.below(xs.len() as u64) as usize]
+    }
+}
+
+const VARS: [&str; 4] = ["t", "i", "j", "k"];
+// Exact binary fractions: their shortest decimal form re-parses to the
+// same f64, so coefficients survive pretty-printing bit-for-bit.
+const COEFS: [&str; 6] = ["0.125", "0.25", "0.375", "0.5", "0.625", "0.75"];
+
+/// Render a read of `arr` at offset `d` from the current point:
+/// offset component `c` on variable `v` prints as `v-c` (a dependence
+/// reaching back `c` along that axis).
+fn read_at(arr: &str, d: &[i64]) -> String {
+    let idx: Vec<String> = d
+        .iter()
+        .enumerate()
+        .map(|(k, &c)| {
+            let v = VARS[k];
+            match c.cmp(&0) {
+                std::cmp::Ordering::Equal => v.to_string(),
+                std::cmp::Ordering::Greater => format!("{v}-{c}"),
+                std::cmp::Ordering::Less => format!("{v}+{}", -c),
+            }
+        })
+        .collect();
+    format!("{arr}[{}]", idx.join(","))
+}
+
+/// Generate one random-but-valid kernel: 1–3 dims, 1–4 distinct
+/// lex-positive dependence offsets, optional `let`, optional second
+/// array coupled through the first.
+fn gen_kernel(rng: &mut Rng, case: usize) -> String {
+    let dim = 1 + rng.below(3) as usize;
+    let n = 4 + rng.below(4) as i64;
+    let mut src = format!("kernel gen{case}\nparam N = {n}\n");
+    for v in VARS.iter().take(dim) {
+        src.push_str(&format!("iter {v} = 1 to N\n"));
+    }
+
+    // Distinct lex-positive offsets: a positive leading component keeps
+    // every offset legal regardless of the trailing ones. Cap the count
+    // by the size of the offset alphabet (2·3^(dim−1)) so the dedup
+    // loop terminates for 1-D kernels.
+    let mut offsets: Vec<Vec<i64>> = Vec::new();
+    let alphabet = 2 * 3usize.pow(dim as u32 - 1);
+    let want = (1 + rng.below(4) as usize).min(alphabet);
+    while offsets.len() < want {
+        let mut d = vec![1 + rng.below(2) as i64];
+        for _ in 1..dim {
+            d.push(rng.below(3) as i64 - 1);
+        }
+        if !offsets.contains(&d) {
+            offsets.push(d);
+        }
+    }
+
+    let two_arrays = rng.below(4) == 0;
+    src.push_str("array A = bnd()\n");
+    if two_arrays {
+        src.push_str("array B = 1 + bnd()\n");
+    }
+
+    let use_let = rng.below(3) == 0;
+    if use_let {
+        let c = rng.pick(&COEFS);
+        src.push_str(&format!("let s = {c}*{}\n", read_at("A", &offsets[0])));
+    }
+
+    let vars = VARS[..dim].join(",");
+    let mut body: Vec<String> = offsets
+        .iter()
+        .map(|d| format!("{}*{}", rng.pick(&COEFS), read_at("A", d)))
+        .collect();
+    if use_let {
+        body.push("s".to_string());
+    }
+    if two_arrays {
+        body.push(format!("0.125*{}", read_at("B", &offsets[0])));
+    }
+    src.push_str(&format!("A[{vars}] = {}\n", body.join(" + ")));
+    if two_arrays {
+        src.push_str(&format!(
+            "B[{vars}] = 0.5*{} - 0.25*{}\n",
+            read_at("B", offsets.last().unwrap()),
+            read_at("A", &offsets[0]),
+        ));
+    }
+    src
+}
+
+#[test]
+fn random_kernels_round_trip() {
+    let mut rng = Rng(0x9E37_79B9_7F4A_7C15);
+    let mut multi = 0;
+    for case in 0..60 {
+        let src = gen_kernel(&mut rng, case);
+        assert_round_trip(&format!("gen{case}\n{src}"), &src);
+        if src.contains("array B") {
+            multi += 1;
+        }
+    }
+    // The generator must actually cover the multi-array path.
+    assert!(multi >= 5, "only {multi} multi-array kernels generated");
+}

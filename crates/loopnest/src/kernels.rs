@@ -22,7 +22,9 @@ use tilecc_polytope::Polyhedron;
 pub const LANES: usize = 8;
 
 /// Deterministic boundary value: a small, well-spread function of `j`.
-fn boundary_value(j: &[i64]) -> f64 {
+/// Public so other frontends (e.g. the kernel DSL's `bnd()` builtin) can
+/// produce bitwise-identical boundary conditions.
+pub fn boundary_value(j: &[i64]) -> f64 {
     let mut h: i64 = 17;
     for (k, &v) in j.iter().enumerate() {
         h = h
